@@ -1,0 +1,122 @@
+// Ablation A2 — scaling of the analysis + DP pipeline.
+//
+// Measures (a) AnalyzeSingleTree time vs number of monomials at a fixed
+// tree, (b) optimal-DP solve time vs number of tree leaves at fixed
+// provenance, confirming the polynomial-time behaviour claimed in the
+// paper (tree-convolution DP; profile analysis is a linear scan + sort).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dp_optimal.h"
+#include "core/profile.h"
+#include "prov/polynomial.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cobra;
+
+/// Balanced tree with `leaves` leaves and fanout 4.
+core::AbstractionTree BalancedTree(std::size_t leaves, prov::VarPool* pool) {
+  core::AbstractionTree tree;
+  core::NodeId root = tree.AddRoot("root");
+  std::vector<core::NodeId> level{root};
+  std::size_t width = 1, groups = 0;
+  while (width * 4 < leaves) {
+    std::vector<core::NodeId> next;
+    for (core::NodeId parent : level) {
+      for (int i = 0; i < 4; ++i) {
+        next.push_back(tree.AddChild(parent, "g" + std::to_string(groups++)));
+      }
+    }
+    level = std::move(next);
+    width *= 4;
+  }
+  std::size_t created = 0;
+  while (created < leaves) {
+    core::NodeId parent = level[created % level.size()];
+    tree.AddLeaf(parent, "x" + std::to_string(created), pool);
+    ++created;
+  }
+  COBRA_CHECK(tree.Validate().ok());
+  return tree;
+}
+
+prov::PolySet RandomPolys(std::size_t monomials, std::size_t num_leaf_vars,
+                          const prov::VarPool& pool, std::uint64_t seed) {
+  util::Rng rng(seed);
+  (void)pool;
+  std::vector<prov::Term> terms;
+  terms.reserve(monomials);
+  // Exactly `monomials` distinct monomials: leaf (i mod L) times a residue
+  // variable indexed by (i / L), so sizes are not capped by duplicate
+  // merging. Residue ids live above the leaf ids.
+  for (std::size_t i = 0; i < monomials; ++i) {
+    prov::VarId leaf = static_cast<prov::VarId>(i % num_leaf_vars);
+    prov::VarId residue =
+        static_cast<prov::VarId>(num_leaf_vars + i / num_leaf_vars);
+    terms.push_back({prov::Monomial::FromFactors({{leaf, 1}, {residue, 1}}),
+                     rng.NextDoubleInRange(1.0, 9.0)});
+  }
+  prov::PolySet set;
+  set.Add("P", prov::Polynomial::FromTerms(std::move(terms)));
+  return set;
+}
+
+void RunA2() {
+  bench::Header("A2: scaling of profile analysis and optimal DP");
+
+  std::printf("(a) monomial scaling at 256 leaves\n");
+  std::printf("%-12s %-14s %-12s\n", "monomials", "analyze (ms)", "solve (ms)");
+  for (std::size_t monomials : {10'000u, 50'000u, 200'000u, 800'000u}) {
+    prov::VarPool pool;
+    core::AbstractionTree tree = BalancedTree(256, &pool);
+    for (int i = 0; i < 64; ++i) pool.Intern("res" + std::to_string(i));
+    prov::PolySet polys = RandomPolys(monomials, 256, pool, 7);
+    util::Timer t1;
+    core::TreeProfile profile =
+        core::AnalyzeSingleTree(polys, tree, pool).ValueOrDie();
+    double analyze_ms = t1.ElapsedMillis();
+    util::Timer t2;
+    auto solution = core::OptimalSingleTreeCut(
+        tree, profile, profile.total_monomials / 2);
+    double solve_ms = t2.ElapsedMillis();
+    COBRA_CHECK(solution.ok());
+    std::printf("%-12zu %-14.1f %-12.2f\n", polys.TotalMonomials(), analyze_ms,
+                solve_ms);
+  }
+
+  std::printf("\n(b) leaf scaling at 100k raw monomials\n");
+  std::printf("%-10s %-10s %-14s %-12s\n", "leaves", "nodes", "analyze (ms)",
+              "solve (ms)");
+  for (std::size_t leaves : {64u, 256u, 1024u, 4096u, 16384u}) {
+    prov::VarPool pool;
+    core::AbstractionTree tree = BalancedTree(leaves, &pool);
+    for (int i = 0; i < 64; ++i) pool.Intern("res" + std::to_string(i));
+    prov::PolySet polys = RandomPolys(100'000, leaves, pool, 11);
+    util::Timer t1;
+    core::TreeProfile profile =
+        core::AnalyzeSingleTree(polys, tree, pool).ValueOrDie();
+    double analyze_ms = t1.ElapsedMillis();
+    util::Timer t2;
+    auto solution = core::OptimalSingleTreeCut(
+        tree, profile, profile.total_monomials / 2);
+    double solve_ms = t2.ElapsedMillis();
+    COBRA_CHECK(solution.ok());
+    std::printf("%-10zu %-10zu %-14.1f %-12.2f\n", leaves, tree.size(),
+                analyze_ms, solve_ms);
+  }
+  std::printf(
+      "\nReading: analysis is near-linear in monomials; DP solve cost grows\n"
+      "with tree size via bounded (min,+) convolutions — both polynomial,\n"
+      "matching the complexity claim of Section 2.\n");
+}
+
+}  // namespace
+
+int main() {
+  RunA2();
+  return 0;
+}

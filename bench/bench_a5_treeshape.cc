@@ -1,0 +1,188 @@
+// Ablation A5 — the effect of abstraction-tree shape.
+//
+// The same variables and the same provenance can be organized into
+// different ontologies: a flat tree (root over all leaves), a binary
+// balanced tree, a wide 2-level tree, or a skewed "caterpillar". Shape
+// determines which intermediate groupings exist, and therefore how
+// gracefully expressiveness degrades as the bound tightens. This bench
+// fixes the provenance (a telephony-shaped workload over 64 variables) and
+// sweeps bounds per shape, reporting retained variables.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dp_optimal.h"
+#include "core/profile.h"
+#include "prov/polynomial.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cobra;
+
+constexpr std::size_t kLeaves = 64;
+
+std::vector<std::string> LeafNames() {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kLeaves; ++i) {
+    names.push_back("x" + std::to_string(i));
+  }
+  return names;
+}
+
+core::AbstractionTree FlatTree(prov::VarPool* pool) {
+  core::AbstractionTree tree;
+  core::NodeId root = tree.AddRoot("root");
+  for (const std::string& name : LeafNames()) {
+    tree.AddLeaf(root, name, pool);
+  }
+  return tree;
+}
+
+core::AbstractionTree BinaryTree(prov::VarPool* pool) {
+  core::AbstractionTree tree;
+  core::NodeId root = tree.AddRoot("root");
+  std::size_t groups = 0;
+  // Recursive bisection over the leaf range.
+  struct Range {
+    core::NodeId parent;
+    std::size_t lo, hi;
+  };
+  std::vector<Range> stack{{root, 0, kLeaves}};
+  std::vector<std::string> names = LeafNames();
+  while (!stack.empty()) {
+    Range r = stack.back();
+    stack.pop_back();
+    if (r.hi - r.lo == 1) {
+      tree.AddLeaf(r.parent, names[r.lo], pool);
+      continue;
+    }
+    std::size_t mid = (r.lo + r.hi) / 2;
+    core::NodeId left = tree.AddChild(r.parent, "g" + std::to_string(groups++));
+    core::NodeId right = tree.AddChild(r.parent, "g" + std::to_string(groups++));
+    stack.push_back({left, r.lo, mid});
+    stack.push_back({right, mid, r.hi});
+  }
+  return tree;
+}
+
+core::AbstractionTree WideTree(prov::VarPool* pool, std::size_t fanout) {
+  core::AbstractionTree tree;
+  core::NodeId root = tree.AddRoot("root");
+  std::vector<std::string> names = LeafNames();
+  std::size_t groups = 0;
+  for (std::size_t start = 0; start < kLeaves; start += fanout) {
+    core::NodeId group = tree.AddChild(root, "g" + std::to_string(groups++));
+    for (std::size_t i = start; i < std::min(start + fanout, kLeaves); ++i) {
+      tree.AddLeaf(group, names[i], pool);
+    }
+  }
+  return tree;
+}
+
+core::AbstractionTree CaterpillarTree(prov::VarPool* pool) {
+  core::AbstractionTree tree;
+  core::NodeId spine = tree.AddRoot("root");
+  std::vector<std::string> names = LeafNames();
+  for (std::size_t i = 0; i + 1 < kLeaves; ++i) {
+    tree.AddLeaf(spine, names[i], pool);
+    if (i + 2 < kLeaves) {
+      spine = tree.AddChild(spine, "g" + std::to_string(i));
+    }
+  }
+  tree.AddLeaf(spine, names[kLeaves - 1], pool);
+  return tree;
+}
+
+prov::PolySet MakeProvenance(const prov::VarPool& pool) {
+  // Telephony-shaped: every group polynomial holds every (leaf, month)
+  // combination. All leaves then have identical residue sets, so every
+  // tree node weighs the same and a cut of n nodes always costs n/64 of
+  // the full size — which isolates the *shape* effect: what matters is
+  // which cut sizes the ontology makes reachable.
+  util::Rng rng(99);
+  prov::PolySet set;
+  std::vector<std::string> names = LeafNames();
+  for (std::size_t g = 0; g < 10; ++g) {
+    std::vector<prov::Term> terms;
+    for (std::size_t i = 0; i < kLeaves; ++i) {
+      for (int m = 0; m < 12; ++m) {
+        prov::VarId leaf = pool.Find(names[i]);
+        prov::VarId month = pool.Find("mo" + std::to_string(m));
+        terms.push_back({prov::Monomial::Of(leaf, month),
+                         rng.NextDoubleInRange(1.0, 100.0)});
+      }
+    }
+    set.Add("g" + std::to_string(g),
+            prov::Polynomial::FromTerms(std::move(terms)));
+  }
+  return set;
+}
+
+void Report(const char* label, const core::AbstractionTree& tree,
+            const prov::PolySet& polys, const prov::VarPool& pool) {
+  COBRA_CHECK(tree.Validate().ok());
+  core::TreeProfile profile =
+      core::AnalyzeSingleTree(polys, tree, pool).ValueOrDie();
+  std::size_t full = profile.total_monomials;
+  std::printf("%-14s nodes=%-5zu cuts=%-10llu |", label, tree.size(),
+              static_cast<unsigned long long>(tree.CountCuts()));
+  for (double fraction : {0.75, 0.5, 0.25, 0.1}) {
+    std::size_t bound =
+        static_cast<std::size_t>(static_cast<double>(full) * fraction);
+    core::CutSolution s =
+        core::OptimalSingleTreeCut(tree, profile, bound).ValueOrDie();
+    std::printf("  %4zu%s", s.feasible ? s.num_cut_nodes : 0,
+                s.feasible ? "" : "*");
+  }
+  std::printf("\n");
+}
+
+void RunA5() {
+  bench::Header("A5: abstraction-tree shape vs retained variables");
+  std::printf(
+      "fixed provenance: 10 groups x (64 leaf vars x 12 months)\n"
+      "columns: retained variables at bound = 75%% / 50%% / 25%% / 10%% of "
+      "full size (* = infeasible)\n\n");
+
+  // Each shape gets its own pool so inner-node names cannot collide.
+  {
+    prov::VarPool pool;
+    for (int m = 0; m < 12; ++m) pool.Intern("mo" + std::to_string(m));
+    core::AbstractionTree tree = FlatTree(&pool);
+    Report("flat", tree, MakeProvenance(pool), pool);
+  }
+  {
+    prov::VarPool pool;
+    for (int m = 0; m < 12; ++m) pool.Intern("mo" + std::to_string(m));
+    core::AbstractionTree tree = BinaryTree(&pool);
+    Report("binary", tree, MakeProvenance(pool), pool);
+  }
+  {
+    prov::VarPool pool;
+    for (int m = 0; m < 12; ++m) pool.Intern("mo" + std::to_string(m));
+    core::AbstractionTree tree = WideTree(&pool, 8);
+    Report("wide(8)", tree, MakeProvenance(pool), pool);
+  }
+  {
+    prov::VarPool pool;
+    for (int m = 0; m < 12; ++m) pool.Intern("mo" + std::to_string(m));
+    core::AbstractionTree tree = CaterpillarTree(&pool);
+    Report("caterpillar", tree, MakeProvenance(pool), pool);
+  }
+
+  std::printf(
+      "\nReading: a flat tree is all-or-nothing (64 variables or 1); the\n"
+      "wide 2-level tree only reaches sizes of the form 64-7a; binary and\n"
+      "caterpillar trees reach (almost) every size, so they track the bound\n"
+      "tightly. The ontology determines how gracefully expressiveness\n"
+      "degrades — why the paper builds tree construction into the demo\n"
+      "workflow.\n");
+}
+
+}  // namespace
+
+int main() {
+  RunA5();
+  return 0;
+}

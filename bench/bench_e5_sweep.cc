@@ -1,0 +1,85 @@
+// Experiment E5 — the interactive bound sweep of Section 4.
+//
+// "We will let the audience interactively examine the effect of the bound
+// on the query results, provenance size and assignment time." This bench
+// sweeps the bound across the feasible range on the telephony workload and
+// reports, per bound: compressed size, retained variables, measured
+// assignment speedup, and the result error of the *default* meta-
+// assignment against the analyst's base values (the information-loss view;
+// uniform scenarios are always exact).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/session.h"
+#include "data/telephony.h"
+#include "rel/sql/planner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cobra;
+
+void RunE5() {
+  data::TelephonyConfig config;
+  config.num_customers = bench::EnvSize("COBRA_E5_CUSTOMERS", 30'000);
+  config.num_zips = bench::EnvSize("COBRA_E5_ZIPS", 200);
+  config.num_months = 12;
+
+  bench::Header("E5: bound sweep (size / variables / speedup / error)");
+  std::printf("customers=%zu zips=%zu months=%zu\n", config.num_customers,
+              config.num_zips, config.num_months);
+
+  rel::Database db = data::GenerateTelephony(config);
+  data::InstrumentTelephony(&db).CheckOK();
+  prov::PolySet provenance =
+      rel::sql::RunSql(db, data::TelephonyRevenueQuery())
+          .ValueOrDie()
+          .Provenance();
+  std::size_t full = provenance.TotalMonomials();
+
+  core::Session session(db.var_pool());
+  session.LoadPolynomials(std::move(provenance));
+  session.SetTreeText(data::TelephonyPlanTreeText()).CheckOK();
+
+  // Non-uniform base values (the analyst's current scenario): plan changes
+  // drawn deterministically so the default-assignment error is non-trivial.
+  util::Rng rng(123);
+  for (const data::PlanInfo& plan : data::DefaultPlans()) {
+    session.SetBaseValue(plan.variable, rng.NextDoubleInRange(0.8, 1.2))
+        .CheckOK();
+  }
+
+  std::printf("\nfull size = %zu monomials\n\n", full);
+  std::printf("%-10s %-10s %-8s %-7s %-9s %-12s %-12s\n", "bound", "size",
+              "ratio", "vars", "speedup", "max_rel_err", "mean_rel_err");
+  // Sweep from the coarsest feasible size to the full size in 9 steps.
+  for (int step = 1; step <= 9; ++step) {
+    std::size_t bound = full * step / 9;
+    if (bound == 0) continue;
+    session.SetBound(bound);
+    util::Result<core::CompressionReport> report = session.Compress();
+    if (!report.ok()) continue;
+    core::AssignReport assign =
+        session.AssignAgainstBase(/*timing_reps=*/50).ValueOrDie();
+    std::printf("%-10zu %-10zu %-8.3f %-7zu %7.0f%%  %10.4f%%  %10.4f%%\n",
+                bound, report->compressed_size, report->compression_ratio,
+                report->compressed_variables,
+                assign.timing.SpeedupPercent(),
+                100.0 * assign.delta.max_rel_error,
+                100.0 * assign.delta.mean_rel_error);
+  }
+  std::printf(
+      "\nReading: tighter bounds shrink the provenance and speed up\n"
+      "assignment, at the cost of degrees of freedom (vars) and of accuracy\n"
+      "for non-uniform default scenarios — the trade-off the demo lets the\n"
+      "audience explore. Scenarios uniform within every chosen group are\n"
+      "always exact (see the session tests).\n");
+}
+
+}  // namespace
+
+int main() {
+  RunE5();
+  return 0;
+}

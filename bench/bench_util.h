@@ -1,0 +1,38 @@
+#ifndef COBRA_BENCH_BENCH_UTIL_H_
+#define COBRA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cobra::bench {
+
+/// Reads a positive integer knob from the environment (scaling overrides
+/// for the experiment binaries), falling back to `fallback`.
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Reads a double knob from the environment.
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+/// Prints a section header in the shared bench output style.
+inline void Header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace cobra::bench
+
+#endif  // COBRA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,217 @@
+// cobra_shell — a batch command interpreter exposing the whole COBRA
+// pipeline on user data, mirroring the demo system's workflow without the
+// GUI. Commands come from a script file (or stdin with '-'):
+//
+//   load <table> <file.csv>          register a CSV file as a table
+//   instrument <table> <col> <pfx>   tag rows with variable <pfx><value>
+//   sql <SELECT ...>                 run a query; keeps the last grouped
+//                                    result as the session provenance
+//   tree <file>                      install an abstraction tree (indented
+//                                    text format)
+//   bound <n>                        set the compressed-size bound
+//   compress [optimal|greedy|level]  compute the abstraction
+//   set <var> <value>                assign a (meta-)variable
+//   assign                           evaluate the scenario, print deltas
+//   show polys|compressed|tree|meta  inspect session state
+//   save <file>                      write the compressed package (the
+//                                    artifact shipped to analysts)
+//   # ...                            comment
+//
+// Example session (using the bundled telephony example): see
+// examples/shell_demo.cobra in the repository.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/io.h"
+#include "core/session.h"
+#include "data/example_db.h"
+#include "rel/csv_loader.h"
+#include "rel/database.h"
+#include "rel/instrument.h"
+#include "rel/sql/planner.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace cobra;
+
+class Shell {
+ public:
+  Shell() : session_(db_.var_pool()) {}
+
+  /// Executes one command line; returns false only on hard errors.
+  bool Execute(const std::string& raw_line) {
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty() || line[0] == '#') return true;
+    std::istringstream in{std::string(line)};
+    std::string command;
+    in >> command;
+    command = util::ToLower(command);
+
+    if (command == "load") return Load(in);
+    if (command == "instrument") return Instrument(in);
+    if (command == "sql") return Sql(std::string(line).substr(4));
+    if (command == "tree") return Tree(in);
+    if (command == "bound") return Bound(in);
+    if (command == "compress") return CompressCmd(in);
+    if (command == "set") return Set(in);
+    if (command == "assign") return Assign();
+    if (command == "show") return Show(in);
+    if (command == "save") return Save(in);
+    std::printf("error: unknown command '%s'\n", command.c_str());
+    return true;
+  }
+
+ private:
+  static bool Report(const util::Status& status) {
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+    return true;
+  }
+
+  bool Load(std::istringstream& in) {
+    std::string name, path;
+    in >> name >> path;
+    util::Status status = rel::LoadCsvTable(&db_, name, path);
+    if (status.ok()) {
+      std::printf("loaded %s (%zu rows)\n", name.c_str(),
+                  db_.GetTable(name).ValueOrDie()->NumRows());
+    }
+    return Report(status);
+  }
+
+  bool Instrument(std::istringstream& in) {
+    std::string table, column, prefix;
+    in >> table >> column >> prefix;
+    return Report(
+        rel::InstrumentByColumns(&db_, table, {{column, prefix}}));
+  }
+
+  bool Sql(const std::string& text) {
+    util::Result<rel::sql::QueryResult> result = rel::sql::RunSql(db_, text);
+    if (!result.ok()) return Report(result.status());
+    prov::Valuation neutral(*db_.var_pool());
+    rel::Table answer = result->Evaluate(neutral);
+    std::printf("%s", answer.ToString(15).c_str());
+    if (result->IsGrouped()) {
+      session_.LoadPolynomials(result->Provenance());
+      std::printf("(provenance kept: %zu polynomials, %zu monomials)\n",
+                  session_.full().size(), session_.full().TotalMonomials());
+    }
+    return true;
+  }
+
+  bool Tree(std::istringstream& in) {
+    std::string path;
+    in >> path;
+    util::Result<std::string> text = util::ReadFile(path);
+    if (!text.ok()) return Report(text.status());
+    return Report(session_.SetTreeText(*text));
+  }
+
+  bool Bound(std::istringstream& in) {
+    std::size_t bound = 0;
+    in >> bound;
+    session_.SetBound(bound);
+    std::printf("bound = %zu\n", bound);
+    return true;
+  }
+
+  bool CompressCmd(std::istringstream& in) {
+    std::string algorithm_name = "optimal";
+    in >> algorithm_name;
+    core::Algorithm algorithm = core::Algorithm::kOptimalDp;
+    if (algorithm_name == "greedy") algorithm = core::Algorithm::kGreedy;
+    if (algorithm_name == "level") algorithm = core::Algorithm::kLevelCut;
+    util::Result<core::CompressionReport> report =
+        session_.Compress(algorithm);
+    if (!report.ok()) return Report(report.status());
+    std::printf("%s", report->ToString().c_str());
+    return true;
+  }
+
+  bool Set(std::istringstream& in) {
+    std::string name;
+    double value = 1.0;
+    in >> name >> value;
+    return Report(session_.SetMetaValue(name, value));
+  }
+
+  bool Assign() {
+    util::Result<core::AssignReport> report = session_.Assign();
+    if (!report.ok()) return Report(report.status());
+    std::printf("%s", report->ToString(15).c_str());
+    return true;
+  }
+
+  bool Show(std::istringstream& in) {
+    std::string what;
+    in >> what;
+    if (what == "polys") {
+      std::printf("%s", session_.full().ToString(session_.pool()).c_str());
+    } else if (what == "compressed" && session_.IsCompressed()) {
+      std::printf("%s",
+                  session_.compressed().ToString(session_.pool()).c_str());
+    } else if (what == "meta" && session_.IsCompressed()) {
+      for (const core::MetaVar& mv : session_.meta_vars()) {
+        std::printf("%-12s = %-8g replaces:", mv.name.c_str(),
+                    session_.meta_valuation().Get(mv.var));
+        for (prov::VarId leaf : mv.leaves) {
+          std::printf(" %s", session_.pool().Name(leaf).c_str());
+        }
+        std::printf("\n");
+      }
+    } else {
+      std::printf("error: nothing to show for '%s'\n", what.c_str());
+    }
+    return true;
+  }
+
+  bool Save(std::istringstream& in) {
+    std::string path;
+    in >> path;
+    if (!session_.IsCompressed()) {
+      std::printf("error: compress before saving a package\n");
+      return true;
+    }
+    prov::Valuation base(session_.pool().size());
+    core::CompressedPackage package =
+        core::MakePackage(session_.abstraction(), base, session_.pool());
+    util::Status status =
+        core::SavePackage(package, session_.pool(), path);
+    if (status.ok()) std::printf("package written to %s\n", path.c_str());
+    return Report(status);
+  }
+
+  rel::Database db_;
+  core::Session session_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <script.cobra | ->\n", argv[0]);
+    return 2;
+  }
+  Shell shell;
+  std::string path = argv[1];
+  if (path == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!shell.Execute(line)) return 1;
+    }
+    return 0;
+  }
+  util::Result<std::string> script = util::ReadFile(path);
+  if (!script.ok()) {
+    std::fprintf(stderr, "%s\n", script.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& line : util::Split(*script, '\n')) {
+    if (!shell.Execute(line)) return 1;
+  }
+  return 0;
+}

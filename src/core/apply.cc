@@ -1,0 +1,72 @@
+#include "core/apply.h"
+
+#include <numeric>
+
+namespace cobra::core {
+
+prov::Valuation Abstraction::DefaultMetaValuation(
+    const prov::Valuation& full) const {
+  std::size_t size = full.size();
+  for (const MetaVar& mv : meta_vars) {
+    size = std::max<std::size_t>(size, mv.var + 1);
+  }
+  prov::Valuation out(size);
+  for (prov::VarId v = 0; v < full.size(); ++v) out.Set(v, full.Get(v));
+  for (const MetaVar& mv : meta_vars) {
+    COBRA_CHECK_MSG(!mv.leaves.empty(), "meta-variable with no leaves");
+    double sum = 0.0;
+    for (prov::VarId leaf : mv.leaves) {
+      sum += leaf < full.size() ? full.Get(leaf) : 1.0;
+    }
+    out.Set(mv.var, sum / static_cast<double>(mv.leaves.size()));
+  }
+  return out;
+}
+
+util::Result<Abstraction> ApplyCut(const prov::PolySet& polys,
+                                   const AbstractionTree& tree, const Cut& cut,
+                                   prov::VarPool* pool) {
+  COBRA_RETURN_IF_ERROR(cut.Validate(tree));
+
+  Abstraction out;
+  out.cut = cut;
+
+  // Identity mapping over the current pool; meta-variables may extend it.
+  out.mapping.resize(pool->size());
+  std::iota(out.mapping.begin(), out.mapping.end(), 0);
+
+  for (NodeId v : cut.nodes()) {
+    const AbstractionTree::Node& node = tree.node(v);
+    MetaVar mv;
+    mv.node = v;
+    mv.name = node.name;
+    if (node.IsLeaf()) {
+      mv.var = node.var;
+      mv.leaves = {node.var};
+    } else {
+      mv.var = pool->Intern(node.name);
+      for (NodeId leaf : tree.LeavesUnder(v)) {
+        mv.leaves.push_back(tree.node(leaf).var);
+      }
+    }
+    if (mv.var >= out.mapping.size()) {
+      std::size_t old = out.mapping.size();
+      out.mapping.resize(mv.var + 1);
+      std::iota(out.mapping.begin() + static_cast<std::ptrdiff_t>(old),
+                out.mapping.end(), static_cast<prov::VarId>(old));
+    }
+    for (prov::VarId leaf : mv.leaves) {
+      COBRA_CHECK_MSG(leaf < out.mapping.size(),
+                      "tree leaf variable outside pool");
+      out.mapping[leaf] = mv.var;
+    }
+    out.meta_vars.push_back(std::move(mv));
+  }
+
+  out.compressed = polys.SubstituteVars(out.mapping);
+  out.compressed_size = out.compressed.TotalMonomials();
+  out.compressed_variables = out.compressed.NumDistinctVariables();
+  return out;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,56 @@
+#ifndef COBRA_CORE_APPLY_H_
+#define COBRA_CORE_APPLY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cut.h"
+#include "core/tree.h"
+#include "prov/poly_set.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// One meta-variable introduced by an abstraction.
+struct MetaVar {
+  prov::VarId var;                  ///< Id of the meta-variable in the pool.
+  NodeId node;                      ///< The cut node it comes from.
+  std::string name;                 ///< Node name (== variable name).
+  std::vector<prov::VarId> leaves;  ///< The original variables it replaces.
+};
+
+/// The result of applying a cut: the compressed polynomials plus the
+/// variable mapping that produced them.
+struct Abstraction {
+  Cut cut;
+  prov::PolySet compressed;
+
+  /// mapping[v] is the variable that replaces v (identity off the tree).
+  std::vector<prov::VarId> mapping;
+
+  /// One entry per cut node, in cut order. Cut nodes that are leaves keep
+  /// their original variable (their `leaves` list has exactly one entry).
+  std::vector<MetaVar> meta_vars;
+
+  std::size_t compressed_size = 0;       ///< Total monomials after merging.
+  std::size_t compressed_variables = 0;  ///< Distinct variables after.
+
+  /// The paper's default assignment for meta-variables: the (unweighted)
+  /// average of the replaced variables' values under `full`. Off-tree
+  /// variables keep their `full` values.
+  prov::Valuation DefaultMetaValuation(const prov::Valuation& full) const;
+};
+
+/// Applies `cut` to `polys`: replaces every descendant leaf of each cut node
+/// by that node's meta-variable (interned into `pool`; cut nodes that are
+/// leaves keep their variable) and merges monomials that become identical by
+/// summing coefficients. Fails if the cut is invalid for `tree`.
+util::Result<Abstraction> ApplyCut(const prov::PolySet& polys,
+                                   const AbstractionTree& tree, const Cut& cut,
+                                   prov::VarPool* pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_APPLY_H_

@@ -1,0 +1,125 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cobra::core {
+
+util::Result<CutSolution> GreedyBottomUpCut(const AbstractionTree& tree,
+                                            const TreeProfile& profile,
+                                            std::size_t bound) {
+  if (profile.weight.size() != tree.size()) {
+    return util::Status::InvalidArgument("profile does not match tree");
+  }
+  std::set<NodeId> cut;
+  for (NodeId leaf : tree.Leaves()) cut.insert(leaf);
+  std::size_t size = profile.base_monomials;
+  for (NodeId v : cut) size += profile.weight[v];
+
+  while (size > bound) {
+    // Candidate moves: nodes whose children are all in the current cut.
+    NodeId best = kNoNode;
+    double best_ratio = -1.0;
+    std::size_t best_saving = 0;
+    for (NodeId u = 0; u < tree.size(); ++u) {
+      const auto& children = tree.node(u).children;
+      if (children.empty()) continue;
+      bool ready = std::all_of(children.begin(), children.end(),
+                               [&cut](NodeId c) { return cut.count(c) > 0; });
+      if (!ready) continue;
+      std::size_t child_weight = 0;
+      for (NodeId c : children) child_weight += profile.weight[c];
+      std::size_t saving = child_weight - profile.weight[u];
+      std::size_t vars_lost = children.size() - 1;
+      // Single-child chains are free moves (no variables lost); their ratio
+      // is effectively infinite when they save anything.
+      double ratio = vars_lost == 0
+                         ? (saving > 0 ? 1e18 : 0.0)
+                         : static_cast<double>(saving) /
+                               static_cast<double>(vars_lost);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = u;
+        best_saving = saving;
+      }
+    }
+    if (best == kNoNode) break;  // cut == {root}: nothing left to merge
+    for (NodeId c : tree.node(best).children) cut.erase(c);
+    cut.insert(best);
+    size -= best_saving;
+  }
+
+  CutSolution solution;
+  solution.cut = Cut(std::vector<NodeId>(cut.begin(), cut.end()));
+  solution.compressed_size = profile.SizeOfCut(solution.cut);
+  solution.num_cut_nodes = solution.cut.size();
+  solution.feasible = solution.compressed_size <= bound;
+  return solution;
+}
+
+util::Result<CutSolution> LevelCut(const AbstractionTree& tree,
+                                   const TreeProfile& profile,
+                                   std::size_t bound) {
+  if (profile.weight.size() != tree.size()) {
+    return util::Status::InvalidArgument("profile does not match tree");
+  }
+  std::size_t max_depth = tree.MaxDepth();
+  CutSolution solution;
+  for (std::size_t depth = max_depth + 1; depth-- > 0;) {
+    Cut cut = Cut::AtDepth(tree, depth);
+    std::size_t size = profile.SizeOfCut(cut);
+    solution.cut = cut;
+    solution.compressed_size = size;
+    solution.num_cut_nodes = cut.size();
+    solution.feasible = size <= bound;
+    if (solution.feasible) return solution;
+  }
+  return solution;  // depth-0 (root) result, possibly infeasible
+}
+
+util::Result<CutSolution> BruteForceCut(const AbstractionTree& tree,
+                                        const TreeProfile& profile,
+                                        std::size_t bound,
+                                        std::uint64_t enumeration_limit) {
+  if (profile.weight.size() != tree.size()) {
+    return util::Status::InvalidArgument("profile does not match tree");
+  }
+  util::Result<std::vector<Cut>> cuts = EnumerateCuts(tree, enumeration_limit);
+  if (!cuts.ok()) return cuts.status();
+  CutSolution best;
+  bool found = false;
+  for (const Cut& cut : *cuts) {
+    std::size_t size = profile.SizeOfCut(cut);
+    if (size > bound) continue;
+    bool better = !found || cut.size() > best.num_cut_nodes ||
+                  (cut.size() == best.num_cut_nodes &&
+                   size < best.compressed_size);
+    if (better) {
+      best.cut = cut;
+      best.compressed_size = size;
+      best.num_cut_nodes = cut.size();
+      best.feasible = true;
+      found = true;
+    }
+  }
+  if (!found) {
+    // No feasible cut: report the minimum-size one (the root cut may not be
+    // minimal when a single-child chain is lighter, but SizeOfCut of every
+    // enumerated cut tells us the true minimum).
+    std::size_t min_size = static_cast<std::size_t>(-1);
+    for (const Cut& cut : *cuts) {
+      std::size_t size = profile.SizeOfCut(cut);
+      if (size < min_size ||
+          (size == min_size && cut.size() > best.num_cut_nodes)) {
+        min_size = size;
+        best.cut = cut;
+        best.compressed_size = size;
+        best.num_cut_nodes = cut.size();
+      }
+    }
+    best.feasible = false;
+  }
+  return best;
+}
+
+}  // namespace cobra::core

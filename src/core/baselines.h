@@ -1,0 +1,42 @@
+#ifndef COBRA_CORE_BASELINES_H_
+#define COBRA_CORE_BASELINES_H_
+
+#include "core/dp_optimal.h"
+#include "core/profile.h"
+#include "core/tree.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Greedy bottom-up merging baseline.
+///
+/// Starts from the leaf cut (the uncompressed provenance) and repeatedly
+/// performs the best *collapse move*: replace the children of some node u
+/// (all currently in the cut) by u itself. A move saves
+/// `Σ weight(children) − weight(u)` monomials and costs `#children − 1`
+/// variables; the move with the best saving per lost variable is applied
+/// until the bound is met. Greedy is near-optimal when savings are uniform
+/// across the tree but can lose variables on skewed weight distributions —
+/// the A1 ablation bench quantifies the gap against the optimal DP.
+util::Result<CutSolution> GreedyBottomUpCut(const AbstractionTree& tree,
+                                            const TreeProfile& profile,
+                                            std::size_t bound);
+
+/// Level-cut baseline: the finest depth-d cut meeting the bound (tries
+/// d = max depth, max depth − 1, ..., 0). Ignores weights entirely.
+util::Result<CutSolution> LevelCut(const AbstractionTree& tree,
+                                   const TreeProfile& profile,
+                                   std::size_t bound);
+
+/// Exhaustive oracle: enumerates every cut and returns the maximum-|C|
+/// (ties: minimum size) cut within the bound. Exponential; fails with
+/// OutOfRange beyond `enumeration_limit` cuts. Used to verify the DP.
+util::Result<CutSolution> BruteForceCut(const AbstractionTree& tree,
+                                        const TreeProfile& profile,
+                                        std::size_t bound,
+                                        std::uint64_t enumeration_limit = 1u
+                                                                          << 20);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_BASELINES_H_

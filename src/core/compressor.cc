@@ -1,0 +1,146 @@
+#include "core/compressor.h"
+
+#include "core/multi_tree.h"
+#include "util/str.h"
+#include "util/timer.h"
+
+namespace cobra::core {
+
+const char* AlgorithmToString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kOptimalDp:
+      return "optimal-dp";
+    case Algorithm::kGreedy:
+      return "greedy";
+    case Algorithm::kLevelCut:
+      return "level-cut";
+    case Algorithm::kBruteForce:
+      return "brute-force";
+    case Algorithm::kMultiTreeGreedy:
+      return "multi-tree-greedy";
+  }
+  return "?";
+}
+
+std::string CompressionReport::ToString() const {
+  std::string out;
+  out += util::StrFormat("algorithm:        %s\n", AlgorithmToString(algorithm));
+  out += util::StrFormat("bound:            %zu\n", bound);
+  out += util::StrFormat("feasible:         %s\n", feasible ? "yes" : "no");
+  out += util::StrFormat("size:             %zu -> %zu (ratio %.3f)\n",
+                         original_size, compressed_size, compression_ratio);
+  out += util::StrFormat("variables:        %zu -> %zu\n", original_variables,
+                         compressed_variables);
+  out += util::StrFormat("cut:              %s\n", cut_description.c_str());
+  out += util::StrFormat("time (s):         analyze=%.4f solve=%.4f apply=%.4f\n",
+                         analyze_seconds, solve_seconds, apply_seconds);
+  return out;
+}
+
+util::Result<CompressionOutcome> Compress(const prov::PolySet& polys,
+                                          const AbstractionTree& tree,
+                                          const CompressionRequest& request,
+                                          prov::VarPool* pool) {
+  CompressionOutcome outcome;
+  CompressionReport& report = outcome.report;
+  report.algorithm = request.algorithm;
+  report.bound = request.bound;
+
+  util::Timer timer;
+  util::Result<TreeProfile> profile = AnalyzeSingleTree(polys, tree, *pool);
+  if (!profile.ok()) return profile.status();
+  report.analyze_seconds = timer.ElapsedSeconds();
+  report.original_size = profile->total_monomials;
+  report.original_variables = polys.NumDistinctVariables();
+
+  timer.Reset();
+  util::Result<CutSolution> solution = util::Status::Internal("unset");
+  DpExplain explain;
+  switch (request.algorithm) {
+    case Algorithm::kOptimalDp:
+      solution = OptimalSingleTreeCut(
+          tree, *profile, request.bound,
+          request.collect_explain ? &explain : nullptr);
+      break;
+    case Algorithm::kGreedy:
+      solution = GreedyBottomUpCut(tree, *profile, request.bound);
+      break;
+    case Algorithm::kLevelCut:
+      solution = LevelCut(tree, *profile, request.bound);
+      break;
+    case Algorithm::kBruteForce:
+      solution = BruteForceCut(tree, *profile, request.bound);
+      break;
+    case Algorithm::kMultiTreeGreedy:
+      return util::Status::InvalidArgument(
+          "multi-tree-greedy needs several trees; use "
+          "CompressMultiTree / Session::SetTrees");
+  }
+  if (!solution.ok()) return solution.status();
+  report.solve_seconds = timer.ElapsedSeconds();
+  report.feasible = solution->feasible;
+  report.cut_description = solution->cut.ToString(tree);
+  if (request.collect_explain) {
+    report.explain_text = explain.ToString(tree);
+  }
+
+  timer.Reset();
+  util::Result<Abstraction> abstraction =
+      ApplyCut(polys, tree, solution->cut, pool);
+  if (!abstraction.ok()) return abstraction.status();
+  report.apply_seconds = timer.ElapsedSeconds();
+
+  report.compressed_size = abstraction->compressed_size;
+  report.compressed_variables = abstraction->compressed_variables;
+  report.compression_ratio =
+      report.original_size == 0
+          ? 1.0
+          : static_cast<double>(report.compressed_size) /
+                static_cast<double>(report.original_size);
+  // The profile identity must agree with the actual substitution.
+  COBRA_CHECK_MSG(report.compressed_size == solution->compressed_size,
+                  "size identity violated: profile vs substitution disagree");
+  outcome.abstraction = std::move(*abstraction);
+  return outcome;
+}
+
+util::Result<CompressionOutcome> CompressMultiTree(
+    const prov::PolySet& polys, const std::vector<AbstractionTree>& trees,
+    std::size_t bound, prov::VarPool* pool) {
+  CompressionOutcome outcome;
+  CompressionReport& report = outcome.report;
+  report.algorithm = Algorithm::kMultiTreeGreedy;
+  report.bound = bound;
+  report.original_size = polys.TotalMonomials();
+  report.original_variables = polys.NumDistinctVariables();
+
+  util::Timer timer;
+  util::Result<MultiTreeSolution> solution =
+      GreedyMultiTreeCut(polys, trees, bound, *pool);
+  if (!solution.ok()) return solution.status();
+  report.solve_seconds = timer.ElapsedSeconds();
+  report.feasible = solution->feasible;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    if (t > 0) report.cut_description += " x ";
+    report.cut_description += solution->cuts[t].ToString(trees[t]);
+  }
+
+  timer.Reset();
+  util::Result<Abstraction> abstraction =
+      ApplyMultiTreeCuts(polys, trees, solution->cuts, pool);
+  if (!abstraction.ok()) return abstraction.status();
+  report.apply_seconds = timer.ElapsedSeconds();
+  report.compressed_size = abstraction->compressed_size;
+  report.compressed_variables = abstraction->compressed_variables;
+  report.compression_ratio =
+      report.original_size == 0
+          ? 1.0
+          : static_cast<double>(report.compressed_size) /
+                static_cast<double>(report.original_size);
+  COBRA_CHECK_MSG(report.compressed_size == solution->compressed_size,
+                  "multi-tree size bookkeeping disagrees with substitution");
+  outcome.abstraction = std::move(*abstraction);
+  return outcome;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,84 @@
+#ifndef COBRA_CORE_COMPRESSOR_H_
+#define COBRA_CORE_COMPRESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/apply.h"
+#include "core/baselines.h"
+#include "core/dp_optimal.h"
+#include "core/profile.h"
+#include "core/tree.h"
+#include "prov/poly_set.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Cut-selection algorithm choices.
+enum class Algorithm {
+  kOptimalDp,        ///< Bottom-up Pareto DP — the paper's algorithm (default).
+  kGreedy,           ///< Greedy bottom-up merging baseline.
+  kLevelCut,         ///< Depth-based cut baseline.
+  kBruteForce,       ///< Exhaustive oracle (small trees only).
+  kMultiTreeGreedy,  ///< Greedy for several trees (the NP-hard setting);
+                     ///< selected automatically by Session when more than
+                     ///< one tree is installed.
+};
+
+/// Returns "optimal-dp", "greedy", ...
+const char* AlgorithmToString(Algorithm a);
+
+/// Inputs of one compression run.
+struct CompressionRequest {
+  std::size_t bound = 0;
+  Algorithm algorithm = Algorithm::kOptimalDp;
+  bool collect_explain = false;  ///< Fill `CompressionReport::explain_text`.
+};
+
+/// Outputs of one compression run.
+struct CompressionReport {
+  Algorithm algorithm = Algorithm::kOptimalDp;
+  std::size_t bound = 0;
+  bool feasible = false;
+
+  std::size_t original_size = 0;       ///< Monomials before.
+  std::size_t original_variables = 0;  ///< Distinct variables before.
+  std::size_t compressed_size = 0;     ///< Monomials after.
+  std::size_t compressed_variables = 0;
+
+  double compression_ratio = 1.0;  ///< compressed/original.
+  double analyze_seconds = 0.0;    ///< Profile computation time.
+  double solve_seconds = 0.0;      ///< Cut search time.
+  double apply_seconds = 0.0;      ///< Substitution time.
+
+  std::string cut_description;  ///< e.g. "{Business, Special, Standard}".
+  std::string explain_text;     ///< DP trace when requested.
+
+  /// Renders a multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Runs the full single-tree pipeline: analyze, solve (per `request`),
+/// apply. `pool` receives the meta-variables. On success the report and the
+/// abstraction describe the same cut; `report.feasible == false` means the
+/// bound is unachievable and the returned abstraction is the coarsest one.
+struct CompressionOutcome {
+  CompressionReport report;
+  Abstraction abstraction;
+};
+util::Result<CompressionOutcome> Compress(const prov::PolySet& polys,
+                                          const AbstractionTree& tree,
+                                          const CompressionRequest& request,
+                                          prov::VarPool* pool);
+
+/// Multi-tree pipeline: greedy cut search over several variable-disjoint
+/// trees (see core/multi_tree.h), then combined application. The report's
+/// `cut_description` concatenates the per-tree cuts; `algorithm` is always
+/// kMultiTreeGreedy (the optimization problem is NP-hard, Section 2).
+util::Result<CompressionOutcome> CompressMultiTree(
+    const prov::PolySet& polys, const std::vector<AbstractionTree>& trees,
+    std::size_t bound, prov::VarPool* pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_COMPRESSOR_H_

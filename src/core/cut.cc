@@ -1,0 +1,148 @@
+#include "core/cut.h"
+
+#include <algorithm>
+
+namespace cobra::core {
+
+Cut::Cut(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+}
+
+Cut Cut::Leaves(const AbstractionTree& tree) { return Cut(tree.Leaves()); }
+
+Cut Cut::Root(const AbstractionTree& tree) { return Cut({tree.root()}); }
+
+util::Result<Cut> Cut::FromNames(const AbstractionTree& tree,
+                                 const std::vector<std::string>& names) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(names.size());
+  for (const std::string& name : names) {
+    NodeId id = tree.FindByName(name);
+    if (id == kNoNode) {
+      return util::Status::NotFound("no tree node named: " + name);
+    }
+    nodes.push_back(id);
+  }
+  Cut cut{std::move(nodes)};
+  COBRA_RETURN_IF_ERROR(cut.Validate(tree));
+  return cut;
+}
+
+Cut Cut::AtDepth(const AbstractionTree& tree, std::size_t depth) {
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    std::size_t d = tree.Depth(i);
+    if (d == depth || (d < depth && tree.node(i).IsLeaf())) {
+      nodes.push_back(i);
+    }
+  }
+  return Cut(std::move(nodes));
+}
+
+bool Cut::Contains(NodeId id) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), id);
+}
+
+util::Status Cut::Validate(const AbstractionTree& tree) const {
+  for (NodeId leaf : tree.Leaves()) {
+    std::size_t covered = 0;
+    NodeId v = leaf;
+    for (;;) {
+      if (Contains(v)) ++covered;
+      if (tree.node(v).parent == kNoNode) break;
+      v = tree.node(v).parent;
+    }
+    if (covered != 1) {
+      return util::Status::InvalidArgument(
+          "cut covers leaf '" + tree.node(leaf).name + "' " +
+          std::to_string(covered) + " times (must be exactly once)");
+    }
+  }
+  return util::Status::OK();
+}
+
+std::vector<NodeId> Cut::CoveringNode(const AbstractionTree& tree) const {
+  std::vector<NodeId> covering(tree.size(), kNoNode);
+  for (NodeId leaf : tree.Leaves()) {
+    NodeId v = leaf;
+    for (;;) {
+      if (Contains(v)) {
+        covering[leaf] = v;
+        break;
+      }
+      if (tree.node(v).parent == kNoNode) break;
+      v = tree.node(v).parent;
+    }
+  }
+  return covering;
+}
+
+std::string Cut::ToString(const AbstractionTree& tree) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tree.node(nodes_[i]).name;
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Recursively enumerates the cuts of the subtree at `v` as node-id vectors.
+util::Status EnumerateAt(const AbstractionTree& tree, NodeId v,
+                         std::uint64_t limit,
+                         std::vector<std::vector<NodeId>>* out) {
+  out->clear();
+  if (tree.node(v).IsLeaf()) {
+    out->push_back({v});
+    return util::Status::OK();
+  }
+  // Combine children cuts by cartesian product.
+  std::vector<std::vector<NodeId>> combined{{}};
+  for (NodeId c : tree.node(v).children) {
+    std::vector<std::vector<NodeId>> child_cuts;
+    COBRA_RETURN_IF_ERROR(EnumerateAt(tree, c, limit, &child_cuts));
+    std::vector<std::vector<NodeId>> next;
+    if (combined.size() * child_cuts.size() > limit) {
+      return util::Status::OutOfRange(
+          "tree has too many cuts to enumerate (limit " +
+          std::to_string(limit) + ")");
+    }
+    next.reserve(combined.size() * child_cuts.size());
+    for (const auto& prefix : combined) {
+      for (const auto& suffix : child_cuts) {
+        std::vector<NodeId> merged = prefix;
+        merged.insert(merged.end(), suffix.begin(), suffix.end());
+        next.push_back(std::move(merged));
+      }
+    }
+    combined = std::move(next);
+  }
+  combined.push_back({v});  // taking v itself
+  if (combined.size() > limit) {
+    return util::Status::OutOfRange("tree has too many cuts to enumerate");
+  }
+  *out = std::move(combined);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<std::vector<Cut>> EnumerateCuts(const AbstractionTree& tree,
+                                             std::uint64_t limit) {
+  if (tree.CountCuts() > limit) {
+    return util::Status::OutOfRange(
+        "tree has " + std::to_string(tree.CountCuts()) +
+        " cuts; enumeration limit is " + std::to_string(limit));
+  }
+  std::vector<std::vector<NodeId>> raw;
+  COBRA_RETURN_IF_ERROR(EnumerateAt(tree, tree.root(), limit, &raw));
+  std::vector<Cut> cuts;
+  cuts.reserve(raw.size());
+  for (auto& nodes : raw) cuts.emplace_back(std::move(nodes));
+  return cuts;
+}
+
+}  // namespace cobra::core

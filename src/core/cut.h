@@ -1,0 +1,68 @@
+#ifndef COBRA_CORE_CUT_H_
+#define COBRA_CORE_CUT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// A cut of an abstraction tree: a set of nodes such that every leaf has
+/// exactly one ancestor-or-self in the set (an antichain covering all
+/// leaves). The cut *is* the abstraction: each cut node becomes one
+/// meta-variable replacing its descendant leaves (Example 4 of the paper).
+class Cut {
+ public:
+  Cut() = default;
+
+  /// Builds a cut from node ids (deduplicated, sorted).
+  explicit Cut(std::vector<NodeId> nodes);
+
+  /// The finest cut: all leaves (identity abstraction).
+  static Cut Leaves(const AbstractionTree& tree);
+
+  /// The coarsest cut: just the root (everything is one meta-variable).
+  static Cut Root(const AbstractionTree& tree);
+
+  /// Builds a cut from node names; fails on unknown names.
+  static util::Result<Cut> FromNames(const AbstractionTree& tree,
+                                     const std::vector<std::string>& names);
+
+  /// The level cut at `depth`: every node at `depth`, plus every leaf
+  /// shallower than `depth`.
+  static Cut AtDepth(const AbstractionTree& tree, std::size_t depth);
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// True iff `id` belongs to the cut.
+  bool Contains(NodeId id) const;
+
+  /// Verifies the antichain-covering-all-leaves property against `tree`.
+  util::Status Validate(const AbstractionTree& tree) const;
+
+  /// For each leaf variable of the tree: the cut node covering it.
+  /// Indexed by leaf NodeId; non-leaf entries are kNoNode.
+  std::vector<NodeId> CoveringNode(const AbstractionTree& tree) const;
+
+  /// Renders "{Business, Special, Standard}".
+  std::string ToString(const AbstractionTree& tree) const;
+
+  bool operator==(const Cut& other) const = default;
+
+ private:
+  std::vector<NodeId> nodes_;  // sorted, unique
+};
+
+/// Enumerates every cut of `tree` (product structure: a cut of node v is
+/// {v} or a combination of cuts of its children). Exponential in general —
+/// `limit` guards against blow-ups; fails with OutOfRange when the tree has
+/// more than `limit` cuts. Intended for tests and the brute-force oracle.
+util::Result<std::vector<Cut>> EnumerateCuts(const AbstractionTree& tree,
+                                             std::uint64_t limit = 1u << 20);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_CUT_H_

@@ -1,0 +1,179 @@
+#include "core/dp_optimal.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/str.h"
+
+namespace cobra::core {
+
+namespace {
+
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 4;
+
+/// frontier[k-1] = min Σweight over cuts with exactly k nodes (kInf = none).
+using Frontier = std::vector<std::size_t>;
+
+/// (min,+) convolution of two frontiers: distributing k nodes over both.
+Frontier Convolve(const Frontier& a, const Frontier& b) {
+  Frontier out(a.size() + b.size(), kInf);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= kInf) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b[j] >= kInf) continue;
+      std::size_t k = i + j + 1;  // (i+1) + (j+1) nodes -> index k = sum-1
+      out[k] = std::min(out[k], a[i] + b[j]);
+    }
+  }
+  return out;
+}
+
+/// Sequential convolution over all children of `v`.
+Frontier ConvolveChildren(const AbstractionTree& tree, NodeId v,
+                          const std::vector<Frontier>& frontiers) {
+  const auto& children = tree.node(v).children;
+  Frontier acc = frontiers[children[0]];
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    acc = Convolve(acc, frontiers[children[i]]);
+  }
+  return acc;
+}
+
+/// Reconstructs the optimal cut of subtree(v) using exactly k nodes with
+/// cost frontiers[v][k-1]. Appends the chosen nodes to `out`.
+void Reconstruct(const AbstractionTree& tree, const TreeProfile& profile,
+                 const std::vector<Frontier>& frontiers, NodeId v,
+                 std::size_t k, std::vector<NodeId>* out) {
+  const Frontier& f = frontiers[v];
+  COBRA_CHECK_MSG(k >= 1 && k <= f.size() && f[k - 1] < kInf,
+                  "Reconstruct: invalid (node, k)");
+  if (k == 1 && f[0] == profile.weight[v]) {
+    // Prefer taking the node itself when it ties with a descendant chain —
+    // deterministic and yields the shallowest representative.
+    out->push_back(v);
+    return;
+  }
+  const auto& children = tree.node(v).children;
+  COBRA_CHECK_MSG(!children.empty(), "Reconstruct: leaf with k > 1");
+  // Recompute the sequential prefix convolutions to find the split.
+  std::vector<Frontier> prefix(children.size());
+  prefix[0] = frontiers[children[0]];
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    prefix[i] = Convolve(prefix[i - 1], frontiers[children[i]]);
+  }
+  std::size_t remaining = k;
+  std::size_t target = f[k - 1];
+  for (std::size_t i = children.size(); i-- > 1;) {
+    const Frontier& child = frontiers[children[i]];
+    bool split_found = false;
+    for (std::size_t kc = 1; kc <= child.size() && kc < remaining; ++kc) {
+      if (child[kc - 1] >= kInf) continue;
+      std::size_t k_rest = remaining - kc;
+      if (k_rest < 1 || k_rest > prefix[i - 1].size()) continue;
+      if (prefix[i - 1][k_rest - 1] >= kInf) continue;
+      if (prefix[i - 1][k_rest - 1] + child[kc - 1] == target) {
+        Reconstruct(tree, profile, frontiers, children[i], kc, out);
+        remaining = k_rest;
+        target = prefix[i - 1][k_rest - 1];
+        split_found = true;
+        break;
+      }
+    }
+    COBRA_CHECK_MSG(split_found, "Reconstruct: no consistent split");
+  }
+  Reconstruct(tree, profile, frontiers, children[0], remaining, out);
+}
+
+}  // namespace
+
+std::string DpExplain::ToString(const AbstractionTree& tree) const {
+  std::string out = util::StrFormat(
+      "DP trace: base=%zu bound=%zu (budget for tree monomials: %zu)\n",
+      base_monomials, bound,
+      bound > base_monomials ? bound - base_monomials : 0);
+  for (const NodeTrace& n : nodes) {
+    out += util::StrFormat("  node %-20s depth=%zu w=%-8zu frontier=[",
+                           n.name.c_str(), tree.Depth(n.node), n.weight);
+    for (std::size_t k = 0; k < n.frontier.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += n.frontier[k] >= kInf / 2 ? "-" : std::to_string(n.frontier[k]);
+    }
+    out += "]";
+    if (n.chosen_in_cut) out += "  <- chosen";
+    out += "\n";
+  }
+  return out;
+}
+
+util::Result<CutSolution> OptimalSingleTreeCut(const AbstractionTree& tree,
+                                               const TreeProfile& profile,
+                                               std::size_t bound,
+                                               DpExplain* explain) {
+  if (profile.weight.size() != tree.size()) {
+    return util::Status::InvalidArgument(
+        "profile does not match tree (run AnalyzeSingleTree on this tree)");
+  }
+
+  std::vector<Frontier> frontiers(tree.size());
+  std::vector<NodeId> order = tree.PostOrder();
+  for (NodeId v : order) {
+    if (tree.node(v).IsLeaf()) {
+      frontiers[v] = {profile.weight[v]};
+      continue;
+    }
+    Frontier conv = ConvolveChildren(tree, v, frontiers);
+    // Option "take v": one node of weight w(v). Refinement monotonicity
+    // guarantees w(v) <= any children combination's weight, so k=1 takes
+    // the min of w(v) and a possible single-node chain through one child.
+    if (conv.empty()) conv.resize(1, kInf);
+    conv[0] = std::min(conv[0], profile.weight[v]);
+    frontiers[v] = std::move(conv);
+  }
+
+  const Frontier& root_frontier = frontiers[tree.root()];
+  std::size_t budget =
+      bound >= profile.base_monomials ? bound - profile.base_monomials : 0;
+
+  CutSolution solution;
+  std::size_t best_k = 0;
+  for (std::size_t k = root_frontier.size(); k >= 1; --k) {
+    if (root_frontier[k - 1] <= budget) {
+      best_k = k;
+      break;
+    }
+  }
+  if (best_k == 0) {
+    // Even the coarsest abstraction misses the bound; return it anyway.
+    best_k = 1;
+    solution.feasible = false;
+  } else {
+    solution.feasible = true;
+  }
+
+  std::vector<NodeId> nodes;
+  Reconstruct(tree, profile, frontiers, tree.root(), best_k, &nodes);
+  solution.cut = Cut(std::move(nodes));
+  solution.num_cut_nodes = solution.cut.size();
+  solution.compressed_size = profile.SizeOfCut(solution.cut);
+  COBRA_CHECK_MSG(solution.compressed_size ==
+                      profile.base_monomials + root_frontier[best_k - 1],
+                  "DP cost mismatch after reconstruction");
+
+  if (explain != nullptr) {
+    explain->nodes.clear();
+    explain->base_monomials = profile.base_monomials;
+    explain->bound = bound;
+    for (NodeId v : order) {
+      DpExplain::NodeTrace trace;
+      trace.node = v;
+      trace.name = tree.node(v).name;
+      trace.weight = profile.weight[v];
+      trace.frontier = frontiers[v];
+      trace.chosen_in_cut = solution.cut.Contains(v);
+      explain->nodes.push_back(std::move(trace));
+    }
+  }
+  return solution;
+}
+
+}  // namespace cobra::core

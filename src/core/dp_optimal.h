@@ -1,0 +1,69 @@
+#ifndef COBRA_CORE_DP_OPTIMAL_H_
+#define COBRA_CORE_DP_OPTIMAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cut.h"
+#include "core/profile.h"
+#include "core/tree.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Outcome of a cut-selection algorithm.
+struct CutSolution {
+  Cut cut;
+  std::size_t compressed_size = 0;  ///< base + Σ weight over the cut.
+  std::size_t num_cut_nodes = 0;    ///< |cut| (tree part of expressiveness).
+  bool feasible = false;            ///< compressed_size <= bound.
+};
+
+/// Optional trace of the dynamic program — the demo's "under the hood" view
+/// (Section 4): per-node weights and Pareto frontiers, plus the chosen
+/// decomposition at the optimum.
+struct DpExplain {
+  struct NodeTrace {
+    NodeId node;
+    std::string name;
+    std::size_t weight;  ///< |S(v)|
+    /// frontier[k-1] = minimal Σweight of any k-node cut of the subtree.
+    std::vector<std::size_t> frontier;
+    bool chosen_in_cut = false;
+  };
+  std::vector<NodeTrace> nodes;  ///< In post-order.
+  std::size_t base_monomials = 0;
+  std::size_t bound = 0;
+
+  /// Renders the trace as an indented report.
+  std::string ToString(const AbstractionTree& tree) const;
+};
+
+/// Computes the optimal abstraction for a single tree:
+/// among cuts C with `base + Σ_{v∈C} weight[v] <= bound`, maximizes |C|
+/// (the remaining degrees of freedom), breaking ties by minimal size.
+///
+/// Method: bottom-up Pareto dynamic programming. For each node v the list
+/// `L_v[k]` holds the minimal cut weight of the subtree under v using
+/// exactly k cut nodes; leaves have `L = [w(v)]`, inner nodes combine
+/// children by (min,+) convolution and add the singleton option `{v}`.
+/// Refinement monotonicity (w(v) <= Σ w(children), since S(v) is the union
+/// of the children's sets) makes every frontier nondecreasing in k, so the
+/// answer is the largest k with `L_root[k] <= bound - base`. List lengths
+/// are bounded by subtree leaf counts, giving the polynomial running time
+/// claimed in the paper (O(n·L) convolution work overall for L leaves).
+///
+/// When even the root cut exceeds the bound the returned solution carries
+/// the root cut with `feasible = false` (the caller decides whether that is
+/// an error; the session reports it to the user as the paper's UI does).
+///
+/// `explain`, when non-null, receives the full DP trace.
+util::Result<CutSolution> OptimalSingleTreeCut(const AbstractionTree& tree,
+                                               const TreeProfile& profile,
+                                               std::size_t bound,
+                                               DpExplain* explain = nullptr);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_DP_OPTIMAL_H_

@@ -1,0 +1,138 @@
+#include "core/io.h"
+
+#include "prov/parser.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace cobra::core {
+
+std::string SerializePackage(const CompressedPackage& package,
+                             const prov::VarPool& pool) {
+  std::string out = "[polynomials]\n";
+  out += package.polynomials.ToString(pool);
+  out += "[meta]\n";
+  for (const auto& [meta, leaves] : package.meta_groups) {
+    out += meta;
+    out += " <-";
+    for (const std::string& leaf : leaves) {
+      out += " ";
+      out += leaf;
+    }
+    out += "\n";
+  }
+  out += "[defaults]\n";
+  for (const auto& [name, value] : package.defaults) {
+    out += name;
+    out += " = ";
+    out += util::FormatDouble(value, 12);
+    out += "\n";
+  }
+  return out;
+}
+
+util::Result<CompressedPackage> ParsePackage(std::string_view text,
+                                             prov::VarPool* pool) {
+  CompressedPackage package;
+  enum class Section { kNone, kPolynomials, kMeta, kDefaults };
+  Section section = Section::kNone;
+  std::string poly_lines;
+  std::size_t line_no = 0;
+  for (const std::string& raw : util::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "[polynomials]") {
+      section = Section::kPolynomials;
+      continue;
+    }
+    if (line == "[meta]") {
+      section = Section::kMeta;
+      continue;
+    }
+    if (line == "[defaults]") {
+      section = Section::kDefaults;
+      continue;
+    }
+    switch (section) {
+      case Section::kNone:
+        return util::Status::ParseError(
+            "line " + std::to_string(line_no) +
+            ": content before any [section] header");
+      case Section::kPolynomials:
+        poly_lines += std::string(line) + "\n";
+        break;
+      case Section::kMeta: {
+        std::size_t arrow = line.find("<-");
+        if (arrow == std::string_view::npos) {
+          return util::Status::ParseError("line " + std::to_string(line_no) +
+                                          ": expected '<meta> <- <leaves>'");
+        }
+        std::string meta(util::Trim(line.substr(0, arrow)));
+        std::vector<std::string> leaves =
+            util::SplitWhitespace(line.substr(arrow + 2));
+        if (meta.empty() || leaves.empty()) {
+          return util::Status::ParseError("line " + std::to_string(line_no) +
+                                          ": empty meta group");
+        }
+        pool->Intern(meta);
+        for (const std::string& leaf : leaves) pool->Intern(leaf);
+        package.meta_groups.emplace_back(std::move(meta), std::move(leaves));
+        break;
+      }
+      case Section::kDefaults: {
+        std::size_t eq = line.find('=');
+        if (eq == std::string_view::npos) {
+          return util::Status::ParseError("line " + std::to_string(line_no) +
+                                          ": expected '<var> = <value>'");
+        }
+        std::string name(util::Trim(line.substr(0, eq)));
+        util::Result<double> value = util::ParseDouble(line.substr(eq + 1));
+        if (!value.ok() || name.empty()) {
+          return util::Status::ParseError("line " + std::to_string(line_no) +
+                                          ": bad default entry");
+        }
+        pool->Intern(name);
+        package.defaults.emplace_back(std::move(name), *value);
+        break;
+      }
+    }
+  }
+  util::Result<prov::PolySet> polys = prov::ParsePolySet(poly_lines, pool);
+  if (!polys.ok()) return polys.status();
+  package.polynomials = std::move(*polys);
+  return package;
+}
+
+CompressedPackage MakePackage(const Abstraction& abstraction,
+                              const prov::Valuation& base,
+                              const prov::VarPool& pool) {
+  CompressedPackage package;
+  package.polynomials = abstraction.compressed;
+  for (const MetaVar& mv : abstraction.meta_vars) {
+    std::vector<std::string> leaves;
+    leaves.reserve(mv.leaves.size());
+    for (prov::VarId leaf : mv.leaves) leaves.push_back(pool.Name(leaf));
+    package.meta_groups.emplace_back(mv.name, std::move(leaves));
+  }
+  prov::Valuation defaults = abstraction.DefaultMetaValuation(base);
+  for (prov::VarId v = 0; v < defaults.size(); ++v) {
+    if (defaults.Get(v) != 1.0 && v < pool.size()) {
+      package.defaults.emplace_back(pool.Name(v), defaults.Get(v));
+    }
+  }
+  return package;
+}
+
+util::Status SavePackage(const CompressedPackage& package,
+                         const prov::VarPool& pool, const std::string& path) {
+  return util::WriteFile(path, SerializePackage(package, pool));
+}
+
+util::Result<CompressedPackage> LoadPackage(const std::string& path,
+                                            prov::VarPool* pool) {
+  util::Result<std::string> text = util::ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParsePackage(*text, pool);
+}
+
+}  // namespace cobra::core

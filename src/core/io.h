@@ -1,0 +1,64 @@
+#ifndef COBRA_CORE_IO_H_
+#define COBRA_CORE_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/apply.h"
+#include "prov/poly_set.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// A self-contained compressed-provenance package — what the meta-analyst
+/// ships to analysts (Section 1: provenance is generated and compressed on
+/// powerful hardware, but valuations are applied "by multiple analysts,
+/// possibly using weaker hardware"). The package holds the compressed
+/// polynomials, the meta-variable groups (so the analyst sees what each
+/// meta-variable stands for), and the default valuation.
+struct CompressedPackage {
+  prov::PolySet polynomials;
+  /// Meta-variable name -> names of the original variables it replaces.
+  std::vector<std::pair<std::string, std::vector<std::string>>> meta_groups;
+  /// Variable name -> default value (only non-neutral entries).
+  std::vector<std::pair<std::string, double>> defaults;
+};
+
+/// Serializes a package to the textual interchange format:
+///
+///     [polynomials]
+///     <label> = <polynomial>
+///     [meta]
+///     <MetaVar> <- <leaf> <leaf> ...
+///     [defaults]
+///     <var> = <value>
+///
+/// Lines are order-preserving; `#` comments and blank lines are ignored on
+/// load. Variables are rendered by name, so the package is independent of
+/// any particular VarPool's ids.
+std::string SerializePackage(const CompressedPackage& package,
+                             const prov::VarPool& pool);
+
+/// Parses a package, interning all variables into `pool`.
+util::Result<CompressedPackage> ParsePackage(std::string_view text,
+                                             prov::VarPool* pool);
+
+/// Builds a package from a compression result: the abstraction's compressed
+/// polynomials, its meta groups, and its default meta-valuation relative to
+/// `base` (entries equal to 1.0 are omitted).
+CompressedPackage MakePackage(const Abstraction& abstraction,
+                              const prov::Valuation& base,
+                              const prov::VarPool& pool);
+
+/// Writes/reads a package to/from a file.
+util::Status SavePackage(const CompressedPackage& package,
+                         const prov::VarPool& pool, const std::string& path);
+util::Result<CompressedPackage> LoadPackage(const std::string& path,
+                                            prov::VarPool* pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_IO_H_

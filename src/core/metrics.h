@@ -1,0 +1,88 @@
+#ifndef COBRA_CORE_METRICS_H_
+#define COBRA_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prov/eval_program.h"
+#include "prov/poly_set.h"
+#include "prov/valuation.h"
+
+namespace cobra::core {
+
+/// Measured cost of applying valuations to full vs compressed provenance —
+/// the "assignment speedup" the demo reports (§4: 47% and 79%).
+struct AssignmentTiming {
+  double full_seconds = 0.0;        ///< Per assignment over full provenance.
+  double compressed_seconds = 0.0;  ///< Per assignment over compressed.
+  std::size_t repetitions = 0;      ///< Assignments timed per side.
+
+  /// The paper's speedup figure: (t_full - t_compressed) / t_full, in
+  /// percent. 47 means the compressed assignment costs 53% of the full one.
+  double SpeedupPercent() const {
+    if (full_seconds <= 0.0) return 0.0;
+    return 100.0 * (full_seconds - compressed_seconds) / full_seconds;
+  }
+};
+
+/// Times `valuation` application to both polynomial sets using compiled
+/// evaluation programs. Runs `min_reps` assignments per side (at least; more
+/// when each run is very short) and reports per-assignment averages.
+AssignmentTiming MeasureAssignment(const prov::PolySet& full,
+                                   const prov::PolySet& compressed,
+                                   const prov::Valuation& full_valuation,
+                                   const prov::Valuation& compressed_valuation,
+                                   std::size_t min_reps = 5);
+
+/// Per-group difference between the answers computed from full and from
+/// compressed provenance under corresponding valuations — the "changes in
+/// the analysis query results" panel of the demo UI.
+struct ResultDelta {
+  struct Row {
+    std::string label;
+    double full = 0.0;
+    double compressed = 0.0;
+    double abs_error = 0.0;
+    double rel_error = 0.0;  ///< abs / |full| (0 when full == 0).
+  };
+  std::vector<Row> rows;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  double mean_rel_error = 0.0;
+
+  /// Renders the top-`max_rows` rows plus the error summary.
+  std::string ToString(std::size_t max_rows = 10) const;
+};
+
+/// Evaluates both sides and computes the deltas. The sets must be label-
+/// aligned (same group order), which `ApplyCut` preserves.
+ResultDelta CompareResults(const prov::PolySet& full,
+                           const prov::PolySet& compressed,
+                           const prov::Valuation& full_valuation,
+                           const prov::Valuation& compressed_valuation);
+
+/// Sensitivity ranking: which hypothetical parameter moves the answers
+/// most? For every variable v in `polys`, the impact is
+/// `Σ_groups |∂P_g/∂v|` evaluated at `at` — the total absolute change of
+/// all results per unit change of v around the current scenario. Rows are
+/// sorted by descending impact. A natural companion to compression: it
+/// tells the analyst which meta-variables are worth assigning first.
+struct SensitivityReport {
+  struct Row {
+    prov::VarId var;
+    std::string name;
+    double impact;
+  };
+  std::vector<Row> rows;  ///< Descending by impact.
+
+  /// Renders the top-`max_rows` variables.
+  std::string ToString(std::size_t max_rows = 10) const;
+};
+SensitivityReport AnalyzeSensitivity(const prov::PolySet& polys,
+                                     const prov::Valuation& at,
+                                     const prov::VarPool& pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_METRICS_H_

@@ -1,0 +1,302 @@
+#include "core/multi_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace cobra::core {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+/// Symbols: non-tree variables keep their VarId; tree leaves are represented
+/// by the *code* of the node currently covering them, so that a key changes
+/// exactly when the covering node changes. Node codes live above all VarIds.
+constexpr std::uint64_t kNodeBase = std::uint64_t{1} << 40;
+
+/// Compact per-monomial data for key computation.
+struct MonoData {
+  std::uint32_t poly;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> factors;  // (sym, exp)
+};
+
+std::uint64_t KeyOf(const MonoData& m,
+                    const std::vector<std::uint64_t>& leaf_sym,
+                    const std::unordered_set<std::uint64_t>* redirect,
+                    std::uint64_t redirect_to) {
+  // Map factors through the current leaf symbols (and the tentative
+  // redirect), combine duplicates, sort, hash.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> mapped;
+  mapped.reserve(m.factors.size());
+  for (const auto& [sym, exp] : m.factors) {
+    std::uint64_t s = sym;
+    if (s < leaf_sym.size() && leaf_sym[s] != 0) s = leaf_sym[s];
+    if (redirect != nullptr && redirect->count(s) > 0) s = redirect_to;
+    mapped.emplace_back(s, exp);
+  }
+  std::sort(mapped.begin(), mapped.end());
+  std::uint64_t h = util::Mix64(m.poly ^ 0x77a9b3c5ULL);
+  std::uint32_t pending_exp = 0;
+  std::uint64_t pending_sym = static_cast<std::uint64_t>(-1);
+  auto flush = [&]() {
+    if (pending_exp == 0) return;
+    h = util::HashCombine(h, pending_sym);
+    h = util::HashCombine(h, pending_exp);
+  };
+  for (const auto& [sym, exp] : mapped) {
+    if (sym == pending_sym) {
+      pending_exp += exp;
+    } else {
+      flush();
+      pending_sym = sym;
+      pending_exp = exp;
+    }
+  }
+  flush();
+  return h;
+}
+
+}  // namespace
+
+Result<MultiTreeSolution> GreedyMultiTreeCut(
+    const prov::PolySet& polys, const std::vector<AbstractionTree>& trees,
+    std::size_t bound, const prov::VarPool& pool) {
+  if (trees.empty()) {
+    return Status::InvalidArgument("no abstraction trees given");
+  }
+  for (const AbstractionTree& tree : trees) {
+    COBRA_RETURN_IF_ERROR(tree.Validate());
+  }
+
+  // Global node codes and per-leaf ownership; trees must be leaf-disjoint.
+  struct NodeRef {
+    std::size_t tree;
+    NodeId node;
+  };
+  std::vector<NodeRef> code_to_node;       // code - kNodeBase -> node
+  std::vector<std::vector<std::uint64_t>> node_code(trees.size());
+  std::unordered_set<prov::VarId> seen_leaves;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    node_code[t].resize(trees[t].size());
+    for (NodeId v = 0; v < trees[t].size(); ++v) {
+      node_code[t][v] = kNodeBase + code_to_node.size();
+      code_to_node.push_back({t, v});
+      if (trees[t].node(v).IsLeaf()) {
+        if (!seen_leaves.insert(trees[t].node(v).var).second) {
+          return Status::InvalidArgument(
+              "trees are not variable-disjoint: " + trees[t].node(v).name);
+        }
+      }
+    }
+  }
+
+  // leaf_sym[var] = code of the covering node (0 = not a tree leaf).
+  std::vector<std::uint64_t> leaf_sym(pool.size(), 0);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    for (NodeId leaf : trees[t].Leaves()) {
+      prov::VarId v = trees[t].node(leaf).var;
+      if (v < leaf_sym.size()) leaf_sym[v] = node_code[t][leaf];
+    }
+  }
+
+  // Extract monomials and initial keys.
+  std::vector<MonoData> monos;
+  for (std::size_t q = 0; q < polys.size(); ++q) {
+    for (const prov::Term& term : polys.poly(q).terms()) {
+      MonoData m;
+      m.poly = static_cast<std::uint32_t>(q);
+      for (const prov::VarPower& vp : term.monomial.powers()) {
+        m.factors.emplace_back(vp.var, vp.exp);
+      }
+      monos.push_back(std::move(m));
+    }
+  }
+  std::vector<std::uint64_t> current_key(monos.size());
+  std::unordered_map<std::uint64_t, std::uint32_t> key_count;
+  for (std::size_t i = 0; i < monos.size(); ++i) {
+    current_key[i] = KeyOf(monos[i], leaf_sym, nullptr, 0);
+    ++key_count[current_key[i]];
+  }
+  std::size_t size = key_count.size();
+
+  // Active cut state and per-active-node monomial lists.
+  std::vector<std::vector<bool>> active(trees.size());
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> node_monos;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    active[t].assign(trees[t].size(), false);
+    for (NodeId leaf : trees[t].Leaves()) active[t][leaf] = true;
+  }
+  for (std::size_t i = 0; i < monos.size(); ++i) {
+    for (const auto& [sym, exp] : monos[i].factors) {
+      (void)exp;
+      if (sym < leaf_sym.size() && leaf_sym[sym] != 0) {
+        node_monos[leaf_sym[sym]].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  for (auto& [code, list] : node_monos) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  MultiTreeSolution solution;
+
+  // Greedy loop.
+  while (size > bound) {
+    std::size_t best_tree = 0;
+    NodeId best_node = kNoNode;
+    double best_ratio = -1.0;
+    // Examine every collapse-ready node.
+    for (std::size_t t = 0; t < trees.size(); ++t) {
+      for (NodeId u = 0; u < trees[t].size(); ++u) {
+        const auto& children = trees[t].node(u).children;
+        if (children.empty() || active[t][u]) continue;
+        bool ready =
+            std::all_of(children.begin(), children.end(),
+                        [&](NodeId c) { return active[t][c]; });
+        if (!ready) continue;
+        // Evaluate the move exactly on the affected monomials.
+        std::unordered_set<std::uint64_t> redirect;
+        std::vector<std::uint32_t> affected;
+        for (NodeId c : children) {
+          redirect.insert(node_code[t][c]);
+          auto it = node_monos.find(node_code[t][c]);
+          if (it != node_monos.end()) {
+            affected.insert(affected.end(), it->second.begin(),
+                            it->second.end());
+          }
+        }
+        std::sort(affected.begin(), affected.end());
+        affected.erase(std::unique(affected.begin(), affected.end()),
+                       affected.end());
+        std::unordered_map<std::uint64_t, std::int64_t> delta;
+        for (std::uint32_t i : affected) {
+          --delta[current_key[i]];
+          ++delta[KeyOf(monos[i], leaf_sym, &redirect, node_code[t][u])];
+        }
+        std::int64_t size_change = 0;
+        for (const auto& [key, d] : delta) {
+          auto it = key_count.find(key);
+          std::int64_t before = it == key_count.end() ? 0 : it->second;
+          std::int64_t after = before + d;
+          size_change += (after > 0 ? 1 : 0) - (before > 0 ? 1 : 0);
+        }
+        std::int64_t saving = -size_change;
+        std::size_t vars_lost = children.size() - 1;
+        double ratio = vars_lost == 0 ? (saving > 0 ? 1e18 : 0.0)
+                                      : static_cast<double>(saving) /
+                                            static_cast<double>(vars_lost);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_tree = t;
+          best_node = u;
+        }
+      }
+    }
+    if (best_node == kNoNode) break;  // everything collapsed to roots
+
+    // Apply the best move for real.
+    std::size_t t = best_tree;
+    NodeId u = best_node;
+    std::unordered_set<std::uint64_t> redirect;
+    std::vector<std::uint32_t> affected;
+    for (NodeId c : trees[t].node(u).children) {
+      redirect.insert(node_code[t][c]);
+      auto it = node_monos.find(node_code[t][c]);
+      if (it != node_monos.end()) {
+        affected.insert(affected.end(), it->second.begin(), it->second.end());
+        node_monos.erase(it);
+      }
+      active[t][c] = false;
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    for (NodeId leaf : trees[t].LeavesUnder(u)) {
+      prov::VarId v = trees[t].node(leaf).var;
+      if (v < leaf_sym.size()) leaf_sym[v] = node_code[t][u];
+    }
+    for (std::uint32_t i : affected) {
+      std::uint64_t old_key = current_key[i];
+      auto old_it = key_count.find(old_key);
+      if (--old_it->second == 0) {
+        key_count.erase(old_it);
+        --size;
+      }
+      std::uint64_t new_key = KeyOf(monos[i], leaf_sym, nullptr, 0);
+      current_key[i] = new_key;
+      if (++key_count[new_key] == 1) ++size;
+    }
+    active[t][u] = true;
+    node_monos[node_code[t][u]] = std::move(affected);
+    ++solution.moves_applied;
+  }
+
+  solution.cuts.resize(trees.size());
+  solution.num_cut_nodes = 0;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    std::vector<NodeId> nodes;
+    for (NodeId v = 0; v < trees[t].size(); ++v) {
+      if (active[t][v]) nodes.push_back(v);
+    }
+    solution.cuts[t] = Cut(std::move(nodes));
+    solution.num_cut_nodes += solution.cuts[t].size();
+  }
+  solution.compressed_size = size;
+  solution.feasible = size <= bound;
+  return solution;
+}
+
+Result<Abstraction> ApplyMultiTreeCuts(const prov::PolySet& polys,
+                                       const std::vector<AbstractionTree>& trees,
+                                       const std::vector<Cut>& cuts,
+                                       prov::VarPool* pool) {
+  if (trees.size() != cuts.size()) {
+    return Status::InvalidArgument("one cut per tree required");
+  }
+  Abstraction out;
+  out.mapping.resize(pool->size());
+  std::iota(out.mapping.begin(), out.mapping.end(), 0);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    COBRA_RETURN_IF_ERROR(cuts[t].Validate(trees[t]));
+    for (NodeId v : cuts[t].nodes()) {
+      const AbstractionTree::Node& node = trees[t].node(v);
+      MetaVar mv;
+      mv.node = v;
+      mv.name = node.name;
+      if (node.IsLeaf()) {
+        mv.var = node.var;
+        mv.leaves = {node.var};
+      } else {
+        mv.var = pool->Intern(node.name);
+        for (NodeId leaf : trees[t].LeavesUnder(v)) {
+          mv.leaves.push_back(trees[t].node(leaf).var);
+        }
+      }
+      if (mv.var >= out.mapping.size()) {
+        std::size_t old = out.mapping.size();
+        out.mapping.resize(mv.var + 1);
+        std::iota(out.mapping.begin() + static_cast<std::ptrdiff_t>(old),
+                  out.mapping.end(), static_cast<prov::VarId>(old));
+      }
+      for (prov::VarId leaf : mv.leaves) {
+        if (leaf >= out.mapping.size()) {
+          return Status::Internal("tree leaf variable outside pool");
+        }
+        out.mapping[leaf] = mv.var;
+      }
+      out.meta_vars.push_back(std::move(mv));
+    }
+  }
+  out.compressed = polys.SubstituteVars(out.mapping);
+  out.compressed_size = out.compressed.TotalMonomials();
+  out.compressed_variables = out.compressed.NumDistinctVariables();
+  return out;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,51 @@
+#ifndef COBRA_CORE_MULTI_TREE_H_
+#define COBRA_CORE_MULTI_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/apply.h"
+#include "core/tree.h"
+#include "prov/poly_set.h"
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Result of multi-tree compression: one cut per tree plus the combined
+/// abstraction.
+struct MultiTreeSolution {
+  std::vector<Cut> cuts;                 ///< One per input tree, same order.
+  std::size_t compressed_size = 0;       ///< Total monomials after merging.
+  std::size_t num_cut_nodes = 0;         ///< Σ |cut| over trees.
+  bool feasible = false;                 ///< compressed_size <= bound.
+  std::size_t moves_applied = 0;         ///< Collapse moves taken.
+};
+
+/// Greedy compression with several abstraction trees, where a monomial may
+/// contain abstractable variables from more than one tree (e.g. the plan
+/// tree of Figure 2 *and* a month→quarter tree, Section 4).
+///
+/// The single-tree size identity no longer decomposes per node (merging in
+/// one tree changes which monomials can merge in another — the source of
+/// NP-hardness shown in the SIGMOD companion), so the greedy works on the
+/// polynomials themselves: it maintains the current variable mapping and a
+/// multiset of substituted monomial keys, evaluates each candidate collapse
+/// move (replace the children of a node, all currently active, by the node)
+/// by *exactly* recomputing the keys of affected monomials, and applies the
+/// move with the best size-saving per lost variable until the bound is met
+/// or everything is collapsed. Trees must be variable-disjoint.
+util::Result<MultiTreeSolution> GreedyMultiTreeCut(
+    const prov::PolySet& polys, const std::vector<AbstractionTree>& trees,
+    std::size_t bound, const prov::VarPool& pool);
+
+/// Applies a MultiTreeSolution: composes the per-tree cut mappings and
+/// substitutes, producing the combined abstraction (meta-variables from all
+/// trees, interned into `pool`).
+util::Result<Abstraction> ApplyMultiTreeCuts(
+    const prov::PolySet& polys, const std::vector<AbstractionTree>& trees,
+    const std::vector<Cut>& cuts, prov::VarPool* pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_MULTI_TREE_H_

@@ -1,0 +1,144 @@
+#include "core/profile.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace cobra::core {
+
+std::size_t TreeProfile::SizeOfCut(const Cut& cut) const {
+  std::size_t size = base_monomials;
+  for (NodeId v : cut.nodes()) {
+    COBRA_CHECK_MSG(v < weight.size(), "SizeOfCut: node outside profile");
+    size += weight[v];
+  }
+  return size;
+}
+
+std::size_t TreeProfile::VariablesOfCut(const Cut& cut) const {
+  return base_variables + cut.size();
+}
+
+namespace {
+
+/// Key identifying a triple (polynomial id, exponent, residue monomial).
+struct TripleKey {
+  std::size_t poly;
+  std::uint32_t exp;
+  prov::Monomial residue;
+
+  bool operator==(const TripleKey& other) const = default;
+};
+
+struct TripleKeyHash {
+  std::size_t operator()(const TripleKey& k) const {
+    std::uint64_t h = util::Mix64(k.poly ^ 0xabcdef12345ULL);
+    h = util::HashCombine(h, k.exp);
+    h = util::HashCombine(h, k.residue.Hash());
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+util::Result<TreeProfile> AnalyzeSingleTree(const prov::PolySet& polys,
+                                            const AbstractionTree& tree,
+                                            const prov::VarPool& pool) {
+  COBRA_RETURN_IF_ERROR(tree.Validate());
+
+  // Map variable id -> leaf node (kNoNode for non-tree variables).
+  std::vector<NodeId> var_to_leaf(pool.size(), kNoNode);
+  for (NodeId leaf : tree.Leaves()) {
+    prov::VarId v = tree.node(leaf).var;
+    if (v < var_to_leaf.size()) var_to_leaf[v] = leaf;
+  }
+
+  // Inner node names must not collide with variables used in the input.
+  std::unordered_set<prov::VarId> used_vars;
+  for (const prov::Polynomial& p : polys.polys()) p.CollectVariables(&used_vars);
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (tree.node(i).IsLeaf()) continue;
+    prov::VarId existing = pool.Find(tree.node(i).name);
+    if (existing != prov::kInvalidVar && used_vars.count(existing) > 0) {
+      return util::Status::InvalidArgument(
+          "inner node name '" + tree.node(i).name +
+          "' collides with a variable used in the provenance");
+    }
+  }
+
+  TreeProfile profile;
+  profile.weight.assign(tree.size(), 0);
+
+  // Intern triples and collect, per leaf, the sorted set of triple ids.
+  std::unordered_map<TripleKey, std::uint32_t, TripleKeyHash> triple_ids;
+  std::vector<std::vector<std::uint32_t>> leaf_triples(tree.size());
+  std::unordered_set<prov::VarId> base_vars;
+
+  for (std::size_t q = 0; q < polys.size(); ++q) {
+    for (const prov::Term& term : polys.poly(q).terms()) {
+      NodeId leaf = kNoNode;
+      std::uint32_t exp = 0;
+      for (const prov::VarPower& vp : term.monomial.powers()) {
+        NodeId candidate =
+            vp.var < var_to_leaf.size() ? var_to_leaf[vp.var] : kNoNode;
+        if (candidate == kNoNode) {
+          base_vars.insert(vp.var);
+          continue;
+        }
+        if (leaf != kNoNode) {
+          return util::Status::FailedPrecondition(
+              "monomial contains two tree variables ('" +
+              pool.Name(tree.node(leaf).var) + "' and '" + pool.Name(vp.var) +
+              "'); single-tree mode requires at most one — use the "
+              "multi-tree compressor");
+        }
+        leaf = candidate;
+        exp = vp.exp;
+      }
+      ++profile.total_monomials;
+      if (leaf == kNoNode) {
+        ++profile.base_monomials;
+        continue;
+      }
+      TripleKey key{q, exp, term.monomial.Without(tree.node(leaf).var)};
+      auto [it, inserted] = triple_ids.emplace(
+          std::move(key), static_cast<std::uint32_t>(triple_ids.size()));
+      leaf_triples[leaf].push_back(it->second);
+    }
+  }
+  profile.num_triples = triple_ids.size();
+  profile.base_variables = base_vars.size();
+
+  // Bottom-up union of triple-id sets; weight[v] = |S(v)|.
+  std::vector<std::vector<std::uint32_t>> sets(tree.size());
+  for (NodeId v : tree.PostOrder()) {
+    std::vector<std::uint32_t>& set = sets[v];
+    if (tree.node(v).IsLeaf()) {
+      set = std::move(leaf_triples[v]);
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    } else {
+      // Merge children sets (then release them — only the parent's survives).
+      std::size_t total = 0;
+      for (NodeId c : tree.node(v).children) total += sets[c].size();
+      set.reserve(total);
+      for (NodeId c : tree.node(v).children) {
+        std::size_t mid = set.size();
+        set.insert(set.end(), sets[c].begin(), sets[c].end());
+        std::inplace_merge(set.begin(),
+                           set.begin() + static_cast<std::ptrdiff_t>(mid),
+                           set.end());
+        sets[c].clear();
+        sets[c].shrink_to_fit();
+      }
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+    profile.weight[v] = set.size();
+  }
+
+  return profile;
+}
+
+}  // namespace cobra::core

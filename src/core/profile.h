@@ -1,0 +1,66 @@
+#ifndef COBRA_CORE_PROFILE_H_
+#define COBRA_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cut.h"
+#include "core/tree.h"
+#include "prov/poly_set.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Precomputed size analysis of a PolySet against one abstraction tree.
+///
+/// Write each monomial as `c · x^e · r` with `x` a tree leaf (possibly
+/// absent) and `r` the residue over non-tree variables. A *triple* is the
+/// distinct combination (polynomial id, e, r). For a tree node v,
+/// `S(v) = { triples of monomials whose leaf lies under v }`; if v is chosen
+/// in a cut it contributes exactly `|S(v)|` monomials to the compressed
+/// provenance (all leaves below it collapse to one meta-variable, so
+/// monomials that agree on the triple merge). Hence for any cut C:
+///
+///     compressed_size(C) = base_monomials + Σ_{v∈C} weight[v]
+///
+/// with `weight[v] = |S(v)|`. This identity is what makes the optimal cut
+/// computable by tree dynamic programming, and it is verified against
+/// actual substitution in the tests.
+struct TreeProfile {
+  /// |S(v)| per tree node.
+  std::vector<std::size_t> weight;
+
+  /// Monomials containing no tree variable (they survive any cut unchanged).
+  std::size_t base_monomials = 0;
+
+  /// Distinct non-tree variables (in residues and base monomials). Total
+  /// expressiveness of a cut C = base_variables + |C|.
+  std::size_t base_variables = 0;
+
+  /// Total monomials of the input (= base + Σ weight over leaves).
+  std::size_t total_monomials = 0;
+
+  /// Number of distinct (poly, exponent, residue) triples.
+  std::size_t num_triples = 0;
+
+  /// Compressed size under `cut` by the identity above (O(|cut|)).
+  std::size_t SizeOfCut(const Cut& cut) const;
+
+  /// Expressiveness (#distinct variables after compression) under `cut`.
+  std::size_t VariablesOfCut(const Cut& cut) const;
+};
+
+/// Analyzes `polys` against `tree` in single-tree mode.
+///
+/// Fails with FailedPrecondition if some monomial contains two or more tree
+/// variables (the demo paper's single-tree restriction; use the multi-tree
+/// compressor for that case) and with InvalidArgument if an inner node name
+/// collides with a variable that occurs in `polys` (the meta-variable would
+/// capture it).
+util::Result<TreeProfile> AnalyzeSingleTree(const prov::PolySet& polys,
+                                            const AbstractionTree& tree,
+                                            const prov::VarPool& pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_PROFILE_H_

@@ -1,0 +1,161 @@
+#include "core/session.h"
+
+#include "prov/parser.h"
+#include "util/str.h"
+
+namespace cobra::core {
+
+std::string AssignReport::ToString(std::size_t max_rows) const {
+  std::string out = delta.ToString(max_rows);
+  out += util::StrFormat(
+      "provenance size:  %zu -> %zu monomials\n", full_size, compressed_size);
+  out += util::StrFormat(
+      "assignment time:  full=%.3gus compressed=%.3gus speedup=%.0f%%\n",
+      timing.full_seconds * 1e6, timing.compressed_seconds * 1e6,
+      timing.SpeedupPercent());
+  return out;
+}
+
+void Session::LoadPolynomials(prov::PolySet polys) {
+  full_ = std::move(polys);
+  abstraction_.reset();
+  meta_valuation_.reset();
+}
+
+util::Status Session::LoadPolynomialsText(std::string_view text) {
+  util::Result<prov::PolySet> polys = prov::ParsePolySet(text, pool_.get());
+  if (!polys.ok()) return polys.status();
+  LoadPolynomials(std::move(*polys));
+  return util::Status::OK();
+}
+
+void Session::SetBaseValuation(const prov::Valuation& valuation) {
+  base_valuation_ = valuation;
+  base_valuation_->Resize(pool_->size());
+}
+
+util::Status Session::SetBaseValue(std::string_view name, double value) {
+  if (!base_valuation_.has_value()) {
+    base_valuation_.emplace(pool_->size());
+  }
+  return base_valuation_->SetByName(*pool_, name, value);
+}
+
+util::Status Session::SetTree(AbstractionTree tree) {
+  COBRA_RETURN_IF_ERROR(tree.Validate());
+  trees_.clear();
+  trees_.push_back(std::move(tree));
+  abstraction_.reset();
+  meta_valuation_.reset();
+  return util::Status::OK();
+}
+
+util::Status Session::SetTrees(std::vector<AbstractionTree> trees) {
+  if (trees.empty()) {
+    return util::Status::InvalidArgument("SetTrees: empty tree list");
+  }
+  for (const AbstractionTree& tree : trees) {
+    COBRA_RETURN_IF_ERROR(tree.Validate());
+  }
+  trees_ = std::move(trees);
+  abstraction_.reset();
+  meta_valuation_.reset();
+  return util::Status::OK();
+}
+
+util::Status Session::SetTreeText(std::string_view text) {
+  util::Result<AbstractionTree> tree = ParseTree(text, pool_.get());
+  if (!tree.ok()) return tree.status();
+  return SetTree(std::move(*tree));
+}
+
+void Session::EnsureValuationSizes() {
+  if (base_valuation_.has_value()) base_valuation_->Resize(pool_->size());
+  if (meta_valuation_.has_value()) meta_valuation_->Resize(pool_->size());
+}
+
+util::Result<CompressionReport> Session::Compress(Algorithm algorithm,
+                                                  bool collect_explain) {
+  if (full_.empty()) {
+    return util::Status::FailedPrecondition("no polynomials loaded");
+  }
+  if (trees_.empty()) {
+    return util::Status::FailedPrecondition("no abstraction tree set");
+  }
+  util::Result<CompressionOutcome> outcome =
+      util::Status::Internal("unset");
+  if (trees_.size() > 1) {
+    outcome = CompressMultiTree(full_, trees_, bound_, pool_.get());
+  } else {
+    CompressionRequest request;
+    request.bound = bound_;
+    request.algorithm = algorithm;
+    request.collect_explain = collect_explain;
+    outcome = core::Compress(full_, trees_[0], request, pool_.get());
+  }
+  if (!outcome.ok()) return outcome.status();
+  abstraction_ = std::move(outcome->abstraction);
+  // The paper's default meta-assignment: average of the abstracted values.
+  if (!base_valuation_.has_value()) base_valuation_.emplace(pool_->size());
+  EnsureValuationSizes();
+  meta_valuation_ = abstraction_->DefaultMetaValuation(*base_valuation_);
+  meta_valuation_->Resize(pool_->size());
+  return outcome->report;
+}
+
+util::Status Session::SetMetaValue(std::string_view name, double value) {
+  if (!meta_valuation_.has_value()) {
+    return util::Status::FailedPrecondition(
+        "call Compress() before assigning meta-variables");
+  }
+  return meta_valuation_->SetByName(*pool_, name, value);
+}
+
+prov::Valuation Session::ExpandedFullValuation() const {
+  // Original variables take their meta-variable's assigned value; variables
+  // outside the abstraction keep their value from the meta valuation (which
+  // inherits the base valuation for them).
+  prov::Valuation full_valuation = *meta_valuation_;
+  for (const MetaVar& mv : abstraction_->meta_vars) {
+    double v = meta_valuation_->Get(mv.var);
+    for (prov::VarId leaf : mv.leaves) full_valuation.Set(leaf, v);
+  }
+  return full_valuation;
+}
+
+util::Result<AssignReport> Session::Assign(std::size_t timing_reps) const {
+  if (!abstraction_.has_value()) {
+    return util::Status::FailedPrecondition(
+        "call Compress() before Assign()");
+  }
+  AssignReport report;
+  prov::Valuation full_valuation = ExpandedFullValuation();
+  report.delta = CompareResults(full_, abstraction_->compressed,
+                                full_valuation, *meta_valuation_);
+  report.timing = MeasureAssignment(full_, abstraction_->compressed,
+                                    full_valuation, *meta_valuation_,
+                                    timing_reps);
+  report.full_size = full_.TotalMonomials();
+  report.compressed_size = abstraction_->compressed.TotalMonomials();
+  return report;
+}
+
+util::Result<AssignReport> Session::AssignAgainstBase(
+    std::size_t timing_reps) const {
+  if (!abstraction_.has_value()) {
+    return util::Status::FailedPrecondition(
+        "call Compress() before AssignAgainstBase()");
+  }
+  AssignReport report;
+  prov::Valuation base = *base_valuation_;
+  base.Resize(pool_->size());
+  report.delta = CompareResults(full_, abstraction_->compressed, base,
+                                *meta_valuation_);
+  report.timing = MeasureAssignment(full_, abstraction_->compressed, base,
+                                    *meta_valuation_, timing_reps);
+  report.full_size = full_.TotalMonomials();
+  report.compressed_size = abstraction_->compressed.TotalMonomials();
+  return report;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,147 @@
+#ifndef COBRA_CORE_SESSION_H_
+#define COBRA_CORE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/compressor.h"
+#include "core/metrics.h"
+#include "core/tree.h"
+#include "prov/poly_set.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Outcome of one hypothetical-scenario assignment through the session:
+/// everything the demo UI displays (result deltas, provenance sizes, and
+/// the assignment speedup).
+struct AssignReport {
+  ResultDelta delta;         ///< Full-vs-compressed answers per group.
+  AssignmentTiming timing;   ///< Measured assignment cost both ways.
+  std::size_t full_size = 0;
+  std::size_t compressed_size = 0;
+
+  /// Renders the report as the demo's results panel.
+  std::string ToString(std::size_t max_rows = 10) const;
+};
+
+/// The COBRA system façade, mirroring the architecture of Figure 4:
+///
+///   provenance polynomials ──► compression (bound + abstraction tree)
+///        ──► abstracted polynomials ──► assignment ──► results
+///
+/// Usage:
+///   Session session;
+///   session.LoadPolynomials(polys);            // from any provenance engine
+///   session.SetBaseValuation(valuation);       // the analyst's defaults
+///   session.SetTree(tree); session.SetBound(b);
+///   auto report = session.Compress();          // optimal abstraction
+///   session.SetMetaValue("Business", 1.1);     // hypothetical scenario
+///   auto assign = session.Assign();            // results + speedup
+class Session {
+ public:
+  /// Creates a session with its own variable pool.
+  Session() : pool_(std::make_shared<prov::VarPool>()) {}
+
+  /// Creates a session sharing an existing pool (e.g. a Database's).
+  explicit Session(std::shared_ptr<prov::VarPool> pool)
+      : pool_(std::move(pool)) {}
+
+  /// The variable pool (data variables + meta-variables).
+  const prov::VarPool& pool() const { return *pool_; }
+  prov::VarPool* mutable_pool() { return pool_.get(); }
+
+  /// Loads the provenance polynomials to compress.
+  void LoadPolynomials(prov::PolySet polys);
+
+  /// Parses and loads polynomials from the `label = poly` text format.
+  util::Status LoadPolynomialsText(std::string_view text);
+
+  /// The full (uncompressed) provenance.
+  const prov::PolySet& full() const { return full_; }
+
+  /// Sets the analyst's default variable values (neutral 1.0 if never set).
+  void SetBaseValuation(const prov::Valuation& valuation);
+
+  /// Sets one base variable by name.
+  util::Status SetBaseValue(std::string_view name, double value);
+
+  /// Installs the abstraction tree (single-tree mode: the optimal DP and
+  /// all baselines are available).
+  util::Status SetTree(AbstractionTree tree);
+
+  /// Parses a tree from the indented text format and installs it.
+  util::Status SetTreeText(std::string_view text);
+
+  /// Installs several variable-disjoint trees (multi-tree mode, e.g. the
+  /// plan tree together with a month→quarter tree, Section 4). Compression
+  /// then uses the greedy multi-tree algorithm regardless of the requested
+  /// single-tree algorithm (the problem is NP-hard).
+  util::Status SetTrees(std::vector<AbstractionTree> trees);
+
+  /// Sets the bound on the compressed provenance size (monomial count).
+  void SetBound(std::size_t bound) { bound_ = bound; }
+
+  /// Runs compression (default: the optimal DP). After success,
+  /// `abstraction()` and `compressed()` are available and the meta-variable
+  /// valuation is initialized to the paper's defaults (leaf averages).
+  util::Result<CompressionReport> Compress(
+      Algorithm algorithm = Algorithm::kOptimalDp,
+      bool collect_explain = false);
+
+  /// True once Compress() succeeded.
+  bool IsCompressed() const { return abstraction_.has_value(); }
+
+  /// The chosen abstraction (requires IsCompressed()).
+  const Abstraction& abstraction() const { return *abstraction_; }
+
+  /// The compressed polynomials (requires IsCompressed()).
+  const prov::PolySet& compressed() const { return abstraction_->compressed; }
+
+  /// The meta-variables offered to the analyst (requires IsCompressed()).
+  const std::vector<MetaVar>& meta_vars() const {
+    return abstraction_->meta_vars;
+  }
+
+  /// Current compressed-side valuation (defaults after Compress()).
+  const prov::Valuation& meta_valuation() const { return *meta_valuation_; }
+
+  /// Assigns a value to a meta-variable (or any variable) by name; this is
+  /// the "meta-variables assignment screen" interaction (Figure 5).
+  util::Status SetMetaValue(std::string_view name, double value);
+
+  /// Runs the assignment phase: evaluates the scenario on both the full and
+  /// the compressed provenance, measures the speedup, reports the deltas.
+  ///
+  /// The full-provenance side uses the *expansion* of the meta-assignment:
+  /// every original variable takes its meta-variable's value when one was
+  /// assigned, its base value otherwise. This is exactly the semantics of
+  /// reasoning over the compressed provenance.
+  util::Result<AssignReport> Assign(std::size_t timing_reps = 5) const;
+
+  /// Like Assign(), but the full side keeps base values for abstracted
+  /// variables (measures pure information loss of the compression under
+  /// the default meta-assignment).
+  util::Result<AssignReport> AssignAgainstBase(std::size_t timing_reps = 5) const;
+
+ private:
+  prov::Valuation ExpandedFullValuation() const;
+  void EnsureValuationSizes();
+
+  std::shared_ptr<prov::VarPool> pool_;
+  prov::PolySet full_;
+  std::vector<AbstractionTree> trees_;  // 1 = single-tree, >1 = multi-tree
+  std::size_t bound_ = 0;
+  std::optional<prov::Valuation> base_valuation_;
+  std::optional<Abstraction> abstraction_;
+  std::optional<prov::Valuation> meta_valuation_;
+};
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_SESSION_H_

@@ -1,0 +1,230 @@
+#include "core/tree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/str.h"
+
+namespace cobra::core {
+
+NodeId AbstractionTree::AddRoot(std::string name) {
+  COBRA_CHECK_MSG(nodes_.empty(), "AddRoot: root already exists");
+  nodes_.push_back(Node{std::move(name), kNoNode, {}, prov::kInvalidVar});
+  return 0;
+}
+
+NodeId AbstractionTree::AddChild(NodeId parent, std::string name) {
+  COBRA_CHECK_MSG(parent < nodes_.size(), "AddChild: bad parent");
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), parent, {}, prov::kInvalidVar});
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId AbstractionTree::AddLeaf(NodeId parent, std::string_view var_name,
+                                prov::VarPool* pool) {
+  NodeId id = AddChild(parent, std::string(var_name));
+  nodes_[id].var = pool->Intern(var_name);
+  return id;
+}
+
+void AbstractionTree::SetLeafVar(NodeId id, prov::VarId var) {
+  COBRA_CHECK_MSG(id < nodes_.size() && nodes_[id].IsLeaf(),
+                  "SetLeafVar: not a leaf");
+  nodes_[id].var = var;
+}
+
+std::size_t AbstractionTree::Depth(NodeId id) const {
+  std::size_t depth = 0;
+  while (nodes_[id].parent != kNoNode) {
+    id = nodes_[id].parent;
+    ++depth;
+  }
+  return depth;
+}
+
+std::size_t AbstractionTree::MaxDepth() const {
+  std::size_t depth = 0;
+  for (NodeId leaf : Leaves()) depth = std::max(depth, Depth(leaf));
+  return depth;
+}
+
+std::vector<NodeId> AbstractionTree::Leaves() const {
+  return LeavesUnder(root());
+}
+
+std::vector<NodeId> AbstractionTree::LeavesUnder(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{id};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[v];
+    if (n.IsLeaf()) {
+      out.push_back(v);
+    } else {
+      // Push children reversed so DFS emits them left to right.
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> AbstractionTree::PostOrder() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  std::vector<std::pair<NodeId, bool>> stack{{root(), false}};
+  while (!stack.empty()) {
+    auto [v, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      out.push_back(v);
+      continue;
+    }
+    stack.push_back({v, true});
+    const Node& n = nodes_[v];
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+  }
+  return out;
+}
+
+NodeId AbstractionTree::FindByName(std::string_view name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return kNoNode;
+}
+
+NodeId AbstractionTree::FindLeafByVar(prov::VarId var) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].IsLeaf() && nodes_[i].var == var) return i;
+  }
+  return kNoNode;
+}
+
+std::uint64_t AbstractionTree::CountCutsAt(NodeId id) const {
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 62;
+  const Node& n = nodes_[id];
+  if (n.IsLeaf()) return 1;
+  std::uint64_t product = 1;
+  for (NodeId c : n.children) {
+    std::uint64_t cc = CountCutsAt(c);
+    if (product > kCap / cc) return kCap;  // saturate
+    product *= cc;
+  }
+  return product >= kCap ? kCap : product + 1;
+}
+
+std::uint64_t AbstractionTree::CountCuts() const {
+  if (nodes_.empty()) return 0;
+  return CountCutsAt(root());
+}
+
+util::Status AbstractionTree::Validate() const {
+  if (nodes_.empty()) {
+    return util::Status::FailedPrecondition("abstraction tree is empty");
+  }
+  std::unordered_set<std::string> names;
+  std::unordered_set<prov::VarId> vars;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (!names.insert(n.name).second) {
+      return util::Status::InvalidArgument("duplicate node name in tree: " +
+                                           n.name);
+    }
+    if (i == 0) {
+      if (n.parent != kNoNode) {
+        return util::Status::Internal("root has a parent");
+      }
+    } else if (n.parent == kNoNode || n.parent >= nodes_.size()) {
+      return util::Status::Internal("node " + n.name + " has no valid parent");
+    }
+    if (n.IsLeaf()) {
+      if (n.var == prov::kInvalidVar) {
+        return util::Status::InvalidArgument(
+            "leaf without a variable: " + n.name +
+            " (inner nodes need at least one child)");
+      }
+      if (!vars.insert(n.var).second) {
+        return util::Status::InvalidArgument(
+            "variable appears on two leaves: " + n.name);
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+std::string AbstractionTree::ToString() const {
+  std::string out;
+  std::vector<std::pair<NodeId, std::size_t>> stack{{root(), 0}};
+  while (!stack.empty()) {
+    auto [v, depth] = stack.back();
+    stack.pop_back();
+    out.append(depth * 2, ' ');
+    out += nodes_[v].name;
+    out += "\n";
+    const Node& n = nodes_[v];
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
+
+util::Result<AbstractionTree> ParseTree(std::string_view text,
+                                        prov::VarPool* pool) {
+  AbstractionTree tree;
+  // Stack of (indent, node) along the current root-to-node path.
+  std::vector<std::pair<std::size_t, NodeId>> path;
+  std::size_t line_no = 0;
+  for (const std::string& raw : util::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw;
+    // Strip comments and trailing whitespace.
+    std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::size_t indent = 0;
+    while (indent < line.size() && line[indent] == ' ') ++indent;
+    std::string_view name = util::Trim(line);
+    if (name.empty()) continue;
+    if (name.find('\t') != std::string_view::npos) {
+      return util::Status::ParseError("line " + std::to_string(line_no) +
+                                      ": tabs are not allowed; use spaces");
+    }
+    if (!tree.HasRoot()) {
+      if (indent != 0) {
+        return util::Status::ParseError("line " + std::to_string(line_no) +
+                                        ": first node must not be indented");
+      }
+      NodeId id = tree.AddRoot(std::string(name));
+      path.push_back({0, id});
+      continue;
+    }
+    // Pop to the nearest ancestor with smaller indentation.
+    while (!path.empty() && path.back().first >= indent) path.pop_back();
+    if (path.empty()) {
+      return util::Status::ParseError("line " + std::to_string(line_no) +
+                                      ": multiple roots (indentation 0)");
+    }
+    NodeId id = tree.AddChild(path.back().second, std::string(name));
+    path.push_back({indent, id});
+  }
+  if (!tree.HasRoot()) {
+    return util::Status::ParseError("tree text contained no nodes");
+  }
+  // Childless nodes are leaves: intern their names as variables.
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (tree.node(i).IsLeaf()) {
+      tree.SetLeafVar(i, pool->Intern(tree.node(i).name));
+    }
+  }
+  util::Status valid = tree.Validate();
+  if (!valid.ok()) return valid;
+  return tree;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,125 @@
+#ifndef COBRA_CORE_TREE_H_
+#define COBRA_CORE_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Node index within an AbstractionTree.
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// An abstraction tree (Section 2 of the paper): a rooted tree whose leaves
+/// are provenance variables and whose inner nodes name allowed groupings.
+///
+/// A *cut* of the tree (see cut.h) chooses an antichain separating the root
+/// from the leaves; each chosen node replaces all of its descendant leaf
+/// variables by one meta-variable. The tree both restricts and guides
+/// compression: only semantically meaningful groups (siblings in an
+/// ontology) may be merged.
+///
+/// Invariants (checked by `Validate`):
+///  * exactly one root;
+///  * every leaf carries a distinct variable;
+///  * inner nodes have at least one child;
+///  * node names are unique within the tree (meta-variables must not clash).
+class AbstractionTree {
+ public:
+  struct Node {
+    std::string name;               ///< Leaf: variable name. Inner: group name.
+    NodeId parent = kNoNode;
+    std::vector<NodeId> children;   ///< Empty for leaves.
+    prov::VarId var = prov::kInvalidVar;  ///< Leaf variable id.
+
+    bool IsLeaf() const { return children.empty(); }
+  };
+
+  AbstractionTree() = default;
+
+  /// Creates the root node; must be called exactly once, first.
+  NodeId AddRoot(std::string name);
+
+  /// Adds an inner or (for now childless) node under `parent`.
+  NodeId AddChild(NodeId parent, std::string name);
+
+  /// Adds a leaf carrying variable `name` (interned into `pool`).
+  NodeId AddLeaf(NodeId parent, std::string_view var_name, prov::VarPool* pool);
+
+  /// Assigns the variable of a childless node (used by the tree parser,
+  /// which discovers leaves only once the whole outline is read).
+  void SetLeafVar(NodeId id, prov::VarId var);
+
+  /// Number of nodes.
+  std::size_t size() const { return nodes_.size(); }
+
+  /// True when AddRoot has been called.
+  bool HasRoot() const { return !nodes_.empty(); }
+
+  NodeId root() const { return 0; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// Depth of `id` (root = 0).
+  std::size_t Depth(NodeId id) const;
+
+  /// Maximum leaf depth.
+  std::size_t MaxDepth() const;
+
+  /// Ids of all leaves, in DFS order.
+  std::vector<NodeId> Leaves() const;
+
+  /// Ids of all leaves under `id`, in DFS order.
+  std::vector<NodeId> LeavesUnder(NodeId id) const;
+
+  /// Node ids in post-order (children before parents).
+  std::vector<NodeId> PostOrder() const;
+
+  /// The node named `name`, or kNoNode.
+  NodeId FindByName(std::string_view name) const;
+
+  /// The leaf carrying `var`, or kNoNode.
+  NodeId FindLeafByVar(prov::VarId var) const;
+
+  /// Number of distinct cuts of the tree:
+  /// `C(leaf) = 1`, `C(v) = 1 + Π C(child)`, saturating at 2^62.
+  std::uint64_t CountCuts() const;
+
+  /// Checks all structural invariants.
+  util::Status Validate() const;
+
+  /// Renders an indented outline of the tree.
+  std::string ToString() const;
+
+ private:
+  std::uint64_t CountCutsAt(NodeId id) const;
+
+  std::vector<Node> nodes_;
+};
+
+/// Parses the indentation-based tree format used throughout the repo:
+///
+///     Plans
+///       Standard
+///         p1
+///         p2
+///       Business
+///         SB
+///           b1
+///           b2
+///         e
+///
+/// Each line is one node; indentation (spaces, two per level recommended but
+/// any consistent deepening works) gives the parent; nodes without children
+/// are leaves and their names are interned as variables in `pool`. Blank
+/// lines and `#` comments are ignored.
+util::Result<AbstractionTree> ParseTree(std::string_view text,
+                                        prov::VarPool* pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_TREE_H_

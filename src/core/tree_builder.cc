@@ -1,0 +1,109 @@
+#include "core/tree_builder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace cobra::core {
+
+util::Result<AbstractionTree> BuildTreeFromEdges(
+    const std::vector<HierarchyEdge>& edges, prov::VarPool* pool) {
+  if (edges.empty()) {
+    return util::Status::InvalidArgument("no hierarchy edges given");
+  }
+  // Order-preserving children map and parent counts.
+  std::unordered_map<std::string, std::vector<std::string>> children;
+  std::unordered_map<std::string, std::string> parent_of;
+  std::vector<std::string> order;  // nodes by first appearance
+  auto note = [&order, &children](const std::string& name) {
+    if (children.find(name) == children.end()) {
+      children.emplace(name, std::vector<std::string>{});
+      order.push_back(name);
+    }
+  };
+  for (const HierarchyEdge& edge : edges) {
+    if (edge.parent.empty() || edge.child.empty()) {
+      return util::Status::InvalidArgument("edge with empty node name");
+    }
+    if (edge.parent == edge.child) {
+      return util::Status::InvalidArgument("self-edge on " + edge.parent);
+    }
+    note(edge.parent);
+    note(edge.child);
+    auto [it, inserted] = parent_of.emplace(edge.child, edge.parent);
+    if (!inserted) {
+      if (it->second == edge.parent) continue;  // duplicate edge: ignore
+      return util::Status::InvalidArgument("node " + edge.child +
+                                           " has two parents");
+    }
+    children[edge.parent].push_back(edge.child);
+  }
+  // Find the root.
+  std::string root;
+  for (const std::string& name : order) {
+    if (parent_of.find(name) == parent_of.end()) {
+      if (!root.empty()) {
+        return util::Status::InvalidArgument("two roots: " + root + " and " +
+                                             name);
+      }
+      root = name;
+    }
+  }
+  if (root.empty()) {
+    return util::Status::InvalidArgument("no root (the edges form a cycle)");
+  }
+
+  // Build by DFS from the root; count visited nodes to detect disconnected
+  // cycles (nodes unreachable from the root).
+  AbstractionTree tree;
+  struct Frame {
+    std::string name;
+    NodeId parent;
+  };
+  std::vector<Frame> stack{{root, kNoNode}};
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    ++visited;
+    NodeId id = frame.parent == kNoNode
+                    ? tree.AddRoot(frame.name)
+                    : tree.AddChild(frame.parent, frame.name);
+    const std::vector<std::string>& kids = children[frame.name];
+    if (kids.empty()) {
+      tree.SetLeafVar(id, pool->Intern(frame.name));
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, id});
+    }
+  }
+  if (visited != order.size()) {
+    return util::Status::InvalidArgument(
+        "hierarchy contains nodes unreachable from the root (cycle?)");
+  }
+  COBRA_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+util::Result<AbstractionTree> BuildTreeFromCsv(std::string_view csv_text,
+                                               prov::VarPool* pool) {
+  util::Result<util::CsvDocument> doc = util::ParseCsv(csv_text);
+  if (!doc.ok()) return doc.status();
+  if (doc->header.size() < 2 ||
+      !util::EqualsIgnoreCase(util::Trim(doc->header[0]), "parent") ||
+      !util::EqualsIgnoreCase(util::Trim(doc->header[1]), "child")) {
+    return util::Status::InvalidArgument(
+        "hierarchy CSV must start with a 'parent,child' header");
+  }
+  std::vector<HierarchyEdge> edges;
+  edges.reserve(doc->rows.size());
+  for (const auto& row : doc->rows) {
+    edges.push_back({std::string(util::Trim(row[0])),
+                     std::string(util::Trim(row[1]))});
+  }
+  return BuildTreeFromEdges(edges, pool);
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,39 @@
+#ifndef COBRA_CORE_TREE_BUILDER_H_
+#define COBRA_CORE_TREE_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tree.h"
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// One parent-child edge of an ontology.
+struct HierarchyEdge {
+  std::string parent;
+  std::string child;
+};
+
+/// Builds an abstraction tree from parent-child edges — the natural way to
+/// import an existing ontology (the paper: "abstraction trees may be
+/// obtained by leveraging existing ontologies on the annotated data").
+///
+/// Requirements checked: exactly one root (a parent that never appears as a
+/// child), every node except the root has exactly one parent, no cycles,
+/// and names are unique. Nodes that never appear as parents become leaves
+/// and their names are interned as variables in `pool`. Children keep the
+/// order of first appearance in `edges`.
+util::Result<AbstractionTree> BuildTreeFromEdges(
+    const std::vector<HierarchyEdge>& edges, prov::VarPool* pool);
+
+/// Builds the edges from CSV text with a `parent,child` header (extra
+/// columns are ignored), then delegates to BuildTreeFromEdges.
+util::Result<AbstractionTree> BuildTreeFromCsv(std::string_view csv_text,
+                                               prov::VarPool* pool);
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_TREE_BUILDER_H_

@@ -1,0 +1,75 @@
+#ifndef COBRA_DATA_DATES_H_
+#define COBRA_DATA_DATES_H_
+
+#include <cstdint>
+
+namespace cobra::data {
+
+/// Minimal proleptic-Gregorian date arithmetic for the TPC-H generator.
+/// Dates are stored in columns as INT64 `yyyymmdd` (comparison-friendly);
+/// serial day numbers (days since 1970-01-01) support date + N days.
+
+/// Days since 1970-01-01 for a civil date (standard civil-calendar
+/// conversion, valid far beyond the TPC-H 1992–1998 window).
+constexpr std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<std::int64_t>(doe) - 719468LL;
+}
+
+/// Inverse of DaysFromCivil.
+constexpr void CivilFromDays(std::int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+/// Packs a civil date into `yyyymmdd`.
+constexpr std::int64_t PackDate(int y, int m, int d) {
+  return static_cast<std::int64_t>(y) * 10000 + m * 100 + d;
+}
+
+/// `yyyymmdd` for a serial day number.
+constexpr std::int64_t PackFromSerial(std::int64_t serial) {
+  int y = 0, m = 0, d = 0;
+  CivilFromDays(serial, &y, &m, &d);
+  return PackDate(y, m, d);
+}
+
+/// Serial day number for a packed `yyyymmdd`.
+constexpr std::int64_t SerialFromPack(std::int64_t packed) {
+  return DaysFromCivil(static_cast<int>(packed / 10000),
+                       static_cast<int>((packed / 100) % 100),
+                       static_cast<int>(packed % 100));
+}
+
+/// Adds `days` to a packed date.
+constexpr std::int64_t AddDays(std::int64_t packed, std::int64_t days) {
+  return PackFromSerial(SerialFromPack(packed) + days);
+}
+
+/// Year of a packed date.
+constexpr int YearOf(std::int64_t packed) {
+  return static_cast<int>(packed / 10000);
+}
+
+/// Month (1-12) of a packed date.
+constexpr int MonthOf(std::int64_t packed) {
+  return static_cast<int>((packed / 100) % 100);
+}
+
+}  // namespace cobra::data
+
+#endif  // COBRA_DATA_DATES_H_

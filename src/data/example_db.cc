@@ -1,0 +1,111 @@
+#include "data/example_db.h"
+
+#include "rel/instrument.h"
+
+namespace cobra::data {
+
+const char kExampleRevenueQuery[] =
+    "SELECT Zip, SUM(Calls.Dur * Plans.Price) "
+    "FROM Calls, Cust, Plans "
+    "WHERE Cust.Plan = Plans.Plan "
+    "AND Cust.ID = Calls.CID "
+    "AND Calls.Mo = Plans.Mo "
+    "GROUP BY Cust.Zip";
+
+const char kFigure2TreeText[] = R"(Plans
+  Business
+    SB
+      b1
+      b2
+    e
+  Special
+    F
+      f1
+      f2
+    Y
+      y1
+      y2
+      y3
+    v
+  Standard
+    p1
+    p2
+)";
+
+const char kExamplePolynomialsText[] = R"(
+P1 = 208.8 * p1 * m1 + 240 * p1 * m3 + 127.4 * f1 * m1 + 114.45 * f1 * m3 + 75.9 * y1 * m1 + 72.5 * y1 * m3 + 42 * v * m1 + 24.2 * v * m3
+P2 = 77.9 * b1 * m1 + 80.5 * b1 * m3 + 52.2 * e * m1 + 56.5 * e * m3 + 69.7 * b2 * m1 + 100.65 * b2 * m3
+)";
+
+rel::Database BuildExampleDatabase() {
+  rel::Database db;
+
+  // Cust(ID, Plan, Zip) — Figure 1, left table.
+  rel::Table cust(rel::Schema("Cust", {{"ID", rel::Type::kInt64},
+                                       {"Plan", rel::Type::kString},
+                                       {"Zip", rel::Type::kInt64}}));
+  struct CustRow {
+    std::int64_t id;
+    const char* plan;
+    std::int64_t zip;
+  };
+  constexpr CustRow kCust[] = {{1, "A", 10001},   {2, "F1", 10001},
+                               {3, "SB1", 10002}, {4, "Y1", 10001},
+                               {5, "V", 10001},   {6, "E", 10002},
+                               {7, "SB2", 10002}};
+  for (const CustRow& r : kCust) {
+    cust.AppendRow({rel::Value(r.id), rel::Value(r.plan), rel::Value(r.zip)});
+  }
+  db.AddTable("Cust", std::move(cust)).CheckOK();
+
+  // Calls(CID, Mo, Dur) — months 1 and 3, durations from Figure 1.
+  rel::Table calls(rel::Schema("Calls", {{"CID", rel::Type::kInt64},
+                                         {"Mo", rel::Type::kInt64},
+                                         {"Dur", rel::Type::kInt64}}));
+  struct CallRow {
+    std::int64_t cid, mo, dur;
+  };
+  constexpr CallRow kCalls[] = {
+      {1, 1, 522}, {2, 1, 364}, {3, 1, 779},  {4, 1, 253},
+      {5, 1, 168}, {6, 1, 1044}, {7, 1, 697},
+      {1, 3, 480}, {2, 3, 327}, {3, 3, 805},  {4, 3, 290},
+      {5, 3, 121}, {6, 3, 1130}, {7, 3, 671}};
+  for (const CallRow& r : kCalls) {
+    calls.AppendRow({rel::Value(r.cid), rel::Value(r.mo), rel::Value(r.dur)});
+  }
+  db.AddTable("Calls", std::move(calls)).CheckOK();
+
+  // Plans(Plan, Mo, Price) — price per minute, per month, from Figure 1.
+  rel::Table plans(rel::Schema("Plans", {{"Plan", rel::Type::kString},
+                                         {"Mo", rel::Type::kInt64},
+                                         {"Price", rel::Type::kDouble}}));
+  struct PlanRow {
+    const char* plan;
+    std::int64_t mo;
+    double price;
+  };
+  constexpr PlanRow kPlans[] = {
+      {"A", 1, 0.4},   {"F1", 1, 0.35}, {"Y1", 1, 0.3},  {"V", 1, 0.25},
+      {"SB1", 1, 0.1}, {"SB2", 1, 0.1}, {"E", 1, 0.05},
+      {"A", 3, 0.5},   {"F1", 3, 0.35}, {"Y1", 3, 0.25}, {"V", 3, 0.2},
+      {"SB1", 3, 0.1}, {"SB2", 3, 0.15}, {"E", 3, 0.05}};
+  for (const PlanRow& r : kPlans) {
+    plans.AppendRow({rel::Value(r.plan), rel::Value(r.mo), rel::Value(r.price)});
+  }
+  db.AddTable("Plans", std::move(plans)).CheckOK();
+
+  return db;
+}
+
+util::Status InstrumentExampleDb(rel::Database* db) {
+  // Plan variables use the paper's names (Example 2).
+  COBRA_RETURN_IF_ERROR(rel::InstrumentByDictionary(
+      db, "Plans", "Plan",
+      {{"A", "p1"}, {"B", "p2"}, {"F1", "f1"}, {"F2", "f2"}, {"Y1", "y1"},
+       {"Y2", "y2"}, {"Y3", "y3"}, {"V", "v"}, {"SB1", "b1"}, {"SB2", "b2"},
+       {"E", "e"}}));
+  // Month variables m1, m3.
+  return rel::InstrumentByColumns(db, "Plans", {{"Mo", "m"}});
+}
+
+}  // namespace cobra::data

@@ -1,0 +1,43 @@
+#ifndef COBRA_DATA_EXAMPLE_DB_H_
+#define COBRA_DATA_EXAMPLE_DB_H_
+
+#include <string>
+
+#include "rel/database.h"
+#include "util/status.h"
+
+namespace cobra::data {
+
+/// Builds the running-example telephony database of Figure 1: seven
+/// customers in two zip codes, calls for months 1 and 3, and the Plans
+/// table with the exact per-month prices printed in the paper. With the
+/// standard instrumentation (`InstrumentExampleDb`) the revenue query of
+/// Example 1 produces exactly the polynomials P1 and P2 of Example 2.
+///
+/// Tables:
+///   Cust(ID INT64, Plan STRING, Zip INT64)
+///   Calls(CID INT64, Mo INT64, Dur INT64)
+///   Plans(Plan STRING, Mo INT64, Price DOUBLE)
+rel::Database BuildExampleDatabase();
+
+/// Instruments the Plans table of the example database per Example 2:
+/// each row's annotation becomes `plan_var * month_var`, with plan
+/// variables named as in the paper (A->p1, F1->f1, Y1->y1, V->v, SB1->b1,
+/// SB2->b2, E->e) and month variables m1, m3.
+util::Status InstrumentExampleDb(rel::Database* db);
+
+/// The revenue query of Example 1 (verbatim modulo whitespace).
+extern const char kExampleRevenueQuery[];
+
+/// The abstraction tree of Figure 2 in the indented text format:
+/// Plans / {Business {SB {b1,b2}, e}, Special {F {f1,f2}, Y {y1,y2,y3}, v},
+/// Standard {p1,p2}}.
+extern const char kFigure2TreeText[];
+
+/// The polynomials P1 and P2 of Example 2 in the `label = poly` format,
+/// byte-for-byte the coefficients printed in the paper.
+extern const char kExamplePolynomialsText[];
+
+}  // namespace cobra::data
+
+#endif  // COBRA_DATA_EXAMPLE_DB_H_

@@ -1,0 +1,151 @@
+#include "data/telephony.h"
+
+#include "rel/instrument.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace cobra::data {
+
+const std::vector<PlanInfo>& DefaultPlans() {
+  // Figure 1 gives month-1 prices for A, F1, Y1, V, SB1, SB2, E; the
+  // remaining plans named in Example 1 (B, F2, Y2, Y3) get prices in the
+  // same band as their siblings.
+  static const std::vector<PlanInfo>* kPlans = new std::vector<PlanInfo>{
+      {"A", "p1", 0.40},   {"B", "p2", 0.45},  {"F1", "f1", 0.35},
+      {"F2", "f2", 0.32},  {"Y1", "y1", 0.30}, {"Y2", "y2", 0.28},
+      {"Y3", "y3", 0.26},  {"V", "v", 0.25},   {"SB1", "b1", 0.10},
+      {"SB2", "b2", 0.10}, {"E", "e", 0.05}};
+  return *kPlans;
+}
+
+rel::Database GenerateTelephony(const TelephonyConfig& config) {
+  COBRA_CHECK_MSG(config.num_customers > 0 && config.num_zips > 0 &&
+                      config.num_months > 0,
+                  "telephony config must be positive");
+  rel::Database db;
+  const std::vector<PlanInfo>& plans = DefaultPlans();
+  util::Rng rng(config.seed);
+
+  // Cust(ID, Plan, Zip): customers are dealt to zips round-robin; within a
+  // zip, plans are assigned round-robin (guaranteed coverage) or uniformly.
+  rel::Table cust(rel::Schema("Cust", {{"ID", rel::Type::kInt64},
+                                       {"Plan", rel::Type::kString},
+                                       {"Zip", rel::Type::kInt64}}));
+  cust.Reserve(config.num_customers);
+  {
+    auto* ids = cust.mutable_column(0)->MutableInts();
+    auto* plan_col = cust.mutable_column(1)->MutableStrings();
+    auto* zips = cust.mutable_column(2)->MutableInts();
+    std::vector<std::size_t> next_plan_in_zip(config.num_zips, 0);
+    util::Rng plan_rng = rng.Fork(1);
+    for (std::size_t i = 0; i < config.num_customers; ++i) {
+      std::size_t zip = i % config.num_zips;
+      std::size_t plan_index;
+      if (config.round_robin_plans) {
+        plan_index = next_plan_in_zip[zip]++ % plans.size();
+      } else {
+        plan_index = plan_rng.NextBelow(plans.size());
+      }
+      ids->push_back(static_cast<std::int64_t>(i + 1));
+      plan_col->push_back(plans[plan_index].plan);
+      zips->push_back(static_cast<std::int64_t>(10001 + zip));
+    }
+    cust.CommitAppendedRows(config.num_customers);
+  }
+  db.AddTable("Cust", std::move(cust)).CheckOK();
+
+  // Calls(CID, Mo, Dur): one aggregate row per customer per month.
+  rel::Table calls(rel::Schema("Calls", {{"CID", rel::Type::kInt64},
+                                         {"Mo", rel::Type::kInt64},
+                                         {"Dur", rel::Type::kInt64}}));
+  std::size_t num_calls = config.num_customers * config.num_months;
+  calls.Reserve(num_calls);
+  {
+    auto* cids = calls.mutable_column(0)->MutableInts();
+    auto* months = calls.mutable_column(1)->MutableInts();
+    auto* durs = calls.mutable_column(2)->MutableInts();
+    util::Rng dur_rng = rng.Fork(2);
+    for (std::size_t m = 1; m <= config.num_months; ++m) {
+      for (std::size_t i = 0; i < config.num_customers; ++i) {
+        cids->push_back(static_cast<std::int64_t>(i + 1));
+        months->push_back(static_cast<std::int64_t>(m));
+        durs->push_back(
+            dur_rng.NextInRange(config.min_duration, config.max_duration));
+      }
+    }
+    calls.CommitAppendedRows(num_calls);
+  }
+  db.AddTable("Calls", std::move(calls)).CheckOK();
+
+  // Plans(Plan, Mo, Price): monthly prices drift ±10% around the base,
+  // quantized to cents, never below one cent.
+  rel::Table plan_table(rel::Schema("Plans", {{"Plan", rel::Type::kString},
+                                              {"Mo", rel::Type::kInt64},
+                                              {"Price", rel::Type::kDouble}}));
+  util::Rng price_rng = rng.Fork(3);
+  for (std::size_t m = 1; m <= config.num_months; ++m) {
+    for (const PlanInfo& p : plans) {
+      double drift = price_rng.NextDoubleInRange(0.9, 1.1);
+      double price = p.base_price * drift;
+      price = std::max(0.01, static_cast<double>(static_cast<int>(price * 100)) / 100.0);
+      plan_table.AppendRow({rel::Value(p.plan),
+                            rel::Value(static_cast<std::int64_t>(m)),
+                            rel::Value(price)});
+    }
+  }
+  db.AddTable("Plans", std::move(plan_table)).CheckOK();
+
+  return db;
+}
+
+util::Status InstrumentTelephony(rel::Database* db) {
+  std::vector<std::pair<std::string, std::string>> dict;
+  for (const PlanInfo& p : DefaultPlans()) dict.emplace_back(p.plan, p.variable);
+  COBRA_RETURN_IF_ERROR(
+      rel::InstrumentByDictionary(db, "Plans", "Plan", dict));
+  return rel::InstrumentByColumns(db, "Plans", {{"Mo", "m"}});
+}
+
+std::string TelephonyRevenueQuery() {
+  return "SELECT Zip, SUM(Calls.Dur * Plans.Price) AS revenue "
+         "FROM Calls, Cust, Plans "
+         "WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID "
+         "AND Calls.Mo = Plans.Mo "
+         "GROUP BY Cust.Zip";
+}
+
+std::string TelephonyPlanTreeText() {
+  return "Plans\n"
+         "  Business\n"
+         "    SB\n"
+         "      b1\n"
+         "      b2\n"
+         "    e\n"
+         "  Special\n"
+         "    F\n"
+         "      f1\n"
+         "      f2\n"
+         "    Y\n"
+         "      y1\n"
+         "      y2\n"
+         "      y3\n"
+         "    v\n"
+         "  Standard\n"
+         "    p1\n"
+         "    p2\n";
+}
+
+std::string MonthQuarterTreeText(std::size_t num_months) {
+  COBRA_CHECK_MSG(num_months % 3 == 0,
+                  "quarter tree needs a multiple of 3 months");
+  std::string out = "Months\n";
+  for (std::size_t q = 0; q < num_months / 3; ++q) {
+    out += util::StrFormat("  q%zu\n", q + 1);
+    for (std::size_t m = q * 3 + 1; m <= q * 3 + 3; ++m) {
+      out += util::StrFormat("    m%zu\n", m);
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::data

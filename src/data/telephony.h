@@ -1,0 +1,73 @@
+#ifndef COBRA_DATA_TELEPHONY_H_
+#define COBRA_DATA_TELEPHONY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rel/database.h"
+#include "util/status.h"
+
+namespace cobra::data {
+
+/// Configuration of the scalable telephony workload (Section 4).
+///
+/// The defaults are calibrated to the paper's headline experiment: with 11
+/// plan variables (the leaves of the Figure 2 tree), 12 months and 1055 zip
+/// codes, and guaranteed coverage of every (zip, plan, month) combination,
+/// the revenue query yields exactly `1055 * 11 * 12 = 139,260` monomials —
+/// the provenance size quoted in the paper. Coverage (and therefore the
+/// polynomial counts) is independent of the customer count once every zip
+/// holds at least one customer per plan; the paper uses 1,000,000 customers.
+struct TelephonyConfig {
+  std::size_t num_customers = 1'000'000;
+  std::size_t num_zips = 1055;
+  std::size_t num_months = 12;
+  std::uint64_t seed = 42;
+
+  /// Calls per customer per month (duration drawn uniformly).
+  std::int64_t min_duration = 30;
+  std::int64_t max_duration = 1200;
+
+  /// When true (default), plans are assigned round-robin within each zip so
+  /// that every zip is guaranteed to contain every plan — making the
+  /// provenance size deterministic. When false, plans are drawn uniformly
+  /// at random (coverage then holds with overwhelming probability at the
+  /// default scale, but is not guaranteed).
+  bool round_robin_plans = true;
+};
+
+/// One calling plan: display name, paper variable name, base price/min.
+struct PlanInfo {
+  std::string plan;      ///< e.g. "SB1".
+  std::string variable;  ///< e.g. "b1".
+  double base_price;     ///< Price per minute in month 1.
+};
+
+/// The eleven plans of the running example (Figure 2 leaves), with the
+/// Figure 1 month-1 prices (plans missing from Figure 1 get plausible ones).
+const std::vector<PlanInfo>& DefaultPlans();
+
+/// Generates the telephony database:
+///   Cust(ID, Plan, Zip), Calls(CID, Mo, Dur), Plans(Plan, Mo, Price).
+/// Plans prices drift month over month deterministically from the seed.
+rel::Database GenerateTelephony(const TelephonyConfig& config);
+
+/// Instruments Plans rows with `plan_var * month_var` annotations (plan
+/// variables from DefaultPlans(), month variables m1..m<num_months>), as in
+/// Example 2.
+util::Status InstrumentTelephony(rel::Database* db);
+
+/// The revenue-per-zip SQL query of Example 1.
+std::string TelephonyRevenueQuery();
+
+/// The Figure 2 plan tree (11 leaves) in indented text format.
+std::string TelephonyPlanTreeText();
+
+/// A month→quarter abstraction tree (Section 4: q1..q4 group m1..m12) for
+/// `num_months` months (must be a multiple of 3 for full quarters).
+std::string MonthQuarterTreeText(std::size_t num_months);
+
+}  // namespace cobra::data
+
+#endif  // COBRA_DATA_TELEPHONY_H_

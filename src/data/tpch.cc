@@ -1,0 +1,263 @@
+#include "data/tpch.h"
+
+#include <algorithm>
+
+#include "data/dates.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/str.h"
+
+namespace cobra::data {
+
+namespace {
+
+// The five regions and twenty-five nations fixed by the TPC-H schema.
+constexpr const char* kRegions[kTpchNumRegions] = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  std::size_t region;
+};
+constexpr NationDef kNations[kTpchNumNations] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+
+constexpr const char* kTypes[] = {
+    "STANDARD ANODIZED TIN",  "SMALL BURNISHED COPPER",
+    "MEDIUM POLISHED BRASS",  "LARGE PLATED STEEL",
+    "ECONOMY BRUSHED NICKEL", "PROMO ANODIZED STEEL",
+    "STANDARD PLATED COPPER", "SMALL POLISHED TIN",
+    "MEDIUM BURNISHED NICKEL", "LARGE BRUSHED BRASS"};
+
+constexpr const char* kNouns[] = {"almond", "antique", "aquamarine", "azure",
+                                  "beige",  "bisque",  "blanched",   "blush",
+                                  "burlywood", "chartreuse", "chiffon",
+                                  "coral",  "cornflower", "cream", "dark"};
+
+constexpr std::int64_t kStartDate = 19920101;  // o_orderdate low bound
+constexpr std::int64_t kEndDate = 19980802;    // o_orderdate high bound
+constexpr std::int64_t kCurrentDate = 19950617;  // l_linestatus split
+
+}  // namespace
+
+const char* TpchRegionName(std::size_t regionkey) {
+  COBRA_CHECK(regionkey < kTpchNumRegions);
+  return kRegions[regionkey];
+}
+
+const char* TpchNationName(std::size_t nationkey) {
+  COBRA_CHECK(nationkey < kTpchNumNations);
+  return kNations[nationkey].name;
+}
+
+std::size_t TpchNationRegion(std::size_t nationkey) {
+  COBRA_CHECK(nationkey < kTpchNumNations);
+  return kNations[nationkey].region;
+}
+
+rel::Database GenerateTpch(const TpchConfig& config) {
+  rel::Database db;
+  util::Rng rng(config.seed);
+  const std::size_t num_suppliers = config.NumSuppliers();
+  const std::size_t num_customers = config.NumCustomers();
+  const std::size_t num_parts = config.NumParts();
+  const std::size_t num_orders = config.NumOrders();
+  const std::int64_t start_serial = SerialFromPack(kStartDate);
+  const std::int64_t end_serial = SerialFromPack(kEndDate);
+
+  // region
+  {
+    rel::Table t(rel::Schema("region", {{"r_regionkey", rel::Type::kInt64},
+                                        {"r_name", rel::Type::kString}}));
+    for (std::size_t r = 0; r < kTpchNumRegions; ++r) {
+      t.AppendRow({rel::Value(static_cast<std::int64_t>(r)),
+                   rel::Value(kRegions[r])});
+    }
+    db.AddTable("region", std::move(t)).CheckOK();
+  }
+
+  // nation
+  {
+    rel::Table t(rel::Schema("nation", {{"n_nationkey", rel::Type::kInt64},
+                                        {"n_name", rel::Type::kString},
+                                        {"n_regionkey", rel::Type::kInt64}}));
+    for (std::size_t n = 0; n < kTpchNumNations; ++n) {
+      t.AppendRow({rel::Value(static_cast<std::int64_t>(n)),
+                   rel::Value(kNations[n].name),
+                   rel::Value(static_cast<std::int64_t>(kNations[n].region))});
+    }
+    db.AddTable("nation", std::move(t)).CheckOK();
+  }
+
+  // supplier
+  {
+    rel::Table t(rel::Schema("supplier", {{"s_suppkey", rel::Type::kInt64},
+                                          {"s_name", rel::Type::kString},
+                                          {"s_nationkey", rel::Type::kInt64},
+                                          {"s_acctbal", rel::Type::kDouble}}));
+    util::Rng r = rng.Fork(11);
+    t.Reserve(num_suppliers);
+    for (std::size_t i = 1; i <= num_suppliers; ++i) {
+      t.AppendRow({rel::Value(static_cast<std::int64_t>(i)),
+                   rel::Value(util::StrFormat("Supplier#%09zu", i)),
+                   rel::Value(static_cast<std::int64_t>(
+                       r.NextBelow(kTpchNumNations))),
+                   rel::Value(r.NextDoubleInRange(-999.99, 9999.99))});
+    }
+    db.AddTable("supplier", std::move(t)).CheckOK();
+  }
+
+  // customer
+  {
+    rel::Table t(rel::Schema("customer",
+                             {{"c_custkey", rel::Type::kInt64},
+                              {"c_name", rel::Type::kString},
+                              {"c_nationkey", rel::Type::kInt64},
+                              {"c_mktsegment", rel::Type::kString},
+                              {"c_acctbal", rel::Type::kDouble}}));
+    util::Rng r = rng.Fork(12);
+    t.Reserve(num_customers);
+    for (std::size_t i = 1; i <= num_customers; ++i) {
+      t.AppendRow({rel::Value(static_cast<std::int64_t>(i)),
+                   rel::Value(util::StrFormat("Customer#%09zu", i)),
+                   rel::Value(static_cast<std::int64_t>(
+                       r.NextBelow(kTpchNumNations))),
+                   rel::Value(kSegments[r.NextBelow(5)]),
+                   rel::Value(r.NextDoubleInRange(-999.99, 9999.99))});
+    }
+    db.AddTable("customer", std::move(t)).CheckOK();
+  }
+
+  // part; retail price follows the spec's deterministic formula.
+  std::vector<double> retail_price(num_parts + 1, 0.0);
+  {
+    rel::Table t(rel::Schema("part", {{"p_partkey", rel::Type::kInt64},
+                                      {"p_name", rel::Type::kString},
+                                      {"p_brand", rel::Type::kString},
+                                      {"p_type", rel::Type::kString},
+                                      {"p_retailprice", rel::Type::kDouble}}));
+    util::Rng r = rng.Fork(13);
+    t.Reserve(num_parts);
+    for (std::size_t i = 1; i <= num_parts; ++i) {
+      double price =
+          (90000.0 + static_cast<double>((i / 10) % 20001) +
+           100.0 * static_cast<double>(i % 1000)) /
+          100.0;
+      retail_price[i] = price;
+      std::string name = std::string(kNouns[r.NextBelow(15)]) + " " +
+                         kNouns[r.NextBelow(15)];
+      std::string brand = util::StrFormat("Brand#%zu%zu", r.NextBelow(5) + 1,
+                                          r.NextBelow(5) + 1);
+      t.AppendRow({rel::Value(static_cast<std::int64_t>(i)),
+                   rel::Value(std::move(name)), rel::Value(std::move(brand)),
+                   rel::Value(kTypes[r.NextBelow(10)]), rel::Value(price)});
+    }
+    db.AddTable("part", std::move(t)).CheckOK();
+  }
+
+  // partsupp: four suppliers per part, spread per the spec's stride rule.
+  {
+    rel::Table t(rel::Schema("partsupp",
+                             {{"ps_partkey", rel::Type::kInt64},
+                              {"ps_suppkey", rel::Type::kInt64},
+                              {"ps_supplycost", rel::Type::kDouble}}));
+    util::Rng r = rng.Fork(14);
+    t.Reserve(num_parts * 4);
+    const std::size_t s = num_suppliers;
+    for (std::size_t p = 1; p <= num_parts; ++p) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        std::size_t supp = (p + j * (s / 4 + (p - 1) / s)) % s + 1;
+        t.AppendRow({rel::Value(static_cast<std::int64_t>(p)),
+                     rel::Value(static_cast<std::int64_t>(supp)),
+                     rel::Value(r.NextDoubleInRange(1.0, 1000.0))});
+      }
+    }
+    db.AddTable("partsupp", std::move(t)).CheckOK();
+  }
+
+  // orders + lineitem
+  {
+    rel::Table orders(rel::Schema("orders",
+                                  {{"o_orderkey", rel::Type::kInt64},
+                                   {"o_custkey", rel::Type::kInt64},
+                                   {"o_orderdate", rel::Type::kInt64},
+                                   {"o_shippriority", rel::Type::kInt64}}));
+    rel::Table lineitem(
+        rel::Schema("lineitem", {{"l_orderkey", rel::Type::kInt64},
+                                 {"l_linenumber", rel::Type::kInt64},
+                                 {"l_partkey", rel::Type::kInt64},
+                                 {"l_suppkey", rel::Type::kInt64},
+                                 {"l_quantity", rel::Type::kInt64},
+                                 {"l_extendedprice", rel::Type::kDouble},
+                                 {"l_discount", rel::Type::kDouble},
+                                 {"l_tax", rel::Type::kDouble},
+                                 {"l_returnflag", rel::Type::kString},
+                                 {"l_linestatus", rel::Type::kString},
+                                 {"l_shipdate", rel::Type::kInt64},
+                                 {"l_commitdate", rel::Type::kInt64},
+                                 {"l_receiptdate", rel::Type::kInt64}}));
+    util::Rng r = rng.Fork(15);
+    orders.Reserve(num_orders);
+    lineitem.Reserve(num_orders * 4);
+    const std::size_t s = num_suppliers;
+    std::size_t lines_total = 0;
+    for (std::size_t o = 1; o <= num_orders; ++o) {
+      std::int64_t order_serial =
+          start_serial +
+          r.NextInRange(0, end_serial - start_serial - 151);
+      std::int64_t orderdate = PackFromSerial(order_serial);
+      orders.AppendRow(
+          {rel::Value(static_cast<std::int64_t>(o)),
+           rel::Value(static_cast<std::int64_t>(r.NextBelow(num_customers) + 1)),
+           rel::Value(orderdate), rel::Value(std::int64_t{0})});
+      std::size_t num_lines = static_cast<std::size_t>(r.NextInRange(1, 7));
+      for (std::size_t l = 1; l <= num_lines; ++l) {
+        std::size_t partkey = r.NextBelow(num_parts) + 1;
+        std::size_t j = r.NextBelow(4);
+        std::size_t suppkey = (partkey + j * (s / 4 + (partkey - 1) / s)) % s + 1;
+        std::int64_t quantity = r.NextInRange(1, 50);
+        double extendedprice =
+            static_cast<double>(quantity) * retail_price[partkey];
+        double discount =
+            static_cast<double>(r.NextInRange(0, 10)) / 100.0;
+        double tax = static_cast<double>(r.NextInRange(0, 8)) / 100.0;
+        std::int64_t ship_serial = order_serial + r.NextInRange(1, 121);
+        std::int64_t commit_serial = order_serial + r.NextInRange(30, 90);
+        std::int64_t receipt_serial = ship_serial + r.NextInRange(1, 30);
+        std::int64_t shipdate = PackFromSerial(ship_serial);
+        std::int64_t receiptdate = PackFromSerial(receipt_serial);
+        const char* returnflag =
+            receiptdate <= kCurrentDate ? (r.NextBool(0.5) ? "R" : "A") : "N";
+        const char* linestatus = shipdate > kCurrentDate ? "O" : "F";
+        lineitem.AppendRow(
+            {rel::Value(static_cast<std::int64_t>(o)),
+             rel::Value(static_cast<std::int64_t>(l)),
+             rel::Value(static_cast<std::int64_t>(partkey)),
+             rel::Value(static_cast<std::int64_t>(suppkey)),
+             rel::Value(quantity), rel::Value(extendedprice),
+             rel::Value(discount), rel::Value(tax), rel::Value(returnflag),
+             rel::Value(linestatus), rel::Value(shipdate),
+             rel::Value(PackFromSerial(commit_serial)),
+             rel::Value(receiptdate)});
+        ++lines_total;
+      }
+    }
+    db.AddTable("orders", std::move(orders)).CheckOK();
+    db.AddTable("lineitem", std::move(lineitem)).CheckOK();
+  }
+
+  return db;
+}
+
+}  // namespace cobra::data

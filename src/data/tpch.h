@@ -1,0 +1,65 @@
+#ifndef COBRA_DATA_TPCH_H_
+#define COBRA_DATA_TPCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rel/database.h"
+
+namespace cobra::data {
+
+/// Configuration of the in-repo TPC-H-style data generator.
+///
+/// The official dbgen tool is an external dependency, so this repo ships a
+/// deterministic substitute implementing the TPC-H schema, key structure
+/// and (simplified) value distributions from the public specification. The
+/// COBRA experiments depend only on the *provenance shape* — join fan-out,
+/// number of groups, hierarchy sizes — which the substitute preserves; see
+/// DESIGN.md §6 for the substitution rationale.
+struct TpchConfig {
+  /// Scale factor; 1.0 would mean ~6M lineitems. Tests use 0.01, the E4
+  /// bench uses 0.1 by default.
+  double scale_factor = 0.01;
+  std::uint64_t seed = 7;
+
+  std::size_t NumSuppliers() const { return Scaled(10'000); }
+  std::size_t NumCustomers() const { return Scaled(150'000); }
+  std::size_t NumParts() const { return Scaled(200'000); }
+  std::size_t NumOrders() const { return Scaled(1'500'000); }
+
+ private:
+  std::size_t Scaled(std::size_t base) const {
+    double n = static_cast<double>(base) * scale_factor;
+    return n < 1.0 ? 1 : static_cast<std::size_t>(n);
+  }
+};
+
+/// Generates the eight TPC-H tables:
+///   region(r_regionkey, r_name)
+///   nation(n_nationkey, n_name, n_regionkey)
+///   supplier(s_suppkey, s_name, s_nationkey, s_acctbal)
+///   customer(c_custkey, c_name, c_nationkey, c_mktsegment, c_acctbal)
+///   part(p_partkey, p_name, p_brand, p_type, p_retailprice)
+///   partsupp(ps_partkey, ps_suppkey, ps_supplycost)
+///   orders(o_orderkey, o_custkey, o_orderdate, o_shippriority)
+///   lineitem(l_orderkey, l_linenumber, l_partkey, l_suppkey, l_quantity,
+///            l_extendedprice, l_discount, l_tax, l_returnflag,
+///            l_linestatus, l_shipdate, l_commitdate, l_receiptdate)
+/// Dates are packed INT64 yyyymmdd. All content is deterministic in
+/// `config.seed`.
+rel::Database GenerateTpch(const TpchConfig& config);
+
+/// Number of regions (5) and nations (25) — fixed by the specification.
+constexpr std::size_t kTpchNumRegions = 5;
+constexpr std::size_t kTpchNumNations = 25;
+
+/// Region name by key (0..4).
+const char* TpchRegionName(std::size_t regionkey);
+
+/// Nation name by key (0..24) and its region key.
+const char* TpchNationName(std::size_t nationkey);
+std::size_t TpchNationRegion(std::size_t nationkey);
+
+}  // namespace cobra::data
+
+#endif  // COBRA_DATA_TPCH_H_

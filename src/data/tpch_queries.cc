@@ -1,0 +1,214 @@
+#include "data/tpch_queries.h"
+
+#include "data/dates.h"
+#include "data/tpch.h"
+#include "rel/instrument.h"
+#include "util/str.h"
+
+namespace cobra::data {
+
+std::vector<TpchQuerySpec> TpchQueries() {
+  std::vector<TpchQuerySpec> out;
+
+  // Q1 — pricing summary report. GROUP BY return flag and line status;
+  // several symbolic SUM aggregates. Provenance on the discounted revenue.
+  out.push_back(
+      {"Q1",
+       "Pricing summary: quantities, prices and discounted revenue per "
+       "(returnflag, linestatus)",
+       "SELECT l_returnflag, l_linestatus, "
+       "SUM(l_quantity) AS sum_qty, "
+       "SUM(l_extendedprice) AS sum_base_price, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+       "SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+       "COUNT(*) AS count_order "
+       "FROM lineitem "
+       "WHERE l_shipdate <= 19980902 "
+       "GROUP BY l_returnflag, l_linestatus",
+       ShipDateTreeText(), 2});
+
+  // Q3 — shipping-priority: top unshipped orders by revenue.
+  out.push_back(
+      {"Q3",
+       "Shipping priority: revenue of building-segment orders not yet "
+       "shipped, top 10",
+       "SELECT l_orderkey, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS revenue, "
+       "o_orderdate, o_shippriority "
+       "FROM customer, orders, lineitem "
+       "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+       "AND l_orderkey = o_orderkey AND o_orderdate < 19950315 "
+       "AND l_shipdate > 19950315 "
+       "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+       "ORDER BY revenue DESC, o_orderdate LIMIT 10",
+       ShipDateTreeText(), 0});
+
+  // Q5 — local supplier volume per nation inside one region.
+  out.push_back(
+      {"Q5",
+       "Local supplier volume: revenue by nation for ASIA-region suppliers "
+       "serving same-nation customers in 1994",
+       "SELECT n_name, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+       "FROM customer, orders, lineitem, supplier, nation, region "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+       "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+       "AND r_name = 'ASIA' "
+       "AND o_orderdate >= 19940101 AND o_orderdate < 19950101 "
+       "GROUP BY n_name "
+       "ORDER BY revenue DESC",
+       GeographyTreeText(), 0});
+
+  // Q6 — forecasting revenue change: the canonical what-if query.
+  out.push_back(
+      {"Q6",
+       "Forecast revenue change: discount revenue of mid-discount, "
+       "low-quantity 1994 lineitems",
+       "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+       "FROM lineitem "
+       "WHERE l_shipdate >= 19940101 AND l_shipdate < 19950101 "
+       "AND l_discount >= 0.05 AND l_discount <= 0.07 "
+       "AND l_quantity < 24",
+       ShipDateTreeText(), 0});
+
+  // Q10 — returned-item reporting: top customers by lost revenue.
+  out.push_back(
+      {"Q10",
+       "Returned items: revenue lost to returns per customer in 1993Q4, "
+       "top 20",
+       "SELECT c_custkey, c_name, "
+       "SUM(l_extendedprice * (1 - l_discount)) AS revenue, n_name "
+       "FROM customer, orders, lineitem, nation "
+       "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+       "AND o_orderdate >= 19931001 AND o_orderdate < 19940101 "
+       "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+       "GROUP BY c_custkey, c_name, n_name "
+       "ORDER BY revenue DESC LIMIT 20",
+       ShipDateTreeText(), 0});
+
+  return out;
+}
+
+util::Result<TpchQuerySpec> TpchQueryById(const std::string& id) {
+  for (TpchQuerySpec& spec : TpchQueries()) {
+    if (spec.id == id) return spec;
+  }
+  return util::Status::NotFound("unknown TPC-H query id: " + id);
+}
+
+std::string TpchSegmentVolumeQuery() {
+  return "SELECT c_mktsegment, "
+         "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+         "FROM customer, orders, lineitem, supplier, nation "
+         "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+         "AND l_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+         "GROUP BY c_mktsegment";
+}
+
+std::string TpchBrandRevenueQuery() {
+  return "SELECT l_returnflag, "
+         "SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+         "FROM lineitem, part "
+         "WHERE l_partkey = p_partkey "
+         "GROUP BY l_returnflag";
+}
+
+util::Status InstrumentTpchByPartBrand(rel::Database* db) {
+  util::Result<rel::AnnotatedTable*> part = db->GetMutableTable("part");
+  if (!part.ok()) return part.status();
+  util::Result<std::size_t> brand_col = (*part)->schema().Resolve("p_brand");
+  if (!brand_col.ok()) return brand_col.status();
+  std::size_t col = *brand_col;
+  return rel::InstrumentTable(
+      db, "part", [col](const rel::Table& t, std::size_t row) {
+        // "Brand#xy" -> "b_xy".
+        std::string brand = t.Get(row, col).AsString();
+        std::string suffix = brand.substr(brand.find('#') + 1);
+        return std::vector<std::string>{"b_" + suffix};
+      });
+}
+
+util::Status InstrumentTpchByShipMonth(rel::Database* db) {
+  util::Result<rel::AnnotatedTable*> lineitem = db->GetMutableTable("lineitem");
+  if (!lineitem.ok()) return lineitem.status();
+  util::Result<std::size_t> ship_col =
+      (*lineitem)->schema().Resolve("l_shipdate");
+  if (!ship_col.ok()) return ship_col.status();
+  std::size_t col = *ship_col;
+  return rel::InstrumentTable(
+      db, "lineitem", [col](const rel::Table& t, std::size_t row) {
+        std::int64_t packed = t.Get(row, col).AsInt64();
+        return std::vector<std::string>{util::StrFormat(
+            "m%04d_%02d", YearOf(packed), MonthOf(packed))};
+      });
+}
+
+util::Status InstrumentTpchBySupplierNation(rel::Database* db) {
+  util::Result<rel::AnnotatedTable*> supplier = db->GetMutableTable("supplier");
+  if (!supplier.ok()) return supplier.status();
+  util::Result<std::size_t> nation_col =
+      (*supplier)->schema().Resolve("s_nationkey");
+  if (!nation_col.ok()) return nation_col.status();
+  std::size_t col = *nation_col;
+  return rel::InstrumentTable(
+      db, "supplier", [col](const rel::Table& t, std::size_t row) {
+        std::size_t key =
+            static_cast<std::size_t>(t.Get(row, col).AsInt64());
+        std::string name = TpchNationName(key);
+        for (char& c : name) {
+          if (c == ' ') c = '_';
+        }
+        return std::vector<std::string>{"n_" + name};
+      });
+}
+
+std::string ShipDateTreeText() {
+  std::string out = "Dates\n";
+  // Orders run 1992..1998; shipments may spill into 1999 (orderdate + ~120d
+  // against the 1998-08-02 ceiling stays in 1998, but Q1's 1998-09-02
+  // threshold motivates covering 1998 fully). Months 1992-01 .. 1998-12.
+  for (int year = 1992; year <= 1998; ++year) {
+    out += util::StrFormat("  y%d\n", year);
+    for (int q = 0; q < 4; ++q) {
+      out += util::StrFormat("    %dq%d\n", year, q + 1);
+      for (int m = q * 3 + 1; m <= q * 3 + 3; ++m) {
+        out += util::StrFormat("      m%04d_%02d\n", year, m);
+      }
+    }
+  }
+  return out;
+}
+
+std::string BrandTreeText() {
+  std::string out = "Brands\n";
+  for (int mfgr = 1; mfgr <= 5; ++mfgr) {
+    out += util::StrFormat("  mfgr%d\n", mfgr);
+    for (int brand = 1; brand <= 5; ++brand) {
+      out += util::StrFormat("    b_%d%d\n", mfgr, brand);
+    }
+  }
+  return out;
+}
+
+std::string GeographyTreeText() {
+  std::string out = "World\n";
+  for (std::size_t r = 0; r < kTpchNumRegions; ++r) {
+    std::string region = TpchRegionName(r);
+    for (char& c : region) {
+      if (c == ' ') c = '_';
+    }
+    out += "  " + region + "\n";
+    for (std::size_t n = 0; n < kTpchNumNations; ++n) {
+      if (TpchNationRegion(n) != r) continue;
+      std::string nation = TpchNationName(n);
+      for (char& c : nation) {
+        if (c == ' ') c = '_';
+      }
+      out += "    n_" + nation + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::data

@@ -1,0 +1,74 @@
+#ifndef COBRA_DATA_TPCH_QUERIES_H_
+#define COBRA_DATA_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/database.h"
+#include "util/status.h"
+
+namespace cobra::data {
+
+/// One TPC-H query prepared for provenance analysis: the SQL text (in the
+/// engine's SPJA subset), the instrumentation that parameterizes it, and
+/// the natural abstraction tree over the introduced variables.
+struct TpchQuerySpec {
+  std::string id;          ///< "Q1", "Q3", "Q5", "Q6", "Q10".
+  std::string description; ///< What the query computes.
+  std::string sql;
+  std::string tree_text;   ///< Indented abstraction-tree format.
+  /// Index of the aggregate column whose provenance is compressed.
+  std::size_t provenance_agg = 0;
+};
+
+/// The supported subset of TPC-H queries (Q1, Q3, Q5, Q6, Q10), adapted to
+/// the engine's SELECT-FROM-WHERE-GROUP BY dialect (dates as yyyymmdd
+/// integers; no HAVING/EXISTS; ORDER BY/LIMIT kept where the original has
+/// them).
+std::vector<TpchQuerySpec> TpchQueries();
+
+/// Returns the spec with the given id.
+util::Result<TpchQuerySpec> TpchQueryById(const std::string& id);
+
+/// Instruments the database for the date-parameterized queries (Q1, Q3,
+/// Q6, Q10): every lineitem row is tagged with the ship-month variable
+/// `m<yyyy>_<mm>`. The matching tree is `ShipDateTreeText()`.
+util::Status InstrumentTpchByShipMonth(rel::Database* db);
+
+/// Instruments the database for the geography-parameterized query (Q5):
+/// every supplier row is tagged with its nation variable `n_<NATION>`.
+/// The matching tree is `GeographyTreeText()`.
+util::Status InstrumentTpchBySupplierNation(rel::Database* db);
+
+/// A Q5-style volume query grouped by customer market segment instead of
+/// nation. Q5 itself groups *by* nation, so each group polynomial contains
+/// one nation variable and geography abstraction cannot shrink it; this
+/// variant gives every segment a polynomial over all 25 nation variables,
+/// which is the interesting case for the geography tree (used by the E4
+/// bench and tests alongside the verbatim Q5).
+std::string TpchSegmentVolumeQuery();
+
+/// A brand-parameterized revenue query: discounted revenue per return flag
+/// with a lineitem ⋈ part join, so part-brand variables flow into every
+/// group (used with `InstrumentTpchByPartBrand` + `BrandTreeText`).
+std::string TpchBrandRevenueQuery();
+
+/// Instruments every part row with its brand variable `b_<x><y>`
+/// (TPC-H brands are "Brand#xy" with x = manufacturer 1..5, y = 1..5).
+/// The matching tree is `BrandTreeText()`.
+util::Status InstrumentTpchByPartBrand(rel::Database* db);
+
+/// Date hierarchy over ship months: Dates → y<year> → <year>q<q> → m<y>_<m>
+/// for the TPC-H window 1992–1998.
+std::string ShipDateTreeText();
+
+/// Geography hierarchy: World → region → n_<NATION> (5 regions, 25 nations).
+std::string GeographyTreeText();
+
+/// Brand hierarchy: Brands → mfgr<x> → b_<x><y> (5 manufacturers, 25
+/// brands), mirroring the TPC-H "Brand#xy = Manufacturer#x's brand y" rule.
+std::string BrandTreeText();
+
+}  // namespace cobra::data
+
+#endif  // COBRA_DATA_TPCH_QUERIES_H_

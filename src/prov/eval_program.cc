@@ -1,0 +1,49 @@
+#include "prov/eval_program.h"
+
+#include "util/status.h"
+
+namespace cobra::prov {
+
+EvalProgram::EvalProgram(const PolySet& set) {
+  std::size_t total_terms = set.TotalMonomials();
+  poly_starts_.reserve(set.size() + 1);
+  term_starts_.reserve(total_terms + 1);
+  coeffs_.reserve(total_terms);
+
+  poly_starts_.push_back(0);
+  term_starts_.push_back(0);
+  for (const Polynomial& p : set.polys()) {
+    for (const Term& t : p.terms()) {
+      coeffs_.push_back(t.coeff);
+      for (const VarPower& vp : t.monomial.powers()) {
+        if (vp.var + 1 > min_valuation_size_) {
+          min_valuation_size_ = vp.var + 1;
+        }
+        for (std::uint32_t e = 0; e < vp.exp; ++e) factors_.push_back(vp.var);
+      }
+      term_starts_.push_back(static_cast<std::uint32_t>(factors_.size()));
+    }
+    poly_starts_.push_back(static_cast<std::uint32_t>(coeffs_.size()));
+  }
+}
+
+void EvalProgram::Eval(const Valuation& valuation,
+                       std::vector<double>* out) const {
+  COBRA_CHECK_MSG(valuation.size() >= min_valuation_size_,
+                  "EvalProgram::Eval: valuation too small");
+  const double* values = valuation.values().data();
+  out->assign(NumPolys(), 0.0);
+  for (std::size_t p = 0; p + 1 < poly_starts_.size(); ++p) {
+    double sum = 0.0;
+    for (std::uint32_t t = poly_starts_[p]; t < poly_starts_[p + 1]; ++t) {
+      double prod = coeffs_[t];
+      for (std::uint32_t f = term_starts_[t]; f < term_starts_[t + 1]; ++f) {
+        prod *= values[factors_[f]];
+      }
+      sum += prod;
+    }
+    (*out)[p] = sum;
+  }
+}
+
+}  // namespace cobra::prov

@@ -1,0 +1,53 @@
+#ifndef COBRA_PROV_EVAL_PROGRAM_H_
+#define COBRA_PROV_EVAL_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "prov/poly_set.h"
+#include "prov/valuation.h"
+
+namespace cobra::prov {
+
+/// A compiled, cache-friendly form of a `PolySet` for repeated valuation.
+///
+/// The assignment phase of the paper applies many valuations to the same
+/// (possibly compressed) provenance. Walking the `Polynomial` object graph
+/// for each assignment wastes cache; `EvalProgram` flattens the whole set
+/// into three contiguous arrays (term boundaries, coefficients, variable
+/// factors with exponents expanded) so one valuation is a single linear
+/// scan. The speedups reported in EXPERIMENTS.md are measured with this
+/// evaluator for both full and compressed provenance, which makes the
+/// full-vs-compressed comparison an apples-to-apples size comparison.
+class EvalProgram {
+ public:
+  /// Compiles `set`. The program remains valid as long as VarIds are stable.
+  explicit EvalProgram(const PolySet& set);
+
+  /// Evaluates all polynomials under `valuation`; `out` is resized to the
+  /// number of polynomials.
+  void Eval(const Valuation& valuation, std::vector<double>* out) const;
+
+  /// Number of compiled polynomials.
+  std::size_t NumPolys() const { return poly_starts_.size() - 1; }
+
+  /// Total number of compiled terms (== total monomials of the source set).
+  std::size_t NumTerms() const { return coeffs_.size(); }
+
+  /// Largest VarId referenced plus one; valuations must cover this many vars.
+  std::size_t MinValuationSize() const { return min_valuation_size_; }
+
+ private:
+  // poly_starts_[p] .. poly_starts_[p+1] indexes into coeffs_/term_starts_.
+  std::vector<std::uint32_t> poly_starts_;
+  // term_starts_[t] .. term_starts_[t+1] indexes into factors_.
+  std::vector<std::uint32_t> term_starts_;
+  std::vector<double> coeffs_;
+  // Variable ids, with exponents expanded (x^3 appears three times).
+  std::vector<VarId> factors_;
+  std::size_t min_valuation_size_ = 0;
+};
+
+}  // namespace cobra::prov
+
+#endif  // COBRA_PROV_EVAL_PROGRAM_H_

@@ -1,0 +1,121 @@
+#include "prov/monomial.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace cobra::prov {
+
+Monomial Monomial::FromFactors(std::vector<VarPower> factors) {
+  std::sort(factors.begin(), factors.end(),
+            [](const VarPower& a, const VarPower& b) { return a.var < b.var; });
+  Monomial m;
+  for (const VarPower& f : factors) {
+    if (f.exp == 0) continue;
+    if (!m.powers_.empty() && m.powers_.back().var == f.var) {
+      m.powers_.back().exp += f.exp;
+    } else {
+      m.powers_.push_back(f);
+    }
+  }
+  return m;
+}
+
+Monomial Monomial::Times(const Monomial& other) const {
+  Monomial out;
+  out.powers_.reserve(powers_.size() + other.powers_.size());
+  std::size_t i = 0, j = 0;
+  while (i < powers_.size() && j < other.powers_.size()) {
+    if (powers_[i].var < other.powers_[j].var) {
+      out.powers_.push_back(powers_[i++]);
+    } else if (powers_[i].var > other.powers_[j].var) {
+      out.powers_.push_back(other.powers_[j++]);
+    } else {
+      out.powers_.push_back({powers_[i].var, powers_[i].exp + other.powers_[j].exp});
+      ++i;
+      ++j;
+    }
+  }
+  while (i < powers_.size()) out.powers_.push_back(powers_[i++]);
+  while (j < other.powers_.size()) out.powers_.push_back(other.powers_[j++]);
+  return out;
+}
+
+std::uint32_t Monomial::ExponentOf(VarId var) const {
+  for (const VarPower& p : powers_) {
+    if (p.var == var) return p.exp;
+    if (p.var > var) break;
+  }
+  return 0;
+}
+
+std::uint32_t Monomial::Degree() const {
+  std::uint32_t d = 0;
+  for (const VarPower& p : powers_) d += p.exp;
+  return d;
+}
+
+Monomial Monomial::Without(VarId var) const {
+  Monomial out;
+  out.powers_.reserve(powers_.size());
+  for (const VarPower& p : powers_) {
+    if (p.var != var) out.powers_.push_back(p);
+  }
+  return out;
+}
+
+Monomial Monomial::MapVars(const std::vector<VarId>& mapping) const {
+  std::vector<VarPower> factors;
+  factors.reserve(powers_.size());
+  for (const VarPower& p : powers_) {
+    COBRA_CHECK_MSG(p.var < mapping.size(),
+                    "Monomial::MapVars: variable outside mapping");
+    factors.push_back({mapping[p.var], p.exp});
+  }
+  return FromFactors(std::move(factors));
+}
+
+double Monomial::Eval(const std::vector<double>& values) const {
+  double out = 1.0;
+  for (const VarPower& p : powers_) {
+    COBRA_CHECK_MSG(p.var < values.size(),
+                    "Monomial::Eval: variable outside valuation");
+    double v = values[p.var];
+    for (std::uint32_t e = 0; e < p.exp; ++e) out *= v;
+  }
+  return out;
+}
+
+std::uint64_t Monomial::Hash() const {
+  std::uint64_t h = 0x517cc1b727220a95ULL;
+  for (const VarPower& p : powers_) {
+    h = util::HashCombine(h, p.var);
+    h = util::HashCombine(h, p.exp);
+  }
+  return h;
+}
+
+std::string Monomial::ToString(const VarPool& pool) const {
+  if (powers_.empty()) return "1";
+  std::string out;
+  for (std::size_t i = 0; i < powers_.size(); ++i) {
+    if (i > 0) out += " * ";
+    out += pool.Name(powers_[i].var);
+    if (powers_[i].exp > 1) {
+      out += "^";
+      out += std::to_string(powers_[i].exp);
+    }
+  }
+  return out;
+}
+
+bool Monomial::operator<(const Monomial& other) const {
+  return std::lexicographical_compare(
+      powers_.begin(), powers_.end(), other.powers_.begin(),
+      other.powers_.end(), [](const VarPower& a, const VarPower& b) {
+        if (a.var != b.var) return a.var < b.var;
+        return a.exp < b.exp;
+      });
+}
+
+}  // namespace cobra::prov

@@ -1,0 +1,98 @@
+#ifndef COBRA_PROV_MONOMIAL_H_
+#define COBRA_PROV_MONOMIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prov/variable.h"
+#include "util/hash.h"
+
+namespace cobra::prov {
+
+/// One variable with its exponent inside a monomial.
+struct VarPower {
+  VarId var;
+  std::uint32_t exp;
+
+  bool operator==(const VarPower& other) const = default;
+};
+
+/// A product of variables with positive integer exponents (no coefficient).
+///
+/// Internally a vector of `(VarId, exponent)` pairs kept sorted by `VarId`
+/// with strictly positive exponents, so equal monomials have equal
+/// representations; equality, ordering and hashing are therefore structural.
+/// The empty monomial represents the constant term `1`.
+class Monomial {
+ public:
+  /// The constant monomial (empty product).
+  Monomial() = default;
+
+  /// Builds a monomial from possibly unsorted, possibly repeated factors;
+  /// repeated variables have their exponents added, zero exponents dropped.
+  static Monomial FromFactors(std::vector<VarPower> factors);
+
+  /// Builds the monomial `var^1`.
+  static Monomial Of(VarId var) { return FromFactors({{var, 1}}); }
+
+  /// Builds the monomial `a * b`.
+  static Monomial Of(VarId a, VarId b) {
+    return FromFactors({{a, 1}, {b, 1}});
+  }
+
+  /// Product of two monomials (exponents add).
+  Monomial Times(const Monomial& other) const;
+
+  /// Exponent of `var` in this monomial (0 when absent).
+  std::uint32_t ExponentOf(VarId var) const;
+
+  /// Sum of all exponents (total degree); 0 for the constant monomial.
+  std::uint32_t Degree() const;
+
+  /// Number of distinct variables.
+  std::size_t NumVars() const { return powers_.size(); }
+
+  /// True iff this is the constant monomial `1`.
+  bool IsConstant() const { return powers_.empty(); }
+
+  /// Sorted `(var, exponent)` factors.
+  const std::vector<VarPower>& powers() const { return powers_; }
+
+  /// Returns a copy with `var` removed entirely (used to take residues).
+  Monomial Without(VarId var) const;
+
+  /// Returns a copy where every variable is replaced via `mapping`
+  /// (`mapping[v]` must be a valid VarId for every contained v); exponents
+  /// of variables that collide after mapping are added.
+  Monomial MapVars(const std::vector<VarId>& mapping) const;
+
+  /// Evaluates the monomial under dense `values` indexed by VarId.
+  double Eval(const std::vector<double>& values) const;
+
+  /// Structural hash.
+  std::uint64_t Hash() const;
+
+  /// Renders e.g. "p1 * m1" or "x^2 * y"; "1" for the constant monomial.
+  std::string ToString(const VarPool& pool) const;
+
+  bool operator==(const Monomial& other) const = default;
+
+  /// Lexicographic order on the factor vectors; any total order works for
+  /// canonicalization, and this one is deterministic across runs.
+  bool operator<(const Monomial& other) const;
+
+ private:
+  std::vector<VarPower> powers_;
+};
+
+/// Hash functor for unordered containers keyed by Monomial.
+struct MonomialHash {
+  std::size_t operator()(const Monomial& m) const {
+    return static_cast<std::size_t>(m.Hash());
+  }
+};
+
+}  // namespace cobra::prov
+
+#endif  // COBRA_PROV_MONOMIAL_H_

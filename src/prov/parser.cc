@@ -1,0 +1,180 @@
+#include "prov/parser.h"
+
+#include <cctype>
+
+#include "util/str.h"
+
+namespace cobra::prov {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+/// Hand-rolled recursive-descent parser over a string_view cursor.
+class PolyParser {
+ public:
+  PolyParser(std::string_view text, VarPool* pool) : text_(text), pool_(pool) {}
+
+  Result<Polynomial> Parse() {
+    Result<Polynomial> p = ParseSum();
+    if (!p.ok()) return p;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("unexpected character '" +
+                                std::string(1, text_[pos_]) +
+                                "' at offset " + std::to_string(pos_));
+    }
+    return p;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Polynomial> ParseSum() {
+    bool negate = false;
+    if (Consume('-')) negate = true;
+    Result<std::vector<Term>> first = ParseTerm();
+    if (!first.ok()) return first.status();
+    std::vector<Term> terms = std::move(*first);
+    if (negate) {
+      for (Term& t : terms) t.coeff = -t.coeff;
+    }
+    for (;;) {
+      double sign;
+      if (Consume('+')) {
+        sign = 1.0;
+      } else if (Consume('-')) {
+        sign = -1.0;
+      } else {
+        break;
+      }
+      Result<std::vector<Term>> next = ParseTerm();
+      if (!next.ok()) return next.status();
+      for (Term& t : *next) {
+        t.coeff *= sign;
+        terms.push_back(std::move(t));
+      }
+    }
+    return Polynomial::FromTerms(std::move(terms));
+  }
+
+  // A term is a product of factors; returns it as a single Term.
+  Result<std::vector<Term>> ParseTerm() {
+    double coeff = 1.0;
+    std::vector<VarPower> factors;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size())
+        return Status::ParseError("unexpected end of polynomial");
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        Result<double> num = ParseNumber();
+        if (!num.ok()) return num.status();
+        coeff *= *num;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string name = ParseIdent();
+        std::uint32_t exp = 1;
+        if (Consume('^')) {
+          Result<double> e = ParseNumber();
+          if (!e.ok()) return e.status();
+          if (*e < 1 || *e != static_cast<std::uint32_t>(*e)) {
+            return Status::ParseError("exponent must be a positive integer");
+          }
+          exp = static_cast<std::uint32_t>(*e);
+        }
+        factors.push_back({pool_->Intern(name), exp});
+      } else {
+        return Status::ParseError("expected number or variable at offset " +
+                                  std::to_string(pos_));
+      }
+      if (!Consume('*')) break;
+    }
+    std::vector<Term> out;
+    out.push_back({Monomial::FromFactors(std::move(factors)), coeff});
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("expected a number");
+    return util::ParseDouble(text_.substr(start, pos_ - start));
+  }
+
+  std::string ParseIdent() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  VarPool* pool_;
+};
+
+}  // namespace
+
+util::Result<Polynomial> ParsePolynomial(std::string_view text, VarPool* pool) {
+  std::string_view trimmed = util::Trim(text);
+  if (trimmed == "0") return Polynomial();
+  return PolyParser(trimmed, pool).Parse();
+}
+
+util::Result<PolySet> ParsePolySet(std::string_view text, VarPool* pool) {
+  PolySet out;
+  std::size_t line_no = 0;
+  for (const std::string& raw_line : util::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Status::ParseError("line " + std::to_string(line_no) +
+                                      ": expected 'label = polynomial'");
+    }
+    std::string label(util::Trim(line.substr(0, eq)));
+    if (label.empty()) {
+      return util::Status::ParseError("line " + std::to_string(line_no) +
+                                      ": empty label");
+    }
+    util::Result<Polynomial> poly = ParsePolynomial(line.substr(eq + 1), pool);
+    if (!poly.ok()) {
+      return util::Status::ParseError("line " + std::to_string(line_no) +
+                                      ": " + poly.status().message());
+    }
+    out.Add(std::move(label), std::move(*poly));
+  }
+  return out;
+}
+
+}  // namespace cobra::prov

@@ -1,0 +1,32 @@
+#ifndef COBRA_PROV_PARSER_H_
+#define COBRA_PROV_PARSER_H_
+
+#include <string_view>
+
+#include "prov/poly_set.h"
+#include "prov/polynomial.h"
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::prov {
+
+/// Parses one polynomial expression, interning variables into `pool`.
+///
+/// Grammar (whitespace-insensitive):
+///
+///     poly   := ['-'] term (('+' | '-') term)*
+///     term   := factor ('*' factor)*
+///     factor := NUMBER | IDENT ('^' UINT)?
+///
+/// Examples accepted: `208.8 * p1 * m1 + 240 * p1 * m3`, `x^2 * y - 3`,
+/// `0`. Identifiers start with a letter or '_' and may contain letters,
+/// digits, '_' and '.'.
+util::Result<Polynomial> ParsePolynomial(std::string_view text, VarPool* pool);
+
+/// Parses a multi-line document of `label = polynomial` lines into a
+/// `PolySet`. Blank lines and lines starting with `#` are ignored.
+util::Result<PolySet> ParsePolySet(std::string_view text, VarPool* pool);
+
+}  // namespace cobra::prov
+
+#endif  // COBRA_PROV_PARSER_H_

@@ -1,0 +1,60 @@
+#include "prov/poly_set.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cobra::prov {
+
+std::size_t PolySet::Add(std::string label, Polynomial poly) {
+  labels_.push_back(std::move(label));
+  polys_.push_back(std::move(poly));
+  return polys_.size() - 1;
+}
+
+std::size_t PolySet::FindLabel(std::string_view label) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return i;
+  }
+  return npos;
+}
+
+std::size_t PolySet::TotalMonomials() const {
+  std::size_t total = 0;
+  for (const Polynomial& p : polys_) total += p.NumMonomials();
+  return total;
+}
+
+std::size_t PolySet::NumDistinctVariables() const {
+  std::unordered_set<VarId> vars;
+  for (const Polynomial& p : polys_) p.CollectVariables(&vars);
+  return vars.size();
+}
+
+std::vector<VarId> PolySet::AllVariables() const {
+  std::unordered_set<VarId> set;
+  for (const Polynomial& p : polys_) p.CollectVariables(&set);
+  std::vector<VarId> vars(set.begin(), set.end());
+  std::sort(vars.begin(), vars.end());
+  return vars;
+}
+
+PolySet PolySet::SubstituteVars(const std::vector<VarId>& mapping) const {
+  PolySet out;
+  for (std::size_t i = 0; i < polys_.size(); ++i) {
+    out.Add(labels_[i], polys_[i].SubstituteVars(mapping));
+  }
+  return out;
+}
+
+std::string PolySet::ToString(const VarPool& pool) const {
+  std::string out;
+  for (std::size_t i = 0; i < polys_.size(); ++i) {
+    out += labels_[i];
+    out += " = ";
+    out += polys_[i].ToString(pool);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cobra::prov

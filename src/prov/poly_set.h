@@ -1,0 +1,70 @@
+#ifndef COBRA_PROV_POLY_SET_H_
+#define COBRA_PROV_POLY_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "prov/polynomial.h"
+#include "prov/variable.h"
+
+namespace cobra::prov {
+
+/// A labelled collection of provenance polynomials — the "multiset of
+/// polynomials" the paper takes as input.
+///
+/// Each entry corresponds to one symbolic query-result value (e.g. one
+/// GROUP BY key such as a zip code) and carries a human-readable label.
+/// Monomials never merge *across* entries: two group results are distinct
+/// output values even when their polynomials coincide.
+class PolySet {
+ public:
+  PolySet() = default;
+
+  /// Appends `poly` under `label`; returns its index.
+  std::size_t Add(std::string label, Polynomial poly);
+
+  /// Number of polynomials.
+  std::size_t size() const { return polys_.size(); }
+
+  bool empty() const { return polys_.empty(); }
+
+  /// The polynomial at `index`.
+  const Polynomial& poly(std::size_t index) const { return polys_[index]; }
+
+  /// The label at `index`.
+  const std::string& label(std::size_t index) const { return labels_[index]; }
+
+  /// All polynomials in insertion order.
+  const std::vector<Polynomial>& polys() const { return polys_; }
+
+  /// All labels in insertion order.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Index of the first entry labelled `label`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t FindLabel(std::string_view label) const;
+
+  /// Total number of monomials — the paper's provenance-size measure.
+  std::size_t TotalMonomials() const;
+
+  /// Number of distinct variables across all polynomials — the paper's
+  /// expressiveness measure.
+  std::size_t NumDistinctVariables() const;
+
+  /// Distinct variables across all polynomials, sorted.
+  std::vector<VarId> AllVariables() const;
+
+  /// Applies `mapping` to every polynomial (see Polynomial::SubstituteVars).
+  PolySet SubstituteVars(const std::vector<VarId>& mapping) const;
+
+  /// Renders every entry as "label = polynomial", one per line.
+  std::string ToString(const VarPool& pool) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<Polynomial> polys_;
+};
+
+}  // namespace cobra::prov
+
+#endif  // COBRA_PROV_POLY_SET_H_

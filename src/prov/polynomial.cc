@@ -1,0 +1,207 @@
+#include "prov/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prov/valuation.h"
+#include "util/status.h"
+#include "util/str.h"
+
+namespace cobra::prov {
+
+void Polynomial::Canonicalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const Term& a, const Term& b) { return a.monomial < b.monomial; });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (Term& t : terms_) {
+    if (!merged.empty() && merged.back().monomial == t.monomial) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(std::move(t));
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coeff == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+Polynomial Polynomial::FromTerms(std::vector<Term> terms) {
+  Polynomial p;
+  p.terms_ = std::move(terms);
+  p.Canonicalize();
+  return p;
+}
+
+Polynomial Polynomial::Constant(double c) {
+  return FromTerms({{Monomial(), c}});
+}
+
+Polynomial Polynomial::Var(VarId v) {
+  return FromTerms({{Monomial::Of(v), 1.0}});
+}
+
+Polynomial Polynomial::Plus(const Polynomial& other) const {
+  std::vector<Term> terms = terms_;
+  terms.insert(terms.end(), other.terms_.begin(), other.terms_.end());
+  return FromTerms(std::move(terms));
+}
+
+Polynomial Polynomial::TimesPoly(const Polynomial& other) const {
+  std::vector<Term> terms;
+  terms.reserve(terms_.size() * other.terms_.size());
+  for (const Term& a : terms_) {
+    for (const Term& b : other.terms_) {
+      terms.push_back({a.monomial.Times(b.monomial), a.coeff * b.coeff});
+    }
+  }
+  return FromTerms(std::move(terms));
+}
+
+Polynomial Polynomial::Scale(double factor) const {
+  std::vector<Term> terms = terms_;
+  for (Term& t : terms) t.coeff *= factor;
+  return FromTerms(std::move(terms));
+}
+
+Polynomial Polynomial::TimesMonomial(const Monomial& m) const {
+  std::vector<Term> terms = terms_;
+  for (Term& t : terms) t.monomial = t.monomial.Times(m);
+  return FromTerms(std::move(terms));
+}
+
+double Polynomial::CoefficientOf(const Monomial& m) const {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), m,
+      [](const Term& t, const Monomial& key) { return t.monomial < key; });
+  if (it != terms_.end() && it->monomial == m) return it->coeff;
+  return 0.0;
+}
+
+void Polynomial::CollectVariables(std::unordered_set<VarId>* out) const {
+  for (const Term& t : terms_) {
+    for (const VarPower& p : t.monomial.powers()) out->insert(p.var);
+  }
+}
+
+std::vector<VarId> Polynomial::Variables() const {
+  std::unordered_set<VarId> set;
+  CollectVariables(&set);
+  std::vector<VarId> vars(set.begin(), set.end());
+  std::sort(vars.begin(), vars.end());
+  return vars;
+}
+
+std::uint32_t Polynomial::Degree() const {
+  std::uint32_t d = 0;
+  for (const Term& t : terms_) d = std::max(d, t.monomial.Degree());
+  return d;
+}
+
+double Polynomial::Eval(const Valuation& valuation) const {
+  double out = 0.0;
+  for (const Term& t : terms_) out += t.coeff * t.monomial.Eval(valuation.values());
+  return out;
+}
+
+Polynomial Polynomial::SubstituteVars(const std::vector<VarId>& mapping) const {
+  std::vector<Term> terms;
+  terms.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    terms.push_back({t.monomial.MapVars(mapping), t.coeff});
+  }
+  return FromTerms(std::move(terms));
+}
+
+Polynomial Polynomial::PartialEval(const Valuation& valuation,
+                                   const std::vector<bool>& fixed) const {
+  std::vector<Term> terms;
+  terms.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    double coeff = t.coeff;
+    std::vector<VarPower> residual;
+    for (const VarPower& vp : t.monomial.powers()) {
+      if (vp.var < fixed.size() && fixed[vp.var]) {
+        double v = valuation.Get(vp.var);
+        for (std::uint32_t e = 0; e < vp.exp; ++e) coeff *= v;
+      } else {
+        residual.push_back(vp);
+      }
+    }
+    terms.push_back({Monomial::FromFactors(std::move(residual)), coeff});
+  }
+  return FromTerms(std::move(terms));
+}
+
+std::string Polynomial::ToString(const VarPool& pool) const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    const Term& t = terms_[i];
+    double coeff = t.coeff;
+    if (i == 0) {
+      if (coeff < 0) {
+        out += "-";
+        coeff = -coeff;
+      }
+    } else {
+      out += coeff < 0 ? " - " : " + ";
+      coeff = std::fabs(coeff);
+    }
+    bool coeff_is_one = coeff == 1.0;
+    if (!coeff_is_one || t.monomial.IsConstant()) {
+      out += util::FormatDouble(coeff);
+      if (!t.monomial.IsConstant()) out += " * ";
+    }
+    if (!t.monomial.IsConstant()) out += t.monomial.ToString(pool);
+  }
+  return out;
+}
+
+bool Polynomial::AlmostEquals(const Polynomial& other, double eps) const {
+  if (terms_.size() != other.terms_.size()) return false;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (!(terms_[i].monomial == other.terms_[i].monomial)) return false;
+    if (std::fabs(terms_[i].coeff - other.terms_[i].coeff) > eps) return false;
+  }
+  return true;
+}
+
+Polynomial Polynomial::Derivative(VarId var) const {
+  std::vector<Term> terms;
+  for (const Term& t : terms_) {
+    std::uint32_t exp = t.monomial.ExponentOf(var);
+    if (exp == 0) continue;
+    std::vector<VarPower> factors;
+    for (const VarPower& vp : t.monomial.powers()) {
+      if (vp.var == var) {
+        if (vp.exp > 1) factors.push_back({vp.var, vp.exp - 1});
+      } else {
+        factors.push_back(vp);
+      }
+    }
+    terms.push_back({Monomial::FromFactors(std::move(factors)),
+                     t.coeff * static_cast<double>(exp)});
+  }
+  return FromTerms(std::move(terms));
+}
+
+void PolynomialBuilder::AddTerm(const Monomial& m, double coeff) {
+  if (coeff == 0.0) return;
+  acc_[m] += coeff;
+}
+
+void PolynomialBuilder::AddPolynomial(const Polynomial& p, double factor) {
+  for (const Term& t : p.terms()) AddTerm(t.monomial, t.coeff * factor);
+}
+
+Polynomial PolynomialBuilder::Build() {
+  std::vector<Term> terms;
+  terms.reserve(acc_.size());
+  for (auto& [monomial, coeff] : acc_) terms.push_back({monomial, coeff});
+  acc_.clear();
+  return Polynomial::FromTerms(std::move(terms));
+}
+
+}  // namespace cobra::prov

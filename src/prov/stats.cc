@@ -1,0 +1,33 @@
+#include "prov/stats.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace cobra::prov {
+
+PolySetStats ComputeStats(const PolySet& set) {
+  PolySetStats s;
+  s.num_polys = set.size();
+  s.num_monomials = set.TotalMonomials();
+  s.num_variables = set.NumDistinctVariables();
+  for (const Polynomial& p : set.polys()) {
+    s.max_degree = std::max(s.max_degree, p.Degree());
+    s.max_monomials_in_poly = std::max(s.max_monomials_in_poly, p.NumMonomials());
+  }
+  s.avg_monomials_per_poly =
+      s.num_polys == 0
+          ? 0.0
+          : static_cast<double>(s.num_monomials) / static_cast<double>(s.num_polys);
+  return s;
+}
+
+std::string PolySetStats::ToString() const {
+  return util::StrFormat(
+      "polys=%zu monomials=%zu variables=%zu max_degree=%u avg_mono/poly=%.2f "
+      "max_mono/poly=%zu",
+      num_polys, num_monomials, num_variables, max_degree,
+      avg_monomials_per_poly, max_monomials_in_poly);
+}
+
+}  // namespace cobra::prov

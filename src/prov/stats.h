@@ -1,0 +1,30 @@
+#ifndef COBRA_PROV_STATS_H_
+#define COBRA_PROV_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "prov/poly_set.h"
+
+namespace cobra::prov {
+
+/// Summary statistics of a provenance polynomial set, used by reports,
+/// benches and the explain output.
+struct PolySetStats {
+  std::size_t num_polys = 0;          ///< Number of result polynomials.
+  std::size_t num_monomials = 0;      ///< The paper's provenance-size measure.
+  std::size_t num_variables = 0;      ///< The paper's expressiveness measure.
+  std::uint32_t max_degree = 0;       ///< Largest monomial total degree.
+  double avg_monomials_per_poly = 0;  ///< num_monomials / num_polys.
+  std::size_t max_monomials_in_poly = 0;
+
+  /// Renders a one-line summary.
+  std::string ToString() const;
+};
+
+/// Computes statistics for `set`.
+PolySetStats ComputeStats(const PolySet& set);
+
+}  // namespace cobra::prov
+
+#endif  // COBRA_PROV_STATS_H_

@@ -1,0 +1,16 @@
+#include "prov/valuation.h"
+
+namespace cobra::prov {
+
+util::Status Valuation::SetByName(const VarPool& pool, std::string_view name,
+                                  double value) {
+  VarId id = pool.Find(name);
+  if (id == kInvalidVar) {
+    return util::Status::NotFound("unknown variable: " + std::string(name));
+  }
+  Resize(pool.size());
+  Set(id, value);
+  return util::Status::OK();
+}
+
+}  // namespace cobra::prov

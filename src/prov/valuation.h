@@ -1,0 +1,61 @@
+#ifndef COBRA_PROV_VALUATION_H_
+#define COBRA_PROV_VALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::prov {
+
+/// An assignment of numeric values to provenance variables.
+///
+/// In the hypothetical-reasoning workflow of the paper, variables are
+/// *multiplicative change factors*: the neutral value is `1.0` ("no change"),
+/// a scenario such as "decrease March prices by 20%" sets `m3 = 0.8`.
+/// `Valuation` therefore defaults every variable to 1.0 and stores values in
+/// a dense array indexed by `VarId` so evaluation is a flat array lookup.
+class Valuation {
+ public:
+  /// Creates the neutral valuation (everything = 1.0) sized for `pool`.
+  explicit Valuation(const VarPool& pool)
+      : values_(pool.size(), 1.0) {}
+
+  /// Creates a neutral valuation for `num_vars` variables.
+  explicit Valuation(std::size_t num_vars) : values_(num_vars, 1.0) {}
+
+  /// Sets `var` to `value`.
+  void Set(VarId var, double value) {
+    COBRA_CHECK_MSG(var < values_.size(), "Valuation::Set: var out of range");
+    values_[var] = value;
+  }
+
+  /// Sets the variable named `name` (must exist in `pool`).
+  util::Status SetByName(const VarPool& pool, std::string_view name,
+                         double value);
+
+  /// Returns the value of `var`.
+  double Get(VarId var) const {
+    COBRA_CHECK_MSG(var < values_.size(), "Valuation::Get: var out of range");
+    return values_[var];
+  }
+
+  /// Grows the valuation to cover `num_vars` variables (new ones neutral).
+  void Resize(std::size_t num_vars) {
+    if (num_vars > values_.size()) values_.resize(num_vars, 1.0);
+  }
+
+  /// Number of covered variables.
+  std::size_t size() const { return values_.size(); }
+
+  /// Dense value array indexed by VarId.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace cobra::prov
+
+#endif  // COBRA_PROV_VALUATION_H_

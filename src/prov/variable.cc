@@ -1,0 +1,24 @@
+#include "prov/variable.h"
+
+namespace cobra::prov {
+
+VarId VarPool::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  VarId id = static_cast<VarId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+VarId VarPool::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidVar : it->second;
+}
+
+const std::string& VarPool::Name(VarId id) const {
+  COBRA_CHECK_MSG(id < names_.size(), "VarPool::Name: id out of range");
+  return names_[id];
+}
+
+}  // namespace cobra::prov

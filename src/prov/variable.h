@@ -1,0 +1,54 @@
+#ifndef COBRA_PROV_VARIABLE_H_
+#define COBRA_PROV_VARIABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::prov {
+
+/// Dense identifier of an interned provenance variable.
+using VarId = std::uint32_t;
+
+/// Sentinel for "no variable".
+constexpr VarId kInvalidVar = static_cast<VarId>(-1);
+
+/// Interning table mapping variable names to dense `VarId`s.
+///
+/// Every polynomial in a COBRA session shares one pool, so monomials store
+/// compact integer ids and never copy strings. Meta-variables created by an
+/// abstraction are interned into the same pool, which keeps valuation arrays
+/// dense.
+class VarPool {
+ public:
+  VarPool() = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  VarId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or `kInvalidVar` if it was never interned.
+  VarId Find(std::string_view name) const;
+
+  /// True iff `name` has been interned.
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidVar;
+  }
+
+  /// Returns the name of `id`. Aborts on out-of-range ids.
+  const std::string& Name(VarId id) const;
+
+  /// Number of interned variables.
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VarId> index_;
+};
+
+}  // namespace cobra::prov
+
+#endif  // COBRA_PROV_VARIABLE_H_

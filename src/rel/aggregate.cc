@@ -1,0 +1,238 @@
+#include "rel/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace cobra::rel {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+std::uint64_t HashKey(const Table& table, std::size_t row,
+                      const std::vector<std::size_t>& cols) {
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (std::size_t c : cols) h = util::HashCombine(h, table.Get(row, c).Hash());
+  return h;
+}
+
+bool KeysEqual(const Table& t, std::size_t a, std::size_t b,
+               const std::vector<std::size_t>& cols) {
+  for (std::size_t c : cols) {
+    if (!(t.Get(a, c) == t.Get(b, c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+void GroupedResult::AddGroup(std::vector<prov::Polynomial> aggs) {
+  COBRA_CHECK_MSG(aggs.size() == specs_.size(),
+                  "GroupedResult::AddGroup: arity mismatch");
+  for (prov::Polynomial& p : aggs) cells_.push_back(std::move(p));
+}
+
+std::string GroupedResult::GroupLabel(std::size_t g) const {
+  if (keys_.NumColumns() == 0) return "<all>";
+  std::string label;
+  for (std::size_t c = 0; c < keys_.NumColumns(); ++c) {
+    if (c > 0) label += ",";
+    label += keys_.Get(g, c).ToString();
+  }
+  return label;
+}
+
+prov::PolySet GroupedResult::ToPolySet(std::size_t agg) const {
+  COBRA_CHECK_MSG(agg < specs_.size(), "ToPolySet: aggregate index range");
+  prov::PolySet out;
+  for (std::size_t g = 0; g < NumGroups(); ++g) {
+    out.Add(GroupLabel(g), PolyAt(g, agg));
+  }
+  return out;
+}
+
+Table GroupedResult::Evaluate(const prov::Valuation& valuation) const {
+  Schema schema = keys_.schema();
+  for (const AggSpec& spec : specs_) {
+    schema.AddColumn("", {spec.name, Type::kDouble});
+  }
+  Table out(schema);
+  std::size_t key_width = keys_.NumColumns();
+  for (std::size_t g = 0; g < NumGroups(); ++g) {
+    for (std::size_t c = 0; c < key_width; ++c) {
+      out.mutable_column(c)->Append(keys_.Get(g, c));
+    }
+    for (std::size_t a = 0; a < specs_.size(); ++a) {
+      out.mutable_column(key_width + a)
+          ->AppendDouble(PolyAt(g, a).Eval(valuation));
+    }
+  }
+  out.CommitAppendedRows(NumGroups());
+  return out;
+}
+
+Result<GroupedResult> GroupByAggregate(const AnnotatedTable& input,
+                                       const std::vector<std::string>& group_cols,
+                                       const std::vector<AggSpec>& aggs) {
+  if (aggs.empty()) {
+    return Status::InvalidArgument("GroupByAggregate: no aggregates");
+  }
+  std::vector<std::size_t> key_cols;
+  Schema key_schema;
+  for (const std::string& ref : group_cols) {
+    Result<std::size_t> idx = input.schema().Resolve(ref);
+    if (!idx.ok()) return idx.status();
+    key_cols.push_back(*idx);
+    key_schema.AddColumn(input.schema().qualifier(*idx),
+                         input.schema().column(*idx));
+  }
+
+  // Bind aggregate inputs.
+  std::vector<BoundExpr> bound;
+  std::vector<bool> has_input;
+  for (const AggSpec& spec : aggs) {
+    if (spec.input == nullptr) {
+      if (spec.func != AggFunc::kCount) {
+        return Status::InvalidArgument(
+            "only COUNT may omit its input expression");
+      }
+      has_input.push_back(false);
+      bound.emplace_back();  // placeholder
+      continue;
+    }
+    Result<BoundExpr> b = BoundExpr::Bind(spec.input, input.schema());
+    if (!b.ok()) return b.status();
+    if (b->result_type() == Type::kString) {
+      return Status::InvalidArgument("cannot aggregate a string expression: " +
+                                     spec.name);
+    }
+    has_input.push_back(true);
+    bound.push_back(std::move(*b));
+  }
+
+  // Assign group ids by hashing the key tuple.
+  std::unordered_multimap<std::uint64_t, std::size_t> index;  // hash -> group
+  std::vector<std::size_t> representative;  // group -> first input row
+  std::vector<std::size_t> row_group(input.NumRows());
+  for (std::size_t r = 0; r < input.NumRows(); ++r) {
+    std::uint64_t h = HashKey(input.table, r, key_cols);
+    std::size_t group = static_cast<std::size_t>(-1);
+    auto range = index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (KeysEqual(input.table, r, representative[it->second], key_cols)) {
+        group = it->second;
+        break;
+      }
+    }
+    if (group == static_cast<std::size_t>(-1)) {
+      group = representative.size();
+      representative.push_back(r);
+      index.emplace(h, group);
+    }
+    row_group[r] = group;
+  }
+  std::size_t num_groups = representative.size();
+
+  // Accumulate per (group, aggregate).
+  struct NumericAcc {
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::vector<prov::PolynomialBuilder> sym(num_groups * aggs.size());
+  std::vector<NumericAcc> num(num_groups * aggs.size());
+
+  for (std::size_t r = 0; r < input.NumRows(); ++r) {
+    std::size_t g = row_group[r];
+    AnnotId annot = input.annots[r];
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      std::size_t cell = g * aggs.size() + a;
+      double v = 1.0;
+      if (has_input[a]) v = bound[a].Eval(input.table, r).AsDouble();
+      switch (aggs[a].func) {
+        case AggFunc::kSum:
+        case AggFunc::kCount: {
+          double contribution = aggs[a].func == AggFunc::kCount ? 1.0 : v;
+          // Semimodule tensor: annotation ⊗ value, normalized to value·annot.
+          sym[cell].AddPolynomial(input.pool->Get(annot), contribution);
+          break;
+        }
+        case AggFunc::kAvg:
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          if (annot != AnnotPool::kOne) {
+            return Status::FailedPrecondition(
+                std::string(AggFuncToString(aggs[a].func)) +
+                " does not support symbolic annotations (tuple provenance "
+                "must be 1)");
+          }
+          NumericAcc& acc = num[cell];
+          acc.min = std::min(acc.min, v);
+          acc.max = std::max(acc.max, v);
+          acc.sum += v;
+          acc.count += 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // Emit groups in order of first appearance (deterministic).
+  GroupedResult result(key_schema, aggs);
+  Table* keys = result.mutable_keys();
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    for (std::size_t c = 0; c < key_cols.size(); ++c) {
+      keys->mutable_column(c)->Append(
+          input.table.Get(representative[g], key_cols[c]));
+    }
+    std::vector<prov::Polynomial> row;
+    row.reserve(aggs.size());
+    for (std::size_t a = 0; a < aggs.size(); ++a) {
+      std::size_t cell = g * aggs.size() + a;
+      switch (aggs[a].func) {
+        case AggFunc::kSum:
+        case AggFunc::kCount:
+          row.push_back(sym[cell].Build());
+          break;
+        case AggFunc::kAvg:
+          row.push_back(prov::Polynomial::Constant(
+              num[cell].count == 0 ? 0.0
+                                   : num[cell].sum /
+                                         static_cast<double>(num[cell].count)));
+          break;
+        case AggFunc::kMin:
+          row.push_back(prov::Polynomial::Constant(num[cell].min));
+          break;
+        case AggFunc::kMax:
+          row.push_back(prov::Polynomial::Constant(num[cell].max));
+          break;
+      }
+    }
+    result.AddGroup(std::move(row));
+  }
+  keys->CommitAppendedRows(num_groups);
+  return result;
+}
+
+}  // namespace cobra::rel

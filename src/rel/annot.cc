@@ -1,0 +1,58 @@
+#include "rel/annot.h"
+
+#include "util/status.h"
+
+namespace cobra::rel {
+
+AnnotPool::AnnotPool() {
+  // Reserve id 0 for One.
+  AnnotId one = Intern(prov::Polynomial::Constant(1.0));
+  COBRA_CHECK(one == kOne);
+}
+
+AnnotId AnnotPool::Intern(const prov::Polynomial& p) {
+  auto it = index_.find(p);
+  if (it != index_.end()) return it->second;
+  AnnotId id = static_cast<AnnotId>(polys_.size());
+  polys_.push_back(p);
+  index_.emplace(p, id);
+  return id;
+}
+
+AnnotId AnnotPool::InternVar(prov::VarId v) {
+  return Intern(prov::Polynomial::Var(v));
+}
+
+const prov::Polynomial& AnnotPool::Get(AnnotId id) const {
+  COBRA_CHECK_MSG(id < polys_.size(), "AnnotPool::Get: id out of range");
+  return polys_[id];
+}
+
+AnnotId AnnotPool::Product(AnnotId a, AnnotId b) {
+  if (a == kOne) return b;
+  if (b == kOne) return a;
+  if (a > b) std::swap(a, b);  // products commute; canonical key order
+  auto it = product_cache_.find({a, b});
+  if (it != product_cache_.end()) return it->second;
+  AnnotId id = Intern(Get(a).TimesPoly(Get(b)));
+  product_cache_.emplace(std::make_pair(a, b), id);
+  return id;
+}
+
+AnnotId AnnotPool::Sum(AnnotId a, AnnotId b) {
+  if (a > b) std::swap(a, b);
+  auto it = sum_cache_.find({a, b});
+  if (it != sum_cache_.end()) return it->second;
+  AnnotId id = Intern(Get(a).Plus(Get(b)));
+  sum_cache_.emplace(std::make_pair(a, b), id);
+  return id;
+}
+
+AnnotatedTable AnnotatedTable::FromTable(Table t,
+                                         std::shared_ptr<AnnotPool> pool) {
+  AnnotatedTable out{std::move(t), {}, std::move(pool)};
+  out.annots.assign(out.table.NumRows(), AnnotPool::kOne);
+  return out;
+}
+
+}  // namespace cobra::rel

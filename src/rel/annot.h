@@ -1,0 +1,106 @@
+#ifndef COBRA_REL_ANNOT_H_
+#define COBRA_REL_ANNOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "prov/polynomial.h"
+#include "rel/table.h"
+#include "util/hash.h"
+
+namespace cobra::rel {
+
+/// Dense id of an interned annotation polynomial. Id 0 is always the
+/// semiring One (the annotation of un-instrumented base tuples).
+using AnnotId = std::uint32_t;
+
+/// Interning pool for tuple annotations (elements of N[X]).
+///
+/// Provenance-annotated evaluation touches millions of tuples, but the
+/// number of *distinct* annotations is tiny (e.g. 132 plan-month monomials
+/// in experiment E3). The pool interns each distinct polynomial once and
+/// tuples carry 32-bit ids; annotation products along joins are memoized
+/// per id pair, so a 12M-row join performs 12M hash-map lookups instead of
+/// 12M polynomial multiplications.
+class AnnotPool {
+ public:
+  AnnotPool();
+
+  /// Id of the annotation One (polynomial 1).
+  static constexpr AnnotId kOne = 0;
+
+  /// Interns `p`, returning its id.
+  AnnotId Intern(const prov::Polynomial& p);
+
+  /// Interns the single-variable polynomial `v`.
+  AnnotId InternVar(prov::VarId v);
+
+  /// The polynomial of `id`.
+  const prov::Polynomial& Get(AnnotId id) const;
+
+  /// Id of the product of two interned annotations (memoized).
+  AnnotId Product(AnnotId a, AnnotId b);
+
+  /// Id of the sum of two interned annotations (memoized; used by
+  /// duplicate-eliminating operators).
+  AnnotId Sum(AnnotId a, AnnotId b);
+
+  /// Number of distinct interned annotations.
+  std::size_t size() const { return polys_.size(); }
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<AnnotId, AnnotId>& p) const {
+      return static_cast<std::size_t>(
+          util::HashCombine(util::Mix64(p.first), p.second));
+    }
+  };
+
+  struct PolyHash {
+    std::size_t operator()(const prov::Polynomial& p) const {
+      std::uint64_t h = 0x2d358dccaa6c78a5ULL;
+      for (const prov::Term& t : p.terms()) {
+        h = util::HashCombine(h, t.monomial.Hash());
+        double c = t.coeff;
+        std::uint64_t bits;
+        __builtin_memcpy(&bits, &c, sizeof(bits));
+        h = util::HashCombine(h, bits);
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::vector<prov::Polynomial> polys_;
+  std::unordered_map<prov::Polynomial, AnnotId, PolyHash> index_;
+  std::unordered_map<std::pair<AnnotId, AnnotId>, AnnotId, PairHash>
+      product_cache_;
+  std::unordered_map<std::pair<AnnotId, AnnotId>, AnnotId, PairHash>
+      sum_cache_;
+};
+
+/// A relation whose tuples carry provenance annotations.
+///
+/// `annots[r]` is the AnnotId of row r; the pool is shared across all
+/// tables of a database so ids compose across joins.
+struct AnnotatedTable {
+  Table table;
+  std::vector<AnnotId> annots;
+  std::shared_ptr<AnnotPool> pool;
+
+  /// Creates a table whose rows are all annotated with One.
+  static AnnotatedTable FromTable(Table t, std::shared_ptr<AnnotPool> pool);
+
+  std::size_t NumRows() const { return table.NumRows(); }
+  const Schema& schema() const { return table.schema(); }
+
+  /// The annotation polynomial of row `r`.
+  const prov::Polynomial& Annotation(std::size_t r) const {
+    return pool->Get(annots[r]);
+  }
+};
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_ANNOT_H_

@@ -1,0 +1,83 @@
+#include "rel/csv_loader.h"
+
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace cobra::rel {
+
+util::Result<Table> TableFromCsv(std::string_view csv_text,
+                                 const std::string& table_qualifier) {
+  util::Result<util::CsvDocument> doc = util::ParseCsv(csv_text);
+  if (!doc.ok()) return doc.status();
+  const std::size_t width = doc->header.size();
+
+  // Infer each column's type from the strictest parse that accepts all
+  // values: INT64 ⊂ DOUBLE ⊂ STRING.
+  std::vector<Type> types(width, Type::kInt64);
+  for (const auto& row : doc->rows) {
+    for (std::size_t c = 0; c < width; ++c) {
+      if (types[c] == Type::kString) continue;
+      if (types[c] == Type::kInt64 && !util::ParseInt64(row[c]).ok()) {
+        types[c] = Type::kDouble;
+      }
+      if (types[c] == Type::kDouble && !util::ParseDouble(row[c]).ok()) {
+        types[c] = Type::kString;
+      }
+    }
+  }
+  if (doc->rows.empty()) types.assign(width, Type::kString);
+
+  Schema schema;
+  for (std::size_t c = 0; c < width; ++c) {
+    schema.AddColumn(table_qualifier,
+                     {std::string(util::Trim(doc->header[c])), types[c]});
+  }
+  Table table(schema);
+  table.Reserve(doc->rows.size());
+  for (const auto& row : doc->rows) {
+    for (std::size_t c = 0; c < width; ++c) {
+      switch (types[c]) {
+        case Type::kInt64:
+          table.mutable_column(c)->AppendInt64(
+              util::ParseInt64(row[c]).ValueOrDie());
+          break;
+        case Type::kDouble:
+          table.mutable_column(c)->AppendDouble(
+              util::ParseDouble(row[c]).ValueOrDie());
+          break;
+        case Type::kString:
+          table.mutable_column(c)->AppendString(row[c]);
+          break;
+      }
+    }
+  }
+  table.CommitAppendedRows(doc->rows.size());
+  return table;
+}
+
+util::Status LoadCsvTable(Database* db, const std::string& name,
+                          const std::string& path) {
+  util::Result<std::string> content = util::ReadFile(path);
+  if (!content.ok()) return content.status();
+  util::Result<Table> table = TableFromCsv(*content, name);
+  if (!table.ok()) return table.status();
+  return db->AddTable(name, std::move(*table));
+}
+
+std::string TableToCsv(const Table& table) {
+  util::CsvDocument doc;
+  for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+    doc.header.push_back(table.schema().column(c).name);
+  }
+  for (std::size_t r = 0; r < table.NumRows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.NumColumns());
+    for (std::size_t c = 0; c < table.NumColumns(); ++c) {
+      row.push_back(table.Get(r, c).ToString());
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return util::WriteCsv(doc);
+}
+
+}  // namespace cobra::rel

@@ -1,0 +1,29 @@
+#ifndef COBRA_REL_CSV_LOADER_H_
+#define COBRA_REL_CSV_LOADER_H_
+
+#include <string>
+#include <string_view>
+
+#include "rel/database.h"
+#include "util/status.h"
+
+namespace cobra::rel {
+
+/// Builds a Table from CSV text. The header row gives the column names;
+/// column types are inferred from the data: a column where every value
+/// parses as an integer is INT64, else if every value parses as a number
+/// it is DOUBLE, otherwise STRING. An empty data set (header only) yields
+/// an empty table of STRING columns.
+util::Result<Table> TableFromCsv(std::string_view csv_text,
+                                 const std::string& table_qualifier);
+
+/// Reads `path` and registers the table under `name` in `db`.
+util::Status LoadCsvTable(Database* db, const std::string& name,
+                          const std::string& path);
+
+/// Serializes a table back to CSV text (header = unqualified column names).
+std::string TableToCsv(const Table& table);
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_CSV_LOADER_H_

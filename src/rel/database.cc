@@ -1,0 +1,58 @@
+#include "rel/database.h"
+
+#include <algorithm>
+
+namespace cobra::rel {
+
+util::Status Database::AddTable(const std::string& name, Table table) {
+  if (tables_.count(name) > 0) {
+    return util::Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_.emplace(name, AnnotatedTable::FromTable(std::move(table), annot_pool_));
+  return util::Status::OK();
+}
+
+util::Status Database::AddAnnotatedTable(const std::string& name,
+                                         AnnotatedTable table) {
+  if (tables_.count(name) > 0) {
+    return util::Status::AlreadyExists("table already exists: " + name);
+  }
+  if (table.pool != annot_pool_) {
+    return util::Status::InvalidArgument(
+        "annotated table uses a foreign annotation pool");
+  }
+  if (table.annots.size() != table.table.NumRows()) {
+    return util::Status::InvalidArgument(
+        "annotation vector length does not match row count");
+  }
+  tables_.emplace(name, std::move(table));
+  return util::Status::OK();
+}
+
+util::Result<const AnnotatedTable*> Database::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return util::Status::NotFound("no such table: " + name);
+  }
+  return &it->second;
+}
+
+util::Result<AnnotatedTable*> Database::GetMutableTable(
+    const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return util::Status::NotFound("no such table: " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace cobra::rel

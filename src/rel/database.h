@@ -1,0 +1,59 @@
+#ifndef COBRA_REL_DATABASE_H_
+#define COBRA_REL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prov/variable.h"
+#include "rel/annot.h"
+#include "util/status.h"
+
+namespace cobra::rel {
+
+/// A catalog of annotated tables sharing one annotation pool and one
+/// provenance variable pool — the instrumented database the paper's
+/// provenance engine evaluates over.
+class Database {
+ public:
+  Database()
+      : annot_pool_(std::make_shared<AnnotPool>()),
+        var_pool_(std::make_shared<prov::VarPool>()) {}
+
+  /// Registers `table` (rows annotated with One) under `name`.
+  util::Status AddTable(const std::string& name, Table table);
+
+  /// Registers an already-annotated table; its pool must be this database's.
+  util::Status AddAnnotatedTable(const std::string& name, AnnotatedTable table);
+
+  /// True iff `name` exists.
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Returns the table named `name`.
+  util::Result<const AnnotatedTable*> GetTable(const std::string& name) const;
+
+  /// Mutable access (used by instrumentation).
+  util::Result<AnnotatedTable*> GetMutableTable(const std::string& name);
+
+  /// The shared annotation pool.
+  const std::shared_ptr<AnnotPool>& annot_pool() const { return annot_pool_; }
+
+  /// The shared provenance variable pool.
+  const std::shared_ptr<prov::VarPool>& var_pool() const { return var_pool_; }
+  prov::VarPool* mutable_var_pool() { return var_pool_.get(); }
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::shared_ptr<AnnotPool> annot_pool_;
+  std::shared_ptr<prov::VarPool> var_pool_;
+  std::unordered_map<std::string, AnnotatedTable> tables_;
+};
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_DATABASE_H_

@@ -1,0 +1,235 @@
+#include "rel/expr.h"
+
+#include "util/str.h"
+
+namespace cobra::rel {
+
+ExprPtr Expr::Column(std::string name) {
+  return ExprPtr(new Expr(ExprOp::kColumn, std::move(name), Value(), nullptr,
+                          nullptr));
+}
+
+ExprPtr Expr::Literal(Value v) {
+  return ExprPtr(new Expr(ExprOp::kLiteral, "", std::move(v), nullptr,
+                          nullptr));
+}
+
+ExprPtr Expr::Binary(ExprOp op, ExprPtr lhs, ExprPtr rhs) {
+  return ExprPtr(new Expr(op, "", Value(), std::move(lhs), std::move(rhs)));
+}
+
+ExprPtr Expr::Unary(ExprOp op, ExprPtr operand) {
+  return ExprPtr(new Expr(op, "", Value(), std::move(operand), nullptr));
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (op_ == ExprOp::kColumn) {
+    out->push_back(name_);
+    return;
+  }
+  if (lhs_ != nullptr) lhs_->CollectColumns(out);
+  if (rhs_ != nullptr) rhs_->CollectColumns(out);
+}
+
+namespace {
+
+const char* OpSymbol(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kEq: return "=";
+    case ExprOp::kNe: return "<>";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kAnd: return "AND";
+    case ExprOp::kOr: return "OR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case ExprOp::kColumn:
+      return name_;
+    case ExprOp::kLiteral:
+      return literal_.type() == Type::kString ? "'" + literal_.ToString() + "'"
+                                              : literal_.ToString();
+    case ExprOp::kNeg:
+      return "(-" + lhs_->ToString() + ")";
+    case ExprOp::kNot:
+      return "(NOT " + lhs_->ToString() + ")";
+    default:
+      return "(" + lhs_->ToString() + " " + OpSymbol(op_) + " " +
+             rhs_->ToString() + ")";
+  }
+}
+
+util::Result<BoundExpr> BoundExpr::Bind(const ExprPtr& expr,
+                                        const Schema& schema) {
+  BoundExpr bound;
+  util::Result<int> root = BindNode(expr, schema, &bound.nodes_);
+  if (!root.ok()) return root.status();
+  bound.root_ = *root;
+  bound.result_type_ = bound.nodes_[static_cast<std::size_t>(*root)].type;
+  return bound;
+}
+
+util::Result<int> BoundExpr::BindNode(const ExprPtr& expr,
+                                      const Schema& schema,
+                                      std::vector<Node>* nodes) {
+  if (expr == nullptr) {
+    return util::Status::InvalidArgument("null expression");
+  }
+  Node node;
+  node.op = expr->op();
+  switch (expr->op()) {
+    case ExprOp::kColumn: {
+      util::Result<std::size_t> col = schema.Resolve(expr->column_name());
+      if (!col.ok()) return col.status();
+      node.column = *col;
+      node.type = schema.column(*col).type;
+      break;
+    }
+    case ExprOp::kLiteral:
+      node.literal = expr->literal();
+      node.type = node.literal.type();
+      break;
+    case ExprOp::kNeg:
+    case ExprOp::kNot: {
+      util::Result<int> l = BindNode(expr->lhs(), schema, nodes);
+      if (!l.ok()) return l.status();
+      node.lhs = *l;
+      Type lt = (*nodes)[static_cast<std::size_t>(*l)].type;
+      if (lt == Type::kString) {
+        return util::Status::InvalidArgument("unary operator on string");
+      }
+      node.type = expr->op() == ExprOp::kNot ? Type::kInt64 : lt;
+      break;
+    }
+    default: {
+      util::Result<int> l = BindNode(expr->lhs(), schema, nodes);
+      if (!l.ok()) return l.status();
+      util::Result<int> r = BindNode(expr->rhs(), schema, nodes);
+      if (!r.ok()) return r.status();
+      node.lhs = *l;
+      node.rhs = *r;
+      Type lt = (*nodes)[static_cast<std::size_t>(*l)].type;
+      Type rt = (*nodes)[static_cast<std::size_t>(*r)].type;
+      switch (expr->op()) {
+        case ExprOp::kAdd:
+        case ExprOp::kSub:
+        case ExprOp::kMul:
+        case ExprOp::kDiv:
+          if (lt == Type::kString || rt == Type::kString) {
+            return util::Status::InvalidArgument(
+                "arithmetic on string operands: " + expr->ToString());
+          }
+          node.type = (lt == Type::kDouble || rt == Type::kDouble ||
+                       expr->op() == ExprOp::kDiv)
+                          ? Type::kDouble
+                          : Type::kInt64;
+          break;
+        case ExprOp::kEq:
+        case ExprOp::kNe:
+        case ExprOp::kLt:
+        case ExprOp::kLe:
+        case ExprOp::kGt:
+        case ExprOp::kGe:
+          if ((lt == Type::kString) != (rt == Type::kString)) {
+            return util::Status::InvalidArgument(
+                "comparison between string and number: " + expr->ToString());
+          }
+          node.type = Type::kInt64;
+          break;
+        case ExprOp::kAnd:
+        case ExprOp::kOr:
+          if (lt == Type::kString || rt == Type::kString) {
+            return util::Status::InvalidArgument(
+                "boolean operator on string operands");
+          }
+          node.type = Type::kInt64;
+          break;
+        default:
+          return util::Status::Internal("unexpected binary operator");
+      }
+      break;
+    }
+  }
+  nodes->push_back(std::move(node));
+  return static_cast<int>(nodes->size() - 1);
+}
+
+Value BoundExpr::Eval(const Table& table, std::size_t row) const {
+  return EvalNode(root_, table, row);
+}
+
+bool BoundExpr::EvalBool(const Table& table, std::size_t row) const {
+  Value v = EvalNode(root_, table, row);
+  COBRA_CHECK_MSG(v.is_numeric(), "predicate evaluated to a string");
+  return v.AsDouble() != 0.0;
+}
+
+Value BoundExpr::EvalNode(int index, const Table& table,
+                          std::size_t row) const {
+  const Node& node = nodes_[static_cast<std::size_t>(index)];
+  switch (node.op) {
+    case ExprOp::kColumn:
+      return table.Get(row, node.column);
+    case ExprOp::kLiteral:
+      return node.literal;
+    case ExprOp::kNeg: {
+      Value v = EvalNode(node.lhs, table, row);
+      if (v.type() == Type::kInt64) return Value(-v.AsInt64());
+      return Value(-v.AsDouble());
+    }
+    case ExprOp::kNot: {
+      Value v = EvalNode(node.lhs, table, row);
+      return Value(static_cast<std::int64_t>(v.AsDouble() == 0.0 ? 1 : 0));
+    }
+    default:
+      break;
+  }
+  Value l = EvalNode(node.lhs, table, row);
+  Value r = EvalNode(node.rhs, table, row);
+  auto bool_val = [](bool b) { return Value(static_cast<std::int64_t>(b)); };
+  switch (node.op) {
+    case ExprOp::kAdd:
+      if (node.type == Type::kInt64) return Value(l.AsInt64() + r.AsInt64());
+      return Value(l.AsDouble() + r.AsDouble());
+    case ExprOp::kSub:
+      if (node.type == Type::kInt64) return Value(l.AsInt64() - r.AsInt64());
+      return Value(l.AsDouble() - r.AsDouble());
+    case ExprOp::kMul:
+      if (node.type == Type::kInt64) return Value(l.AsInt64() * r.AsInt64());
+      return Value(l.AsDouble() * r.AsDouble());
+    case ExprOp::kDiv:
+      return Value(l.AsDouble() / r.AsDouble());
+    case ExprOp::kEq:
+      return bool_val(l == r);
+    case ExprOp::kNe:
+      return bool_val(!(l == r));
+    case ExprOp::kLt:
+      return bool_val(l < r);
+    case ExprOp::kLe:
+      return bool_val(!(r < l));
+    case ExprOp::kGt:
+      return bool_val(r < l);
+    case ExprOp::kGe:
+      return bool_val(!(l < r));
+    case ExprOp::kAnd:
+      return bool_val(l.AsDouble() != 0.0 && r.AsDouble() != 0.0);
+    case ExprOp::kOr:
+      return bool_val(l.AsDouble() != 0.0 || r.AsDouble() != 0.0);
+    default:
+      COBRA_CHECK_MSG(false, "unexpected operator in EvalNode");
+      return Value();
+  }
+}
+
+}  // namespace cobra::rel

@@ -1,0 +1,134 @@
+#ifndef COBRA_REL_EXPR_H_
+#define COBRA_REL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rel/schema.h"
+#include "rel/table.h"
+#include "rel/value.h"
+#include "util/status.h"
+
+namespace cobra::rel {
+
+/// Operators of the scalar expression language.
+enum class ExprOp {
+  kColumn,   ///< Column reference (by name until bound, then by index).
+  kLiteral,  ///< Constant value.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+/// A scalar expression tree over the columns of one schema.
+///
+/// Expressions are built unbound (columns referenced by name), then `Bind`
+/// resolves names to column indices against a concrete schema. Booleans are
+/// represented as INT64 0/1. The tree is immutable and shared via
+/// `std::shared_ptr`, so plans can reuse subexpressions.
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  /// Column reference, e.g. "Dur" or "Calls.Dur".
+  static ExprPtr Column(std::string name);
+
+  /// Literal constant.
+  static ExprPtr Literal(Value v);
+  static ExprPtr Int(std::int64_t v) { return Literal(Value(v)); }
+  static ExprPtr Double(double v) { return Literal(Value(v)); }
+  static ExprPtr Str(std::string v) { return Literal(Value(std::move(v))); }
+
+  /// Binary / unary constructors.
+  static ExprPtr Binary(ExprOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(ExprOp op, ExprPtr operand);
+  static ExprPtr Add(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kAdd, a, b); }
+  static ExprPtr Sub(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kSub, a, b); }
+  static ExprPtr Mul(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kMul, a, b); }
+  static ExprPtr Div(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kDiv, a, b); }
+  static ExprPtr Eq(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kEq, a, b); }
+  static ExprPtr Ne(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kNe, a, b); }
+  static ExprPtr Lt(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kLt, a, b); }
+  static ExprPtr Le(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kLe, a, b); }
+  static ExprPtr Gt(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kGt, a, b); }
+  static ExprPtr Ge(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kGe, a, b); }
+  static ExprPtr And(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kAnd, a, b); }
+  static ExprPtr Or(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kOr, a, b); }
+  static ExprPtr Not(ExprPtr a) { return Unary(ExprOp::kNot, a); }
+
+  ExprOp op() const { return op_; }
+  const std::string& column_name() const { return name_; }
+  const Value& literal() const { return literal_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+  /// Inserts the names of all referenced columns into `out`.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  /// Renders the expression for diagnostics.
+  std::string ToString() const;
+
+ private:
+  friend class BoundExpr;
+  Expr(ExprOp op, std::string name, Value literal, ExprPtr lhs, ExprPtr rhs)
+      : op_(op),
+        name_(std::move(name)),
+        literal_(std::move(literal)),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  ExprOp op_;
+  std::string name_;   // kColumn
+  Value literal_;      // kLiteral
+  ExprPtr lhs_, rhs_;  // operands (rhs null for unary)
+};
+
+/// An expression resolved against a schema, ready to evaluate row by row.
+class BoundExpr {
+ public:
+  /// Resolves all column references of `expr` against `schema`.
+  static util::Result<BoundExpr> Bind(const ExprPtr& expr, const Schema& schema);
+
+  /// Evaluates on row `row` of `table` (whose schema was used to bind).
+  Value Eval(const Table& table, std::size_t row) const;
+
+  /// Evaluates and coerces to a boolean (nonzero numeric = true).
+  bool EvalBool(const Table& table, std::size_t row) const;
+
+  /// Static result type of the expression.
+  Type result_type() const { return result_type_; }
+
+ private:
+  struct Node {
+    ExprOp op;
+    std::size_t column = 0;  // kColumn
+    Value literal;           // kLiteral
+    int lhs = -1, rhs = -1;  // indices into nodes_
+    Type type = Type::kInt64;
+  };
+
+  static util::Result<int> BindNode(const ExprPtr& expr, const Schema& schema,
+                                    std::vector<Node>* nodes);
+  Value EvalNode(int node, const Table& table, std::size_t row) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  Type result_type_ = Type::kInt64;
+};
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_EXPR_H_

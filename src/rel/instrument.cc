@@ -1,0 +1,74 @@
+#include "rel/instrument.h"
+
+#include <unordered_map>
+
+namespace cobra::rel {
+
+util::Status InstrumentTable(Database* db, const std::string& table_name,
+                             const VarNamer& namer) {
+  util::Result<AnnotatedTable*> table = db->GetMutableTable(table_name);
+  if (!table.ok()) return table.status();
+  AnnotatedTable* at = *table;
+  prov::VarPool* vars = db->mutable_var_pool();
+  for (std::size_t r = 0; r < at->NumRows(); ++r) {
+    std::vector<std::string> names = namer(at->table, r);
+    for (const std::string& name : names) {
+      AnnotId var_annot = at->pool->InternVar(vars->Intern(name));
+      at->annots[r] = at->pool->Product(at->annots[r], var_annot);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status InstrumentByColumns(Database* db, const std::string& table_name,
+                                 const std::vector<ColumnVarSpec>& specs) {
+  util::Result<AnnotatedTable*> table = db->GetMutableTable(table_name);
+  if (!table.ok()) return table.status();
+  std::vector<std::size_t> cols;
+  for (const ColumnVarSpec& spec : specs) {
+    util::Result<std::size_t> idx = (*table)->schema().Resolve(spec.column);
+    if (!idx.ok()) return idx.status();
+    cols.push_back(*idx);
+  }
+  return InstrumentTable(
+      db, table_name,
+      [&specs, &cols](const Table& t, std::size_t row) {
+        std::vector<std::string> names;
+        names.reserve(specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+          names.push_back(specs[i].prefix + t.Get(row, cols[i]).ToString());
+        }
+        return names;
+      });
+}
+
+util::Status InstrumentByDictionary(
+    Database* db, const std::string& table_name, const std::string& column,
+    const std::vector<std::pair<std::string, std::string>>& value_to_var) {
+  util::Result<AnnotatedTable*> table = db->GetMutableTable(table_name);
+  if (!table.ok()) return table.status();
+  util::Result<std::size_t> idx = (*table)->schema().Resolve(column);
+  if (!idx.ok()) return idx.status();
+  std::unordered_map<std::string, std::string> dict(value_to_var.begin(),
+                                                    value_to_var.end());
+  std::size_t col = *idx;
+  return InstrumentTable(
+      db, table_name,
+      [&dict, col](const Table& t, std::size_t row) {
+        std::vector<std::string> names;
+        auto it = dict.find(t.Get(row, col).ToString());
+        if (it != dict.end()) names.push_back(it->second);
+        return names;
+      });
+}
+
+util::Status InstrumentTuples(Database* db, const std::string& table_name,
+                              const std::string& prefix) {
+  return InstrumentTable(db, table_name,
+                         [&prefix](const Table&, std::size_t row) {
+                           return std::vector<std::string>{
+                               prefix + std::to_string(row)};
+                         });
+}
+
+}  // namespace cobra::rel

@@ -1,0 +1,57 @@
+#ifndef COBRA_REL_INSTRUMENT_H_
+#define COBRA_REL_INSTRUMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rel/database.h"
+#include "util/status.h"
+
+namespace cobra::rel {
+
+/// Instrumentation: attaching symbolic variables to base data.
+///
+/// The paper instruments data "at the cell or tuple level" so that query
+/// results become polynomials over the attached variables. COBRA's
+/// hypothetical scenarios are *multiplicative* changes ("decrease March
+/// prices by 20%"), so attaching the variable to the tuple annotation is
+/// equivalent to scaling the parameterized measure column, provided that
+/// column enters the aggregate multiplicatively for those tuples (true for
+/// all workloads in this repo; documented per query in DESIGN.md).
+
+/// Returns the variable names to attach to one row (empty = leave as-is).
+using VarNamer =
+    std::function<std::vector<std::string>(const Table& table, std::size_t row)>;
+
+/// Multiplies the annotation of every row of `table_name` by one variable
+/// per name produced by `namer` (names are interned in the database's
+/// variable pool). Typical use: tag each Plans row with its plan variable
+/// and its month variable, yielding annotations like `p1 * m1`.
+util::Status InstrumentTable(Database* db, const std::string& table_name,
+                             const VarNamer& namer);
+
+/// Convenience: tags each row with variables derived from column values.
+/// For each instruction `{column, prefix}` the row gains the variable
+/// `prefix + value_of(column)` (e.g. {"Mo", "m"} -> "m3").
+struct ColumnVarSpec {
+  std::string column;
+  std::string prefix;
+};
+util::Status InstrumentByColumns(Database* db, const std::string& table_name,
+                                 const std::vector<ColumnVarSpec>& specs);
+
+/// Tags each row with a variable derived from a column value through an
+/// explicit dictionary (e.g. plan name -> paper's variable name: "A" -> "p1").
+util::Status InstrumentByDictionary(
+    Database* db, const std::string& table_name, const std::string& column,
+    const std::vector<std::pair<std::string, std::string>>& value_to_var);
+
+/// Tuple-level provenance: tags row `r` of the table with the fresh variable
+/// `prefix + r` (classical tuple-annotation instrumentation).
+util::Status InstrumentTuples(Database* db, const std::string& table_name,
+                              const std::string& prefix);
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_INSTRUMENT_H_

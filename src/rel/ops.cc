@@ -1,0 +1,319 @@
+#include "rel/ops.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace cobra::rel {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+// Copies row `row` of `src` onto the end of `dst` (schemas must align,
+// possibly as a prefix/suffix starting at dst column `col_offset`).
+void CopyRow(const Table& src, std::size_t row, Table* dst,
+             std::size_t col_offset) {
+  for (std::size_t c = 0; c < src.NumColumns(); ++c) {
+    Column* out = dst->mutable_column(col_offset + c);
+    const Column& in = src.column(c);
+    switch (in.type()) {
+      case Type::kInt64:
+        out->AppendInt64(in.GetInt64(row));
+        break;
+      case Type::kDouble:
+        out->AppendDouble(in.GetDouble(row));
+        break;
+      case Type::kString:
+        out->AppendString(in.GetString(row));
+        break;
+    }
+  }
+}
+
+// Hash of the tuple of values of `cols` on `row`.
+std::uint64_t HashKey(const Table& table, std::size_t row,
+                      const std::vector<std::size_t>& cols) {
+  std::uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (std::size_t c : cols) h = util::HashCombine(h, table.Get(row, c).Hash());
+  return h;
+}
+
+bool KeysEqual(const Table& a, std::size_t ra, const std::vector<std::size_t>& ca,
+               const Table& b, std::size_t rb,
+               const std::vector<std::size_t>& cb) {
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (!(a.Get(ra, ca[i]) == b.Get(rb, cb[i]))) return false;
+  }
+  return true;
+}
+
+Result<std::vector<std::size_t>> ResolveAll(const Schema& schema,
+                                            const std::vector<std::string>& refs) {
+  std::vector<std::size_t> out;
+  out.reserve(refs.size());
+  for (const std::string& ref : refs) {
+    Result<std::size_t> idx = schema.Resolve(ref);
+    if (!idx.ok()) return idx.status();
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AnnotatedTable> Select(const AnnotatedTable& input,
+                              const ExprPtr& predicate) {
+  Result<BoundExpr> bound = BoundExpr::Bind(predicate, input.schema());
+  if (!bound.ok()) return bound.status();
+  Table out_table(input.schema());
+  std::vector<AnnotId> out_annots;
+  std::size_t appended = 0;
+  for (std::size_t r = 0; r < input.NumRows(); ++r) {
+    if (!bound->EvalBool(input.table, r)) continue;
+    CopyRow(input.table, r, &out_table, 0);
+    out_annots.push_back(input.annots[r]);
+    ++appended;
+  }
+  out_table.CommitAppendedRows(appended);
+  return AnnotatedTable{std::move(out_table), std::move(out_annots), input.pool};
+}
+
+Result<AnnotatedTable> Project(const AnnotatedTable& input,
+                               const std::vector<ExprPtr>& exprs,
+                               const std::vector<std::string>& names) {
+  if (exprs.size() != names.size()) {
+    return Status::InvalidArgument("Project: exprs/names arity mismatch");
+  }
+  std::vector<BoundExpr> bound;
+  bound.reserve(exprs.size());
+  Schema out_schema;
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    Result<BoundExpr> b = BoundExpr::Bind(exprs[i], input.schema());
+    if (!b.ok()) return b.status();
+    out_schema.AddColumn("", {names[i], b->result_type()});
+    bound.push_back(std::move(*b));
+  }
+  Table out_table(out_schema);
+  out_table.Reserve(input.NumRows());
+  for (std::size_t r = 0; r < input.NumRows(); ++r) {
+    for (std::size_t c = 0; c < bound.size(); ++c) {
+      Value v = bound[c].Eval(input.table, r);
+      switch (out_schema.column(c).type) {
+        case Type::kInt64:
+          out_table.mutable_column(c)->AppendInt64(v.AsInt64());
+          break;
+        case Type::kDouble:
+          out_table.mutable_column(c)->AppendDouble(v.AsDouble());
+          break;
+        case Type::kString:
+          out_table.mutable_column(c)->AppendString(v.AsString());
+          break;
+      }
+    }
+  }
+  out_table.CommitAppendedRows(input.NumRows());
+  return AnnotatedTable{std::move(out_table), input.annots, input.pool};
+}
+
+Result<AnnotatedTable> HashJoin(const AnnotatedTable& left,
+                                const AnnotatedTable& right,
+                                const std::vector<std::string>& left_keys,
+                                const std::vector<std::string>& right_keys) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument("HashJoin: bad key lists");
+  }
+  if (left.pool != right.pool) {
+    return Status::InvalidArgument("HashJoin: inputs from different databases");
+  }
+  Result<std::vector<std::size_t>> lcols = ResolveAll(left.schema(), left_keys);
+  if (!lcols.ok()) return lcols.status();
+  Result<std::vector<std::size_t>> rcols = ResolveAll(right.schema(), right_keys);
+  if (!rcols.ok()) return rcols.status();
+  for (std::size_t i = 0; i < lcols->size(); ++i) {
+    Type lt = left.schema().column((*lcols)[i]).type;
+    Type rt = right.schema().column((*rcols)[i]).type;
+    if ((lt == Type::kString) != (rt == Type::kString)) {
+      return Status::InvalidArgument("HashJoin: key type mismatch on " +
+                                     left_keys[i]);
+    }
+  }
+
+  // Build side: the smaller input.
+  bool build_left = left.NumRows() <= right.NumRows();
+  const AnnotatedTable& build = build_left ? left : right;
+  const AnnotatedTable& probe = build_left ? right : left;
+  const std::vector<std::size_t>& build_cols = build_left ? *lcols : *rcols;
+  const std::vector<std::size_t>& probe_cols = build_left ? *rcols : *lcols;
+
+  std::unordered_multimap<std::uint64_t, std::size_t> index;
+  index.reserve(build.NumRows() * 2);
+  for (std::size_t r = 0; r < build.NumRows(); ++r) {
+    index.emplace(HashKey(build.table, r, build_cols), r);
+  }
+
+  Schema out_schema = Schema::Concat(left.schema(), right.schema());
+  Table out_table(out_schema);
+  std::vector<AnnotId> out_annots;
+  std::size_t appended = 0;
+  std::size_t left_width = left.schema().size();
+  for (std::size_t pr = 0; pr < probe.NumRows(); ++pr) {
+    std::uint64_t h = HashKey(probe.table, pr, probe_cols);
+    auto range = index.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      std::size_t br = it->second;
+      if (!KeysEqual(probe.table, pr, probe_cols, build.table, br, build_cols))
+        continue;
+      std::size_t lr = build_left ? br : pr;
+      std::size_t rr = build_left ? pr : br;
+      CopyRow(left.table, lr, &out_table, 0);
+      CopyRow(right.table, rr, &out_table, left_width);
+      out_annots.push_back(
+          left.pool->Product(left.annots[lr], right.annots[rr]));
+      ++appended;
+    }
+  }
+  out_table.CommitAppendedRows(appended);
+  return AnnotatedTable{std::move(out_table), std::move(out_annots), left.pool};
+}
+
+Result<AnnotatedTable> NestedLoopJoin(const AnnotatedTable& left,
+                                      const AnnotatedTable& right,
+                                      const ExprPtr& predicate) {
+  if (left.pool != right.pool) {
+    return Status::InvalidArgument(
+        "NestedLoopJoin: inputs from different databases");
+  }
+  Schema out_schema = Schema::Concat(left.schema(), right.schema());
+  Result<BoundExpr> bound = BoundExpr::Bind(predicate, out_schema);
+  if (!bound.ok()) return bound.status();
+  Table out_table(out_schema);
+  std::vector<AnnotId> out_annots;
+  std::size_t appended = 0;
+  std::size_t left_width = left.schema().size();
+  for (std::size_t lr = 0; lr < left.NumRows(); ++lr) {
+    // Materialize each candidate pair into a one-row scratch table and test
+    // the predicate there; only matches are copied to the output.
+    for (std::size_t rr = 0; rr < right.NumRows(); ++rr) {
+      Table scratch(out_schema);
+      CopyRow(left.table, lr, &scratch, 0);
+      CopyRow(right.table, rr, &scratch, left_width);
+      scratch.CommitAppendedRows(1);
+      if (!bound->EvalBool(scratch, 0)) continue;
+      CopyRow(scratch, 0, &out_table, 0);
+      out_annots.push_back(
+          left.pool->Product(left.annots[lr], right.annots[rr]));
+      ++appended;
+    }
+  }
+  out_table.CommitAppendedRows(appended);
+  return AnnotatedTable{std::move(out_table), std::move(out_annots), left.pool};
+}
+
+Result<AnnotatedTable> Union(const AnnotatedTable& a, const AnnotatedTable& b) {
+  if (a.pool != b.pool) {
+    return Status::InvalidArgument("Union: inputs from different databases");
+  }
+  if (a.schema().size() != b.schema().size()) {
+    return Status::InvalidArgument("Union: schema arity mismatch");
+  }
+  for (std::size_t i = 0; i < a.schema().size(); ++i) {
+    if (a.schema().column(i).type != b.schema().column(i).type) {
+      return Status::InvalidArgument("Union: column type mismatch at index " +
+                                     std::to_string(i));
+    }
+  }
+  Table out_table(a.schema());
+  out_table.Reserve(a.NumRows() + b.NumRows());
+  for (std::size_t r = 0; r < a.NumRows(); ++r) CopyRow(a.table, r, &out_table, 0);
+  for (std::size_t r = 0; r < b.NumRows(); ++r) CopyRow(b.table, r, &out_table, 0);
+  out_table.CommitAppendedRows(a.NumRows() + b.NumRows());
+  std::vector<AnnotId> annots = a.annots;
+  annots.insert(annots.end(), b.annots.begin(), b.annots.end());
+  return AnnotatedTable{std::move(out_table), std::move(annots), a.pool};
+}
+
+AnnotatedTable Distinct(const AnnotatedTable& input) {
+  std::vector<std::size_t> all_cols(input.schema().size());
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+  // Group rows by full-tuple hash; first occurrence keeps the row, later
+  // equal rows fold their annotations in with semiring Plus.
+  std::unordered_multimap<std::uint64_t, std::size_t> seen;  // hash -> out row
+  Table out_table(input.schema());
+  std::vector<AnnotId> out_annots;
+  std::vector<std::size_t> out_to_in;  // representative input row per out row
+  std::size_t appended = 0;
+  for (std::size_t r = 0; r < input.NumRows(); ++r) {
+    std::uint64_t h = HashKey(input.table, r, all_cols);
+    auto range = seen.equal_range(h);
+    std::size_t found = static_cast<std::size_t>(-1);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (KeysEqual(input.table, r, all_cols, input.table, out_to_in[it->second],
+                    all_cols)) {
+        found = it->second;
+        break;
+      }
+    }
+    if (found == static_cast<std::size_t>(-1)) {
+      CopyRow(input.table, r, &out_table, 0);
+      out_annots.push_back(input.annots[r]);
+      out_to_in.push_back(r);
+      seen.emplace(h, appended);
+      ++appended;
+    } else {
+      out_annots[found] = input.pool->Sum(out_annots[found], input.annots[r]);
+    }
+  }
+  out_table.CommitAppendedRows(appended);
+  return AnnotatedTable{std::move(out_table), std::move(out_annots), input.pool};
+}
+
+Result<AnnotatedTable> OrderBy(const AnnotatedTable& input,
+                               const std::vector<SortKey>& keys) {
+  std::vector<BoundExpr> bound;
+  bound.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    Result<BoundExpr> b = BoundExpr::Bind(k.expr, input.schema());
+    if (!b.ok()) return b.status();
+    bound.push_back(std::move(*b));
+  }
+  std::vector<std::size_t> order(input.NumRows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     for (std::size_t i = 0; i < bound.size(); ++i) {
+                       Value va = bound[i].Eval(input.table, a);
+                       Value vb = bound[i].Eval(input.table, b);
+                       if (va == vb) continue;
+                       bool lt = va < vb;
+                       return keys[i].descending ? !lt : lt;
+                     }
+                     return false;
+                   });
+  Table out_table(input.schema());
+  out_table.Reserve(input.NumRows());
+  std::vector<AnnotId> out_annots;
+  out_annots.reserve(input.NumRows());
+  for (std::size_t r : order) {
+    CopyRow(input.table, r, &out_table, 0);
+    out_annots.push_back(input.annots[r]);
+  }
+  out_table.CommitAppendedRows(input.NumRows());
+  return AnnotatedTable{std::move(out_table), std::move(out_annots), input.pool};
+}
+
+AnnotatedTable Limit(const AnnotatedTable& input, std::size_t n) {
+  std::size_t keep = std::min(n, input.NumRows());
+  Table out_table(input.schema());
+  out_table.Reserve(keep);
+  for (std::size_t r = 0; r < keep; ++r) CopyRow(input.table, r, &out_table, 0);
+  out_table.CommitAppendedRows(keep);
+  std::vector<AnnotId> annots(input.annots.begin(),
+                              input.annots.begin() + static_cast<std::ptrdiff_t>(keep));
+  return AnnotatedTable{std::move(out_table), std::move(annots), input.pool};
+}
+
+}  // namespace cobra::rel

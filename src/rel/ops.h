@@ -1,0 +1,67 @@
+#ifndef COBRA_REL_OPS_H_
+#define COBRA_REL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/annot.h"
+#include "rel/expr.h"
+#include "util/status.h"
+
+namespace cobra::rel {
+
+/// Annotated relational operators (bag semantics over the semiring N[X]).
+///
+/// Each operator follows the Green-Karvounarakis-Tannen rules:
+///  * selection keeps the annotation of surviving tuples,
+///  * projection keeps annotations (duplicates remain distinct tuples;
+///    `Distinct` merges them with semiring Plus),
+///  * join multiplies annotations,
+///  * union adds tables (annotations pass through),
+///  * duplicate elimination sums annotations of equal tuples.
+
+/// σ: rows of `input` where `predicate` holds.
+util::Result<AnnotatedTable> Select(const AnnotatedTable& input,
+                                    const ExprPtr& predicate);
+
+/// π (generalized): evaluates `exprs` per row; `names[i]` is the output
+/// column name (unqualified).
+util::Result<AnnotatedTable> Project(const AnnotatedTable& input,
+                                     const std::vector<ExprPtr>& exprs,
+                                     const std::vector<std::string>& names);
+
+/// Equi-join on `left_keys[i] == right_keys[i]` (hash join; annotations
+/// multiply). Output schema is the concatenation of both inputs.
+util::Result<AnnotatedTable> HashJoin(const AnnotatedTable& left,
+                                      const AnnotatedTable& right,
+                                      const std::vector<std::string>& left_keys,
+                                      const std::vector<std::string>& right_keys);
+
+/// θ-join by nested loops for arbitrary predicates (small inputs/tests).
+util::Result<AnnotatedTable> NestedLoopJoin(const AnnotatedTable& left,
+                                            const AnnotatedTable& right,
+                                            const ExprPtr& predicate);
+
+/// Bag union; schemas must have identical column types and names.
+util::Result<AnnotatedTable> Union(const AnnotatedTable& a,
+                                   const AnnotatedTable& b);
+
+/// δ: collapses equal rows, summing their annotations (semiring Plus).
+AnnotatedTable Distinct(const AnnotatedTable& input);
+
+/// Sort specification for OrderBy.
+struct SortKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// Sorts rows (stable) by the given keys.
+util::Result<AnnotatedTable> OrderBy(const AnnotatedTable& input,
+                                     const std::vector<SortKey>& keys);
+
+/// Keeps the first `n` rows.
+AnnotatedTable Limit(const AnnotatedTable& input, std::size_t n);
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_OPS_H_

@@ -1,0 +1,67 @@
+#include "rel/schema.h"
+
+#include "util/str.h"
+
+namespace cobra::rel {
+
+Schema::Schema(std::string qualifier, std::vector<ColumnDef> columns)
+    : columns_(std::move(columns)),
+      qualifiers_(columns_.size(), std::move(qualifier)) {}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out = left;
+  out.columns_.insert(out.columns_.end(), right.columns_.begin(),
+                      right.columns_.end());
+  out.qualifiers_.insert(out.qualifiers_.end(), right.qualifiers_.begin(),
+                         right.qualifiers_.end());
+  return out;
+}
+
+std::string Schema::QualifiedName(std::size_t index) const {
+  if (qualifiers_[index].empty()) return columns_[index].name;
+  return qualifiers_[index] + "." + columns_[index].name;
+}
+
+void Schema::AddColumn(std::string qualifier, ColumnDef def) {
+  qualifiers_.push_back(std::move(qualifier));
+  columns_.push_back(std::move(def));
+}
+
+util::Result<std::size_t> Schema::Resolve(std::string_view ref) const {
+  std::string_view qualifier;
+  std::string_view name = ref;
+  std::size_t dot = ref.rfind('.');
+  if (dot != std::string_view::npos) {
+    qualifier = ref.substr(0, dot);
+    name = ref.substr(dot + 1);
+  }
+  std::size_t found = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (!util::EqualsIgnoreCase(columns_[i].name, name)) continue;
+    if (!qualifier.empty() && !util::EqualsIgnoreCase(qualifiers_[i], qualifier))
+      continue;
+    if (found != static_cast<std::size_t>(-1)) {
+      return util::Status::AlreadyExists("ambiguous column reference: " +
+                                         std::string(ref));
+    }
+    found = i;
+  }
+  if (found == static_cast<std::size_t>(-1)) {
+    return util::Status::NotFound("unknown column: " + std::string(ref));
+  }
+  return found;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += QualifiedName(i);
+    out += " ";
+    out += TypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cobra::rel

@@ -1,0 +1,71 @@
+#ifndef COBRA_REL_SCHEMA_H_
+#define COBRA_REL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rel/value.h"
+#include "util/status.h"
+
+namespace cobra::rel {
+
+/// A named, typed column of a relation schema.
+struct ColumnDef {
+  std::string name;  ///< Unqualified name, e.g. "Dur".
+  Type type;
+
+  bool operator==(const ColumnDef& other) const = default;
+};
+
+/// An ordered list of columns. Column lookup supports both unqualified
+/// ("Dur") and qualified ("Calls.Dur") references; a qualified reference
+/// matches when the schema's qualifier for that column equals the prefix.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema with one shared `qualifier` (typically the table name
+  /// or alias) for all columns.
+  Schema(std::string qualifier, std::vector<ColumnDef> columns);
+
+  /// Concatenates two schemas (used by joins). Column qualifiers are kept.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Number of columns.
+  std::size_t size() const { return columns_.size(); }
+
+  /// The column definition at `index`.
+  const ColumnDef& column(std::size_t index) const { return columns_[index]; }
+
+  /// The qualifier of the column at `index` ("" when unqualified).
+  const std::string& qualifier(std::size_t index) const {
+    return qualifiers_[index];
+  }
+
+  /// Display name at `index`: "Qualifier.Name" or "Name".
+  std::string QualifiedName(std::size_t index) const;
+
+  /// Appends a column.
+  void AddColumn(std::string qualifier, ColumnDef def);
+
+  /// Resolves `ref` ("Name" or "Qualifier.Name") to a column index.
+  /// Unqualified lookup fails with AlreadyExists if ambiguous.
+  util::Result<std::size_t> Resolve(std::string_view ref) const;
+
+  /// True iff `ref` resolves uniquely.
+  bool CanResolve(std::string_view ref) const { return Resolve(ref).ok(); }
+
+  /// Renders "(Qualifier.Name TYPE, ...)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<std::string> qualifiers_;
+};
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_SCHEMA_H_

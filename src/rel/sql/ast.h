@@ -1,0 +1,57 @@
+#ifndef COBRA_REL_SQL_AST_H_
+#define COBRA_REL_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/aggregate.h"
+#include "rel/expr.h"
+
+namespace cobra::rel::sql {
+
+/// One item of the SELECT list: a scalar expression or an aggregate call,
+/// with an optional alias.
+struct SelectItem {
+  ExprPtr expr;                  ///< Scalar part (aggregate input, or whole item).
+  std::optional<AggFunc> agg;    ///< Set when the item is an aggregate call.
+  bool count_star = false;       ///< COUNT(*) — expr is null.
+  std::string alias;             ///< Output name ("" = derived).
+};
+
+/// One table in the FROM clause, with an optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< "" = use the table name.
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// One ORDER BY key.
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// A parsed SELECT statement of the supported subset:
+///
+///   SELECT item [, item]*
+///   FROM table [alias] [, table [alias]]*
+///   [WHERE predicate]
+///   [GROUP BY colref [, colref]*]
+///   [ORDER BY expr [ASC|DESC] [, ...]]
+///   [LIMIT n]
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  ///< null when absent
+  std::vector<std::string> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<std::size_t> limit;
+};
+
+}  // namespace cobra::rel::sql
+
+#endif  // COBRA_REL_SQL_AST_H_

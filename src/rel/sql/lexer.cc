@@ -1,0 +1,114 @@
+#include "rel/sql/lexer.h"
+
+#include <cctype>
+
+#include "util/str.h"
+
+namespace cobra::rel::sql {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  return kind == TokenKind::kIdent && util::EqualsIgnoreCase(text, keyword);
+}
+
+bool Token::IsSymbol(std::string_view sym) const {
+  return kind == TokenKind::kSymbol && text == sym;
+}
+
+util::Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      // Line comment.
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      // Qualified names like Calls.Dur lex as one identifier token.
+      while (i < text.size() && text[i] == '.' && i + 1 < text.size() &&
+             (std::isalpha(static_cast<unsigned char>(text[i + 1])) ||
+              text[i + 1] == '_')) {
+        ++i;
+        while (i < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                text[i] == '_')) {
+          ++i;
+        }
+      }
+      tokens.push_back(
+          {TokenKind::kIdent, std::string(text.substr(start, i - start)), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      bool seen_dot = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (text[i] == '.' && !seen_dot))) {
+        if (text[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kNumber, std::string(text.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string content;
+      for (;;) {
+        if (i >= text.size()) {
+          return util::Status::ParseError("unterminated string literal");
+        }
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            content.push_back('\'');
+            i += 2;
+          } else {
+            ++i;
+            break;
+          }
+        } else {
+          content.push_back(text[i]);
+          ++i;
+        }
+      }
+      tokens.push_back({TokenKind::kString, std::move(content), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < text.size()) {
+      std::string_view two = text.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+        tokens.push_back({TokenKind::kSymbol,
+                          two == "!=" ? std::string("<>") : std::string(two),
+                          start});
+        i += 2;
+        continue;
+      }
+    }
+    if (std::string_view("(),*+-/=<>;").find(c) != std::string_view::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return util::Status::ParseError("unexpected character '" +
+                                    std::string(1, c) + "' at offset " +
+                                    std::to_string(i));
+  }
+  tokens.push_back({TokenKind::kEnd, "", text.size()});
+  return tokens;
+}
+
+}  // namespace cobra::rel::sql

@@ -1,0 +1,39 @@
+#ifndef COBRA_REL_SQL_LEXER_H_
+#define COBRA_REL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::rel::sql {
+
+/// Token kinds of the SQL subset.
+enum class TokenKind {
+  kIdent,    ///< Identifier or keyword (keywords resolved by the parser).
+  kNumber,   ///< Integer or decimal literal.
+  kString,   ///< Single-quoted string literal (unescaped content).
+  kSymbol,   ///< Punctuation / operator: ( ) , * + - / = <> < <= > >= .
+  kEnd,      ///< End of input.
+};
+
+/// One lexical token with its source offset (for diagnostics).
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// True for an identifier matching `keyword` case-insensitively.
+  bool IsKeyword(std::string_view keyword) const;
+  /// True for the exact symbol `sym`.
+  bool IsSymbol(std::string_view sym) const;
+};
+
+/// Tokenizes `text`. The final token is always kEnd.
+util::Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace cobra::rel::sql
+
+#endif  // COBRA_REL_SQL_LEXER_H_

@@ -1,0 +1,338 @@
+#include "rel/sql/parser.h"
+
+#include "rel/sql/lexer.h"
+#include "util/str.h"
+
+namespace cobra::rel::sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> ParseStatement() {
+    SelectStmt stmt;
+    if (!ConsumeKeyword("SELECT")) return Err("expected SELECT");
+    // Select list.
+    for (;;) {
+      Result<SelectItem> item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      stmt.items.push_back(std::move(*item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (!ConsumeKeyword("FROM")) return Err("expected FROM");
+    for (;;) {
+      Result<TableRef> table = ParseTableRef();
+      if (!table.ok()) return table.status();
+      stmt.from.push_back(std::move(*table));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      Result<ExprPtr> predicate = ParseExpr();
+      if (!predicate.ok()) return predicate.status();
+      stmt.where = std::move(*predicate);
+    }
+    if (ConsumeKeyword("GROUP")) {
+      if (!ConsumeKeyword("BY")) return Err("expected BY after GROUP");
+      for (;;) {
+        if (!Current().Is(TokenKind::kIdent)) return Err("expected column");
+        stmt.group_by.push_back(Current().text);
+        Advance();
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("ORDER")) {
+      if (!ConsumeKeyword("BY")) return Err("expected BY after ORDER");
+      for (;;) {
+        OrderItem item;
+        Result<ExprPtr> e = ParseExpr();
+        if (!e.ok()) return e.status();
+        item.expr = std::move(*e);
+        if (ConsumeKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (!Current().Is(TokenKind::kNumber)) return Err("expected limit count");
+      Result<std::int64_t> n = util::ParseInt64(Current().text);
+      if (!n.ok() || *n < 0) return Err("bad LIMIT value");
+      stmt.limit = static_cast<std::size_t>(*n);
+      Advance();
+    }
+    ConsumeSymbol(";");
+    if (!Current().Is(TokenKind::kEnd)) {
+      return Err("unexpected trailing input: '" + Current().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (Current().IsKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(std::string_view sym) {
+    if (Current().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::ParseError(message + " (near offset " +
+                              std::to_string(Current().offset) + ")");
+  }
+
+  static bool IsAggName(const std::string& name, AggFunc* out) {
+    struct Entry {
+      const char* name;
+      AggFunc func;
+    };
+    static constexpr Entry kAggs[] = {{"SUM", AggFunc::kSum},
+                                      {"COUNT", AggFunc::kCount},
+                                      {"AVG", AggFunc::kAvg},
+                                      {"MIN", AggFunc::kMin},
+                                      {"MAX", AggFunc::kMax}};
+    for (const Entry& e : kAggs) {
+      if (util::EqualsIgnoreCase(name, e.name)) {
+        *out = e.func;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    AggFunc func;
+    if (Current().Is(TokenKind::kIdent) && IsAggName(Current().text, &func) &&
+        tokens_[pos_ + 1].IsSymbol("(")) {
+      item.agg = func;
+      Advance();  // name
+      Advance();  // (
+      if (func == AggFunc::kCount && ConsumeSymbol("*")) {
+        item.count_star = true;
+      } else {
+        Result<ExprPtr> e = ParseExpr();
+        if (!e.ok()) return e.status();
+        item.expr = std::move(*e);
+      }
+      if (!ConsumeSymbol(")")) return Err("expected ) after aggregate");
+    } else {
+      Result<ExprPtr> e = ParseExpr();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(*e);
+    }
+    if (ConsumeKeyword("AS")) {
+      if (!Current().Is(TokenKind::kIdent)) return Err("expected alias");
+      item.alias = Current().text;
+      Advance();
+    } else if (Current().Is(TokenKind::kIdent) &&
+               !Current().IsKeyword("FROM")) {
+      // Bare alias (e.g. "SUM(x) total") — only when not a clause keyword.
+      static constexpr const char* kClauses[] = {"WHERE", "GROUP", "ORDER",
+                                                 "LIMIT"};
+      bool is_clause = false;
+      for (const char* kw : kClauses) {
+        if (Current().IsKeyword(kw)) is_clause = true;
+      }
+      if (!is_clause) {
+        item.alias = Current().text;
+        Advance();
+      }
+    }
+    return item;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (!Current().Is(TokenKind::kIdent)) return Err("expected table name");
+    TableRef ref;
+    ref.table = Current().text;
+    Advance();
+    if (Current().Is(TokenKind::kIdent) && !Current().IsKeyword("WHERE") &&
+        !Current().IsKeyword("GROUP") && !Current().IsKeyword("ORDER") &&
+        !Current().IsKeyword("LIMIT")) {
+      ref.alias = Current().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  // Expression grammar (lowest to highest precedence):
+  //   or_expr  := and_expr (OR and_expr)*
+  //   and_expr := not_expr (AND not_expr)*
+  //   not_expr := NOT not_expr | cmp
+  //   cmp      := add (( = | <> | < | <= | > | >= ) add)?
+  //   add      := mul (( + | - ) mul)*
+  //   mul      := unary (( * | / ) unary)*
+  //   unary    := - unary | primary
+  //   primary  := NUMBER | STRING | IDENT | ( or_expr )
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    Result<ExprPtr> lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr expr = std::move(*lhs);
+    while (ConsumeKeyword("OR")) {
+      Result<ExprPtr> rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      expr = Expr::Or(expr, std::move(*rhs));
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    Result<ExprPtr> lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    ExprPtr expr = std::move(*lhs);
+    while (ConsumeKeyword("AND")) {
+      Result<ExprPtr> rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      expr = Expr::And(expr, std::move(*rhs));
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      Result<ExprPtr> operand = ParseNot();
+      if (!operand.ok()) return operand;
+      return Expr::Not(std::move(*operand));
+    }
+    return ParseCmp();
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    Result<ExprPtr> lhs = ParseAdd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr expr = std::move(*lhs);
+    struct CmpOp {
+      const char* sym;
+      ExprOp op;
+    };
+    static constexpr CmpOp kOps[] = {{"<=", ExprOp::kLe}, {">=", ExprOp::kGe},
+                                     {"<>", ExprOp::kNe}, {"=", ExprOp::kEq},
+                                     {"<", ExprOp::kLt},  {">", ExprOp::kGt}};
+    for (const CmpOp& c : kOps) {
+      if (Current().IsSymbol(c.sym)) {
+        Advance();
+        Result<ExprPtr> rhs = ParseAdd();
+        if (!rhs.ok()) return rhs;
+        return Expr::Binary(c.op, expr, std::move(*rhs));
+      }
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    Result<ExprPtr> lhs = ParseMul();
+    if (!lhs.ok()) return lhs;
+    ExprPtr expr = std::move(*lhs);
+    for (;;) {
+      if (ConsumeSymbol("+")) {
+        Result<ExprPtr> rhs = ParseMul();
+        if (!rhs.ok()) return rhs;
+        expr = Expr::Add(expr, std::move(*rhs));
+      } else if (ConsumeSymbol("-")) {
+        Result<ExprPtr> rhs = ParseMul();
+        if (!rhs.ok()) return rhs;
+        expr = Expr::Sub(expr, std::move(*rhs));
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMul() {
+    Result<ExprPtr> lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr expr = std::move(*lhs);
+    for (;;) {
+      if (ConsumeSymbol("*")) {
+        Result<ExprPtr> rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        expr = Expr::Mul(expr, std::move(*rhs));
+      } else if (ConsumeSymbol("/")) {
+        Result<ExprPtr> rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        expr = Expr::Div(expr, std::move(*rhs));
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return Expr::Unary(ExprOp::kNeg, std::move(*operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    if (Current().Is(TokenKind::kNumber)) {
+      std::string text = Current().text;
+      Advance();
+      if (text.find('.') == std::string::npos) {
+        Result<std::int64_t> v = util::ParseInt64(text);
+        if (!v.ok()) return v.status();
+        return Expr::Int(*v);
+      }
+      Result<double> v = util::ParseDouble(text);
+      if (!v.ok()) return v.status();
+      return Expr::Double(*v);
+    }
+    if (Current().Is(TokenKind::kString)) {
+      std::string text = Current().text;
+      Advance();
+      return Expr::Str(std::move(text));
+    }
+    if (Current().Is(TokenKind::kIdent)) {
+      std::string name = Current().text;
+      Advance();
+      return Expr::Column(std::move(name));
+    }
+    if (ConsumeSymbol("(")) {
+      Result<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!ConsumeSymbol(")")) return Err("expected )");
+      return inner;
+    }
+    return Err("expected expression, found '" + Current().text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<SelectStmt> ParseSelect(std::string_view text) {
+  util::Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(*tokens)).ParseStatement();
+}
+
+}  // namespace cobra::rel::sql

@@ -1,0 +1,17 @@
+#ifndef COBRA_REL_SQL_PARSER_H_
+#define COBRA_REL_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "rel/sql/ast.h"
+#include "util/status.h"
+
+namespace cobra::rel::sql {
+
+/// Parses one SELECT statement (see SelectStmt for the grammar). A trailing
+/// semicolon is allowed.
+util::Result<SelectStmt> ParseSelect(std::string_view text);
+
+}  // namespace cobra::rel::sql
+
+#endif  // COBRA_REL_SQL_PARSER_H_

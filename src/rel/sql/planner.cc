@@ -1,0 +1,400 @@
+#include "rel/sql/planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rel/ops.h"
+#include "rel/sql/parser.h"
+#include "util/str.h"
+
+namespace cobra::rel::sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+/// Splits a predicate tree into AND-ed conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->op() == ExprOp::kAnd) {
+    SplitConjuncts(expr->lhs(), out);
+    SplitConjuncts(expr->rhs(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// AND-combines conjuncts back into one predicate (nullptr when empty).
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out;
+  for (const ExprPtr& c : conjuncts) {
+    out = out == nullptr ? c : Expr::And(out, c);
+  }
+  return out;
+}
+
+/// Re-qualifies a table copy under `alias` (used when FROM introduces one).
+AnnotatedTable Requalify(const AnnotatedTable& input, const std::string& alias) {
+  Schema schema;
+  for (std::size_t i = 0; i < input.schema().size(); ++i) {
+    schema.AddColumn(alias, input.schema().column(i));
+  }
+  Table table(schema);
+  table.Reserve(input.NumRows());
+  for (std::size_t c = 0; c < input.schema().size(); ++c) {
+    *table.mutable_column(c) = input.table.column(c);
+  }
+  table.CommitAppendedRows(input.NumRows());
+  return AnnotatedTable{std::move(table), input.annots, input.pool};
+}
+
+/// A join-graph edge: relations[left].left_col == relations[right].right_col.
+struct JoinEdge {
+  std::size_t left_rel, right_rel;
+  std::string left_col, right_col;
+  bool used = false;
+};
+
+/// Finds the unique relation whose schema resolves `column`.
+Result<std::size_t> OwnerOf(const std::vector<AnnotatedTable>& rels,
+                            const std::string& column) {
+  std::size_t owner = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < rels.size(); ++i) {
+    if (!rels[i].schema().CanResolve(column)) continue;
+    if (owner != static_cast<std::size_t>(-1)) {
+      return Status::InvalidArgument("ambiguous column across tables: " +
+                                     column);
+    }
+    owner = i;
+  }
+  if (owner == static_cast<std::size_t>(-1)) {
+    return Status::NotFound("column not found in any FROM table: " + column);
+  }
+  return owner;
+}
+
+/// Reorders (and truncates) the groups of `input` by `order`.
+GroupedResult ReorderGroups(const GroupedResult& input,
+                            const std::vector<std::size_t>& order,
+                            std::size_t limit) {
+  GroupedResult out(input.keys().schema(), input.specs());
+  Table* keys = out.mutable_keys();
+  std::size_t n = std::min(limit, order.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t g = order[i];
+    for (std::size_t c = 0; c < input.keys().NumColumns(); ++c) {
+      keys->mutable_column(c)->Append(input.keys().Get(g, c));
+    }
+    std::vector<prov::Polynomial> row;
+    row.reserve(input.NumAggs());
+    for (std::size_t a = 0; a < input.NumAggs(); ++a) {
+      row.push_back(input.PolyAt(g, a));
+    }
+    out.AddGroup(std::move(row));
+  }
+  keys->CommitAppendedRows(n);
+  return out;
+}
+
+/// Output-column name for a select item (alias, column tail, or func name).
+std::string DerivedName(const SelectItem& item, std::size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.agg.has_value()) {
+    return util::ToLower(AggFuncToString(*item.agg)) + "_" +
+           std::to_string(index);
+  }
+  if (item.expr != nullptr && item.expr->op() == ExprOp::kColumn) {
+    const std::string& name = item.expr->column_name();
+    std::size_t dot = name.rfind('.');
+    return dot == std::string::npos ? name : name.substr(dot + 1);
+  }
+  return "col_" + std::to_string(index);
+}
+
+}  // namespace
+
+Table QueryResult::Evaluate(const prov::Valuation& valuation) const {
+  if (grouped.has_value()) {
+    Table raw = grouped->Evaluate(valuation);
+    if (output_layout.empty()) return raw;
+    // Re-emit columns in SELECT-list order (keys table holds the group
+    // columns; aggregates follow them in `raw`).
+    std::size_t key_width = grouped->keys().NumColumns();
+    Schema schema;
+    for (const OutputColumn& col : output_layout) {
+      std::size_t raw_index =
+          col.is_aggregate ? key_width + col.index : col.index;
+      schema.AddColumn("", {col.name, raw.schema().column(raw_index).type});
+    }
+    Table out(schema);
+    out.Reserve(raw.NumRows());
+    for (std::size_t r = 0; r < raw.NumRows(); ++r) {
+      for (std::size_t c = 0; c < output_layout.size(); ++c) {
+        const OutputColumn& col = output_layout[c];
+        std::size_t raw_index =
+            col.is_aggregate ? key_width + col.index : col.index;
+        out.mutable_column(c)->Append(raw.Get(r, raw_index));
+      }
+    }
+    out.CommitAppendedRows(raw.NumRows());
+    return out;
+  }
+  COBRA_CHECK_MSG(flat.has_value(), "empty QueryResult");
+  return flat->table;
+}
+
+prov::PolySet QueryResult::Provenance(std::size_t agg) const {
+  COBRA_CHECK_MSG(grouped.has_value(),
+                  "Provenance() requires an aggregate query");
+  return grouped->ToPolySet(agg);
+}
+
+Result<QueryResult> ExecuteSelect(const Database& db, const SelectStmt& stmt) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("FROM clause is empty");
+  }
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("SELECT list is empty");
+  }
+
+  // 1. Scan the FROM tables.
+  std::vector<AnnotatedTable> rels;
+  rels.reserve(stmt.from.size());
+  for (const TableRef& ref : stmt.from) {
+    Result<const AnnotatedTable*> table = db.GetTable(ref.table);
+    if (!table.ok()) return table.status();
+    if (!ref.alias.empty() && ref.alias != ref.table) {
+      rels.push_back(Requalify(**table, ref.alias));
+    } else {
+      rels.push_back(**table);
+    }
+  }
+
+  // 2. Classify WHERE conjuncts.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(stmt.where, &conjuncts);
+  std::vector<std::vector<ExprPtr>> pushed(rels.size());
+  std::vector<JoinEdge> edges;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& conjunct : conjuncts) {
+    std::vector<std::string> columns;
+    conjunct->CollectColumns(&columns);
+    std::vector<std::size_t> owners;
+    for (const std::string& col : columns) {
+      Result<std::size_t> owner = OwnerOf(rels, col);
+      if (!owner.ok()) return owner.status();
+      owners.push_back(*owner);
+    }
+    bool single_rel =
+        !owners.empty() &&
+        std::all_of(owners.begin(), owners.end(),
+                    [&owners](std::size_t o) { return o == owners[0]; });
+    if (single_rel) {
+      pushed[owners[0]].push_back(conjunct);
+      continue;
+    }
+    bool is_equi_join =
+        conjunct->op() == ExprOp::kEq && columns.size() == 2 &&
+        conjunct->lhs()->op() == ExprOp::kColumn &&
+        conjunct->rhs()->op() == ExprOp::kColumn && owners[0] != owners[1];
+    if (is_equi_join) {
+      edges.push_back({owners[0], owners[1], conjunct->lhs()->column_name(),
+                       conjunct->rhs()->column_name(), false});
+      continue;
+    }
+    residual.push_back(conjunct);
+  }
+
+  // 3. Push single-table selections down.
+  for (std::size_t i = 0; i < rels.size(); ++i) {
+    if (pushed[i].empty()) continue;
+    Result<AnnotatedTable> filtered =
+        Select(rels[i], CombineConjuncts(pushed[i]));
+    if (!filtered.ok()) return filtered.status();
+    rels[i] = std::move(*filtered);
+  }
+
+  // 4. Greedy join along edges, cross join when disconnected.
+  std::vector<bool> joined(rels.size(), false);
+  AnnotatedTable current = std::move(rels[0]);
+  joined[0] = true;
+  std::size_t remaining = rels.size() - 1;
+  while (remaining > 0) {
+    // Find an unjoined relation connected to the joined set.
+    std::size_t next = static_cast<std::size_t>(-1);
+    for (const JoinEdge& e : edges) {
+      if (e.used) continue;
+      if (joined[e.left_rel] && !joined[e.right_rel]) next = e.right_rel;
+      if (joined[e.right_rel] && !joined[e.left_rel]) next = e.left_rel;
+      if (next != static_cast<std::size_t>(-1)) break;
+    }
+    if (next == static_cast<std::size_t>(-1)) {
+      // Disconnected: cross join the first unjoined relation.
+      for (std::size_t i = 0; i < rels.size(); ++i) {
+        if (!joined[i]) {
+          next = i;
+          break;
+        }
+      }
+      Result<AnnotatedTable> crossed =
+          NestedLoopJoin(current, rels[next], Expr::Int(1));
+      if (!crossed.ok()) return crossed.status();
+      current = std::move(*crossed);
+    } else {
+      // Collect every edge between the joined set and `next`.
+      std::vector<std::string> left_keys, right_keys;
+      for (JoinEdge& e : edges) {
+        if (e.used) continue;
+        if (joined[e.left_rel] && e.right_rel == next) {
+          left_keys.push_back(e.left_col);
+          right_keys.push_back(e.right_col);
+          e.used = true;
+        } else if (joined[e.right_rel] && e.left_rel == next) {
+          left_keys.push_back(e.right_col);
+          right_keys.push_back(e.left_col);
+          e.used = true;
+        }
+      }
+      Result<AnnotatedTable> joined_table =
+          HashJoin(current, rels[next], left_keys, right_keys);
+      if (!joined_table.ok()) return joined_table.status();
+      current = std::move(*joined_table);
+    }
+    joined[next] = true;
+    --remaining;
+  }
+  // Edges whose both endpoints were already joined act as residual filters.
+  for (const JoinEdge& e : edges) {
+    if (!e.used) {
+      residual.push_back(
+          Expr::Eq(Expr::Column(e.left_col), Expr::Column(e.right_col)));
+    }
+  }
+  if (!residual.empty()) {
+    Result<AnnotatedTable> filtered =
+        Select(current, CombineConjuncts(residual));
+    if (!filtered.ok()) return filtered.status();
+    current = std::move(*filtered);
+  }
+
+  // 5. Aggregate or project.
+  bool has_agg = std::any_of(stmt.items.begin(), stmt.items.end(),
+                             [](const SelectItem& i) { return i.agg.has_value(); });
+  QueryResult result;
+  if (has_agg || !stmt.group_by.empty()) {
+    // Validate non-aggregate items (must be grouping columns) and record
+    // the output layout in SELECT-list order.
+    std::size_t agg_counter = 0, item_index = 0;
+    for (const SelectItem& item : stmt.items) {
+      ++item_index;
+      if (item.agg.has_value()) {
+        result.output_layout.push_back(
+            {true, agg_counter++, DerivedName(item, item_index)});
+        continue;
+      }
+      if (item.expr == nullptr || item.expr->op() != ExprOp::kColumn) {
+        return Status::InvalidArgument(
+            "non-aggregate SELECT items must be grouping columns");
+      }
+      Result<std::size_t> item_col = current.schema().Resolve(
+          item.expr->column_name());
+      if (!item_col.ok()) return item_col.status();
+      std::size_t key_position = static_cast<std::size_t>(-1);
+      for (std::size_t g = 0; g < stmt.group_by.size(); ++g) {
+        Result<std::size_t> group_col =
+            current.schema().Resolve(stmt.group_by[g]);
+        if (!group_col.ok()) return group_col.status();
+        if (*group_col == *item_col) key_position = g;
+      }
+      if (key_position == static_cast<std::size_t>(-1)) {
+        return Status::InvalidArgument("column " + item.expr->column_name() +
+                                       " is not in GROUP BY");
+      }
+      result.output_layout.push_back(
+          {false, key_position, DerivedName(item, item_index)});
+    }
+    std::vector<AggSpec> specs;
+    std::size_t index = 0;
+    for (const SelectItem& item : stmt.items) {
+      ++index;
+      if (!item.agg.has_value()) continue;
+      specs.push_back({*item.agg, item.count_star ? nullptr : item.expr,
+                       DerivedName(item, index)});
+    }
+    if (specs.empty()) {
+      return Status::InvalidArgument(
+          "GROUP BY without aggregates is not supported (use DISTINCT "
+          "semantics via an aggregate)");
+    }
+    Result<GroupedResult> grouped =
+        GroupByAggregate(current, stmt.group_by, specs);
+    if (!grouped.ok()) return grouped.status();
+    result.grouped = std::move(*grouped);
+
+    if (!stmt.order_by.empty() || stmt.limit.has_value()) {
+      // Order groups by their numeric answer under the neutral valuation.
+      prov::Valuation neutral(db.var_pool()->size());
+      Table numeric = result.grouped->Evaluate(neutral);
+      std::vector<BoundExpr> keys;
+      for (const OrderItem& item : stmt.order_by) {
+        Result<BoundExpr> b = BoundExpr::Bind(item.expr, numeric.schema());
+        if (!b.ok()) return b.status();
+        keys.push_back(std::move(*b));
+      }
+      std::vector<std::size_t> order(numeric.NumRows());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         for (std::size_t k = 0; k < keys.size(); ++k) {
+                           Value va = keys[k].Eval(numeric, a);
+                           Value vb = keys[k].Eval(numeric, b);
+                           if (va == vb) continue;
+                           bool lt = va < vb;
+                           return stmt.order_by[k].descending ? !lt : lt;
+                         }
+                         return false;
+                       });
+      result.grouped = ReorderGroups(
+          *result.grouped, order,
+          stmt.limit.value_or(order.size()));
+    }
+    return result;
+  }
+
+  // Plain projection.
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  std::size_t index = 0;
+  for (const SelectItem& item : stmt.items) {
+    ++index;
+    exprs.push_back(item.expr);
+    names.push_back(DerivedName(item, index));
+  }
+  Result<AnnotatedTable> projected = Project(current, exprs, names);
+  if (!projected.ok()) return projected.status();
+  current = std::move(*projected);
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKey> keys;
+    for (const OrderItem& item : stmt.order_by) {
+      keys.push_back({item.expr, item.descending});
+    }
+    // Column references in ORDER BY bind against the projected names.
+    Result<AnnotatedTable> sorted = OrderBy(current, keys);
+    if (!sorted.ok()) return sorted.status();
+    current = std::move(*sorted);
+  }
+  if (stmt.limit.has_value()) {
+    current = Limit(current, *stmt.limit);
+  }
+  result.flat = std::move(current);
+  return result;
+}
+
+Result<QueryResult> RunSql(const Database& db, std::string_view sql_text) {
+  Result<SelectStmt> stmt = ParseSelect(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  return ExecuteSelect(db, *stmt);
+}
+
+}  // namespace cobra::rel::sql

@@ -1,0 +1,61 @@
+#ifndef COBRA_REL_SQL_PLANNER_H_
+#define COBRA_REL_SQL_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rel/aggregate.h"
+#include "rel/database.h"
+#include "rel/sql/ast.h"
+#include "util/status.h"
+
+namespace cobra::rel::sql {
+
+/// Result of running a SQL statement: either a flat annotated table (no
+/// aggregates) or a grouped symbolic result (aggregate query).
+struct QueryResult {
+  std::optional<AnnotatedTable> flat;
+  std::optional<GroupedResult> grouped;
+
+  /// For grouped results: output columns in SELECT-list order. Each entry
+  /// is (is_aggregate, index): a key-table column index or an aggregate
+  /// index, plus the output column name.
+  struct OutputColumn {
+    bool is_aggregate;
+    std::size_t index;
+    std::string name;
+  };
+  std::vector<OutputColumn> output_layout;
+
+  bool IsGrouped() const { return grouped.has_value(); }
+
+  /// Numeric answer under `valuation`, with columns in SELECT-list order
+  /// (flat results ignore annotations).
+  Table Evaluate(const prov::Valuation& valuation) const;
+
+  /// The provenance of aggregate column `agg` (grouped results only;
+  /// `agg` counts aggregates in SELECT-list order).
+  prov::PolySet Provenance(std::size_t agg = 0) const;
+};
+
+/// Plans and executes `stmt` against `db`.
+///
+/// Planning steps:
+///  1. scan each FROM table (applying aliases),
+///  2. split WHERE into conjuncts; single-table conjuncts become selections
+///     pushed to their table; `a.x = b.y` conjuncts across tables become
+///     hash-join edges; anything else is applied after the joins,
+///  3. join greedily along available edges (cross product if disconnected),
+///  4. evaluate GROUP BY / aggregates, or a final projection,
+///  5. ORDER BY / LIMIT (grouped queries: over key columns and aggregate
+///     aliases, evaluated under the neutral valuation).
+util::Result<QueryResult> ExecuteSelect(const Database& db,
+                                        const SelectStmt& stmt);
+
+/// Parses and executes `sql_text` in one call.
+util::Result<QueryResult> RunSql(const Database& db, std::string_view sql_text);
+
+}  // namespace cobra::rel::sql
+
+#endif  // COBRA_REL_SQL_PLANNER_H_

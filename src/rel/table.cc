@@ -1,0 +1,171 @@
+#include "rel/table.h"
+
+#include "util/str.h"
+
+namespace cobra::rel {
+
+Column::Column(Type type) : type_(type) {
+  switch (type) {
+    case Type::kInt64:
+      data_ = std::vector<std::int64_t>{};
+      break;
+    case Type::kDouble:
+      data_ = std::vector<double>{};
+      break;
+    case Type::kString:
+      data_ = std::vector<std::string>{};
+      break;
+  }
+}
+
+std::size_t Column::size() const {
+  switch (type_) {
+    case Type::kInt64:
+      return Ints().size();
+    case Type::kDouble:
+      return Doubles().size();
+    case Type::kString:
+      return Strings().size();
+  }
+  return 0;
+}
+
+void Column::Append(const Value& v) {
+  switch (type_) {
+    case Type::kInt64:
+      AppendInt64(v.AsInt64());
+      return;
+    case Type::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case Type::kString:
+      AppendString(v.AsString());
+      return;
+  }
+}
+
+void Column::AppendInt64(std::int64_t v) { MutableInts()->push_back(v); }
+void Column::AppendDouble(double v) { MutableDoubles()->push_back(v); }
+void Column::AppendString(std::string v) {
+  MutableStrings()->push_back(std::move(v));
+}
+
+Value Column::Get(std::size_t row) const {
+  switch (type_) {
+    case Type::kInt64:
+      return Value(Ints()[row]);
+    case Type::kDouble:
+      return Value(Doubles()[row]);
+    case Type::kString:
+      return Value(Strings()[row]);
+  }
+  return Value();
+}
+
+const std::vector<std::int64_t>& Column::Ints() const {
+  const auto* v = std::get_if<std::vector<std::int64_t>>(&data_);
+  COBRA_CHECK_MSG(v != nullptr, "Column::Ints on non-INT64 column");
+  return *v;
+}
+
+const std::vector<double>& Column::Doubles() const {
+  const auto* v = std::get_if<std::vector<double>>(&data_);
+  COBRA_CHECK_MSG(v != nullptr, "Column::Doubles on non-DOUBLE column");
+  return *v;
+}
+
+const std::vector<std::string>& Column::Strings() const {
+  const auto* v = std::get_if<std::vector<std::string>>(&data_);
+  COBRA_CHECK_MSG(v != nullptr, "Column::Strings on non-STRING column");
+  return *v;
+}
+
+std::vector<std::int64_t>* Column::MutableInts() {
+  auto* v = std::get_if<std::vector<std::int64_t>>(&data_);
+  COBRA_CHECK_MSG(v != nullptr, "Column::MutableInts on non-INT64 column");
+  return v;
+}
+
+std::vector<double>* Column::MutableDoubles() {
+  auto* v = std::get_if<std::vector<double>>(&data_);
+  COBRA_CHECK_MSG(v != nullptr, "Column::MutableDoubles on non-DOUBLE column");
+  return v;
+}
+
+std::vector<std::string>* Column::MutableStrings() {
+  auto* v = std::get_if<std::vector<std::string>>(&data_);
+  COBRA_CHECK_MSG(v != nullptr, "Column::MutableStrings on non-STRING column");
+  return v;
+}
+
+void Column::Reserve(std::size_t n) {
+  switch (type_) {
+    case Type::kInt64:
+      MutableInts()->reserve(n);
+      return;
+    case Type::kDouble:
+      MutableDoubles()->reserve(n);
+      return;
+    case Type::kString:
+      MutableStrings()->reserve(n);
+      return;
+  }
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.size());
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    columns_.emplace_back(schema_.column(i).type);
+  }
+}
+
+void Table::AppendRow(const std::vector<Value>& values) {
+  COBRA_CHECK_MSG(values.size() == columns_.size(),
+                  "Table::AppendRow: wrong arity");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    columns_[i].Append(values[i]);
+  }
+  ++num_rows_;
+}
+
+void Table::CommitAppendedRows(std::size_t n) {
+  num_rows_ += n;
+  for (const Column& c : columns_) {
+    COBRA_CHECK_MSG(c.size() == num_rows_,
+                    "Table::CommitAppendedRows: ragged columns");
+  }
+}
+
+std::vector<Value> Table::GetRow(std::size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.Get(row));
+  return out;
+}
+
+void Table::Reserve(std::size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+std::string Table::ToString(std::size_t max_rows) const {
+  std::string out;
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema_.QualifiedName(i);
+  }
+  out += "\n";
+  std::size_t shown = std::min(max_rows, num_rows_);
+  for (std::size_t r = 0; r < shown; ++r) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[c].Get(r).ToString();
+    }
+    out += "\n";
+  }
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace cobra::rel

@@ -1,0 +1,99 @@
+#include "rel/value.h"
+
+#include "util/str.h"
+
+namespace cobra::rel {
+
+const char* TypeToString(Type type) {
+  switch (type) {
+    case Type::kInt64:
+      return "INT64";
+    case Type::kDouble:
+      return "DOUBLE";
+    case Type::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::int64_t Value::AsInt64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* d = std::get_if<double>(&data_))
+    return static_cast<std::int64_t>(*d);
+  COBRA_CHECK_MSG(false, "Value::AsInt64 on a string");
+  return 0;
+}
+
+double Value::AsDouble() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_))
+    return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  COBRA_CHECK_MSG(false, "Value::AsDouble on a string");
+  return 0.0;
+}
+
+const std::string& Value::AsString() const& {
+  const auto* s = std::get_if<std::string>(&data_);
+  COBRA_CHECK_MSG(s != nullptr, "Value::AsString on a non-string");
+  return *s;
+}
+
+std::string Value::AsString() && {
+  auto* s = std::get_if<std::string>(&data_);
+  COBRA_CHECK_MSG(s != nullptr, "Value::AsString on a non-string");
+  return std::move(*s);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kInt64:
+      return std::to_string(AsInt64());
+    case Type::kDouble:
+      return util::FormatDouble(AsDouble());
+    case Type::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+std::uint64_t Value::Hash() const {
+  switch (type()) {
+    case Type::kInt64:
+      return util::Mix64(static_cast<std::uint64_t>(AsInt64()) ^ 0x11);
+    case Type::kDouble: {
+      double d = AsDouble();
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return util::Mix64(bits ^ 0x22);
+    }
+    case Type::kString:
+      return util::HashBytes(AsString());
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == Type::kInt64 && other.type() == Type::kInt64) {
+      return AsInt64() == other.AsInt64();
+    }
+    return AsDouble() == other.AsDouble();
+  }
+  if (type() != other.type()) return false;
+  return AsString() == other.AsString();
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (type() == Type::kInt64 && other.type() == Type::kInt64) {
+      return AsInt64() < other.AsInt64();
+    }
+    return AsDouble() < other.AsDouble();
+  }
+  COBRA_CHECK_MSG(type() == other.type(),
+                  "Value::operator<: mixed string/numeric comparison");
+  return AsString() < other.AsString();
+}
+
+}  // namespace cobra::rel

@@ -1,0 +1,76 @@
+#ifndef COBRA_REL_VALUE_H_
+#define COBRA_REL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace cobra::rel {
+
+/// Column / value type of the relational engine.
+enum class Type {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns "INT64", "DOUBLE" or "STRING".
+const char* TypeToString(Type type);
+
+/// A single scalar value. Arithmetic between kInt64 and kDouble promotes to
+/// kDouble; comparisons across numeric types compare numerically.
+class Value {
+ public:
+  /// Constructs the integer 0.
+  Value() : data_(std::int64_t{0}) {}
+
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  /// Dynamic type of this value.
+  Type type() const {
+    if (std::holds_alternative<std::int64_t>(data_)) return Type::kInt64;
+    if (std::holds_alternative<double>(data_)) return Type::kDouble;
+    return Type::kString;
+  }
+
+  bool is_numeric() const { return type() != Type::kString; }
+
+  std::int64_t AsInt64() const;
+  double AsDouble() const;  ///< Numeric values convert; strings abort.
+
+  /// String accessor. The lvalue overload returns a reference into the
+  /// Value; the rvalue overload returns by value so that
+  /// `table.Get(r, c).AsString()` (a temporary) can never dangle.
+  const std::string& AsString() const&;
+  std::string AsString() &&;
+
+  /// Renders the value for display (doubles compactly, see FormatDouble).
+  std::string ToString() const;
+
+  /// Structural hash consistent with operator== (numeric cross-type equal
+  /// values may hash differently; join keys are type-homogeneous).
+  std::uint64_t Hash() const;
+
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<std::int64_t, double, std::string> data_;
+};
+
+/// Hash functor for containers keyed by Value.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const {
+    return static_cast<std::size_t>(v.Hash());
+  }
+};
+
+}  // namespace cobra::rel
+
+#endif  // COBRA_REL_VALUE_H_

@@ -1,0 +1,69 @@
+#include "semiring/homomorphism.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace cobra::semiring {
+
+double EvalReal(const prov::Polynomial& p, const prov::Valuation& valuation) {
+  return p.Eval(valuation);
+}
+
+bool EvalBool(const prov::Polynomial& p, const std::vector<bool>& truth) {
+  for (const prov::Term& t : p.terms()) {
+    if (t.coeff == 0.0) continue;
+    bool all = true;
+    for (const prov::VarPower& vp : t.monomial.powers()) {
+      COBRA_CHECK_MSG(vp.var < truth.size(), "EvalBool: var out of range");
+      if (!truth[vp.var]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+std::int64_t EvalCounting(const prov::Polynomial& p,
+                          const std::vector<std::int64_t>& counts) {
+  std::int64_t sum = 0;
+  for (const prov::Term& t : p.terms()) {
+    double c = t.coeff;
+    COBRA_CHECK_MSG(c == std::floor(c),
+                    "EvalCounting: non-integral coefficient");
+    std::int64_t prod = static_cast<std::int64_t>(c);
+    for (const prov::VarPower& vp : t.monomial.powers()) {
+      COBRA_CHECK_MSG(vp.var < counts.size(), "EvalCounting: var out of range");
+      for (std::uint32_t e = 0; e < vp.exp; ++e) prod *= counts[vp.var];
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+double EvalTropical(const prov::Polynomial& p, const std::vector<double>& costs) {
+  double best = TropicalSemiring::Zero();
+  for (const prov::Term& t : p.terms()) {
+    double total = 0.0;
+    for (const prov::VarPower& vp : t.monomial.powers()) {
+      COBRA_CHECK_MSG(vp.var < costs.size(), "EvalTropical: var out of range");
+      total += costs[vp.var] * vp.exp;
+    }
+    best = TropicalSemiring::Plus(best, total);
+  }
+  return best;
+}
+
+WhySemiring::Value EvalWhy(const prov::Polynomial& p) {
+  WhySemiring::Value out;
+  for (const prov::Term& t : p.terms()) {
+    WhySemiring::Witness w;
+    for (const prov::VarPower& vp : t.monomial.powers()) w.insert(vp.var);
+    out.insert(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace cobra::semiring

@@ -1,0 +1,45 @@
+#ifndef COBRA_SEMIRING_HOMOMORPHISM_H_
+#define COBRA_SEMIRING_HOMOMORPHISM_H_
+
+#include <vector>
+
+#include "prov/polynomial.h"
+#include "prov/valuation.h"
+#include "semiring/instances.h"
+
+namespace cobra::semiring {
+
+/// Semiring homomorphisms out of N[X].
+///
+/// The fundamental property of provenance polynomials (Green et al.) is that
+/// any variable assignment X -> K extends uniquely to a semiring
+/// homomorphism N[X] -> K, and query evaluation *commutes* with such
+/// homomorphisms. COBRA's correctness rests on the special case K = R:
+/// applying a valuation to the polynomial equals re-running the query on the
+/// re-scaled database. The functions here compute homomorphic images used by
+/// tests to verify that commutation and by the engine to derive coarser
+/// provenance from N[X].
+
+/// Evaluates `p` in R under `valuation` (the identity coefficient action).
+double EvalReal(const prov::Polynomial& p, const prov::Valuation& valuation);
+
+/// Image of `p` in the boolean semiring: true iff some monomial has all of
+/// its variables mapped to true. `truth[v]` gives the base-tuple presence.
+bool EvalBool(const prov::Polynomial& p, const std::vector<bool>& truth);
+
+/// Image of `p` in the counting semiring, mapping variable v to count[v]
+/// and every coefficient c (which must be integral) to itself.
+std::int64_t EvalCounting(const prov::Polynomial& p,
+                          const std::vector<std::int64_t>& counts);
+
+/// Image of `p` in the tropical semiring: min over monomials of
+/// (cost-of-coefficient-ignored) the sum of variable costs times exponents.
+double EvalTropical(const prov::Polynomial& p,
+                    const std::vector<double>& costs);
+
+/// Drops coefficients and exponents: the Why(X) image of `p`.
+WhySemiring::Value EvalWhy(const prov::Polynomial& p);
+
+}  // namespace cobra::semiring
+
+#endif  // COBRA_SEMIRING_HOMOMORPHISM_H_

@@ -1,0 +1,95 @@
+#ifndef COBRA_SEMIRING_INSTANCES_H_
+#define COBRA_SEMIRING_INSTANCES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+
+#include "prov/polynomial.h"
+#include "semiring/semiring.h"
+
+namespace cobra::semiring {
+
+/// The boolean semiring ({false,true}, OR, AND): set semantics / lineage
+/// presence. The most abstract provenance; a homomorphic image of N[X].
+struct BoolSemiring {
+  using Value = bool;
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Plus(Value a, Value b) { return a || b; }
+  static Value Times(Value a, Value b) { return a && b; }
+  static bool Equal(Value a, Value b) { return a == b; }
+};
+
+/// The counting semiring (N, +, *): bag semantics; annotation of a tuple is
+/// its multiplicity in the result.
+struct CountingSemiring {
+  using Value = std::int64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Plus(Value a, Value b) { return a + b; }
+  static Value Times(Value a, Value b) { return a * b; }
+  static bool Equal(Value a, Value b) { return a == b; }
+};
+
+/// The tropical semiring (R ∪ {∞}, min, +): minimal-cost derivation.
+struct TropicalSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Plus(Value a, Value b) { return std::min(a, b); }
+  static Value Times(Value a, Value b) { return a + b; }
+  static bool Equal(Value a, Value b) { return a == b; }
+};
+
+/// The Why(X) semiring: sets of witness sets (Buneman et al. why-provenance).
+/// Plus is union; Times is pairwise union of witnesses.
+struct WhySemiring {
+  using Witness = std::set<prov::VarId>;
+  using Value = std::set<Witness>;
+  static Value Zero() { return {}; }
+  static Value One() { return {Witness{}}; }
+  static Value Plus(const Value& a, const Value& b) {
+    Value out = a;
+    out.insert(b.begin(), b.end());
+    return out;
+  }
+  static Value Times(const Value& a, const Value& b) {
+    Value out;
+    for (const Witness& wa : a) {
+      for (const Witness& wb : b) {
+        Witness w = wa;
+        w.insert(wb.begin(), wb.end());
+        out.insert(std::move(w));
+      }
+    }
+    return out;
+  }
+  static bool Equal(const Value& a, const Value& b) { return a == b; }
+  /// The singleton witness {v} — annotation of a base tuple tagged `v`.
+  static Value Var(prov::VarId v) { return {Witness{v}}; }
+};
+
+/// The polynomial semiring N[X] (with real coefficients): the most general
+/// commutative semiring over X — the paper's provenance representation.
+struct PolySemiring {
+  using Value = prov::Polynomial;
+  static Value Zero() { return prov::Polynomial(); }
+  static Value One() { return prov::Polynomial::Constant(1.0); }
+  static Value Plus(const Value& a, const Value& b) { return a.Plus(b); }
+  static Value Times(const Value& a, const Value& b) { return a.TimesPoly(b); }
+  static bool Equal(const Value& a, const Value& b) { return a == b; }
+  /// The polynomial `v` — annotation of a base tuple tagged `v`.
+  static Value Var(prov::VarId v) { return prov::Polynomial::Var(v); }
+};
+
+static_assert(Semiring<BoolSemiring>);
+static_assert(Semiring<CountingSemiring>);
+static_assert(Semiring<TropicalSemiring>);
+static_assert(Semiring<WhySemiring>);
+static_assert(Semiring<PolySemiring>);
+
+}  // namespace cobra::semiring
+
+#endif  // COBRA_SEMIRING_INSTANCES_H_

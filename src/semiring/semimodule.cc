@@ -1,0 +1,24 @@
+#include "semiring/semimodule.h"
+
+namespace cobra::semiring {
+
+AggregateValue AggregateValue::Tensor(const prov::Polynomial& annotation,
+                                      double value) {
+  AggregateValue out;
+  out.poly_ = annotation.Scale(value);
+  return out;
+}
+
+AggregateValue AggregateValue::Plus(const AggregateValue& other) const {
+  AggregateValue out;
+  out.poly_ = poly_.Plus(other.poly_);
+  return out;
+}
+
+AggregateValue AggregateValue::ScalarTimes(const prov::Polynomial& k) const {
+  AggregateValue out;
+  out.poly_ = poly_.TimesPoly(k);
+  return out;
+}
+
+}  // namespace cobra::semiring

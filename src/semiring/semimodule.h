@@ -1,0 +1,61 @@
+#ifndef COBRA_SEMIRING_SEMIMODULE_H_
+#define COBRA_SEMIRING_SEMIMODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "prov/polynomial.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
+
+namespace cobra::semiring {
+
+/// Provenance for SUM aggregates, after Amsterdamer, Deutch & Tannen,
+/// "Provenance for aggregate queries" (PODS 2011).
+///
+/// An aggregated value is a formal sum `Σ_i  k_i ⊗ v_i` in the tensor
+/// semimodule K ⊗ R, where `k_i` is the N[X] annotation of the contributing
+/// tuple and `v_i` the aggregated number. For K = N[X] and numeric scenarios
+/// this normalizes to a single polynomial with real coefficients: each
+/// tensor `k ⊗ v` distributes to `v·k` and like monomials merge. That is
+/// exactly how the paper's revenue polynomials (Example 2) arise: tuple
+/// annotation `p1·m1` tensored with the value `522·0.4` contributes the
+/// term `208.8·p1·m1`.
+class AggregateValue {
+ public:
+  /// The empty aggregate (sum of nothing).
+  AggregateValue() = default;
+
+  /// The tensor `annotation ⊗ value`.
+  static AggregateValue Tensor(const prov::Polynomial& annotation,
+                               double value);
+
+  /// Semimodule addition: concatenates the formal sums.
+  AggregateValue Plus(const AggregateValue& other) const;
+
+  /// Action of the semiring on the module: `k * (Σ k_i ⊗ v_i)
+  /// = Σ (k*k_i) ⊗ v_i`. Used when a join multiplies annotations after
+  /// aggregation (e.g. HAVING-style composition).
+  AggregateValue ScalarTimes(const prov::Polynomial& k) const;
+
+  /// Normalizes to the polynomial `Σ v_i · k_i`.
+  const prov::Polynomial& AsPolynomial() const { return poly_; }
+
+  /// Evaluates the aggregate under a valuation (commutation property:
+  /// equal to re-running the aggregation on the re-scaled inputs).
+  double Eval(const prov::Valuation& valuation) const {
+    return poly_.Eval(valuation);
+  }
+
+  bool operator==(const AggregateValue& other) const = default;
+
+ private:
+  // We keep the normalized polynomial representation directly: for numeric
+  // domains the tensor construction is canonically a polynomial, and the
+  // paper's compression operates on this normal form.
+  prov::Polynomial poly_;
+};
+
+}  // namespace cobra::semiring
+
+#endif  // COBRA_SEMIRING_SEMIMODULE_H_

@@ -1,0 +1,27 @@
+#ifndef COBRA_SEMIRING_SEMIRING_H_
+#define COBRA_SEMIRING_SEMIRING_H_
+
+#include <concepts>
+
+namespace cobra::semiring {
+
+/// A commutative semiring (K, +, *, 0, 1) in the sense of Green,
+/// Karvounarakis & Tannen, "Provenance semirings" (PODS 2007).
+///
+/// Each model type provides value type `Value`, the two distinguished
+/// elements, and the two operations. Annotated relational evaluation
+/// (`rel/operators`) is written generically against this concept, so the
+/// same engine computes N[X] polynomials, boolean lineage, tuple counts or
+/// tropical costs — and the semiring laws are property-tested per instance.
+template <typename S>
+concept Semiring = requires(typename S::Value a, typename S::Value b) {
+  { S::Zero() } -> std::convertible_to<typename S::Value>;
+  { S::One() } -> std::convertible_to<typename S::Value>;
+  { S::Plus(a, b) } -> std::convertible_to<typename S::Value>;
+  { S::Times(a, b) } -> std::convertible_to<typename S::Value>;
+  { S::Equal(a, b) } -> std::convertible_to<bool>;
+};
+
+}  // namespace cobra::semiring
+
+#endif  // COBRA_SEMIRING_SEMIRING_H_

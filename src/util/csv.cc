@@ -1,0 +1,154 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace cobra::util {
+
+namespace {
+
+// Consumes one CSV field starting at *pos; advances *pos past the field and
+// any trailing separator. Sets *end_of_record when the field ends a record.
+Result<std::string> ParseField(std::string_view text, std::size_t* pos,
+                               bool* end_of_record, bool* end_of_input) {
+  std::string field;
+  std::size_t i = *pos;
+  *end_of_record = false;
+  *end_of_input = false;
+  if (i < text.size() && text[i] == '"') {
+    ++i;
+    for (;;) {
+      if (i >= text.size())
+        return Status::ParseError("unterminated quoted CSV field");
+      char c = text[i];
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          ++i;
+          break;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    }
+  } else {
+    while (i < text.size() && text[i] != ',' && text[i] != '\n' &&
+           text[i] != '\r') {
+      field.push_back(text[i]);
+      ++i;
+    }
+  }
+  if (i >= text.size()) {
+    *end_of_record = true;
+    *end_of_input = true;
+  } else if (text[i] == ',') {
+    ++i;
+  } else if (text[i] == '\r' || text[i] == '\n') {
+    if (text[i] == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+    ++i;
+    *end_of_record = true;
+    if (i >= text.size()) *end_of_input = true;
+  }
+  *pos = i;
+  return field;
+}
+
+Result<std::vector<std::string>> ParseRecord(std::string_view text,
+                                             std::size_t* pos,
+                                             bool* end_of_input) {
+  std::vector<std::string> record;
+  bool end_of_record = false;
+  while (!end_of_record) {
+    Result<std::string> field =
+        ParseField(text, pos, &end_of_record, end_of_input);
+    if (!field.ok()) return field.status();
+    record.push_back(std::move(*field));
+  }
+  return record;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  CsvDocument doc;
+  if (text.empty()) return Status::ParseError("empty CSV input");
+  std::size_t pos = 0;
+  bool end_of_input = false;
+  Result<std::vector<std::string>> header =
+      ParseRecord(text, &pos, &end_of_input);
+  if (!header.ok()) return header.status();
+  doc.header = std::move(*header);
+  while (!end_of_input) {
+    Result<std::vector<std::string>> row =
+        ParseRecord(text, &pos, &end_of_input);
+    if (!row.ok()) return row.status();
+    // A trailing newline produces one empty single-field record; skip it.
+    if (row->size() == 1 && (*row)[0].empty() && end_of_input) break;
+    if (row->size() != doc.header.size()) {
+      return Status::ParseError(
+          "CSV row has " + std::to_string(row->size()) + " fields, expected " +
+          std::to_string(doc.header.size()));
+    }
+    doc.rows.push_back(std::move(*row));
+  }
+  return doc;
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto write_record = [&out](const std::vector<std::string>& record) {
+    for (std::size_t i = 0; i < record.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += CsvEscape(record[i]);
+    }
+    out.push_back('\n');
+  };
+  write_record(doc.header);
+  for (const auto& row : doc.rows) write_record(row);
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open file: " + path);
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("error reading file: " + path);
+  return content;
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open file for write: " + path);
+  std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool failed = written != content.size();
+  if (std::fclose(f) != 0) failed = true;
+  if (failed) return Status::IoError("error writing file: " + path);
+  return Status::OK();
+}
+
+}  // namespace cobra::util

@@ -1,0 +1,37 @@
+#ifndef COBRA_UTIL_CSV_H_
+#define COBRA_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::util {
+
+/// A parsed CSV document: a header row plus data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text: comma separated, `"` quoting with `""`
+/// escapes, LF or CRLF line endings. The first record is the header. Every
+/// data row must have exactly as many fields as the header.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document back to CSV, quoting fields that need it.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Quotes a single field if it contains a comma, quote or newline.
+std::string CsvEscape(std::string_view field);
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace cobra::util
+
+#endif  // COBRA_UTIL_CSV_H_

@@ -1,0 +1,39 @@
+#ifndef COBRA_UTIL_HASH_H_
+#define COBRA_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cobra::util {
+
+/// 64-bit mixing step (Murmur3 finalizer). Good avalanche; used to build the
+/// monomial/triple hashes in `prov` and `core`.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines an existing hash with a new value, order-sensitively.
+inline std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// FNV-1a hash of a byte string.
+inline std::uint64_t HashBytes(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace cobra::util
+
+#endif  // COBRA_UTIL_HASH_H_

@@ -1,0 +1,192 @@
+#ifndef COBRA_UTIL_STATUS_H_
+#define COBRA_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cobra::util {
+
+/// Machine-readable error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied a malformed or inconsistent input.
+  kNotFound,          ///< A named entity (variable, table, node...) is absent.
+  kAlreadyExists,     ///< A named entity would be created twice.
+  kOutOfRange,        ///< An index or bound is outside the valid range.
+  kFailedPrecondition,///< The object is not in a state that allows the call.
+  kUnimplemented,     ///< The feature is recognized but not supported.
+  kParseError,        ///< Textual input could not be parsed.
+  kInfeasible,        ///< The optimization problem has no feasible solution.
+  kInternal,          ///< An invariant was violated; indicates a bug.
+  kIoError,           ///< Reading or writing an external resource failed.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus a diagnostic message.
+///
+/// COBRA follows the Arrow/RocksDB idiom: fallible public APIs return
+/// `Status` (or `Result<T>`); internal invariant violations use
+/// `COBRA_CHECK`. `Status` is cheap to move and to test for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+
+  /// @name Factory helpers, one per error category.
+  /// @{
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if the status is not OK.
+  /// Returns `*this` on success so it can be chained in initializers.
+  const Status& CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or a failure `Status`.
+///
+/// A `Result<T>` is created implicitly from a `T` (success) or from a
+/// non-OK `Status` (failure). `ValueOrDie()` aborts on failure and is
+/// intended for tests and examples; production code should branch on `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure: wraps a non-OK `status`. Aborts if `status.ok()`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure status, or OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts with the status message if this is a failure.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return *value_;
+  }
+
+  /// Move-returns the value; aborts with the status message on failure.
+  T ValueOrDie() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the value without checking; undefined if `!ok()`.
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace internal
+
+/// Aborts with a diagnostic when `cond` is false. For internal invariants.
+#define COBRA_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::cobra::util::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                      \
+  } while (false)
+
+/// Like COBRA_CHECK but appends a custom message.
+#define COBRA_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::cobra::util::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                       \
+  } while (false)
+
+/// Propagates a non-OK Status from the enclosing function.
+#define COBRA_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::cobra::util::Status _st = (expr);      \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+}  // namespace cobra::util
+
+#endif  // COBRA_UTIL_STATUS_H_

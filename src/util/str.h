@@ -1,0 +1,58 @@
+#ifndef COBRA_UTIL_STR_H_
+#define COBRA_UTIL_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cobra::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits `text` on arbitrary whitespace runs, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True iff `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// ASCII lowercase copy of `text`.
+std::string ToLower(std::string_view text);
+
+/// ASCII uppercase copy of `text`.
+std::string ToUpper(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep` ("a","b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a signed 64-bit integer; the full string must be consumed.
+Result<std::int64_t> ParseInt64(std::string_view text);
+
+/// Parses a double; the full string must be consumed.
+Result<double> ParseDouble(std::string_view text);
+
+/// Formats a double compactly: integral values print without a fractional
+/// part ("240"), others with up to `max_decimals` digits and no trailing
+/// zeros ("208.8", "100.65"). Used by the polynomial printer so that output
+/// matches the paper's notation.
+std::string FormatDouble(double value, int max_decimals = 6);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cobra::util
+
+#endif  // COBRA_UTIL_STR_H_

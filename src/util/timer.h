@@ -1,0 +1,43 @@
+#ifndef COBRA_UTIL_TIMER_H_
+#define COBRA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cobra::util {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and by the
+/// assignment-speedup measurement in `core/metrics`.
+class Timer {
+ public:
+  /// Creates and starts the timer.
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or the last Reset().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cobra::util
+
+#endif  // COBRA_UTIL_TIMER_H_

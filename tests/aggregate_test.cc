@@ -1,0 +1,168 @@
+// Tests for GroupByAggregate: symbolic SUM/COUNT via the aggregate
+// semimodule, numeric AVG/MIN/MAX, grouping, labels, evaluation.
+
+#include "rel/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "prov/parser.h"
+#include "rel/database.h"
+#include "rel/instrument.h"
+
+namespace cobra::rel {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest() {
+    Table t(Schema("T", {{"G", Type::kString},
+                         {"X", Type::kInt64},
+                         {"Y", Type::kDouble}}));
+    t.AppendRow({Value("a"), Value(std::int64_t{1}), Value(10.0)});
+    t.AppendRow({Value("a"), Value(std::int64_t{2}), Value(20.0)});
+    t.AppendRow({Value("b"), Value(std::int64_t{3}), Value(30.0)});
+    db_.AddTable("T", std::move(t)).CheckOK();
+  }
+
+  prov::Polynomial Parse(const char* text) {
+    return prov::ParsePolynomial(text, db_.mutable_var_pool()).ValueOrDie();
+  }
+
+  const AnnotatedTable& T() { return *db_.GetTable("T").ValueOrDie(); }
+
+  Database db_;
+};
+
+TEST_F(AggregateTest, PlainSumAndCountWithoutProvenance) {
+  GroupedResult r = GroupByAggregate(
+                        T(), {"G"},
+                        {{AggFunc::kSum, Expr::Column("X"), "sx"},
+                         {AggFunc::kCount, nullptr, "n"}})
+                        .ValueOrDie();
+  ASSERT_EQ(r.NumGroups(), 2u);
+  EXPECT_EQ(r.GroupLabel(0), "a");
+  EXPECT_EQ(r.PolyAt(0, 0), Parse("3"));
+  EXPECT_EQ(r.PolyAt(0, 1), Parse("2"));
+  EXPECT_EQ(r.PolyAt(1, 0), Parse("3"));
+  EXPECT_EQ(r.PolyAt(1, 1), Parse("1"));
+}
+
+TEST_F(AggregateTest, SymbolicSumBuildsPolynomials) {
+  InstrumentTuples(&db_, "T", "t").CheckOK();
+  GroupedResult r =
+      GroupByAggregate(T(), {"G"},
+                       {{AggFunc::kSum, Expr::Column("Y"), "sy"}})
+          .ValueOrDie();
+  EXPECT_EQ(r.PolyAt(0, 0), Parse("10 * t0 + 20 * t1"));
+  EXPECT_EQ(r.PolyAt(1, 0), Parse("30 * t2"));
+}
+
+TEST_F(AggregateTest, SymbolicSumMergesEqualAnnotations) {
+  // Tag both 'a' rows with the same variable: coefficients add.
+  InstrumentTable(&db_, "T", [](const Table& t, std::size_t row) {
+    return std::vector<std::string>{
+        t.Get(row, 0).AsString() == "a" ? "u" : "w"};
+  }).CheckOK();
+  GroupedResult r =
+      GroupByAggregate(T(), {"G"},
+                       {{AggFunc::kSum, Expr::Column("Y"), "sy"}})
+          .ValueOrDie();
+  EXPECT_EQ(r.PolyAt(0, 0), Parse("30 * u"));
+  EXPECT_EQ(r.PolyAt(0, 0).NumMonomials(), 1u);
+}
+
+TEST_F(AggregateTest, SumOfExpression) {
+  GroupedResult r =
+      GroupByAggregate(
+          T(), {"G"},
+          {{AggFunc::kSum, Expr::Mul(Expr::Column("X"), Expr::Column("Y")),
+            "sxy"}})
+          .ValueOrDie();
+  EXPECT_EQ(r.PolyAt(0, 0), Parse("50"));   // 1*10 + 2*20
+  EXPECT_EQ(r.PolyAt(1, 0), Parse("90"));   // 3*30
+}
+
+TEST_F(AggregateTest, GlobalGroupWhenNoKeys) {
+  GroupedResult r =
+      GroupByAggregate(T(), {}, {{AggFunc::kSum, Expr::Column("X"), "sx"}})
+          .ValueOrDie();
+  ASSERT_EQ(r.NumGroups(), 1u);
+  EXPECT_EQ(r.GroupLabel(0), "<all>");
+  EXPECT_EQ(r.PolyAt(0, 0), Parse("6"));
+}
+
+TEST_F(AggregateTest, MinMaxAvgNumeric) {
+  GroupedResult r = GroupByAggregate(
+                        T(), {"G"},
+                        {{AggFunc::kMin, Expr::Column("Y"), "mn"},
+                         {AggFunc::kMax, Expr::Column("Y"), "mx"},
+                         {AggFunc::kAvg, Expr::Column("Y"), "av"}})
+                        .ValueOrDie();
+  EXPECT_EQ(r.PolyAt(0, 0), Parse("10"));
+  EXPECT_EQ(r.PolyAt(0, 1), Parse("20"));
+  EXPECT_EQ(r.PolyAt(0, 2), Parse("15"));
+  EXPECT_EQ(r.PolyAt(1, 2), Parse("30"));
+}
+
+TEST_F(AggregateTest, MinRejectsSymbolicAnnotations) {
+  InstrumentTuples(&db_, "T", "t").CheckOK();
+  auto result = GroupByAggregate(T(), {"G"},
+                                 {{AggFunc::kMin, Expr::Column("Y"), "mn"}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(AggregateTest, RejectsStringAggregation) {
+  EXPECT_FALSE(
+      GroupByAggregate(T(), {"G"}, {{AggFunc::kSum, Expr::Column("G"), "s"}})
+          .ok());
+}
+
+TEST_F(AggregateTest, RejectsMissingInputForSum) {
+  EXPECT_FALSE(GroupByAggregate(T(), {"G"}, {{AggFunc::kSum, nullptr, "s"}})
+                   .ok());
+}
+
+TEST_F(AggregateTest, RejectsEmptyAggList) {
+  EXPECT_FALSE(GroupByAggregate(T(), {"G"}, {}).ok());
+}
+
+TEST_F(AggregateTest, ToPolySetCarriesLabels) {
+  InstrumentTuples(&db_, "T", "t").CheckOK();
+  GroupedResult r =
+      GroupByAggregate(T(), {"G"},
+                       {{AggFunc::kSum, Expr::Column("Y"), "sy"}})
+          .ValueOrDie();
+  prov::PolySet set = r.ToPolySet(0);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.label(0), "a");
+  EXPECT_EQ(set.label(1), "b");
+  EXPECT_EQ(set.poly(0), Parse("10 * t0 + 20 * t1"));
+}
+
+TEST_F(AggregateTest, EvaluateUnderValuation) {
+  InstrumentTuples(&db_, "T", "t").CheckOK();
+  GroupedResult r =
+      GroupByAggregate(T(), {"G"},
+                       {{AggFunc::kSum, Expr::Column("Y"), "sy"}})
+          .ValueOrDie();
+  prov::Valuation v(*db_.var_pool());
+  v.SetByName(*db_.var_pool(), "t0", 0.5).CheckOK();
+  Table numeric = r.Evaluate(v);
+  ASSERT_EQ(numeric.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(numeric.Get(0, 1).AsDouble(), 5.0 + 20.0);
+  EXPECT_DOUBLE_EQ(numeric.Get(1, 1).AsDouble(), 30.0);
+  EXPECT_EQ(numeric.schema().QualifiedName(1), "sy");
+}
+
+TEST_F(AggregateTest, MultiColumnGroupLabels) {
+  GroupedResult r =
+      GroupByAggregate(T(), {"G", "X"},
+                       {{AggFunc::kCount, nullptr, "n"}})
+          .ValueOrDie();
+  EXPECT_EQ(r.NumGroups(), 3u);
+  EXPECT_EQ(r.GroupLabel(0), "a,1");
+}
+
+}  // namespace
+}  // namespace cobra::rel

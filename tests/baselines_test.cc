@@ -1,0 +1,137 @@
+// Tests for the baseline cut-selection algorithms: greedy bottom-up,
+// level cut, and the brute-force oracle itself.
+
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/profile.h"
+#include "data/example_db.h"
+#include "prov/parser.h"
+#include "util/rng.h"
+
+namespace cobra::core {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void LoadFigure2() {
+    tree_ = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+    polys_ = prov::ParsePolySet(data::kExamplePolynomialsText, &pool_)
+                 .ValueOrDie();
+    profile_ = AnalyzeSingleTree(polys_, tree_, pool_).ValueOrDie();
+  }
+
+  prov::VarPool pool_;
+  AbstractionTree tree_;
+  prov::PolySet polys_;
+  TreeProfile profile_;
+};
+
+TEST_F(BaselinesTest, GreedyRespectsBound) {
+  LoadFigure2();
+  for (std::size_t bound : {4u, 6u, 8u, 10u, 12u, 14u}) {
+    CutSolution s = GreedyBottomUpCut(tree_, profile_, bound).ValueOrDie();
+    EXPECT_TRUE(s.feasible) << bound;
+    EXPECT_LE(s.compressed_size, bound) << bound;
+    EXPECT_TRUE(s.cut.Validate(tree_).ok());
+  }
+}
+
+TEST_F(BaselinesTest, GreedyUnboundedKeepsLeaves) {
+  LoadFigure2();
+  CutSolution s = GreedyBottomUpCut(tree_, profile_, 100).ValueOrDie();
+  EXPECT_EQ(s.num_cut_nodes, 11u);
+  EXPECT_EQ(s.compressed_size, 14u);
+}
+
+TEST_F(BaselinesTest, GreedyInfeasibleStopsAtRoot) {
+  LoadFigure2();
+  CutSolution s = GreedyBottomUpCut(tree_, profile_, 1).ValueOrDie();
+  EXPECT_FALSE(s.feasible);
+  EXPECT_EQ(s.num_cut_nodes, 1u);
+}
+
+TEST_F(BaselinesTest, GreedyNeverBeatsOptimal) {
+  LoadFigure2();
+  for (std::size_t bound = 4; bound <= 14; ++bound) {
+    CutSolution greedy = GreedyBottomUpCut(tree_, profile_, bound).ValueOrDie();
+    CutSolution optimal =
+        OptimalSingleTreeCut(tree_, profile_, bound).ValueOrDie();
+    if (greedy.feasible) {
+      EXPECT_LE(greedy.num_cut_nodes, optimal.num_cut_nodes) << bound;
+    }
+  }
+}
+
+TEST_F(BaselinesTest, LevelCutPicksFinestFeasibleDepth) {
+  LoadFigure2();
+  // Bound 14 admits the leaf level (depth 3).
+  CutSolution s = LevelCut(tree_, profile_, 14).ValueOrDie();
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.num_cut_nodes, 11u);
+  // Bound 10 forces depth 1 ({Business, Special, Standard} = size 10);
+  // depth 2 cut {SB,e,F,Y,v,p1,p2} has size 4+2+2+2+2+2+0=...
+  CutSolution s10 = LevelCut(tree_, profile_, 10).ValueOrDie();
+  EXPECT_TRUE(s10.feasible);
+  EXPECT_LE(s10.compressed_size, 10u);
+}
+
+TEST_F(BaselinesTest, LevelCutInfeasibleReturnsRootLevel) {
+  LoadFigure2();
+  CutSolution s = LevelCut(tree_, profile_, 1).ValueOrDie();
+  EXPECT_FALSE(s.feasible);
+  EXPECT_EQ(s.num_cut_nodes, 1u);
+}
+
+TEST_F(BaselinesTest, BruteForceRespectsEnumerationLimit) {
+  LoadFigure2();
+  EXPECT_FALSE(BruteForceCut(tree_, profile_, 10, /*limit=*/5).ok());
+}
+
+TEST_F(BaselinesTest, BaselineHierarchyOnRandomWeights) {
+  // level-cut <= greedy <= optimal in retained variables, across random
+  // weight profiles on the Figure 2 tree.
+  LoadFigure2();
+  util::Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    TreeProfile p = profile_;
+    // Perturb leaf weights, recompute inner weights as bounded sums (the
+    // identity only needs monotone subadditivity for the algorithms).
+    for (NodeId v : tree_.PostOrder()) {
+      if (tree_.node(v).IsLeaf()) {
+        p.weight[v] = rng.NextBelow(10);
+      } else {
+        std::size_t sum = 0, max_child = 0;
+        for (NodeId c : tree_.node(v).children) {
+          sum += p.weight[c];
+          max_child = std::max(max_child, p.weight[c]);
+        }
+        // Somewhere between max(child) and sum(children).
+        p.weight[v] = max_child + rng.NextBelow(sum - max_child + 1);
+      }
+    }
+    p.base_monomials = 0;
+    std::size_t full = 0;
+    for (NodeId leaf : tree_.Leaves()) full += p.weight[leaf];
+    p.total_monomials = full;
+
+    std::size_t bound = rng.NextBelow(full + 2);
+    CutSolution optimal = OptimalSingleTreeCut(tree_, p, bound).ValueOrDie();
+    CutSolution greedy = GreedyBottomUpCut(tree_, p, bound).ValueOrDie();
+    CutSolution level = LevelCut(tree_, p, bound).ValueOrDie();
+    CutSolution oracle = BruteForceCut(tree_, p, bound).ValueOrDie();
+    EXPECT_EQ(optimal.feasible, oracle.feasible);
+    if (oracle.feasible) {
+      EXPECT_EQ(optimal.num_cut_nodes, oracle.num_cut_nodes);
+      EXPECT_TRUE(greedy.feasible);
+      EXPECT_LE(greedy.num_cut_nodes, optimal.num_cut_nodes);
+      if (level.feasible) {
+        EXPECT_LE(level.num_cut_nodes, optimal.num_cut_nodes);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cobra::core

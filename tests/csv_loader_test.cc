@@ -1,0 +1,99 @@
+// Tests for the CSV table loader: type inference, round trips, error
+// handling, and end-to-end SQL over loaded data.
+
+#include "rel/csv_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/sql/planner.h"
+#include "util/csv.h"
+
+namespace cobra::rel {
+namespace {
+
+TEST(CsvLoaderTest, InfersIntDoubleString) {
+  Table t = TableFromCsv("a,b,c\n1,1.5,x\n2,2,y\n", "T").ValueOrDie();
+  EXPECT_EQ(t.schema().column(0).type, Type::kInt64);
+  EXPECT_EQ(t.schema().column(1).type, Type::kDouble);
+  EXPECT_EQ(t.schema().column(2).type, Type::kString);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.Get(1, 0).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(t.Get(0, 1).AsDouble(), 1.5);
+  EXPECT_EQ(t.Get(1, 2).AsString(), "y");
+}
+
+TEST(CsvLoaderTest, IntColumnDemotesToDoubleThenString) {
+  Table t = TableFromCsv("a\n1\n2.5\n", "T").ValueOrDie();
+  EXPECT_EQ(t.schema().column(0).type, Type::kDouble);
+  Table s = TableFromCsv("a\n1\n2.5\nhello\n", "T").ValueOrDie();
+  EXPECT_EQ(s.schema().column(0).type, Type::kString);
+  EXPECT_EQ(s.Get(0, 0).AsString(), "1");
+}
+
+TEST(CsvLoaderTest, HeaderOnlyGivesEmptyStringTable) {
+  Table t = TableFromCsv("a,b\n", "T").ValueOrDie();
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.schema().column(0).type, Type::kString);
+}
+
+TEST(CsvLoaderTest, QualifierAppliesToAllColumns) {
+  Table t = TableFromCsv("a,b\n1,2\n", "Orders").ValueOrDie();
+  EXPECT_EQ(t.schema().QualifiedName(0), "Orders.a");
+  EXPECT_TRUE(t.schema().Resolve("Orders.b").ok());
+}
+
+TEST(CsvLoaderTest, RejectsMalformedCsv) {
+  EXPECT_FALSE(TableFromCsv("a,b\n1\n", "T").ok());
+  EXPECT_FALSE(TableFromCsv("", "T").ok());
+}
+
+TEST(CsvLoaderTest, RoundTripThroughTableToCsv) {
+  Table t = TableFromCsv("name,score\nalice,3\nbob,4\n", "T").ValueOrDie();
+  std::string csv = TableToCsv(t);
+  Table again = TableFromCsv(csv, "T").ValueOrDie();
+  EXPECT_EQ(again.NumRows(), 2u);
+  EXPECT_EQ(again.Get(0, 0).AsString(), "alice");
+  EXPECT_EQ(again.Get(1, 1).AsInt64(), 4);
+}
+
+TEST(CsvLoaderTest, LoadCsvTableIntoDatabaseAndQuery) {
+  std::string path = ::testing::TempDir() + "/cobra_loader_test.csv";
+  util::WriteFile(path, "k,v\n1,10\n2,20\n1,30\n").CheckOK();
+  Database db;
+  ASSERT_TRUE(LoadCsvTable(&db, "T", path).ok());
+  auto result =
+      sql::RunSql(db, "SELECT k, SUM(v) AS total FROM T GROUP BY k")
+          .ValueOrDie();
+  prov::Valuation neutral(*db.var_pool());
+  Table answer = result.Evaluate(neutral);
+  ASSERT_EQ(answer.NumRows(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    if (answer.Get(r, 0).AsInt64() == 1) {
+      EXPECT_DOUBLE_EQ(answer.Get(r, 1).AsDouble(), 40.0);
+    } else {
+      EXPECT_DOUBLE_EQ(answer.Get(r, 1).AsDouble(), 20.0);
+    }
+  }
+}
+
+TEST(CsvLoaderTest, MissingFileFails) {
+  Database db;
+  EXPECT_FALSE(LoadCsvTable(&db, "T", "/no/such/file.csv").ok());
+}
+
+TEST(CsvLoaderTest, QuotedFieldsSurvive) {
+  Table t = TableFromCsv("a\n\"x, y\"\n", "T").ValueOrDie();
+  EXPECT_EQ(t.Get(0, 0).AsString(), "x, y");
+}
+
+TEST(CsvLoaderTest, NegativeAndScientificNumbers) {
+  Table t = TableFromCsv("a,b\n-5,1e3\n7,-2.5e-2\n", "T").ValueOrDie();
+  EXPECT_EQ(t.schema().column(0).type, Type::kInt64);
+  EXPECT_EQ(t.schema().column(1).type, Type::kDouble);
+  EXPECT_EQ(t.Get(0, 0).AsInt64(), -5);
+  EXPECT_DOUBLE_EQ(t.Get(0, 1).AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(t.Get(1, 1).AsDouble(), -0.025);
+}
+
+}  // namespace
+}  // namespace cobra::rel

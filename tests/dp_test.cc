@@ -1,0 +1,210 @@
+// Tests for the optimal single-tree DP: exact results on the paper's
+// example, optimality against the brute-force oracle on random instances,
+// feasibility handling and the explain trace.
+
+#include "core/dp_optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apply.h"
+#include "core/baselines.h"
+#include "data/example_db.h"
+#include "prov/parser.h"
+#include "util/rng.h"
+
+namespace cobra::core {
+namespace {
+
+class DpTest : public ::testing::Test {
+ protected:
+  void LoadFigure2() {
+    tree_ = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+    polys_ = prov::ParsePolySet(data::kExamplePolynomialsText, &pool_)
+                 .ValueOrDie();
+    profile_ = AnalyzeSingleTree(polys_, tree_, pool_).ValueOrDie();
+  }
+
+  prov::VarPool pool_;
+  AbstractionTree tree_;
+  prov::PolySet polys_;
+  TreeProfile profile_;
+};
+
+TEST_F(DpTest, UnconstrainedBoundKeepsLeafCut) {
+  LoadFigure2();
+  CutSolution s = OptimalSingleTreeCut(tree_, profile_, 14).ValueOrDie();
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.compressed_size, 14u);
+  EXPECT_EQ(s.num_cut_nodes, 11u);  // all leaves
+}
+
+TEST_F(DpTest, TightBoundCollapsesEverything) {
+  LoadFigure2();
+  CutSolution s = OptimalSingleTreeCut(tree_, profile_, 4).ValueOrDie();
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.compressed_size, 4u);
+  EXPECT_EQ(s.num_cut_nodes, 1u);
+  EXPECT_EQ(s.cut.ToString(tree_), "{Plans}");
+}
+
+TEST_F(DpTest, InfeasibleBoundReportsCoarsestCut) {
+  LoadFigure2();
+  CutSolution s = OptimalSingleTreeCut(tree_, profile_, 3).ValueOrDie();
+  EXPECT_FALSE(s.feasible);
+  EXPECT_EQ(s.num_cut_nodes, 1u);
+  EXPECT_EQ(s.compressed_size, 4u);  // best possible, still above bound
+}
+
+TEST_F(DpTest, IntermediateBoundMaximizesVariables) {
+  LoadFigure2();
+  // Bound 12: greedy merging of the cheap groups should retain many vars.
+  CutSolution s = OptimalSingleTreeCut(tree_, profile_, 12).ValueOrDie();
+  EXPECT_TRUE(s.feasible);
+  EXPECT_LE(s.compressed_size, 12u);
+  // Verify optimality against brute force.
+  CutSolution oracle = BruteForceCut(tree_, profile_, 12).ValueOrDie();
+  EXPECT_EQ(s.num_cut_nodes, oracle.num_cut_nodes);
+  EXPECT_EQ(s.compressed_size, oracle.compressed_size);
+}
+
+TEST_F(DpTest, SolutionSizeMatchesSubstitution) {
+  LoadFigure2();
+  for (std::size_t bound : {4u, 6u, 8u, 10u, 12u, 14u}) {
+    CutSolution s = OptimalSingleTreeCut(tree_, profile_, bound).ValueOrDie();
+    prov::VarPool scratch = pool_;
+    Abstraction abs = ApplyCut(polys_, tree_, s.cut, &scratch).ValueOrDie();
+    EXPECT_EQ(abs.compressed_size, s.compressed_size) << "bound " << bound;
+    EXPECT_LE(abs.compressed_size, bound);
+  }
+}
+
+TEST_F(DpTest, ExplainTraceCoversAllNodes) {
+  LoadFigure2();
+  DpExplain explain;
+  CutSolution s =
+      OptimalSingleTreeCut(tree_, profile_, 10, &explain).ValueOrDie();
+  EXPECT_EQ(explain.nodes.size(), tree_.size());
+  std::size_t chosen = 0;
+  for (const auto& node : explain.nodes) {
+    chosen += node.chosen_in_cut;
+    EXPECT_FALSE(node.frontier.empty());
+    EXPECT_EQ(node.weight, profile_.weight[node.node]);
+    // The frontier is nondecreasing over its *feasible* entries (refinement
+    // monotonicity); infeasible k values (e.g. k=2 under a node whose
+    // children only admit 1 or 3 cut nodes) appear as +infinity gaps.
+    std::size_t last_finite = 0;
+    bool seen_finite = false;
+    const std::size_t inf_floor = profile_.total_monomials * 100;
+    for (std::size_t k = 0; k < node.frontier.size(); ++k) {
+      if (node.frontier[k] >= inf_floor) continue;
+      if (seen_finite) EXPECT_GE(node.frontier[k], last_finite);
+      last_finite = node.frontier[k];
+      seen_finite = true;
+    }
+  }
+  EXPECT_EQ(chosen, s.num_cut_nodes);
+  EXPECT_FALSE(explain.ToString(tree_).empty());
+}
+
+TEST_F(DpTest, RejectsMismatchedProfile) {
+  LoadFigure2();
+  TreeProfile wrong;
+  wrong.weight.assign(3, 1);
+  EXPECT_FALSE(OptimalSingleTreeCut(tree_, wrong, 10).ok());
+}
+
+// ---- Optimality property: DP == brute force on random instances ----
+
+struct RandomInstance {
+  prov::VarPool pool;
+  AbstractionTree tree;
+  prov::PolySet polys;
+};
+
+/// Builds a random tree (<= max_leaves leaves) and random polynomials whose
+/// monomials contain at most one tree variable.
+RandomInstance MakeInstance(std::uint64_t seed, std::size_t max_leaves) {
+  RandomInstance inst;
+  util::Rng rng(seed);
+  // Random tree: start from root, attach random internal/leaf nodes.
+  NodeId root = inst.tree.AddRoot("g0");
+  std::vector<NodeId> internals{root};
+  std::size_t next_group = 1, next_leaf = 0;
+  std::size_t leaves = 2 + rng.NextBelow(max_leaves - 1);
+  std::size_t extra_groups = rng.NextBelow(4);
+  for (std::size_t i = 0; i < extra_groups; ++i) {
+    NodeId parent = internals[rng.NextBelow(internals.size())];
+    internals.push_back(
+        inst.tree.AddChild(parent, "g" + std::to_string(next_group++)));
+  }
+  for (std::size_t i = 0; i < leaves; ++i) {
+    NodeId parent = internals[rng.NextBelow(internals.size())];
+    inst.tree.AddLeaf(parent, "x" + std::to_string(next_leaf++), &inst.pool);
+  }
+  // Drop childless internals by giving each one a leaf.
+  for (NodeId v = 0; v < inst.tree.size(); ++v) {
+    if (inst.tree.node(v).children.empty() &&
+        inst.tree.node(v).var == prov::kInvalidVar) {
+      inst.tree.AddLeaf(v, "x" + std::to_string(next_leaf++), &inst.pool);
+    }
+  }
+  COBRA_CHECK(inst.tree.Validate().ok());
+
+  // Random polynomials.
+  std::vector<prov::VarId> tree_vars;
+  for (NodeId leaf : inst.tree.Leaves())
+    tree_vars.push_back(inst.tree.node(leaf).var);
+  std::vector<prov::VarId> noise{inst.pool.Intern("r1"),
+                                 inst.pool.Intern("r2")};
+  std::size_t num_polys = 1 + rng.NextBelow(3);
+  for (std::size_t q = 0; q < num_polys; ++q) {
+    std::vector<prov::Term> terms;
+    std::size_t n = 1 + rng.NextBelow(15);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<prov::VarPower> factors;
+      if (!rng.NextBool(0.15)) {
+        factors.push_back({tree_vars[rng.NextBelow(tree_vars.size())], 1});
+      }
+      if (rng.NextBool(0.7)) {
+        factors.push_back({noise[rng.NextBelow(noise.size())],
+                           static_cast<std::uint32_t>(1 + rng.NextBelow(2))});
+      }
+      terms.push_back({prov::Monomial::FromFactors(std::move(factors)),
+                       rng.NextDoubleInRange(1.0, 9.0)});
+    }
+    inst.polys.Add("P" + std::to_string(q),
+                   prov::Polynomial::FromTerms(std::move(terms)));
+  }
+  return inst;
+}
+
+class DpOptimalityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpOptimalityProperty, MatchesBruteForceOracleOnAllBounds) {
+  RandomInstance inst = MakeInstance(GetParam(), 8);
+  TreeProfile profile =
+      AnalyzeSingleTree(inst.polys, inst.tree, inst.pool).ValueOrDie();
+  std::size_t total = profile.total_monomials;
+  for (std::size_t bound = 0; bound <= total + 1; ++bound) {
+    CutSolution dp =
+        OptimalSingleTreeCut(inst.tree, profile, bound).ValueOrDie();
+    CutSolution oracle = BruteForceCut(inst.tree, profile, bound).ValueOrDie();
+    EXPECT_EQ(dp.feasible, oracle.feasible)
+        << "seed " << GetParam() << " bound " << bound;
+    if (dp.feasible) {
+      EXPECT_EQ(dp.num_cut_nodes, oracle.num_cut_nodes)
+          << "seed " << GetParam() << " bound " << bound;
+      // Among max-variable cuts, both report the minimal achievable size.
+      EXPECT_EQ(dp.compressed_size, oracle.compressed_size)
+          << "seed " << GetParam() << " bound " << bound;
+      EXPECT_LE(dp.compressed_size, bound);
+      EXPECT_TRUE(dp.cut.Validate(inst.tree).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOptimalityProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,125 @@
+// Tests for the scalar expression AST, binding and evaluation.
+
+#include "rel/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace cobra::rel {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : table_(Schema("T", {{"A", Type::kInt64},
+                            {"B", Type::kDouble},
+                            {"S", Type::kString}})) {
+    table_.AppendRow({Value(std::int64_t{4}), Value(2.5), Value("hi")});
+    table_.AppendRow({Value(std::int64_t{-1}), Value(0.0), Value("yo")});
+  }
+
+  Value Eval(const ExprPtr& e, std::size_t row = 0) {
+    return BoundExpr::Bind(e, table_.schema()).ValueOrDie().Eval(table_, row);
+  }
+
+  Table table_;
+};
+
+TEST_F(ExprTest, ColumnAndLiteral) {
+  EXPECT_EQ(Eval(Expr::Column("A")).AsInt64(), 4);
+  EXPECT_DOUBLE_EQ(Eval(Expr::Column("T.B")).AsDouble(), 2.5);
+  EXPECT_EQ(Eval(Expr::Str("s")).AsString(), "s");
+  EXPECT_EQ(Eval(Expr::Int(9)).AsInt64(), 9);
+}
+
+TEST_F(ExprTest, IntegerArithmeticStaysInt) {
+  Value v = Eval(Expr::Add(Expr::Column("A"), Expr::Int(2)));
+  EXPECT_EQ(v.type(), Type::kInt64);
+  EXPECT_EQ(v.AsInt64(), 6);
+  EXPECT_EQ(Eval(Expr::Mul(Expr::Column("A"), Expr::Int(3))).AsInt64(), 12);
+  EXPECT_EQ(Eval(Expr::Sub(Expr::Int(1), Expr::Column("A"))).AsInt64(), -3);
+}
+
+TEST_F(ExprTest, MixedArithmeticPromotesToDouble) {
+  Value v = Eval(Expr::Mul(Expr::Column("A"), Expr::Column("B")));
+  EXPECT_EQ(v.type(), Type::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 10.0);
+}
+
+TEST_F(ExprTest, DivisionIsAlwaysDouble) {
+  Value v = Eval(Expr::Div(Expr::Int(7), Expr::Int(2)));
+  EXPECT_EQ(v.type(), Type::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+}
+
+TEST_F(ExprTest, Negation) {
+  EXPECT_EQ(Eval(Expr::Unary(ExprOp::kNeg, Expr::Column("A"))).AsInt64(), -4);
+  EXPECT_DOUBLE_EQ(
+      Eval(Expr::Unary(ExprOp::kNeg, Expr::Column("B"))).AsDouble(), -2.5);
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EXPECT_EQ(Eval(Expr::Lt(Expr::Column("A"), Expr::Int(5))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Expr::Ge(Expr::Column("A"), Expr::Int(5))).AsInt64(), 0);
+  EXPECT_EQ(Eval(Expr::Eq(Expr::Column("S"), Expr::Str("hi"))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Expr::Ne(Expr::Column("S"), Expr::Str("hi"))).AsInt64(), 0);
+  EXPECT_EQ(Eval(Expr::Le(Expr::Int(3), Expr::Int(3))).AsInt64(), 1);
+  EXPECT_EQ(Eval(Expr::Gt(Expr::Column("B"), Expr::Int(2))).AsInt64(), 1);
+}
+
+TEST_F(ExprTest, BooleanConnectives) {
+  ExprPtr t = Expr::Int(1), f = Expr::Int(0);
+  EXPECT_EQ(Eval(Expr::And(t, f)).AsInt64(), 0);
+  EXPECT_EQ(Eval(Expr::Or(t, f)).AsInt64(), 1);
+  EXPECT_EQ(Eval(Expr::Not(f)).AsInt64(), 1);
+  EXPECT_EQ(Eval(Expr::Not(t)).AsInt64(), 0);
+}
+
+TEST_F(ExprTest, EvalBoolOnSecondRow) {
+  BoundExpr b = BoundExpr::Bind(Expr::Gt(Expr::Column("A"), Expr::Int(0)),
+                                table_.schema())
+                    .ValueOrDie();
+  EXPECT_TRUE(b.EvalBool(table_, 0));
+  EXPECT_FALSE(b.EvalBool(table_, 1));
+}
+
+TEST_F(ExprTest, BindRejectsTypeErrors) {
+  Schema s = table_.schema();
+  EXPECT_FALSE(BoundExpr::Bind(Expr::Add(Expr::Column("S"), Expr::Int(1)), s).ok());
+  EXPECT_FALSE(BoundExpr::Bind(Expr::Eq(Expr::Column("S"), Expr::Int(1)), s).ok());
+  EXPECT_FALSE(
+      BoundExpr::Bind(Expr::And(Expr::Column("S"), Expr::Int(1)), s).ok());
+  EXPECT_FALSE(BoundExpr::Bind(Expr::Column("Missing"), s).ok());
+  EXPECT_FALSE(BoundExpr::Bind(nullptr, s).ok());
+}
+
+TEST_F(ExprTest, ResultTypePropagation) {
+  Schema s = table_.schema();
+  EXPECT_EQ(BoundExpr::Bind(Expr::Column("A"), s).ValueOrDie().result_type(),
+            Type::kInt64);
+  EXPECT_EQ(BoundExpr::Bind(Expr::Mul(Expr::Column("A"), Expr::Column("B")), s)
+                .ValueOrDie()
+                .result_type(),
+            Type::kDouble);
+  EXPECT_EQ(BoundExpr::Bind(Expr::Eq(Expr::Column("A"), Expr::Int(1)), s)
+                .ValueOrDie()
+                .result_type(),
+            Type::kInt64);
+}
+
+TEST_F(ExprTest, CollectColumns) {
+  ExprPtr e = Expr::Add(Expr::Mul(Expr::Column("A"), Expr::Column("B")),
+                        Expr::Column("A"));
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"A", "B", "A"}));
+}
+
+TEST_F(ExprTest, ToStringReadable) {
+  ExprPtr e = Expr::And(Expr::Eq(Expr::Column("A"), Expr::Int(1)),
+                        Expr::Lt(Expr::Column("B"), Expr::Double(2.5)));
+  EXPECT_EQ(e->ToString(), "((A = 1) AND (B < 2.5))");
+  EXPECT_EQ(Expr::Str("x")->ToString(), "'x'");
+}
+
+}  // namespace
+}  // namespace cobra::rel

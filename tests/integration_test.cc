@@ -1,0 +1,190 @@
+// Full-stack integration tests: generator -> instrumentation -> SQL with
+// provenance -> compression -> scenario assignment, validated against
+// ground truth obtained by modifying the database and re-running the query
+// (the end-to-end version of the commutation property, THROUGH the
+// compressed provenance).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/session.h"
+#include "data/telephony.h"
+#include "rel/sql/planner.h"
+#include "util/rng.h"
+
+namespace cobra {
+namespace {
+
+class FullStackTest : public ::testing::Test {
+ protected:
+  static data::TelephonyConfig SmallConfig() {
+    data::TelephonyConfig config;
+    config.num_customers = 400;
+    config.num_zips = 10;
+    config.num_months = 12;
+    config.seed = 7;
+    return config;
+  }
+
+  /// Ground truth: scale the Plans prices by the per-plan/per-month
+  /// factors, re-run the query, return zip -> revenue.
+  static std::map<std::int64_t, double> RerunWithScaledPrices(
+      const std::map<std::string, double>& plan_factor, double m3_factor) {
+    rel::Database db = data::GenerateTelephony(SmallConfig());
+    rel::AnnotatedTable* plans = db.GetMutableTable("Plans").ValueOrDie();
+    auto* prices = plans->table.mutable_column(2)->MutableDoubles();
+    for (std::size_t r = 0; r < plans->NumRows(); ++r) {
+      std::string plan = plans->table.Get(r, 0).AsString();
+      std::int64_t month = plans->table.Get(r, 1).AsInt64();
+      auto it = plan_factor.find(plan);
+      if (it != plan_factor.end()) (*prices)[r] *= it->second;
+      if (month == 3) (*prices)[r] *= m3_factor;
+    }
+    prov::Valuation neutral(*db.var_pool());
+    rel::Table answer = rel::sql::RunSql(db, data::TelephonyRevenueQuery())
+                            .ValueOrDie()
+                            .Evaluate(neutral);
+    std::map<std::int64_t, double> out;
+    for (std::size_t r = 0; r < answer.NumRows(); ++r) {
+      out[answer.Get(r, 0).AsInt64()] = answer.Get(r, 1).AsDouble();
+    }
+    return out;
+  }
+};
+
+TEST_F(FullStackTest, CompressedScenarioEqualsDatabaseModification) {
+  // Provenance side, compressed to the Business/Special/Standard level.
+  rel::Database db = data::GenerateTelephony(SmallConfig());
+  data::InstrumentTelephony(&db).CheckOK();
+  rel::sql::QueryResult result =
+      rel::sql::RunSql(db, data::TelephonyRevenueQuery()).ValueOrDie();
+
+  core::Session session(db.var_pool());
+  session.LoadPolynomials(result.Provenance());
+  session.SetTreeText(data::TelephonyPlanTreeText()).CheckOK();
+  session.SetBound(10 * 12 * 3);  // zips * months * 3 groups
+  core::CompressionReport report = session.Compress().ValueOrDie();
+  ASSERT_TRUE(report.feasible);
+  ASSERT_EQ(report.cut_description, "{Business, Special, Standard}");
+
+  // Scenario: business plans +10%, March -20% — group-uniform, so the
+  // compressed result must be *exact* against full re-execution.
+  session.SetMetaValue("Business", 1.1).CheckOK();
+  session.SetMetaValue("m3", 0.8).CheckOK();
+  core::AssignReport assign = session.Assign().ValueOrDie();
+
+  std::map<std::string, double> plan_factor;
+  for (const data::PlanInfo& plan : data::DefaultPlans()) {
+    bool business = plan.plan == "SB1" || plan.plan == "SB2" ||
+                    plan.plan == "E";
+    plan_factor[plan.plan] = business ? 1.1 : 1.0;
+  }
+  std::map<std::int64_t, double> truth =
+      RerunWithScaledPrices(plan_factor, 0.8);
+
+  ASSERT_EQ(assign.delta.rows.size(), truth.size());
+  for (const core::ResultDelta::Row& row : assign.delta.rows) {
+    std::int64_t zip = std::stoll(row.label);
+    ASSERT_TRUE(truth.count(zip) > 0) << zip;
+    double expected = truth[zip];
+    EXPECT_NEAR(row.compressed, expected, 1e-6 * (1.0 + std::abs(expected)))
+        << "zip " << zip;
+    EXPECT_NEAR(row.full, expected, 1e-6 * (1.0 + std::abs(expected)))
+        << "zip " << zip;
+  }
+}
+
+TEST_F(FullStackTest, NonUniformScenarioWithinGroupNeedsFinerCut) {
+  // If the analyst needs SB1 and SB2 to move differently, the Business-level
+  // abstraction cannot express it — but a finer (leaf-keeping) cut can.
+  rel::Database db = data::GenerateTelephony(SmallConfig());
+  data::InstrumentTelephony(&db).CheckOK();
+  rel::sql::QueryResult result =
+      rel::sql::RunSql(db, data::TelephonyRevenueQuery()).ValueOrDie();
+
+  core::Session session(db.var_pool());
+  session.LoadPolynomials(result.Provenance());
+  session.SetTreeText(data::TelephonyPlanTreeText()).CheckOK();
+  session.SetBound(10 * 12 * 11);  // full size: leaf cut
+  session.Compress().ValueOrDie();
+  session.SetMetaValue("b1", 1.3).CheckOK();
+  session.SetMetaValue("b2", 0.7).CheckOK();
+  core::AssignReport assign = session.Assign().ValueOrDie();
+
+  std::map<std::string, double> plan_factor{{"SB1", 1.3}, {"SB2", 0.7}};
+  std::map<std::int64_t, double> truth =
+      RerunWithScaledPrices(plan_factor, 1.0);
+  for (const core::ResultDelta::Row& row : assign.delta.rows) {
+    std::int64_t zip = std::stoll(row.label);
+    double expected = truth[zip];
+    EXPECT_NEAR(row.compressed, expected, 1e-6 * (1.0 + std::abs(expected)));
+  }
+}
+
+TEST_F(FullStackTest, SpeedupGrowsAsBoundShrinks) {
+  data::TelephonyConfig config = SmallConfig();
+  config.num_customers = 5000;
+  config.num_zips = 50;
+  rel::Database db = data::GenerateTelephony(config);
+  data::InstrumentTelephony(&db).CheckOK();
+  rel::sql::QueryResult result =
+      rel::sql::RunSql(db, data::TelephonyRevenueQuery()).ValueOrDie();
+
+  core::Session session(db.var_pool());
+  session.LoadPolynomials(result.Provenance());
+  session.SetTreeText(data::TelephonyPlanTreeText()).CheckOK();
+  std::size_t full = session.full().TotalMonomials();
+
+  session.SetBound(full * 7 / 11);
+  session.Compress().ValueOrDie();
+  double mild = session.Assign(20).ValueOrDie().timing.compressed_seconds;
+
+  session.SetBound(full * 1 / 11);
+  session.Compress().ValueOrDie();
+  double aggressive =
+      session.Assign(20).ValueOrDie().timing.compressed_seconds;
+
+  // 1/11 of the monomials should evaluate measurably faster than 7/11.
+  EXPECT_LT(aggressive, mild);
+}
+
+TEST_F(FullStackTest, MultiplePolySetsThroughOneSessionPool) {
+  // Two different queries over the same database share the variable pool;
+  // compressing one must not corrupt the other's variables.
+  rel::Database db = data::GenerateTelephony(SmallConfig());
+  data::InstrumentTelephony(&db).CheckOK();
+  rel::sql::QueryResult by_zip =
+      rel::sql::RunSql(db, data::TelephonyRevenueQuery()).ValueOrDie();
+  rel::sql::QueryResult by_month =
+      rel::sql::RunSql(db,
+                       "SELECT Calls.Mo, SUM(Calls.Dur * Plans.Price) AS r "
+                       "FROM Calls, Cust, Plans "
+                       "WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID "
+                       "AND Calls.Mo = Plans.Mo GROUP BY Calls.Mo")
+          .ValueOrDie();
+
+  core::Session session(db.var_pool());
+  session.LoadPolynomials(by_zip.Provenance());
+  session.SetTreeText(data::TelephonyPlanTreeText()).CheckOK();
+  session.SetBound(1);
+  session.Compress(core::Algorithm::kGreedy).ValueOrDie();
+
+  // The second result still evaluates correctly under the shared pool.
+  prov::Valuation neutral(*db.var_pool());
+  rel::Table months = by_month.Evaluate(neutral);
+  EXPECT_EQ(months.NumRows(), 12u);
+  double total = 0;
+  for (std::size_t r = 0; r < months.NumRows(); ++r) {
+    total += months.Get(r, 1).AsDouble();
+  }
+  rel::Table zips = by_zip.Evaluate(neutral);
+  double total_by_zip = 0;
+  for (std::size_t r = 0; r < zips.NumRows(); ++r) {
+    total_by_zip += zips.Get(r, 1).AsDouble();
+  }
+  EXPECT_NEAR(total, total_by_zip, 1e-6 * (1.0 + total));
+}
+
+}  // namespace
+}  // namespace cobra

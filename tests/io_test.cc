@@ -1,0 +1,150 @@
+// Tests for the compressed-provenance package (core/io): serialization
+// round trips, format errors, and the meta-analyst -> analyst workflow the
+// paper motivates (compress on one machine, assign on another).
+
+#include "core/io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.h"
+#include "core/tree.h"
+#include "data/example_db.h"
+#include "prov/eval_program.h"
+#include "prov/parser.h"
+
+namespace cobra::core {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  /// Compresses the running example at `bound` and packages the result.
+  CompressedPackage MakeExamplePackage(std::size_t bound) {
+    tree_ = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+    polys_ = prov::ParsePolySet(data::kExamplePolynomialsText, &pool_)
+                 .ValueOrDie();
+    CompressionRequest request;
+    request.bound = bound;
+    outcome_ = Compress(polys_, tree_, request, &pool_).ValueOrDie();
+    prov::Valuation base(pool_);
+    return MakePackage(outcome_->abstraction, base, pool_);
+  }
+
+  prov::VarPool pool_;
+  AbstractionTree tree_;
+  prov::PolySet polys_;
+  std::optional<CompressionOutcome> outcome_;
+};
+
+TEST_F(IoTest, PackageCarriesCompressedPolynomials) {
+  CompressedPackage package = MakeExamplePackage(8);
+  EXPECT_EQ(package.polynomials.TotalMonomials(),
+            outcome_->report.compressed_size);
+  EXPECT_EQ(package.polynomials.size(), 2u);
+  EXPECT_FALSE(package.meta_groups.empty());
+}
+
+TEST_F(IoTest, SerializeParseRoundTrip) {
+  CompressedPackage package = MakeExamplePackage(8);
+  std::string text = SerializePackage(package, pool_);
+
+  prov::VarPool analyst_pool;  // fresh pool: the analyst's machine
+  CompressedPackage loaded =
+      ParsePackage(text, &analyst_pool).ValueOrDie();
+  ASSERT_EQ(loaded.polynomials.size(), package.polynomials.size());
+  EXPECT_EQ(loaded.polynomials.TotalMonomials(),
+            package.polynomials.TotalMonomials());
+  EXPECT_EQ(loaded.meta_groups.size(), package.meta_groups.size());
+  EXPECT_EQ(loaded.defaults.size(), package.defaults.size());
+  // Labels and group names survive.
+  EXPECT_EQ(loaded.polynomials.label(0), package.polynomials.label(0));
+  EXPECT_EQ(loaded.meta_groups[0].first, package.meta_groups[0].first);
+  EXPECT_EQ(loaded.meta_groups[0].second, package.meta_groups[0].second);
+}
+
+TEST_F(IoTest, AnalystCanEvaluateScenariosFromPackageAlone) {
+  CompressedPackage package = MakeExamplePackage(8);
+  std::string text = SerializePackage(package, pool_);
+
+  // Analyst side: no tree, no full provenance, fresh variable pool.
+  prov::VarPool analyst_pool;
+  CompressedPackage loaded = ParsePackage(text, &analyst_pool).ValueOrDie();
+  prov::Valuation scenario(analyst_pool);
+  // March -20% — same scenario on both sides.
+  scenario.SetByName(analyst_pool, "m3", 0.8).CheckOK();
+  prov::EvalProgram program(loaded.polynomials);
+  std::vector<double> analyst_answers;
+  program.Eval(scenario, &analyst_answers);
+
+  // Meta-analyst side: same scenario on the original compressed set.
+  prov::Valuation original(pool_);
+  original.SetByName(pool_, "m3", 0.8).CheckOK();
+  for (std::size_t i = 0; i < polys_.size(); ++i) {
+    EXPECT_NEAR(analyst_answers[i],
+                outcome_->abstraction.compressed.poly(i).Eval(original),
+                1e-9);
+  }
+}
+
+TEST_F(IoTest, DefaultsRecordNonNeutralMetaValues) {
+  tree_ = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+  polys_ =
+      prov::ParsePolySet(data::kExamplePolynomialsText, &pool_).ValueOrDie();
+  CompressionRequest request;
+  request.bound = 4;  // root cut {Plans}
+  outcome_ = Compress(polys_, tree_, request, &pool_).ValueOrDie();
+  prov::Valuation base(pool_);
+  base.SetByName(pool_, "b1", 3.0).CheckOK();
+  CompressedPackage package =
+      MakePackage(outcome_->abstraction, base, pool_);
+  // Plans default = avg over 11 leaves with b1=3 -> (3 + 10)/11 != 1.
+  bool found = false;
+  for (const auto& [name, value] : package.defaults) {
+    if (name == "Plans") {
+      found = true;
+      EXPECT_NEAR(value, 13.0 / 11.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(IoTest, FileRoundTrip) {
+  CompressedPackage package = MakeExamplePackage(6);
+  std::string path = ::testing::TempDir() + "/cobra_package_test.txt";
+  ASSERT_TRUE(SavePackage(package, pool_, path).ok());
+  prov::VarPool analyst_pool;
+  CompressedPackage loaded = LoadPackage(path, &analyst_pool).ValueOrDie();
+  EXPECT_EQ(loaded.polynomials.TotalMonomials(),
+            package.polynomials.TotalMonomials());
+  EXPECT_FALSE(LoadPackage("/no/such/package.txt", &analyst_pool).ok());
+}
+
+TEST_F(IoTest, ParseRejectsMalformedPackages) {
+  prov::VarPool pool;
+  EXPECT_FALSE(ParsePackage("content before section\n", &pool).ok());
+  EXPECT_FALSE(
+      ParsePackage("[meta]\nMissingArrow b1 b2\n", &pool).ok());
+  EXPECT_FALSE(ParsePackage("[defaults]\nno_equals\n", &pool).ok());
+  EXPECT_FALSE(ParsePackage("[defaults]\nx = notanumber\n", &pool).ok());
+  EXPECT_FALSE(ParsePackage("[polynomials]\nP = x +\n", &pool).ok());
+  // Empty package is fine (no sections, no content).
+  EXPECT_TRUE(ParsePackage("# just a comment\n", &pool).ok());
+}
+
+TEST_F(IoTest, CommentsAndBlankLinesIgnored) {
+  prov::VarPool pool;
+  CompressedPackage loaded = ParsePackage(
+                                 "# header\n[polynomials]\n\nP = 2 * x\n"
+                                 "[meta]\n# note\nG <- x y\n"
+                                 "[defaults]\nG = 0.5\n",
+                                 &pool)
+                                 .ValueOrDie();
+  EXPECT_EQ(loaded.polynomials.size(), 1u);
+  ASSERT_EQ(loaded.meta_groups.size(), 1u);
+  EXPECT_EQ(loaded.meta_groups[0].second,
+            (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(loaded.defaults.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.defaults[0].second, 0.5);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,99 @@
+// Tests for core/metrics: assignment timing and result deltas.
+
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "prov/parser.h"
+
+namespace cobra::core {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  prov::PolySet MakeSet(std::size_t monos_per_poly) {
+    prov::PolySet set;
+    for (std::size_t p = 0; p < 20; ++p) {
+      std::vector<prov::Term> terms;
+      for (std::size_t i = 0; i < monos_per_poly; ++i) {
+        terms.push_back({prov::Monomial::Of(static_cast<prov::VarId>(i % 16),
+                                            static_cast<prov::VarId>(16 + i / 16)),
+                         static_cast<double>(i + 1)});
+      }
+      set.Add("g" + std::to_string(p),
+              prov::Polynomial::FromTerms(std::move(terms)));
+    }
+    return set;
+  }
+};
+
+TEST_F(MetricsTest, SpeedupPercentFormula) {
+  AssignmentTiming timing;
+  timing.full_seconds = 2.0;
+  timing.compressed_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(timing.SpeedupPercent(), 50.0);
+  timing.compressed_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(timing.SpeedupPercent(), 0.0);
+  timing.full_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(timing.SpeedupPercent(), 0.0);  // guarded
+}
+
+TEST_F(MetricsTest, MeasureAssignmentOrdersBySize) {
+  prov::PolySet full = MakeSet(512);
+  prov::PolySet small = MakeSet(32);
+  prov::Valuation valuation(std::size_t{64});
+  AssignmentTiming timing =
+      MeasureAssignment(full, small, valuation, valuation, 10);
+  EXPECT_GT(timing.full_seconds, 0.0);
+  EXPECT_GT(timing.compressed_seconds, 0.0);
+  // 16x fewer monomials must be measurably faster.
+  EXPECT_LT(timing.compressed_seconds, timing.full_seconds);
+  EXPECT_GT(timing.SpeedupPercent(), 0.0);
+}
+
+TEST_F(MetricsTest, CompareResultsComputesErrors) {
+  prov::VarPool pool;
+  prov::PolySet a, b;
+  a.Add("g0", prov::ParsePolynomial("10", &pool).ValueOrDie());
+  a.Add("g1", prov::ParsePolynomial("0", &pool).ValueOrDie());
+  b.Add("g0", prov::ParsePolynomial("8", &pool).ValueOrDie());
+  b.Add("g1", prov::ParsePolynomial("0", &pool).ValueOrDie());
+  prov::Valuation v(pool);
+  ResultDelta delta = CompareResults(a, b, v, v);
+  ASSERT_EQ(delta.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(delta.rows[0].abs_error, 2.0);
+  EXPECT_DOUBLE_EQ(delta.rows[0].rel_error, 0.2);
+  EXPECT_DOUBLE_EQ(delta.rows[1].abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(delta.rows[1].rel_error, 0.0);
+  EXPECT_DOUBLE_EQ(delta.max_abs_error, 2.0);
+  EXPECT_DOUBLE_EQ(delta.max_rel_error, 0.2);
+  EXPECT_DOUBLE_EQ(delta.mean_rel_error, 0.1);
+}
+
+TEST_F(MetricsTest, CompareResultsZeroFullNonzeroCompressed) {
+  prov::VarPool pool;
+  prov::PolySet a, b;
+  a.Add("g0", prov::Polynomial());
+  b.Add("g0", prov::ParsePolynomial("1", &pool).ValueOrDie());
+  prov::Valuation v(pool);
+  ResultDelta delta = CompareResults(a, b, v, v);
+  // full == 0 with nonzero error counts as 100% relative error.
+  EXPECT_DOUBLE_EQ(delta.rows[0].rel_error, 1.0);
+}
+
+TEST_F(MetricsTest, ResultDeltaToStringTruncates) {
+  prov::VarPool pool;
+  prov::PolySet a, b;
+  for (int i = 0; i < 15; ++i) {
+    a.Add("g" + std::to_string(i), prov::Polynomial::Constant(1.0));
+    b.Add("g" + std::to_string(i), prov::Polynomial::Constant(1.0));
+  }
+  prov::Valuation v(pool);
+  ResultDelta delta = CompareResults(a, b, v, v);
+  std::string text = delta.ToString(5);
+  EXPECT_NE(text.find("10 more groups"), std::string::npos);
+  EXPECT_NE(text.find("errors:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cobra::core

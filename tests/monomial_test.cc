@@ -1,0 +1,135 @@
+// Unit tests for prov::Monomial: canonical form, arithmetic, mapping.
+
+#include "prov/monomial.h"
+
+#include <gtest/gtest.h>
+
+#include "prov/variable.h"
+
+namespace cobra::prov {
+namespace {
+
+class MonomialTest : public ::testing::Test {
+ protected:
+  VarPool pool_;
+  VarId x_ = pool_.Intern("x");
+  VarId y_ = pool_.Intern("y");
+  VarId z_ = pool_.Intern("z");
+};
+
+TEST_F(MonomialTest, DefaultIsConstantOne) {
+  Monomial m;
+  EXPECT_TRUE(m.IsConstant());
+  EXPECT_EQ(m.Degree(), 0u);
+  EXPECT_EQ(m.NumVars(), 0u);
+  EXPECT_EQ(m.ToString(pool_), "1");
+}
+
+TEST_F(MonomialTest, FromFactorsSortsAndMerges) {
+  Monomial m = Monomial::FromFactors({{y_, 1}, {x_, 2}, {y_, 3}});
+  ASSERT_EQ(m.NumVars(), 2u);
+  EXPECT_EQ(m.powers()[0].var, x_);
+  EXPECT_EQ(m.powers()[0].exp, 2u);
+  EXPECT_EQ(m.powers()[1].var, y_);
+  EXPECT_EQ(m.powers()[1].exp, 4u);
+}
+
+TEST_F(MonomialTest, FromFactorsDropsZeroExponents) {
+  Monomial m = Monomial::FromFactors({{x_, 0}, {y_, 1}});
+  EXPECT_EQ(m.NumVars(), 1u);
+  EXPECT_EQ(m.ExponentOf(x_), 0u);
+  EXPECT_EQ(m.ExponentOf(y_), 1u);
+}
+
+TEST_F(MonomialTest, EqualityIsStructural) {
+  EXPECT_EQ(Monomial::Of(x_, y_), Monomial::Of(y_, x_));
+  EXPECT_FALSE(Monomial::Of(x_) == Monomial::Of(y_));
+  EXPECT_FALSE(Monomial::Of(x_) ==
+               Monomial::FromFactors({{x_, 2}}));
+}
+
+TEST_F(MonomialTest, TimesAddsExponents) {
+  Monomial a = Monomial::Of(x_, y_);
+  Monomial b = Monomial::FromFactors({{y_, 1}, {z_, 2}});
+  Monomial p = a.Times(b);
+  EXPECT_EQ(p.ExponentOf(x_), 1u);
+  EXPECT_EQ(p.ExponentOf(y_), 2u);
+  EXPECT_EQ(p.ExponentOf(z_), 2u);
+  EXPECT_EQ(p.Degree(), 5u);
+}
+
+TEST_F(MonomialTest, TimesWithConstantIsIdentity) {
+  Monomial a = Monomial::Of(x_);
+  EXPECT_EQ(a.Times(Monomial()), a);
+  EXPECT_EQ(Monomial().Times(a), a);
+}
+
+TEST_F(MonomialTest, TimesIsCommutative) {
+  Monomial a = Monomial::FromFactors({{x_, 2}, {y_, 1}});
+  Monomial b = Monomial::FromFactors({{y_, 2}, {z_, 3}});
+  EXPECT_EQ(a.Times(b), b.Times(a));
+}
+
+TEST_F(MonomialTest, WithoutRemovesVariable) {
+  Monomial m = Monomial::FromFactors({{x_, 2}, {y_, 1}});
+  Monomial r = m.Without(x_);
+  EXPECT_EQ(r, Monomial::Of(y_));
+  EXPECT_EQ(m.Without(z_), m);
+  EXPECT_EQ(Monomial::Of(x_).Without(x_), Monomial());
+}
+
+TEST_F(MonomialTest, MapVarsRenames) {
+  std::vector<VarId> mapping{z_, y_, z_};  // x->z, y->y, z->z
+  Monomial m = Monomial::Of(x_, y_);
+  Monomial mapped = m.MapVars(mapping);
+  EXPECT_EQ(mapped, Monomial::Of(z_, y_));
+}
+
+TEST_F(MonomialTest, MapVarsMergesCollidingExponents) {
+  std::vector<VarId> mapping{z_, z_, z_};  // everything -> z
+  Monomial m = Monomial::FromFactors({{x_, 2}, {y_, 3}});
+  Monomial mapped = m.MapVars(mapping);
+  EXPECT_EQ(mapped.NumVars(), 1u);
+  EXPECT_EQ(mapped.ExponentOf(z_), 5u);
+}
+
+TEST_F(MonomialTest, EvalMultipliesPowers) {
+  std::vector<double> values{2.0, 3.0, 5.0};
+  Monomial m = Monomial::FromFactors({{x_, 2}, {y_, 1}});
+  EXPECT_DOUBLE_EQ(m.Eval(values), 4.0 * 3.0);
+  EXPECT_DOUBLE_EQ(Monomial().Eval(values), 1.0);
+}
+
+TEST_F(MonomialTest, HashConsistentWithEquality) {
+  Monomial a = Monomial::FromFactors({{x_, 1}, {y_, 2}});
+  Monomial b = Monomial::FromFactors({{y_, 2}, {x_, 1}});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(Monomial::Of(x_).Hash(), Monomial::Of(y_).Hash());
+}
+
+TEST_F(MonomialTest, ToStringShowsExponents) {
+  Monomial m = Monomial::FromFactors({{x_, 2}, {y_, 1}});
+  EXPECT_EQ(m.ToString(pool_), "x^2 * y");
+}
+
+TEST_F(MonomialTest, OrderingIsTotalAndConsistent) {
+  Monomial a = Monomial::Of(x_);
+  Monomial b = Monomial::Of(y_);
+  Monomial c = Monomial::Of(x_, y_);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+  // Transitivity spot-check on three distinct monomials.
+  std::vector<Monomial> all{a, b, c, Monomial()};
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_FALSE(all[i + 1] < all[i]);
+  }
+}
+
+TEST_F(MonomialTest, ExponentOfMissingVarIsZero) {
+  EXPECT_EQ(Monomial::Of(x_).ExponentOf(y_), 0u);
+  EXPECT_EQ(Monomial().ExponentOf(x_), 0u);
+}
+
+}  // namespace
+}  // namespace cobra::prov

@@ -1,0 +1,156 @@
+// Tests for the multi-tree greedy compressor (the NP-hard general case):
+// correctness of the reported sizes against actual substitution, bound
+// satisfaction, and behaviour with monomials spanning two trees.
+
+#include "core/multi_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "data/example_db.h"
+#include "data/telephony.h"
+#include "prov/parser.h"
+#include "util/rng.h"
+
+namespace cobra::core {
+namespace {
+
+class MultiTreeTest : public ::testing::Test {
+ protected:
+  /// Plan tree (Figure 2) + month quarter tree over m1..m6, with
+  /// polynomials whose monomials contain one variable from each tree.
+  void LoadTwoTrees() {
+    plan_tree_ = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+    month_tree_ =
+        ParseTree(data::MonthQuarterTreeText(6), &pool_).ValueOrDie();
+    std::string text;
+    // Every (plan in {b1,b2,e,p1}, month in m1..m6) pair, distinct coeffs.
+    int c = 1;
+    text = "P = ";
+    for (const char* plan : {"b1", "b2", "e", "p1"}) {
+      for (int m = 1; m <= 6; ++m) {
+        if (c > 1) text += " + ";
+        text += std::to_string(c++) + " * " + plan + " * m" +
+                std::to_string(m);
+      }
+    }
+    text += "\n";
+    polys_ = prov::ParsePolySet(text, &pool_).ValueOrDie();
+    ASSERT_EQ(polys_.TotalMonomials(), 24u);
+  }
+
+  prov::VarPool pool_;
+  AbstractionTree plan_tree_, month_tree_;
+  prov::PolySet polys_;
+};
+
+TEST_F(MultiTreeTest, NoCompressionNeededKeepsLeafCuts) {
+  LoadTwoTrees();
+  MultiTreeSolution s =
+      GreedyMultiTreeCut(polys_, {plan_tree_, month_tree_}, 24, pool_)
+          .ValueOrDie();
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.compressed_size, 24u);
+  EXPECT_EQ(s.moves_applied, 0u);
+}
+
+TEST_F(MultiTreeTest, ReportedSizeMatchesSubstitution) {
+  LoadTwoTrees();
+  for (std::size_t bound : {20u, 12u, 8u, 4u, 2u}) {
+    MultiTreeSolution s =
+        GreedyMultiTreeCut(polys_, {plan_tree_, month_tree_}, bound, pool_)
+            .ValueOrDie();
+    prov::VarPool scratch = pool_;
+    Abstraction abs = ApplyMultiTreeCuts(polys_, {plan_tree_, month_tree_},
+                                         s.cuts, &scratch)
+                          .ValueOrDie();
+    EXPECT_EQ(abs.compressed_size, s.compressed_size) << "bound " << bound;
+    if (s.feasible) EXPECT_LE(s.compressed_size, bound) << "bound " << bound;
+  }
+}
+
+TEST_F(MultiTreeTest, FullCollapseReachesOneMonomial) {
+  LoadTwoTrees();
+  MultiTreeSolution s =
+      GreedyMultiTreeCut(polys_, {plan_tree_, month_tree_}, 1, pool_)
+          .ValueOrDie();
+  // Collapsing both trees to their roots leaves a single monomial
+  // Plans * Months per polynomial.
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.compressed_size, 1u);
+  EXPECT_EQ(s.cuts[0].size(), 1u);
+  EXPECT_EQ(s.cuts[1].size(), 1u);
+}
+
+TEST_F(MultiTreeTest, CutsAreAlwaysValid) {
+  LoadTwoTrees();
+  for (std::size_t bound = 1; bound <= 24; bound += 3) {
+    MultiTreeSolution s =
+        GreedyMultiTreeCut(polys_, {plan_tree_, month_tree_}, bound, pool_)
+            .ValueOrDie();
+    EXPECT_TRUE(s.cuts[0].Validate(plan_tree_).ok());
+    EXPECT_TRUE(s.cuts[1].Validate(month_tree_).ok());
+  }
+}
+
+TEST_F(MultiTreeTest, SingleTreeModeAgreesWithSingleTreeIdentity) {
+  // With one tree the greedy multi-tree result must respect the single-tree
+  // size identity (base + Σ weights).
+  LoadTwoTrees();
+  prov::PolySet single =
+      prov::ParsePolySet("Q = 3 * b1 * z + 4 * b2 * z + 5 * e * z\n", &pool_)
+          .ValueOrDie();
+  MultiTreeSolution s =
+      GreedyMultiTreeCut(single, {plan_tree_}, 1, pool_).ValueOrDie();
+  EXPECT_TRUE(s.feasible);
+  EXPECT_EQ(s.compressed_size, 1u);  // all collapse to Business (or higher)
+}
+
+TEST_F(MultiTreeTest, RejectsNonDisjointTrees) {
+  LoadTwoTrees();
+  EXPECT_FALSE(
+      GreedyMultiTreeCut(polys_, {plan_tree_, plan_tree_}, 10, pool_).ok());
+}
+
+TEST_F(MultiTreeTest, RejectsEmptyTreeList) {
+  LoadTwoTrees();
+  EXPECT_FALSE(GreedyMultiTreeCut(polys_, {}, 10, pool_).ok());
+}
+
+TEST_F(MultiTreeTest, ApplyRejectsArityMismatch) {
+  LoadTwoTrees();
+  EXPECT_FALSE(
+      ApplyMultiTreeCuts(polys_, {plan_tree_, month_tree_},
+                         {Cut::Root(plan_tree_)}, &pool_)
+          .ok());
+}
+
+TEST_F(MultiTreeTest, MonomialsWithTwoVarsOfOneTreeSupported) {
+  // The general mode allows b1*b2 (both under SB): collapsing SB turns it
+  // into SB^2.
+  LoadTwoTrees();
+  prov::PolySet polys =
+      prov::ParsePolySet("P = b1 * b2 + b1 + b2\n", &pool_).ValueOrDie();
+  MultiTreeSolution s =
+      GreedyMultiTreeCut(polys, {plan_tree_}, 2, pool_).ValueOrDie();
+  EXPECT_TRUE(s.feasible);
+  prov::VarPool scratch = pool_;
+  Abstraction abs =
+      ApplyMultiTreeCuts(polys, {plan_tree_}, s.cuts, &scratch).ValueOrDie();
+  EXPECT_EQ(abs.compressed_size, s.compressed_size);
+  EXPECT_LE(abs.compressed_size, 2u);  // {SB^2, 2*SB}
+}
+
+TEST_F(MultiTreeTest, GreedyMonotoneInBound) {
+  LoadTwoTrees();
+  std::size_t prev_nodes = 0;
+  for (std::size_t bound : {1u, 4u, 8u, 16u, 24u}) {
+    MultiTreeSolution s =
+        GreedyMultiTreeCut(polys_, {plan_tree_, month_tree_}, bound, pool_)
+            .ValueOrDie();
+    EXPECT_GE(s.num_cut_nodes, prev_nodes);
+    prev_nodes = s.num_cut_nodes;
+  }
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,204 @@
+// Tests for the annotated relational operators: selection, projection,
+// joins, union, distinct, order by, limit — including the semiring
+// annotation rules (join multiplies, distinct sums).
+
+#include "rel/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "prov/parser.h"
+#include "rel/database.h"
+#include "rel/instrument.h"
+
+namespace cobra::rel {
+namespace {
+
+/// Fixture: a tiny database with instrumented tuples.
+class OpsTest : public ::testing::Test {
+ protected:
+  OpsTest() {
+    Table left(Schema("L", {{"K", Type::kInt64}, {"V", Type::kString}}));
+    left.AppendRow({Value(std::int64_t{1}), Value("a")});
+    left.AppendRow({Value(std::int64_t{2}), Value("b")});
+    left.AppendRow({Value(std::int64_t{2}), Value("c")});
+    db_.AddTable("L", std::move(left)).CheckOK();
+
+    Table right(Schema("R", {{"K", Type::kInt64}, {"W", Type::kDouble}}));
+    right.AppendRow({Value(std::int64_t{2}), Value(10.0)});
+    right.AppendRow({Value(std::int64_t{3}), Value(30.0)});
+    right.AppendRow({Value(std::int64_t{2}), Value(20.0)});
+    db_.AddTable("R", std::move(right)).CheckOK();
+
+    // Tuple-level provenance: L rows -> l0,l1,l2; R rows -> r0,r1,r2.
+    InstrumentTuples(&db_, "L", "l").CheckOK();
+    InstrumentTuples(&db_, "R", "r").CheckOK();
+  }
+
+  prov::Polynomial Parse(const char* text) {
+    return prov::ParsePolynomial(text, db_.mutable_var_pool()).ValueOrDie();
+  }
+
+  const AnnotatedTable& L() { return *db_.GetTable("L").ValueOrDie(); }
+  const AnnotatedTable& R() { return *db_.GetTable("R").ValueOrDie(); }
+
+  Database db_;
+};
+
+TEST_F(OpsTest, SelectFiltersAndKeepsAnnotations) {
+  AnnotatedTable out =
+      Select(L(), Expr::Eq(Expr::Column("K"), Expr::Int(2))).ValueOrDie();
+  ASSERT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.table.Get(0, 1).AsString(), "b");
+  EXPECT_EQ(out.Annotation(0), Parse("l1"));
+  EXPECT_EQ(out.Annotation(1), Parse("l2"));
+}
+
+TEST_F(OpsTest, SelectEmptyResult) {
+  AnnotatedTable out =
+      Select(L(), Expr::Eq(Expr::Column("K"), Expr::Int(99))).ValueOrDie();
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST_F(OpsTest, SelectRejectsUnknownColumn) {
+  EXPECT_FALSE(Select(L(), Expr::Eq(Expr::Column("Zzz"), Expr::Int(1))).ok());
+}
+
+TEST_F(OpsTest, ProjectComputesExpressions) {
+  AnnotatedTable out =
+      Project(L(), {Expr::Mul(Expr::Column("K"), Expr::Int(10))}, {"K10"})
+          .ValueOrDie();
+  ASSERT_EQ(out.NumRows(), 3u);
+  EXPECT_EQ(out.table.Get(2, 0).AsInt64(), 20);
+  EXPECT_EQ(out.schema().QualifiedName(0), "K10");
+  EXPECT_EQ(out.Annotation(1), Parse("l1"));  // annotations pass through
+}
+
+TEST_F(OpsTest, HashJoinMultipliesAnnotations) {
+  AnnotatedTable out = HashJoin(L(), R(), {"L.K"}, {"R.K"}).ValueOrDie();
+  // K=2 on both sides: 2 left rows x 2 right rows = 4 matches.
+  ASSERT_EQ(out.NumRows(), 4u);
+  EXPECT_EQ(out.schema().size(), 4u);
+  // Every output annotation must be a product l_i * r_j with K=2 rows.
+  for (std::size_t i = 0; i < out.NumRows(); ++i) {
+    EXPECT_EQ(out.table.Get(i, 0).AsInt64(), 2);
+    EXPECT_EQ(out.table.Get(i, 2).AsInt64(), 2);
+    EXPECT_EQ(out.Annotation(i).NumMonomials(), 1u);
+    EXPECT_EQ(out.Annotation(i).Degree(), 2u);
+  }
+}
+
+TEST_F(OpsTest, HashJoinFindsSpecificPair) {
+  AnnotatedTable out = HashJoin(L(), R(), {"L.K"}, {"R.K"}).ValueOrDie();
+  bool found = false;
+  for (std::size_t i = 0; i < out.NumRows(); ++i) {
+    if (out.table.Get(i, 1).AsString() == "b" &&
+        out.table.Get(i, 3).AsDouble() == 20.0) {
+      EXPECT_EQ(out.Annotation(i), Parse("l1 * r2"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(OpsTest, HashJoinRejectsBadKeys) {
+  EXPECT_FALSE(HashJoin(L(), R(), {"L.K"}, {}).ok());
+  EXPECT_FALSE(HashJoin(L(), R(), {"L.K"}, {"R.Missing"}).ok());
+  EXPECT_FALSE(HashJoin(L(), R(), {"L.V"}, {"R.K"}).ok());  // string vs int
+}
+
+TEST_F(OpsTest, NestedLoopJoinMatchesHashJoinOnEquiPredicate) {
+  AnnotatedTable hash = HashJoin(L(), R(), {"L.K"}, {"R.K"}).ValueOrDie();
+  AnnotatedTable nested =
+      NestedLoopJoin(L(), R(),
+                     Expr::Eq(Expr::Column("L.K"), Expr::Column("R.K")))
+          .ValueOrDie();
+  EXPECT_EQ(nested.NumRows(), hash.NumRows());
+}
+
+TEST_F(OpsTest, NestedLoopJoinThetaPredicate) {
+  AnnotatedTable out =
+      NestedLoopJoin(L(), R(),
+                     Expr::Lt(Expr::Column("L.K"), Expr::Column("R.K")))
+          .ValueOrDie();
+  // L.K in {1,2,2}, R.K in {2,3,2}: pairs with L.K < R.K:
+  // 1<2, 1<3, 1<2, 2<3, 2<3 -> 5 rows.
+  EXPECT_EQ(out.NumRows(), 5u);
+}
+
+TEST_F(OpsTest, CrossJoinViaAlwaysTruePredicate) {
+  AnnotatedTable out = NestedLoopJoin(L(), R(), Expr::Int(1)).ValueOrDie();
+  EXPECT_EQ(out.NumRows(), 9u);
+}
+
+TEST_F(OpsTest, UnionConcatenates) {
+  AnnotatedTable out = Union(L(), L()).ValueOrDie();
+  EXPECT_EQ(out.NumRows(), 6u);
+  EXPECT_EQ(out.Annotation(3), Parse("l0"));
+}
+
+TEST_F(OpsTest, UnionRejectsSchemaMismatch) {
+  EXPECT_FALSE(Union(L(), R()).ok());
+}
+
+TEST_F(OpsTest, DistinctSumsAnnotations) {
+  // Project L to K only: rows K=2 appear twice with annotations l1, l2.
+  AnnotatedTable projected =
+      Project(L(), {Expr::Column("K")}, {"K"}).ValueOrDie();
+  AnnotatedTable out = Distinct(projected);
+  ASSERT_EQ(out.NumRows(), 2u);
+  // Row with K=2 must carry l1 + l2.
+  for (std::size_t i = 0; i < out.NumRows(); ++i) {
+    if (out.table.Get(i, 0).AsInt64() == 2) {
+      EXPECT_EQ(out.Annotation(i), Parse("l1 + l2"));
+    } else {
+      EXPECT_EQ(out.Annotation(i), Parse("l0"));
+    }
+  }
+}
+
+TEST_F(OpsTest, OrderBySortsAndKeepsAnnotationAlignment) {
+  AnnotatedTable out =
+      OrderBy(R(), {{Expr::Column("W"), /*descending=*/true}}).ValueOrDie();
+  ASSERT_EQ(out.NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(out.table.Get(0, 1).AsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(out.table.Get(2, 1).AsDouble(), 10.0);
+  EXPECT_EQ(out.Annotation(0), Parse("r1"));
+  EXPECT_EQ(out.Annotation(2), Parse("r0"));
+}
+
+TEST_F(OpsTest, OrderByIsStable) {
+  AnnotatedTable out =
+      OrderBy(L(), {{Expr::Column("K"), /*descending=*/false}}).ValueOrDie();
+  // K=2 rows keep original relative order b, c.
+  EXPECT_EQ(out.table.Get(1, 1).AsString(), "b");
+  EXPECT_EQ(out.table.Get(2, 1).AsString(), "c");
+}
+
+TEST_F(OpsTest, LimitTruncates) {
+  AnnotatedTable out = Limit(L(), 2);
+  EXPECT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(Limit(L(), 100).NumRows(), 3u);
+  EXPECT_EQ(Limit(L(), 0).NumRows(), 0u);
+}
+
+TEST_F(OpsTest, InstrumentByColumnsAddsValueDerivedVars) {
+  Database db;
+  Table t(Schema("T", {{"Mo", Type::kInt64}}));
+  t.AppendRow({Value(std::int64_t{1})});
+  t.AppendRow({Value(std::int64_t{3})});
+  db.AddTable("T", std::move(t)).CheckOK();
+  InstrumentByColumns(&db, "T", {{"Mo", "m"}}).CheckOK();
+  const AnnotatedTable& at = *db.GetTable("T").ValueOrDie();
+  EXPECT_EQ(at.Annotation(0),
+            prov::ParsePolynomial("m1", db.mutable_var_pool()).ValueOrDie());
+  EXPECT_EQ(at.Annotation(1),
+            prov::ParsePolynomial("m3", db.mutable_var_pool()).ValueOrDie());
+}
+
+TEST_F(OpsTest, InstrumentUnknownTableFails) {
+  EXPECT_FALSE(InstrumentTuples(&db_, "Nope", "x").ok());
+  EXPECT_FALSE(InstrumentByColumns(&db_, "L", {{"Nope", "x"}}).ok());
+}
+
+}  // namespace
+}  // namespace cobra::rel

@@ -1,0 +1,109 @@
+// Tests for Polynomial::PartialEval — scenario specialization.
+
+#include <gtest/gtest.h>
+
+#include "prov/parser.h"
+#include "prov/polynomial.h"
+#include "prov/valuation.h"
+#include "util/rng.h"
+
+namespace cobra::prov {
+namespace {
+
+class PartialEvalTest : public ::testing::Test {
+ protected:
+  Polynomial Parse(const char* text) {
+    return ParsePolynomial(text, &pool_).ValueOrDie();
+  }
+
+  VarPool pool_;
+  VarId x_ = pool_.Intern("x");
+  VarId y_ = pool_.Intern("y");
+  VarId z_ = pool_.Intern("z");
+};
+
+TEST_F(PartialEvalTest, FixingOneVariableFoldsIt) {
+  Valuation v(pool_);
+  v.Set(x_, 2.0);
+  std::vector<bool> fixed{true, false, false};
+  // 3xy + x^2 + y with x=2 -> 6y + 4 + y = 7y + 4.
+  Polynomial specialized =
+      Parse("3 * x * y + x^2 + y").PartialEval(v, fixed);
+  EXPECT_EQ(specialized, Parse("7 * y + 4"));
+  // x must no longer appear.
+  for (VarId var : specialized.Variables()) EXPECT_NE(var, x_);
+}
+
+TEST_F(PartialEvalTest, NoFixedVariablesIsIdentity) {
+  Valuation v(pool_);
+  v.Set(x_, 5.0);
+  Polynomial p = Parse("2 * x * y + z");
+  EXPECT_EQ(p.PartialEval(v, {false, false, false}), p);
+  EXPECT_EQ(p.PartialEval(v, {}), p);  // short mask = nothing fixed
+}
+
+TEST_F(PartialEvalTest, AllFixedGivesConstant) {
+  Valuation v(pool_);
+  v.Set(x_, 2.0);
+  v.Set(y_, 3.0);
+  v.Set(z_, 0.5);
+  Polynomial p = Parse("2 * x * y + z - 1");
+  Polynomial c = p.PartialEval(v, {true, true, true});
+  EXPECT_EQ(c, Polynomial::Constant(p.Eval(v)));
+}
+
+TEST_F(PartialEvalTest, FixingToZeroDeletesMonomials) {
+  Valuation v(pool_);
+  v.Set(x_, 0.0);
+  Polynomial p = Parse("5 * x * y + 2 * z").PartialEval(v, {true, false, false});
+  EXPECT_EQ(p, Parse("2 * z"));
+}
+
+TEST_F(PartialEvalTest, CollapsedMonomialsMerge) {
+  Valuation v(pool_);
+  v.Set(x_, 2.0);
+  // 3xy + 4y: fixing x merges into (6+4)y.
+  Polynomial p = Parse("3 * x * y + 4 * y").PartialEval(v, {true, false, false});
+  EXPECT_EQ(p, Parse("10 * y"));
+  EXPECT_EQ(p.NumMonomials(), 1u);
+}
+
+/// Property: PartialEval then full Eval == direct Eval, any split.
+class PartialEvalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartialEvalProperty, ComposesWithFullEvaluation) {
+  util::Rng rng(GetParam());
+  VarPool pool;
+  constexpr std::size_t kVars = 5;
+  for (std::size_t i = 0; i < kVars; ++i) pool.Intern("v" + std::to_string(i));
+
+  std::vector<Term> terms;
+  std::size_t n = 1 + rng.NextBelow(10);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<VarPower> factors;
+    std::size_t k = rng.NextBelow(4);
+    for (std::size_t j = 0; j < k; ++j) {
+      factors.push_back({static_cast<VarId>(rng.NextBelow(kVars)),
+                         static_cast<std::uint32_t>(1 + rng.NextBelow(3))});
+    }
+    terms.push_back({Monomial::FromFactors(std::move(factors)),
+                     rng.NextDoubleInRange(-5, 5)});
+  }
+  Polynomial p = Polynomial::FromTerms(std::move(terms));
+
+  Valuation valuation(pool);
+  std::vector<bool> fixed(kVars);
+  for (std::size_t i = 0; i < kVars; ++i) {
+    valuation.Set(static_cast<VarId>(i), rng.NextDoubleInRange(0.25, 4.0));
+    fixed[i] = rng.NextBool(0.5);
+  }
+  Polynomial specialized = p.PartialEval(valuation, fixed);
+  EXPECT_NEAR(specialized.Eval(valuation), p.Eval(valuation),
+              1e-9 * (1.0 + std::abs(p.Eval(valuation))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialEvalProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace cobra::prov

@@ -1,0 +1,243 @@
+// Unit + property tests for prov::Polynomial: canonical form, ring laws,
+// substitution/merging, parsing and printing.
+
+#include "prov/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include "prov/parser.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
+#include "util/rng.h"
+
+namespace cobra::prov {
+namespace {
+
+class PolynomialTest : public ::testing::Test {
+ protected:
+  Polynomial Parse(std::string_view text) {
+    return ParsePolynomial(text, &pool_).ValueOrDie();
+  }
+
+  VarPool pool_;
+  VarId x_ = pool_.Intern("x");
+  VarId y_ = pool_.Intern("y");
+  VarId z_ = pool_.Intern("z");
+};
+
+TEST_F(PolynomialTest, DefaultIsZero) {
+  Polynomial p;
+  EXPECT_TRUE(p.IsZero());
+  EXPECT_EQ(p.NumMonomials(), 0u);
+  EXPECT_EQ(p.ToString(pool_), "0");
+}
+
+TEST_F(PolynomialTest, FromTermsMergesDuplicates) {
+  Polynomial p = Polynomial::FromTerms(
+      {{Monomial::Of(x_), 2.0}, {Monomial::Of(x_), 3.0}});
+  EXPECT_EQ(p.NumMonomials(), 1u);
+  EXPECT_DOUBLE_EQ(p.CoefficientOf(Monomial::Of(x_)), 5.0);
+}
+
+TEST_F(PolynomialTest, FromTermsDropsZeroCoefficients) {
+  Polynomial p = Polynomial::FromTerms(
+      {{Monomial::Of(x_), 2.0}, {Monomial::Of(x_), -2.0},
+       {Monomial::Of(y_), 1.0}});
+  EXPECT_EQ(p.NumMonomials(), 1u);
+  EXPECT_DOUBLE_EQ(p.CoefficientOf(Monomial::Of(y_)), 1.0);
+}
+
+TEST_F(PolynomialTest, ConstantZeroIsZeroPolynomial) {
+  EXPECT_TRUE(Polynomial::Constant(0.0).IsZero());
+  EXPECT_EQ(Polynomial::Constant(3.0).NumMonomials(), 1u);
+}
+
+TEST_F(PolynomialTest, PlusMergesAcrossOperands) {
+  Polynomial p = Parse("2 * x + y").Plus(Parse("3 * x - y + 1"));
+  EXPECT_DOUBLE_EQ(p.CoefficientOf(Monomial::Of(x_)), 5.0);
+  EXPECT_DOUBLE_EQ(p.CoefficientOf(Monomial::Of(y_)), 0.0);
+  EXPECT_DOUBLE_EQ(p.CoefficientOf(Monomial()), 1.0);
+  EXPECT_EQ(p.NumMonomials(), 2u);
+}
+
+TEST_F(PolynomialTest, TimesDistributes) {
+  Polynomial p = Parse("x + y").TimesPoly(Parse("x - y"));
+  EXPECT_EQ(p, Parse("x^2 - y^2"));
+}
+
+TEST_F(PolynomialTest, ScaleMultipliesCoefficients) {
+  EXPECT_EQ(Parse("2 * x + 4").Scale(0.5), Parse("x + 2"));
+  EXPECT_TRUE(Parse("x + y").Scale(0.0).IsZero());
+}
+
+TEST_F(PolynomialTest, TimesMonomialShifts) {
+  Polynomial p = Parse("x + 1").TimesMonomial(Monomial::Of(y_));
+  EXPECT_EQ(p, Parse("x * y + y"));
+}
+
+TEST_F(PolynomialTest, VariablesCollectsDistinct) {
+  Polynomial p = Parse("x * y + x + 3");
+  std::vector<VarId> vars = p.Variables();
+  EXPECT_EQ(vars, (std::vector<VarId>{x_, y_}));
+}
+
+TEST_F(PolynomialTest, DegreeIsMaxTotalDegree) {
+  EXPECT_EQ(Parse("x * y^2 + x").Degree(), 3u);
+  EXPECT_EQ(Parse("5").Degree(), 0u);
+  EXPECT_EQ(Polynomial().Degree(), 0u);
+}
+
+TEST_F(PolynomialTest, EvalMatchesHandComputation) {
+  Valuation v(pool_);
+  v.Set(x_, 2.0);
+  v.Set(y_, 3.0);
+  EXPECT_DOUBLE_EQ(Parse("2 * x * y + x - 4").Eval(v), 12.0 + 2.0 - 4.0);
+}
+
+TEST_F(PolynomialTest, SubstituteVarsMergesCollisions) {
+  // x -> z, y -> z: x + y collapses to 2z; x*y becomes z^2.
+  std::vector<VarId> mapping{z_, z_, z_};
+  EXPECT_EQ(Parse("x + y").SubstituteVars(mapping), Parse("2 * z"));
+  EXPECT_EQ(Parse("x * y").SubstituteVars(mapping), Parse("z^2"));
+  EXPECT_EQ(Parse("3 * x + 2 * y + z").SubstituteVars(mapping),
+            Parse("6 * z"));
+}
+
+TEST_F(PolynomialTest, SubstituteIdentityIsNoop) {
+  std::vector<VarId> identity{x_, y_, z_};
+  Polynomial p = Parse("2 * x * y + z^3 - 1");
+  EXPECT_EQ(p.SubstituteVars(identity), p);
+}
+
+TEST_F(PolynomialTest, ToStringCanonicalForm) {
+  EXPECT_EQ(Parse("y + x").ToString(pool_),
+            Parse("x + y").ToString(pool_));
+  EXPECT_EQ(Parse("208.8 * x").ToString(pool_), "208.8 * x");
+  EXPECT_EQ(Parse("1 * x").ToString(pool_), "x");
+  EXPECT_EQ(Parse("x - y").ToString(pool_), "x - y");
+  EXPECT_EQ(Parse("0 * x").ToString(pool_), "0");
+}
+
+TEST_F(PolynomialTest, ParserHandlesSigns) {
+  EXPECT_EQ(Parse("-x + 2"), Parse("2 - x"));
+  EXPECT_DOUBLE_EQ(Parse("-3").CoefficientOf(Monomial()), -3.0);
+}
+
+TEST_F(PolynomialTest, ParserHandlesExponents) {
+  Polynomial p = Parse("x^2 * y");
+  EXPECT_EQ(p.Degree(), 3u);
+  EXPECT_FALSE(ParsePolynomial("x^0.5", &pool_).ok());
+  EXPECT_FALSE(ParsePolynomial("x^", &pool_).ok());
+}
+
+TEST_F(PolynomialTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParsePolynomial("x +", &pool_).ok());
+  EXPECT_FALSE(ParsePolynomial("* x", &pool_).ok());
+  EXPECT_FALSE(ParsePolynomial("x y", &pool_).ok());
+  EXPECT_FALSE(ParsePolynomial("(x)", &pool_).ok());
+  EXPECT_FALSE(ParsePolynomial("", &pool_).ok());
+}
+
+TEST_F(PolynomialTest, ParsePolySetLabelsAndComments) {
+  auto set = ParsePolySet("# comment\nP1 = x + y\n\nP2 = 2 * x\n", &pool_)
+                 .ValueOrDie();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.label(0), "P1");
+  EXPECT_EQ(set.poly(1), Parse("2 * x"));
+  EXPECT_EQ(set.FindLabel("P2"), 1u);
+  EXPECT_EQ(set.FindLabel("nope"), PolySet::npos);
+}
+
+TEST_F(PolynomialTest, ParsePolySetRejectsBadLines) {
+  EXPECT_FALSE(ParsePolySet("no equals sign", &pool_).ok());
+  EXPECT_FALSE(ParsePolySet(" = x", &pool_).ok());
+  EXPECT_FALSE(ParsePolySet("P1 = x +", &pool_).ok());
+}
+
+TEST_F(PolynomialTest, PrintParseRoundTrip) {
+  util::Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Term> terms;
+    std::size_t n = 1 + rng.NextBelow(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<VarPower> factors;
+      std::size_t k = rng.NextBelow(3);
+      for (std::size_t j = 0; j < k; ++j) {
+        factors.push_back(
+            {static_cast<VarId>(rng.NextBelow(3)),
+             static_cast<std::uint32_t>(1 + rng.NextBelow(3))});
+      }
+      // Coefficients on a .25 grid so printing is exact.
+      double coeff = static_cast<double>(rng.NextInRange(-20, 20)) * 0.25;
+      terms.push_back({Monomial::FromFactors(std::move(factors)), coeff});
+    }
+    Polynomial p = Polynomial::FromTerms(std::move(terms));
+    Polynomial reparsed = Parse(p.ToString(pool_));
+    EXPECT_EQ(p, reparsed) << p.ToString(pool_);
+  }
+}
+
+TEST_F(PolynomialTest, BuilderMatchesFromTerms) {
+  PolynomialBuilder builder;
+  builder.AddTerm(Monomial::Of(x_), 2.0);
+  builder.AddTerm(Monomial::Of(x_), 3.0);
+  builder.AddTerm(Monomial::Of(y_), -1.0);
+  builder.AddPolynomial(Parse("y + 4"), 2.0);
+  Polynomial p = builder.Build();
+  EXPECT_EQ(p, Parse("5 * x + y + 8"));
+  // Build() resets.
+  EXPECT_TRUE(builder.Build().IsZero());
+}
+
+TEST_F(PolynomialTest, AlmostEqualsTolerates) {
+  Polynomial a = Parse("x + 2");
+  Polynomial b = Polynomial::FromTerms(
+      {{Monomial::Of(x_), 1.0 + 1e-12}, {Monomial(), 2.0}});
+  EXPECT_TRUE(a.AlmostEquals(b, 1e-9));
+  EXPECT_FALSE(a.AlmostEquals(Parse("x + 2.1"), 1e-9));
+  EXPECT_FALSE(a.AlmostEquals(Parse("x"), 1e-9));
+}
+
+// ---- Ring laws as randomized property tests ----
+
+class PolynomialRingLaws : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Polynomial Random(util::Rng* rng) {
+    std::vector<Term> terms;
+    std::size_t n = rng->NextBelow(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<VarPower> factors;
+      std::size_t k = rng->NextBelow(3);
+      for (std::size_t j = 0; j < k; ++j) {
+        factors.push_back({static_cast<VarId>(rng->NextBelow(4)),
+                           static_cast<std::uint32_t>(1 + rng->NextBelow(2))});
+      }
+      terms.push_back({Monomial::FromFactors(std::move(factors)),
+                       static_cast<double>(rng->NextInRange(-8, 8))});
+    }
+    return Polynomial::FromTerms(std::move(terms));
+  }
+};
+
+TEST_P(PolynomialRingLaws, CommutativityAssociativityDistributivity) {
+  util::Rng rng(GetParam());
+  Polynomial a = Random(&rng), b = Random(&rng), c = Random(&rng);
+  // + commutative/associative
+  EXPECT_EQ(a.Plus(b), b.Plus(a));
+  EXPECT_EQ(a.Plus(b).Plus(c), a.Plus(b.Plus(c)));
+  // * commutative/associative
+  EXPECT_EQ(a.TimesPoly(b), b.TimesPoly(a));
+  EXPECT_EQ(a.TimesPoly(b).TimesPoly(c), a.TimesPoly(b.TimesPoly(c)));
+  // identities
+  EXPECT_EQ(a.Plus(Polynomial()), a);
+  EXPECT_EQ(a.TimesPoly(Polynomial::Constant(1.0)), a);
+  EXPECT_TRUE(a.TimesPoly(Polynomial()).IsZero());
+  // distributivity
+  EXPECT_EQ(a.TimesPoly(b.Plus(c)), a.TimesPoly(b).Plus(a.TimesPoly(c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolynomialRingLaws,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace cobra::prov

@@ -1,0 +1,166 @@
+// Tests for AnalyzeSingleTree and the size identity
+// compressed_size(C) == base + Σ weight over the cut — verified against
+// actual substitution on both crafted and random inputs.
+
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apply.h"
+#include "data/example_db.h"
+#include "prov/parser.h"
+#include "util/rng.h"
+
+namespace cobra::core {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  void LoadFigure2() {
+    tree_ = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+    polys_ = prov::ParsePolySet(data::kExamplePolynomialsText, &pool_)
+                 .ValueOrDie();
+  }
+
+  prov::VarPool pool_;
+  AbstractionTree tree_;
+  prov::PolySet polys_;
+};
+
+TEST_F(ProfileTest, ExamplePolynomialWeights) {
+  LoadFigure2();
+  TreeProfile profile = AnalyzeSingleTree(polys_, tree_, pool_).ValueOrDie();
+  EXPECT_EQ(profile.total_monomials, 14u);
+  EXPECT_EQ(profile.base_monomials, 0u);
+  EXPECT_EQ(profile.base_variables, 2u);  // m1, m3 are off-tree
+
+  // Leaves used in P1/P2 carry 2 triples each ((poly, exp=1, residue m1/m3)).
+  for (const char* leaf : {"p1", "f1", "y1", "v", "b1", "b2", "e"}) {
+    NodeId id = tree_.FindByName(leaf);
+    EXPECT_EQ(profile.weight[id], 2u) << leaf;
+  }
+  // Unused leaves weigh 0.
+  for (const char* leaf : {"p2", "f2", "y2", "y3"}) {
+    EXPECT_EQ(profile.weight[tree_.FindByName(leaf)], 0u) << leaf;
+  }
+  // Inner nodes take set unions of triples (poly, exp, residue). b1 and b2
+  // both occur with residues {m1, m3} in P2, so their triples coincide:
+  // |S(SB)| = 2, and e adds the same two triples, so |S(Business)| = 2 —
+  // collapsing Business merges all six P2 monomials into two.
+  EXPECT_EQ(profile.weight[tree_.FindByName("SB")], 2u);
+  EXPECT_EQ(profile.weight[tree_.FindByName("Business")], 2u);
+  // Special: f1/y1/v all occur in P1 with residues {m1, m3} -> 2 triples.
+  EXPECT_EQ(profile.weight[tree_.FindByName("Special")], 2u);
+  EXPECT_EQ(profile.weight[tree_.FindByName("Standard")], 2u);
+  // Root: P1 contributes {(P1,m1),(P1,m3)}, P2 {(P2,m1),(P2,m3)} -> 4.
+  EXPECT_EQ(profile.weight[tree_.root()], 4u);
+}
+
+TEST_F(ProfileTest, SizeOfCutMatchesExample4) {
+  LoadFigure2();
+  TreeProfile profile = AnalyzeSingleTree(polys_, tree_, pool_).ValueOrDie();
+  // S1 = {Business, Special, Standard}: 2 + 2 + 2 = 6 (compressed P1 has 4
+  // monomials as the paper prints; compressed P2 collapses to 2).
+  Cut s1 = Cut::FromNames(tree_, {"Business", "Special", "Standard"})
+               .ValueOrDie();
+  EXPECT_EQ(profile.SizeOfCut(s1), 6u);
+  // S5 = {Plans}: 4 monomials (2 per polynomial).
+  Cut s5 = Cut::FromNames(tree_, {"Plans"}).ValueOrDie();
+  EXPECT_EQ(profile.SizeOfCut(s5), 4u);
+  // Leaf cut: original size.
+  EXPECT_EQ(profile.SizeOfCut(Cut::Leaves(tree_)), 14u);
+  EXPECT_EQ(profile.VariablesOfCut(s1), 2u + 3u);
+}
+
+TEST_F(ProfileTest, RejectsTwoTreeVariablesInOneMonomial) {
+  prov::PolySet polys =
+      prov::ParsePolySet("P = b1 * b2\n", &pool_).ValueOrDie();
+  AbstractionTree tree = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+  auto result = AnalyzeSingleTree(polys, tree, pool_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ProfileTest, RejectsInnerNameCollidingWithUsedVariable) {
+  // "SB" used as a data variable while also naming an inner node.
+  prov::PolySet polys =
+      prov::ParsePolySet("P = b1 * SB\n", &pool_).ValueOrDie();
+  AbstractionTree tree = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+  auto result = AnalyzeSingleTree(polys, tree, pool_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProfileTest, BaseMonomialsCountedOnce) {
+  prov::PolySet polys =
+      prov::ParsePolySet("P = b1 * m1 + 3 * m1 + 2 * q + 5\n", &pool_)
+          .ValueOrDie();
+  AbstractionTree tree = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+  TreeProfile profile = AnalyzeSingleTree(polys, tree, pool_).ValueOrDie();
+  EXPECT_EQ(profile.base_monomials, 3u);  // 3*m1, 2*q, 5
+  EXPECT_EQ(profile.base_variables, 2u);  // m1, q
+  EXPECT_EQ(profile.total_monomials, 4u);
+}
+
+TEST_F(ProfileTest, ExponentsDistinguishTriples) {
+  prov::PolySet polys =
+      prov::ParsePolySet("P = b1 + b1^2\n", &pool_).ValueOrDie();
+  AbstractionTree tree = ParseTree(data::kFigure2TreeText, &pool_).ValueOrDie();
+  TreeProfile profile = AnalyzeSingleTree(polys, tree, pool_).ValueOrDie();
+  EXPECT_EQ(profile.weight[tree.FindByName("b1")], 2u);
+  // Both monomials survive any abstraction (exponents differ).
+  EXPECT_EQ(profile.SizeOfCut(Cut::Root(tree)), 2u);
+}
+
+/// Property: for random polynomials over the Figure 2 variables plus noise
+/// variables, SizeOfCut equals the true substituted size for every cut.
+class SizeIdentityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SizeIdentityProperty, ProfilePredictsSubstitutedSizeForAllCuts) {
+  util::Rng rng(GetParam());
+  prov::VarPool pool;
+  AbstractionTree tree = ParseTree(data::kFigure2TreeText, &pool).ValueOrDie();
+  std::vector<prov::VarId> tree_vars;
+  for (NodeId leaf : tree.Leaves()) tree_vars.push_back(tree.node(leaf).var);
+  std::vector<prov::VarId> noise{pool.Intern("n1"), pool.Intern("n2"),
+                                 pool.Intern("n3")};
+
+  prov::PolySet polys;
+  std::size_t num_polys = 1 + rng.NextBelow(3);
+  for (std::size_t q = 0; q < num_polys; ++q) {
+    std::vector<prov::Term> terms;
+    std::size_t n = 1 + rng.NextBelow(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<prov::VarPower> factors;
+      if (!rng.NextBool(0.2)) {
+        factors.push_back({tree_vars[rng.NextBelow(tree_vars.size())],
+                           static_cast<std::uint32_t>(1 + rng.NextBelow(2))});
+      }
+      std::size_t extra = rng.NextBelow(3);
+      for (std::size_t j = 0; j < extra; ++j) {
+        factors.push_back({noise[rng.NextBelow(noise.size())],
+                           static_cast<std::uint32_t>(1 + rng.NextBelow(2))});
+      }
+      terms.push_back({prov::Monomial::FromFactors(std::move(factors)),
+                       rng.NextDoubleInRange(0.5, 9.5)});
+    }
+    polys.Add("P" + std::to_string(q),
+              prov::Polynomial::FromTerms(std::move(terms)));
+  }
+
+  TreeProfile profile = AnalyzeSingleTree(polys, tree, pool).ValueOrDie();
+  EXPECT_EQ(profile.total_monomials, polys.TotalMonomials());
+
+  for (const Cut& cut : EnumerateCuts(tree).ValueOrDie()) {
+    prov::VarPool scratch = pool;  // ApplyCut may intern meta-variables
+    Abstraction abs = ApplyCut(polys, tree, cut, &scratch).ValueOrDie();
+    EXPECT_EQ(profile.SizeOfCut(cut), abs.compressed_size)
+        << "cut " << cut.ToString(tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SizeIdentityProperty,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace cobra::core

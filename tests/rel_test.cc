@@ -1,0 +1,202 @@
+// Tests for rel fundamentals: Value, Schema, Column, Table, AnnotPool,
+// Database.
+
+#include <gtest/gtest.h>
+
+#include "prov/parser.h"
+#include "rel/annot.h"
+#include "rel/database.h"
+#include "rel/schema.h"
+#include "rel/table.h"
+#include "rel/value.h"
+
+namespace cobra::rel {
+namespace {
+
+// ---------- Value ----------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(std::int64_t{5}).type(), Type::kInt64);
+  EXPECT_EQ(Value(2.5).type(), Type::kDouble);
+  EXPECT_EQ(Value("hi").type(), Type::kString);
+  EXPECT_EQ(Value(std::int64_t{5}).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{5}).AsDouble(), 5.0);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(std::int64_t{2}), Value(2.0));
+  EXPECT_FALSE(Value(std::int64_t{2}) == Value(2.5));
+  EXPECT_FALSE(Value("2") == Value(std::int64_t{2}));
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value(std::int64_t{1}), Value(std::int64_t{2}));
+  EXPECT_LT(Value(1.5), Value(std::int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(std::int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(2.0).ToString(), "2");
+  EXPECT_EQ(Value("x").ToString(), "x");
+}
+
+TEST(ValueTest, HashConsistentWithinType) {
+  EXPECT_EQ(Value(std::int64_t{7}).Hash(), Value(std::int64_t{7}).Hash());
+  EXPECT_EQ(Value("s").Hash(), Value("s").Hash());
+  EXPECT_NE(Value(std::int64_t{7}).Hash(), Value(std::int64_t{8}).Hash());
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, ResolveUnqualifiedAndQualified) {
+  Schema s("Cust", {{"ID", Type::kInt64}, {"Zip", Type::kInt64}});
+  EXPECT_EQ(s.Resolve("ID").ValueOrDie(), 0u);
+  EXPECT_EQ(s.Resolve("Cust.Zip").ValueOrDie(), 1u);
+  EXPECT_FALSE(s.Resolve("Other.ID").ok());
+  EXPECT_FALSE(s.Resolve("Nope").ok());
+}
+
+TEST(SchemaTest, ResolveIsCaseInsensitive) {
+  Schema s("Cust", {{"ID", Type::kInt64}});
+  EXPECT_TRUE(s.Resolve("id").ok());
+  EXPECT_TRUE(s.Resolve("cust.id").ok());
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedFails) {
+  Schema joined = Schema::Concat(
+      Schema("A", {{"K", Type::kInt64}}), Schema("B", {{"K", Type::kInt64}}));
+  EXPECT_FALSE(joined.Resolve("K").ok());
+  EXPECT_EQ(joined.Resolve("A.K").ValueOrDie(), 0u);
+  EXPECT_EQ(joined.Resolve("B.K").ValueOrDie(), 1u);
+}
+
+TEST(SchemaTest, ConcatKeepsQualifiers) {
+  Schema joined = Schema::Concat(Schema("A", {{"X", Type::kInt64}}),
+                                 Schema("B", {{"Y", Type::kDouble}}));
+  EXPECT_EQ(joined.size(), 2u);
+  EXPECT_EQ(joined.QualifiedName(0), "A.X");
+  EXPECT_EQ(joined.QualifiedName(1), "B.Y");
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s("T", {{"A", Type::kInt64}, {"B", Type::kString}});
+  EXPECT_EQ(s.ToString(), "(T.A INT64, T.B STRING)");
+}
+
+// ---------- Column / Table ----------
+
+TEST(TableTest, AppendAndGetRows) {
+  Table t(Schema("T", {{"A", Type::kInt64},
+                       {"B", Type::kDouble},
+                       {"C", Type::kString}}));
+  t.AppendRow({Value(std::int64_t{1}), Value(1.5), Value("one")});
+  t.AppendRow({Value(std::int64_t{2}), Value(2.5), Value("two")});
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.Get(1, 0).AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(t.Get(0, 1).AsDouble(), 1.5);
+  EXPECT_EQ(t.Get(1, 2).AsString(), "two");
+  EXPECT_EQ(t.GetRow(0).size(), 3u);
+}
+
+TEST(TableTest, ColumnarDirectAppend) {
+  Table t(Schema("T", {{"A", Type::kInt64}}));
+  t.mutable_column(0)->MutableInts()->assign({1, 2, 3});
+  t.CommitAppendedRows(3);
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.column(0).GetInt64(2), 3);
+}
+
+TEST(TableTest, IntColumnPromotesToDoubleOnAppend) {
+  Table t(Schema("T", {{"D", Type::kDouble}}));
+  t.AppendRow({Value(std::int64_t{3})});
+  EXPECT_DOUBLE_EQ(t.Get(0, 0).AsDouble(), 3.0);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t(Schema("T", {{"A", Type::kInt64}}));
+  for (std::int64_t i = 0; i < 30; ++i) t.AppendRow({Value(i)});
+  std::string s = t.ToString(5);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+// ---------- AnnotPool ----------
+
+class AnnotPoolTest : public ::testing::Test {
+ protected:
+  prov::Polynomial Parse(const char* text) {
+    return prov::ParsePolynomial(text, &vars_).ValueOrDie();
+  }
+  prov::VarPool vars_;
+  AnnotPool pool_;
+};
+
+TEST_F(AnnotPoolTest, IdZeroIsOne) {
+  EXPECT_EQ(pool_.Get(AnnotPool::kOne), Parse("1"));
+}
+
+TEST_F(AnnotPoolTest, InternDeduplicates) {
+  AnnotId a = pool_.Intern(Parse("x * y"));
+  AnnotId b = pool_.Intern(Parse("y * x"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, pool_.Intern(Parse("x")));
+}
+
+TEST_F(AnnotPoolTest, ProductMemoizedAndCorrect) {
+  AnnotId x = pool_.InternVar(vars_.Intern("x"));
+  AnnotId y = pool_.InternVar(vars_.Intern("y"));
+  AnnotId xy = pool_.Product(x, y);
+  EXPECT_EQ(pool_.Get(xy), Parse("x * y"));
+  EXPECT_EQ(pool_.Product(y, x), xy);          // commutes via canonical key
+  EXPECT_EQ(pool_.Product(x, AnnotPool::kOne), x);  // identity fast path
+  EXPECT_EQ(pool_.Product(AnnotPool::kOne, y), y);
+}
+
+TEST_F(AnnotPoolTest, SumCorrect) {
+  AnnotId x = pool_.InternVar(vars_.Intern("x"));
+  AnnotId y = pool_.InternVar(vars_.Intern("y"));
+  EXPECT_EQ(pool_.Get(pool_.Sum(x, y)), Parse("x + y"));
+  EXPECT_EQ(pool_.Get(pool_.Sum(x, x)), Parse("2 * x"));
+}
+
+// ---------- Database ----------
+
+TEST(DatabaseTest, AddAndGetTables) {
+  Database db;
+  Table t(Schema("T", {{"A", Type::kInt64}}));
+  t.AppendRow({Value(std::int64_t{1})});
+  ASSERT_TRUE(db.AddTable("T", std::move(t)).ok());
+  EXPECT_TRUE(db.HasTable("T"));
+  EXPECT_FALSE(db.HasTable("U"));
+  const AnnotatedTable* at = db.GetTable("T").ValueOrDie();
+  EXPECT_EQ(at->NumRows(), 1u);
+  EXPECT_EQ(at->annots[0], AnnotPool::kOne);
+  EXPECT_FALSE(db.GetTable("U").ok());
+}
+
+TEST(DatabaseTest, RejectsDuplicateNames) {
+  Database db;
+  ASSERT_TRUE(db.AddTable("T", Table(Schema("T", {{"A", Type::kInt64}}))).ok());
+  EXPECT_FALSE(db.AddTable("T", Table(Schema("T", {{"A", Type::kInt64}}))).ok());
+}
+
+TEST(DatabaseTest, RejectsForeignPoolAnnotatedTable) {
+  Database db1, db2;
+  Table t(Schema("T", {{"A", Type::kInt64}}));
+  AnnotatedTable at = AnnotatedTable::FromTable(std::move(t), db2.annot_pool());
+  EXPECT_FALSE(db1.AddAnnotatedTable("T", std::move(at)).ok());
+}
+
+TEST(DatabaseTest, TableNamesSorted) {
+  Database db;
+  db.AddTable("b", Table(Schema("b", {{"A", Type::kInt64}}))).CheckOK();
+  db.AddTable("a", Table(Schema("a", {{"A", Type::kInt64}}))).CheckOK();
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace cobra::rel

@@ -1,0 +1,182 @@
+// Tests for the semiring framework: laws per instance, homomorphic images
+// of N[X], and the aggregate semimodule.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prov/parser.h"
+#include "semiring/homomorphism.h"
+#include "semiring/instances.h"
+#include "semiring/semimodule.h"
+#include "util/rng.h"
+
+namespace cobra::semiring {
+namespace {
+
+// ---- Semiring laws, checked generically per instance ----
+
+template <typename S>
+void ExpectSemiringLaws(const std::vector<typename S::Value>& samples) {
+  using V = typename S::Value;
+  const V zero = S::Zero();
+  const V one = S::One();
+  for (const V& a : samples) {
+    EXPECT_TRUE(S::Equal(S::Plus(a, zero), a));
+    EXPECT_TRUE(S::Equal(S::Times(a, one), a));
+    EXPECT_TRUE(S::Equal(S::Times(a, zero), zero));
+    for (const V& b : samples) {
+      EXPECT_TRUE(S::Equal(S::Plus(a, b), S::Plus(b, a)));
+      EXPECT_TRUE(S::Equal(S::Times(a, b), S::Times(b, a)));
+      for (const V& c : samples) {
+        EXPECT_TRUE(
+            S::Equal(S::Plus(S::Plus(a, b), c), S::Plus(a, S::Plus(b, c))));
+        EXPECT_TRUE(S::Equal(S::Times(S::Times(a, b), c),
+                             S::Times(a, S::Times(b, c))));
+        EXPECT_TRUE(S::Equal(S::Times(a, S::Plus(b, c)),
+                             S::Plus(S::Times(a, b), S::Times(a, c))));
+      }
+    }
+  }
+}
+
+TEST(SemiringLaws, Boolean) {
+  ExpectSemiringLaws<BoolSemiring>({false, true});
+}
+
+TEST(SemiringLaws, Counting) {
+  ExpectSemiringLaws<CountingSemiring>({0, 1, 2, 3, 7});
+}
+
+TEST(SemiringLaws, Tropical) {
+  ExpectSemiringLaws<TropicalSemiring>(
+      {TropicalSemiring::Zero(), 0.0, 1.0, 2.5, 10.0});
+}
+
+TEST(SemiringLaws, Why) {
+  ExpectSemiringLaws<WhySemiring>({WhySemiring::Zero(), WhySemiring::One(),
+                                   WhySemiring::Var(0), WhySemiring::Var(1),
+                                   WhySemiring::Plus(WhySemiring::Var(0),
+                                                     WhySemiring::Var(1))});
+}
+
+TEST(SemiringLaws, PolynomialNX) {
+  prov::VarPool pool;
+  auto parse = [&pool](const char* text) {
+    return prov::ParsePolynomial(text, &pool).ValueOrDie();
+  };
+  ExpectSemiringLaws<PolySemiring>(
+      {PolySemiring::Zero(), PolySemiring::One(), parse("x"), parse("x + y"),
+       parse("2 * x * y + 3")});
+}
+
+// ---- Homomorphisms out of N[X] ----
+
+class HomTest : public ::testing::Test {
+ protected:
+  prov::Polynomial Parse(const char* text) {
+    return prov::ParsePolynomial(text, &pool_).ValueOrDie();
+  }
+  prov::VarPool pool_;
+  prov::VarId x_ = pool_.Intern("x");
+  prov::VarId y_ = pool_.Intern("y");
+  prov::VarId z_ = pool_.Intern("z");
+};
+
+TEST_F(HomTest, BooleanImage) {
+  prov::Polynomial p = Parse("x * y + z");
+  EXPECT_TRUE(EvalBool(p, {true, true, false}));
+  EXPECT_TRUE(EvalBool(p, {false, false, true}));
+  EXPECT_FALSE(EvalBool(p, {true, false, false}));
+  EXPECT_FALSE(EvalBool(Parse("0"), {true, true, true}));
+}
+
+TEST_F(HomTest, CountingImage) {
+  // 2*x*y + z with x=2, y=3, z=5 -> 2*6 + 5 = 17.
+  EXPECT_EQ(EvalCounting(Parse("2 * x * y + z"), {2, 3, 5}), 17);
+  // Deleting a tuple (count 0) removes its monomials.
+  EXPECT_EQ(EvalCounting(Parse("2 * x * y + z"), {0, 3, 5}), 5);
+}
+
+TEST_F(HomTest, TropicalImageTakesMinOverMonomials) {
+  // min(x+y, z) with costs x=1, y=2, z=5 -> 3.
+  EXPECT_DOUBLE_EQ(EvalTropical(Parse("x * y + z"), {1, 2, 5}), 3.0);
+  EXPECT_DOUBLE_EQ(EvalTropical(Parse("x^2"), {1.5, 0, 0}), 3.0);
+  EXPECT_TRUE(std::isinf(EvalTropical(prov::Polynomial(), {})));
+}
+
+TEST_F(HomTest, WhyImageDropsCoefficientsAndExponents) {
+  WhySemiring::Value w = EvalWhy(Parse("3 * x^2 * y + 2 * z"));
+  WhySemiring::Value expected = {{x_, y_}, {z_}};
+  EXPECT_EQ(w, expected);
+}
+
+TEST_F(HomTest, HomomorphismCommutesWithPlusAndTimes) {
+  // A valuation-induced hom h: N[X] -> R must satisfy
+  // h(a+b) = h(a)+h(b) and h(a*b) = h(a)*h(b).
+  util::Rng rng(5);
+  prov::Valuation v(pool_);
+  v.Set(x_, 2.0);
+  v.Set(y_, 0.5);
+  v.Set(z_, 3.0);
+  prov::Polynomial a = Parse("2 * x * y + z");
+  prov::Polynomial b = Parse("x - 4 * z^2");
+  EXPECT_NEAR(a.Plus(b).Eval(v), a.Eval(v) + b.Eval(v), 1e-9);
+  EXPECT_NEAR(a.TimesPoly(b).Eval(v), a.Eval(v) * b.Eval(v), 1e-9);
+}
+
+// ---- Aggregate semimodule (Amsterdamer-Deutch-Tannen) ----
+
+class SemimoduleTest : public HomTest {};
+
+TEST_F(SemimoduleTest, TensorNormalizesToScaledPolynomial) {
+  AggregateValue t = AggregateValue::Tensor(Parse("x * y"), 208.8);
+  EXPECT_EQ(t.AsPolynomial(), Parse("208.8 * x * y"));
+}
+
+TEST_F(SemimoduleTest, PlusConcatenatesFormalSum) {
+  AggregateValue sum = AggregateValue::Tensor(Parse("x"), 2.0)
+                           .Plus(AggregateValue::Tensor(Parse("y"), 3.0))
+                           .Plus(AggregateValue::Tensor(Parse("x"), 4.0));
+  EXPECT_EQ(sum.AsPolynomial(), Parse("6 * x + 3 * y"));
+}
+
+TEST_F(SemimoduleTest, ScalarActionDistributes) {
+  AggregateValue sum = AggregateValue::Tensor(Parse("x"), 2.0)
+                           .Plus(AggregateValue::Tensor(Parse("y"), 3.0));
+  AggregateValue scaled = sum.ScalarTimes(Parse("z"));
+  EXPECT_EQ(scaled.AsPolynomial(), Parse("2 * x * z + 3 * y * z"));
+}
+
+TEST_F(SemimoduleTest, SemimoduleLaws) {
+  // (k1 + k2) * m == k1*m + k2*m ; k*(m1 + m2) == k*m1 + k*m2.
+  prov::Polynomial k1 = Parse("x");
+  prov::Polynomial k2 = Parse("y + 1");
+  AggregateValue m1 = AggregateValue::Tensor(Parse("z"), 2.0);
+  AggregateValue m2 = AggregateValue::Tensor(Parse("x"), -1.0);
+  EXPECT_EQ(m1.ScalarTimes(k1.Plus(k2)).AsPolynomial(),
+            m1.ScalarTimes(k1).Plus(m1.ScalarTimes(k2)).AsPolynomial());
+  EXPECT_EQ(m1.Plus(m2).ScalarTimes(k1).AsPolynomial(),
+            m1.ScalarTimes(k1).Plus(m2.ScalarTimes(k1)).AsPolynomial());
+}
+
+TEST_F(SemimoduleTest, EvalCommutesWithValuation) {
+  // Evaluating the aggregate polynomial equals re-aggregating scaled values:
+  // SUM over tuples of (annotation value * tuple value).
+  prov::Valuation v(pool_);
+  v.Set(x_, 0.8);
+  v.Set(y_, 1.1);
+  AggregateValue agg = AggregateValue::Tensor(Parse("x"), 100.0)
+                           .Plus(AggregateValue::Tensor(Parse("y"), 50.0));
+  EXPECT_NEAR(agg.Eval(v), 0.8 * 100.0 + 1.1 * 50.0, 1e-9);
+}
+
+TEST_F(SemimoduleTest, EmptyAggregateIsZero) {
+  AggregateValue empty;
+  EXPECT_TRUE(empty.AsPolynomial().IsZero());
+  prov::Valuation v(pool_);
+  EXPECT_DOUBLE_EQ(empty.Eval(v), 0.0);
+}
+
+}  // namespace
+}  // namespace cobra::semiring

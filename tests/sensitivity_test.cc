@@ -1,0 +1,112 @@
+// Tests for polynomial differentiation and the sensitivity ranking.
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "data/example_db.h"
+#include "prov/parser.h"
+
+namespace cobra {
+namespace {
+
+class DerivativeTest : public ::testing::Test {
+ protected:
+  prov::Polynomial Parse(const char* text) {
+    return prov::ParsePolynomial(text, &pool_).ValueOrDie();
+  }
+  prov::VarPool pool_;
+  prov::VarId x_ = pool_.Intern("x");
+  prov::VarId y_ = pool_.Intern("y");
+};
+
+TEST_F(DerivativeTest, LinearAndPowerRules) {
+  // d/dx (3xy + 2x + y + 5) = 3y + 2.
+  EXPECT_EQ(Parse("3 * x * y + 2 * x + y + 5").Derivative(x_),
+            Parse("3 * y + 2"));
+  // d/dx (x^3) = 3x^2 ; d/dx (x^2 y) = 2xy.
+  EXPECT_EQ(Parse("x^3").Derivative(x_), Parse("3 * x^2"));
+  EXPECT_EQ(Parse("x^2 * y").Derivative(x_), Parse("2 * x * y"));
+}
+
+TEST_F(DerivativeTest, MissingVariableGivesZero) {
+  EXPECT_TRUE(Parse("y + 7").Derivative(x_).IsZero());
+  EXPECT_TRUE(prov::Polynomial().Derivative(x_).IsZero());
+}
+
+TEST_F(DerivativeTest, SumRuleHolds) {
+  prov::Polynomial a = Parse("x^2 * y + 3 * x");
+  prov::Polynomial b = Parse("x * y - 2");
+  EXPECT_EQ(a.Plus(b).Derivative(x_),
+            a.Derivative(x_).Plus(b.Derivative(x_)));
+}
+
+TEST_F(DerivativeTest, NumericallyMatchesDifferenceQuotient) {
+  prov::Polynomial p = Parse("2 * x^2 * y + 4 * x + y");
+  prov::Valuation at(pool_);
+  at.Set(x_, 1.5);
+  at.Set(y_, 2.0);
+  double analytic = p.Derivative(x_).Eval(at);
+  const double h = 1e-6;
+  prov::Valuation hi = at, lo = at;
+  hi.Set(x_, 1.5 + h);
+  lo.Set(x_, 1.5 - h);
+  double numeric = (p.Eval(hi) - p.Eval(lo)) / (2 * h);
+  EXPECT_NEAR(analytic, numeric, 1e-5);
+}
+
+TEST(SensitivityTest, RanksByTotalAbsoluteDerivative) {
+  prov::VarPool pool;
+  prov::PolySet polys =
+      prov::ParsePolySet("P1 = 10 * a + 1 * b\nP2 = 5 * a + 2 * b\n", &pool)
+          .ValueOrDie();
+  prov::Valuation at(pool);
+  core::SensitivityReport report =
+      core::AnalyzeSensitivity(polys, at, pool);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].name, "a");
+  EXPECT_DOUBLE_EQ(report.rows[0].impact, 15.0);
+  EXPECT_EQ(report.rows[1].name, "b");
+  EXPECT_DOUBLE_EQ(report.rows[1].impact, 3.0);
+  EXPECT_NE(report.ToString().find("a"), std::string::npos);
+}
+
+TEST(SensitivityTest, RunningExampleRanking) {
+  // On P1/P2 under the neutral valuation the month variables dominate:
+  // every monomial contains one, so their impact is the whole month share.
+  prov::VarPool pool;
+  prov::PolySet polys =
+      prov::ParsePolySet(data::kExamplePolynomialsText, &pool).ValueOrDie();
+  prov::Valuation at(pool);
+  core::SensitivityReport report =
+      core::AnalyzeSensitivity(polys, at, pool);
+  ASSERT_FALSE(report.rows.empty());
+  // m3: (240+114.45+72.5+24.2) + (80.5+100.65+56.5) = 688.8 — largest;
+  // m1: (208.8+127.4+75.9+42) + (77.9+69.7+52.2) = 653.9 — second.
+  EXPECT_EQ(report.rows[0].name, "m3");
+  EXPECT_NEAR(report.rows[0].impact, 688.8, 1e-9);
+  EXPECT_EQ(report.rows[1].name, "m1");
+  EXPECT_NEAR(report.rows[1].impact, 653.9, 1e-9);
+  // Variables absent from a polynomial contribute only where they occur:
+  // p1 impact = 208.8·1 + 240·1 = 448.8.
+  for (const auto& row : report.rows) {
+    if (row.name == "p1") EXPECT_NEAR(row.impact, 448.8, 1e-9);
+  }
+}
+
+TEST(SensitivityTest, EvaluatesAtTheGivenScenario) {
+  prov::VarPool pool;
+  prov::PolySet polys =
+      prov::ParsePolySet("P = x * y\n", &pool).ValueOrDie();
+  prov::Valuation at(pool);
+  at.SetByName(pool, "y", 3.0).CheckOK();
+  core::SensitivityReport report =
+      core::AnalyzeSensitivity(polys, at, pool);
+  // d(xy)/dx at y=3 is 3; d(xy)/dy at x=1 is 1.
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].name, "x");
+  EXPECT_DOUBLE_EQ(report.rows[0].impact, 3.0);
+  EXPECT_DOUBLE_EQ(report.rows[1].impact, 1.0);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,118 @@
+// Tests for the Session's multi-tree mode (plan tree + quarter tree through
+// the full façade, the Section 4 scenario).
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "data/example_db.h"
+#include "data/telephony.h"
+#include "prov/parser.h"
+
+namespace cobra::core {
+namespace {
+
+class SessionMultiTreeTest : public ::testing::Test {
+ protected:
+  /// Loads P1/P2-style provenance over 4 plans x 6 months and installs the
+  /// plan tree plus a 2-quarter month tree.
+  void Load(Session* session) {
+    std::string text = "P = ";
+    int c = 1;
+    for (const char* plan : {"b1", "b2", "e", "p1"}) {
+      for (int m = 1; m <= 6; ++m) {
+        if (c > 1) text += " + ";
+        text += std::to_string(c++) + " * " + plan + " * m" +
+                std::to_string(m);
+      }
+    }
+    text += "\n";
+    session->LoadPolynomialsText(text).CheckOK();
+    std::vector<AbstractionTree> trees;
+    trees.push_back(
+        ParseTree(data::kFigure2TreeText, session->mutable_pool())
+            .ValueOrDie());
+    trees.push_back(
+        ParseTree(data::MonthQuarterTreeText(6), session->mutable_pool())
+            .ValueOrDie());
+    session->SetTrees(std::move(trees)).CheckOK();
+  }
+};
+
+TEST_F(SessionMultiTreeTest, CompressUsesMultiTreeGreedy) {
+  Session session;
+  Load(&session);
+  session.SetBound(8);
+  CompressionReport report = session.Compress().ValueOrDie();
+  EXPECT_EQ(report.algorithm, Algorithm::kMultiTreeGreedy);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_LE(report.compressed_size, 8u);
+  EXPECT_EQ(report.original_size, 24u);
+  // The description shows both cuts.
+  EXPECT_NE(report.cut_description.find(" x "), std::string::npos);
+}
+
+TEST_F(SessionMultiTreeTest, AssignWorksAcrossBothTrees) {
+  Session session;
+  Load(&session);
+  session.SetBound(4);
+  session.Compress().ValueOrDie();
+  // Whatever the cuts are, uniform group scenarios stay exact.
+  for (const MetaVar& mv : session.meta_vars()) {
+    session.SetMetaValue(mv.name, 1.05).CheckOK();
+  }
+  AssignReport assign = session.Assign().ValueOrDie();
+  EXPECT_NEAR(assign.delta.max_abs_error, 0.0, 1e-9);
+  EXPECT_LE(assign.compressed_size, 4u);
+}
+
+TEST_F(SessionMultiTreeTest, SetTreesRejectsEmptyAndInvalid) {
+  Session session;
+  EXPECT_FALSE(session.SetTrees({}).ok());
+}
+
+TEST_F(SessionMultiTreeTest, SingleTreeViaSetTreesMatchesSetTree) {
+  // SetTrees with one tree behaves like single-tree mode via the DP.
+  Session a, b;
+  a.LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
+  b.LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
+  a.SetTreeText(data::kFigure2TreeText).CheckOK();
+  std::vector<AbstractionTree> trees;
+  trees.push_back(
+      ParseTree(data::kFigure2TreeText, b.mutable_pool()).ValueOrDie());
+  b.SetTrees(std::move(trees)).CheckOK();
+  a.SetBound(8);
+  b.SetBound(8);
+  CompressionReport ra = a.Compress().ValueOrDie();
+  CompressionReport rb = b.Compress().ValueOrDie();
+  EXPECT_EQ(ra.compressed_size, rb.compressed_size);
+  EXPECT_EQ(ra.algorithm, Algorithm::kOptimalDp);
+  EXPECT_EQ(rb.algorithm, Algorithm::kOptimalDp);
+}
+
+TEST_F(SessionMultiTreeTest, QuarterScenarioThroughSession) {
+  // Collapse months to quarters only (generous bound on the plan side):
+  // check the quarter meta-variable exists and drives the result.
+  Session session;
+  Load(&session);
+  session.SetBound(12);  // e.g. 4 plans kept x ... the greedy decides
+  session.Compress().ValueOrDie();
+  AssignReport before = session.Assign().ValueOrDie();
+  // Scale whichever meta variables exist by 0.5 on the month side.
+  bool scaled = false;
+  for (const char* name : {"q1", "Months"}) {
+    if (session.pool().Contains(name) &&
+        session.SetMetaValue(name, 0.5).ok()) {
+      scaled = true;
+      break;
+    }
+  }
+  if (scaled) {
+    AssignReport after = session.Assign().ValueOrDie();
+    EXPECT_LT(after.delta.rows[0].compressed,
+              before.delta.rows[0].compressed);
+    EXPECT_NEAR(after.delta.max_abs_error, 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,160 @@
+// Tests for the Compress driver and the COBRA Session façade (Figure 4
+// architecture: load -> compress -> assign -> results).
+
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "data/example_db.h"
+#include "prov/parser.h"
+
+namespace cobra::core {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void Load(Session* session) {
+    session->LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
+    session->SetTreeText(data::kFigure2TreeText).CheckOK();
+  }
+};
+
+TEST_F(SessionTest, CompressReportsSizesAndVariables) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  CompressionReport report = session.Compress().ValueOrDie();
+  EXPECT_TRUE(report.feasible);
+  EXPECT_EQ(report.original_size, 14u);
+  EXPECT_LE(report.compressed_size, 10u);
+  EXPECT_EQ(report.original_variables, 9u);
+  EXPECT_GT(report.compressed_variables, 0u);
+  EXPECT_LT(report.compression_ratio, 1.0);
+  EXPECT_FALSE(report.cut_description.empty());
+  EXPECT_TRUE(session.IsCompressed());
+}
+
+TEST_F(SessionTest, PreconditionsEnforced) {
+  Session session;
+  EXPECT_FALSE(session.Compress().ok());  // nothing loaded
+  session.LoadPolynomialsText("P = x + y\n").CheckOK();
+  EXPECT_FALSE(session.Compress().ok());  // no tree
+  EXPECT_FALSE(session.SetMetaValue("x", 1.0).ok());  // not compressed
+  EXPECT_FALSE(session.Assign().ok());
+}
+
+TEST_F(SessionTest, DefaultMetaValuesAreLeafAverages) {
+  Session session;
+  Load(&session);
+  session.SetBaseValue("b1", 2.0).CheckOK();
+  session.SetBaseValue("b2", 4.0).CheckOK();
+  session.SetBound(4);  // forces the {Plans} root cut
+  session.Compress().ValueOrDie();
+  ASSERT_EQ(session.meta_vars().size(), 1u);
+  EXPECT_EQ(session.meta_vars()[0].name, "Plans");
+  // Average over 11 leaves: (2 + 4 + 9*1)/11.
+  double expected = (2.0 + 4.0 + 9.0) / 11.0;
+  EXPECT_NEAR(
+      session.meta_valuation().Get(session.meta_vars()[0].var), expected,
+      1e-12);
+}
+
+TEST_F(SessionTest, AssignComparesFullAndCompressed) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  session.SetMetaValue("m3", 0.8).CheckOK();
+  AssignReport report = session.Assign().ValueOrDie();
+  ASSERT_EQ(report.delta.rows.size(), 2u);
+  // Expanded semantics: full and compressed agree exactly.
+  EXPECT_NEAR(report.delta.max_abs_error, 0.0, 1e-9);
+  EXPECT_EQ(report.full_size, 14u);
+  EXPECT_LE(report.compressed_size, 10u);
+  EXPECT_GT(report.timing.full_seconds, 0.0);
+  EXPECT_GT(report.timing.compressed_seconds, 0.0);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST_F(SessionTest, AssignReflectsScenarioValues) {
+  Session session;
+  Load(&session);
+  session.SetBound(14);
+  session.Compress().ValueOrDie();
+  // Neutral scenario: results equal the original answers.
+  AssignReport neutral = session.Assign().ValueOrDie();
+  EXPECT_NEAR(neutral.delta.rows[0].full, 905.25, 1e-9);
+  EXPECT_NEAR(neutral.delta.rows[1].full, 437.45, 1e-9);
+  // March -20%: month-3 share drops by 20%.
+  session.SetMetaValue("m3", 0.8).CheckOK();
+  AssignReport scenario = session.Assign().ValueOrDie();
+  double expected_p1 = 905.25 - 0.2 * (240 + 114.45 + 72.5 + 24.2);
+  EXPECT_NEAR(scenario.delta.rows[0].full, expected_p1, 1e-9);
+}
+
+TEST_F(SessionTest, AssignAgainstBaseMeasuresInformationLoss) {
+  Session session;
+  Load(&session);
+  // Non-uniform base values: compression to the root loses granularity.
+  session.SetBaseValue("b1", 2.0).CheckOK();
+  session.SetBound(4);
+  session.Compress().ValueOrDie();
+  AssignReport report = session.AssignAgainstBase().ValueOrDie();
+  // Full side uses b1=2, compressed uses the averaged meta value — they
+  // must now disagree (loss), unlike Assign().
+  EXPECT_GT(report.delta.max_abs_error, 0.0);
+}
+
+TEST_F(SessionTest, InfeasibleBoundSurfacesInReport) {
+  Session session;
+  Load(&session);
+  session.SetBound(3);
+  CompressionReport report = session.Compress().ValueOrDie();
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.compressed_size, 4u);  // coarsest abstraction
+}
+
+TEST_F(SessionTest, GreedyAndLevelAlgorithmsAvailable) {
+  for (Algorithm algorithm : {Algorithm::kGreedy, Algorithm::kLevelCut,
+                              Algorithm::kBruteForce}) {
+    Session session;
+    Load(&session);
+    session.SetBound(10);
+    CompressionReport report = session.Compress(algorithm).ValueOrDie();
+    EXPECT_TRUE(report.feasible);
+    EXPECT_LE(report.compressed_size, 10u);
+    EXPECT_EQ(report.algorithm, algorithm);
+  }
+}
+
+TEST_F(SessionTest, ExplainTraceAvailable) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  CompressionReport report =
+      session.Compress(Algorithm::kOptimalDp, /*collect_explain=*/true)
+          .ValueOrDie();
+  EXPECT_NE(report.explain_text.find("DP trace"), std::string::npos);
+  EXPECT_NE(report.explain_text.find("Plans"), std::string::npos);
+}
+
+TEST_F(SessionTest, RecompressionResetsState) {
+  Session session;
+  Load(&session);
+  session.SetBound(4);
+  session.Compress().ValueOrDie();
+  std::size_t size_a = session.compressed().TotalMonomials();
+  session.SetBound(14);
+  session.Compress().ValueOrDie();
+  EXPECT_GT(session.compressed().TotalMonomials(), size_a);
+}
+
+TEST_F(SessionTest, AlgorithmNamesStable) {
+  EXPECT_STREQ(AlgorithmToString(Algorithm::kOptimalDp), "optimal-dp");
+  EXPECT_STREQ(AlgorithmToString(Algorithm::kGreedy), "greedy");
+  EXPECT_STREQ(AlgorithmToString(Algorithm::kLevelCut), "level-cut");
+  EXPECT_STREQ(AlgorithmToString(Algorithm::kBruteForce), "brute-force");
+}
+
+}  // namespace
+}  // namespace cobra::core

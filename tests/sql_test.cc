@@ -1,0 +1,267 @@
+// Tests for the SQL front end: lexer, parser and the planner/executor.
+
+#include <gtest/gtest.h>
+
+#include "data/example_db.h"
+#include "rel/sql/lexer.h"
+#include "rel/sql/parser.h"
+#include "rel/sql/planner.h"
+
+namespace cobra::rel::sql {
+namespace {
+
+// ---------- Lexer ----------
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Lex("SELECT a FROM t WHERE a = 1").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 9u);  // 8 tokens + end
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kIdent));
+  EXPECT_TRUE(tokens[6].IsSymbol("="));
+  EXPECT_TRUE(tokens[7].Is(TokenKind::kNumber));
+  EXPECT_TRUE(tokens[8].Is(TokenKind::kEnd));
+}
+
+TEST(LexerTest, QualifiedNamesAreOneToken) {
+  auto tokens = Lex("Calls.Dur").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "Calls.Dur");
+  EXPECT_EQ(tokens.size(), 2u);
+}
+
+TEST(LexerTest, StringsAndEscapes) {
+  auto tokens = Lex("'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+  EXPECT_FALSE(Lex("'unterminated").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Lex("a <= b <> c >= d != e").ValueOrDie();
+  EXPECT_TRUE(tokens[1].IsSymbol("<="));
+  EXPECT_TRUE(tokens[3].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[5].IsSymbol(">="));
+  EXPECT_TRUE(tokens[7].IsSymbol("<>"));  // != normalizes to <>
+}
+
+TEST(LexerTest, CommentsAndNumbers) {
+  auto tokens = Lex("1.5 -- trailing comment\n2").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "1.5");
+  EXPECT_EQ(tokens[1].text, "2");
+  EXPECT_EQ(tokens.size(), 3u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+// ---------- Parser ----------
+
+TEST(ParserTest, ParsesTheRunningExampleQuery) {
+  SelectStmt stmt = ParseSelect(cobra::data::kExampleRevenueQuery).ValueOrDie();
+  ASSERT_EQ(stmt.items.size(), 2u);
+  EXPECT_FALSE(stmt.items[0].agg.has_value());
+  ASSERT_TRUE(stmt.items[1].agg.has_value());
+  EXPECT_EQ(*stmt.items[1].agg, AggFunc::kSum);
+  ASSERT_EQ(stmt.from.size(), 3u);
+  EXPECT_EQ(stmt.from[0].table, "Calls");
+  ASSERT_NE(stmt.where, nullptr);
+  ASSERT_EQ(stmt.group_by.size(), 1u);
+  EXPECT_EQ(stmt.group_by[0], "Cust.Zip");
+}
+
+TEST(ParserTest, ParsesAliasesAndLimit) {
+  SelectStmt stmt =
+      ParseSelect("SELECT SUM(x) AS total, y cnt FROM t a, u "
+                  "WHERE a.k = u.k GROUP BY y ORDER BY total DESC LIMIT 5")
+          .ValueOrDie();
+  EXPECT_EQ(stmt.items[0].alias, "total");
+  EXPECT_EQ(stmt.items[1].alias, "cnt");
+  EXPECT_EQ(stmt.from[0].alias, "a");
+  EXPECT_EQ(stmt.from[0].EffectiveName(), "a");
+  EXPECT_EQ(stmt.from[1].EffectiveName(), "u");
+  ASSERT_EQ(stmt.order_by.size(), 1u);
+  EXPECT_TRUE(stmt.order_by[0].descending);
+  EXPECT_EQ(stmt.limit, 5u);
+}
+
+TEST(ParserTest, CountStar) {
+  SelectStmt stmt = ParseSelect("SELECT COUNT(*) FROM t").ValueOrDie();
+  ASSERT_TRUE(stmt.items[0].agg.has_value());
+  EXPECT_TRUE(stmt.items[0].count_star);
+  EXPECT_EQ(stmt.items[0].expr, nullptr);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  SelectStmt stmt =
+      ParseSelect("SELECT a + b * c FROM t WHERE x = 1 OR y = 2 AND z = 3")
+          .ValueOrDie();
+  // a + (b*c)
+  EXPECT_EQ(stmt.items[0].expr->ToString(), "(a + (b * c))");
+  // x=1 OR (y=2 AND z=3)
+  EXPECT_EQ(stmt.where->op(), ExprOp::kOr);
+}
+
+TEST(ParserTest, ParenthesesAndNegation) {
+  SelectStmt stmt =
+      ParseSelect("SELECT (a + b) * -c FROM t WHERE NOT a > 1").ValueOrDie();
+  EXPECT_EQ(stmt.items[0].expr->ToString(), "((a + b) * (-c))");
+  EXPECT_EQ(stmt.where->op(), ExprOp::kNot);
+}
+
+TEST(ParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseSelect("FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP y").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra garbage ;;").ok());
+  EXPECT_FALSE(ParseSelect("SELECT SUM(x FROM t").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSelect("SELECT a FROM t;").ok());
+}
+
+// ---------- Planner / end-to-end ----------
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : db_(cobra::data::BuildExampleDatabase()) {
+    cobra::data::InstrumentExampleDb(&db_).CheckOK();
+  }
+
+  Table Run(const std::string& sql) {
+    QueryResult result = RunSql(db_, sql).ValueOrDie();
+    prov::Valuation neutral(*db_.var_pool());
+    return result.Evaluate(neutral);
+  }
+
+  Database db_;
+};
+
+TEST_F(PlannerTest, SimpleSelectionProjection) {
+  Table t = Run("SELECT ID, Zip FROM Cust WHERE Plan = 'A'");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.Get(0, 0).AsInt64(), 1);
+  EXPECT_EQ(t.Get(0, 1).AsInt64(), 10001);
+}
+
+TEST_F(PlannerTest, ArithmeticInSelectList) {
+  Table t = Run("SELECT Dur * 2 AS d2 FROM Calls WHERE CID = 1 AND Mo = 1");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.Get(0, 0).AsInt64(), 1044);
+  EXPECT_EQ(t.schema().QualifiedName(0), "d2");
+}
+
+TEST_F(PlannerTest, TwoWayJoin) {
+  Table t = Run(
+      "SELECT Cust.ID, Calls.Dur FROM Cust, Calls "
+      "WHERE Cust.ID = Calls.CID AND Calls.Mo = 1 AND Cust.Zip = 10002");
+  EXPECT_EQ(t.NumRows(), 3u);  // customers 3, 6, 7
+}
+
+TEST_F(PlannerTest, ThreeWayJoinGroupByMatchesPaperTotals) {
+  Table t = Run(cobra::data::kExampleRevenueQuery);
+  ASSERT_EQ(t.NumRows(), 2u);
+  // Neutral valuation reproduces the plain query answer:
+  // zip 10001: 208.8+240+127.4+114.45+75.9+72.5+42+24.2 = 905.25
+  // zip 10002: 77.9+80.5+52.2+56.5+69.7+100.65 = 437.45
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::int64_t zip = t.Get(i, 0).AsInt64();
+    double revenue = t.Get(i, 1).AsDouble();
+    if (zip == 10001) EXPECT_NEAR(revenue, 905.25, 1e-9);
+    if (zip == 10002) EXPECT_NEAR(revenue, 437.45, 1e-9);
+  }
+}
+
+TEST_F(PlannerTest, ProvenancePolynomialsExposed) {
+  QueryResult result =
+      RunSql(db_, cobra::data::kExampleRevenueQuery).ValueOrDie();
+  ASSERT_TRUE(result.IsGrouped());
+  prov::PolySet set = result.Provenance();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.TotalMonomials(), 14u);
+  EXPECT_EQ(set.NumDistinctVariables(), 9u);  // 7 plan vars + m1 + m3
+}
+
+TEST_F(PlannerTest, GlobalAggregateWithoutGroupBy) {
+  Table t = Run("SELECT SUM(Dur) AS total FROM Calls");
+  ASSERT_EQ(t.NumRows(), 1u);
+  // Month 1 durations sum to 3827, month 3 to 3824 (Figure 1).
+  EXPECT_DOUBLE_EQ(t.Get(0, 0).AsDouble(), 7651.0);
+}
+
+TEST_F(PlannerTest, CountStarPerGroup) {
+  Table t = Run("SELECT Zip, COUNT(*) AS n FROM Cust GROUP BY Zip");
+  ASSERT_EQ(t.NumRows(), 2u);
+  double total = t.Get(0, 1).AsDouble() + t.Get(1, 1).AsDouble();
+  EXPECT_DOUBLE_EQ(total, 7.0);
+}
+
+TEST_F(PlannerTest, OrderByAndLimitOnGroupedResult) {
+  Table t = Run(
+      "SELECT CID, SUM(Dur) AS total FROM Calls GROUP BY CID "
+      "ORDER BY total DESC LIMIT 3");
+  ASSERT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.Get(0, 0).AsInt64(), 6);  // 1044+1130 = 2174 is the max
+  EXPECT_GE(t.Get(0, 1).AsDouble(), t.Get(1, 1).AsDouble());
+  EXPECT_GE(t.Get(1, 1).AsDouble(), t.Get(2, 1).AsDouble());
+}
+
+TEST_F(PlannerTest, OrderByLimitOnFlatResult) {
+  Table t = Run("SELECT Dur FROM Calls ORDER BY Dur DESC LIMIT 2");
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.Get(0, 0).AsInt64(), 1130);
+  EXPECT_EQ(t.Get(1, 0).AsInt64(), 1044);
+}
+
+TEST_F(PlannerTest, TableAliases) {
+  Table t = Run(
+      "SELECT c.ID FROM Cust c, Calls l "
+      "WHERE c.ID = l.CID AND l.Mo = 3 AND c.Plan = 'E'");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.Get(0, 0).AsInt64(), 6);
+}
+
+TEST_F(PlannerTest, ResidualNonEquiJoinPredicate) {
+  // Join condition plus a cross-table inequality filter.
+  Table t = Run(
+      "SELECT Cust.ID FROM Cust, Calls "
+      "WHERE Cust.ID = Calls.CID AND Calls.Dur > Cust.Zip - 9500 "
+      "AND Calls.Mo = 1");
+  // Dur > Zip-9500: zip 10001 -> Dur>501: cust1 (522). zip 10002 -> Dur>502:
+  // cust3 (779), cust6 (1044), cust7 (697).
+  EXPECT_EQ(t.NumRows(), 4u);
+}
+
+TEST_F(PlannerTest, CrossJoinWhenNoEdge) {
+  Table t = Run("SELECT Cust.ID FROM Cust, Plans WHERE Plans.Mo = 1");
+  EXPECT_EQ(t.NumRows(), 7u * 7u);
+}
+
+TEST_F(PlannerTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(RunSql(db_, "SELECT x FROM NoSuchTable").ok());
+  EXPECT_FALSE(RunSql(db_, "SELECT NoSuchCol FROM Cust").ok());
+  EXPECT_FALSE(
+      RunSql(db_, "SELECT Plan, SUM(ID) FROM Cust GROUP BY Zip").ok());
+  EXPECT_FALSE(RunSql(db_, "SELECT Zip FROM Cust GROUP BY Zip").ok());
+  // Ambiguous: Mo exists in Calls and Plans.
+  EXPECT_FALSE(RunSql(db_, "SELECT Cust.ID FROM Calls, Cust, Plans "
+                           "WHERE Mo = 1 AND Cust.ID = Calls.CID").ok());
+}
+
+TEST_F(PlannerTest, MultipleAggregatesInOneQuery) {
+  Table t = Run(
+      "SELECT Mo, SUM(Dur) AS s, COUNT(*) AS n, MIN(Dur) AS mn, "
+      "MAX(Dur) AS mx, AVG(Dur) AS av FROM Calls GROUP BY Mo");
+  ASSERT_EQ(t.NumRows(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(t.Get(i, 2).AsDouble(), 7.0);  // 7 calls per month
+    EXPECT_LE(t.Get(i, 3).AsDouble(), t.Get(i, 4).AsDouble());
+    EXPECT_NEAR(t.Get(i, 5).AsDouble() * 7.0, t.Get(i, 1).AsDouble(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cobra::rel::sql

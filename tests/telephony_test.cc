@@ -1,0 +1,147 @@
+// Tests for the calibrated telephony generator (experiment E3 at reduced
+// scale): determinism, coverage, and the paper's size identities
+// size = zips * months * plan-groups.
+
+#include "data/telephony.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.h"
+#include "core/profile.h"
+#include "core/tree.h"
+#include "rel/sql/planner.h"
+
+namespace cobra::data {
+namespace {
+
+TelephonyConfig SmallConfig() {
+  TelephonyConfig config;
+  config.num_customers = 600;  // >= 11 plans per zip guaranteed via RR
+  config.num_zips = 20;
+  config.num_months = 12;
+  config.seed = 42;
+  return config;
+}
+
+TEST(TelephonyGenerator, RowCountsMatchConfig) {
+  TelephonyConfig config = SmallConfig();
+  rel::Database db = GenerateTelephony(config);
+  EXPECT_EQ(db.GetTable("Cust").ValueOrDie()->NumRows(), 600u);
+  EXPECT_EQ(db.GetTable("Calls").ValueOrDie()->NumRows(), 600u * 12u);
+  EXPECT_EQ(db.GetTable("Plans").ValueOrDie()->NumRows(),
+            DefaultPlans().size() * 12u);
+}
+
+TEST(TelephonyGenerator, DeterministicForSameSeed) {
+  rel::Database a = GenerateTelephony(SmallConfig());
+  rel::Database b = GenerateTelephony(SmallConfig());
+  const rel::AnnotatedTable& calls_a = *a.GetTable("Calls").ValueOrDie();
+  const rel::AnnotatedTable& calls_b = *b.GetTable("Calls").ValueOrDie();
+  ASSERT_EQ(calls_a.NumRows(), calls_b.NumRows());
+  for (std::size_t r = 0; r < calls_a.NumRows(); r += 997) {
+    EXPECT_EQ(calls_a.table.Get(r, 2).AsInt64(),
+              calls_b.table.Get(r, 2).AsInt64());
+  }
+}
+
+TEST(TelephonyGenerator, RoundRobinGuaranteesPlanCoveragePerZip) {
+  rel::Database db = GenerateTelephony(SmallConfig());
+  const rel::AnnotatedTable& cust = *db.GetTable("Cust").ValueOrDie();
+  // zip -> set of plans
+  std::map<std::int64_t, std::set<std::string>> coverage;
+  for (std::size_t r = 0; r < cust.NumRows(); ++r) {
+    coverage[cust.table.Get(r, 2).AsInt64()].insert(
+        cust.table.Get(r, 1).AsString());
+  }
+  EXPECT_EQ(coverage.size(), 20u);
+  for (const auto& [zip, plans] : coverage) {
+    EXPECT_EQ(plans.size(), DefaultPlans().size()) << "zip " << zip;
+  }
+}
+
+TEST(TelephonyGenerator, PricesPositiveAndDriftBounded) {
+  rel::Database db = GenerateTelephony(SmallConfig());
+  const rel::AnnotatedTable& plans = *db.GetTable("Plans").ValueOrDie();
+  for (std::size_t r = 0; r < plans.NumRows(); ++r) {
+    double price = plans.table.Get(r, 2).AsDouble();
+    EXPECT_GT(price, 0.0);
+    EXPECT_LT(price, 1.0);
+  }
+}
+
+/// E3 identity at test scale: full provenance size = zips * months * plans,
+/// and the paper's two bounds scale to cuts S2 (7 groups) and S1 (3 groups).
+TEST(TelephonyE3, SizeIdentityAndPaperCutsAtReducedScale) {
+  TelephonyConfig config = SmallConfig();
+  rel::Database db = GenerateTelephony(config);
+  InstrumentTelephony(&db).CheckOK();
+  rel::sql::QueryResult result =
+      rel::sql::RunSql(db, TelephonyRevenueQuery()).ValueOrDie();
+  prov::PolySet provenance = result.Provenance();
+
+  const std::size_t zips = config.num_zips, months = config.num_months;
+  const std::size_t plans = DefaultPlans().size();  // 11
+  EXPECT_EQ(provenance.TotalMonomials(), zips * months * plans);
+  EXPECT_EQ(provenance.size(), zips);
+  EXPECT_EQ(provenance.NumDistinctVariables(), plans + months);
+
+  core::AbstractionTree tree =
+      core::ParseTree(TelephonyPlanTreeText(), db.mutable_var_pool())
+          .ValueOrDie();
+  core::TreeProfile profile =
+      core::AnalyzeSingleTree(provenance, tree, *db.var_pool()).ValueOrDie();
+
+  // The paper's bound/size pairs scale as groups*zips*months:
+  // 11 groups = full, 7 groups (S2), 3 groups (S1), 1 group (S5).
+  auto scaled = [&](std::size_t groups) { return zips * months * groups; };
+  // Bound between 7 and 8 groups -> optimal keeps exactly 7 cut nodes.
+  core::CutSolution s7 =
+      core::OptimalSingleTreeCut(tree, profile, scaled(8) - 1).ValueOrDie();
+  EXPECT_TRUE(s7.feasible);
+  EXPECT_EQ(s7.num_cut_nodes, 7u);
+  EXPECT_EQ(s7.compressed_size, scaled(7));
+  // Bound between 3 and 4 groups -> exactly 3 cut nodes (cut S1).
+  core::CutSolution s3 =
+      core::OptimalSingleTreeCut(tree, profile, scaled(4) - 1).ValueOrDie();
+  EXPECT_TRUE(s3.feasible);
+  EXPECT_EQ(s3.num_cut_nodes, 3u);
+  EXPECT_EQ(s3.compressed_size, scaled(3));
+  EXPECT_EQ(s3.cut.ToString(tree), "{Business, Special, Standard}");
+}
+
+/// The exact paper numbers divided by the zip ratio: with 1055 zips the
+/// sizes are 139,260 / 88,620 / 37,980; the identity is linear in zips.
+TEST(TelephonyE3, PaperNumbersAreLinearInZips) {
+  constexpr std::size_t kPaperZips = 1055, kMonths = 12, kPlans = 11;
+  EXPECT_EQ(kPaperZips * kMonths * kPlans, 139260u);
+  EXPECT_EQ(kPaperZips * kMonths * 7u, 88620u);
+  EXPECT_EQ(kPaperZips * kMonths * 3u, 37980u);
+}
+
+TEST(TelephonyTrees, QuarterTreeShape) {
+  prov::VarPool pool;
+  core::AbstractionTree tree =
+      core::ParseTree(MonthQuarterTreeText(12), &pool).ValueOrDie();
+  EXPECT_EQ(tree.Leaves().size(), 12u);
+  EXPECT_EQ(tree.size(), 1u + 4u + 12u);
+  EXPECT_EQ(tree.node(tree.root()).name, "Months");
+  EXPECT_NE(tree.FindByName("q4"), core::kNoNode);
+}
+
+TEST(TelephonyTrees, PlanTreeMatchesFigure2) {
+  prov::VarPool pool;
+  core::AbstractionTree tree =
+      core::ParseTree(TelephonyPlanTreeText(), &pool).ValueOrDie();
+  EXPECT_EQ(tree.Leaves().size(), 11u);
+  EXPECT_EQ(tree.CountCuts(), 31u);
+}
+
+TEST(TelephonyGenerator, RandomPlanModeStillRuns) {
+  TelephonyConfig config = SmallConfig();
+  config.round_robin_plans = false;
+  rel::Database db = GenerateTelephony(config);
+  EXPECT_EQ(db.GetTable("Cust").ValueOrDie()->NumRows(), 600u);
+}
+
+}  // namespace
+}  // namespace cobra::data

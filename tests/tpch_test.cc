@@ -1,0 +1,357 @@
+// Tests for the TPC-H substrate: generator invariants (row counts, key
+// integrity, spec formulas), query execution, instrumentation and the
+// abstraction trees.
+
+#include "data/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "core/compressor.h"
+#include "core/tree.h"
+#include "data/dates.h"
+#include "data/tpch_queries.h"
+#include "rel/sql/planner.h"
+
+namespace cobra::data {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  static const rel::Database& Db() {
+    static rel::Database* db = [] {
+      TpchConfig config;
+      config.scale_factor = 0.01;
+      return new rel::Database(GenerateTpch(config));
+    }();
+    return *db;
+  }
+};
+
+TEST_F(TpchTest, RowCountsFollowScaleFactor) {
+  TpchConfig config;
+  config.scale_factor = 0.01;
+  EXPECT_EQ(Db().GetTable("region").ValueOrDie()->NumRows(), 5u);
+  EXPECT_EQ(Db().GetTable("nation").ValueOrDie()->NumRows(), 25u);
+  EXPECT_EQ(Db().GetTable("supplier").ValueOrDie()->NumRows(),
+            config.NumSuppliers());
+  EXPECT_EQ(Db().GetTable("customer").ValueOrDie()->NumRows(),
+            config.NumCustomers());
+  EXPECT_EQ(Db().GetTable("part").ValueOrDie()->NumRows(), config.NumParts());
+  EXPECT_EQ(Db().GetTable("partsupp").ValueOrDie()->NumRows(),
+            config.NumParts() * 4u);
+  EXPECT_EQ(Db().GetTable("orders").ValueOrDie()->NumRows(),
+            config.NumOrders());
+  // 1..7 lines per order.
+  std::size_t lines = Db().GetTable("lineitem").ValueOrDie()->NumRows();
+  EXPECT_GE(lines, config.NumOrders());
+  EXPECT_LE(lines, config.NumOrders() * 7u);
+}
+
+TEST_F(TpchTest, NationRegionMappingIsTheSpecList) {
+  EXPECT_STREQ(TpchRegionName(2), "ASIA");
+  EXPECT_STREQ(TpchNationName(8), "INDIA");
+  EXPECT_EQ(TpchNationRegion(8), 2u);   // INDIA in ASIA
+  EXPECT_EQ(TpchNationRegion(6), 3u);   // FRANCE in EUROPE
+  EXPECT_EQ(TpchNationRegion(24), 1u);  // UNITED STATES in AMERICA
+}
+
+TEST_F(TpchTest, ForeignKeysAreValid) {
+  const rel::AnnotatedTable& lineitem = *Db().GetTable("lineitem").ValueOrDie();
+  const rel::AnnotatedTable& orders = *Db().GetTable("orders").ValueOrDie();
+  std::size_t num_orders = orders.NumRows();
+  std::size_t num_parts = Db().GetTable("part").ValueOrDie()->NumRows();
+  std::size_t num_suppliers =
+      Db().GetTable("supplier").ValueOrDie()->NumRows();
+  for (std::size_t r = 0; r < lineitem.NumRows(); r += 131) {
+    std::int64_t okey = lineitem.table.Get(r, 0).AsInt64();
+    std::int64_t pkey = lineitem.table.Get(r, 2).AsInt64();
+    std::int64_t skey = lineitem.table.Get(r, 3).AsInt64();
+    EXPECT_GE(okey, 1);
+    EXPECT_LE(okey, static_cast<std::int64_t>(num_orders));
+    EXPECT_GE(pkey, 1);
+    EXPECT_LE(pkey, static_cast<std::int64_t>(num_parts));
+    EXPECT_GE(skey, 1);
+    EXPECT_LE(skey, static_cast<std::int64_t>(num_suppliers));
+  }
+}
+
+TEST_F(TpchTest, LineitemSupplierComesFromPartsupp) {
+  // l_suppkey must be one of the four partsupp suppliers of l_partkey.
+  const rel::AnnotatedTable& lineitem = *Db().GetTable("lineitem").ValueOrDie();
+  const rel::AnnotatedTable& partsupp = *Db().GetTable("partsupp").ValueOrDie();
+  std::unordered_set<std::uint64_t> pairs;
+  for (std::size_t r = 0; r < partsupp.NumRows(); ++r) {
+    pairs.insert(static_cast<std::uint64_t>(
+                     partsupp.table.Get(r, 0).AsInt64()) << 32 |
+                 static_cast<std::uint64_t>(partsupp.table.Get(r, 1).AsInt64()));
+  }
+  for (std::size_t r = 0; r < lineitem.NumRows(); r += 97) {
+    std::uint64_t key =
+        static_cast<std::uint64_t>(lineitem.table.Get(r, 2).AsInt64()) << 32 |
+        static_cast<std::uint64_t>(lineitem.table.Get(r, 3).AsInt64());
+    EXPECT_TRUE(pairs.count(key) > 0) << "row " << r;
+  }
+}
+
+TEST_F(TpchTest, RetailPriceFollowsSpecFormula) {
+  const rel::AnnotatedTable& part = *Db().GetTable("part").ValueOrDie();
+  for (std::size_t r = 0; r < part.NumRows(); r += 53) {
+    std::int64_t key = part.table.Get(r, 0).AsInt64();
+    double expected = (90000.0 + ((key / 10) % 20001) + 100.0 * (key % 1000)) /
+                      100.0;
+    EXPECT_DOUBLE_EQ(part.table.Get(r, 4).AsDouble(), expected);
+  }
+}
+
+TEST_F(TpchTest, DatesAreValidAndOrdered) {
+  const rel::AnnotatedTable& lineitem = *Db().GetTable("lineitem").ValueOrDie();
+  for (std::size_t r = 0; r < lineitem.NumRows(); r += 211) {
+    std::int64_t ship = lineitem.table.Get(r, 10).AsInt64();
+    std::int64_t receipt = lineitem.table.Get(r, 12).AsInt64();
+    EXPECT_GE(MonthOf(ship), 1);
+    EXPECT_LE(MonthOf(ship), 12);
+    EXPECT_GE(YearOf(ship), 1992);
+    EXPECT_LE(YearOf(ship), 1999);
+    EXPECT_LT(SerialFromPack(ship), SerialFromPack(receipt));
+  }
+}
+
+TEST_F(TpchTest, DateHelpersRoundTrip) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(PackFromSerial(0), 19700101);
+  EXPECT_EQ(AddDays(19920229, 1), 19920301);  // 1992 is a leap year
+  EXPECT_EQ(AddDays(19931231, 1), 19940101);
+  EXPECT_EQ(SerialFromPack(AddDays(19950617, 121)),
+            SerialFromPack(19950617) + 121);
+}
+
+TEST_F(TpchTest, GeneratorDeterministic) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  rel::Database a = GenerateTpch(config);
+  rel::Database b = GenerateTpch(config);
+  const rel::AnnotatedTable& la = *a.GetTable("lineitem").ValueOrDie();
+  const rel::AnnotatedTable& lb = *b.GetTable("lineitem").ValueOrDie();
+  ASSERT_EQ(la.NumRows(), lb.NumRows());
+  for (std::size_t r = 0; r < la.NumRows(); r += 101) {
+    EXPECT_EQ(la.table.Get(r, 5).AsDouble(), lb.table.Get(r, 5).AsDouble());
+  }
+}
+
+// ---- Queries ----
+
+class TpchQueryTest : public ::testing::Test {
+ protected:
+  TpchQueryTest() {
+    TpchConfig config;
+    config.scale_factor = 0.01;
+    db_ = GenerateTpch(config);
+  }
+  rel::Database db_;
+};
+
+TEST_F(TpchQueryTest, AllFiveQueriesRun) {
+  for (const TpchQuerySpec& spec : TpchQueries()) {
+    auto result = rel::sql::RunSql(db_, spec.sql);
+    ASSERT_TRUE(result.ok()) << spec.id << ": " << result.status().ToString();
+    EXPECT_TRUE(result->IsGrouped()) << spec.id;
+    prov::Valuation neutral(*db_.var_pool());
+    rel::Table t = result->Evaluate(neutral);
+    EXPECT_GT(t.NumRows(), 0u) << spec.id;
+  }
+}
+
+TEST_F(TpchQueryTest, Q1HasAtMostFourGroupsAndPositiveSums) {
+  TpchQuerySpec q1 = TpchQueryById("Q1").ValueOrDie();
+  rel::sql::QueryResult result = rel::sql::RunSql(db_, q1.sql).ValueOrDie();
+  prov::Valuation neutral(*db_.var_pool());
+  rel::Table t = result.Evaluate(neutral);
+  EXPECT_LE(t.NumRows(), 4u);  // (R|A)/F and N/O
+  for (std::size_t r = 0; r < t.NumRows(); ++r) {
+    EXPECT_GT(t.Get(r, 2).AsDouble(), 0.0);              // sum_qty
+    EXPECT_GE(t.Get(r, 3).AsDouble(), t.Get(r, 4).AsDouble());  // base >= disc
+  }
+}
+
+TEST_F(TpchQueryTest, Q3RespectsLimitAndOrdering) {
+  TpchQuerySpec q3 = TpchQueryById("Q3").ValueOrDie();
+  rel::sql::QueryResult result = rel::sql::RunSql(db_, q3.sql).ValueOrDie();
+  prov::Valuation neutral(*db_.var_pool());
+  rel::Table t = result.Evaluate(neutral);
+  EXPECT_LE(t.NumRows(), 10u);
+  for (std::size_t r = 0; r + 1 < t.NumRows(); ++r) {
+    EXPECT_GE(t.Get(r, 1).AsDouble(), t.Get(r + 1, 1).AsDouble());
+  }
+}
+
+TEST_F(TpchQueryTest, Q6MatchesManualScan) {
+  TpchQuerySpec q6 = TpchQueryById("Q6").ValueOrDie();
+  rel::sql::QueryResult result = rel::sql::RunSql(db_, q6.sql).ValueOrDie();
+  prov::Valuation neutral(*db_.var_pool());
+  double via_engine = result.Evaluate(neutral).Get(0, 0).AsDouble();
+
+  const rel::AnnotatedTable& lineitem = *db_.GetTable("lineitem").ValueOrDie();
+  double manual = 0.0;
+  for (std::size_t r = 0; r < lineitem.NumRows(); ++r) {
+    std::int64_t ship = lineitem.table.Get(r, 10).AsInt64();
+    double discount = lineitem.table.Get(r, 6).AsDouble();
+    std::int64_t qty = lineitem.table.Get(r, 4).AsInt64();
+    if (ship >= 19940101 && ship < 19950101 && discount >= 0.05 &&
+        discount <= 0.07 && qty < 24) {
+      manual += lineitem.table.Get(r, 5).AsDouble() * discount;
+    }
+  }
+  EXPECT_NEAR(via_engine, manual, 1e-6 * (1 + manual));
+}
+
+TEST_F(TpchQueryTest, Q5GroupsAreAsianNations) {
+  TpchQuerySpec q5 = TpchQueryById("Q5").ValueOrDie();
+  rel::sql::QueryResult result = rel::sql::RunSql(db_, q5.sql).ValueOrDie();
+  prov::Valuation neutral(*db_.var_pool());
+  rel::Table t = result.Evaluate(neutral);
+  std::set<std::string> asia;
+  for (std::size_t n = 0; n < kTpchNumNations; ++n) {
+    if (TpchNationRegion(n) == 2) asia.insert(TpchNationName(n));
+  }
+  for (std::size_t r = 0; r < t.NumRows(); ++r) {
+    EXPECT_TRUE(asia.count(t.Get(r, 0).AsString()) > 0)
+        << t.Get(r, 0).AsString();
+  }
+}
+
+TEST_F(TpchQueryTest, UnknownQueryIdFails) {
+  EXPECT_FALSE(TpchQueryById("Q99").ok());
+}
+
+// ---- Instrumentation + compression end to end ----
+
+TEST_F(TpchQueryTest, ShipMonthInstrumentationYieldsMonthVariables) {
+  InstrumentTpchByShipMonth(&db_).CheckOK();
+  TpchQuerySpec q6 = TpchQueryById("Q6").ValueOrDie();
+  rel::sql::QueryResult result = rel::sql::RunSql(db_, q6.sql).ValueOrDie();
+  prov::PolySet provenance = result.Provenance();
+  // Q6 filters to 1994 shipments: exactly the 12 month variables of 1994.
+  EXPECT_LE(provenance.NumDistinctVariables(), 12u);
+  EXPECT_GE(provenance.NumDistinctVariables(), 6u);
+  EXPECT_GE(provenance.TotalMonomials(), 6u);
+}
+
+TEST_F(TpchQueryTest, Q6CompressionUnderDateTree) {
+  InstrumentTpchByShipMonth(&db_).CheckOK();
+  TpchQuerySpec q6 = TpchQueryById("Q6").ValueOrDie();
+  prov::PolySet provenance =
+      rel::sql::RunSql(db_, q6.sql).ValueOrDie().Provenance();
+  core::AbstractionTree tree =
+      core::ParseTree(q6.tree_text, db_.mutable_var_pool()).ValueOrDie();
+  core::CompressionRequest request;
+  request.bound = 4;  // quarters
+  auto outcome =
+      core::Compress(provenance, tree, request, db_.mutable_var_pool())
+          .ValueOrDie();
+  EXPECT_TRUE(outcome.report.feasible);
+  EXPECT_LE(outcome.report.compressed_size, 4u);
+  EXPECT_LT(outcome.report.compressed_size, outcome.report.original_size);
+}
+
+TEST_F(TpchQueryTest, Q5ProvenanceIsOneNationPerGroup) {
+  // Q5 groups *by* nation: each group's polynomial has exactly one nation
+  // variable, so geography abstraction cannot shrink it (monomials never
+  // merge across groups). This is the documented negative case.
+  InstrumentTpchBySupplierNation(&db_).CheckOK();
+  TpchQuerySpec q5 = TpchQueryById("Q5").ValueOrDie();
+  prov::PolySet provenance =
+      rel::sql::RunSql(db_, q5.sql).ValueOrDie().Provenance();
+  ASSERT_GT(provenance.size(), 0u);
+  for (std::size_t g = 0; g < provenance.size(); ++g) {
+    EXPECT_EQ(provenance.poly(g).NumMonomials(), 1u);
+  }
+  core::AbstractionTree tree =
+      core::ParseTree(q5.tree_text, db_.mutable_var_pool()).ValueOrDie();
+  core::TreeProfile profile =
+      core::AnalyzeSingleTree(provenance, tree, *db_.var_pool()).ValueOrDie();
+  // Even the root cut keeps one monomial per group.
+  EXPECT_EQ(profile.SizeOfCut(core::Cut::Root(tree)),
+            provenance.TotalMonomials());
+}
+
+TEST_F(TpchQueryTest, SegmentVolumeCompressionUnderGeographyTree) {
+  // The segment-volume variant has 25 nation variables per group: the
+  // geography tree compresses 5*25 monomials down to 5*5 (regions) and
+  // further to 5*1 (world).
+  InstrumentTpchBySupplierNation(&db_).CheckOK();
+  prov::PolySet provenance =
+      rel::sql::RunSql(db_, TpchSegmentVolumeQuery()).ValueOrDie()
+          .Provenance();
+  ASSERT_EQ(provenance.size(), 5u);
+  // Up to 5 segments x 25 nations; at SF 0.01 a few (segment, nation)
+  // combinations may be unpopulated.
+  EXPECT_LE(provenance.TotalMonomials(), 5u * 25u);
+  EXPECT_GE(provenance.TotalMonomials(), 5u * 15u);
+  core::AbstractionTree tree =
+      core::ParseTree(GeographyTreeText(), db_.mutable_var_pool())
+          .ValueOrDie();
+  core::CompressionRequest request;
+  request.bound = 5 * 5;  // at most one monomial per (segment, region)
+  auto outcome =
+      core::Compress(provenance, tree, request, db_.mutable_var_pool())
+          .ValueOrDie();
+  EXPECT_TRUE(outcome.report.feasible);
+  EXPECT_LE(outcome.report.compressed_size, 25u);
+  EXPECT_GE(outcome.report.compressed_size, 5u);
+  EXPECT_LT(outcome.report.compressed_size, outcome.report.original_size);
+}
+
+TEST_F(TpchQueryTest, BrandRevenueCompressionUnderBrandTree) {
+  InstrumentTpchByPartBrand(&db_).CheckOK();
+  prov::PolySet provenance =
+      rel::sql::RunSql(db_, TpchBrandRevenueQuery()).ValueOrDie()
+          .Provenance();
+  // Groups: return flags R, A, N; up to 25 brand variables each.
+  ASSERT_EQ(provenance.size(), 3u);
+  EXPECT_LE(provenance.TotalMonomials(), 3u * 25u);
+  EXPECT_GE(provenance.TotalMonomials(), 3u * 20u);
+
+  core::AbstractionTree tree =
+      core::ParseTree(BrandTreeText(), db_.mutable_var_pool()).ValueOrDie();
+  EXPECT_EQ(tree.Leaves().size(), 25u);
+  core::CompressionRequest request;
+  request.bound = 3 * 5;  // one monomial per (flag, manufacturer)
+  auto outcome =
+      core::Compress(provenance, tree, request, db_.mutable_var_pool())
+          .ValueOrDie();
+  EXPECT_TRUE(outcome.report.feasible);
+  EXPECT_LE(outcome.report.compressed_size, 15u);
+  // The chosen cut should be the five manufacturer nodes.
+  EXPECT_NE(outcome.report.cut_description.find("mfgr"), std::string::npos);
+}
+
+TEST_F(TpchQueryTest, BrandInstrumentationUsesBrandNames) {
+  InstrumentTpchByPartBrand(&db_).CheckOK();
+  const rel::AnnotatedTable& part = *db_.GetTable("part").ValueOrDie();
+  std::size_t brand_col = part.schema().Resolve("p_brand").ValueOrDie();
+  for (std::size_t r = 0; r < std::min<std::size_t>(part.NumRows(), 50); ++r) {
+    std::string brand = part.table.Get(r, brand_col).AsString();
+    std::string expected_var = "b_" + brand.substr(brand.find('#') + 1);
+    prov::VarId var = db_.var_pool()->Find(expected_var);
+    ASSERT_NE(var, prov::kInvalidVar) << expected_var;
+    EXPECT_EQ(part.Annotation(r), prov::Polynomial::Var(var));
+  }
+}
+
+TEST(TpchTrees, ShapesAreConsistent) {
+  prov::VarPool pool;
+  core::AbstractionTree dates =
+      core::ParseTree(ShipDateTreeText(), &pool).ValueOrDie();
+  EXPECT_EQ(dates.Leaves().size(), 7u * 12u);
+  EXPECT_EQ(dates.MaxDepth(), 3u);
+  core::AbstractionTree geo =
+      core::ParseTree(GeographyTreeText(), &pool).ValueOrDie();
+  EXPECT_EQ(geo.Leaves().size(), 25u);
+  EXPECT_EQ(geo.MaxDepth(), 2u);
+}
+
+}  // namespace
+}  // namespace cobra::data

@@ -1,0 +1,102 @@
+// Tests for BuildTreeFromEdges / BuildTreeFromCsv — ontology import.
+
+#include "core/tree_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cut.h"
+
+namespace cobra::core {
+namespace {
+
+TEST(TreeBuilderTest, BuildsFigure2FromEdges) {
+  prov::VarPool pool;
+  std::vector<HierarchyEdge> edges = {
+      {"Plans", "Business"}, {"Business", "SB"},    {"SB", "b1"},
+      {"SB", "b2"},          {"Business", "e"},     {"Plans", "Special"},
+      {"Special", "F"},      {"F", "f1"},           {"F", "f2"},
+      {"Special", "Y"},      {"Y", "y1"},           {"Y", "y2"},
+      {"Y", "y3"},           {"Special", "v"},      {"Plans", "Standard"},
+      {"Standard", "p1"},    {"Standard", "p2"}};
+  AbstractionTree tree = BuildTreeFromEdges(edges, &pool).ValueOrDie();
+  EXPECT_EQ(tree.size(), 18u);
+  EXPECT_EQ(tree.Leaves().size(), 11u);
+  EXPECT_EQ(tree.CountCuts(), 31u);
+  EXPECT_EQ(tree.node(tree.root()).name, "Plans");
+  // Children keep edge order: Business before Special before Standard.
+  const auto& kids = tree.node(tree.root()).children;
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(tree.node(kids[0]).name, "Business");
+  EXPECT_EQ(tree.node(kids[2]).name, "Standard");
+  // Leaves interned as variables.
+  EXPECT_TRUE(pool.Contains("b1"));
+  EXPECT_FALSE(pool.Contains("Business"));
+}
+
+TEST(TreeBuilderTest, RejectsEmptyAndMalformedEdgeLists) {
+  prov::VarPool pool;
+  EXPECT_FALSE(BuildTreeFromEdges({}, &pool).ok());
+  EXPECT_FALSE(BuildTreeFromEdges({{"a", "a"}}, &pool).ok());
+  EXPECT_FALSE(BuildTreeFromEdges({{"", "x"}}, &pool).ok());
+}
+
+TEST(TreeBuilderTest, RejectsTwoParents) {
+  prov::VarPool pool;
+  EXPECT_FALSE(
+      BuildTreeFromEdges({{"r", "a"}, {"r", "b"}, {"a", "x"}, {"b", "x"}},
+                         &pool)
+          .ok());
+}
+
+TEST(TreeBuilderTest, RejectsTwoRoots) {
+  prov::VarPool pool;
+  EXPECT_FALSE(BuildTreeFromEdges({{"r1", "a"}, {"r2", "b"}}, &pool).ok());
+}
+
+TEST(TreeBuilderTest, RejectsCycles) {
+  prov::VarPool pool;
+  // Pure cycle: no root at all.
+  EXPECT_FALSE(
+      BuildTreeFromEdges({{"a", "b"}, {"b", "c"}, {"c", "a"}}, &pool).ok());
+  // Cycle hanging off a valid root: unreachable two-parent violation or
+  // disconnected component.
+  EXPECT_FALSE(BuildTreeFromEdges(
+                   {{"r", "a"}, {"x", "y"}, {"y", "x"}}, &pool)
+                   .ok());
+}
+
+TEST(TreeBuilderTest, DuplicateEdgesAreIdempotent) {
+  prov::VarPool pool;
+  AbstractionTree tree =
+      BuildTreeFromEdges({{"r", "a"}, {"r", "a"}, {"r", "b"}}, &pool)
+          .ValueOrDie();
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 2u);
+}
+
+TEST(TreeBuilderTest, CsvImport) {
+  prov::VarPool pool;
+  AbstractionTree tree =
+      BuildTreeFromCsv(
+          "parent,child\nPlans,Business\nBusiness,b1\nBusiness,b2\n"
+          "Plans,Standard\nStandard,p1\n",
+          &pool)
+          .ValueOrDie();
+  EXPECT_EQ(tree.Leaves().size(), 3u);
+  EXPECT_TRUE(Cut::FromNames(tree, {"Business", "Standard"})
+                  .ValueOrDie()
+                  .Validate(tree)
+                  .ok());
+}
+
+TEST(TreeBuilderTest, CsvRequiresParentChildHeader) {
+  prov::VarPool pool;
+  EXPECT_FALSE(BuildTreeFromCsv("a,b\nx,y\n", &pool).ok());
+  EXPECT_FALSE(BuildTreeFromCsv("parent\nx\n", &pool).ok());
+  // Case-insensitive header accepted; extra columns ignored.
+  EXPECT_TRUE(
+      BuildTreeFromCsv("Parent,Child,note\nr,x,hi\nr,y,yo\n", &pool).ok());
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,240 @@
+// Tests for abstraction trees and cuts: construction, parsing, validation,
+// traversals, cut semantics and enumeration.
+
+#include "core/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cut.h"
+#include "data/example_db.h"
+#include "prov/variable.h"
+
+namespace cobra::core {
+namespace {
+
+class TreeTest : public ::testing::Test {
+ protected:
+  /// Builds the Figure 2 tree programmatically.
+  AbstractionTree BuildFigure2() {
+    AbstractionTree t;
+    NodeId root = t.AddRoot("Plans");
+    NodeId business = t.AddChild(root, "Business");
+    NodeId sb = t.AddChild(business, "SB");
+    t.AddLeaf(sb, "b1", &pool_);
+    t.AddLeaf(sb, "b2", &pool_);
+    t.AddLeaf(business, "e", &pool_);
+    NodeId special = t.AddChild(root, "Special");
+    NodeId f = t.AddChild(special, "F");
+    t.AddLeaf(f, "f1", &pool_);
+    t.AddLeaf(f, "f2", &pool_);
+    NodeId y = t.AddChild(special, "Y");
+    t.AddLeaf(y, "y1", &pool_);
+    t.AddLeaf(y, "y2", &pool_);
+    t.AddLeaf(y, "y3", &pool_);
+    t.AddLeaf(special, "v", &pool_);
+    NodeId standard = t.AddChild(root, "Standard");
+    t.AddLeaf(standard, "p1", &pool_);
+    t.AddLeaf(standard, "p2", &pool_);
+    return t;
+  }
+
+  prov::VarPool pool_;
+};
+
+TEST_F(TreeTest, Figure2Structure) {
+  AbstractionTree t = BuildFigure2();
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.size(), 18u);  // 11 leaves + 7 inner (Plans..Standard)
+  EXPECT_EQ(t.Leaves().size(), 11u);
+  EXPECT_EQ(t.MaxDepth(), 3u);
+  EXPECT_EQ(t.node(t.root()).name, "Plans");
+}
+
+TEST_F(TreeTest, ParseMatchesProgrammaticTree) {
+  AbstractionTree built = BuildFigure2();
+  prov::VarPool pool2;
+  AbstractionTree parsed =
+      ParseTree(data::kFigure2TreeText, &pool2).ValueOrDie();
+  EXPECT_EQ(parsed.size(), built.size());
+  EXPECT_EQ(parsed.Leaves().size(), built.Leaves().size());
+  EXPECT_EQ(parsed.CountCuts(), built.CountCuts());
+  EXPECT_EQ(parsed.node(parsed.root()).name, "Plans");
+  EXPECT_NE(parsed.FindByName("SB"), kNoNode);
+  EXPECT_NE(parsed.FindByName("y2"), kNoNode);
+}
+
+TEST_F(TreeTest, ParseRejectsBadInput) {
+  prov::VarPool pool;
+  EXPECT_FALSE(ParseTree("", &pool).ok());
+  EXPECT_FALSE(ParseTree("  indented_root\n", &pool).ok());
+  EXPECT_FALSE(ParseTree("a\nb\n", &pool).ok());      // two roots
+  EXPECT_FALSE(ParseTree("a\n  b\n  b\n", &pool).ok());  // duplicate names
+  EXPECT_FALSE(ParseTree("a\n\tb\n", &pool).ok());    // tabs
+}
+
+TEST_F(TreeTest, ParseIgnoresCommentsAndBlankLines) {
+  prov::VarPool pool;
+  AbstractionTree t =
+      ParseTree("# header\nroot\n\n  a  # trailing\n  b\n", &pool)
+          .ValueOrDie();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.Leaves().size(), 2u);
+}
+
+TEST_F(TreeTest, SingleLeafRootIsInvalid) {
+  // A root with no children is a leaf without a variable -> invalid... but
+  // the parser interns it as a variable, making a 1-node tree valid.
+  prov::VarPool pool;
+  AbstractionTree t = ParseTree("x\n", &pool).ValueOrDie();
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.node(t.root()).IsLeaf());
+}
+
+TEST_F(TreeTest, DepthAndLeavesUnder) {
+  AbstractionTree t = BuildFigure2();
+  NodeId sb = t.FindByName("SB");
+  NodeId special = t.FindByName("Special");
+  EXPECT_EQ(t.Depth(t.root()), 0u);
+  EXPECT_EQ(t.Depth(sb), 2u);
+  EXPECT_EQ(t.LeavesUnder(sb).size(), 2u);
+  EXPECT_EQ(t.LeavesUnder(special).size(), 6u);
+  EXPECT_EQ(t.LeavesUnder(t.root()).size(), 11u);
+}
+
+TEST_F(TreeTest, PostOrderVisitsChildrenFirst) {
+  AbstractionTree t = BuildFigure2();
+  std::vector<NodeId> order = t.PostOrder();
+  ASSERT_EQ(order.size(), t.size());
+  std::vector<std::size_t> position(t.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    for (NodeId c : t.node(v).children) {
+      EXPECT_LT(position[c], position[v]);
+    }
+  }
+  EXPECT_EQ(order.back(), t.root());
+}
+
+TEST_F(TreeTest, FindLeafByVar) {
+  AbstractionTree t = BuildFigure2();
+  prov::VarId b1 = pool_.Find("b1");
+  NodeId leaf = t.FindLeafByVar(b1);
+  ASSERT_NE(leaf, kNoNode);
+  EXPECT_EQ(t.node(leaf).name, "b1");
+  EXPECT_EQ(t.FindLeafByVar(9999), kNoNode);
+}
+
+TEST_F(TreeTest, CountCutsFigure2Is31) {
+  // C(SB)=2, C(Business)=3, C(F)=2, C(Y)=2, C(Special)=5, C(Standard)=2,
+  // C(Plans)=1+3*5*2=31.
+  EXPECT_EQ(BuildFigure2().CountCuts(), 31u);
+}
+
+TEST_F(TreeTest, ValidateCatchesDuplicateVariables) {
+  AbstractionTree t;
+  NodeId root = t.AddRoot("r");
+  t.AddLeaf(root, "x", &pool_);
+  NodeId inner = t.AddChild(root, "g");
+  t.AddLeaf(inner, "x2", &pool_);
+  EXPECT_TRUE(t.Validate().ok());
+  // Force a duplicate var.
+  AbstractionTree bad;
+  NodeId broot = bad.AddRoot("r");
+  bad.AddLeaf(broot, "x", &pool_);
+  bad.AddLeaf(broot, "x", &pool_);  // same name -> same var AND same name
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+// ---------- Cuts ----------
+
+class CutTest : public TreeTest {};
+
+TEST_F(CutTest, LeavesAndRootCutsAreValid) {
+  AbstractionTree t = BuildFigure2();
+  EXPECT_TRUE(Cut::Leaves(t).Validate(t).ok());
+  EXPECT_TRUE(Cut::Root(t).Validate(t).ok());
+  EXPECT_EQ(Cut::Leaves(t).size(), 11u);
+  EXPECT_EQ(Cut::Root(t).size(), 1u);
+}
+
+TEST_F(CutTest, PaperCutsS1ToS5AreValid) {
+  AbstractionTree t = BuildFigure2();
+  // Example 4 of the paper.
+  const std::vector<std::vector<std::string>> cuts = {
+      {"Business", "Special", "Standard"},
+      {"SB", "e", "f1", "f2", "Y", "v", "Standard"},
+      {"b1", "b2", "e", "Special", "Standard"},
+      {"SB", "e", "F", "Y", "v", "p1", "p2"},
+      {"Plans"}};
+  for (const auto& names : cuts) {
+    Cut cut = Cut::FromNames(t, names).ValueOrDie();
+    EXPECT_TRUE(cut.Validate(t).ok());
+    EXPECT_EQ(cut.size(), names.size());
+  }
+}
+
+TEST_F(CutTest, InvalidCutsRejected) {
+  AbstractionTree t = BuildFigure2();
+  // Missing coverage of Standard leaves.
+  Cut partial = Cut::FromNames(t, {"Business", "Special"}).status().ok()
+                    ? Cut()
+                    : Cut();
+  EXPECT_FALSE(Cut::FromNames(t, {"Business", "Special"}).ok());
+  // Double coverage: a node and its descendant.
+  EXPECT_FALSE(
+      Cut::FromNames(t, {"Business", "SB", "Special", "Standard"}).ok());
+  // Unknown name.
+  EXPECT_FALSE(Cut::FromNames(t, {"NoSuchNode"}).ok());
+}
+
+TEST_F(CutTest, AtDepthIncludesShallowLeaves) {
+  AbstractionTree t = BuildFigure2();
+  // Depth 2: SB, e(leaf at depth 2), F, Y, v(leaf at depth 2), p1, p2.
+  Cut d2 = Cut::AtDepth(t, 2);
+  EXPECT_TRUE(d2.Validate(t).ok());
+  EXPECT_EQ(d2.size(), 7u);
+  // Depth 1: the three top groups.
+  EXPECT_EQ(Cut::AtDepth(t, 1).size(), 3u);
+  // Depth >= max: all leaves.
+  EXPECT_EQ(Cut::AtDepth(t, 3).size(), 11u);
+}
+
+TEST_F(CutTest, CoveringNodeMapsLeaves) {
+  AbstractionTree t = BuildFigure2();
+  Cut s1 = Cut::FromNames(t, {"Business", "Special", "Standard"}).ValueOrDie();
+  std::vector<NodeId> covering = s1.CoveringNode(t);
+  NodeId business = t.FindByName("Business");
+  for (const char* leaf_name : {"b1", "b2", "e"}) {
+    NodeId leaf = t.FindByName(leaf_name);
+    EXPECT_EQ(covering[leaf], business);
+  }
+}
+
+TEST_F(CutTest, EnumerateCutsFindsAll31) {
+  AbstractionTree t = BuildFigure2();
+  std::vector<Cut> cuts = EnumerateCuts(t).ValueOrDie();
+  EXPECT_EQ(cuts.size(), 31u);
+  for (const Cut& cut : cuts) {
+    EXPECT_TRUE(cut.Validate(t).ok());
+  }
+  // All distinct.
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    for (std::size_t j = i + 1; j < cuts.size(); ++j) {
+      EXPECT_FALSE(cuts[i] == cuts[j]);
+    }
+  }
+}
+
+TEST_F(CutTest, EnumerateRespectsLimit) {
+  AbstractionTree t = BuildFigure2();
+  EXPECT_FALSE(EnumerateCuts(t, 10).ok());
+}
+
+TEST_F(CutTest, ToStringListsNames) {
+  AbstractionTree t = BuildFigure2();
+  Cut s5 = Cut::FromNames(t, {"Plans"}).ValueOrDie();
+  EXPECT_EQ(s5.ToString(t), "{Plans}");
+}
+
+}  // namespace
+}  // namespace cobra::core
