@@ -97,9 +97,15 @@ util::Result<CompressionOutcome> Compress(const prov::PolySet& polys,
           ? 1.0
           : static_cast<double>(report.compressed_size) /
                 static_cast<double>(report.original_size);
-  // The profile identity must agree with the actual substitution.
-  COBRA_CHECK_MSG(report.compressed_size == solution->compressed_size,
-                  "size identity violated: profile vs substitution disagree");
+  // The profile identity must agree with the actual substitution. This is
+  // an internal invariant, but a violation must not abort a long-running
+  // service, so it is reported as a Status instead of a CHECK.
+  if (report.compressed_size != solution->compressed_size) {
+    return util::Status::Internal(util::StrFormat(
+        "size identity violated: profile predicts %zu monomials but "
+        "substitution produced %zu",
+        solution->compressed_size, report.compressed_size));
+  }
   outcome.abstraction = std::move(*abstraction);
   return outcome;
 }
@@ -137,8 +143,12 @@ util::Result<CompressionOutcome> CompressMultiTree(
           ? 1.0
           : static_cast<double>(report.compressed_size) /
                 static_cast<double>(report.original_size);
-  COBRA_CHECK_MSG(report.compressed_size == solution->compressed_size,
-                  "multi-tree size bookkeeping disagrees with substitution");
+  if (report.compressed_size != solution->compressed_size) {
+    return util::Status::Internal(util::StrFormat(
+        "multi-tree size bookkeeping disagrees with substitution: "
+        "predicted %zu monomials, produced %zu",
+        solution->compressed_size, report.compressed_size));
+  }
   outcome.abstraction = std::move(*abstraction);
   return outcome;
 }

@@ -49,10 +49,19 @@ AssignmentTiming MeasureAssignment(const prov::PolySet& full,
                                    const prov::Valuation& full_valuation,
                                    const prov::Valuation& compressed_valuation,
                                    std::size_t min_reps) {
-  AssignmentTiming timing;
-  timing.repetitions = min_reps;
   prov::EvalProgram full_program(full);
   prov::EvalProgram compressed_program(compressed);
+  return MeasureAssignment(full_program, compressed_program, full_valuation,
+                           compressed_valuation, min_reps);
+}
+
+AssignmentTiming MeasureAssignment(const prov::EvalProgram& full_program,
+                                   const prov::EvalProgram& compressed_program,
+                                   const prov::Valuation& full_valuation,
+                                   const prov::Valuation& compressed_valuation,
+                                   std::size_t min_reps) {
+  AssignmentTiming timing;
+  timing.repetitions = min_reps;
   timing.full_seconds = TimeAssignments(full_program, full_valuation, min_reps);
   timing.compressed_seconds =
       TimeAssignments(compressed_program, compressed_valuation, min_reps);
@@ -63,19 +72,36 @@ ResultDelta CompareResults(const prov::PolySet& full,
                            const prov::PolySet& compressed,
                            const prov::Valuation& full_valuation,
                            const prov::Valuation& compressed_valuation) {
-  COBRA_CHECK_MSG(full.size() == compressed.size(),
-                  "CompareResults: group count mismatch");
   prov::EvalProgram full_program(full);
   prov::EvalProgram compressed_program(compressed);
+  return CompareResults(full_program, compressed_program, full.labels(),
+                        full_valuation, compressed_valuation);
+}
+
+ResultDelta CompareResults(const prov::EvalProgram& full_program,
+                           const prov::EvalProgram& compressed_program,
+                           const std::vector<std::string>& labels,
+                           const prov::Valuation& full_valuation,
+                           const prov::Valuation& compressed_valuation) {
+  COBRA_CHECK_MSG(full_program.NumPolys() == compressed_program.NumPolys(),
+                  "CompareResults: group count mismatch");
   std::vector<double> full_values, compressed_values;
   full_program.Eval(full_valuation, &full_values);
   compressed_program.Eval(compressed_valuation, &compressed_values);
+  return DeltaFromValues(labels, full_values, compressed_values);
+}
 
+ResultDelta DeltaFromValues(const std::vector<std::string>& labels,
+                            const std::vector<double>& full_values,
+                            const std::vector<double>& compressed_values) {
+  COBRA_CHECK_MSG(full_values.size() == compressed_values.size() &&
+                      full_values.size() == labels.size(),
+                  "DeltaFromValues: group count mismatch");
   ResultDelta delta;
   double rel_sum = 0.0;
-  for (std::size_t i = 0; i < full.size(); ++i) {
+  for (std::size_t i = 0; i < full_values.size(); ++i) {
     ResultDelta::Row row;
-    row.label = full.label(i);
+    row.label = labels[i];
     row.full = full_values[i];
     row.compressed = compressed_values[i];
     row.abs_error = std::fabs(row.full - row.compressed);

@@ -35,6 +35,16 @@ AssignmentTiming MeasureAssignment(const prov::PolySet& full,
                                    const prov::Valuation& compressed_valuation,
                                    std::size_t min_reps = 5);
 
+/// Same measurement over already-compiled programs. This is the overload
+/// `Session` uses: compiling an `EvalProgram` walks the whole polynomial
+/// object graph, so callers that assign repeatedly (interactive sessions,
+/// scenario batches) compile once and pass the programs here.
+AssignmentTiming MeasureAssignment(const prov::EvalProgram& full_program,
+                                   const prov::EvalProgram& compressed_program,
+                                   const prov::Valuation& full_valuation,
+                                   const prov::Valuation& compressed_valuation,
+                                   std::size_t min_reps = 5);
+
 /// Per-group difference between the answers computed from full and from
 /// compressed provenance under corresponding valuations — the "changes in
 /// the analysis query results" panel of the demo UI.
@@ -61,6 +71,21 @@ ResultDelta CompareResults(const prov::PolySet& full,
                            const prov::PolySet& compressed,
                            const prov::Valuation& full_valuation,
                            const prov::Valuation& compressed_valuation);
+
+/// Same comparison over already-compiled programs; `labels` supplies the
+/// group names (usually `full.labels()`).
+ResultDelta CompareResults(const prov::EvalProgram& full_program,
+                           const prov::EvalProgram& compressed_program,
+                           const std::vector<std::string>& labels,
+                           const prov::Valuation& full_valuation,
+                           const prov::Valuation& compressed_valuation);
+
+/// Builds the delta report from already-evaluated per-group values. The
+/// batched scenario engine evaluates many scenarios in one sweep and calls
+/// this per scenario.
+ResultDelta DeltaFromValues(const std::vector<std::string>& labels,
+                            const std::vector<double>& full_values,
+                            const std::vector<double>& compressed_values);
 
 /// Sensitivity ranking: which hypothetical parameter moves the answers
 /// most? For every variable v in `polys`, the impact is

@@ -1,0 +1,12 @@
+#include "core/scenario.h"
+
+namespace cobra::core {
+
+std::vector<std::string> ScenarioSet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const Scenario& s : scenarios_) names.push_back(s.name);
+  return names;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,79 @@
+#ifndef COBRA_CORE_SCENARIO_H_
+#define COBRA_CORE_SCENARIO_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cobra::core {
+
+/// One named hypothetical scenario: a set of variable deltas applied on top
+/// of the session's current (default) meta valuation. Variables are named —
+/// typically meta-variable names such as "Business" or "1994q2"; a pooled
+/// variable outside the abstraction also works, but a delta on a leaf that
+/// was abstracted *under* a meta-variable is overridden by that
+/// meta-variable's value during expansion and has no effect — target the
+/// meta-variable instead. Values are the multiplicative change factors of
+/// the paper (1.0 = no change, 0.8 = "decrease by 20%").
+struct Scenario {
+  /// One `variable := value` override.
+  struct Delta {
+    std::string var;
+    double value = 1.0;
+  };
+
+  std::string name;            ///< Display name ("Q2 slump", "ASIA +10%"...).
+  std::vector<Delta> deltas;   ///< Applied in order over the defaults.
+
+  /// Appends one override; chainable:
+  ///   set.Add("slump").Set("Business", 0.9).Set("Special", 0.8);
+  Scenario& Set(std::string var, double value) {
+    deltas.push_back({std::move(var), value});
+    return *this;
+  }
+};
+
+/// An ordered batch of named scenarios for `Session::AssignBatch`. Each
+/// scenario is independent: deltas never leak from one scenario to the next
+/// (unlike repeated `Session::SetMetaValue` calls, which mutate the one
+/// shared meta valuation).
+class ScenarioSet {
+ public:
+  ScenarioSet() = default;
+
+  /// Appends an empty scenario and returns it for delta chaining. The
+  /// reference is invalidated by the next Add().
+  Scenario& Add(std::string name) {
+    scenarios_.push_back(Scenario{std::move(name), {}});
+    return scenarios_.back();
+  }
+
+  /// Appends a fully-built scenario.
+  void Add(Scenario scenario) { scenarios_.push_back(std::move(scenario)); }
+
+  std::size_t size() const { return scenarios_.size(); }
+  bool empty() const { return scenarios_.empty(); }
+
+  const Scenario& scenario(std::size_t index) const {
+    return scenarios_[index];
+  }
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+
+  /// The scenario names, in order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Execution knobs for `Session::AssignBatch`.
+struct BatchOptions {
+  /// Worker threads for the scenario sweep; 0 means
+  /// `std::thread::hardware_concurrency()`. Always clamped to the number
+  /// of scenarios.
+  std::size_t num_threads = 0;
+};
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_SCENARIO_H_

@@ -9,7 +9,9 @@
 
 #include "core/compressor.h"
 #include "core/metrics.h"
+#include "core/scenario.h"
 #include "core/tree.h"
+#include "prov/eval_program.h"
 #include "prov/poly_set.h"
 #include "prov/valuation.h"
 #include "prov/variable.h"
@@ -28,6 +30,36 @@ struct AssignReport {
 
   /// Renders the report as the demo's results panel.
   std::string ToString(std::size_t max_rows = 10) const;
+};
+
+/// Outcome of one `Session::AssignBatch` call: per-scenario reports plus
+/// the aggregate sweep timing. `reports[i]` corresponds to
+/// `scenario_names[i]` and is result-identical to what a sequential
+/// `Assign()` under that scenario would produce; its timing fields carry
+/// the batch per-scenario average (repetitions = 1) rather than a
+/// calibrated per-scenario microbenchmark.
+struct BatchAssignReport {
+  std::vector<std::string> scenario_names;
+  std::vector<AssignReport> reports;
+
+  /// Wall-clock seconds for evaluating every scenario on each side
+  /// (includes the thread-parallel sweep, excludes program compilation —
+  /// compiled programs are cached on the session).
+  double full_sweep_seconds = 0.0;
+  double compressed_sweep_seconds = 0.0;
+
+  /// Per-scenario averages over the sweeps (`full_sweep_seconds / N`, ...).
+  AssignmentTiming aggregate;
+
+  /// Worker threads actually used.
+  std::size_t num_threads = 1;
+
+  std::size_t size() const { return reports.size(); }
+
+  /// Renders the batch summary plus the first `max_scenarios` scenarios
+  /// (each truncated to `max_rows` result rows).
+  std::string ToString(std::size_t max_scenarios = 5,
+                       std::size_t max_rows = 3) const;
 };
 
 /// The COBRA system façade, mirroring the architecture of Figure 4:
@@ -115,6 +147,10 @@ class Session {
   /// the "meta-variables assignment screen" interaction (Figure 5).
   util::Status SetMetaValue(std::string_view name, double value);
 
+  /// Restores the meta valuation to the post-Compress() defaults (leaf
+  /// averages over the base valuation), discarding every SetMetaValue().
+  util::Status ResetMetaValues();
+
   /// Runs the assignment phase: evaluates the scenario on both the full and
   /// the compressed provenance, measures the speedup, reports the deltas.
   ///
@@ -129,9 +165,34 @@ class Session {
   /// the default meta-assignment).
   util::Result<AssignReport> AssignAgainstBase(std::size_t timing_reps = 5) const;
 
+  /// Evaluates every scenario in `scenarios` against both the full and the
+  /// compressed provenance in one sweep. Each scenario's deltas are applied
+  /// independently on top of the *current* meta valuation (normally the
+  /// post-Compress() defaults); nothing leaks between scenarios and the
+  /// session's own meta valuation is untouched.
+  ///
+  /// Both `EvalProgram`s are compiled at most once (and cached for later
+  /// Assign()/AssignBatch() calls); the per-scenario evaluations then run as
+  /// a thread-parallel sweep over the flat arrays. This is the serving path
+  /// for many concurrent what-if scenarios against one compression.
+  util::Result<BatchAssignReport> AssignBatch(
+      const ScenarioSet& scenarios, const BatchOptions& options = {}) const;
+
  private:
   prov::Valuation ExpandedFullValuation() const;
+  /// Expands a compressed-side valuation to full-side semantics: every
+  /// original variable under a meta-variable takes that meta-variable's
+  /// value; everything else keeps its value from `meta`.
+  prov::Valuation ExpandValuation(const prov::Valuation& meta) const;
   void EnsureValuationSizes();
+  void InvalidatePrograms();
+
+  /// Compiled-program caches (built lazily, invalidated by
+  /// LoadPolynomials()/SetTree()/SetTrees()/Compress()). Compilation walks
+  /// the whole polynomial object graph, so repeated assignments must not
+  /// pay it again. `CompressedProgram()` requires `IsCompressed()`.
+  const prov::EvalProgram& FullProgram() const;
+  const prov::EvalProgram& CompressedProgram() const;
 
   std::shared_ptr<prov::VarPool> pool_;
   prov::PolySet full_;
@@ -140,6 +201,8 @@ class Session {
   std::optional<prov::Valuation> base_valuation_;
   std::optional<Abstraction> abstraction_;
   std::optional<prov::Valuation> meta_valuation_;
+  mutable std::optional<prov::EvalProgram> full_program_;
+  mutable std::optional<prov::EvalProgram> compressed_program_;
 };
 
 }  // namespace cobra::core

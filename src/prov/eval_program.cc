@@ -1,6 +1,7 @@
 #include "prov/eval_program.h"
 
 #include "util/status.h"
+#include "util/str.h"
 
 namespace cobra::prov {
 
@@ -31,6 +32,23 @@ void EvalProgram::Eval(const Valuation& valuation,
                        std::vector<double>* out) const {
   COBRA_CHECK_MSG(valuation.size() >= min_valuation_size_,
                   "EvalProgram::Eval: valuation too small");
+  EvalUnchecked(valuation, out);
+}
+
+util::Status EvalProgram::EvalChecked(const Valuation& valuation,
+                                      std::vector<double>* out) const {
+  if (valuation.size() < min_valuation_size_) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "EvalProgram::EvalChecked: valuation covers %zu variables but the "
+        "program requires %zu (largest referenced VarId is %zu)",
+        valuation.size(), min_valuation_size_, min_valuation_size_ - 1));
+  }
+  EvalUnchecked(valuation, out);
+  return util::Status::OK();
+}
+
+void EvalProgram::EvalUnchecked(const Valuation& valuation,
+                                std::vector<double>* out) const {
   const double* values = valuation.values().data();
   out->assign(NumPolys(), 0.0);
   for (std::size_t p = 0; p + 1 < poly_starts_.size(); ++p) {

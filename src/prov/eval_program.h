@@ -6,6 +6,7 @@
 
 #include "prov/poly_set.h"
 #include "prov/valuation.h"
+#include "util/status.h"
 
 namespace cobra::prov {
 
@@ -25,8 +26,18 @@ class EvalProgram {
   explicit EvalProgram(const PolySet& set);
 
   /// Evaluates all polynomials under `valuation`; `out` is resized to the
-  /// number of polynomials.
+  /// number of polynomials. Aborts (COBRA_CHECK) when the valuation does not
+  /// cover `MinValuationSize()` variables — the hot-path contract for
+  /// callers that already guarantee sizing.
   void Eval(const Valuation& valuation, std::vector<double>* out) const;
+
+  /// Like Eval(), but rejects an undersized valuation with
+  /// `InvalidArgument` instead of aborting. Use this for externally-supplied
+  /// valuations so malformed inputs cannot kill the process. (The batched
+  /// scenario engine validates sizes once up front and then stays on the
+  /// unchecked hot path.)
+  util::Status EvalChecked(const Valuation& valuation,
+                           std::vector<double>* out) const;
 
   /// Number of compiled polynomials.
   std::size_t NumPolys() const { return poly_starts_.size() - 1; }
@@ -38,6 +49,8 @@ class EvalProgram {
   std::size_t MinValuationSize() const { return min_valuation_size_; }
 
  private:
+  void EvalUnchecked(const Valuation& valuation, std::vector<double>* out) const;
+
   // poly_starts_[p] .. poly_starts_[p+1] indexes into coeffs_/term_starts_.
   std::vector<std::uint32_t> poly_starts_;
   // term_starts_[t] .. term_starts_[t+1] indexes into factors_.

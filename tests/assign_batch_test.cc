@@ -1,0 +1,232 @@
+// Tests for ScenarioSet and the batched assignment engine: AssignBatch over
+// N scenarios must be result-identical to N sequential Assign() calls, on
+// both the full and the compressed provenance, in single- and multi-tree
+// mode, and regardless of the thread count.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/session.h"
+#include "data/example_db.h"
+#include "data/telephony.h"
+#include "prov/parser.h"
+
+namespace cobra::core {
+namespace {
+
+class AssignBatchTest : public ::testing::Test {
+ protected:
+  void Load(Session* session) {
+    session->LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
+    session->SetTreeText(data::kFigure2TreeText).CheckOK();
+  }
+
+  /// Builds `n` scenarios that each perturb one or two of the session's
+  /// meta-variables by a scenario-specific factor.
+  ScenarioSet MakeScenarios(const Session& session, std::size_t n) {
+    const std::vector<MetaVar>& meta = session.meta_vars();
+    EXPECT_FALSE(meta.empty());
+    ScenarioSet set;
+    for (std::size_t i = 0; i < n; ++i) {
+      Scenario& s = set.Add("scenario-" + std::to_string(i));
+      s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i + 1));
+      if (meta.size() > 1) {
+        s.Set(meta[(i + 1) % meta.size()].name,
+              1.0 - 0.02 * static_cast<double>(i + 1));
+      }
+    }
+    return set;
+  }
+
+  /// Runs each scenario through the sequential path: reset to defaults,
+  /// apply the deltas, Assign(). Returns the per-scenario deltas.
+  std::vector<ResultDelta> SequentialDeltas(Session* session,
+                                            const ScenarioSet& scenarios) {
+    std::vector<ResultDelta> deltas;
+    for (const Scenario& scenario : scenarios.scenarios()) {
+      session->ResetMetaValues().CheckOK();
+      for (const Scenario::Delta& delta : scenario.deltas) {
+        session->SetMetaValue(delta.var, delta.value).CheckOK();
+      }
+      deltas.push_back(session->Assign(1).ValueOrDie().delta);
+    }
+    session->ResetMetaValues().CheckOK();
+    return deltas;
+  }
+
+  void ExpectIdentical(const std::vector<ResultDelta>& sequential,
+                       const BatchAssignReport& batch) {
+    ASSERT_EQ(batch.reports.size(), sequential.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      const ResultDelta& want = sequential[i];
+      const ResultDelta& got = batch.reports[i].delta;
+      ASSERT_EQ(got.rows.size(), want.rows.size()) << "scenario " << i;
+      for (std::size_t r = 0; r < want.rows.size(); ++r) {
+        EXPECT_EQ(got.rows[r].label, want.rows[r].label);
+        EXPECT_DOUBLE_EQ(got.rows[r].full, want.rows[r].full)
+            << "scenario " << i << " row " << r;
+        EXPECT_DOUBLE_EQ(got.rows[r].compressed, want.rows[r].compressed)
+            << "scenario " << i << " row " << r;
+      }
+      EXPECT_DOUBLE_EQ(got.max_abs_error, want.max_abs_error);
+      EXPECT_DOUBLE_EQ(got.max_rel_error, want.max_rel_error);
+    }
+  }
+};
+
+TEST_F(AssignBatchTest, MatchesSequentialAssignSingleTree) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+
+  ScenarioSet scenarios = MakeScenarios(session, 8);
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+  BatchAssignReport batch = session.AssignBatch(scenarios).ValueOrDie();
+
+  EXPECT_EQ(batch.scenario_names.size(), 8u);
+  EXPECT_EQ(batch.scenario_names[0], "scenario-0");
+  EXPECT_GE(batch.num_threads, 1u);
+  ExpectIdentical(sequential, batch);
+  // Sizes mirror the single-scenario report.
+  EXPECT_EQ(batch.reports[0].full_size, session.full().TotalMonomials());
+  EXPECT_EQ(batch.reports[0].compressed_size,
+            session.compressed().TotalMonomials());
+}
+
+TEST_F(AssignBatchTest, MatchesSequentialAssignMultiTree) {
+  Session session;
+  std::string text = "P = ";
+  int c = 1;
+  for (const char* plan : {"b1", "b2", "e", "p1"}) {
+    for (int m = 1; m <= 6; ++m) {
+      if (c > 1) text += " + ";
+      text += std::to_string(c++) + " * " + plan + " * m" + std::to_string(m);
+    }
+  }
+  text += "\n";
+  session.LoadPolynomialsText(text).CheckOK();
+  std::vector<AbstractionTree> trees;
+  trees.push_back(
+      ParseTree(data::kFigure2TreeText, session.mutable_pool()).ValueOrDie());
+  trees.push_back(
+      ParseTree(data::MonthQuarterTreeText(6), session.mutable_pool())
+          .ValueOrDie());
+  session.SetTrees(std::move(trees)).CheckOK();
+  session.SetBound(8);
+  session.Compress().ValueOrDie();
+
+  ScenarioSet scenarios = MakeScenarios(session, 5);
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+  BatchAssignReport batch = session.AssignBatch(scenarios).ValueOrDie();
+  ExpectIdentical(sequential, batch);
+}
+
+TEST_F(AssignBatchTest, ThreadCountDoesNotChangeResults) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(session, 7);
+
+  BatchOptions one;
+  one.num_threads = 1;
+  BatchOptions four;
+  four.num_threads = 4;
+  BatchAssignReport a = session.AssignBatch(scenarios, one).ValueOrDie();
+  BatchAssignReport b = session.AssignBatch(scenarios, four).ValueOrDie();
+  EXPECT_EQ(a.num_threads, 1u);
+  EXPECT_EQ(b.num_threads, 4u);  // clamped to 7 scenarios, 4 < 7
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const auto& ra = a.reports[i].delta.rows;
+    const auto& rb = b.reports[i].delta.rows;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t r = 0; r < ra.size(); ++r) {
+      EXPECT_EQ(ra[r].full, rb[r].full);
+      EXPECT_EQ(ra[r].compressed, rb[r].compressed);
+    }
+  }
+}
+
+TEST_F(AssignBatchTest, BatchLeavesSessionMetaValuationUntouched) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  std::vector<double> before = session.meta_valuation().values();
+
+  ScenarioSet scenarios = MakeScenarios(session, 4);
+  session.AssignBatch(scenarios).ValueOrDie();
+  EXPECT_EQ(session.meta_valuation().values(), before);
+}
+
+TEST_F(AssignBatchTest, UnknownVariableNamesTheScenario) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+
+  ScenarioSet scenarios;
+  scenarios.Add("bad-scenario").Set("no_such_var", 2.0);
+  util::Result<BatchAssignReport> result = session.AssignBatch(scenarios);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("bad-scenario"),
+            std::string::npos);
+}
+
+TEST_F(AssignBatchTest, PreconditionsEnforced) {
+  Session session;
+  ScenarioSet scenarios;
+  scenarios.Add("s");
+  EXPECT_EQ(session.AssignBatch(scenarios).status().code(),
+            util::StatusCode::kFailedPrecondition);
+
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  EXPECT_EQ(session.AssignBatch(ScenarioSet()).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(AssignBatchTest, RecompressionRefreshesCachedPrograms) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(session, 3);
+  BatchAssignReport loose = session.AssignBatch(scenarios).ValueOrDie();
+
+  // Recompress under a tighter bound: the cached compressed program must be
+  // rebuilt, and the new reports must reflect the smaller size.
+  session.SetBound(4);
+  session.Compress().ValueOrDie();
+  ScenarioSet tighter = MakeScenarios(session, 3);
+  BatchAssignReport tight = session.AssignBatch(tighter).ValueOrDie();
+  EXPECT_LT(tight.reports[0].compressed_size, loose.reports[0].compressed_size);
+  EXPECT_EQ(tight.reports[0].compressed_size,
+            session.compressed().TotalMonomials());
+
+  // And sequential Assign() agrees with the batch after the swap too.
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, tighter);
+  ExpectIdentical(sequential, tight);
+}
+
+TEST_F(AssignBatchTest, ReportRendersSummary) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(session, 4);
+  BatchAssignReport batch = session.AssignBatch(scenarios).ValueOrDie();
+  std::string text = batch.ToString(2, 2);
+  EXPECT_NE(text.find("4 scenarios"), std::string::npos);
+  EXPECT_NE(text.find("scenario-0"), std::string::npos);
+  EXPECT_NE(text.find("more scenarios"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,111 @@
+// Tests for the compiled EvalProgram: compile/eval round-trips, exponent
+// expansion into repeated factors, and the checked (Status-returning)
+// rejection of undersized valuations.
+
+#include "prov/eval_program.h"
+
+#include <gtest/gtest.h>
+
+#include "prov/parser.h"
+#include "prov/poly_set.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
+
+namespace cobra::prov {
+namespace {
+
+PolySet Parse(std::string_view text, VarPool* pool) {
+  return ParsePolySet(text, pool).ValueOrDie();
+}
+
+TEST(EvalProgramCompileTest, RoundTripMatchesNaiveEvaluation) {
+  VarPool pool;
+  PolySet set = Parse(
+      "P1 = 208.8 * p1 * m1 + 240 * p1 * m3 + 12 * y1\n"
+      "P2 = 3 * b1 * m1 - 7 * v + 0.5\n"
+      "P3 = 0\n",
+      &pool);
+  EvalProgram program(set);
+  EXPECT_EQ(program.NumPolys(), 3u);
+  EXPECT_EQ(program.NumTerms(), set.TotalMonomials());
+
+  Valuation valuation(pool);
+  valuation.SetByName(pool, "p1", 1.5).CheckOK();
+  valuation.SetByName(pool, "m1", 0.8).CheckOK();
+  valuation.SetByName(pool, "m3", 1.2).CheckOK();
+  valuation.SetByName(pool, "v", 2.0).CheckOK();
+
+  std::vector<double> out;
+  program.Eval(valuation, &out);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], set.poly(i).Eval(valuation)) << set.label(i);
+  }
+}
+
+TEST(EvalProgramCompileTest, ExponentsExpandIntoRepeatedFactors) {
+  VarPool pool;
+  PolySet set = Parse("P = 2 * x^3 * y + x^2\n", &pool);
+  EvalProgram program(set);
+  EXPECT_EQ(program.NumPolys(), 1u);
+  EXPECT_EQ(program.NumTerms(), 2u);
+
+  Valuation valuation(pool);
+  valuation.SetByName(pool, "x", 3.0).CheckOK();
+  valuation.SetByName(pool, "y", 5.0).CheckOK();
+
+  std::vector<double> out;
+  program.Eval(valuation, &out);
+  ASSERT_EQ(out.size(), 1u);
+  // 2 * 27 * 5 + 9 = 279: x^3 really multiplies x in three times.
+  EXPECT_DOUBLE_EQ(out[0], 279.0);
+}
+
+TEST(EvalProgramCompileTest, MinValuationSizeCoversLargestVarId) {
+  VarPool pool;
+  pool.Intern("a");  // VarId 0, unused by the polynomial.
+  PolySet set = Parse("P = b * c\n", &pool);
+  EvalProgram program(set);
+  // b = VarId 1, c = VarId 2, so valuations must cover 3 variables.
+  EXPECT_EQ(program.MinValuationSize(), 3u);
+}
+
+TEST(EvalProgramCheckedTest, RejectsUndersizedValuation) {
+  VarPool pool;
+  PolySet set = Parse("P = x * y + z\n", &pool);
+  EvalProgram program(set);
+  ASSERT_EQ(program.MinValuationSize(), 3u);
+
+  Valuation small(static_cast<std::size_t>(2));
+  std::vector<double> out;
+  util::Status status = program.EvalChecked(small, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("valuation"), std::string::npos);
+}
+
+TEST(EvalProgramCheckedTest, AcceptsExactlySizedValuation) {
+  VarPool pool;
+  PolySet set = Parse("P = x * y + z\n", &pool);
+  EvalProgram program(set);
+
+  Valuation exact(program.MinValuationSize());  // all-neutral 1.0
+  std::vector<double> out;
+  ASSERT_TRUE(program.EvalChecked(exact, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);  // 1*1 + 1
+}
+
+TEST(EvalProgramCheckedTest, EmptyProgramAcceptsAnyValuation) {
+  PolySet set;
+  EvalProgram program(set);
+  EXPECT_EQ(program.MinValuationSize(), 0u);
+
+  Valuation empty(static_cast<std::size_t>(0));
+  std::vector<double> out{1.0, 2.0};
+  ASSERT_TRUE(program.EvalChecked(empty, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace cobra::prov
