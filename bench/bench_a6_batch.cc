@@ -48,7 +48,7 @@ core::ScenarioSet MakeScenarios(const core::Session& session, std::size_t n) {
   }
   core::ScenarioSet set;
   for (std::size_t i = 0; i < n; ++i) {
-    core::Scenario& s = set.Add("whatif-" + std::to_string(i));
+    auto s = set.Add("whatif-" + std::to_string(i));
     s.Set(meta[i % meta.size()].name,
           1.0 + 0.01 * static_cast<double>(i % 40 + 1));
     if (meta.size() > 1) {
@@ -146,14 +146,26 @@ int main() {
   }
   const double single_seconds = timer.ElapsedSeconds();
 
-  // (c) Batched: one sweep.
+  // (c) Batched: one sweep (sparse per-scenario deltas, the default).
   timer.Reset();
   core::BatchAssignReport batch =
       session.AssignBatch(scenarios, options).ValueOrDie();
   const double batch_seconds = timer.ElapsedSeconds();
 
+  // (d) Batched with the legacy dense-copy engine (one full-pool valuation
+  // copied per scenario per side) — the A/B baseline for the sparse path.
+  // Q6's month-grouped pool is small, so the contrast here is modest; the
+  // high-cardinality bench (bench_a7_highcard) is where the copies dominate.
+  core::BatchOptions dense = options;
+  dense.sweep = core::BatchOptions::Sweep::kDenseCopy;
+  timer.Reset();
+  core::BatchAssignReport dense_batch =
+      session.AssignBatch(scenarios, dense).ValueOrDie();
+  const double dense_seconds = timer.ElapsedSeconds();
+
   double max_diff = MaxResultDifference(sequential, batch);
   max_diff = std::max(max_diff, MaxResultDifference(one_at_a_time, batch));
+  max_diff = std::max(max_diff, MaxResultDifference(sequential, dense_batch));
   const double speedup = batch_seconds > 0.0
                              ? sequential_seconds / batch_seconds
                              : HUGE_VAL;
@@ -167,13 +179,20 @@ int main() {
   std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(1) x N",
               single_seconds * 1e3,
               single_seconds * 1e6 / static_cast<double>(num_scenarios));
-  std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N)",
+  std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N) sparse",
               batch_seconds * 1e3,
               batch_seconds * 1e6 / static_cast<double>(num_scenarios));
+  std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N) dense-copy",
+              dense_seconds * 1e3,
+              dense_seconds * 1e6 / static_cast<double>(num_scenarios));
+  const double sparse_vs_copy =
+      batch_seconds > 0.0 ? dense_seconds / batch_seconds : HUGE_VAL;
   std::printf(
       "\nscenarios=%zu threads=%zu  speedup vs Assign()=%.1fx  "
-      "vs one-at-a-time batches=%.1fx  max |diff|=%g\n",
-      num_scenarios, batch.num_threads, speedup, batching_speedup, max_diff);
+      "vs one-at-a-time batches=%.1fx  sparse vs dense-copy=%.2fx  "
+      "max |diff|=%g\n",
+      num_scenarios, batch.num_threads, speedup, batching_speedup,
+      sparse_vs_copy, max_diff);
   std::printf("result check: %s\n",
               max_diff == 0.0 ? "IDENTICAL" : "MISMATCH");
   std::printf("\n%s", batch.ToString(2, 3).c_str());

@@ -1,0 +1,197 @@
+// Ablation A7 — high-cardinality batched serving (per-order TPC-H).
+//
+// bench_a6 runs TPC-H Q6 with ship-month provenance: ~84 date variables, so
+// the legacy "one full-pool Valuation copy per scenario per side" cost is
+// negligible next to the scan. This bench flips that ratio: every lineitem
+// is tagged with its *order* variable (tens of thousands of variables at
+// bench scale factors) while a Q6-style filter keeps the surviving
+// provenance small, so the copy-based sweep is dominated by pool-sized
+// copies — memory bandwidth — and the sparse-delta sweep, which touches
+// only the surviving monomials plus a handful of overrides per scenario,
+// pulls far ahead.
+//
+// The bench runs N scenarios through one immutable CompiledSession snapshot
+//
+//   (a) with the legacy dense-copy engine (BatchOptions::Sweep::kDenseCopy);
+//   (b) with the sparse-delta engine (the default);
+//
+// verifies (a) == (b) bit-for-bit for every scenario, spot-checks a sample
+// against sequential Session::Assign(), and exits non-zero unless the
+// sparse sweep is >= 2x faster end to end (the ISSUE acceptance gate).
+//
+// Knobs: COBRA_A7_SCENARIOS (1024), COBRA_A7_SF (0.01, TPC-H scale factor),
+//        COBRA_A7_THREADS (0 = hardware), COBRA_A7_BUCKET (128 orders per
+//        tree bucket), COBRA_A7_BOUND_PCT (60), COBRA_A7_CHECK (16
+//        scenarios cross-checked against sequential Assign()).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/compiled_session.h"
+#include "core/scenario.h"
+#include "core/session.h"
+#include "data/tpch.h"
+#include "data/tpch_queries.h"
+#include "rel/sql/planner.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cobra;
+
+core::ScenarioSet MakeScenarios(const core::Session& session, std::size_t n) {
+  const std::vector<core::MetaVar>& meta = session.meta_vars();
+  if (meta.empty()) {
+    std::fprintf(stderr, "no meta-variables to perturb (leaf-only cut?)\n");
+    std::exit(1);
+  }
+  core::ScenarioSet set;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = set.Add("whatif-" + std::to_string(i));
+    s.Set(meta[i % meta.size()].name,
+          1.0 + 0.01 * static_cast<double>(i % 40 + 1));
+    if (meta.size() > 1) {
+      s.Set(meta[(i + 7) % meta.size()].name,
+            1.0 - 0.005 * static_cast<double>(i % 20 + 1));
+    }
+  }
+  return set;
+}
+
+/// Largest absolute per-group difference between two batched reports.
+double MaxBatchDifference(const core::BatchAssignReport& a,
+                          const core::BatchAssignReport& b) {
+  if (a.reports.size() != b.reports.size()) return HUGE_VAL;
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const auto& ra = a.reports[i].delta.rows;
+    const auto& rb = b.reports[i].delta.rows;
+    if (ra.size() != rb.size()) return HUGE_VAL;
+    for (std::size_t r = 0; r < ra.size(); ++r) {
+      max_diff = std::max(max_diff, std::fabs(ra[r].full - rb[r].full));
+      max_diff =
+          std::max(max_diff, std::fabs(ra[r].compressed - rb[r].compressed));
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t num_scenarios = bench::EnvSize("COBRA_A7_SCENARIOS", 1024);
+  const double scale_factor = bench::EnvDouble("COBRA_A7_SF", 0.01);
+  const std::size_t num_threads = bench::EnvSize("COBRA_A7_THREADS", 0);
+  const std::size_t bucket_size = bench::EnvSize("COBRA_A7_BUCKET", 128);
+  const std::size_t bound_pct = bench::EnvSize("COBRA_A7_BOUND_PCT", 60);
+  const std::size_t check = bench::EnvSize("COBRA_A7_CHECK", 16);
+
+  bench::Header("A7: high-cardinality batched serving (per-order TPC-H)");
+
+  data::TpchConfig config;
+  config.scale_factor = scale_factor;
+  rel::Database db = data::GenerateTpch(config);
+  data::InstrumentTpchByOrder(&db).CheckOK();
+  const std::size_t num_orders = config.NumOrders();
+
+  // Q6's selective filter over per-order-instrumented lineitems: the pool
+  // holds one variable per order but only a few percent of lineitems
+  // survive, so valuations are huge relative to the provenance that scans.
+  const char* sql =
+      "SELECT l_returnflag, SUM(l_extendedprice * l_discount) AS revenue "
+      "FROM lineitem "
+      "WHERE l_shipdate >= 19940101 AND l_shipdate < 19950101 "
+      "AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24 "
+      "GROUP BY l_returnflag";
+  prov::PolySet provenance =
+      rel::sql::RunSql(db, sql).ValueOrDie().Provenance(0);
+  std::printf(
+      "workload: per-order Q6 at SF %.3g — %zu monomials, %zu distinct "
+      "variables, pool %zu\n",
+      scale_factor, provenance.TotalMonomials(),
+      provenance.NumDistinctVariables(), db.var_pool()->size());
+
+  core::Session session(db.var_pool());
+  session.LoadPolynomials(std::move(provenance));
+  session.SetTreeText(data::OrderBucketTreeText(num_orders, bucket_size))
+      .CheckOK();
+  std::size_t bound = std::max<std::size_t>(
+      1, session.full().TotalMonomials() * bound_pct / 100);
+  session.SetBound(bound);
+  // Greedy, not the DP: the order tree has one leaf per order, and cut
+  // quality is not what this bench measures.
+  core::CompressionReport report =
+      session.Compress(core::Algorithm::kGreedy).ValueOrDie();
+  std::printf("compressed: %zu -> %zu monomials (bound %zu, %zu meta-vars)\n",
+              report.original_size, report.compressed_size, bound,
+              session.meta_vars().size());
+
+  std::shared_ptr<const core::CompiledSession> snapshot =
+      session.Snapshot().ValueOrDie();
+  core::ScenarioSet scenarios = MakeScenarios(session, num_scenarios);
+
+  core::BatchOptions dense;
+  dense.num_threads = num_threads;
+  dense.sweep = core::BatchOptions::Sweep::kDenseCopy;
+  core::BatchOptions sparse;
+  sparse.num_threads = num_threads;
+  sparse.sweep = core::BatchOptions::Sweep::kSparseDelta;
+
+  // Wall-clock around the whole call: the dense engine's cost is precisely
+  // the per-scenario valuation materialization, which happens before its
+  // sweep timer starts.
+  util::Timer timer;
+  core::BatchAssignReport dense_batch =
+      snapshot->AssignBatch(scenarios, dense).ValueOrDie();
+  const double dense_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+  core::BatchAssignReport sparse_batch =
+      snapshot->AssignBatch(scenarios, sparse).ValueOrDie();
+  const double sparse_seconds = timer.ElapsedSeconds();
+
+  double max_diff = MaxBatchDifference(dense_batch, sparse_batch);
+
+  // Spot-check a sample against the sequential interactive path.
+  const std::size_t sample = std::min(check, num_scenarios);
+  for (std::size_t i = 0; i < sample; ++i) {
+    session.ResetMetaValues().CheckOK();
+    for (const core::Scenario::Delta& delta :
+         scenarios.scenario(i).deltas) {
+      session.SetMetaValue(delta.var, delta.value).CheckOK();
+    }
+    core::AssignReport want = session.Assign(1).ValueOrDie();
+    const auto& got = sparse_batch.reports[i].delta.rows;
+    if (got.size() != want.delta.rows.size()) {
+      max_diff = HUGE_VAL;
+      break;
+    }
+    for (std::size_t r = 0; r < got.size(); ++r) {
+      max_diff = std::max(
+          max_diff, std::fabs(got[r].full - want.delta.rows[r].full));
+      max_diff = std::max(max_diff, std::fabs(got[r].compressed -
+                                              want.delta.rows[r].compressed));
+    }
+  }
+  session.ResetMetaValues().CheckOK();
+
+  const double speedup =
+      sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : HUGE_VAL;
+  std::printf("\n%-28s %12s %16s\n", "mode", "total (ms)", "per scenario");
+  std::printf("%-28s %12.2f %14.2fus\n", "dense-copy sweep",
+              dense_seconds * 1e3,
+              dense_seconds * 1e6 / static_cast<double>(num_scenarios));
+  std::printf("%-28s %12.2f %14.2fus\n", "sparse-delta sweep",
+              sparse_seconds * 1e3,
+              sparse_seconds * 1e6 / static_cast<double>(num_scenarios));
+  std::printf(
+      "\nscenarios=%zu threads=%zu  scenarios/sec: dense=%.0f sparse=%.0f  "
+      "sparse vs copy=%.1fx  max |diff|=%g\n",
+      num_scenarios, sparse_batch.num_threads,
+      dense_seconds > 0.0 ? num_scenarios / dense_seconds : HUGE_VAL,
+      sparse_seconds > 0.0 ? num_scenarios / sparse_seconds : HUGE_VAL,
+      speedup, max_diff);
+  std::printf("result check: %s (sequential sample: %zu)\n",
+              max_diff == 0.0 ? "IDENTICAL" : "MISMATCH", sample);
+  return max_diff == 0.0 && speedup >= 2.0 ? 0 : 1;
+}

@@ -15,6 +15,9 @@
 //   show polys|compressed|tree|meta  inspect session state
 //   save <file>                      write the compressed package (the
 //                                    artifact shipped to analysts)
+//   package <file>                   load a compressed package and evaluate
+//                                    it under its defaults (the analyst-side
+//                                    path; sizes are checked, not assumed)
 //   # ...                            comment
 //
 // Example session (using the bundled telephony example): see
@@ -26,6 +29,9 @@
 
 #include "core/io.h"
 #include "core/session.h"
+#include "prov/eval_program.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
 #include "data/example_db.h"
 #include "rel/csv_loader.h"
 #include "rel/database.h"
@@ -61,6 +67,7 @@ class Shell {
     if (command == "assign") return Assign();
     if (command == "show") return Show(in);
     if (command == "save") return Save(in);
+    if (command == "package") return Package(in);
     std::printf("error: unknown command '%s'\n", command.c_str());
     return true;
   }
@@ -183,6 +190,37 @@ class Shell {
         core::SavePackage(package, session_.pool(), path);
     if (status.ok()) std::printf("package written to %s\n", path.c_str());
     return Report(status);
+  }
+
+  bool Package(std::istringstream& in) {
+    std::string path;
+    in >> path;
+    // The analyst side: a package is external input, so it gets its own
+    // pool and every evaluation goes through the checked entry points —
+    // a malformed file must produce an error line, not kill the shell.
+    prov::VarPool pool;
+    util::Result<core::CompressedPackage> package =
+        core::LoadPackage(path, &pool);
+    if (!package.ok()) return Report(package.status());
+
+    prov::Valuation valuation(pool);
+    for (const auto& [name, value] : package->defaults) {
+      util::Status status = valuation.SetByName(pool, name, value);
+      if (!status.ok()) return Report(status);
+    }
+    prov::EvalProgram program(package->polynomials);
+    std::vector<double> answers;
+    util::Status status = program.EvalChecked(valuation, &answers);
+    if (!status.ok()) return Report(status);
+
+    std::printf("package %s: %zu polynomials, %zu meta groups\n",
+                path.c_str(), package->polynomials.size(),
+                package->meta_groups.size());
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      std::printf("  %-16s = %.6g\n",
+                  package->polynomials.label(i).c_str(), answers[i]);
+    }
+    return true;
   }
 
   rel::Database db_;

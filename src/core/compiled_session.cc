@@ -1,0 +1,371 @@
+#include "core/compiled_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "util/str.h"
+#include "util/timer.h"
+
+namespace cobra::core {
+
+namespace {
+
+/// Extends `mapping` by identity so it covers `size` variables.
+std::vector<prov::VarId> ExtendIdentity(std::vector<prov::VarId> mapping,
+                                        std::size_t size) {
+  std::size_t old = mapping.size();
+  if (size > old) {
+    mapping.resize(size);
+    for (std::size_t v = old; v < size; ++v) {
+      mapping[v] = static_cast<prov::VarId>(v);
+    }
+  }
+  return mapping;
+}
+
+}  // namespace
+
+std::string AssignReport::ToString(std::size_t max_rows) const {
+  std::string out = delta.ToString(max_rows);
+  out += util::StrFormat(
+      "provenance size:  %zu -> %zu monomials\n", full_size, compressed_size);
+  out += util::StrFormat(
+      "assignment time:  full=%.3gus compressed=%.3gus speedup=%.0f%%\n",
+      timing.full_seconds * 1e6, timing.compressed_seconds * 1e6,
+      timing.SpeedupPercent());
+  return out;
+}
+
+std::string BatchAssignReport::ToString(std::size_t max_scenarios,
+                                        std::size_t max_rows) const {
+  std::string out = util::StrFormat(
+      "batch:            %zu scenarios on %zu thread(s)\n", reports.size(),
+      num_threads);
+  out += util::StrFormat(
+      "sweep time:       full=%.3gms compressed=%.3gms\n",
+      full_sweep_seconds * 1e3, compressed_sweep_seconds * 1e3);
+  out += util::StrFormat(
+      "per scenario:     full=%.3gus compressed=%.3gus speedup=%.0f%%\n",
+      aggregate.full_seconds * 1e6, aggregate.compressed_seconds * 1e6,
+      aggregate.SpeedupPercent());
+  std::size_t shown = std::min(max_scenarios, reports.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    // The struct is public; tolerate hand-built reports whose name list is
+    // shorter than the report list.
+    out += util::StrFormat("-- %s --\n",
+                           i < scenario_names.size()
+                               ? scenario_names[i].c_str()
+                               : ("scenario " + std::to_string(i)).c_str());
+    out += reports[i].delta.ToString(max_rows);
+  }
+  if (shown < reports.size()) {
+    out += util::StrFormat("... (%zu more scenarios)\n",
+                           reports.size() - shown);
+  }
+  return out;
+}
+
+CompiledSession::Artifacts::Artifacts(const prov::PolySet& full,
+                                      const Abstraction& abstraction,
+                                      const prov::VarPool& pool_in)
+    : pool(pool_in),
+      labels(full.labels()),
+      meta_vars(abstraction.meta_vars),
+      remap(ExtendIdentity(abstraction.mapping, pool_in.size())),
+      full_program(full),
+      sweep_full_program(full_program.RemapFactors(remap)),
+      compressed_program(abstraction.compressed),
+      full_monomials(full.TotalMonomials()),
+      compressed_monomials(abstraction.compressed.TotalMonomials()) {}
+
+CompiledSession::CompiledSession(std::shared_ptr<const Artifacts> artifacts,
+                                 prov::Valuation default_meta)
+    : artifacts_(std::move(artifacts)),
+      default_meta_(std::move(default_meta)),
+      default_full_(0) {
+  default_meta_.Resize(artifacts_->pool.size());
+  default_full_ = ExpandValuation(default_meta_);
+}
+
+util::Result<std::shared_ptr<const CompiledSession>> CompiledSession::Create(
+    const prov::PolySet& full, const Abstraction& abstraction,
+    const prov::VarPool& pool,
+    const prov::Valuation& default_meta_valuation) {
+  if (full.size() != abstraction.compressed.size()) {
+    return util::Status::Internal(util::StrFormat(
+        "CompiledSession: group count mismatch (full=%zu compressed=%zu)",
+        full.size(), abstraction.compressed.size()));
+  }
+  auto artifacts = std::make_shared<const Artifacts>(full, abstraction, pool);
+  if (artifacts->full_program.MinValuationSize() > artifacts->pool.size() ||
+      artifacts->sweep_full_program.MinValuationSize() >
+          artifacts->pool.size() ||
+      artifacts->compressed_program.MinValuationSize() >
+          artifacts->pool.size()) {
+    return util::Status::Internal(
+        "CompiledSession: compiled programs reference variables outside the "
+        "pool");
+  }
+  return std::shared_ptr<const CompiledSession>(new CompiledSession(
+      std::move(artifacts), default_meta_valuation));
+}
+
+std::shared_ptr<const CompiledSession>
+CompiledSession::WithDefaultMetaValuation(const prov::Valuation& meta) const {
+  return std::shared_ptr<const CompiledSession>(
+      new CompiledSession(artifacts_, meta));
+}
+
+prov::Valuation CompiledSession::PoolSized(const prov::Valuation& v) const {
+  prov::Valuation out = v;
+  out.Resize(artifacts_->pool.size());
+  return out;
+}
+
+prov::Valuation CompiledSession::ExpandValuation(
+    const prov::Valuation& meta) const {
+  // Original variables take their meta-variable's assigned value; variables
+  // outside the abstraction keep their value from the meta valuation (which
+  // inherits the base valuation for them). Meta-variable ids are never
+  // leaves of other meta-variables, so reading from the copy is safe.
+  prov::Valuation full_valuation = PoolSized(meta);
+  for (const MetaVar& mv : artifacts_->meta_vars) {
+    double v = full_valuation.Get(mv.var);
+    for (prov::VarId leaf : mv.leaves) full_valuation.Set(leaf, v);
+  }
+  return full_valuation;
+}
+
+util::Result<AssignReport> CompiledSession::Assign(
+    const prov::Valuation& meta_valuation, std::size_t timing_reps) const {
+  prov::Valuation meta = PoolSized(meta_valuation);
+  prov::Valuation full_valuation = ExpandValuation(meta);
+  AssignReport report;
+  report.delta = CompareResults(*this, full_valuation, meta);
+  report.timing = MeasureAssignment(*this, full_valuation, meta, timing_reps);
+  report.full_size = artifacts_->full_monomials;
+  report.compressed_size = artifacts_->compressed_monomials;
+  return report;
+}
+
+util::Result<AssignReport> CompiledSession::Assign(
+    std::size_t timing_reps) const {
+  return Assign(default_meta_, timing_reps);
+}
+
+util::Result<AssignReport> CompiledSession::AssignAgainstBase(
+    const prov::Valuation& base_valuation,
+    const prov::Valuation& meta_valuation, std::size_t timing_reps) const {
+  prov::Valuation base = PoolSized(base_valuation);
+  prov::Valuation meta = PoolSized(meta_valuation);
+  AssignReport report;
+  report.delta = CompareResults(*this, base, meta);
+  report.timing = MeasureAssignment(*this, base, meta, timing_reps);
+  report.full_size = artifacts_->full_monomials;
+  report.compressed_size = artifacts_->compressed_monomials;
+  return report;
+}
+
+util::Result<std::vector<CompiledSession::CompiledScenario>>
+CompiledSession::CompileScenarios(const ScenarioSet& scenarios) const {
+  std::vector<CompiledScenario> compiled;
+  compiled.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios.scenarios()) {
+    CompiledScenario cs;
+    for (const Scenario::Delta& delta : scenario.deltas) {
+      prov::VarId id = artifacts_->pool.Find(delta.var);
+      if (id == prov::kInvalidVar) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "AssignBatch scenario \"%s\": unknown variable: %s",
+            scenario.name.c_str(), delta.var.c_str()));
+      }
+      // Deltas apply in order, so a repeated variable keeps the last value;
+      // the compiled list stays duplicate-free for the scan.
+      bool found = false;
+      for (prov::VarOverride& existing : cs.overrides) {
+        if (existing.var == id) {
+          existing.value = delta.value;
+          found = true;
+        }
+      }
+      if (!found) cs.overrides.push_back({id, delta.value});
+    }
+    std::sort(cs.overrides.begin(), cs.overrides.end(),
+              [](const prov::VarOverride& a, const prov::VarOverride& b) {
+                return a.var < b.var;
+              });
+    compiled.push_back(std::move(cs));
+  }
+  return compiled;
+}
+
+util::Result<BatchAssignReport> CompiledSession::AssignBatch(
+    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
+    const BatchOptions& options) const {
+  if (scenarios.empty()) {
+    return util::Status::InvalidArgument("AssignBatch: empty scenario set");
+  }
+  {
+    std::unordered_set<std::string_view> seen;
+    for (const Scenario& scenario : scenarios.scenarios()) {
+      if (!seen.insert(scenario.name).second) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "AssignBatch: duplicate scenario name \"%s\"",
+            scenario.name.c_str()));
+      }
+    }
+  }
+
+  util::Result<std::vector<CompiledScenario>> compiled =
+      CompileScenarios(scenarios);
+  if (!compiled.ok()) return compiled.status();
+
+  const prov::Valuation base = PoolSized(base_meta_valuation);
+  const prov::EvalProgram& compressed_program = artifacts_->compressed_program;
+
+  const std::size_t n = scenarios.size();
+  std::size_t threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  std::vector<std::vector<double>> full_values(n);
+  std::vector<std::vector<double>> compressed_values(n);
+
+  BatchAssignReport batch;
+  batch.scenario_names = scenarios.Names();
+
+  if (options.sweep == BatchOptions::Sweep::kDenseCopy) {
+    // Legacy engine: materialize one full-pool valuation per scenario per
+    // side, then dense scans — the baseline the sparse path is benchmarked
+    // against (bench_a6/bench_a7).
+    const prov::EvalProgram& full_program = artifacts_->full_program;
+    threads = std::min(threads, n);
+    std::vector<prov::Valuation> meta_valuations;
+    std::vector<prov::Valuation> full_valuations;
+    meta_valuations.reserve(n);
+    full_valuations.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      prov::Valuation meta = base;
+      for (const prov::VarOverride& ov : (*compiled)[i].overrides) {
+        meta.Set(ov.var, ov.value);
+      }
+      full_valuations.push_back(ExpandValuation(meta));
+      meta_valuations.push_back(std::move(meta));
+    }
+    auto sweep = [&](const prov::EvalProgram& program,
+                     const std::vector<prov::Valuation>& valuations,
+                     std::vector<std::vector<double>>* out) {
+      auto worker = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          program.Eval(valuations[i], &(*out)[i]);
+        }
+      };
+      if (threads == 1) {
+        worker(0, n);
+        return;
+      }
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      const std::size_t chunk = (n + threads - 1) / threads;
+      for (std::size_t t = 0; t < threads; ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        if (begin >= end) break;
+        pool.emplace_back(worker, begin, end);
+      }
+      for (std::thread& th : pool) th.join();
+    };
+    batch.num_threads = threads;
+    util::Timer timer;
+    sweep(full_program, full_valuations, &full_values);
+    batch.full_sweep_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    sweep(compressed_program, meta_valuations, &compressed_values);
+    batch.compressed_sweep_seconds = timer.ElapsedSeconds();
+  } else {
+    // Sparse-delta engine: every scenario is a small override list resolved
+    // during the scan; the full side evaluates the meta-indirected program
+    // under the shared compressed-side base, so nothing pool-sized is copied
+    // per scenario. When scenarios are scarcer than threads, each program is
+    // split into polynomial ranges (intra-program partitioning); ranges are
+    // disjoint, so the merged result is deterministic.
+    const prov::EvalProgram& sweep_full = artifacts_->sweep_full_program;
+    std::size_t used_threads = 1;
+    auto sweep = [&](const prov::EvalProgram& program,
+                     std::vector<std::vector<double>>* out) {
+      const std::size_t polys = program.NumPolys();
+      for (std::vector<double>& v : *out) v.assign(polys, 0.0);
+      std::size_t parts = 1;
+      if (threads > n && options.partition_min_terms > 0) {
+        const std::size_t want = (threads + n - 1) / n;
+        const std::size_t cap =
+            program.NumTerms() / options.partition_min_terms + 1;
+        parts = std::min(want, cap);
+      }
+      const std::vector<std::uint32_t> bounds = program.PartitionPolys(parts);
+      const std::size_t ranges = bounds.size() - 1;
+      const std::size_t tasks = n * ranges;
+      auto run_task = [&](std::size_t t) {
+        const std::size_t i = t / ranges;
+        const std::size_t r = t % ranges;
+        const std::vector<prov::VarOverride>& ov = (*compiled)[i].overrides;
+        program.EvalRangeWithOverrides(base, ov.data(), ov.size(), bounds[r],
+                                       bounds[r + 1], (*out)[i].data());
+      };
+      const std::size_t workers = std::min(threads, tasks);
+      used_threads = std::max(used_threads, workers);
+      if (workers <= 1) {
+        for (std::size_t t = 0; t < tasks; ++t) run_task(t);
+        return;
+      }
+      std::atomic<std::size_t> next{0};
+      auto worker = [&]() {
+        for (std::size_t t = next.fetch_add(1); t < tasks;
+             t = next.fetch_add(1)) {
+          run_task(t);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (std::thread& th : pool) th.join();
+    };
+    util::Timer timer;
+    sweep(sweep_full, &full_values);
+    batch.full_sweep_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    sweep(compressed_program, &compressed_values);
+    batch.compressed_sweep_seconds = timer.ElapsedSeconds();
+    batch.num_threads = used_threads;
+  }
+
+  batch.aggregate.repetitions = n;
+  batch.aggregate.full_seconds =
+      batch.full_sweep_seconds / static_cast<double>(n);
+  batch.aggregate.compressed_seconds =
+      batch.compressed_sweep_seconds / static_cast<double>(n);
+
+  batch.reports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AssignReport report;
+    report.delta = DeltaFromValues(artifacts_->labels, full_values[i],
+                                   compressed_values[i]);
+    report.timing = batch.aggregate;
+    report.timing.repetitions = 1;
+    report.full_size = artifacts_->full_monomials;
+    report.compressed_size = artifacts_->compressed_monomials;
+    batch.reports.push_back(std::move(report));
+  }
+  return batch;
+}
+
+util::Result<BatchAssignReport> CompiledSession::AssignBatch(
+    const ScenarioSet& scenarios, const BatchOptions& options) const {
+  return AssignBatch(scenarios, default_meta_, options);
+}
+
+}  // namespace cobra::core

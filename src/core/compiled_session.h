@@ -1,0 +1,234 @@
+#ifndef COBRA_CORE_COMPILED_SESSION_H_
+#define COBRA_CORE_COMPILED_SESSION_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/apply.h"
+#include "core/metrics.h"
+#include "core/scenario.h"
+#include "prov/eval_program.h"
+#include "prov/poly_set.h"
+#include "prov/valuation.h"
+#include "prov/variable.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+/// Outcome of one hypothetical-scenario assignment through the session:
+/// everything the demo UI displays (result deltas, provenance sizes, and
+/// the assignment speedup).
+struct AssignReport {
+  ResultDelta delta;         ///< Full-vs-compressed answers per group.
+  AssignmentTiming timing;   ///< Measured assignment cost both ways.
+  std::size_t full_size = 0;
+  std::size_t compressed_size = 0;
+
+  /// Renders the report as the demo's results panel.
+  std::string ToString(std::size_t max_rows = 10) const;
+};
+
+/// Outcome of one `AssignBatch` call: per-scenario reports plus the
+/// aggregate sweep timing. `reports[i]` corresponds to
+/// `scenario_names[i]` and is result-identical to what a sequential
+/// `Assign()` under that scenario would produce; its timing fields carry
+/// the batch per-scenario average (repetitions = 1) rather than a
+/// calibrated per-scenario microbenchmark.
+struct BatchAssignReport {
+  std::vector<std::string> scenario_names;
+  std::vector<AssignReport> reports;
+
+  /// Wall-clock seconds for evaluating every scenario on each side
+  /// (includes the thread-parallel sweep, excludes program compilation —
+  /// compiled programs live on the snapshot).
+  double full_sweep_seconds = 0.0;
+  double compressed_sweep_seconds = 0.0;
+
+  /// Per-scenario averages over the sweeps (`full_sweep_seconds / N`, ...).
+  AssignmentTiming aggregate;
+
+  /// Worker threads actually used.
+  std::size_t num_threads = 1;
+
+  std::size_t size() const { return reports.size(); }
+
+  /// Renders the batch summary plus the first `max_scenarios` scenarios
+  /// (each truncated to `max_rows` result rows).
+  std::string ToString(std::size_t max_scenarios = 5,
+                       std::size_t max_rows = 3) const;
+};
+
+/// An immutable snapshot of a compressed session — the serving layer.
+///
+/// `Session` is the mutable authoring surface (load, set trees, compress,
+/// tweak meta values) and is single-threaded by contract. A
+/// `CompiledSession`, produced by `Session::Snapshot()` after `Compress()`,
+/// freezes everything the assignment phase needs:
+///
+///   - the compiled `EvalProgram`s for the full and compressed provenance,
+///     plus a full-side program whose factors are pre-translated through
+///     the abstraction's leaf→meta mapping (so scenario sweeps never
+///     materialize an expanded full-pool valuation);
+///   - the default compressed-side (meta) valuation and its full-side
+///     expansion;
+///   - a frozen copy of the variable pool for name→id resolution;
+///   - the abstraction metadata (meta-variables, group labels, sizes).
+///
+/// Every member is deeply immutable after construction and every method is
+/// `const` and allocation-local, so one snapshot may serve any number of
+/// threads concurrently through a `std::shared_ptr<const CompiledSession>`
+/// with zero locks. Results are bit-identical to the equivalent `Session`
+/// calls (tested), so a serving tier can hand one snapshot to a fleet of
+/// workers while the authoring session keeps evolving.
+class CompiledSession {
+ public:
+  /// Builds a snapshot from a compression result. `pool` and
+  /// `default_meta_valuation` are copied; `full` and
+  /// `abstraction.compressed` are compiled but not retained.
+  static util::Result<std::shared_ptr<const CompiledSession>> Create(
+      const prov::PolySet& full, const Abstraction& abstraction,
+      const prov::VarPool& pool,
+      const prov::Valuation& default_meta_valuation);
+
+  /// Returns a snapshot sharing this one's compiled programs and metadata
+  /// but with a different default meta valuation (cheap: no recompilation).
+  std::shared_ptr<const CompiledSession> WithDefaultMetaValuation(
+      const prov::Valuation& meta) const;
+
+  /// Frozen copy of the variable pool (data + meta variables) used for
+  /// scenario name→id resolution.
+  const prov::VarPool& pool() const { return artifacts_->pool; }
+
+  /// The meta-variables offered to analysts.
+  const std::vector<MetaVar>& meta_vars() const {
+    return artifacts_->meta_vars;
+  }
+
+  /// Group labels, aligned with every evaluation's output order.
+  const std::vector<std::string>& labels() const { return artifacts_->labels; }
+
+  /// Compiled full-provenance program (original variable ids).
+  const prov::EvalProgram& full_program() const {
+    return artifacts_->full_program;
+  }
+
+  /// Compiled compressed-provenance program.
+  const prov::EvalProgram& compressed_program() const {
+    return artifacts_->compressed_program;
+  }
+
+  /// Full-provenance program with the leaf→meta indirection baked into the
+  /// factor array: evaluating it under a compressed-side valuation is
+  /// bit-identical to evaluating `full_program()` under that valuation's
+  /// expansion. This is the sparse sweep's full side.
+  const prov::EvalProgram& sweep_full_program() const {
+    return artifacts_->sweep_full_program;
+  }
+
+  /// mapping[v] = the variable that replaced v (identity off the trees),
+  /// extended by identity to the pool size.
+  const std::vector<prov::VarId>& leaf_to_meta() const {
+    return artifacts_->remap;
+  }
+
+  /// The default compressed-side valuation scenarios are applied on top of.
+  const prov::Valuation& default_meta_valuation() const {
+    return default_meta_;
+  }
+
+  /// The full-side expansion of the default meta valuation.
+  const prov::Valuation& default_full_valuation() const {
+    return default_full_;
+  }
+
+  /// Monomial counts (the sizes `AssignReport` carries).
+  std::size_t full_size() const { return artifacts_->full_monomials; }
+  std::size_t compressed_size() const {
+    return artifacts_->compressed_monomials;
+  }
+
+  /// Expands a compressed-side valuation to full-side semantics: every
+  /// original variable under a meta-variable takes that meta-variable's
+  /// value; everything else keeps its value from `meta`.
+  prov::Valuation ExpandValuation(const prov::Valuation& meta) const;
+
+  /// Evaluates `meta_valuation` on both sides, measures the speedup, and
+  /// reports the deltas — the single-scenario assignment of the paper.
+  /// The valuation is extended neutrally (1.0) if it does not cover the
+  /// pool.
+  util::Result<AssignReport> Assign(const prov::Valuation& meta_valuation,
+                                    std::size_t timing_reps = 5) const;
+
+  /// Assign() under the snapshot's default meta valuation.
+  util::Result<AssignReport> Assign(std::size_t timing_reps = 5) const;
+
+  /// Like Assign(), but the full side evaluates `base_valuation` unexpanded
+  /// (measures pure information loss of the compression under
+  /// `meta_valuation`).
+  util::Result<AssignReport> AssignAgainstBase(
+      const prov::Valuation& base_valuation,
+      const prov::Valuation& meta_valuation,
+      std::size_t timing_reps = 5) const;
+
+  /// Evaluates every scenario in `scenarios` against both sides in one
+  /// sweep, each scenario's deltas applied independently on top of
+  /// `base_meta_valuation`. Scenario names must be unique and every delta
+  /// variable must resolve in `pool()`. With the default
+  /// `BatchOptions::Sweep::kSparseDelta`, each scenario is compiled to a
+  /// small override list resolved during the scan — no per-scenario
+  /// valuation copies — and large programs are partitioned across threads
+  /// when scenarios are scarce; results are bit-identical to sequential
+  /// `Assign()` either way.
+  util::Result<BatchAssignReport> AssignBatch(
+      const ScenarioSet& scenarios,
+      const prov::Valuation& base_meta_valuation,
+      const BatchOptions& options = {}) const;
+
+  /// AssignBatch() on top of the snapshot's default meta valuation.
+  util::Result<BatchAssignReport> AssignBatch(
+      const ScenarioSet& scenarios, const BatchOptions& options = {}) const;
+
+ private:
+  /// The valuation-independent (and most expensive) part of a snapshot,
+  /// shared between sibling snapshots that differ only in defaults.
+  struct Artifacts {
+    // Declaration order is initialization order: `remap` must precede
+    // `sweep_full_program`, which is built from `full_program` + `remap`.
+    prov::VarPool pool;
+    std::vector<std::string> labels;
+    std::vector<MetaVar> meta_vars;
+    std::vector<prov::VarId> remap;  ///< leaf→replacement, identity-extended.
+    prov::EvalProgram full_program;
+    prov::EvalProgram sweep_full_program;
+    prov::EvalProgram compressed_program;
+    std::size_t full_monomials = 0;
+    std::size_t compressed_monomials = 0;
+
+    Artifacts(const prov::PolySet& full, const Abstraction& abstraction,
+              const prov::VarPool& pool);
+  };
+
+  CompiledSession(std::shared_ptr<const Artifacts> artifacts,
+                  prov::Valuation default_meta);
+
+  /// One scenario lowered to ids: a sorted, duplicate-free override list.
+  struct CompiledScenario {
+    std::vector<prov::VarOverride> overrides;
+  };
+
+  util::Result<std::vector<CompiledScenario>> CompileScenarios(
+      const ScenarioSet& scenarios) const;
+
+  /// Copies `v` and extends it neutrally to the pool size.
+  prov::Valuation PoolSized(const prov::Valuation& v) const;
+
+  std::shared_ptr<const Artifacts> artifacts_;
+  prov::Valuation default_meta_;
+  prov::Valuation default_full_;
+};
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_COMPILED_SESSION_H_

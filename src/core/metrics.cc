@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/compiled_session.h"
 #include "util/status.h"
 #include "util/str.h"
 #include "util/timer.h"
@@ -51,7 +52,22 @@ AssignmentTiming MeasureAssignment(const prov::PolySet& full,
                                    std::size_t min_reps) {
   prov::EvalProgram full_program(full);
   prov::EvalProgram compressed_program(compressed);
-  return MeasureAssignment(full_program, compressed_program, full_valuation,
+  // These overloads accept externally-supplied valuations: extend an
+  // undersized one neutrally so the programs' size contract holds instead
+  // of aborting inside Eval().
+  prov::Valuation fv = full_valuation;
+  fv.Resize(full_program.MinValuationSize());
+  prov::Valuation cv = compressed_valuation;
+  cv.Resize(compressed_program.MinValuationSize());
+  return MeasureAssignment(full_program, compressed_program, fv, cv, min_reps);
+}
+
+AssignmentTiming MeasureAssignment(const CompiledSession& snapshot,
+                                   const prov::Valuation& full_valuation,
+                                   const prov::Valuation& compressed_valuation,
+                                   std::size_t min_reps) {
+  return MeasureAssignment(snapshot.full_program(),
+                           snapshot.compressed_program(), full_valuation,
                            compressed_valuation, min_reps);
 }
 
@@ -74,8 +90,21 @@ ResultDelta CompareResults(const prov::PolySet& full,
                            const prov::Valuation& compressed_valuation) {
   prov::EvalProgram full_program(full);
   prov::EvalProgram compressed_program(compressed);
-  return CompareResults(full_program, compressed_program, full.labels(),
-                        full_valuation, compressed_valuation);
+  // Externally-supplied valuations: extend neutrally instead of aborting.
+  prov::Valuation fv = full_valuation;
+  fv.Resize(full_program.MinValuationSize());
+  prov::Valuation cv = compressed_valuation;
+  cv.Resize(compressed_program.MinValuationSize());
+  return CompareResults(full_program, compressed_program, full.labels(), fv,
+                        cv);
+}
+
+ResultDelta CompareResults(const CompiledSession& snapshot,
+                           const prov::Valuation& full_valuation,
+                           const prov::Valuation& compressed_valuation) {
+  return CompareResults(snapshot.full_program(), snapshot.compressed_program(),
+                        snapshot.labels(), full_valuation,
+                        compressed_valuation);
 }
 
 ResultDelta CompareResults(const prov::EvalProgram& full_program,

@@ -11,6 +11,8 @@
 
 namespace cobra::core {
 
+class CompiledSession;  // core/compiled_session.h
+
 /// Measured cost of applying valuations to full vs compressed provenance —
 /// the "assignment speedup" the demo reports (§4: 47% and 79%).
 struct AssignmentTiming {
@@ -29,6 +31,10 @@ struct AssignmentTiming {
 /// Times `valuation` application to both polynomial sets using compiled
 /// evaluation programs. Runs `min_reps` assignments per side (at least; more
 /// when each run is very short) and reports per-assignment averages.
+/// These PolySet overloads accept externally-supplied valuations: an
+/// undersized valuation is extended neutrally (1.0 per the `Valuation`
+/// contract) instead of aborting. The program overloads below keep the
+/// pre-validated hot-path contract.
 AssignmentTiming MeasureAssignment(const prov::PolySet& full,
                                    const prov::PolySet& compressed,
                                    const prov::Valuation& full_valuation,
@@ -41,6 +47,14 @@ AssignmentTiming MeasureAssignment(const prov::PolySet& full,
 /// scenario batches) compile once and pass the programs here.
 AssignmentTiming MeasureAssignment(const prov::EvalProgram& full_program,
                                    const prov::EvalProgram& compressed_program,
+                                   const prov::Valuation& full_valuation,
+                                   const prov::Valuation& compressed_valuation,
+                                   std::size_t min_reps = 5);
+
+/// Same measurement over a `CompiledSession` snapshot's programs (the
+/// serving layer's precompiled artifacts). Read-only on the snapshot, so
+/// safe to call from many threads concurrently.
+AssignmentTiming MeasureAssignment(const CompiledSession& snapshot,
                                    const prov::Valuation& full_valuation,
                                    const prov::Valuation& compressed_valuation,
                                    std::size_t min_reps = 5);
@@ -77,6 +91,13 @@ ResultDelta CompareResults(const prov::PolySet& full,
 ResultDelta CompareResults(const prov::EvalProgram& full_program,
                            const prov::EvalProgram& compressed_program,
                            const std::vector<std::string>& labels,
+                           const prov::Valuation& full_valuation,
+                           const prov::Valuation& compressed_valuation);
+
+/// Same comparison over a `CompiledSession` snapshot's programs and labels.
+/// Read-only on the snapshot, so safe to call from many threads
+/// concurrently.
+ResultDelta CompareResults(const CompiledSession& snapshot,
                            const prov::Valuation& full_valuation,
                            const prov::Valuation& compressed_valuation);
 

@@ -33,19 +33,55 @@ struct Scenario {
   }
 };
 
-/// An ordered batch of named scenarios for `Session::AssignBatch`. Each
-/// scenario is independent: deltas never leak from one scenario to the next
-/// (unlike repeated `Session::SetMetaValue` calls, which mutate the one
-/// shared meta valuation).
+/// An ordered batch of named scenarios for `Session::AssignBatch` /
+/// `CompiledSession::AssignBatch`. Each scenario is independent: deltas
+/// never leak from one scenario to the next (unlike repeated
+/// `Session::SetMetaValue` calls, which mutate the one shared meta
+/// valuation). Scenario names must be unique within a set — the batch
+/// engine rejects duplicates.
 class ScenarioSet {
  public:
   ScenarioSet() = default;
 
-  /// Appends an empty scenario and returns it for delta chaining. The
-  /// reference is invalidated by the next Add().
-  Scenario& Add(std::string name) {
+  /// Index-stable reference to one scenario inside a set, for delta
+  /// chaining. Unlike a `Scenario&` (which the vector's growth on a later
+  /// Add() would dangle), a handle stays valid across Add() calls:
+  ///
+  ///   auto boom = set.Add("boom");
+  ///   set.Add("slump").Set("Business", 0.8);
+  ///   boom.Set("Business", 1.25);   // safe: resolved through the set
+  ///
+  /// A handle refers to the set *object* it came from: copying or moving
+  /// the ScenarioSet does not retarget outstanding handles, so finish
+  /// chaining before returning a set by value.
+  class Handle {
+   public:
+    /// Appends one override to the referenced scenario; chainable.
+    Handle& Set(std::string var, double value) {
+      set_->scenarios_[index_].Set(std::move(var), value);
+      return *this;
+    }
+
+    /// The referenced scenario (invalidated like any reference — prefer
+    /// keeping the handle).
+    const Scenario& scenario() const { return set_->scenarios_[index_]; }
+
+    /// Position of the referenced scenario in the set.
+    std::size_t index() const { return index_; }
+
+   private:
+    friend class ScenarioSet;
+    Handle(ScenarioSet* set, std::size_t index) : set_(set), index_(index) {}
+
+    ScenarioSet* set_;
+    std::size_t index_;
+  };
+
+  /// Appends an empty scenario and returns an index-stable handle for delta
+  /// chaining. The handle remains valid across later Add() calls.
+  Handle Add(std::string name) {
     scenarios_.push_back(Scenario{std::move(name), {}});
-    return scenarios_.back();
+    return Handle(this, scenarios_.size() - 1);
   }
 
   /// Appends a fully-built scenario.
@@ -66,12 +102,35 @@ class ScenarioSet {
   std::vector<Scenario> scenarios_;
 };
 
-/// Execution knobs for `Session::AssignBatch`.
+/// Execution knobs for the batched scenario sweep.
 struct BatchOptions {
+  /// Sweep implementation.
+  enum class Sweep {
+    /// Each scenario compiles to a small sorted (VarId, value) override
+    /// list resolved during the scan — no per-scenario valuation copies.
+    /// The full-provenance side evaluates through a precomputed leaf→meta
+    /// indirection instead of a materialized expanded valuation. Default.
+    kSparseDelta,
+    /// Legacy engine: one full-pool `Valuation` copy per scenario per side,
+    /// then dense scans. Kept for A/B benchmarking (bench_a6/bench_a7) —
+    /// results are bit-identical to the sparse path.
+    kDenseCopy,
+  };
+
   /// Worker threads for the scenario sweep; 0 means
-  /// `std::thread::hardware_concurrency()`. Always clamped to the number
-  /// of scenarios.
+  /// `std::thread::hardware_concurrency()`. Clamped to the number of
+  /// sweep tasks (scenarios × program partitions).
   std::size_t num_threads = 0;
+
+  Sweep sweep = Sweep::kSparseDelta;
+
+  /// Intra-program partitioning (sparse sweep only): when there are fewer
+  /// scenarios than worker threads, each program is split into contiguous
+  /// polynomial ranges of at least this many terms so the spare threads
+  /// share one scenario's scan; per-scenario results stay bit-identical
+  /// because every polynomial is evaluated whole by exactly one thread.
+  /// 0 disables partitioning.
+  std::size_t partition_min_terms = 1024;
 };
 
 }  // namespace cobra::core

@@ -1,59 +1,17 @@
 #include "core/session.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "prov/parser.h"
 #include "util/str.h"
-#include "util/timer.h"
 
 namespace cobra::core {
-
-std::string AssignReport::ToString(std::size_t max_rows) const {
-  std::string out = delta.ToString(max_rows);
-  out += util::StrFormat(
-      "provenance size:  %zu -> %zu monomials\n", full_size, compressed_size);
-  out += util::StrFormat(
-      "assignment time:  full=%.3gus compressed=%.3gus speedup=%.0f%%\n",
-      timing.full_seconds * 1e6, timing.compressed_seconds * 1e6,
-      timing.SpeedupPercent());
-  return out;
-}
-
-std::string BatchAssignReport::ToString(std::size_t max_scenarios,
-                                        std::size_t max_rows) const {
-  std::string out = util::StrFormat(
-      "batch:            %zu scenarios on %zu thread(s)\n", reports.size(),
-      num_threads);
-  out += util::StrFormat(
-      "sweep time:       full=%.3gms compressed=%.3gms\n",
-      full_sweep_seconds * 1e3, compressed_sweep_seconds * 1e3);
-  out += util::StrFormat(
-      "per scenario:     full=%.3gus compressed=%.3gus speedup=%.0f%%\n",
-      aggregate.full_seconds * 1e6, aggregate.compressed_seconds * 1e6,
-      aggregate.SpeedupPercent());
-  std::size_t shown = std::min(max_scenarios, reports.size());
-  for (std::size_t i = 0; i < shown; ++i) {
-    // The struct is public; tolerate hand-built reports whose name list is
-    // shorter than the report list.
-    out += util::StrFormat("-- %s --\n",
-                           i < scenario_names.size()
-                               ? scenario_names[i].c_str()
-                               : ("scenario " + std::to_string(i)).c_str());
-    out += reports[i].delta.ToString(max_rows);
-  }
-  if (shown < reports.size()) {
-    out += util::StrFormat("... (%zu more scenarios)\n",
-                           reports.size() - shown);
-  }
-  return out;
-}
 
 void Session::LoadPolynomials(prov::PolySet polys) {
   full_ = std::move(polys);
   abstraction_.reset();
   meta_valuation_.reset();
-  InvalidatePrograms();
+  InvalidateSnapshot();
 }
 
 util::Status Session::LoadPolynomialsText(std::string_view text) {
@@ -81,7 +39,7 @@ util::Status Session::SetTree(AbstractionTree tree) {
   trees_.push_back(std::move(tree));
   abstraction_.reset();
   meta_valuation_.reset();
-  compressed_program_.reset();
+  InvalidateSnapshot();
   return util::Status::OK();
 }
 
@@ -95,7 +53,7 @@ util::Status Session::SetTrees(std::vector<AbstractionTree> trees) {
   trees_ = std::move(trees);
   abstraction_.reset();
   meta_valuation_.reset();
-  compressed_program_.reset();
+  InvalidateSnapshot();
   return util::Status::OK();
 }
 
@@ -131,7 +89,7 @@ util::Result<CompressionReport> Session::Compress(Algorithm algorithm,
   }
   if (!outcome.ok()) return outcome.status();
   abstraction_ = std::move(outcome->abstraction);
-  compressed_program_.reset();
+  InvalidateSnapshot();
   // The paper's default meta-assignment: average of the abstracted values.
   if (!base_valuation_.has_value()) base_valuation_.emplace(pool_->size());
   EnsureValuationSizes();
@@ -158,39 +116,37 @@ util::Status Session::ResetMetaValues() {
   return util::Status::OK();
 }
 
-prov::Valuation Session::ExpandValuation(const prov::Valuation& meta) const {
-  // Original variables take their meta-variable's assigned value; variables
-  // outside the abstraction keep their value from the meta valuation (which
-  // inherits the base valuation for them).
-  prov::Valuation full_valuation = meta;
-  for (const MetaVar& mv : abstraction_->meta_vars) {
-    double v = meta.Get(mv.var);
-    for (prov::VarId leaf : mv.leaves) full_valuation.Set(leaf, v);
+void Session::InvalidateSnapshot() { snapshot_.reset(); }
+
+util::Result<std::shared_ptr<const CompiledSession>> Session::EnsureSnapshot()
+    const {
+  if (!abstraction_.has_value()) {
+    return util::Status::FailedPrecondition(
+        "call Compress() before taking a snapshot");
   }
-  return full_valuation;
-}
-
-prov::Valuation Session::ExpandedFullValuation() const {
-  return ExpandValuation(*meta_valuation_);
-}
-
-void Session::InvalidatePrograms() {
-  full_program_.reset();
-  compressed_program_.reset();
-}
-
-const prov::EvalProgram& Session::FullProgram() const {
-  if (!full_program_.has_value()) full_program_.emplace(full_);
-  return *full_program_;
-}
-
-const prov::EvalProgram& Session::CompressedProgram() const {
-  COBRA_CHECK_MSG(abstraction_.has_value(),
-                  "CompressedProgram() before Compress()");
-  if (!compressed_program_.has_value()) {
-    compressed_program_.emplace(abstraction_->compressed);
+  if (snapshot_ == nullptr) {
+    util::Result<std::shared_ptr<const CompiledSession>> snapshot =
+        CompiledSession::Create(full_, *abstraction_, *pool_,
+                                *meta_valuation_);
+    if (!snapshot.ok()) return snapshot.status();
+    snapshot_ = std::move(*snapshot);
   }
-  return *compressed_program_;
+  return snapshot_;
+}
+
+util::Result<std::shared_ptr<const CompiledSession>> Session::Snapshot()
+    const {
+  util::Result<std::shared_ptr<const CompiledSession>> snapshot =
+      EnsureSnapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  // The cached snapshot keeps the meta valuation it was built with; refresh
+  // the (cheap) valuation wrapper when the session's has since changed so a
+  // returned snapshot always defaults to the current meta assignment.
+  if ((*snapshot)->default_meta_valuation().values() !=
+      meta_valuation_->values()) {
+    snapshot_ = (*snapshot)->WithDefaultMetaValuation(*meta_valuation_);
+  }
+  return snapshot_;
 }
 
 util::Result<AssignReport> Session::Assign(std::size_t timing_reps) const {
@@ -198,17 +154,10 @@ util::Result<AssignReport> Session::Assign(std::size_t timing_reps) const {
     return util::Status::FailedPrecondition(
         "call Compress() before Assign()");
   }
-  AssignReport report;
-  prov::Valuation full_valuation = ExpandedFullValuation();
-  report.delta = CompareResults(FullProgram(), CompressedProgram(),
-                                full_.labels(), full_valuation,
-                                *meta_valuation_);
-  report.timing = MeasureAssignment(FullProgram(), CompressedProgram(),
-                                    full_valuation, *meta_valuation_,
-                                    timing_reps);
-  report.full_size = full_.TotalMonomials();
-  report.compressed_size = abstraction_->compressed.TotalMonomials();
-  return report;
+  util::Result<std::shared_ptr<const CompiledSession>> snapshot =
+      EnsureSnapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  return (*snapshot)->Assign(*meta_valuation_, timing_reps);
 }
 
 util::Result<AssignReport> Session::AssignAgainstBase(
@@ -217,16 +166,11 @@ util::Result<AssignReport> Session::AssignAgainstBase(
     return util::Status::FailedPrecondition(
         "call Compress() before AssignAgainstBase()");
   }
-  AssignReport report;
-  prov::Valuation base = *base_valuation_;
-  base.Resize(pool_->size());
-  report.delta = CompareResults(FullProgram(), CompressedProgram(),
-                                full_.labels(), base, *meta_valuation_);
-  report.timing = MeasureAssignment(FullProgram(), CompressedProgram(), base,
-                                    *meta_valuation_, timing_reps);
-  report.full_size = full_.TotalMonomials();
-  report.compressed_size = abstraction_->compressed.TotalMonomials();
-  return report;
+  util::Result<std::shared_ptr<const CompiledSession>> snapshot =
+      EnsureSnapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  return (*snapshot)->AssignAgainstBase(*base_valuation_, *meta_valuation_,
+                                        timing_reps);
 }
 
 util::Result<BatchAssignReport> Session::AssignBatch(
@@ -235,117 +179,10 @@ util::Result<BatchAssignReport> Session::AssignBatch(
     return util::Status::FailedPrecondition(
         "call Compress() before AssignBatch()");
   }
-  if (scenarios.empty()) {
-    return util::Status::InvalidArgument("AssignBatch: empty scenario set");
-  }
-
-  const prov::EvalProgram& full_program = FullProgram();
-  const prov::EvalProgram& compressed_program = CompressedProgram();
-  if (full_program.NumPolys() != compressed_program.NumPolys()) {
-    return util::Status::Internal(util::StrFormat(
-        "AssignBatch: group count mismatch (full=%zu compressed=%zu)",
-        full_program.NumPolys(), compressed_program.NumPolys()));
-  }
-
-  // Resolve every scenario into its compressed-side and expanded full-side
-  // valuations up front, so name errors surface before any thread spawns
-  // and the sweep below is pure computation.
-  const std::size_t n = scenarios.size();
-  std::vector<prov::Valuation> meta_valuations;
-  std::vector<prov::Valuation> full_valuations;
-  meta_valuations.reserve(n);
-  full_valuations.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Scenario& scenario = scenarios.scenario(i);
-    prov::Valuation meta = *meta_valuation_;
-    for (const Scenario::Delta& delta : scenario.deltas) {
-      util::Status status = meta.SetByName(*pool_, delta.var, delta.value);
-      if (!status.ok()) {
-        return util::Status::InvalidArgument(
-            util::StrFormat("AssignBatch scenario \"%s\": %s",
-                            scenario.name.c_str(),
-                            status.ToString().c_str()));
-      }
-    }
-    full_valuations.push_back(ExpandValuation(meta));
-    meta_valuations.push_back(std::move(meta));
-  }
-  // All valuations are equally sized copies of the meta valuation; validate
-  // once against each program instead of aborting inside Eval().
-  if (full_valuations[0].size() < full_program.MinValuationSize() ||
-      meta_valuations[0].size() < compressed_program.MinValuationSize()) {
-    return util::Status::Internal(
-        "AssignBatch: session valuation narrower than the compiled programs");
-  }
-
-  std::size_t threads = options.num_threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, n);
-
-  std::vector<std::vector<double>> full_values(n);
-  std::vector<std::vector<double>> compressed_values(n);
-
-  // One side at a time, statically chunked: scenarios are homogeneous (same
-  // program, same-size valuations), so equal chunks balance well and the
-  // per-side wall clock is the number the aggregate timing reports.
-  auto sweep = [&](const prov::EvalProgram& program,
-                   const std::vector<prov::Valuation>& valuations,
-                   std::vector<std::vector<double>>* out) {
-    auto worker = [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i) {
-        program.Eval(valuations[i], &(*out)[i]);
-      }
-    };
-    if (threads == 1) {
-      worker(0, n);
-      return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    const std::size_t chunk = (n + threads - 1) / threads;
-    for (std::size_t t = 0; t < threads; ++t) {
-      const std::size_t begin = t * chunk;
-      const std::size_t end = std::min(n, begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(worker, begin, end);
-    }
-    for (std::thread& th : pool) th.join();
-  };
-
-  BatchAssignReport batch;
-  batch.scenario_names = scenarios.Names();
-  batch.num_threads = threads;
-
-  util::Timer timer;
-  sweep(full_program, full_valuations, &full_values);
-  batch.full_sweep_seconds = timer.ElapsedSeconds();
-  timer.Reset();
-  sweep(compressed_program, meta_valuations, &compressed_values);
-  batch.compressed_sweep_seconds = timer.ElapsedSeconds();
-
-  batch.aggregate.repetitions = n;
-  batch.aggregate.full_seconds =
-      batch.full_sweep_seconds / static_cast<double>(n);
-  batch.aggregate.compressed_seconds =
-      batch.compressed_sweep_seconds / static_cast<double>(n);
-
-  const std::size_t full_size = full_.TotalMonomials();
-  const std::size_t compressed_size =
-      abstraction_->compressed.TotalMonomials();
-  batch.reports.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    AssignReport report;
-    report.delta =
-        DeltaFromValues(full_.labels(), full_values[i], compressed_values[i]);
-    report.timing = batch.aggregate;
-    report.timing.repetitions = 1;
-    report.full_size = full_size;
-    report.compressed_size = compressed_size;
-    batch.reports.push_back(std::move(report));
-  }
-  return batch;
+  util::Result<std::shared_ptr<const CompiledSession>> snapshot =
+      EnsureSnapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  return (*snapshot)->AssignBatch(scenarios, *meta_valuation_, options);
 }
 
 }  // namespace cobra::core

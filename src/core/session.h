@@ -7,60 +7,17 @@
 #include <string_view>
 #include <vector>
 
+#include "core/compiled_session.h"
 #include "core/compressor.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
 #include "core/tree.h"
-#include "prov/eval_program.h"
 #include "prov/poly_set.h"
 #include "prov/valuation.h"
 #include "prov/variable.h"
 #include "util/status.h"
 
 namespace cobra::core {
-
-/// Outcome of one hypothetical-scenario assignment through the session:
-/// everything the demo UI displays (result deltas, provenance sizes, and
-/// the assignment speedup).
-struct AssignReport {
-  ResultDelta delta;         ///< Full-vs-compressed answers per group.
-  AssignmentTiming timing;   ///< Measured assignment cost both ways.
-  std::size_t full_size = 0;
-  std::size_t compressed_size = 0;
-
-  /// Renders the report as the demo's results panel.
-  std::string ToString(std::size_t max_rows = 10) const;
-};
-
-/// Outcome of one `Session::AssignBatch` call: per-scenario reports plus
-/// the aggregate sweep timing. `reports[i]` corresponds to
-/// `scenario_names[i]` and is result-identical to what a sequential
-/// `Assign()` under that scenario would produce; its timing fields carry
-/// the batch per-scenario average (repetitions = 1) rather than a
-/// calibrated per-scenario microbenchmark.
-struct BatchAssignReport {
-  std::vector<std::string> scenario_names;
-  std::vector<AssignReport> reports;
-
-  /// Wall-clock seconds for evaluating every scenario on each side
-  /// (includes the thread-parallel sweep, excludes program compilation —
-  /// compiled programs are cached on the session).
-  double full_sweep_seconds = 0.0;
-  double compressed_sweep_seconds = 0.0;
-
-  /// Per-scenario averages over the sweeps (`full_sweep_seconds / N`, ...).
-  AssignmentTiming aggregate;
-
-  /// Worker threads actually used.
-  std::size_t num_threads = 1;
-
-  std::size_t size() const { return reports.size(); }
-
-  /// Renders the batch summary plus the first `max_scenarios` scenarios
-  /// (each truncated to `max_rows` result rows).
-  std::string ToString(std::size_t max_scenarios = 5,
-                       std::size_t max_rows = 3) const;
-};
 
 /// The COBRA system façade, mirroring the architecture of Figure 4:
 ///
@@ -75,6 +32,18 @@ struct BatchAssignReport {
 ///   auto report = session.Compress();          // optimal abstraction
 ///   session.SetMetaValue("Business", 1.1);     // hypothetical scenario
 ///   auto assign = session.Assign();            // results + speedup
+///
+/// `Session` is the *mutable authoring* surface and is single-threaded by
+/// contract. For concurrent serving, take an immutable snapshot after
+/// Compress():
+///
+///   auto snapshot = session.Snapshot().ValueOrDie();   // shared_ptr<const>
+///   // any number of threads, zero locks:
+///   snapshot->AssignBatch(scenarios);
+///
+/// Assign()/AssignBatch() below are thin wrappers over that snapshot (built
+/// lazily, cached until the provenance or the abstraction changes) and are
+/// bit-identical to the snapshot calls.
 class Session {
  public:
   /// Creates a session with its own variable pool.
@@ -151,6 +120,16 @@ class Session {
   /// averages over the base valuation), discarding every SetMetaValue().
   util::Status ResetMetaValues();
 
+  /// Returns the immutable serving snapshot for the current compression:
+  /// compiled programs, frozen pool, abstraction metadata, and the current
+  /// meta valuation as the snapshot's default scenario base. The snapshot
+  /// (and everything reachable from it) is safe to share across threads
+  /// without locks; later Session mutations never affect an already-
+  /// returned snapshot. Compilation is cached — repeated calls (and the
+  /// Assign wrappers below) reuse it until the provenance or abstraction
+  /// changes; a meta-valuation change only re-wraps the cached programs.
+  util::Result<std::shared_ptr<const CompiledSession>> Snapshot() const;
+
   /// Runs the assignment phase: evaluates the scenario on both the full and
   /// the compressed provenance, measures the speedup, reports the deltas.
   ///
@@ -171,28 +150,20 @@ class Session {
   /// post-Compress() defaults); nothing leaks between scenarios and the
   /// session's own meta valuation is untouched.
   ///
-  /// Both `EvalProgram`s are compiled at most once (and cached for later
-  /// Assign()/AssignBatch() calls); the per-scenario evaluations then run as
-  /// a thread-parallel sweep over the flat arrays. This is the serving path
-  /// for many concurrent what-if scenarios against one compression.
+  /// Thin wrapper over `Snapshot()`: programs are compiled at most once and
+  /// the sweep runs on the immutable snapshot (sparse per-scenario deltas
+  /// by default; see `BatchOptions`). This is the serving path for many
+  /// concurrent what-if scenarios against one compression.
   util::Result<BatchAssignReport> AssignBatch(
       const ScenarioSet& scenarios, const BatchOptions& options = {}) const;
 
  private:
-  prov::Valuation ExpandedFullValuation() const;
-  /// Expands a compressed-side valuation to full-side semantics: every
-  /// original variable under a meta-variable takes that meta-variable's
-  /// value; everything else keeps its value from `meta`.
-  prov::Valuation ExpandValuation(const prov::Valuation& meta) const;
   void EnsureValuationSizes();
-  void InvalidatePrograms();
+  void InvalidateSnapshot();
 
-  /// Compiled-program caches (built lazily, invalidated by
-  /// LoadPolynomials()/SetTree()/SetTrees()/Compress()). Compilation walks
-  /// the whole polynomial object graph, so repeated assignments must not
-  /// pay it again. `CompressedProgram()` requires `IsCompressed()`.
-  const prov::EvalProgram& FullProgram() const;
-  const prov::EvalProgram& CompressedProgram() const;
+  /// Builds (or returns the cached) snapshot without refreshing its default
+  /// meta valuation — the wrappers pass valuations explicitly.
+  util::Result<std::shared_ptr<const CompiledSession>> EnsureSnapshot() const;
 
   std::shared_ptr<prov::VarPool> pool_;
   prov::PolySet full_;
@@ -201,8 +172,13 @@ class Session {
   std::optional<prov::Valuation> base_valuation_;
   std::optional<Abstraction> abstraction_;
   std::optional<prov::Valuation> meta_valuation_;
-  mutable std::optional<prov::EvalProgram> full_program_;
-  mutable std::optional<prov::EvalProgram> compressed_program_;
+
+  /// Cached serving snapshot (compiling the EvalPrograms walks the whole
+  /// polynomial object graph, so repeated assignments must not pay it
+  /// again). Invalidated by LoadPolynomials()/SetTree()/SetTrees()/
+  /// Compress(); valuation-only mutations keep it (wrappers pass the
+  /// current valuation per call).
+  mutable std::shared_ptr<const CompiledSession> snapshot_;
 };
 
 }  // namespace cobra::core

@@ -1,5 +1,7 @@
 #include "data/tpch_queries.h"
 
+#include <algorithm>
+
 #include "data/dates.h"
 #include "data/tpch.h"
 #include "rel/instrument.h"
@@ -127,6 +129,35 @@ util::Status InstrumentTpchByPartBrand(rel::Database* db) {
         std::string suffix = brand.substr(brand.find('#') + 1);
         return std::vector<std::string>{"b_" + suffix};
       });
+}
+
+util::Status InstrumentTpchByOrder(rel::Database* db) {
+  util::Result<rel::AnnotatedTable*> lineitem = db->GetMutableTable("lineitem");
+  if (!lineitem.ok()) return lineitem.status();
+  util::Result<std::size_t> order_col =
+      (*lineitem)->schema().Resolve("l_orderkey");
+  if (!order_col.ok()) return order_col.status();
+  std::size_t col = *order_col;
+  return rel::InstrumentTable(
+      db, "lineitem", [col](const rel::Table& t, std::size_t row) {
+        return std::vector<std::string>{util::StrFormat(
+            "o%lld", static_cast<long long>(t.Get(row, col).AsInt64()))};
+      });
+}
+
+std::string OrderBucketTreeText(std::size_t num_orders,
+                                std::size_t bucket_size) {
+  if (bucket_size == 0) bucket_size = 1;
+  std::string out = "Orders\n";
+  for (std::size_t first = 1; first <= num_orders; first += bucket_size) {
+    out += util::StrFormat("  og%zu\n", (first - 1) / bucket_size);
+    const std::size_t last =
+        std::min(num_orders, first + bucket_size - 1);
+    for (std::size_t key = first; key <= last; ++key) {
+      out += util::StrFormat("    o%zu\n", key);
+    }
+  }
+  return out;
 }
 
 util::Status InstrumentTpchByShipMonth(rel::Database* db) {

@@ -58,6 +58,19 @@ std::string TpchBrandRevenueQuery();
 /// The matching tree is `BrandTreeText()`.
 util::Status InstrumentTpchByPartBrand(rel::Database* db);
 
+/// Instruments every lineitem row with its *order* variable `o<orderkey>` —
+/// the high-cardinality workload: one variable per order (tens of thousands
+/// at bench scale factors) instead of one per ship month (~84). Used by
+/// `bench_a7_highcard` to make per-scenario full-pool valuation copies
+/// memory-bandwidth-bound. The matching tree is `OrderBucketTreeText()`.
+util::Status InstrumentTpchByOrder(rel::Database* db);
+
+/// Order hierarchy for the high-cardinality workload:
+/// Orders → og<k> (buckets of `bucket_size` consecutive order keys) →
+/// o<key>, covering keys 1..num_orders.
+std::string OrderBucketTreeText(std::size_t num_orders,
+                                std::size_t bucket_size);
+
 /// Date hierarchy over ship months: Dates → y<year> → <year>q<q> → m<y>_<m>
 /// for the TPC-H window 1992–1998.
 std::string ShipDateTreeText();

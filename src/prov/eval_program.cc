@@ -1,5 +1,7 @@
 #include "prov/eval_program.h"
 
+#include <algorithm>
+
 #include "util/status.h"
 #include "util/str.h"
 
@@ -62,6 +64,113 @@ void EvalProgram::EvalUnchecked(const Valuation& valuation,
     }
     (*out)[p] = sum;
   }
+}
+
+void EvalProgram::EvalWithOverrides(const Valuation& base,
+                                    const VarOverride* overrides,
+                                    std::size_t num_overrides,
+                                    std::vector<double>* out) const {
+  out->assign(NumPolys(), 0.0);
+  EvalRangeWithOverrides(base, overrides, num_overrides, 0, NumPolys(),
+                         out->data());
+}
+
+void EvalProgram::EvalRangeWithOverrides(const Valuation& base,
+                                         const VarOverride* overrides,
+                                         std::size_t num_overrides,
+                                         std::size_t poly_begin,
+                                         std::size_t poly_end,
+                                         double* out) const {
+  COBRA_CHECK_MSG(base.size() >= min_valuation_size_,
+                  "EvalProgram::EvalRangeWithOverrides: valuation too small");
+  COBRA_CHECK_MSG(poly_begin <= poly_end && poly_end <= NumPolys(),
+                  "EvalProgram::EvalRangeWithOverrides: bad poly range");
+  const double* values = base.values().data();
+  if (num_overrides == 0) {
+    // Default-scenario fast path: a plain dense scan.
+    for (std::size_t p = poly_begin; p < poly_end; ++p) {
+      double sum = 0.0;
+      for (std::uint32_t t = poly_starts_[p]; t < poly_starts_[p + 1]; ++t) {
+        double prod = coeffs_[t];
+        for (std::uint32_t f = term_starts_[t]; f < term_starts_[t + 1]; ++f) {
+          prod *= values[factors_[f]];
+        }
+        sum += prod;
+      }
+      out[p] = sum;
+    }
+    return;
+  }
+  for (std::size_t p = poly_begin; p < poly_end; ++p) {
+    double sum = 0.0;
+    for (std::uint32_t t = poly_starts_[p]; t < poly_starts_[p + 1]; ++t) {
+      double prod = coeffs_[t];
+      for (std::uint32_t f = term_starts_[t]; f < term_starts_[t + 1]; ++f) {
+        const VarId var = factors_[f];
+        double v = values[var];
+        // The override list is tiny (a few meta-variables), so a linear scan
+        // over register-resident data beats any lookup structure here.
+        for (std::size_t o = 0; o < num_overrides; ++o) {
+          if (overrides[o].var == var) v = overrides[o].value;
+        }
+        prod *= v;
+      }
+      sum += prod;
+    }
+    out[p] = sum;
+  }
+}
+
+EvalProgram EvalProgram::RemapFactors(const std::vector<VarId>& remap) const {
+  EvalProgram out;
+  out.poly_starts_ = poly_starts_;
+  out.term_starts_ = term_starts_;
+  out.coeffs_ = coeffs_;
+  out.factors_.reserve(factors_.size());
+  out.min_valuation_size_ = 0;
+  for (VarId var : factors_) {
+    VarId mapped = var < remap.size() ? remap[var] : var;
+    if (mapped + 1 > out.min_valuation_size_) {
+      out.min_valuation_size_ = mapped + 1;
+    }
+    out.factors_.push_back(mapped);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> EvalProgram::PartitionPolys(
+    std::size_t parts) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(NumPolys());
+  std::vector<std::uint32_t> bounds;
+  bounds.push_back(0);
+  if (parts <= 1 || n <= 1) {
+    bounds.push_back(n);
+    return bounds;
+  }
+  parts = std::min<std::size_t>(parts, n);
+  auto weight = [this](std::uint32_t p) {
+    const std::uint32_t terms = poly_starts_[p + 1] - poly_starts_[p];
+    const std::uint32_t factors =
+        term_starts_[poly_starts_[p + 1]] - term_starts_[poly_starts_[p]];
+    return static_cast<double>(terms + factors + 1);
+  };
+  double total = 0.0;
+  for (std::uint32_t p = 0; p < n; ++p) total += weight(p);
+  double acc = 0.0;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    acc += weight(p);
+    // Close the current range once it reaches its proportional share, but
+    // keep at least one polynomial for each remaining range.
+    const std::size_t emitted = bounds.size();  // ranges closed so far + 1
+    if (emitted < parts &&
+        acc >= total * static_cast<double>(emitted) /
+                   static_cast<double>(parts) &&
+        p + 1 <= n - (parts - emitted)) {
+      bounds.push_back(p + 1);
+    }
+  }
+  bounds.push_back(n);
+  return bounds;
 }
 
 }  // namespace cobra::prov

@@ -10,6 +10,16 @@
 
 namespace cobra::prov {
 
+/// One sparse valuation override: during evaluation, `var` takes `value`
+/// instead of its entry in the base valuation. A scenario's override list is
+/// small (a handful of meta-variables), sorted by `var`, and free of
+/// duplicates — the batched serving path compiles each scenario into one of
+/// these lists instead of copying a full-pool `Valuation` per scenario.
+struct VarOverride {
+  VarId var;
+  double value;
+};
+
 /// A compiled, cache-friendly form of a `PolySet` for repeated valuation.
 ///
 /// The assignment phase of the paper applies many valuations to the same
@@ -20,6 +30,10 @@ namespace cobra::prov {
 /// scan. The speedups reported in EXPERIMENTS.md are measured with this
 /// evaluator for both full and compressed provenance, which makes the
 /// full-vs-compressed comparison an apples-to-apples size comparison.
+///
+/// An `EvalProgram` is immutable after construction and holds no mutable
+/// state during evaluation, so one instance may be shared by any number of
+/// threads concurrently.
 class EvalProgram {
  public:
   /// Compiles `set`. The program remains valid as long as VarIds are stable.
@@ -39,6 +53,43 @@ class EvalProgram {
   util::Status EvalChecked(const Valuation& valuation,
                            std::vector<double>* out) const;
 
+  /// Evaluates all polynomials under `base` with `overrides` patched on top:
+  /// each factor whose id appears in the override list takes the override
+  /// value, everything else reads `base`. The override list must be
+  /// duplicate-free (it is scanned linearly; with duplicates the last match
+  /// wins). `out` is resized to NumPolys(). Aborts on an undersized base —
+  /// same contract as Eval().
+  void EvalWithOverrides(const Valuation& base, const VarOverride* overrides,
+                         std::size_t num_overrides,
+                         std::vector<double>* out) const;
+
+  /// Range form of EvalWithOverrides() for intra-program partitioning:
+  /// evaluates polynomials [poly_begin, poly_end) and writes `out[p]` for
+  /// exactly those indices (`out` must point at an array of NumPolys()
+  /// doubles). Disjoint ranges touch disjoint output slots and share no
+  /// mutable state, so concurrent calls on one program are race-free and the
+  /// merged result is deterministic regardless of the range schedule.
+  void EvalRangeWithOverrides(const Valuation& base,
+                              const VarOverride* overrides,
+                              std::size_t num_overrides,
+                              std::size_t poly_begin, std::size_t poly_end,
+                              double* out) const;
+
+  /// Returns a copy of this program whose factor ids are translated through
+  /// `remap` (ids at or beyond `remap.size()` stay unchanged). The serving
+  /// layer uses this to bake the leaf→meta-variable indirection into the
+  /// full-provenance program: evaluating the remapped program under a
+  /// compressed-side valuation is bit-identical to evaluating the original
+  /// under the expanded valuation, without materializing the expansion.
+  EvalProgram RemapFactors(const std::vector<VarId>& remap) const;
+
+  /// Splits [0, NumPolys()) into at most `parts` contiguous ranges of
+  /// roughly equal evaluation weight (terms + factors). Returns the range
+  /// boundaries: a sorted vector starting at 0 and ending at NumPolys(),
+  /// with no empty ranges. Used to partition one large program across
+  /// threads when there are fewer scenarios than cores.
+  std::vector<std::uint32_t> PartitionPolys(std::size_t parts) const;
+
   /// Number of compiled polynomials.
   std::size_t NumPolys() const { return poly_starts_.size() - 1; }
 
@@ -49,6 +100,8 @@ class EvalProgram {
   std::size_t MinValuationSize() const { return min_valuation_size_; }
 
  private:
+  EvalProgram() = default;  // for RemapFactors()
+
   void EvalUnchecked(const Valuation& valuation, std::vector<double>* out) const;
 
   // poly_starts_[p] .. poly_starts_[p+1] indexes into coeffs_/term_starts_.

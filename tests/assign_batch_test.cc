@@ -30,7 +30,7 @@ class AssignBatchTest : public ::testing::Test {
     EXPECT_FALSE(meta.empty());
     ScenarioSet set;
     for (std::size_t i = 0; i < n; ++i) {
-      Scenario& s = set.Add("scenario-" + std::to_string(i));
+      auto s = set.Add("scenario-" + std::to_string(i));
       s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i + 1));
       if (meta.size() > 1) {
         s.Set(meta[(i + 1) % meta.size()].name,
@@ -213,6 +213,102 @@ TEST_F(AssignBatchTest, RecompressionRefreshesCachedPrograms) {
   // And sequential Assign() agrees with the batch after the swap too.
   std::vector<ResultDelta> sequential = SequentialDeltas(&session, tighter);
   ExpectIdentical(sequential, tight);
+}
+
+TEST_F(AssignBatchTest, DuplicateScenarioNamesRejected) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+
+  ScenarioSet scenarios;
+  scenarios.Add("twin").Set("Business", 1.1);
+  scenarios.Add("other").Set("Business", 0.9);
+  scenarios.Add("twin").Set("Business", 1.2);
+  util::Result<BatchAssignReport> result = session.AssignBatch(scenarios);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("twin"), std::string::npos);
+}
+
+// The old Add(std::string) returned a Scenario& into the backing vector,
+// which the next Add() could dangle. The handle resolves through the set,
+// so chaining Set() after later Add() calls must land on the right
+// scenario.
+TEST_F(AssignBatchTest, AddHandleStaysValidAcrossLaterAdds) {
+  ScenarioSet set;
+  auto first = set.Add("first");
+  // Force reallocation of the scenario vector.
+  for (int i = 0; i < 100; ++i) {
+    set.Add("filler-" + std::to_string(i)).Set("Business", 1.0);
+  }
+  first.Set("Business", 1.25).Set("Special", 0.75);
+
+  ASSERT_EQ(set.scenario(0).name, "first");
+  ASSERT_EQ(set.scenario(0).deltas.size(), 2u);
+  EXPECT_EQ(set.scenario(0).deltas[0].var, "Business");
+  EXPECT_DOUBLE_EQ(set.scenario(0).deltas[0].value, 1.25);
+  EXPECT_EQ(set.scenario(0).deltas[1].var, "Special");
+  EXPECT_DOUBLE_EQ(set.scenario(0).deltas[1].value, 0.75);
+  EXPECT_EQ(first.index(), 0u);
+}
+
+TEST_F(AssignBatchTest, DenseCopySweepMatchesSparseBitForBit) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(session, 9);
+  // A repeated delta on one variable: last value must win in both engines.
+  scenarios.Add("repeat").Set("Business", 1.4).Set("Business", 0.6);
+
+  BatchOptions sparse;
+  sparse.sweep = BatchOptions::Sweep::kSparseDelta;
+  BatchOptions dense;
+  dense.sweep = BatchOptions::Sweep::kDenseCopy;
+  BatchAssignReport a = session.AssignBatch(scenarios, sparse).ValueOrDie();
+  BatchAssignReport b = session.AssignBatch(scenarios, dense).ValueOrDie();
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const auto& ra = a.reports[i].delta.rows;
+    const auto& rb = b.reports[i].delta.rows;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t r = 0; r < ra.size(); ++r) {
+      EXPECT_EQ(ra[r].full, rb[r].full) << "scenario " << i << " row " << r;
+      EXPECT_EQ(ra[r].compressed, rb[r].compressed)
+          << "scenario " << i << " row " << r;
+    }
+  }
+}
+
+TEST_F(AssignBatchTest, IntraProgramPartitioningDoesNotChangeResults) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  // Fewer scenarios than threads forces the program to be split into
+  // polynomial ranges; partition_min_terms=1 makes even the tiny example
+  // program partitionable.
+  ScenarioSet scenarios = MakeScenarios(session, 2);
+
+  BatchOptions serial;
+  serial.num_threads = 1;
+  BatchOptions partitioned;
+  partitioned.num_threads = 8;
+  partitioned.partition_min_terms = 1;
+  BatchAssignReport a = session.AssignBatch(scenarios, serial).ValueOrDie();
+  BatchAssignReport b =
+      session.AssignBatch(scenarios, partitioned).ValueOrDie();
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const auto& ra = a.reports[i].delta.rows;
+    const auto& rb = b.reports[i].delta.rows;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t r = 0; r < ra.size(); ++r) {
+      EXPECT_EQ(ra[r].full, rb[r].full);
+      EXPECT_EQ(ra[r].compressed, rb[r].compressed);
+    }
+  }
 }
 
 TEST_F(AssignBatchTest, ReportRendersSummary) {

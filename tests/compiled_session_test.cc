@@ -1,0 +1,265 @@
+// Tests for the immutable CompiledSession serving layer: snapshot identity
+// with the Session wrappers, sparse-override equivalence against the dense
+// copy-based engine (including exponent-expanded factors and variables
+// outside the abstraction), intra-program partitioning determinism, and
+// lock-free concurrent serving (N threads x M scenarios must reproduce the
+// sequential results exactly). The concurrency test is the one the TSan CI
+// job runs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/compiled_session.h"
+#include "core/scenario.h"
+#include "core/session.h"
+#include "data/example_db.h"
+
+namespace cobra::core {
+namespace {
+
+/// A small session whose compression is forced to merge x and y into one
+/// meta-variable G, with z and w left outside the abstraction, and an
+/// exponent (x*x*x and z*z) so the sparse path exercises repeated factors.
+void LoadExponentSession(Session* session) {
+  // Single-tree mode allows at most one tree variable per monomial, so x
+  // and y never co-occur; exponents come from x^3/y^3/z^2.
+  session
+      ->LoadPolynomialsText(
+          "P1 = 2 * x^3 + 4 * y^3 + 5 * z^2 + 3 * w\n"
+          "P2 = x * z + y * z + x + y\n")
+      .CheckOK();
+  session->SetTreeText("G\n  x\n  y\n").CheckOK();
+  // Full size is 8 monomials; only the cut {G} reaches 5 (x^3 and y^3
+  // merge into 6*G^3, x*z and y*z into 2*G*z, x and y into 2*G).
+  session->SetBound(5);
+  session->Compress().ValueOrDie();
+  ASSERT_EQ(session->compressed().TotalMonomials(), 5u);
+}
+
+void LoadPaperSession(Session* session) {
+  session->LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
+  session->SetTreeText(data::kFigure2TreeText).CheckOK();
+  // Bound 6 selects the cut {Business, Special, p1, p2}, so those
+  // meta-variable names are available to scenarios below.
+  session->SetBound(6);
+  session->Compress().ValueOrDie();
+}
+
+std::vector<ResultDelta> SequentialDeltas(Session* session,
+                                          const ScenarioSet& scenarios) {
+  std::vector<ResultDelta> deltas;
+  for (const Scenario& scenario : scenarios.scenarios()) {
+    session->ResetMetaValues().CheckOK();
+    for (const Scenario::Delta& delta : scenario.deltas) {
+      session->SetMetaValue(delta.var, delta.value).CheckOK();
+    }
+    deltas.push_back(session->Assign(1).ValueOrDie().delta);
+  }
+  session->ResetMetaValues().CheckOK();
+  return deltas;
+}
+
+void ExpectBitIdentical(const std::vector<ResultDelta>& want,
+                        const BatchAssignReport& got) {
+  ASSERT_EQ(got.reports.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const auto& wr = want[i].rows;
+    const auto& gr = got.reports[i].delta.rows;
+    ASSERT_EQ(gr.size(), wr.size()) << "scenario " << i;
+    for (std::size_t r = 0; r < wr.size(); ++r) {
+      EXPECT_EQ(gr[r].label, wr[r].label);
+      // EXPECT_EQ, not NEAR: the serving layer promises bit-identity.
+      EXPECT_EQ(gr[r].full, wr[r].full) << "scenario " << i << " row " << r;
+      EXPECT_EQ(gr[r].compressed, wr[r].compressed)
+          << "scenario " << i << " row " << r;
+    }
+  }
+}
+
+TEST(CompiledSessionTest, SnapshotRequiresCompression) {
+  Session session;
+  EXPECT_EQ(session.Snapshot().status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(CompiledSessionTest, SnapshotIsCachedAndRefreshedOnMetaChange) {
+  Session session;
+  LoadPaperSession(&session);
+  auto a = session.Snapshot().ValueOrDie();
+  auto b = session.Snapshot().ValueOrDie();
+  EXPECT_EQ(a.get(), b.get());
+
+  session.SetMetaValue("Business", 1.3).CheckOK();
+  auto c = session.Snapshot().ValueOrDie();
+  EXPECT_NE(a.get(), c.get());
+  prov::VarId business = session.pool().Find("Business");
+  ASSERT_NE(business, prov::kInvalidVar);
+  EXPECT_DOUBLE_EQ(c->default_meta_valuation().Get(business), 1.3);
+  // The earlier snapshot is immutable: its defaults are unchanged.
+  EXPECT_NE(a->default_meta_valuation().Get(business), 1.3);
+}
+
+TEST(CompiledSessionTest, SnapshotAssignMatchesSessionAssign) {
+  Session session;
+  LoadPaperSession(&session);
+  session.SetMetaValue("Business", 1.15).CheckOK();
+  AssignReport want = session.Assign(1).ValueOrDie();
+
+  auto snapshot = session.Snapshot().ValueOrDie();
+  AssignReport got = snapshot->Assign(1).ValueOrDie();
+  ASSERT_EQ(got.delta.rows.size(), want.delta.rows.size());
+  for (std::size_t r = 0; r < want.delta.rows.size(); ++r) {
+    EXPECT_EQ(got.delta.rows[r].full, want.delta.rows[r].full);
+    EXPECT_EQ(got.delta.rows[r].compressed, want.delta.rows[r].compressed);
+  }
+  EXPECT_EQ(got.full_size, want.full_size);
+  EXPECT_EQ(got.compressed_size, want.compressed_size);
+}
+
+TEST(CompiledSessionTest, SnapshotSurvivesSessionMutation) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  std::size_t old_compressed = snapshot->compressed_size();
+
+  ScenarioSet scenarios;
+  scenarios.Add("boom").Set("Business", 1.25);
+  BatchAssignReport before = snapshot->AssignBatch(scenarios).ValueOrDie();
+
+  // Recompress the session under a tighter bound: the old snapshot must be
+  // unaffected and keep serving the old compression.
+  session.SetBound(4);
+  session.Compress().ValueOrDie();
+  auto fresh = session.Snapshot().ValueOrDie();
+  EXPECT_LT(fresh->compressed_size(), old_compressed);
+
+  BatchAssignReport after = snapshot->AssignBatch(scenarios).ValueOrDie();
+  EXPECT_EQ(snapshot->compressed_size(), old_compressed);
+  ASSERT_EQ(after.reports.size(), before.reports.size());
+  for (std::size_t r = 0; r < before.reports[0].delta.rows.size(); ++r) {
+    EXPECT_EQ(after.reports[0].delta.rows[r].compressed,
+              before.reports[0].delta.rows[r].compressed);
+  }
+}
+
+TEST(CompiledSessionTest, SparseOverridesMatchSequentialWithExponents) {
+  Session session;
+  LoadExponentSession(&session);
+
+  ScenarioSet scenarios;
+  scenarios.Add("default-noop");                    // empty override list
+  scenarios.Add("meta").Set("G", 1.5);              // abstracted group
+  scenarios.Add("outside").Set("z", 0.5);           // out-of-abstraction var
+  scenarios.Add("outside2").Set("w", 2.5).Set("z", 1.25);
+  scenarios.Add("mixed").Set("G", 0.8).Set("z", 3.0).Set("w", 0.1);
+  scenarios.Add("leaf-under-meta").Set("x", 9.0);   // no-op: G wins
+  scenarios.Add("repeat").Set("G", 2.0).Set("G", 0.25);
+
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+
+  auto snapshot = session.Snapshot().ValueOrDie();
+  BatchOptions sparse;
+  sparse.sweep = BatchOptions::Sweep::kSparseDelta;
+  ExpectBitIdentical(sequential,
+                     snapshot->AssignBatch(scenarios, sparse).ValueOrDie());
+
+  BatchOptions dense;
+  dense.sweep = BatchOptions::Sweep::kDenseCopy;
+  ExpectBitIdentical(sequential,
+                     snapshot->AssignBatch(scenarios, dense).ValueOrDie());
+}
+
+TEST(CompiledSessionTest, PartitionedSweepIsDeterministic) {
+  Session session;
+  LoadPaperSession(&session);
+  const std::vector<MetaVar>& meta = session.meta_vars();
+  ASSERT_GE(meta.size(), 2u);
+  ScenarioSet scenarios;
+  scenarios.Add("boom").Set(meta[0].name, 1.25);
+  scenarios.Add("slump").Set(meta[0].name, 0.8).Set(meta[1].name, 0.9);
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+
+  auto snapshot = session.Snapshot().ValueOrDie();
+  for (std::size_t threads : {1u, 3u, 8u, 16u}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    options.partition_min_terms = 1;  // force partitioning, tiny program
+    ExpectBitIdentical(
+        sequential, snapshot->AssignBatch(scenarios, options).ValueOrDie());
+  }
+}
+
+TEST(CompiledSessionTest, LeafToMetaIndirectionCoversPool) {
+  Session session;
+  LoadExponentSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  const std::vector<prov::VarId>& remap = snapshot->leaf_to_meta();
+  ASSERT_GE(remap.size(), snapshot->pool().size());
+  prov::VarId x = snapshot->pool().Find("x");
+  prov::VarId g = snapshot->pool().Find("G");
+  prov::VarId z = snapshot->pool().Find("z");
+  ASSERT_NE(x, prov::kInvalidVar);
+  ASSERT_NE(g, prov::kInvalidVar);
+  ASSERT_NE(z, prov::kInvalidVar);
+  EXPECT_EQ(remap[x], g);  // abstracted leaf points at its meta-variable
+  EXPECT_EQ(remap[z], z);  // off-tree variable maps to itself
+}
+
+// The headline guarantee: one snapshot, shared by N threads with zero
+// locks, each thread running batches and single assignments concurrently,
+// reproduces the sequential Session results bit for bit. Run under
+// ThreadSanitizer in CI.
+TEST(CompiledSessionConcurrencyTest, ManyThreadsMatchSequential) {
+  Session session;
+  LoadPaperSession(&session);
+
+  constexpr std::size_t kScenarios = 12;
+  ScenarioSet scenarios;
+  const std::vector<MetaVar>& meta = session.meta_vars();
+  ASSERT_FALSE(meta.empty());
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    auto s = scenarios.Add("scenario-" + std::to_string(i));
+    s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i));
+    s.Set(meta[(i + 1) % meta.size()].name,
+          1.0 - 0.02 * static_cast<double>(i));
+  }
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+
+  std::shared_ptr<const CompiledSession> snapshot =
+      session.Snapshot().ValueOrDie();
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 10;
+  std::vector<std::vector<BatchAssignReport>> results(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      // Alternate sweep engines and thread counts across workers so the
+      // sparse, dense, and partitioned paths all run concurrently.
+      BatchOptions options;
+      options.num_threads = 1 + t % 3;
+      options.sweep = t % 2 == 0 ? BatchOptions::Sweep::kSparseDelta
+                                 : BatchOptions::Sweep::kDenseCopy;
+      options.partition_min_terms = t % 4 == 0 ? 1 : 1024;
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        results[t].push_back(
+            snapshot->AssignBatch(scenarios, options).ValueOrDie());
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), kIterations);
+    for (const BatchAssignReport& batch : results[t]) {
+      ExpectBitIdentical(sequential, batch);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,10 +1,16 @@
 // Tests for the compiled EvalProgram: compile/eval round-trips, exponent
-// expansion into repeated factors, and the checked (Status-returning)
-// rejection of undersized valuations.
+// expansion into repeated factors, the checked (Status-returning) rejection
+// of undersized valuations, sparse-override evaluation, factor remapping
+// (the serving layer's leaf→meta indirection), and polynomial-range
+// partitioning.
 
 #include "prov/eval_program.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "prov/parser.h"
 #include "prov/poly_set.h"
@@ -105,6 +111,136 @@ TEST(EvalProgramCheckedTest, EmptyProgramAcceptsAnyValuation) {
   std::vector<double> out{1.0, 2.0};
   ASSERT_TRUE(program.EvalChecked(empty, &out).ok());
   EXPECT_TRUE(out.empty());
+}
+
+TEST(EvalProgramOverridesTest, OverridesMatchPatchedDenseEvaluation) {
+  VarPool pool;
+  PolySet set = Parse(
+      "P1 = 2 * x^3 * y + 5 * z^2 + 3 * w\n"
+      "P2 = x * y + x + y + z\n",
+      &pool);
+  EvalProgram program(set);
+
+  Valuation base(pool);
+  base.SetByName(pool, "x", 1.5).CheckOK();
+  base.SetByName(pool, "w", 0.5).CheckOK();
+
+  const VarId y = pool.Find("y");
+  const VarId z = pool.Find("z");
+  std::vector<VarOverride> overrides = {{y, 2.0}, {z, 0.25}};
+  std::sort(overrides.begin(), overrides.end(),
+            [](const VarOverride& a, const VarOverride& b) {
+              return a.var < b.var;
+            });
+
+  Valuation patched = base;
+  patched.Set(y, 2.0);
+  patched.Set(z, 0.25);
+
+  std::vector<double> want, got;
+  program.Eval(patched, &want);
+  program.EvalWithOverrides(base, overrides.data(), overrides.size(), &got);
+  ASSERT_EQ(got.size(), want.size());
+  // Bit-identical, not just close: same factor order, same values.
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+
+  // Empty override list is a plain dense scan of the base.
+  program.Eval(base, &want);
+  program.EvalWithOverrides(base, nullptr, 0, &got);
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+TEST(EvalProgramOverridesTest, RangeEvalCoversExactlyTheRequestedPolys) {
+  VarPool pool;
+  PolySet set = Parse(
+      "P1 = x + 1\n"
+      "P2 = 2 * x\n"
+      "P3 = x * y\n"
+      "P4 = 7\n",
+      &pool);
+  EvalProgram program(set);
+  Valuation base(pool);
+  const VarId x = pool.Find("x");
+  std::vector<VarOverride> overrides = {{x, 3.0}};
+
+  std::vector<double> want;
+  program.EvalWithOverrides(base, overrides.data(), 1, &want);
+
+  std::vector<double> got(program.NumPolys(), -1.0);
+  program.EvalRangeWithOverrides(base, overrides.data(), 1, 1, 3, got.data());
+  EXPECT_EQ(got[0], -1.0);  // outside the range: untouched
+  EXPECT_EQ(got[1], want[1]);
+  EXPECT_EQ(got[2], want[2]);
+  EXPECT_EQ(got[3], -1.0);
+
+  program.EvalRangeWithOverrides(base, overrides.data(), 1, 0, 1, got.data());
+  program.EvalRangeWithOverrides(base, overrides.data(), 1, 3, 4, got.data());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+TEST(EvalProgramRemapTest, RemappedFactorsReadTheTargetVariable) {
+  VarPool pool;
+  PolySet set = Parse("P = 2 * x^2 * y + z\n", &pool);
+  EvalProgram program(set);
+  const VarId x = pool.Find("x");
+  const VarId y = pool.Find("y");
+  const VarId z = pool.Find("z");
+  const VarId g = pool.Intern("G");
+
+  // x and y both collapse to G; z stays itself.
+  std::vector<VarId> remap(pool.size());
+  for (VarId v = 0; v < remap.size(); ++v) remap[v] = v;
+  remap[x] = g;
+  remap[y] = g;
+  EvalProgram remapped = program.RemapFactors(remap);
+  EXPECT_EQ(remapped.NumPolys(), program.NumPolys());
+  EXPECT_EQ(remapped.NumTerms(), program.NumTerms());
+  EXPECT_EQ(remapped.MinValuationSize(), static_cast<std::size_t>(g) + 1);
+
+  Valuation valuation(pool);
+  valuation.Set(g, 3.0);
+  valuation.Set(z, 0.5);
+  valuation.Set(x, 100.0);  // dead after remapping
+  std::vector<double> out;
+  remapped.Eval(valuation, &out);
+  ASSERT_EQ(out.size(), 1u);
+  // 2 * G^2 * G + z = 2*27 + 0.5.
+  EXPECT_DOUBLE_EQ(out[0], 54.5);
+}
+
+TEST(EvalProgramPartitionTest, BoundariesCoverAllPolysWithoutGaps) {
+  VarPool pool;
+  std::string text;
+  for (int p = 0; p < 23; ++p) {
+    text += "P" + std::to_string(p) + " = ";
+    // Uneven weights: later polynomials carry more terms.
+    for (int t = 0; t <= p % 7; ++t) {
+      if (t > 0) text += " + ";
+      text += std::to_string(t + 1) + " * x" + std::to_string(t);
+    }
+    text += "\n";
+  }
+  PolySet set = Parse(text, &pool);
+  EvalProgram program(set);
+
+  for (std::size_t parts : {1u, 2u, 5u, 23u, 100u}) {
+    std::vector<std::uint32_t> bounds = program.PartitionPolys(parts);
+    ASSERT_GE(bounds.size(), 2u) << parts;
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), program.NumPolys());
+    EXPECT_LE(bounds.size() - 1, parts);
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i], bounds[i + 1]) << "empty range at " << i;
+    }
+  }
+
+  // Degenerate programs still yield a single well-formed range.
+  PolySet empty;
+  EvalProgram empty_program(empty);
+  std::vector<std::uint32_t> bounds = empty_program.PartitionPolys(4);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], 0u);
 }
 
 }  // namespace
