@@ -12,12 +12,15 @@
 //   (b) as N one-scenario AssignBatch() calls — no timing harness, so the
 //       contrast with (c) isolates what batching itself buys;
 //   (c) in one Session::AssignBatch() sweep — compiled EvalPrograms are
-//       cached, every scenario is evaluated exactly once per side, and the
-//       sweep is thread-parallel;
+//       cached, every scenario is evaluated exactly once per side, the
+//       sweep is thread-parallel, and scenarios are evaluated a block at a
+//       time by the scenario-blocked kernel (the default engine);
 //
-// verifies the per-scenario results are bit-identical across all three,
-// and reports both speedups. The exit-code gate (the ISSUE acceptance
-// criterion) is on (a) vs (c).
+// then re-runs the batch with the scalar sparse and legacy dense-copy
+// engines as A/B references, verifies the per-scenario results are
+// bit-identical across every path, and reports the speedups. The exit-code
+// gate (the ISSUE acceptance criterion) is on (a) vs (c). A
+// machine-readable BENCH_a6.json lands next to the human output.
 //
 // Knobs: COBRA_A6_SCENARIOS (64), COBRA_A6_SF (0.05, TPC-H scale factor),
 //        COBRA_A6_THREADS (0 = hardware), COBRA_A6_BOUND_PCT (50).
@@ -146,14 +149,23 @@ int main() {
   }
   const double single_seconds = timer.ElapsedSeconds();
 
-  // (c) Batched: one sweep (sparse per-scenario deltas, the default).
+  // (c) Batched: one sweep with the default scenario-blocked kernel.
   timer.Reset();
   core::BatchAssignReport batch =
       session.AssignBatch(scenarios, options).ValueOrDie();
   const double batch_seconds = timer.ElapsedSeconds();
 
-  // (d) Batched with the legacy dense-copy engine (one full-pool valuation
-  // copied per scenario per side) — the A/B baseline for the sparse path.
+  // (d) Batched with the scalar sparse-delta engine — isolates what the
+  // blocked kernel buys over one-program-scan-per-scenario.
+  core::BatchOptions sparse = options;
+  sparse.sweep = core::BatchOptions::Sweep::kSparseDelta;
+  timer.Reset();
+  core::BatchAssignReport sparse_batch =
+      session.AssignBatch(scenarios, sparse).ValueOrDie();
+  const double sparse_seconds = timer.ElapsedSeconds();
+
+  // (e) Batched with the legacy dense-copy engine (one full-pool valuation
+  // copied per scenario per side) — the A/B baseline for the sparse paths.
   // Q6's month-grouped pool is small, so the contrast here is modest; the
   // high-cardinality bench (bench_a7_highcard) is where the copies dominate.
   core::BatchOptions dense = options;
@@ -165,6 +177,7 @@ int main() {
 
   double max_diff = MaxResultDifference(sequential, batch);
   max_diff = std::max(max_diff, MaxResultDifference(one_at_a_time, batch));
+  max_diff = std::max(max_diff, MaxResultDifference(sequential, sparse_batch));
   max_diff = std::max(max_diff, MaxResultDifference(sequential, dense_batch));
   const double speedup = batch_seconds > 0.0
                              ? sequential_seconds / batch_seconds
@@ -179,22 +192,45 @@ int main() {
   std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(1) x N",
               single_seconds * 1e3,
               single_seconds * 1e6 / static_cast<double>(num_scenarios));
-  std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N) sparse",
+  std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N) blocked",
               batch_seconds * 1e3,
               batch_seconds * 1e6 / static_cast<double>(num_scenarios));
+  std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N) sparse scalar",
+              sparse_seconds * 1e3,
+              sparse_seconds * 1e6 / static_cast<double>(num_scenarios));
   std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N) dense-copy",
               dense_seconds * 1e3,
               dense_seconds * 1e6 / static_cast<double>(num_scenarios));
   const double sparse_vs_copy =
-      batch_seconds > 0.0 ? dense_seconds / batch_seconds : HUGE_VAL;
+      sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : HUGE_VAL;
+  const double blocked_vs_sparse =
+      batch_seconds > 0.0 ? sparse_seconds / batch_seconds : HUGE_VAL;
   std::printf(
       "\nscenarios=%zu threads=%zu  speedup vs Assign()=%.1fx  "
       "vs one-at-a-time batches=%.1fx  sparse vs dense-copy=%.2fx  "
-      "max |diff|=%g\n",
+      "blocked vs sparse=%.2fx  max |diff|=%g\n",
       num_scenarios, batch.num_threads, speedup, batching_speedup,
-      sparse_vs_copy, max_diff);
+      sparse_vs_copy, blocked_vs_sparse, max_diff);
   std::printf("result check: %s\n",
               max_diff == 0.0 ? "IDENTICAL" : "MISMATCH");
   std::printf("\n%s", batch.ToString(2, 3).c_str());
+
+  bench::JsonObject json;
+  json.Add("bench", std::string("a6_batch"));
+  json.Add("scenarios", num_scenarios);
+  json.Add("threads", batch.num_threads);
+  json.Add("scale_factor", scale_factor);
+  json.Add("sequential_seconds", sequential_seconds);
+  json.Add("single_batches_seconds", single_seconds);
+  json.Add("blocked_seconds", batch_seconds);
+  json.Add("sparse_seconds", sparse_seconds);
+  json.Add("dense_seconds", dense_seconds);
+  json.Add("speedup_vs_sequential", speedup);
+  json.Add("sparse_vs_dense", sparse_vs_copy);
+  json.Add("blocked_vs_sparse", blocked_vs_sparse);
+  json.Add("max_diff", max_diff);
+  json.Add("identical", max_diff == 0.0);
+  json.WriteFile("BENCH_a6.json");
+
   return max_diff == 0.0 && speedup >= 5.0 ? 0 : 1;
 }

@@ -13,16 +13,21 @@
 // The bench runs N scenarios through one immutable CompiledSession snapshot
 //
 //   (a) with the legacy dense-copy engine (BatchOptions::Sweep::kDenseCopy);
-//   (b) with the sparse-delta engine (the default);
+//   (b) with the scalar sparse-delta engine (kSparseDelta);
+//   (c) with the scenario-blocked kernel (kBlocked, the default): one scan
+//       of the compiled program serves a whole block of scenario lanes;
 //
-// verifies (a) == (b) bit-for-bit for every scenario, spot-checks a sample
-// against sequential Session::Assign(), and exits non-zero unless the
-// sparse sweep is >= 2x faster end to end (the ISSUE acceptance gate).
+// verifies (a) == (b) == (c) bit-for-bit for every scenario, spot-checks a
+// sample against sequential Session::Assign(), and exits non-zero unless
+// the sparse sweep is >= 2x the dense one AND the blocked sweep is >= 2x
+// the scalar sparse one (the ISSUE acceptance gates). A machine-readable
+// BENCH_a7.json lands next to the human output for cross-PR tracking.
 //
 // Knobs: COBRA_A7_SCENARIOS (1024), COBRA_A7_SF (0.01, TPC-H scale factor),
 //        COBRA_A7_THREADS (0 = hardware), COBRA_A7_BUCKET (128 orders per
 //        tree bucket), COBRA_A7_BOUND_PCT (60), COBRA_A7_CHECK (16
-//        scenarios cross-checked against sequential Assign()).
+//        scenarios cross-checked against sequential Assign()),
+//        COBRA_A7_LANES (8, blocked-kernel lane count: 4 or 8).
 
 #include <cmath>
 #include <cstdio>
@@ -86,6 +91,7 @@ int main() {
   const std::size_t bucket_size = bench::EnvSize("COBRA_A7_BUCKET", 128);
   const std::size_t bound_pct = bench::EnvSize("COBRA_A7_BOUND_PCT", 60);
   const std::size_t check = bench::EnvSize("COBRA_A7_CHECK", 16);
+  const std::size_t lanes = bench::EnvSize("COBRA_A7_LANES", 8);
 
   bench::Header("A7: high-cardinality batched serving (per-order TPC-H)");
 
@@ -137,10 +143,15 @@ int main() {
   core::BatchOptions sparse;
   sparse.num_threads = num_threads;
   sparse.sweep = core::BatchOptions::Sweep::kSparseDelta;
+  core::BatchOptions blocked;
+  blocked.num_threads = num_threads;
+  blocked.sweep = core::BatchOptions::Sweep::kBlocked;
+  blocked.block_lanes = lanes;
 
   // Wall-clock around the whole call: the dense engine's cost is precisely
   // the per-scenario valuation materialization, which happens before its
-  // sweep timer starts.
+  // sweep timer starts, and the blocked engine's includes its per-block
+  // override-table construction.
   util::Timer timer;
   core::BatchAssignReport dense_batch =
       snapshot->AssignBatch(scenarios, dense).ValueOrDie();
@@ -149,8 +160,14 @@ int main() {
   core::BatchAssignReport sparse_batch =
       snapshot->AssignBatch(scenarios, sparse).ValueOrDie();
   const double sparse_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+  core::BatchAssignReport blocked_batch =
+      snapshot->AssignBatch(scenarios, blocked).ValueOrDie();
+  const double blocked_seconds = timer.ElapsedSeconds();
 
   double max_diff = MaxBatchDifference(dense_batch, sparse_batch);
+  max_diff = std::max(max_diff,
+                      MaxBatchDifference(sparse_batch, blocked_batch));
 
   // Spot-check a sample against the sequential interactive path.
   const std::size_t sample = std::min(check, num_scenarios);
@@ -161,7 +178,7 @@ int main() {
       session.SetMetaValue(delta.var, delta.value).CheckOK();
     }
     core::AssignReport want = session.Assign(1).ValueOrDie();
-    const auto& got = sparse_batch.reports[i].delta.rows;
+    const auto& got = blocked_batch.reports[i].delta.rows;
     if (got.size() != want.delta.rows.size()) {
       max_diff = HUGE_VAL;
       break;
@@ -175,8 +192,10 @@ int main() {
   }
   session.ResetMetaValues().CheckOK();
 
-  const double speedup =
+  const double sparse_vs_dense =
       sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : HUGE_VAL;
+  const double blocked_vs_sparse =
+      blocked_seconds > 0.0 ? sparse_seconds / blocked_seconds : HUGE_VAL;
   std::printf("\n%-28s %12s %16s\n", "mode", "total (ms)", "per scenario");
   std::printf("%-28s %12.2f %14.2fus\n", "dense-copy sweep",
               dense_seconds * 1e3,
@@ -184,14 +203,39 @@ int main() {
   std::printf("%-28s %12.2f %14.2fus\n", "sparse-delta sweep",
               sparse_seconds * 1e3,
               sparse_seconds * 1e6 / static_cast<double>(num_scenarios));
+  std::printf("%-28s %12.2f %14.2fus\n", "blocked sweep",
+              blocked_seconds * 1e3,
+              blocked_seconds * 1e6 / static_cast<double>(num_scenarios));
   std::printf(
-      "\nscenarios=%zu threads=%zu  scenarios/sec: dense=%.0f sparse=%.0f  "
-      "sparse vs copy=%.1fx  max |diff|=%g\n",
-      num_scenarios, sparse_batch.num_threads,
+      "\nscenarios=%zu threads=%zu lanes=%zu  scenarios/sec: dense=%.0f "
+      "sparse=%.0f blocked=%.0f\n"
+      "sparse vs copy=%.1fx  blocked vs sparse=%.1fx  max |diff|=%g\n",
+      num_scenarios, blocked_batch.num_threads, lanes,
       dense_seconds > 0.0 ? num_scenarios / dense_seconds : HUGE_VAL,
       sparse_seconds > 0.0 ? num_scenarios / sparse_seconds : HUGE_VAL,
-      speedup, max_diff);
+      blocked_seconds > 0.0 ? num_scenarios / blocked_seconds : HUGE_VAL,
+      sparse_vs_dense, blocked_vs_sparse, max_diff);
   std::printf("result check: %s (sequential sample: %zu)\n",
               max_diff == 0.0 ? "IDENTICAL" : "MISMATCH", sample);
-  return max_diff == 0.0 && speedup >= 2.0 ? 0 : 1;
+
+  bench::JsonObject json;
+  json.Add("bench", std::string("a7_highcard"));
+  json.Add("scenarios", num_scenarios);
+  json.Add("threads", blocked_batch.num_threads);
+  json.Add("block_lanes", lanes);
+  json.Add("scale_factor", scale_factor);
+  json.Add("monomials_full", snapshot->full_size());
+  json.Add("monomials_compressed", snapshot->compressed_size());
+  json.Add("dense_seconds", dense_seconds);
+  json.Add("sparse_seconds", sparse_seconds);
+  json.Add("blocked_seconds", blocked_seconds);
+  json.Add("sparse_vs_dense", sparse_vs_dense);
+  json.Add("blocked_vs_sparse", blocked_vs_sparse);
+  json.Add("max_diff", max_diff);
+  json.Add("identical", max_diff == 0.0);
+  json.WriteFile("BENCH_a7.json");
+
+  return max_diff == 0.0 && sparse_vs_dense >= 2.0 && blocked_vs_sparse >= 2.0
+             ? 0
+             : 1;
 }

@@ -1,9 +1,12 @@
 #ifndef COBRA_BENCH_BENCH_UTIL_H_
 #define COBRA_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cobra::bench {
 
@@ -32,6 +35,76 @@ inline double EnvDouble(const char* name, double fallback) {
 inline void Header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/// Minimal flat JSON object writer for the machine-readable bench outputs
+/// (BENCH_a6.json / BENCH_a7.json). Insertion order is preserved; values
+/// are numbers, booleans, or strings (no nesting — the CI artifact consumer
+/// is a flat key/value reader). Doubles use %.17g so round-tripping is
+/// lossless.
+class JsonObject {
+ public:
+  void Add(const std::string& key, double value) {
+    // JSON has no inf/nan literals; mismatch sentinels (HUGE_VAL) and
+    // division fallbacks must still produce a parseable artifact.
+    if (!std::isfinite(value)) {
+      fields_.emplace_back(key, "null");
+      return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    fields_.emplace_back(key, std::string(buffer));
+  }
+
+  void Add(const std::string& key, std::size_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  void Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    std::string escaped = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    fields_.emplace_back(key, std::move(escaped));
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the object to `path`; a failure is reported on stderr but is
+  /// not fatal (the human-readable output is the bench's primary channel).
+  void WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string text = ToString();
+    const bool wrote = std::fwrite(text.data(), 1, text.size(), f) ==
+                       text.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace cobra::bench
 

@@ -68,13 +68,14 @@ std::string BatchAssignReport::ToString(std::size_t max_scenarios,
   return out;
 }
 
-CompiledSession::Artifacts::Artifacts(const prov::PolySet& full,
-                                      const Abstraction& abstraction,
-                                      const prov::VarPool& pool_in)
-    : pool(pool_in),
+CompiledSession::Artifacts::Artifacts(
+    const prov::PolySet& full, const Abstraction& abstraction,
+    std::shared_ptr<const prov::VarPool> pool_in)
+    : pool(std::move(pool_in)),
+      frozen_pool_size(pool->size()),
       labels(full.labels()),
       meta_vars(abstraction.meta_vars),
-      remap(ExtendIdentity(abstraction.mapping, pool_in.size())),
+      remap(ExtendIdentity(abstraction.mapping, frozen_pool_size)),
       full_program(full),
       sweep_full_program(full_program.RemapFactors(remap)),
       compressed_program(abstraction.compressed),
@@ -86,25 +87,30 @@ CompiledSession::CompiledSession(std::shared_ptr<const Artifacts> artifacts,
     : artifacts_(std::move(artifacts)),
       default_meta_(std::move(default_meta)),
       default_full_(0) {
-  default_meta_.Resize(artifacts_->pool.size());
+  default_meta_.Resize(artifacts_->frozen_pool_size);
   default_full_ = ExpandValuation(default_meta_);
 }
 
 util::Result<std::shared_ptr<const CompiledSession>> CompiledSession::Create(
     const prov::PolySet& full, const Abstraction& abstraction,
-    const prov::VarPool& pool,
+    std::shared_ptr<const prov::VarPool> pool,
     const prov::Valuation& default_meta_valuation) {
+  if (pool == nullptr) {
+    return util::Status::InvalidArgument("CompiledSession: null pool");
+  }
   if (full.size() != abstraction.compressed.size()) {
     return util::Status::Internal(util::StrFormat(
         "CompiledSession: group count mismatch (full=%zu compressed=%zu)",
         full.size(), abstraction.compressed.size()));
   }
-  auto artifacts = std::make_shared<const Artifacts>(full, abstraction, pool);
-  if (artifacts->full_program.MinValuationSize() > artifacts->pool.size() ||
+  auto artifacts =
+      std::make_shared<const Artifacts>(full, abstraction, std::move(pool));
+  if (artifacts->full_program.MinValuationSize() >
+          artifacts->frozen_pool_size ||
       artifacts->sweep_full_program.MinValuationSize() >
-          artifacts->pool.size() ||
+          artifacts->frozen_pool_size ||
       artifacts->compressed_program.MinValuationSize() >
-          artifacts->pool.size()) {
+          artifacts->frozen_pool_size) {
     return util::Status::Internal(
         "CompiledSession: compiled programs reference variables outside the "
         "pool");
@@ -121,7 +127,7 @@ CompiledSession::WithDefaultMetaValuation(const prov::Valuation& meta) const {
 
 prov::Valuation CompiledSession::PoolSized(const prov::Valuation& v) const {
   prov::Valuation out = v;
-  out.Resize(artifacts_->pool.size());
+  out.Resize(artifacts_->frozen_pool_size);
   return out;
 }
 
@@ -176,10 +182,19 @@ CompiledSession::CompileScenarios(const ScenarioSet& scenarios) const {
   for (const Scenario& scenario : scenarios.scenarios()) {
     CompiledScenario cs;
     for (const Scenario::Delta& delta : scenario.deltas) {
-      prov::VarId id = artifacts_->pool.Find(delta.var);
+      prov::VarId id = artifacts_->pool->Find(delta.var);
       if (id == prov::kInvalidVar) {
         return util::Status::InvalidArgument(util::StrFormat(
             "AssignBatch scenario \"%s\": unknown variable: %s",
+            scenario.name.c_str(), delta.var.c_str()));
+      }
+      if (id >= artifacts_->frozen_pool_size) {
+        // The pool is shared with the (still-mutable) authoring session;
+        // names interned after this snapshot was taken are not part of its
+        // frozen world.
+        return util::Status::InvalidArgument(util::StrFormat(
+            "AssignBatch scenario \"%s\": variable %s was interned after "
+            "this snapshot was taken",
             scenario.name.c_str(), delta.var.c_str()));
       }
       // Deltas apply in order, so a repeated variable keeps the last value;
@@ -287,52 +302,167 @@ util::Result<BatchAssignReport> CompiledSession::AssignBatch(
     sweep(compressed_program, meta_valuations, &compressed_values);
     batch.compressed_sweep_seconds = timer.ElapsedSeconds();
   } else {
-    // Sparse-delta engine: every scenario is a small override list resolved
-    // during the scan; the full side evaluates the meta-indirected program
+    // Sparse-delta and scenario-blocked engines. Every scenario is a small
+    // override list; the full side evaluates the meta-indirected program
     // under the shared compressed-side base, so nothing pool-sized is copied
-    // per scenario. When scenarios are scarcer than threads, each program is
-    // split into polynomial ranges (intra-program partitioning); ranges are
-    // disjoint, so the merged result is deterministic.
+    // per scenario. The blocked engine (default) additionally groups
+    // scenarios into blocks of `block_lanes` lanes: one scan of the compiled
+    // arrays serves the whole block, with a per-block override-union table
+    // patching individual lanes, so the factor/coeff streams are read once
+    // per block instead of once per scenario. Work is scheduled as
+    // (scenario-block × poly-range) tiles; when blocks are scarcer than
+    // threads, programs are split into polynomial ranges, and a single
+    // dominant polynomial falls back to term-range slices whose partial
+    // sums are reduced in fixed order after the sweep joins (deterministic
+    // regardless of the thread schedule).
+    const bool use_blocks = options.sweep == BatchOptions::Sweep::kBlocked;
+    if (use_blocks && options.block_lanes != 4 && options.block_lanes != 8) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "AssignBatch: block_lanes must be 4 or 8, got %zu",
+          options.block_lanes));
+    }
+    const std::size_t lanes = use_blocks ? options.block_lanes : 1;
+    const std::size_t num_blocks = (n + lanes - 1) / lanes;
     const prov::EvalProgram& sweep_full = artifacts_->sweep_full_program;
+
+    // Block override-union tables are valuation-level, not program-level:
+    // both sides evaluate under the same compressed-side base, so one table
+    // per block serves both sweeps.
+    std::vector<prov::BlockOverrides> block_tables;
+    if (use_blocks) {
+      block_tables.reserve(num_blocks);
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        prov::OverrideSpan spans[prov::EvalProgram::kMaxLanes];
+        const std::size_t count = std::min(lanes, n - b * lanes);
+        for (std::size_t l = 0; l < count; ++l) {
+          const std::vector<prov::VarOverride>& ov =
+              (*compiled)[b * lanes + l].overrides;
+          spans[l] = {ov.data(), ov.size()};
+        }
+        block_tables.push_back(prov::MakeBlockOverrides(base, spans, count));
+      }
+    }
+
     std::size_t used_threads = 1;
     auto sweep = [&](const prov::EvalProgram& program,
                      std::vector<std::vector<double>>* out) {
       const std::size_t polys = program.NumPolys();
-      for (std::vector<double>& v : *out) v.assign(polys, 0.0);
+      // Scenario-major result matrix: row i is scenario i's per-poly
+      // values. A blocked tile writes `lanes` adjacent rows with stride
+      // `polys`; disjoint tiles touch disjoint cells, so the sweep is
+      // race-free and the merged result is schedule-independent.
+      std::vector<double> flat(n * polys, 0.0);
+
       std::size_t parts = 1;
-      if (threads > n && options.partition_min_terms > 0) {
-        const std::size_t want = (threads + n - 1) / n;
+      if (threads > num_blocks && options.partition_min_terms > 0) {
+        const std::size_t want = (threads + num_blocks - 1) / num_blocks;
         const std::size_t cap =
             program.NumTerms() / options.partition_min_terms + 1;
         parts = std::min(want, cap);
       }
       const std::vector<std::uint32_t> bounds = program.PartitionPolys(parts);
-      const std::size_t ranges = bounds.size() - 1;
-      const std::size_t tasks = n * ranges;
+
+      // The tiling plan: whole-poly ranges, plus (when one polynomial
+      // dominates and poly-boundary splitting could not fill the requested
+      // parts) term-range slices of that polynomial.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+      std::size_t split_poly = program.NumPolys();
+      std::vector<std::uint32_t> term_bounds;
+      if (parts > bounds.size() - 1 && options.split_min_terms > 0) {
+        split_poly = program.DominantPoly(options.split_min_terms);
+      }
+      if (split_poly < program.NumPolys()) {
+        const std::uint32_t sp = static_cast<std::uint32_t>(split_poly);
+        for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
+          const std::uint32_t begin = bounds[r];
+          const std::uint32_t end = bounds[r + 1];
+          if (sp >= begin && sp < end) {
+            if (sp > begin) ranges.emplace_back(begin, sp);
+            if (sp + 1 < end) ranges.emplace_back(sp + 1, end);
+          } else {
+            ranges.emplace_back(begin, end);
+          }
+        }
+        const std::size_t spare =
+            parts > ranges.size() ? parts - ranges.size() : 2;
+        term_bounds = program.PartitionTerms(
+            split_poly, std::max<std::size_t>(2, spare));
+      } else {
+        for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
+          ranges.emplace_back(bounds[r], bounds[r + 1]);
+        }
+      }
+      const std::size_t term_slices =
+          term_bounds.empty() ? 0 : term_bounds.size() - 1;
+      const std::size_t slices = ranges.size() + term_slices;
+      // Scenario-major partial sums of the split polynomial, one slot per
+      // term slice; reduced in fixed slice order after the join.
+      std::vector<double> partials(term_slices == 0 ? 0 : n * term_slices,
+                                   0.0);
+
+      const std::size_t tasks = num_blocks * slices;
       auto run_task = [&](std::size_t t) {
-        const std::size_t i = t / ranges;
-        const std::size_t r = t % ranges;
-        const std::vector<prov::VarOverride>& ov = (*compiled)[i].overrides;
-        program.EvalRangeWithOverrides(base, ov.data(), ov.size(), bounds[r],
-                                       bounds[r + 1], (*out)[i].data());
+        const std::size_t block = t / slices;
+        const std::size_t s = t % slices;
+        const std::size_t i0 = block * lanes;
+        if (use_blocks) {
+          const prov::BlockOverrides& table = block_tables[block];
+          if (s < ranges.size()) {
+            program.EvalRangeBlocked(base, table, ranges[s].first,
+                                     ranges[s].second,
+                                     flat.data() + i0 * polys, polys);
+          } else {
+            const std::size_t k = s - ranges.size();
+            program.EvalTermRangeBlocked(
+                base, table, term_bounds[k], term_bounds[k + 1],
+                partials.data() + i0 * term_slices + k, term_slices);
+          }
+        } else {
+          const std::vector<prov::VarOverride>& ov =
+              (*compiled)[i0].overrides;
+          if (s < ranges.size()) {
+            program.EvalRangeWithOverrides(base, ov.data(), ov.size(),
+                                           ranges[s].first, ranges[s].second,
+                                           flat.data() + i0 * polys);
+          } else {
+            const std::size_t k = s - ranges.size();
+            partials[i0 * term_slices + k] =
+                program.EvalTermRangeWithOverrides(base, ov.data(), ov.size(),
+                                                   term_bounds[k],
+                                                   term_bounds[k + 1]);
+          }
+        }
       };
       const std::size_t workers = std::min(threads, tasks);
       used_threads = std::max(used_threads, workers);
       if (workers <= 1) {
         for (std::size_t t = 0; t < tasks; ++t) run_task(t);
-        return;
+      } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&]() {
+          for (std::size_t t = next.fetch_add(1); t < tasks;
+               t = next.fetch_add(1)) {
+            run_task(t);
+          }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+        for (std::thread& th : pool) th.join();
       }
-      std::atomic<std::size_t> next{0};
-      auto worker = [&]() {
-        for (std::size_t t = next.fetch_add(1); t < tasks;
-             t = next.fetch_add(1)) {
-          run_task(t);
+      if (term_slices > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          double sum = 0.0;
+          for (std::size_t k = 0; k < term_slices; ++k) {
+            sum += partials[i * term_slices + k];
+          }
+          flat[i * polys + split_poly] = sum;
         }
-      };
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-      for (std::thread& th : pool) th.join();
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        (*out)[i].assign(flat.begin() + i * polys,
+                         flat.begin() + (i + 1) * polys);
+      }
     };
     util::Timer timer;
     sweep(sweep_full, &full_values);

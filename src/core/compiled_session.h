@@ -73,7 +73,11 @@ struct BatchAssignReport {
 ///     materialize an expanded full-pool valuation);
 ///   - the default compressed-side (meta) valuation and its full-side
 ///     expansion;
-///   - a frozen copy of the variable pool for name→id resolution;
+///   - a shared reference to the (append-only, internally synchronized)
+///     variable pool for name→id resolution, together with the pool size at
+///     snapshot time — variables interned later are rejected by scenario
+///     compilation, so the snapshot behaves as a frozen pool without paying
+///     a deep copy per snapshot;
 ///   - the abstraction metadata (meta-variables, group labels, sizes).
 ///
 /// Every member is deeply immutable after construction and every method is
@@ -84,12 +88,14 @@ struct BatchAssignReport {
 /// workers while the authoring session keeps evolving.
 class CompiledSession {
  public:
-  /// Builds a snapshot from a compression result. `pool` and
-  /// `default_meta_valuation` are copied; `full` and
-  /// `abstraction.compressed` are compiled but not retained.
+  /// Builds a snapshot from a compression result. `pool` is shared (not
+  /// copied — `VarPool` is append-only and internally synchronized, and the
+  /// snapshot captures its size, so the builder may keep interning into it);
+  /// `default_meta_valuation` is copied; `full` and `abstraction.compressed`
+  /// are compiled but not retained.
   static util::Result<std::shared_ptr<const CompiledSession>> Create(
       const prov::PolySet& full, const Abstraction& abstraction,
-      const prov::VarPool& pool,
+      std::shared_ptr<const prov::VarPool> pool,
       const prov::Valuation& default_meta_valuation);
 
   /// Returns a snapshot sharing this one's compiled programs and metadata
@@ -97,9 +103,15 @@ class CompiledSession {
   std::shared_ptr<const CompiledSession> WithDefaultMetaValuation(
       const prov::Valuation& meta) const;
 
-  /// Frozen copy of the variable pool (data + meta variables) used for
-  /// scenario name→id resolution.
-  const prov::VarPool& pool() const { return artifacts_->pool; }
+  /// The shared variable pool (data + meta variables) used for scenario
+  /// name→id resolution. Shared with the authoring `Session`, not copied;
+  /// scenario compilation only accepts ids below `pool_size()`, so the
+  /// snapshot's behavior is frozen at creation.
+  const prov::VarPool& pool() const { return *artifacts_->pool; }
+
+  /// The pool size captured when the snapshot was created. Variables
+  /// interned afterwards are invisible to this snapshot.
+  std::size_t pool_size() const { return artifacts_->frozen_pool_size; }
 
   /// The meta-variables offered to analysts.
   const std::vector<MetaVar>& meta_vars() const {
@@ -175,12 +187,16 @@ class CompiledSession {
   /// Evaluates every scenario in `scenarios` against both sides in one
   /// sweep, each scenario's deltas applied independently on top of
   /// `base_meta_valuation`. Scenario names must be unique and every delta
-  /// variable must resolve in `pool()`. With the default
-  /// `BatchOptions::Sweep::kSparseDelta`, each scenario is compiled to a
-  /// small override list resolved during the scan — no per-scenario
-  /// valuation copies — and large programs are partitioned across threads
-  /// when scenarios are scarce; results are bit-identical to sequential
-  /// `Assign()` either way.
+  /// variable must resolve in `pool()` to an id the snapshot knows (interned
+  /// before the snapshot was taken). With the default
+  /// `BatchOptions::Sweep::kBlocked`, scenarios are grouped into blocks of
+  /// `block_lanes` lanes and every (block × poly-range) tile evaluates all
+  /// lanes in one scan of the compiled program; large programs are
+  /// additionally partitioned across threads when blocks are scarce, with a
+  /// term-splitting fallback for a single dominant polynomial
+  /// (`split_min_terms`). Results are bit-identical to sequential `Assign()`
+  /// for every engine (term splitting, when it triggers, is deterministic
+  /// but may regroup additions — see `BatchOptions::split_min_terms`).
   util::Result<BatchAssignReport> AssignBatch(
       const ScenarioSet& scenarios,
       const prov::Valuation& base_meta_valuation,
@@ -194,9 +210,11 @@ class CompiledSession {
   /// The valuation-independent (and most expensive) part of a snapshot,
   /// shared between sibling snapshots that differ only in defaults.
   struct Artifacts {
-    // Declaration order is initialization order: `remap` must precede
-    // `sweep_full_program`, which is built from `full_program` + `remap`.
-    prov::VarPool pool;
+    // Declaration order is initialization order: `frozen_pool_size` must
+    // precede `remap` (extended to the frozen size), which must precede
+    // `sweep_full_program` (built from `full_program` + `remap`).
+    std::shared_ptr<const prov::VarPool> pool;
+    std::size_t frozen_pool_size = 0;  ///< pool->size() at creation.
     std::vector<std::string> labels;
     std::vector<MetaVar> meta_vars;
     std::vector<prov::VarId> remap;  ///< leaf→replacement, identity-extended.
@@ -207,7 +225,7 @@ class CompiledSession {
     std::size_t compressed_monomials = 0;
 
     Artifacts(const prov::PolySet& full, const Abstraction& abstraction,
-              const prov::VarPool& pool);
+              std::shared_ptr<const prov::VarPool> pool);
   };
 
   CompiledSession(std::shared_ptr<const Artifacts> artifacts,

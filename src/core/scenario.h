@@ -106,31 +106,59 @@ class ScenarioSet {
 struct BatchOptions {
   /// Sweep implementation.
   enum class Sweep {
-    /// Each scenario compiles to a small sorted (VarId, value) override
-    /// list resolved during the scan — no per-scenario valuation copies.
-    /// The full-provenance side evaluates through a precomputed leaf→meta
-    /// indirection instead of a materialized expanded valuation. Default.
+    /// Scenario-blocked kernel: scenarios are grouped into blocks of
+    /// `block_lanes` lanes and each (block × poly-range) tile evaluates all
+    /// lanes in ONE scan of the compiled program — the base value is
+    /// broadcast per factor, a per-block override-union table patches
+    /// individual lanes, and the lane accumulators advance in lockstep, so
+    /// per-scenario results stay bit-identical to the scalar paths while the
+    /// factor/coeff arrays are read once per block instead of once per
+    /// scenario. Default.
+    kBlocked,
+    /// Scalar sparse engine: each scenario is a small sorted (VarId, value)
+    /// override list resolved during its own scan — no per-scenario
+    /// valuation copies, but one full program read per scenario. Kept as the
+    /// A/B reference for the blocked kernel (bench_a6/bench_a7).
     kSparseDelta,
     /// Legacy engine: one full-pool `Valuation` copy per scenario per side,
     /// then dense scans. Kept for A/B benchmarking (bench_a6/bench_a7) —
-    /// results are bit-identical to the sparse path.
+    /// results are bit-identical to the other engines.
     kDenseCopy,
   };
 
   /// Worker threads for the scenario sweep; 0 means
   /// `std::thread::hardware_concurrency()`. Clamped to the number of
-  /// sweep tasks (scenarios × program partitions).
+  /// sweep tasks (scenario blocks × program partitions).
   std::size_t num_threads = 0;
 
-  Sweep sweep = Sweep::kSparseDelta;
+  Sweep sweep = Sweep::kBlocked;
 
-  /// Intra-program partitioning (sparse sweep only): when there are fewer
-  /// scenarios than worker threads, each program is split into contiguous
-  /// polynomial ranges of at least this many terms so the spare threads
-  /// share one scenario's scan; per-scenario results stay bit-identical
+  /// Scenario lanes per block for `Sweep::kBlocked`: 4 or 8 (the kernel's
+  /// compile-time lane widths). A trailing ragged block (num_scenarios %
+  /// block_lanes != 0) runs with its real lane count padded up to the
+  /// nearest width; padding lanes are discarded, so ragged tails are still
+  /// bit-identical.
+  std::size_t block_lanes = 8;
+
+  /// Intra-program partitioning (blocked + sparse sweeps): when there are
+  /// fewer scenario blocks than worker threads, each program is split into
+  /// contiguous polynomial ranges of at least this many terms so the spare
+  /// threads share one block's scan; per-scenario results stay bit-identical
   /// because every polynomial is evaluated whole by exactly one thread.
   /// 0 disables partitioning.
   std::size_t partition_min_terms = 1024;
+
+  /// Term-range splitting fallback: when partitioning is active but one
+  /// polynomial dominates the program (more than half its evaluation weight,
+  /// e.g. an ungrouped aggregate) and has at least this many terms, that
+  /// polynomial's term range is split across threads and its value is
+  /// recovered by a fixed-order reduction of the slices' partial sums. The
+  /// reduction order is deterministic (independent of the thread schedule),
+  /// but regrouping the additions may differ from the unsplit scan in the
+  /// last ulp — hence the dedicated knob: 0 disables splitting and keeps
+  /// strict bit-identity with the sequential path even for dominant-poly
+  /// shapes.
+  std::size_t split_min_terms = 4096;
 };
 
 }  // namespace cobra::core

@@ -125,8 +125,12 @@ util::Result<std::shared_ptr<const CompiledSession>> Session::EnsureSnapshot()
         "call Compress() before taking a snapshot");
   }
   if (snapshot_ == nullptr) {
+    // The pool is shared, not copied: VarPool is append-only and internally
+    // synchronized, and the snapshot captures the pool size, so later
+    // interning by this session (or the owning Database) never changes what
+    // the snapshot serves.
     util::Result<std::shared_ptr<const CompiledSession>> snapshot =
-        CompiledSession::Create(full_, *abstraction_, *pool_,
+        CompiledSession::Create(full_, *abstraction_, pool_,
                                 *meta_valuation_);
     if (!snapshot.ok()) return snapshot.status();
     snapshot_ = std::move(*snapshot);

@@ -7,6 +7,159 @@
 
 namespace cobra::prov {
 
+namespace {
+
+/// The raw view of a BlockOverrides table the kernels scan: a sorted var
+/// array with a W-wide value row per var plus the [lo, hi] guard band.
+struct LaneTableView {
+  const VarId* vars = nullptr;
+  const double* values = nullptr;
+  std::size_t rows = 0;
+  VarId lo = kInvalidVar;
+  VarId hi = 0;
+};
+
+/// Looks up `var`'s per-lane value row, or nullptr when the block does not
+/// override `var`. The guard band rejects most factors with two compares;
+/// the row scan is over a handful of register-resident entries.
+template <int W>
+inline const double* FindLaneRow(const LaneTableView& table, VarId var) {
+  if (var < table.lo || var > table.hi) return nullptr;
+  for (std::size_t r = 0; r < table.rows; ++r) {
+    if (table.vars[r] == var) return table.values + r * W;
+  }
+  return nullptr;
+}
+
+/// The blocked inner loop at compile-time lane width W. Per factor the base
+/// value is loaded once and broadcast, overridden variables read their
+/// per-lane row, and the W accumulators advance in lockstep — each lane runs
+/// the scalar path's exact operation sequence (prod = coeff, prod *= value
+/// per factor, sum += prod), so per-lane results are bit-identical to the
+/// scalar sparse scan while one pass over poly_starts/term_starts/coeffs/
+/// factors serves W scenarios.
+template <int W>
+void RunBlockedRange(const std::uint32_t* poly_starts,
+                     const std::uint32_t* term_starts, const double* coeffs,
+                     const VarId* factors, const double* base,
+                     const LaneTableView& table, std::size_t poly_begin,
+                     std::size_t poly_end, std::size_t num_lanes, double* out,
+                     std::size_t lane_stride) {
+  for (std::size_t p = poly_begin; p < poly_end; ++p) {
+    double sum[W];
+#pragma omp simd
+    for (int l = 0; l < W; ++l) sum[l] = 0.0;
+    for (std::uint32_t t = poly_starts[p]; t < poly_starts[p + 1]; ++t) {
+      double prod[W];
+      const double c = coeffs[t];
+#pragma omp simd
+      for (int l = 0; l < W; ++l) prod[l] = c;
+      for (std::uint32_t f = term_starts[t]; f < term_starts[t + 1]; ++f) {
+        const VarId var = factors[f];
+        const double* row = FindLaneRow<W>(table, var);
+        if (row != nullptr) {
+#pragma omp simd
+          for (int l = 0; l < W; ++l) prod[l] *= row[l];
+        } else {
+          const double v = base[var];
+#pragma omp simd
+          for (int l = 0; l < W; ++l) prod[l] *= v;
+        }
+      }
+#pragma omp simd
+      for (int l = 0; l < W; ++l) sum[l] += prod[l];
+    }
+    for (std::size_t l = 0; l < num_lanes; ++l) {
+      out[l * lane_stride + p] = sum[l];
+    }
+  }
+}
+
+/// Term-range flavor of RunBlockedRange: accumulates the W partial sums for
+/// terms [term_begin, term_end) (all inside one polynomial) and writes lane
+/// l's partial to partials[l * lane_stride].
+template <int W>
+void RunBlockedTermRange(const std::uint32_t* term_starts,
+                         const double* coeffs, const VarId* factors,
+                         const double* base, const LaneTableView& table,
+                         std::size_t term_begin, std::size_t term_end,
+                         std::size_t num_lanes, double* partials,
+                         std::size_t lane_stride) {
+  double sum[W];
+#pragma omp simd
+  for (int l = 0; l < W; ++l) sum[l] = 0.0;
+  for (std::size_t t = term_begin; t < term_end; ++t) {
+    double prod[W];
+    const double c = coeffs[t];
+#pragma omp simd
+    for (int l = 0; l < W; ++l) prod[l] = c;
+    for (std::uint32_t f = term_starts[t]; f < term_starts[t + 1]; ++f) {
+      const VarId var = factors[f];
+      const double* row = FindLaneRow<W>(table, var);
+      if (row != nullptr) {
+#pragma omp simd
+        for (int l = 0; l < W; ++l) prod[l] *= row[l];
+      } else {
+        const double v = base[var];
+#pragma omp simd
+        for (int l = 0; l < W; ++l) prod[l] *= v;
+      }
+    }
+#pragma omp simd
+    for (int l = 0; l < W; ++l) sum[l] += prod[l];
+  }
+  for (std::size_t l = 0; l < num_lanes; ++l) {
+    partials[l * lane_stride] = sum[l];
+  }
+}
+
+}  // namespace
+
+BlockOverrides MakeBlockOverrides(const Valuation& base,
+                                  const OverrideSpan* lanes,
+                                  std::size_t num_lanes) {
+  COBRA_CHECK_MSG(
+      num_lanes >= 1 && num_lanes <= EvalProgram::kMaxLanes,
+      "MakeBlockOverrides: lane count outside [1, kMaxLanes]");
+  BlockOverrides block;
+  block.num_lanes_ = num_lanes;
+  block.width_ = num_lanes <= 4 ? 4 : 8;
+  for (std::size_t l = 0; l < num_lanes; ++l) {
+    for (std::size_t o = 0; o < lanes[l].size; ++o) {
+      block.vars_.push_back(lanes[l].data[o].var);
+    }
+  }
+  std::sort(block.vars_.begin(), block.vars_.end());
+  block.vars_.erase(std::unique(block.vars_.begin(), block.vars_.end()),
+                    block.vars_.end());
+  if (!block.vars_.empty()) {
+    COBRA_CHECK_MSG(block.vars_.back() < base.size(),
+                    "MakeBlockOverrides: override variable outside the base "
+                    "valuation");
+    block.lo_ = block.vars_.front();
+    block.hi_ = block.vars_.back();
+  }
+  // Every row defaults to the broadcast base value (this also covers the
+  // padding lanes), then each lane patches in its own overrides.
+  block.values_.resize(block.vars_.size() * block.width_);
+  for (std::size_t r = 0; r < block.vars_.size(); ++r) {
+    const double v = base.values()[block.vars_[r]];
+    for (std::size_t l = 0; l < block.width_; ++l) {
+      block.values_[r * block.width_ + l] = v;
+    }
+  }
+  for (std::size_t l = 0; l < num_lanes; ++l) {
+    for (std::size_t o = 0; o < lanes[l].size; ++o) {
+      const std::size_t r =
+          std::lower_bound(block.vars_.begin(), block.vars_.end(),
+                           lanes[l].data[o].var) -
+          block.vars_.begin();
+      block.values_[r * block.width_ + l] = lanes[l].data[o].value;
+    }
+  }
+  return block;
+}
+
 EvalProgram::EvalProgram(const PolySet& set) {
   std::size_t total_terms = set.TotalMonomials();
   poly_starts_.reserve(set.size() + 1);
@@ -70,6 +223,10 @@ void EvalProgram::EvalWithOverrides(const Valuation& base,
                                     const VarOverride* overrides,
                                     std::size_t num_overrides,
                                     std::vector<double>* out) const {
+  // Validate before touching *out, so an aborting call (and any future
+  // checked variant) never leaves the caller's output half-written.
+  COBRA_CHECK_MSG(base.size() >= min_valuation_size_,
+                  "EvalProgram::EvalWithOverrides: valuation too small");
   out->assign(NumPolys(), 0.0);
   EvalRangeWithOverrides(base, overrides, num_overrides, 0, NumPolys(),
                          out->data());
@@ -118,6 +275,81 @@ void EvalProgram::EvalRangeWithOverrides(const Valuation& base,
       sum += prod;
     }
     out[p] = sum;
+  }
+}
+
+void EvalProgram::EvalRangeBlocked(const Valuation& base,
+                                   const BlockOverrides& block,
+                                   std::size_t poly_begin,
+                                   std::size_t poly_end, double* out,
+                                   std::size_t lane_stride) const {
+  COBRA_CHECK_MSG(base.size() >= min_valuation_size_,
+                  "EvalProgram::EvalRangeBlocked: valuation too small");
+  COBRA_CHECK_MSG(poly_begin <= poly_end && poly_end <= NumPolys(),
+                  "EvalProgram::EvalRangeBlocked: bad poly range");
+  const double* values = base.values().data();
+  const LaneTableView table{block.vars_.data(), block.values_.data(),
+                            block.vars_.size(), block.lo_, block.hi_};
+  if (block.width_ == 4) {
+    RunBlockedRange<4>(poly_starts_.data(), term_starts_.data(),
+                       coeffs_.data(), factors_.data(), values, table,
+                       poly_begin, poly_end, block.num_lanes_, out,
+                       lane_stride);
+  } else {
+    RunBlockedRange<8>(poly_starts_.data(), term_starts_.data(),
+                       coeffs_.data(), factors_.data(), values, table,
+                       poly_begin, poly_end, block.num_lanes_, out,
+                       lane_stride);
+  }
+}
+
+double EvalProgram::EvalTermRangeWithOverrides(const Valuation& base,
+                                               const VarOverride* overrides,
+                                               std::size_t num_overrides,
+                                               std::size_t term_begin,
+                                               std::size_t term_end) const {
+  COBRA_CHECK_MSG(base.size() >= min_valuation_size_,
+                  "EvalProgram::EvalTermRangeWithOverrides: valuation too "
+                  "small");
+  COBRA_CHECK_MSG(term_begin <= term_end && term_end <= NumTerms(),
+                  "EvalProgram::EvalTermRangeWithOverrides: bad term range");
+  const double* values = base.values().data();
+  double sum = 0.0;
+  for (std::size_t t = term_begin; t < term_end; ++t) {
+    double prod = coeffs_[t];
+    for (std::uint32_t f = term_starts_[t]; f < term_starts_[t + 1]; ++f) {
+      const VarId var = factors_[f];
+      double v = values[var];
+      for (std::size_t o = 0; o < num_overrides; ++o) {
+        if (overrides[o].var == var) v = overrides[o].value;
+      }
+      prod *= v;
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+void EvalProgram::EvalTermRangeBlocked(const Valuation& base,
+                                       const BlockOverrides& block,
+                                       std::size_t term_begin,
+                                       std::size_t term_end, double* partials,
+                                       std::size_t lane_stride) const {
+  COBRA_CHECK_MSG(base.size() >= min_valuation_size_,
+                  "EvalProgram::EvalTermRangeBlocked: valuation too small");
+  COBRA_CHECK_MSG(term_begin <= term_end && term_end <= NumTerms(),
+                  "EvalProgram::EvalTermRangeBlocked: bad term range");
+  const double* values = base.values().data();
+  const LaneTableView table{block.vars_.data(), block.values_.data(),
+                            block.vars_.size(), block.lo_, block.hi_};
+  if (block.width_ == 4) {
+    RunBlockedTermRange<4>(term_starts_.data(), coeffs_.data(),
+                           factors_.data(), values, table, term_begin,
+                           term_end, block.num_lanes_, partials, lane_stride);
+  } else {
+    RunBlockedTermRange<8>(term_starts_.data(), coeffs_.data(),
+                           factors_.data(), values, table, term_begin,
+                           term_end, block.num_lanes_, partials, lane_stride);
   }
 }
 
@@ -171,6 +403,64 @@ std::vector<std::uint32_t> EvalProgram::PartitionPolys(
   }
   bounds.push_back(n);
   return bounds;
+}
+
+std::vector<std::uint32_t> EvalProgram::PartitionTerms(
+    std::size_t poly, std::size_t parts) const {
+  COBRA_CHECK_MSG(poly < NumPolys(), "EvalProgram::PartitionTerms: bad poly");
+  const std::uint32_t first = poly_starts_[poly];
+  const std::uint32_t last = poly_starts_[poly + 1];
+  std::vector<std::uint32_t> bounds;
+  bounds.push_back(first);
+  const std::uint32_t n = last - first;
+  if (parts <= 1 || n <= 1) {
+    bounds.push_back(last);
+    return bounds;
+  }
+  parts = std::min<std::size_t>(parts, n);
+  auto weight = [this](std::uint32_t t) {
+    return static_cast<double>(term_starts_[t + 1] - term_starts_[t] + 1);
+  };
+  double total = 0.0;
+  for (std::uint32_t t = first; t < last; ++t) total += weight(t);
+  double acc = 0.0;
+  for (std::uint32_t t = first; t < last; ++t) {
+    acc += weight(t);
+    const std::size_t emitted = bounds.size();  // ranges closed so far + 1
+    if (emitted < parts &&
+        acc >= total * static_cast<double>(emitted) /
+                   static_cast<double>(parts) &&
+        t + 1 <= last - (parts - emitted)) {
+      bounds.push_back(t + 1);
+    }
+  }
+  bounds.push_back(last);
+  return bounds;
+}
+
+std::size_t EvalProgram::DominantPoly(std::size_t min_terms) const {
+  const std::size_t n = NumPolys();
+  if (n == 0 || min_terms == 0) return n;
+  auto weight = [this](std::size_t p) {
+    const std::uint32_t terms = poly_starts_[p + 1] - poly_starts_[p];
+    const std::uint32_t factors =
+        term_starts_[poly_starts_[p + 1]] - term_starts_[poly_starts_[p]];
+    return static_cast<double>(terms + factors + 1);
+  };
+  double total = 0.0;
+  double best_weight = -1.0;
+  std::size_t best = n;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double w = weight(p);
+    total += w;
+    if (w > best_weight) {
+      best_weight = w;
+      best = p;
+    }
+  }
+  if (best == n || best_weight * 2.0 <= total) return n;
+  const std::size_t terms = poly_starts_[best + 1] - poly_starts_[best];
+  return terms >= min_terms ? best : n;
 }
 
 }  // namespace cobra::prov

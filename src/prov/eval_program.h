@@ -20,6 +20,55 @@ struct VarOverride {
   double value;
 };
 
+/// Non-owning view of one scenario's override list (sorted by `var`,
+/// duplicate-free) — one lane of a scenario block.
+struct OverrideSpan {
+  const VarOverride* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// The per-block patch table of the scenario-blocked kernel: the union of up
+/// to `EvalProgram::kMaxLanes` scenarios' override variables, with one
+/// lane-width row of values per variable (lane l reads its own override
+/// value, or the shared base value when lane l does not override that
+/// variable). Built once per scenario block by `MakeBlockOverrides()` and
+/// reused across every (poly-range | term-range) tile the block is scheduled
+/// on. The table is tiny — a handful of meta-variables times the lane width
+/// — so factor lookups are a guarded linear scan over register-resident
+/// rows, exactly like the scalar sparse path's override scan.
+class BlockOverrides {
+ public:
+  /// Number of scenario lanes the block carries (1..kMaxLanes).
+  std::size_t num_lanes() const { return num_lanes_; }
+
+  /// Padded kernel width (4 or 8): the compile-time lane count the blocked
+  /// kernel runs at. Padding lanes replicate the base value, so they execute
+  /// the same instruction stream without affecting real lanes.
+  std::size_t width() const { return width_; }
+
+ private:
+  friend class EvalProgram;
+  friend BlockOverrides MakeBlockOverrides(const Valuation& base,
+                                           const OverrideSpan* lanes,
+                                           std::size_t num_lanes);
+
+  std::vector<VarId> vars_;     ///< Sorted union of overridden variables.
+  std::vector<double> values_;  ///< vars_.size() rows of `width_` lane values.
+  std::size_t num_lanes_ = 0;
+  std::size_t width_ = 0;
+  // Inclusive guard band so factors outside [lo_, hi_] skip the row scan;
+  // an empty table uses lo_ > hi_ so the guard never matches.
+  VarId lo_ = kInvalidVar;
+  VarId hi_ = 0;
+};
+
+/// Builds the block patch table for `num_lanes` (1..EvalProgram::kMaxLanes)
+/// scenario override lists over the shared `base` valuation. Every override
+/// variable must be covered by `base`.
+BlockOverrides MakeBlockOverrides(const Valuation& base,
+                                  const OverrideSpan* lanes,
+                                  std::size_t num_lanes);
+
 /// A compiled, cache-friendly form of a `PolySet` for repeated valuation.
 ///
 /// The assignment phase of the paper applies many valuations to the same
@@ -36,6 +85,9 @@ struct VarOverride {
 /// threads concurrently.
 class EvalProgram {
  public:
+  /// Maximum scenario lanes per block of the blocked kernel.
+  static constexpr std::size_t kMaxLanes = 8;
+
   /// Compiles `set`. The program remains valid as long as VarIds are stable.
   explicit EvalProgram(const PolySet& set);
 
@@ -58,7 +110,8 @@ class EvalProgram {
   /// value, everything else reads `base`. The override list must be
   /// duplicate-free (it is scanned linearly; with duplicates the last match
   /// wins). `out` is resized to NumPolys(). Aborts on an undersized base —
-  /// same contract as Eval().
+  /// same contract as Eval() — and validates before touching `*out`, so a
+  /// failed call never leaves the output half-written.
   void EvalWithOverrides(const Valuation& base, const VarOverride* overrides,
                          std::size_t num_overrides,
                          std::vector<double>* out) const;
@@ -75,6 +128,42 @@ class EvalProgram {
                               std::size_t poly_begin, std::size_t poly_end,
                               double* out) const;
 
+  /// Scenario-blocked kernel: evaluates polynomials [poly_begin, poly_end)
+  /// for all of `block`'s scenario lanes in ONE scan of the compiled arrays.
+  /// Per factor, the shared base value is loaded once and broadcast across
+  /// lanes; variables in the block's patch table instead read their per-lane
+  /// row. Lane l writes `out[l * lane_stride + p]` for each p in the range.
+  /// Each lane performs exactly the scalar path's operation sequence
+  /// (prod = coeff; prod *= value per factor; sum += prod), so per-lane
+  /// results are bit-identical to EvalRangeWithOverrides() with that lane's
+  /// override list — the lanes only amortize the program scan and vectorize
+  /// the multiplies. Aborts on an undersized base or bad range.
+  void EvalRangeBlocked(const Valuation& base, const BlockOverrides& block,
+                        std::size_t poly_begin, std::size_t poly_end,
+                        double* out, std::size_t lane_stride) const;
+
+  /// Partial-sum form of EvalRangeWithOverrides() for term-range splitting:
+  /// returns the sum of term products over the absolute term range
+  /// [term_begin, term_end), which must lie inside one polynomial (use
+  /// PartitionTerms() for bounds). Summation starts at 0.0 and adds terms in
+  /// compiled order, so evaluating a polynomial's full term range is
+  /// bit-identical to its EvalRangeWithOverrides() result; a split
+  /// polynomial's value is recovered by adding the slices' partials in slice
+  /// order (deterministic, but rounding may differ from the unsplit scan in
+  /// the last ulp — see BatchOptions::split_min_terms).
+  double EvalTermRangeWithOverrides(const Valuation& base,
+                                    const VarOverride* overrides,
+                                    std::size_t num_overrides,
+                                    std::size_t term_begin,
+                                    std::size_t term_end) const;
+
+  /// Blocked form of EvalTermRangeWithOverrides(): lane l's partial sum is
+  /// written to `partials[l * lane_stride]`. Same bit-identity contract as
+  /// EvalRangeBlocked() against the scalar term-range scan.
+  void EvalTermRangeBlocked(const Valuation& base, const BlockOverrides& block,
+                            std::size_t term_begin, std::size_t term_end,
+                            double* partials, std::size_t lane_stride) const;
+
   /// Returns a copy of this program whose factor ids are translated through
   /// `remap` (ids at or beyond `remap.size()` stay unchanged). The serving
   /// layer uses this to bake the leaf→meta-variable indirection into the
@@ -89,6 +178,22 @@ class EvalProgram {
   /// with no empty ranges. Used to partition one large program across
   /// threads when there are fewer scenarios than cores.
   std::vector<std::uint32_t> PartitionPolys(std::size_t parts) const;
+
+  /// Splits polynomial `poly`'s term range into at most `parts` contiguous
+  /// sub-ranges of roughly equal factor weight. Returns absolute term
+  /// bounds into the compiled term arrays: sorted, starting at the poly's
+  /// first term and ending one past its last, with no empty ranges. Used by
+  /// the term-splitting scheduler fallback when one dominant polynomial
+  /// would otherwise pin a whole scenario block to a single thread.
+  std::vector<std::uint32_t> PartitionTerms(std::size_t poly,
+                                            std::size_t parts) const;
+
+  /// Returns the index of the polynomial whose evaluation weight strictly
+  /// exceeds half the program's total weight AND that has at least
+  /// `min_terms` terms, or NumPolys() when no polynomial qualifies. The
+  /// batch scheduler splits such a polynomial's term range across threads
+  /// instead of leaving its whole-poly range on one.
+  std::size_t DominantPoly(std::size_t min_terms) const;
 
   /// Number of compiled polynomials.
   std::size_t NumPolys() const { return poly_starts_.size() - 1; }

@@ -2,6 +2,8 @@
 #define COBRA_PROV_VARIABLE_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -23,9 +25,21 @@ constexpr VarId kInvalidVar = static_cast<VarId>(-1);
 /// compact integer ids and never copy strings. Meta-variables created by an
 /// abstraction are interned into the same pool, which keeps valuation arrays
 /// dense.
+///
+/// The pool is append-only and safe to share between one authoring thread
+/// and any number of concurrent readers: `Intern()` may run concurrently
+/// with `Find()`/`Name()`/`size()` (a shared mutex guards the table, and
+/// names live in a deque so `Name()` references stay stable as the pool
+/// grows). This is what lets `Session` hand the same pool to its immutable
+/// `CompiledSession` snapshots by `shared_ptr` instead of deep-copying it —
+/// ids are stable forever, so a snapshot that captured the pool size at
+/// creation simply ignores later additions.
 class VarPool {
  public:
   VarPool() = default;
+
+  VarPool(const VarPool& other);
+  VarPool& operator=(const VarPool& other);
 
   /// Returns the id for `name`, interning it on first use.
   VarId Intern(std::string_view name);
@@ -38,14 +52,16 @@ class VarPool {
     return Find(name) != kInvalidVar;
   }
 
-  /// Returns the name of `id`. Aborts on out-of-range ids.
+  /// Returns the name of `id`. Aborts on out-of-range ids. The reference
+  /// stays valid for the pool's lifetime (names are never moved).
   const std::string& Name(VarId id) const;
 
   /// Number of interned variables.
-  std::size_t size() const { return names_.size(); }
+  std::size_t size() const;
 
  private:
-  std::vector<std::string> names_;
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> names_;  ///< Deque: stable refs under growth.
   std::unordered_map<std::string, VarId> index_;
 };
 

@@ -135,18 +135,29 @@ TEST_F(AssignBatchTest, ThreadCountDoesNotChangeResults) {
   one.num_threads = 1;
   BatchOptions four;
   four.num_threads = 4;
+  four.sweep = BatchOptions::Sweep::kSparseDelta;  // 7 scalar tasks
+  BatchOptions blocks;
+  blocks.num_threads = 4;
+  blocks.block_lanes = 4;  // 7 scenarios -> 2 blocked tiles
   BatchAssignReport a = session.AssignBatch(scenarios, one).ValueOrDie();
   BatchAssignReport b = session.AssignBatch(scenarios, four).ValueOrDie();
+  BatchAssignReport c = session.AssignBatch(scenarios, blocks).ValueOrDie();
   EXPECT_EQ(a.num_threads, 1u);
-  EXPECT_EQ(b.num_threads, 4u);  // clamped to 7 scenarios, 4 < 7
+  EXPECT_EQ(b.num_threads, 4u);  // clamped to 7 scenario tasks, 4 < 7
+  EXPECT_EQ(c.num_threads, 2u);  // clamped to 2 scenario blocks
   ASSERT_EQ(a.reports.size(), b.reports.size());
+  ASSERT_EQ(a.reports.size(), c.reports.size());
   for (std::size_t i = 0; i < a.reports.size(); ++i) {
     const auto& ra = a.reports[i].delta.rows;
     const auto& rb = b.reports[i].delta.rows;
+    const auto& rc = c.reports[i].delta.rows;
     ASSERT_EQ(ra.size(), rb.size());
+    ASSERT_EQ(ra.size(), rc.size());
     for (std::size_t r = 0; r < ra.size(); ++r) {
       EXPECT_EQ(ra[r].full, rb[r].full);
       EXPECT_EQ(ra[r].compressed, rb[r].compressed);
+      EXPECT_EQ(ra[r].full, rc[r].full);
+      EXPECT_EQ(ra[r].compressed, rc[r].compressed);
     }
   }
 }

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -170,6 +173,67 @@ TEST(CompiledSessionTest, SparseOverridesMatchSequentialWithExponents) {
   dense.sweep = BatchOptions::Sweep::kDenseCopy;
   ExpectBitIdentical(sequential,
                      snapshot->AssignBatch(scenarios, dense).ValueOrDie());
+
+  // The blocked kernel must reproduce the same bits for both lane widths;
+  // 7 scenarios leave a ragged tail at either width.
+  for (std::size_t lanes : {4u, 8u}) {
+    BatchOptions blocked;
+    blocked.sweep = BatchOptions::Sweep::kBlocked;
+    blocked.block_lanes = lanes;
+    ExpectBitIdentical(
+        sequential, snapshot->AssignBatch(scenarios, blocked).ValueOrDie());
+  }
+}
+
+// Blocked-sweep property check at batch scale: scenario counts chosen to
+// cover exact-multiple and ragged tails for both lane widths, across thread
+// counts that exercise the (block × range) tiling, must all be bit-identical
+// to the sequential path.
+TEST(CompiledSessionTest, BlockedSweepBitIdenticalAcrossLaneAndThreadCounts) {
+  Session session;
+  LoadPaperSession(&session);
+  const std::vector<MetaVar>& meta = session.meta_vars();
+  ASSERT_FALSE(meta.empty());
+
+  for (std::size_t count : {1u, 4u, 5u, 8u, 13u, 16u}) {
+    ScenarioSet scenarios;
+    for (std::size_t i = 0; i < count; ++i) {
+      auto s = scenarios.Add("s" + std::to_string(i));
+      if (i % 3 != 0) {  // every third scenario keeps an empty override list
+        s.Set(meta[i % meta.size()].name,
+              1.0 + 0.03 * static_cast<double>(i + 1));
+      }
+    }
+    std::vector<ResultDelta> sequential =
+        SequentialDeltas(&session, scenarios);
+    auto snapshot = session.Snapshot().ValueOrDie();
+    for (std::size_t lanes : {4u, 8u}) {
+      for (std::size_t threads : {1u, 3u, 8u}) {
+        BatchOptions options;
+        options.sweep = BatchOptions::Sweep::kBlocked;
+        options.block_lanes = lanes;
+        options.num_threads = threads;
+        options.partition_min_terms = 1;  // force range tiling when spare
+        ExpectBitIdentical(
+            sequential,
+            snapshot->AssignBatch(scenarios, options).ValueOrDie());
+      }
+    }
+  }
+}
+
+TEST(CompiledSessionTest, BlockedRejectsBadLaneCount) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios;
+  scenarios.Add("s").Set("Business", 1.1);
+  BatchOptions options;
+  options.block_lanes = 3;
+  util::Result<BatchAssignReport> result =
+      snapshot->AssignBatch(scenarios, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
 }
 
 TEST(CompiledSessionTest, PartitionedSweepIsDeterministic) {
@@ -189,6 +253,124 @@ TEST(CompiledSessionTest, PartitionedSweepIsDeterministic) {
     options.partition_min_terms = 1;  // force partitioning, tiny program
     ExpectBitIdentical(
         sequential, snapshot->AssignBatch(scenarios, options).ValueOrDie());
+  }
+}
+
+/// A session whose provenance is dominated by one polynomial (60 distinct
+/// monomials vs a 2-term sibling), with G abstracting {a0, a1}. Bound 61
+/// forces the {G} cut. This is the "ungrouped aggregate" shape the
+/// term-splitting scheduler fallback exists for.
+void LoadDominantPolySession(Session* session) {
+  std::string text = "Big = ";
+  for (int t = 0; t < 60; ++t) {
+    if (t > 0) text += " + ";
+    text += std::to_string(t % 9 + 1) + " * a" + std::to_string(t);
+  }
+  text += "\nSmall = a0 + 3 * z\n";
+  session->LoadPolynomialsText(text).CheckOK();
+  session->SetTreeText("G\n  a0\n  a1\n").CheckOK();
+  session->SetBound(61);
+  session->Compress().ValueOrDie();
+  ASSERT_FALSE(session->meta_vars().empty());
+}
+
+// The term-splitting fallback: with one dominant polynomial and more
+// threads than scenario blocks, both scan engines split its term range and
+// recover the value by a fixed-order reduction. The result must be
+// deterministic (identical bits across repeated runs and across engines),
+// tightly accurate against the sequential path, and strictly bit-identical
+// again once splitting is disabled.
+TEST(CompiledSessionTest, TermSplitFallbackDeterministicAndAccurate) {
+  Session session;
+  LoadDominantPolySession(&session);
+  ScenarioSet scenarios;
+  scenarios.Add("boom").Set("G", 1.25);
+  scenarios.Add("mix").Set("G", 0.8).Set("z", 1.5);
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+  auto snapshot = session.Snapshot().ValueOrDie();
+
+  std::vector<BatchAssignReport> split_results;
+  for (BatchOptions::Sweep sweep :
+       {BatchOptions::Sweep::kBlocked, BatchOptions::Sweep::kSparseDelta}) {
+    BatchOptions split;
+    split.sweep = sweep;
+    split.num_threads = 8;
+    split.partition_min_terms = 1;
+    split.split_min_terms = 8;
+    BatchAssignReport a = snapshot->AssignBatch(scenarios, split).ValueOrDie();
+    BatchAssignReport b = snapshot->AssignBatch(scenarios, split).ValueOrDie();
+    // Witness that the fallback engaged: term slices raise the tile count
+    // to (blocks × [ranges + slices]) ≥ 8, so all 8 workers get work —
+    // without splitting this two-poly program caps at 2 ranges per block.
+    EXPECT_EQ(a.num_threads, 8u);
+    ASSERT_EQ(a.reports.size(), sequential.size());
+    for (std::size_t i = 0; i < a.reports.size(); ++i) {
+      const auto& ra = a.reports[i].delta.rows;
+      const auto& rb = b.reports[i].delta.rows;
+      ASSERT_EQ(ra.size(), sequential[i].rows.size());
+      ASSERT_EQ(rb.size(), ra.size());
+      for (std::size_t r = 0; r < ra.size(); ++r) {
+        // Deterministic: repeated runs reproduce the same bits.
+        EXPECT_EQ(ra[r].full, rb[r].full);
+        EXPECT_EQ(ra[r].compressed, rb[r].compressed);
+        // Accurate: the reduction may regroup additions, but only within a
+        // tight relative tolerance of the sequential answer.
+        const double want_full = sequential[i].rows[r].full;
+        const double want_compressed = sequential[i].rows[r].compressed;
+        EXPECT_NEAR(ra[r].full, want_full,
+                    1e-9 * std::max(1.0, std::fabs(want_full)));
+        EXPECT_NEAR(ra[r].compressed, want_compressed,
+                    1e-9 * std::max(1.0, std::fabs(want_compressed)));
+      }
+    }
+    split_results.push_back(std::move(a));
+
+    BatchOptions nosplit = split;
+    nosplit.split_min_terms = 0;
+    ExpectBitIdentical(
+        sequential, snapshot->AssignBatch(scenarios, nosplit).ValueOrDie());
+  }
+
+  // The blocked and scalar engines slice and reduce identically, so even
+  // the split results agree bit for bit across engines.
+  const auto& blocked = split_results[0];
+  const auto& scalar = split_results[1];
+  for (std::size_t i = 0; i < blocked.reports.size(); ++i) {
+    const auto& rb = blocked.reports[i].delta.rows;
+    const auto& rs = scalar.reports[i].delta.rows;
+    ASSERT_EQ(rb.size(), rs.size());
+    for (std::size_t r = 0; r < rb.size(); ++r) {
+      EXPECT_EQ(rb[r].full, rs[r].full);
+      EXPECT_EQ(rb[r].compressed, rs[r].compressed);
+    }
+  }
+}
+
+TEST(CompiledSessionTest, SnapshotSharesPoolAndFreezesItsSize) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  // Shared by pointer, not deep-copied (the old per-snapshot pool copy made
+  // Snapshot() O(pool) even when nothing changed).
+  EXPECT_EQ(&snapshot->pool(), &session.pool());
+  EXPECT_EQ(snapshot->pool_size(), session.pool().size());
+
+  // A variable interned after the snapshot resolves in the shared pool but
+  // is outside the snapshot's frozen world: scenario compilation rejects it
+  // instead of silently ignoring it (sparse) or aborting (dense).
+  session.mutable_pool()->Intern("late_var");
+  ScenarioSet scenarios;
+  scenarios.Add("late").Set("late_var", 2.0);
+  for (BatchOptions::Sweep sweep :
+       {BatchOptions::Sweep::kBlocked, BatchOptions::Sweep::kSparseDelta,
+        BatchOptions::Sweep::kDenseCopy}) {
+    BatchOptions options;
+    options.sweep = sweep;
+    util::Result<BatchAssignReport> result =
+        snapshot->AssignBatch(scenarios, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("after"), std::string::npos);
   }
 }
 
@@ -238,12 +420,15 @@ TEST(CompiledSessionConcurrencyTest, ManyThreadsMatchSequential) {
   pool.reserve(kThreads);
   for (std::size_t t = 0; t < kThreads; ++t) {
     pool.emplace_back([&, t]() {
-      // Alternate sweep engines and thread counts across workers so the
-      // sparse, dense, and partitioned paths all run concurrently.
+      // Alternate sweep engines, lane widths, and thread counts across
+      // workers so the blocked, sparse, dense, and partitioned paths all
+      // run concurrently.
       BatchOptions options;
       options.num_threads = 1 + t % 3;
-      options.sweep = t % 2 == 0 ? BatchOptions::Sweep::kSparseDelta
-                                 : BatchOptions::Sweep::kDenseCopy;
+      options.sweep = t % 3 == 0   ? BatchOptions::Sweep::kBlocked
+                      : t % 3 == 1 ? BatchOptions::Sweep::kSparseDelta
+                                   : BatchOptions::Sweep::kDenseCopy;
+      options.block_lanes = t % 2 == 0 ? 8 : 4;
       options.partition_min_terms = t % 4 == 0 ? 1 : 1024;
       for (std::size_t i = 0; i < kIterations; ++i) {
         results[t].push_back(
@@ -256,6 +441,105 @@ TEST(CompiledSessionConcurrencyTest, ManyThreadsMatchSequential) {
   for (std::size_t t = 0; t < kThreads; ++t) {
     ASSERT_EQ(results[t].size(), kIterations);
     for (const BatchAssignReport& batch : results[t]) {
+      ExpectBitIdentical(sequential, batch);
+    }
+  }
+}
+
+// The tiled scheduler with term splitting active (poly ranges + term slices
+// + the post-join fixed-order reduction) must stay data-race-free and
+// deterministic when many snapshot users run it concurrently. Run under
+// ThreadSanitizer in CI.
+TEST(CompiledSessionConcurrencyTest, SplitTiledSchedulerDeterministic) {
+  Session session;
+  LoadDominantPolySession(&session);
+  ScenarioSet scenarios;
+  scenarios.Add("boom").Set("G", 1.25);
+  scenarios.Add("mix").Set("G", 0.8).Set("z", 1.5);
+  auto snapshot = session.Snapshot().ValueOrDie();
+
+  BatchOptions split;
+  split.num_threads = 4;
+  split.partition_min_terms = 1;
+  split.split_min_terms = 8;
+  const BatchAssignReport want =
+      snapshot->AssignBatch(scenarios, split).ValueOrDie();
+
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kIterations = 8;
+  std::vector<std::vector<BatchAssignReport>> results(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      BatchOptions options = split;
+      options.sweep = t % 2 == 0 ? BatchOptions::Sweep::kBlocked
+                                 : BatchOptions::Sweep::kSparseDelta;
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        results[t].push_back(
+            snapshot->AssignBatch(scenarios, options).ValueOrDie());
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  for (const std::vector<BatchAssignReport>& per_thread : results) {
+    for (const BatchAssignReport& batch : per_thread) {
+      ASSERT_EQ(batch.reports.size(), want.reports.size());
+      for (std::size_t i = 0; i < want.reports.size(); ++i) {
+        const auto& wr = want.reports[i].delta.rows;
+        const auto& gr = batch.reports[i].delta.rows;
+        ASSERT_EQ(gr.size(), wr.size());
+        for (std::size_t r = 0; r < wr.size(); ++r) {
+          EXPECT_EQ(gr[r].full, wr[r].full);
+          EXPECT_EQ(gr[r].compressed, wr[r].compressed);
+        }
+      }
+    }
+  }
+}
+
+// Snapshots share the session's pool instead of copying it, so the one
+// mutation the authoring side may perform concurrently — interning new
+// names (e.g. the owning Database keeps loading data) — must be safe
+// against serving reads. VarPool synchronizes internally; this test is the
+// TSan witness for that contract.
+TEST(CompiledSessionConcurrencyTest, ServingWhileAuthoringInterns) {
+  Session session;
+  LoadPaperSession(&session);
+  ScenarioSet scenarios;
+  scenarios.Add("boom").Set("Business", 1.25);
+  scenarios.Add("slump").Set("Business", 0.8).Set("Special", 0.9);
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+  auto snapshot = session.Snapshot().ValueOrDie();
+
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kIterations = 12;
+  std::vector<std::vector<BatchAssignReport>> results(kReaders);
+  std::vector<std::thread> pool;
+  pool.reserve(kReaders + 1);
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    pool.emplace_back([&, t]() {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        results[t].push_back(snapshot->AssignBatch(scenarios).ValueOrDie());
+      }
+    });
+  }
+  pool.emplace_back([&]() {
+    // The writer grows the shared pool and reads it back while serving is
+    // in flight. (Mutating the Session itself stays single-threaded, per
+    // its contract — only the pool is shared.)
+    for (int i = 0; i < 300; ++i) {
+      prov::VarId id =
+          session.mutable_pool()->Intern("late_" + std::to_string(i));
+      ASSERT_NE(session.pool().Find("Business"), prov::kInvalidVar);
+      ASSERT_EQ(session.pool().Name(id), "late_" + std::to_string(i));
+    }
+  });
+  for (std::thread& th : pool) th.join();
+
+  for (const std::vector<BatchAssignReport>& per_thread : results) {
+    for (const BatchAssignReport& batch : per_thread) {
       ExpectBitIdentical(sequential, batch);
     }
   }

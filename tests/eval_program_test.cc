@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "prov/poly_set.h"
 #include "prov/valuation.h"
 #include "prov/variable.h"
+#include "util/rng.h"
 
 namespace cobra::prov {
 namespace {
@@ -241,6 +243,285 @@ TEST(EvalProgramPartitionTest, BoundariesCoverAllPolysWithoutGaps) {
   ASSERT_EQ(bounds.size(), 2u);
   EXPECT_EQ(bounds[0], 0u);
   EXPECT_EQ(bounds[1], 0u);
+}
+
+TEST(EvalProgramOverridesTest, UndersizedBaseAbortsBeforeTouchingOutput) {
+  VarPool pool;
+  PolySet set = Parse("P = x * y + z\n", &pool);
+  EvalProgram program(set);
+  ASSERT_EQ(program.MinValuationSize(), 3u);
+
+  Valuation small(static_cast<std::size_t>(2));
+  std::vector<double> out{-1.0, -2.0};
+  // Size validation now happens before *out is resized, so the abort fires
+  // with the caller's buffer untouched.
+  EXPECT_DEATH(program.EvalWithOverrides(small, nullptr, 0, &out),
+               "valuation too small");
+}
+
+/// Builds a random polynomial set over `num_vars` pooled variables: uneven
+/// term counts, coefficients of both signs, exponents up to 5 (so repeated
+/// factors are exercised), plus occasional constant and empty polynomials.
+PolySet RandomPolySet(util::Rng* rng, VarPool* pool, std::size_t num_vars,
+                      std::size_t num_polys) {
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    pool->Intern("x" + std::to_string(v));
+  }
+  std::string text;
+  for (std::size_t p = 0; p < num_polys; ++p) {
+    text += "P" + std::to_string(p) + " = ";
+    const std::size_t terms = rng->NextBelow(7);
+    if (terms == 0) {
+      text += "0\n";
+      continue;
+    }
+    for (std::size_t t = 0; t < terms; ++t) {
+      const double coeff = rng->NextDoubleInRange(-4.0, 4.0);
+      if (t == 0) {
+        if (coeff < 0) text += "- ";
+      } else {
+        text += coeff < 0 ? " - " : " + ";
+      }
+      text += std::to_string(std::fabs(coeff));
+      const std::size_t factors = rng->NextBelow(4);
+      for (std::size_t f = 0; f < factors; ++f) {
+        text += " * x" + std::to_string(rng->NextBelow(num_vars));
+        if (rng->NextBool(0.3)) {
+          text += "^" + std::to_string(rng->NextInRange(2, 5));
+        }
+      }
+    }
+    text += "\n";
+  }
+  return Parse(text, pool);
+}
+
+/// Builds a sorted, duplicate-free random override list over `num_vars`
+/// variables; may be empty.
+std::vector<VarOverride> RandomOverrides(util::Rng* rng,
+                                         std::size_t num_vars) {
+  std::vector<VarOverride> overrides;
+  const std::size_t count = rng->NextBelow(5);
+  for (std::size_t o = 0; o < count; ++o) {
+    const VarId var = static_cast<VarId>(rng->NextBelow(num_vars));
+    bool duplicate = false;
+    for (const VarOverride& existing : overrides) {
+      if (existing.var == var) duplicate = true;
+    }
+    if (!duplicate) {
+      overrides.push_back({var, rng->NextDoubleInRange(0.0, 3.0)});
+    }
+  }
+  std::sort(overrides.begin(), overrides.end(),
+            [](const VarOverride& a, const VarOverride& b) {
+              return a.var < b.var;
+            });
+  return overrides;
+}
+
+// The blocked kernel's contract: for every lane count (including ragged
+// counts that pad up to the 4- or 8-wide kernel), every lane's results are
+// bit-identical to the scalar sparse path with that lane's override list —
+// including lanes with empty lists and overrides of variables that never
+// appear in the program.
+TEST(EvalProgramBlockedTest, BlockedLanesBitIdenticalToScalarRandomized) {
+  util::Rng rng(20260730);
+  for (int trial = 0; trial < 25; ++trial) {
+    VarPool pool;
+    const std::size_t num_vars = 4 + rng.NextBelow(16);
+    const std::size_t num_polys = 1 + rng.NextBelow(10);
+    PolySet set = RandomPolySet(&rng, &pool, num_vars, num_polys);
+    EvalProgram program(set);
+    Valuation base(pool);
+    for (std::size_t v = 0; v < pool.size(); ++v) {
+      base.Set(static_cast<VarId>(v), rng.NextDoubleInRange(0.25, 2.0));
+    }
+
+    for (std::size_t num_lanes : {1u, 2u, 3u, 4u, 5u, 7u, 8u}) {
+      std::vector<std::vector<VarOverride>> lane_lists(num_lanes);
+      OverrideSpan spans[EvalProgram::kMaxLanes];
+      for (std::size_t l = 0; l < num_lanes; ++l) {
+        lane_lists[l] = RandomOverrides(&rng, pool.size());
+        spans[l] = {lane_lists[l].data(), lane_lists[l].size()};
+      }
+      BlockOverrides block = MakeBlockOverrides(base, spans, num_lanes);
+      EXPECT_EQ(block.num_lanes(), num_lanes);
+      EXPECT_EQ(block.width(), num_lanes <= 4 ? 4u : 8u);
+
+      const std::size_t polys = program.NumPolys();
+      std::vector<double> blocked(num_lanes * polys, -1.0);
+      program.EvalRangeBlocked(base, block, 0, polys, blocked.data(), polys);
+
+      for (std::size_t l = 0; l < num_lanes; ++l) {
+        std::vector<double> want;
+        program.EvalWithOverrides(base, lane_lists[l].data(),
+                                  lane_lists[l].size(), &want);
+        for (std::size_t p = 0; p < polys; ++p) {
+          EXPECT_EQ(blocked[l * polys + p], want[p])
+              << "trial " << trial << " lanes " << num_lanes << " lane " << l
+              << " poly " << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalProgramBlockedTest, SubRangesComposeToWholeProgram) {
+  util::Rng rng(7);
+  VarPool pool;
+  PolySet set = RandomPolySet(&rng, &pool, 10, 9);
+  EvalProgram program(set);
+  Valuation base(pool);
+  std::vector<VarOverride> ov = {{1, 0.5}, {3, 2.5}};
+  OverrideSpan spans[2] = {{ov.data(), ov.size()}, {nullptr, 0}};
+  BlockOverrides block = MakeBlockOverrides(base, spans, 2);
+
+  const std::size_t polys = program.NumPolys();
+  std::vector<double> whole(2 * polys, 0.0);
+  program.EvalRangeBlocked(base, block, 0, polys, whole.data(), polys);
+
+  std::vector<double> pieces(2 * polys, 0.0);
+  const std::vector<std::uint32_t> bounds = program.PartitionPolys(4);
+  for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
+    program.EvalRangeBlocked(base, block, bounds[r], bounds[r + 1],
+                             pieces.data(), polys);
+  }
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(pieces[i], whole[i]);
+  }
+}
+
+TEST(EvalProgramTermRangeTest, WholePolyTermRangeMatchesRangeEval) {
+  util::Rng rng(11);
+  VarPool pool;
+  PolySet set = RandomPolySet(&rng, &pool, 8, 6);
+  EvalProgram program(set);
+  Valuation base(pool);
+  std::vector<VarOverride> ov = {{0, 1.7}, {2, 0.4}};
+
+  std::vector<double> want;
+  program.EvalWithOverrides(base, ov.data(), ov.size(), &want);
+  for (std::size_t p = 0; p < program.NumPolys(); ++p) {
+    const std::vector<std::uint32_t> whole = program.PartitionTerms(p, 1);
+    ASSERT_EQ(whole.size(), 2u);
+    // One slice = the same additions in the same order: bit-identical.
+    EXPECT_EQ(program.EvalTermRangeWithOverrides(base, ov.data(), ov.size(),
+                                                 whole[0], whole[1]),
+              want[p])
+        << "poly " << p;
+  }
+}
+
+TEST(EvalProgramTermRangeTest, PartitionTermsBoundsWellFormed) {
+  util::Rng rng(13);
+  VarPool pool;
+  PolySet set = RandomPolySet(&rng, &pool, 8, 5);
+  EvalProgram program(set);
+  for (std::size_t p = 0; p < program.NumPolys(); ++p) {
+    for (std::size_t parts : {1u, 2u, 3u, 64u}) {
+      const std::vector<std::uint32_t> bounds =
+          program.PartitionTerms(p, parts);
+      ASSERT_GE(bounds.size(), 2u);
+      for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+        EXPECT_LE(bounds[i], bounds[i + 1]);
+      }
+      EXPECT_LE(bounds.size() - 1, std::max<std::size_t>(parts, 1));
+    }
+  }
+}
+
+TEST(EvalProgramTermRangeTest, SlicedPartialsReduceToPolyValue) {
+  VarPool pool;
+  // One long polynomial so multi-slice splits are non-trivial.
+  std::string text = "P = ";
+  for (int t = 0; t < 40; ++t) {
+    if (t > 0) text += " + ";
+    text += std::to_string(t + 1) + " * x" + std::to_string(t % 7);
+    if (t % 3 == 0) text += "^2";
+  }
+  text += "\n";
+  PolySet set = Parse(text, &pool);
+  EvalProgram program(set);
+  Valuation base(pool);
+  std::vector<VarOverride> ov = {{1, 0.9}, {4, 1.3}};
+  std::vector<double> want;
+  program.EvalWithOverrides(base, ov.data(), ov.size(), &want);
+
+  for (std::size_t parts : {2u, 3u, 8u}) {
+    const std::vector<std::uint32_t> bounds = program.PartitionTerms(0, parts);
+    double reduced = 0.0;
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      reduced += program.EvalTermRangeWithOverrides(base, ov.data(), ov.size(),
+                                                    bounds[k], bounds[k + 1]);
+    }
+    // The fixed-order reduction may regroup additions, so compare to within
+    // a tight relative tolerance, and check it is exactly reproducible.
+    EXPECT_NEAR(reduced, want[0], 1e-9 * std::abs(want[0]));
+    double again = 0.0;
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      again += program.EvalTermRangeWithOverrides(base, ov.data(), ov.size(),
+                                                  bounds[k], bounds[k + 1]);
+    }
+    EXPECT_EQ(again, reduced);
+  }
+}
+
+TEST(EvalProgramTermRangeTest, BlockedTermRangeMatchesScalarPartials) {
+  util::Rng rng(17);
+  VarPool pool;
+  PolySet set = RandomPolySet(&rng, &pool, 12, 4);
+  EvalProgram program(set);
+  Valuation base(pool);
+  for (std::size_t v = 0; v < pool.size(); ++v) {
+    base.Set(static_cast<VarId>(v), rng.NextDoubleInRange(0.5, 1.5));
+  }
+  std::vector<std::vector<VarOverride>> lane_lists(5);
+  OverrideSpan spans[EvalProgram::kMaxLanes];
+  for (std::size_t l = 0; l < lane_lists.size(); ++l) {
+    lane_lists[l] = RandomOverrides(&rng, pool.size());
+    spans[l] = {lane_lists[l].data(), lane_lists[l].size()};
+  }
+  BlockOverrides block = MakeBlockOverrides(base, spans, lane_lists.size());
+
+  for (std::size_t p = 0; p < program.NumPolys(); ++p) {
+    const std::vector<std::uint32_t> bounds = program.PartitionTerms(p, 3);
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      double partials[EvalProgram::kMaxLanes];
+      program.EvalTermRangeBlocked(base, block, bounds[k], bounds[k + 1],
+                                   partials, 1);
+      for (std::size_t l = 0; l < lane_lists.size(); ++l) {
+        EXPECT_EQ(partials[l],
+                  program.EvalTermRangeWithOverrides(
+                      base, lane_lists[l].data(), lane_lists[l].size(),
+                      bounds[k], bounds[k + 1]))
+            << "poly " << p << " slice " << k << " lane " << l;
+      }
+    }
+  }
+}
+
+TEST(EvalProgramDominantPolyTest, FindsDominantAndRespectsMinTerms) {
+  VarPool pool;
+  std::string text = "Small1 = x + y\nSmall2 = 2 * x\nBig = ";
+  // Distinct monomials (the parser merges identical ones).
+  for (int t = 0; t < 50; ++t) {
+    if (t > 0) text += " + ";
+    text += std::to_string(t + 1) + " * v" + std::to_string(t) + " * y";
+  }
+  text += "\n";
+  PolySet set = Parse(text, &pool);
+  EvalProgram program(set);
+
+  EXPECT_EQ(program.DominantPoly(1), 2u);
+  EXPECT_EQ(program.DominantPoly(50), 2u);
+  EXPECT_EQ(program.DominantPoly(51), program.NumPolys());  // too few terms
+  EXPECT_EQ(program.DominantPoly(0), program.NumPolys());   // disabled
+
+  // A balanced program has no dominant polynomial.
+  VarPool pool2;
+  PolySet balanced = Parse("A = x + y\nB = 2 * x + z\nC = y + z\n", &pool2);
+  EvalProgram balanced_program(balanced);
+  EXPECT_EQ(balanced_program.DominantPoly(1), balanced_program.NumPolys());
 }
 
 }  // namespace
