@@ -8,36 +8,84 @@
 // override list resolved during the scan, so adding analysts costs no
 // full-pool valuation copies.
 //
-// Usage: batch_whatif [num_scenarios]
+// With a snapshot path, the example demonstrates the *multi-node* flow: if
+// the file exists it is loaded and served from directly — no tree, no
+// source polynomials, no compression, exactly what a replica process does —
+// otherwise the compression runs once and the snapshot is written for the
+// next invocation:
+//
+//   batch_whatif 1000 snap.bin     # first run: compress + save snap.bin
+//   batch_whatif 1000 snap.bin     # replica run: load, zero recompilation
+//
+// Usage: batch_whatif [num_scenarios] [snapshot_file]
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
 #include "core/compiled_session.h"
+#include "core/io.h"
 #include "core/scenario.h"
 #include "core/session.h"
 #include "data/example_db.h"
+#include "util/status.h"
 
-int main(int argc, char** argv) {
-  using namespace cobra;
+namespace {
 
-  std::size_t extra = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+using namespace cobra;
 
+/// Compresses the running example and returns its serving snapshot; when
+/// `save_path` is non-empty the snapshot is also written to disk.
+std::shared_ptr<const core::CompiledSession> CompressAndSnapshot(
+    const std::string& save_path) {
   core::Session session;
   session.LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
   session.SetTreeText(data::kFigure2TreeText).CheckOK();
   session.SetBound(6);  // cut {Business, Special, p1, p2}
   core::CompressionReport report = session.Compress().ValueOrDie();
-  std::printf("compressed %zu -> %zu monomials under cut %s\n\n",
+  std::printf("compressed %zu -> %zu monomials under cut %s\n",
               report.original_size, report.compressed_size,
               report.cut_description.c_str());
-
-  // The immutable serving snapshot: compiled programs + frozen pool +
-  // default valuations. Safe to hand to any number of threads, and
-  // unaffected by whatever the authoring session does next.
   std::shared_ptr<const core::CompiledSession> snapshot =
       session.Snapshot().ValueOrDie();
+  if (!save_path.empty()) {
+    core::SaveSnapshot(*snapshot, save_path).CheckOK();
+    std::printf("snapshot saved to %s — rerun to serve from it\n",
+                save_path.c_str());
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t extra = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 0;
+  std::string snapshot_path = argc > 2 ? argv[2] : "";
+
+  // The immutable serving snapshot: compiled programs + frozen pool +
+  // default valuations. Safe to hand to any number of threads. A replica
+  // reconstructs it from the snapshot file alone; results are bit-identical
+  // to the origin process.
+  std::shared_ptr<const core::CompiledSession> snapshot;
+  if (!snapshot_path.empty()) {
+    util::Result<std::shared_ptr<const core::CompiledSession>> loaded =
+        core::LoadSnapshot(snapshot_path);
+    if (loaded.ok()) {
+      snapshot = *loaded;
+      std::printf(
+          "serving from snapshot %s (pool %zu, %zu -> %zu monomials) — "
+          "no recompilation\n",
+          snapshot_path.c_str(), snapshot->pool_size(),
+          snapshot->full_size(), snapshot->compressed_size());
+    } else {
+      // Missing on the first run, or stale/corrupted: fall back to the
+      // origin path, which rewrites the file for the next invocation.
+      std::printf("%s — compressing instead\n",
+                  loaded.status().ToString().c_str());
+    }
+  }
+  if (snapshot == nullptr) snapshot = CompressAndSnapshot(snapshot_path);
+  std::printf("\n");
 
   // Named scenarios, each an independent set of deltas over the defaults.
   // Add() returns an index-stable handle, so earlier handles survive later

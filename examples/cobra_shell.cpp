@@ -18,6 +18,11 @@
 //   package <file>                   load a compressed package and evaluate
 //                                    it under its defaults (the analyst-side
 //                                    path; sizes are checked, not assumed)
+//   snapshot save <file>             write the compiled serving snapshot
+//                                    (programs + pool + defaults; binary)
+//   snapshot load <file>             load a snapshot as a replica would and
+//                                    evaluate it under its defaults — zero
+//                                    recompilation, bit-identical results
 //   # ...                            comment
 //
 // Example session (using the bundled telephony example): see
@@ -68,6 +73,7 @@ class Shell {
     if (command == "show") return Show(in);
     if (command == "save") return Save(in);
     if (command == "package") return Package(in);
+    if (command == "snapshot") return Snapshot(in);
     std::printf("error: unknown command '%s'\n", command.c_str());
     return true;
   }
@@ -220,6 +226,47 @@ class Shell {
       std::printf("  %-16s = %.6g\n",
                   package->polynomials.label(i).c_str(), answers[i]);
     }
+    return true;
+  }
+
+  bool Snapshot(std::istringstream& in) {
+    std::string action, path;
+    in >> action >> path;
+    if (action == "save") {
+      if (!session_.IsCompressed()) {
+        std::printf("error: compress before saving a snapshot\n");
+        return true;
+      }
+      util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
+          session_.Snapshot();
+      if (!snapshot.ok()) return Report(snapshot.status());
+      util::Status status = core::SaveSnapshot(**snapshot, path);
+      if (status.ok()) {
+        std::printf("snapshot written to %s (pool %zu, %zu -> %zu monomials)\n",
+                    path.c_str(), (*snapshot)->pool_size(),
+                    (*snapshot)->full_size(), (*snapshot)->compressed_size());
+      }
+      return Report(status);
+    }
+    if (action == "load") {
+      // The replica side: reconstruct the serving session from the file
+      // alone (no tree, no source polynomials, no recompilation) and
+      // evaluate it under its shipped defaults.
+      util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
+          core::LoadSnapshot(path);
+      if (!snapshot.ok()) return Report(snapshot.status());
+      std::printf(
+          "snapshot %s: %zu groups, %zu meta-vars, pool %zu, "
+          "%zu -> %zu monomials\n",
+          path.c_str(), (*snapshot)->labels().size(),
+          (*snapshot)->meta_vars().size(), (*snapshot)->pool_size(),
+          (*snapshot)->full_size(), (*snapshot)->compressed_size());
+      util::Result<core::AssignReport> report = (*snapshot)->Assign(1);
+      if (!report.ok()) return Report(report.status());
+      std::printf("%s", report->ToString(15).c_str());
+      return true;
+    }
+    std::printf("error: usage: snapshot save|load <file>\n");
     return true;
   }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/io.h"
 #include "util/str.h"
 #include "util/timer.h"
 
@@ -82,6 +83,22 @@ CompiledSession::Artifacts::Artifacts(
       full_monomials(full.TotalMonomials()),
       compressed_monomials(abstraction.compressed.TotalMonomials()) {}
 
+CompiledSession::Artifacts::Artifacts(
+    std::shared_ptr<const prov::VarPool> pool_in,
+    std::size_t frozen_pool_size_in, std::vector<std::string> labels_in,
+    std::vector<MetaVar> meta_vars_in, std::vector<prov::VarId> remap_in,
+    prov::EvalProgram full, prov::EvalProgram compressed)
+    : pool(std::move(pool_in)),
+      frozen_pool_size(frozen_pool_size_in),
+      labels(std::move(labels_in)),
+      meta_vars(std::move(meta_vars_in)),
+      remap(std::move(remap_in)),
+      full_program(std::move(full)),
+      sweep_full_program(full_program.RemapFactors(remap)),
+      compressed_program(std::move(compressed)),
+      full_monomials(full_program.NumTerms()),
+      compressed_monomials(compressed_program.NumTerms()) {}
+
 CompiledSession::CompiledSession(std::shared_ptr<const Artifacts> artifacts,
                                  prov::Valuation default_meta)
     : artifacts_(std::move(artifacts)),
@@ -117,6 +134,99 @@ util::Result<std::shared_ptr<const CompiledSession>> CompiledSession::Create(
   }
   return std::shared_ptr<const CompiledSession>(new CompiledSession(
       std::move(artifacts), default_meta_valuation));
+}
+
+util::Result<std::shared_ptr<const CompiledSession>>
+CompiledSession::FromSnapshot(const SnapshotPackage& snapshot) {
+  auto invalid = [](std::string msg) {
+    return util::Status::InvalidArgument("CompiledSession::FromSnapshot: " +
+                                         std::move(msg));
+  };
+  const std::size_t pool_size = snapshot.pool_names.size();
+
+  // Rebuild the frozen pool: interning the names in id order must reproduce
+  // a dense 0..n-1 id sequence, which fails exactly when a name repeats.
+  auto pool = std::make_shared<prov::VarPool>();
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    const std::string& name = snapshot.pool_names[i];
+    if (name.empty()) {
+      return invalid(util::StrFormat("pool name %zu is empty", i));
+    }
+    if (pool->Intern(name) != i) {
+      return invalid(util::StrFormat("duplicate pool name \"%s\" (id %zu)",
+                                     name.c_str(), i));
+    }
+  }
+
+  util::Result<prov::EvalProgram> full = prov::EvalProgram::FromParts(
+      snapshot.full_program.poly_starts, snapshot.full_program.term_starts,
+      snapshot.full_program.coeffs, snapshot.full_program.factors);
+  if (!full.ok()) {
+    return invalid("full program: " + full.status().message());
+  }
+  util::Result<prov::EvalProgram> compressed = prov::EvalProgram::FromParts(
+      snapshot.compressed_program.poly_starts,
+      snapshot.compressed_program.term_starts,
+      snapshot.compressed_program.coeffs,
+      snapshot.compressed_program.factors);
+  if (!compressed.ok()) {
+    return invalid("compressed program: " + compressed.status().message());
+  }
+
+  if (full->NumPolys() != compressed->NumPolys()) {
+    return invalid(util::StrFormat(
+        "group count mismatch (full=%zu compressed=%zu)", full->NumPolys(),
+        compressed->NumPolys()));
+  }
+  if (snapshot.labels.size() != full->NumPolys()) {
+    return invalid(util::StrFormat(
+        "label count %zu does not match the %zu polynomial groups",
+        snapshot.labels.size(), full->NumPolys()));
+  }
+  if (snapshot.leaf_to_meta.size() != pool_size) {
+    return invalid(util::StrFormat(
+        "leaf_to_meta covers %zu variables but the pool holds %zu",
+        snapshot.leaf_to_meta.size(), pool_size));
+  }
+  for (prov::VarId mapped : snapshot.leaf_to_meta) {
+    if (mapped >= pool_size) {
+      return invalid(util::StrFormat(
+          "leaf_to_meta references variable id %u outside the pool", mapped));
+    }
+  }
+  for (const MetaVar& mv : snapshot.meta_vars) {
+    if (mv.var >= pool_size) {
+      return invalid(util::StrFormat(
+          "meta-variable \"%s\" has id %u outside the pool", mv.name.c_str(),
+          mv.var));
+    }
+    for (prov::VarId leaf : mv.leaves) {
+      if (leaf >= pool_size) {
+        return invalid(util::StrFormat(
+            "meta-variable \"%s\" leaf id %u is outside the pool",
+            mv.name.c_str(), leaf));
+      }
+    }
+  }
+  if (snapshot.default_meta.size() != pool_size) {
+    return invalid(util::StrFormat(
+        "default valuation covers %zu variables but the pool holds %zu",
+        snapshot.default_meta.size(), pool_size));
+  }
+  if (full->MinValuationSize() > pool_size ||
+      compressed->MinValuationSize() > pool_size) {
+    return invalid("compiled programs reference variables outside the pool");
+  }
+
+  auto artifacts = std::make_shared<const Artifacts>(
+      std::move(pool), pool_size, snapshot.labels, snapshot.meta_vars,
+      snapshot.leaf_to_meta, std::move(*full), std::move(*compressed));
+  prov::Valuation default_meta(pool_size);
+  for (prov::VarId v = 0; v < pool_size; ++v) {
+    default_meta.Set(v, snapshot.default_meta[v]);
+  }
+  return std::shared_ptr<const CompiledSession>(
+      new CompiledSession(std::move(artifacts), std::move(default_meta)));
 }
 
 std::shared_ptr<const CompiledSession>

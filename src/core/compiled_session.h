@@ -17,6 +17,8 @@
 
 namespace cobra::core {
 
+struct SnapshotPackage;  // core/io.h
+
 /// Outcome of one hypothetical-scenario assignment through the session:
 /// everything the demo UI displays (result deltas, provenance sizes, and
 /// the assignment speedup).
@@ -97,6 +99,19 @@ class CompiledSession {
       const prov::PolySet& full, const Abstraction& abstraction,
       std::shared_ptr<const prov::VarPool> pool,
       const prov::Valuation& default_meta_valuation);
+
+  /// Reconstructs a serving session from a deserialized `SnapshotPackage`
+  /// (core/io.h) — the replica-side factory. Nothing is recompiled: the
+  /// pool is rebuilt by re-interning the frozen names in id order, the
+  /// full/compressed programs are restored from their compiled arrays, and
+  /// the sweep-side program is re-derived by the same deterministic
+  /// `RemapFactors(leaf_to_meta)` the origin used — so `Assign` and
+  /// `AssignBatch` results are bit-identical to the origin process under
+  /// every `BatchOptions::Sweep` engine. Structural inconsistencies
+  /// (duplicate pool names, ids outside the pool, label/program group-count
+  /// mismatches, malformed program arrays) are rejected with a Status.
+  static util::Result<std::shared_ptr<const CompiledSession>> FromSnapshot(
+      const SnapshotPackage& snapshot);
 
   /// Returns a snapshot sharing this one's compiled programs and metadata
   /// but with a different default meta valuation (cheap: no recompilation).
@@ -226,6 +241,15 @@ class CompiledSession {
 
     Artifacts(const prov::PolySet& full, const Abstraction& abstraction,
               std::shared_ptr<const prov::VarPool> pool);
+
+    /// Deserialization path: assembles the artifacts from pre-built pieces
+    /// (FromSnapshot). `sweep_full_program` is re-derived from
+    /// `full_program` and `remap` exactly as the compiling constructor
+    /// does, and the monomial counts from the programs' term counts.
+    Artifacts(std::shared_ptr<const prov::VarPool> pool,
+              std::size_t frozen_pool_size, std::vector<std::string> labels,
+              std::vector<MetaVar> meta_vars, std::vector<prov::VarId> remap,
+              prov::EvalProgram full, prov::EvalProgram compressed);
   };
 
   CompiledSession(std::shared_ptr<const Artifacts> artifacts,

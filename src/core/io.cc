@@ -1,13 +1,103 @@
 #include "core/io.h"
 
+#include <bit>
+#include <cctype>
+#include <cstring>
+
+#include "core/compiled_session.h"
 #include "prov/parser.h"
 #include "util/csv.h"
+#include "util/hash.h"
 #include "util/str.h"
 
 namespace cobra::core {
 
-std::string SerializePackage(const CompressedPackage& package,
-                             const prov::VarPool& pool) {
+namespace {
+
+/// True iff `name` survives the text package round trip in the [meta] and
+/// [defaults] sections: the identifier charset, which also excludes the
+/// format's delimiters (`=`, `#`, `<-`) and any whitespace.
+bool IsPackageVarName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Variables rendered inside a polynomial face a stricter rule: the parser
+/// lexes a token starting with a digit or '.' as a *number*, so a name like
+/// "1e5" would serialize fine and re-parse as the constant 100000 — a
+/// silently different polynomial. Identifiers must start with a letter or
+/// underscore.
+bool IsPolyParsableName(std::string_view name) {
+  if (!IsPackageVarName(name)) return false;
+  return std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_';
+}
+
+util::Status BadName(const char* role, std::string_view name) {
+  return util::Status::InvalidArgument(util::StrFormat(
+      "SerializePackage: %s \"%s\" cannot be represented in the package "
+      "format (names must match [A-Za-z0-9_.]+; polynomial variables must "
+      "also start with a letter or '_')",
+      role, std::string(name).c_str()));
+}
+
+/// Labels sit on the left of `label = polynomial` lines: they may contain
+/// spaces, but an embedded `=` or newline, surrounding whitespace (trimmed
+/// away on load), or a first character that reads as a comment or section
+/// header would corrupt the round trip.
+util::Status ValidateLabel(std::string_view label) {
+  if (label.empty() || util::Trim(label) != label ||
+      label.find('=') != std::string_view::npos ||
+      label.find('\n') != std::string_view::npos || label[0] == '#' ||
+      label[0] == '[') {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "SerializePackage: label \"%s\" cannot be represented in the "
+        "package format (labels must be trimmed, '='-free, and must not "
+        "start with '#' or '[')",
+        std::string(label).c_str()));
+  }
+  return util::Status::OK();
+}
+
+util::Status ValidatePackageNames(const CompressedPackage& package,
+                                  const prov::VarPool& pool) {
+  for (const std::string& label : package.polynomials.labels()) {
+    COBRA_RETURN_IF_ERROR(ValidateLabel(label));
+  }
+  for (prov::VarId var : package.polynomials.AllVariables()) {
+    if (var >= pool.size()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "SerializePackage: polynomial references variable id %u outside "
+          "the pool (%zu variables)",
+          var, pool.size()));
+    }
+    if (!IsPolyParsableName(pool.Name(var))) {
+      return BadName("polynomial variable", pool.Name(var));
+    }
+  }
+  for (const auto& [meta, leaves] : package.meta_groups) {
+    if (!IsPackageVarName(meta)) return BadName("meta-variable", meta);
+    for (const std::string& leaf : leaves) {
+      if (!IsPackageVarName(leaf)) return BadName("meta-group leaf", leaf);
+    }
+  }
+  for (const auto& [name, value] : package.defaults) {
+    (void)value;
+    if (!IsPackageVarName(name)) return BadName("default entry", name);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<std::string> SerializePackage(const CompressedPackage& package,
+                                           const prov::VarPool& pool) {
+  COBRA_RETURN_IF_ERROR(ValidatePackageNames(package, pool));
   std::string out = "[polynomials]\n";
   out += package.polynomials.ToString(pool);
   out += "[meta]\n";
@@ -125,14 +215,352 @@ CompressedPackage MakePackage(const Abstraction& abstraction,
 
 util::Status SavePackage(const CompressedPackage& package,
                          const prov::VarPool& pool, const std::string& path) {
-  return util::WriteFile(path, SerializePackage(package, pool));
+  util::Result<std::string> text = SerializePackage(package, pool);
+  if (!text.ok()) return text.status();
+  return util::WriteFile(path, *text);
 }
 
 util::Result<CompressedPackage> LoadPackage(const std::string& path,
                                             prov::VarPool* pool) {
   util::Result<std::string> text = util::ReadFile(path);
-  if (!text.ok()) return text.status();
-  return ParsePackage(*text, pool);
+  if (!text.ok()) return text.status();  // Already names the path.
+  if (util::Trim(*text).empty()) {
+    return util::Status::ParseError("package file " + path +
+                                    ": file is empty");
+  }
+  util::Result<CompressedPackage> package = ParsePackage(*text, pool);
+  if (!package.ok()) {
+    return util::Status(package.status().code(),
+                        "package file " + path + ": " +
+                            package.status().message());
+  }
+  return package;
+}
+
+// ---------------------------------------------------------------------------
+// Binary snapshot format.
+//
+// Layout (all integers little-endian):
+//
+//   magic              8 bytes  "COBRASNP"
+//   format_version     u32      kSnapshotFormatVersion
+//   payload_size       u64      bytes following the header
+//   payload_checksum   u64      FNV-1a (util::HashBytes) of the payload
+//   payload:
+//     pool_names       u64 count, then per name: u32 length + bytes
+//     labels           u64 count, then strings as above
+//     meta_vars        u64 count, then per entry:
+//                        u32 var, u32 node, string name,
+//                        u64 leaf count, u32 leaves...
+//     leaf_to_meta     u64 count, u32 entries
+//     full_program     4 arrays, each u64 count + elements
+//                        (u32 poly_starts / u32 term_starts /
+//                         f64-as-u64-bits coeffs / u32 factors)
+//     compressed_program  same shape
+//     default_meta     u64 count, f64-as-u64-bits values
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'C', 'O', 'B', 'R', 'A', 'S', 'N', 'P'};
+constexpr std::size_t kSnapshotHeaderSize = 8 + 4 + 8 + 8;
+
+class BinaryWriter {
+ public:
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void U32Vec(const std::vector<std::uint32_t>& v) {
+    U64(v.size());
+    for (std::uint32_t x : v) U32(x);
+  }
+  void F64Vec(const std::vector<double>& v) {
+    U64(v.size());
+    for (double x : v) F64(x);
+  }
+  void StrVec(const std::vector<std::string>& v) {
+    U64(v.size());
+    for (const std::string& s : v) Str(s);
+  }
+  void Program(const EvalProgramImage& p) {
+    U32Vec(p.poly_starts);
+    U32Vec(p.term_starts);
+    F64Vec(p.coeffs);
+    U32Vec(p.factors);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over the snapshot payload. Every
+/// failure names the source (file path) and the byte offset, so a truncated
+/// or corrupted artifact is diagnosable from the message alone.
+class BinaryReader {
+ public:
+  BinaryReader(std::string_view data, const std::string& source)
+      : data_(data), source_(source) {}
+
+  util::Status U32(std::uint32_t* out) {
+    COBRA_RETURN_IF_ERROR(Need(4, "a 32-bit field"));
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return util::Status::OK();
+  }
+
+  util::Status U64(std::uint64_t* out) {
+    COBRA_RETURN_IF_ERROR(Need(8, "a 64-bit field"));
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return util::Status::OK();
+  }
+
+  util::Status F64(double* out) {
+    std::uint64_t bits = 0;
+    COBRA_RETURN_IF_ERROR(U64(&bits));
+    *out = std::bit_cast<double>(bits);
+    return util::Status::OK();
+  }
+
+  util::Status Str(std::string* out) {
+    std::uint32_t length = 0;
+    COBRA_RETURN_IF_ERROR(U32(&length));
+    COBRA_RETURN_IF_ERROR(Need(length, "string bytes"));
+    out->assign(data_.substr(pos_, length));
+    pos_ += length;
+    return util::Status::OK();
+  }
+
+  /// Reads a u64 element count, guarding against counts that could not
+  /// possibly fit in the remaining bytes (`min_elem_size` bytes each), so a
+  /// corrupted length reads as "truncated" instead of an allocation bomb.
+  util::Status Count(std::size_t min_elem_size, std::size_t* out) {
+    std::uint64_t count = 0;
+    COBRA_RETURN_IF_ERROR(U64(&count));
+    if (count > (data_.size() - pos_) / min_elem_size) {
+      return Fail("an element count larger than the remaining payload");
+    }
+    *out = static_cast<std::size_t>(count);
+    return util::Status::OK();
+  }
+
+  util::Status U32Vec(std::vector<std::uint32_t>* out) {
+    std::size_t count = 0;
+    COBRA_RETURN_IF_ERROR(Count(4, &count));
+    out->resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      COBRA_RETURN_IF_ERROR(U32(&(*out)[i]));
+    }
+    return util::Status::OK();
+  }
+
+  util::Status F64Vec(std::vector<double>* out) {
+    std::size_t count = 0;
+    COBRA_RETURN_IF_ERROR(Count(8, &count));
+    out->resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      COBRA_RETURN_IF_ERROR(F64(&(*out)[i]));
+    }
+    return util::Status::OK();
+  }
+
+  util::Status StrVec(std::vector<std::string>* out) {
+    std::size_t count = 0;
+    COBRA_RETURN_IF_ERROR(Count(4, &count));
+    out->resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      COBRA_RETURN_IF_ERROR(Str(&(*out)[i]));
+    }
+    return util::Status::OK();
+  }
+
+  util::Status Program(EvalProgramImage* out) {
+    COBRA_RETURN_IF_ERROR(U32Vec(&out->poly_starts));
+    COBRA_RETURN_IF_ERROR(U32Vec(&out->term_starts));
+    COBRA_RETURN_IF_ERROR(F64Vec(&out->coeffs));
+    COBRA_RETURN_IF_ERROR(U32Vec(&out->factors));
+    return util::Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t pos() const { return pos_; }
+
+  util::Status Fail(const std::string& what) const {
+    return util::Status::ParseError(
+        util::StrFormat("snapshot %s: %s at payload byte %zu",
+                        source_.c_str(), what.c_str(), pos_));
+  }
+
+ private:
+  util::Status Need(std::size_t bytes, const char* what) const {
+    if (data_.size() - pos_ < bytes) {
+      return Fail(std::string("truncated payload: expected ") + what);
+    }
+    return util::Status::OK();
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  const std::string& source_;
+};
+
+EvalProgramImage ImageOf(const prov::EvalProgram& program) {
+  return EvalProgramImage{program.poly_starts(), program.term_starts(),
+                          program.coeffs(), program.factors()};
+}
+
+}  // namespace
+
+SnapshotPackage MakeSnapshot(const CompiledSession& session) {
+  SnapshotPackage snapshot;
+  snapshot.pool_names = session.pool().NamesUpTo(session.pool_size());
+  snapshot.labels = session.labels();
+  snapshot.meta_vars = session.meta_vars();
+  snapshot.leaf_to_meta = session.leaf_to_meta();
+  snapshot.full_program = ImageOf(session.full_program());
+  snapshot.compressed_program = ImageOf(session.compressed_program());
+  // The default valuation is serialized dense over exactly the frozen pool:
+  // entries beyond it (possible after WithDefaultMetaValuation with an
+  // oversized valuation) are unobservable through any snapshot evaluation,
+  // since the programs and meta-variables only reference frozen ids.
+  snapshot.default_meta.reserve(session.pool_size());
+  for (prov::VarId v = 0; v < session.pool_size(); ++v) {
+    snapshot.default_meta.push_back(session.default_meta_valuation().Get(v));
+  }
+  return snapshot;
+}
+
+std::string SerializeSnapshot(const SnapshotPackage& snapshot) {
+  BinaryWriter payload;
+  payload.StrVec(snapshot.pool_names);
+  payload.StrVec(snapshot.labels);
+  payload.U64(snapshot.meta_vars.size());
+  for (const MetaVar& mv : snapshot.meta_vars) {
+    payload.U32(mv.var);
+    payload.U32(mv.node);
+    payload.Str(mv.name);
+    payload.U64(mv.leaves.size());
+    for (prov::VarId leaf : mv.leaves) payload.U32(leaf);
+  }
+  payload.U32Vec(snapshot.leaf_to_meta);
+  payload.Program(snapshot.full_program);
+  payload.Program(snapshot.compressed_program);
+  payload.F64Vec(snapshot.default_meta);
+  const std::string body = payload.Take();
+
+  BinaryWriter out;
+  std::string header(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.U32(kSnapshotFormatVersion);
+  out.U64(body.size());
+  out.U64(util::HashBytes(body));
+  return header + out.Take() + body;
+}
+
+util::Result<SnapshotPackage> ParseSnapshot(std::string_view data,
+                                            const std::string& source) {
+  auto fail = [&source](const std::string& what) {
+    return util::Status::ParseError("snapshot " + source + ": " + what);
+  };
+  if (data.empty()) return fail("file is empty");
+  if (data.size() < kSnapshotHeaderSize) {
+    return fail(util::StrFormat(
+        "file is only %zu bytes — smaller than the %zu-byte header",
+        data.size(), kSnapshotHeaderSize));
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return fail("bad magic (not a COBRA snapshot file)");
+  }
+  BinaryReader header(data.substr(sizeof(kSnapshotMagic)), source);
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+  COBRA_RETURN_IF_ERROR(header.U32(&version));
+  COBRA_RETURN_IF_ERROR(header.U64(&payload_size));
+  COBRA_RETURN_IF_ERROR(header.U64(&checksum));
+  if (version != kSnapshotFormatVersion) {
+    return fail(util::StrFormat(
+        "unsupported format version %u (this build reads version %u)",
+        version, kSnapshotFormatVersion));
+  }
+  std::string_view payload = data.substr(kSnapshotHeaderSize);
+  if (payload.size() != payload_size) {
+    return fail(util::StrFormat(
+        "truncated: header promises %llu payload bytes but %zu are present",
+        static_cast<unsigned long long>(payload_size), payload.size()));
+  }
+  if (util::HashBytes(payload) != checksum) {
+    return fail("payload checksum mismatch (file is corrupted)");
+  }
+
+  BinaryReader reader(payload, source);
+  SnapshotPackage snapshot;
+  COBRA_RETURN_IF_ERROR(reader.StrVec(&snapshot.pool_names));
+  COBRA_RETURN_IF_ERROR(reader.StrVec(&snapshot.labels));
+  std::size_t meta_count = 0;
+  COBRA_RETURN_IF_ERROR(reader.Count(4 + 4 + 4 + 8, &meta_count));
+  snapshot.meta_vars.resize(meta_count);
+  for (MetaVar& mv : snapshot.meta_vars) {
+    COBRA_RETURN_IF_ERROR(reader.U32(&mv.var));
+    COBRA_RETURN_IF_ERROR(reader.U32(&mv.node));
+    COBRA_RETURN_IF_ERROR(reader.Str(&mv.name));
+    std::size_t leaf_count = 0;
+    COBRA_RETURN_IF_ERROR(reader.Count(4, &leaf_count));
+    mv.leaves.resize(leaf_count);
+    for (prov::VarId& leaf : mv.leaves) {
+      COBRA_RETURN_IF_ERROR(reader.U32(&leaf));
+    }
+  }
+  COBRA_RETURN_IF_ERROR(reader.U32Vec(&snapshot.leaf_to_meta));
+  COBRA_RETURN_IF_ERROR(reader.Program(&snapshot.full_program));
+  COBRA_RETURN_IF_ERROR(reader.Program(&snapshot.compressed_program));
+  COBRA_RETURN_IF_ERROR(reader.F64Vec(&snapshot.default_meta));
+  if (!reader.AtEnd()) {
+    return reader.Fail("trailing bytes after the last field");
+  }
+  return snapshot;
+}
+
+util::Status SaveSnapshot(const CompiledSession& session,
+                          const std::string& path) {
+  return util::WriteFile(path, SerializeSnapshot(MakeSnapshot(session)));
+}
+
+util::Result<std::shared_ptr<const CompiledSession>> LoadSnapshot(
+    const std::string& path) {
+  util::Result<std::string> data = util::ReadFile(path);
+  if (!data.ok()) return data.status();  // Already names the path.
+  util::Result<SnapshotPackage> snapshot = ParseSnapshot(*data, path);
+  if (!snapshot.ok()) return snapshot.status();
+  util::Result<std::shared_ptr<const CompiledSession>> session =
+      CompiledSession::FromSnapshot(*snapshot);
+  if (!session.ok()) {
+    return util::Status(session.status().code(),
+                        "snapshot " + path + ": " +
+                            session.status().message());
+  }
+  return session;
 }
 
 }  // namespace cobra::core

@@ -1,17 +1,22 @@
 #ifndef COBRA_CORE_IO_H_
 #define COBRA_CORE_IO_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/apply.h"
+#include "prov/eval_program.h"
 #include "prov/poly_set.h"
 #include "prov/valuation.h"
 #include "prov/variable.h"
 #include "util/status.h"
 
 namespace cobra::core {
+
+class CompiledSession;
 
 /// A self-contained compressed-provenance package — what the meta-analyst
 /// ships to analysts (Section 1: provenance is generated and compressed on
@@ -39,8 +44,18 @@ struct CompressedPackage {
 /// Lines are order-preserving; `#` comments and blank lines are ignored on
 /// load. Variables are rendered by name, so the package is independent of
 /// any particular VarPool's ids.
-std::string SerializePackage(const CompressedPackage& package,
-                             const prov::VarPool& pool);
+///
+/// The format is line- and token-delimited, so it cannot represent every
+/// string: variable names must match the identifier charset
+/// (`[A-Za-z0-9_.]+` — in particular no whitespace and none of the
+/// delimiters `=`, `#`, `<-`), variables appearing in polynomials must
+/// additionally start with a letter or `_` (the parser lexes digit- and
+/// dot-leading tokens as numbers), and labels must be `=`-free, trimmed,
+/// and must not look like a comment or section header. A package whose
+/// names fall outside that set would silently corrupt the round trip, so
+/// serialization rejects it with `InvalidArgument` instead.
+util::Result<std::string> SerializePackage(const CompressedPackage& package,
+                                           const prov::VarPool& pool);
 
 /// Parses a package, interning all variables into `pool`.
 util::Result<CompressedPackage> ParsePackage(std::string_view text,
@@ -53,11 +68,92 @@ CompressedPackage MakePackage(const Abstraction& abstraction,
                               const prov::Valuation& base,
                               const prov::VarPool& pool);
 
-/// Writes/reads a package to/from a file.
+/// Writes/reads a package to/from a file. Load failures identify the file:
+/// a missing or unreadable path, an empty file, and a malformed body each
+/// produce a Status naming `path` and what was wrong with it.
 util::Status SavePackage(const CompressedPackage& package,
                          const prov::VarPool& pool, const std::string& path);
 util::Result<CompressedPackage> LoadPackage(const std::string& path,
                                             prov::VarPool* pool);
+
+// ---------------------------------------------------------------------------
+// Serving snapshots: the binary artifact a replica process loads.
+// ---------------------------------------------------------------------------
+
+/// Version of the binary snapshot format written by SerializeSnapshot().
+/// Readers accept exactly this version; any change to the payload layout
+/// must bump it (see README "Shipping snapshots to replicas" for the
+/// compatibility policy).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// The compiled arrays of one `prov::EvalProgram`, exactly as exported by
+/// its accessors. Rebuilding via `EvalProgram::FromParts` yields a program
+/// that evaluates bit-identically (evaluation reads nothing else).
+struct EvalProgramImage {
+  std::vector<std::uint32_t> poly_starts;
+  std::vector<std::uint32_t> term_starts;
+  std::vector<double> coeffs;
+  std::vector<prov::VarId> factors;
+};
+
+/// Everything `CompiledSession` serves from, in process-independent form —
+/// the multi-node counterpart of `CompressedPackage`: where the text package
+/// ships *source* polynomials for an analyst to recompile, the snapshot
+/// ships the *compiled* serving artifact, so a replica reconstructs a
+/// `CompiledSession` with zero recompilation and bit-identical results.
+///
+/// Contents:
+///   - the frozen variable pool (names in id order up to the snapshot's
+///     `pool_size()`; a replica re-interns them in order and recovers
+///     identical `VarId`s);
+///   - group labels and the abstraction's meta-variables (ids, names, leaf
+///     lists — `MetaVar::node` is carried as opaque metadata; the replica
+///     has no tree);
+///   - the leaf→meta mapping and the compiled full/compressed programs.
+///     The third program the serving layer uses (`sweep_full_program`) is
+///     *not* stored: it is by construction `full.RemapFactors(leaf_to_meta)`
+///     and is rebuilt deterministically on load, which keeps the artifact
+///     smaller and structurally impossible to de-synchronize;
+///   - the default compressed-side valuation, dense over the frozen pool
+///     (the full-side expansion is likewise recomputed deterministically).
+struct SnapshotPackage {
+  std::vector<std::string> pool_names;   ///< Frozen pool, id order.
+  std::vector<std::string> labels;       ///< One per polynomial group.
+  std::vector<MetaVar> meta_vars;
+  std::vector<prov::VarId> leaf_to_meta; ///< Identity-extended remap.
+  EvalProgramImage full_program;
+  EvalProgramImage compressed_program;
+  std::vector<double> default_meta;      ///< Dense, pool_names.size() values.
+};
+
+/// Captures `session`'s complete serving state as a `SnapshotPackage`.
+SnapshotPackage MakeSnapshot(const CompiledSession& session);
+
+/// Encodes a snapshot to the versioned binary format: an 8-byte magic, the
+/// format version, the payload length, and an FNV-1a checksum of the
+/// payload, followed by the little-endian payload. Doubles are stored as
+/// IEEE-754 bit patterns, so values round-trip exactly.
+std::string SerializeSnapshot(const SnapshotPackage& snapshot);
+
+/// Decodes the binary format. `source` names the origin (a file path) in
+/// every error: bad magic, unsupported version, length/checksum mismatch,
+/// or a payload truncated mid-field all produce a descriptive Status.
+util::Result<SnapshotPackage> ParseSnapshot(std::string_view data,
+                                            const std::string& source);
+
+/// Writes `session`'s snapshot to `path` in the binary format.
+util::Status SaveSnapshot(const CompiledSession& session,
+                          const std::string& path);
+
+/// Reads a snapshot file and reconstructs a serving session from it — the
+/// replica-side entry point. No recompilation happens: the compiled arrays
+/// are loaded as-is (and the sweep-side program re-derived by the same
+/// deterministic remap the origin used), so `Assign`/`AssignBatch` results
+/// are bit-identical to the origin process under every sweep engine.
+/// Missing, empty, truncated, and corrupted files all fail with a Status
+/// naming `path` and the specific problem.
+util::Result<std::shared_ptr<const CompiledSession>> LoadSnapshot(
+    const std::string& path);
 
 }  // namespace cobra::core
 

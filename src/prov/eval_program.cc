@@ -183,6 +183,45 @@ EvalProgram::EvalProgram(const PolySet& set) {
   }
 }
 
+util::Result<EvalProgram> EvalProgram::FromParts(
+    std::vector<std::uint32_t> poly_starts,
+    std::vector<std::uint32_t> term_starts, std::vector<double> coeffs,
+    std::vector<VarId> factors) {
+  auto invalid = [](const char* what) {
+    return util::Status::InvalidArgument(
+        std::string("EvalProgram::FromParts: ") + what);
+  };
+  if (poly_starts.empty() || poly_starts.front() != 0) {
+    return invalid("poly_starts must be non-empty and start at 0");
+  }
+  if (!std::is_sorted(poly_starts.begin(), poly_starts.end())) {
+    return invalid("poly_starts must be non-decreasing");
+  }
+  if (poly_starts.back() != coeffs.size()) {
+    return invalid("poly_starts must end at the term count");
+  }
+  if (term_starts.size() != coeffs.size() + 1 || term_starts.front() != 0) {
+    return invalid("term_starts must have one entry per term plus a 0 head");
+  }
+  if (!std::is_sorted(term_starts.begin(), term_starts.end())) {
+    return invalid("term_starts must be non-decreasing");
+  }
+  if (term_starts.back() != factors.size()) {
+    return invalid("term_starts must end at the factor count");
+  }
+  EvalProgram out;
+  for (VarId var : factors) {
+    if (var == kInvalidVar) return invalid("factor is kInvalidVar");
+    const std::size_t need = static_cast<std::size_t>(var) + 1;
+    if (need > out.min_valuation_size_) out.min_valuation_size_ = need;
+  }
+  out.poly_starts_ = std::move(poly_starts);
+  out.term_starts_ = std::move(term_starts);
+  out.coeffs_ = std::move(coeffs);
+  out.factors_ = std::move(factors);
+  return out;
+}
+
 void EvalProgram::Eval(const Valuation& valuation,
                        std::vector<double>* out) const {
   COBRA_CHECK_MSG(valuation.size() >= min_valuation_size_,

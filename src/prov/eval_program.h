@@ -91,6 +91,20 @@ class EvalProgram {
   /// Compiles `set`. The program remains valid as long as VarIds are stable.
   explicit EvalProgram(const PolySet& set);
 
+  /// Reconstructs a program directly from its compiled arrays — the
+  /// deserialization path of the snapshot format (core/io.h). The arrays
+  /// must satisfy the compiled invariants (`poly_starts` starts at 0, is
+  /// non-decreasing and ends at `coeffs.size()`; `term_starts` has
+  /// `coeffs.size() + 1` entries, starts at 0, is non-decreasing and ends at
+  /// `factors.size()`; no factor is `kInvalidVar`) or `InvalidArgument` is
+  /// returned. A program rebuilt from another program's arrays evaluates
+  /// bit-identically to the original: evaluation reads nothing but these
+  /// arrays, in order.
+  static util::Result<EvalProgram> FromParts(
+      std::vector<std::uint32_t> poly_starts,
+      std::vector<std::uint32_t> term_starts, std::vector<double> coeffs,
+      std::vector<VarId> factors);
+
   /// Evaluates all polynomials under `valuation`; `out` is resized to the
   /// number of polynomials. Aborts (COBRA_CHECK) when the valuation does not
   /// cover `MinValuationSize()` variables — the hot-path contract for
@@ -203,6 +217,20 @@ class EvalProgram {
 
   /// Largest VarId referenced plus one; valuations must cover this many vars.
   std::size_t MinValuationSize() const { return min_valuation_size_; }
+
+  /// @name Compiled-array export (snapshot serialization).
+  /// The four arrays are the program's complete state: feeding them back
+  /// through FromParts() yields a program that evaluates bit-identically.
+  /// @{
+  const std::vector<std::uint32_t>& poly_starts() const {
+    return poly_starts_;
+  }
+  const std::vector<std::uint32_t>& term_starts() const {
+    return term_starts_;
+  }
+  const std::vector<double>& coeffs() const { return coeffs_; }
+  const std::vector<VarId>& factors() const { return factors_; }
+  /// @}
 
  private:
   EvalProgram() = default;  // for RemapFactors()

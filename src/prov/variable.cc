@@ -56,4 +56,12 @@ std::size_t VarPool::size() const {
   return names_.size();
 }
 
+std::vector<std::string> VarPool::NamesUpTo(std::size_t count) const {
+  std::shared_lock lock(mu_);
+  if (count > names_.size()) count = names_.size();
+  return std::vector<std::string>(
+      names_.begin(),
+      names_.begin() + static_cast<std::ptrdiff_t>(count));
+}
+
 }  // namespace cobra::prov

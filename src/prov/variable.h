@@ -59,6 +59,14 @@ class VarPool {
   /// Number of interned variables.
   std::size_t size() const;
 
+  /// Copies the names of ids `[0, count)` in id order (`count` is clamped to
+  /// the current size). Because the pool is append-only, this is a complete,
+  /// stable export of the pool as it existed when it held `count` variables
+  /// — the snapshot serializer (core/io.h) uses it to ship a frozen pool
+  /// prefix to replica processes, which re-intern the names in order and
+  /// recover identical ids.
+  std::vector<std::string> NamesUpTo(std::size_t count) const;
+
  private:
   mutable std::shared_mutex mu_;
   std::deque<std::string> names_;  ///< Deque: stable refs under growth.

@@ -226,6 +226,51 @@ TEST_F(AssignBatchTest, RecompressionRefreshesCachedPrograms) {
   ExpectIdentical(sequential, tight);
 }
 
+// The blocked kernel only exists at the compile-time lane widths 4 and 8:
+// any other `block_lanes` (0 would divide by zero in the block count, 16
+// exceeds kMaxLanes) must be rejected up front with InvalidArgument, and
+// both accepted widths must keep producing sequential-identical results.
+TEST_F(AssignBatchTest, BlockLanesOutsideSupportedWidthsRejected) {
+  Session session;
+  Load(&session);
+  session.SetBound(10);
+  session.Compress().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(session, 5);
+
+  for (std::size_t lanes : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{5}, std::size_t{16}}) {
+    BatchOptions options;
+    options.sweep = BatchOptions::Sweep::kBlocked;
+    options.block_lanes = lanes;
+    util::Result<BatchAssignReport> result =
+        session.AssignBatch(scenarios, options);
+    ASSERT_FALSE(result.ok()) << "block_lanes=" << lanes;
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("block_lanes"),
+              std::string::npos);
+  }
+
+  std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
+  for (std::size_t lanes : {std::size_t{4}, std::size_t{8}}) {
+    BatchOptions options;
+    options.sweep = BatchOptions::Sweep::kBlocked;
+    options.block_lanes = lanes;
+    util::Result<BatchAssignReport> result =
+        session.AssignBatch(scenarios, options);
+    ASSERT_TRUE(result.ok()) << "block_lanes=" << lanes;
+    ExpectIdentical(sequential, *result);
+  }
+
+  // The knob is a blocked-kernel parameter: the scalar engines ignore it.
+  for (BatchOptions::Sweep sweep :
+       {BatchOptions::Sweep::kSparseDelta, BatchOptions::Sweep::kDenseCopy}) {
+    BatchOptions options;
+    options.sweep = sweep;
+    options.block_lanes = 3;
+    EXPECT_TRUE(session.AssignBatch(scenarios, options).ok());
+  }
+}
+
 TEST_F(AssignBatchTest, DuplicateScenarioNamesRejected) {
   Session session;
   Load(&session);

@@ -11,6 +11,7 @@
 #include "data/example_db.h"
 #include "prov/eval_program.h"
 #include "prov/parser.h"
+#include "util/csv.h"
 
 namespace cobra::core {
 namespace {
@@ -45,7 +46,7 @@ TEST_F(IoTest, PackageCarriesCompressedPolynomials) {
 
 TEST_F(IoTest, SerializeParseRoundTrip) {
   CompressedPackage package = MakeExamplePackage(8);
-  std::string text = SerializePackage(package, pool_);
+  std::string text = SerializePackage(package, pool_).ValueOrDie();
 
   prov::VarPool analyst_pool;  // fresh pool: the analyst's machine
   CompressedPackage loaded =
@@ -63,7 +64,7 @@ TEST_F(IoTest, SerializeParseRoundTrip) {
 
 TEST_F(IoTest, AnalystCanEvaluateScenariosFromPackageAlone) {
   CompressedPackage package = MakeExamplePackage(8);
-  std::string text = SerializePackage(package, pool_);
+  std::string text = SerializePackage(package, pool_).ValueOrDie();
 
   // Analyst side: no tree, no full provenance, fresh variable pool.
   prov::VarPool analyst_pool;
@@ -128,6 +129,148 @@ TEST_F(IoTest, ParseRejectsMalformedPackages) {
   EXPECT_FALSE(ParsePackage("[polynomials]\nP = x +\n", &pool).ok());
   // Empty package is fine (no sections, no content).
   EXPECT_TRUE(ParsePackage("# just a comment\n", &pool).ok());
+}
+
+// Names containing the format's own delimiters (`=`, `#`, `<-`), any
+// whitespace, or other non-identifier characters used to serialize fine and
+// then parse back as something else (or fail), silently corrupting the
+// round trip. Serialization now rejects them with InvalidArgument.
+TEST_F(IoTest, SerializeRejectsNamesThatCannotRoundTrip) {
+  const std::vector<std::string> bad_names = {
+      "a=b", "a#b", "a<-b", " leading", "trailing ", "two words", "", "x+y",
+      "x*y"};
+
+  for (const std::string& bad : bad_names) {
+    // As a defaults entry.
+    {
+      prov::VarPool pool;
+      CompressedPackage package;
+      package.defaults.emplace_back(bad, 0.5);
+      util::Result<std::string> text = SerializePackage(package, pool);
+      ASSERT_FALSE(text.ok()) << "defaults name: \"" << bad << "\"";
+      EXPECT_EQ(text.status().code(), util::StatusCode::kInvalidArgument);
+    }
+    // As a meta-group name and as a leaf.
+    {
+      prov::VarPool pool;
+      CompressedPackage package;
+      package.meta_groups.emplace_back(bad,
+                                       std::vector<std::string>{"leaf"});
+      EXPECT_FALSE(SerializePackage(package, pool).ok())
+          << "meta name: \"" << bad << "\"";
+    }
+    if (!bad.empty()) {
+      prov::VarPool pool;
+      CompressedPackage package;
+      package.meta_groups.emplace_back("Group",
+                                       std::vector<std::string>{bad});
+      EXPECT_FALSE(SerializePackage(package, pool).ok())
+          << "leaf name: \"" << bad << "\"";
+    }
+    // As a polynomial variable (resolved through the pool).
+    if (!bad.empty()) {
+      prov::VarPool pool;
+      prov::VarId var = pool.Intern(bad);
+      CompressedPackage package;
+      package.polynomials.Add("P", prov::Polynomial::Var(var));
+      EXPECT_FALSE(SerializePackage(package, pool).ok())
+          << "polynomial variable: \"" << bad << "\"";
+    }
+  }
+
+  // Labels may contain spaces, but '='/comment/section lookalikes and
+  // untrimmed whitespace would not survive the round trip.
+  for (const std::string& bad_label :
+       {"a = b", "#comment", "[polynomials]", " padded ", ""}) {
+    prov::VarPool pool;
+    prov::VarId var = pool.Intern("x");
+    CompressedPackage package;
+    package.polynomials.Add(bad_label, prov::Polynomial::Var(var));
+    EXPECT_FALSE(SerializePackage(package, pool).ok())
+        << "label: \"" << bad_label << "\"";
+  }
+
+  // Digit- or dot-leading names lex as *numbers* inside a polynomial
+  // ("1e5" would re-parse as the constant 100000), so they are rejected as
+  // polynomial variables — but stay fine in [meta]/[defaults], whose
+  // parsers split on '<-'/'=' instead.
+  for (const std::string& numeric : {"1e5", "2024", "2x", ".5"}) {
+    prov::VarPool pool;
+    prov::VarId var = pool.Intern(numeric);
+    CompressedPackage package;
+    package.polynomials.Add("P", prov::Polynomial::Var(var));
+    EXPECT_FALSE(SerializePackage(package, pool).ok())
+        << "numeric-leading polynomial variable: \"" << numeric << "\"";
+  }
+
+  // SavePackage propagates the validation failure instead of writing a
+  // corrupt file.
+  prov::VarPool pool;
+  CompressedPackage package;
+  package.defaults.emplace_back("has space", 1.5);
+  const std::string path = ::testing::TempDir() + "/cobra_invalid_pkg.txt";
+  util::Status saved = SavePackage(package, pool, path);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, ValidNamesStillRoundTrip) {
+  prov::VarPool pool;
+  CompressedPackage package;
+  package.polynomials.Add(
+      "zip 10001", prov::Polynomial::Var(pool.Intern("plan_1.q2")));
+  package.meta_groups.emplace_back(
+      "Biz.2024", std::vector<std::string>{"b_1", "b.2"});
+  package.defaults.emplace_back("Biz.2024", 0.75);
+  // Digit-leading names are representable outside polynomials.
+  package.meta_groups.emplace_back("1994q2",
+                                   std::vector<std::string>{"b_1"});
+  std::string text = SerializePackage(package, pool).ValueOrDie();
+
+  prov::VarPool analyst_pool;
+  CompressedPackage loaded = ParsePackage(text, &analyst_pool).ValueOrDie();
+  ASSERT_EQ(loaded.polynomials.size(), 1u);
+  EXPECT_EQ(loaded.polynomials.label(0), "zip 10001");
+  ASSERT_EQ(loaded.meta_groups.size(), 2u);
+  EXPECT_EQ(loaded.meta_groups[0].first, "Biz.2024");
+  EXPECT_EQ(loaded.meta_groups[0].second,
+            (std::vector<std::string>{"b_1", "b.2"}));
+  EXPECT_EQ(loaded.meta_groups[1].first, "1994q2");
+  ASSERT_EQ(loaded.defaults.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.defaults[0].second, 0.75);
+}
+
+// Load failures must say which file failed and why: a generic parse error
+// with no path is useless when a serving tier loads dozens of packages.
+TEST_F(IoTest, LoadPackageNamesThePathAndTheProblem) {
+  prov::VarPool pool;
+
+  // Missing file.
+  util::Result<CompressedPackage> missing =
+      LoadPackage("/no/such/dir/pkg.txt", &pool);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("/no/such/dir/pkg.txt"),
+            std::string::npos);
+
+  // Empty file.
+  const std::string empty_path = ::testing::TempDir() + "/cobra_empty_pkg.txt";
+  ASSERT_TRUE(util::WriteFile(empty_path, "").ok());
+  util::Result<CompressedPackage> empty = LoadPackage(empty_path, &pool);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.status().message().find(empty_path), std::string::npos);
+  EXPECT_NE(empty.status().message().find("empty"), std::string::npos);
+
+  // Whitespace-only counts as empty, too.
+  ASSERT_TRUE(util::WriteFile(empty_path, "\n  \n").ok());
+  EXPECT_FALSE(LoadPackage(empty_path, &pool).ok());
+
+  // Truncated/malformed body: the path and the line diagnostic both appear.
+  const std::string bad_path = ::testing::TempDir() + "/cobra_bad_pkg.txt";
+  ASSERT_TRUE(util::WriteFile(bad_path, "[meta]\nGroup <-\n").ok());
+  util::Result<CompressedPackage> bad = LoadPackage(bad_path, &pool);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find(bad_path), std::string::npos);
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
 }
 
 TEST_F(IoTest, CommentsAndBlankLinesIgnored) {
