@@ -131,6 +131,9 @@ int main() {
 
   core::BatchOptions options;
   options.num_threads = num_threads;
+  // Pin the blocked kernel: this bench A/Bs the engines explicitly, so the
+  // adaptive kAuto policy must not re-route the "blocked" rows.
+  options.sweep = core::BatchOptions::Sweep::kBlocked;
 
   // (b) N one-scenario batches: same engine, no amortization. The contrast
   // with (c) is the honest measure of batching proper (per-call overhead,

@@ -23,6 +23,13 @@
 //   snapshot load <file>             load a snapshot as a replica would and
 //                                    evaluate it under its defaults — zero
 //                                    recompilation, bit-identical results
+//   batch [n]                        run n synthetic what-if scenarios (16
+//                                    by default) through the snapshot's
+//                                    batched sweep; repeating the command
+//                                    replays the cached BatchPlan
+//   plan                             show the snapshot's cached-plan table
+//                                    (fingerprint, engine, lanes, tiles)
+//                                    and the cache hit/miss counters
 //   # ...                            comment
 //
 // Example session (using the bundled telephony example): see
@@ -74,6 +81,8 @@ class Shell {
     if (command == "save") return Save(in);
     if (command == "package") return Package(in);
     if (command == "snapshot") return Snapshot(in);
+    if (command == "batch") return Batch(in);
+    if (command == "plan") return Plan();
     std::printf("error: unknown command '%s'\n", command.c_str());
     return true;
   }
@@ -267,6 +276,63 @@ class Shell {
       return true;
     }
     std::printf("error: usage: snapshot save|load <file>\n");
+    return true;
+  }
+
+  bool Batch(std::istringstream& in) {
+    std::size_t n = 16;
+    in >> n;
+    if (n == 0) n = 16;
+    if (!session_.IsCompressed()) {
+      std::printf("error: compress before running a batch\n");
+      return true;
+    }
+    const std::vector<core::MetaVar>& meta = session_.meta_vars();
+    if (meta.empty()) {
+      std::printf("error: the cut has no meta-variables to perturb\n");
+      return true;
+    }
+    // Deterministic synthetic scenarios over the meta-variables, so
+    // repeating `batch <n>` replays the identical set and exercises the
+    // plan cache (see `plan`).
+    core::ScenarioSet scenarios;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto s = scenarios.Add("whatif-" + std::to_string(i));
+      s.Set(meta[i % meta.size()].name,
+            1.0 + 0.01 * static_cast<double>(i % 40 + 1));
+    }
+    util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
+        session_.Snapshot();
+    if (!snapshot.ok()) return Report(snapshot.status());
+    util::Result<core::BatchAssignReport> batch =
+        (*snapshot)->AssignBatch(scenarios);
+    if (!batch.ok()) return Report(batch.status());
+    std::printf("%s", batch->ToString(2, 3).c_str());
+    return true;
+  }
+
+  bool Plan() {
+    util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
+        session_.Snapshot();
+    if (!snapshot.ok()) return Report(snapshot.status());
+    std::vector<core::CompiledSession::CachedPlanInfo> plans =
+        (*snapshot)->CachedPlans();
+    core::CompiledSession::PlanCacheStats stats =
+        (*snapshot)->plan_cache_stats();
+    if (plans.empty()) {
+      std::printf("plan cache empty — run `batch [n]` first\n");
+      return true;
+    }
+    std::printf("%-32s %-12s %5s %6s %9s\n", "fingerprint", "engine",
+                "lanes", "tiles", "scenarios");
+    for (const core::CompiledSession::CachedPlanInfo& info : plans) {
+      std::printf("%-32s %-12s %5zu %6zu %9zu\n", info.fingerprint.c_str(),
+                  core::SweepName(info.engine), info.lanes, info.tiles,
+                  info.scenarios);
+    }
+    std::printf("%zu cached plan(s), %llu hit(s), %llu miss(es)\n",
+                stats.entries, static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
     return true;
   }
 

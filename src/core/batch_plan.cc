@@ -1,0 +1,304 @@
+#include "core/batch_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "core/compiled_session.h"
+#include "util/hash.h"
+#include "util/str.h"
+
+namespace cobra::core {
+
+namespace {
+
+/// Below this combined program weight (terms + factors, both sides) the
+/// adaptive policy always picks the scalar sparse engine: the blocked
+/// kernel's per-batch fixed costs (override-union tables, tile dispatch)
+/// are not amortized by so short a scan.
+constexpr std::size_t kAutoMinBlockedWeight = 2048;
+
+/// The blocked kernel's per-block fixed cost grows with the override-union
+/// width; the policy requires the program scan to outweigh it by this
+/// factor before blocking pays.
+constexpr std::size_t kAutoOverrideWeightFactor = 32;
+
+/// Builds the tile schedule for one program: whole-poly ranges sized by
+/// PartitionPolys, with the dominant-polynomial term-splitting fallback —
+/// exactly the tiling AssignBatch used to rebuild per call, now derived
+/// once at planning time.
+ProgramSchedule MakeSchedule(const prov::EvalProgram& program,
+                             std::size_t threads, std::size_t num_blocks,
+                             const BatchOptions& options) {
+  ProgramSchedule schedule;
+  schedule.num_polys = program.NumPolys();
+  schedule.split_poly = schedule.num_polys;
+
+  std::size_t parts = 1;
+  if (threads > num_blocks && options.partition_min_terms > 0) {
+    const std::size_t want = (threads + num_blocks - 1) / num_blocks;
+    const std::size_t cap =
+        program.NumTerms() / options.partition_min_terms + 1;
+    parts = std::min(want, cap);
+  }
+  const std::vector<std::uint32_t> bounds = program.PartitionPolys(parts);
+
+  if (parts > bounds.size() - 1 && options.split_min_terms > 0) {
+    schedule.split_poly = program.DominantPoly(options.split_min_terms);
+  }
+  if (schedule.split_poly < schedule.num_polys) {
+    const std::uint32_t sp = static_cast<std::uint32_t>(schedule.split_poly);
+    for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
+      const std::uint32_t begin = bounds[r];
+      const std::uint32_t end = bounds[r + 1];
+      if (sp >= begin && sp < end) {
+        if (sp > begin) schedule.ranges.emplace_back(begin, sp);
+        if (sp + 1 < end) schedule.ranges.emplace_back(sp + 1, end);
+      } else {
+        schedule.ranges.emplace_back(begin, end);
+      }
+    }
+    const std::size_t spare = parts > schedule.ranges.size()
+                                  ? parts - schedule.ranges.size()
+                                  : 2;
+    schedule.term_bounds = program.PartitionTerms(
+        schedule.split_poly, std::max<std::size_t>(2, spare));
+  } else {
+    for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
+      schedule.ranges.emplace_back(bounds[r], bounds[r + 1]);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+std::string PlanFingerprint::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+PlanFingerprint FingerprintScenarios(const ScenarioSet& scenarios) {
+  // A 128-bit digest (util::Hash128): a plan silently replayed for the
+  // wrong scenario set would corrupt results, so 64 bits of collision
+  // resistance is not enough to stake correctness on. Names are fed
+  // word-wise into both chains — never pre-collapsed to one 64-bit hash.
+  util::Hash128 hash(0x9e3779b97f4a7c15ULL, 0xc2b2ae3d27d4eb4fULL);
+  hash.Feed(scenarios.size());
+  for (const Scenario& scenario : scenarios.scenarios()) {
+    hash.FeedBytes(scenario.name);
+    hash.Feed(scenario.deltas.size());
+    for (const Scenario::Delta& delta : scenario.deltas) {
+      hash.FeedBytes(delta.var);
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(delta.value));
+      std::memcpy(&bits, &delta.value, sizeof(bits));
+      hash.Feed(bits);
+    }
+  }
+  return {hash.lo(), hash.hi()};
+}
+
+EnginePick ChooseAutoEngine(std::size_t program_weight,
+                            std::size_t num_scenarios,
+                            std::size_t max_override_width) {
+  if (num_scenarios < 2 || program_weight < kAutoMinBlockedWeight ||
+      program_weight < kAutoOverrideWeightFactor * max_override_width) {
+    return {BatchOptions::Sweep::kSparseDelta, 1};
+  }
+  return {BatchOptions::Sweep::kBlocked,
+          num_scenarios >= 8 ? std::size_t{8} : std::size_t{4}};
+}
+
+util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(
+    std::shared_ptr<const CompiledSession> session,
+    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
+    const BatchOptions& options,
+    const PlanFingerprint* precomputed_fingerprint) {
+  if (session == nullptr) {
+    return util::Status::InvalidArgument("BatchPlan: null session");
+  }
+
+  // Options are validated here, once, and never mid-sweep; every rejection
+  // names the offending BatchOptions field and the accepted values.
+  switch (options.sweep) {
+    case BatchOptions::Sweep::kAuto:
+    case BatchOptions::Sweep::kBlocked:
+    case BatchOptions::Sweep::kSparseDelta:
+    case BatchOptions::Sweep::kDenseCopy:
+      break;
+    default:
+      return util::Status::InvalidArgument(util::StrFormat(
+          "AssignBatch: invalid BatchOptions.sweep = %d (accepted: kAuto, "
+          "kBlocked, kSparseDelta, kDenseCopy)",
+          static_cast<int>(options.sweep)));
+  }
+  if (options.sweep == BatchOptions::Sweep::kBlocked &&
+      options.block_lanes != 4 && options.block_lanes != 8) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "AssignBatch: invalid BatchOptions.block_lanes = %zu (accepted: 4 or "
+        "8; kAuto picks the lane count itself and the scalar engines ignore "
+        "the knob)",
+        options.block_lanes));
+  }
+
+  if (scenarios.empty()) {
+    return util::Status::InvalidArgument("AssignBatch: empty scenario set");
+  }
+  {
+    std::unordered_set<std::string_view> seen;
+    for (const Scenario& scenario : scenarios.scenarios()) {
+      if (!seen.insert(scenario.name).second) {
+        return util::Status::InvalidArgument(
+            util::StrFormat("AssignBatch: duplicate scenario name \"%s\"",
+                            scenario.name.c_str()));
+      }
+    }
+  }
+
+  const prov::VarPool& pool = session->pool();
+  const std::size_t frozen_pool_size = session->pool_size();
+
+  auto plan = std::shared_ptr<BatchPlan>(new BatchPlan());
+  plan->session_ = session;
+  plan->fingerprint_ = precomputed_fingerprint != nullptr
+                           ? *precomputed_fingerprint
+                           : FingerprintScenarios(scenarios);
+  plan->options_ = options;
+  plan->scenario_names_ = scenarios.Names();
+
+  // Lower every scenario to a sorted, duplicate-free (VarId, value) list.
+  std::size_t max_override_width = 0;
+  plan->compiled_.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios.scenarios()) {
+    CompiledScenario compiled;
+    for (const Scenario::Delta& delta : scenario.deltas) {
+      prov::VarId id = pool.Find(delta.var);
+      if (id == prov::kInvalidVar) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "AssignBatch scenario \"%s\": unknown variable: %s",
+            scenario.name.c_str(), delta.var.c_str()));
+      }
+      if (id >= frozen_pool_size) {
+        // The pool is shared with the (still-mutable) authoring session;
+        // names interned after this snapshot was taken are not part of its
+        // frozen world.
+        return util::Status::InvalidArgument(util::StrFormat(
+            "AssignBatch scenario \"%s\": variable %s was interned after "
+            "this snapshot was taken",
+            scenario.name.c_str(), delta.var.c_str()));
+      }
+      // Deltas apply in order, so a repeated variable keeps the last value;
+      // the compiled list stays duplicate-free for the kernels.
+      bool found = false;
+      for (prov::VarOverride& existing : compiled.overrides) {
+        if (existing.var == id) {
+          existing.value = delta.value;
+          found = true;
+        }
+      }
+      if (!found) compiled.overrides.push_back({id, delta.value});
+    }
+    std::sort(compiled.overrides.begin(), compiled.overrides.end(),
+              [](const prov::VarOverride& a, const prov::VarOverride& b) {
+                return a.var < b.var;
+              });
+    max_override_width = std::max(max_override_width,
+                                  compiled.overrides.size());
+    plan->compiled_.push_back(std::move(compiled));
+  }
+
+  const prov::EvalProgram& sweep_full = session->sweep_full_program();
+  const prov::EvalProgram& compressed = session->compressed_program();
+  const std::size_t n = scenarios.size();
+
+  // Resolve the engine. The kAuto policy reads only the program shapes, the
+  // scenario count and the override width — never the thread count — so the
+  // choice is deterministic for a given workload.
+  EnginePick pick;
+  switch (options.sweep) {
+    case BatchOptions::Sweep::kAuto: {
+      const std::size_t weight = sweep_full.NumTerms() +
+                                 sweep_full.factors().size() +
+                                 compressed.NumTerms() +
+                                 compressed.factors().size();
+      pick = ChooseAutoEngine(weight, n, max_override_width);
+      break;
+    }
+    case BatchOptions::Sweep::kBlocked:
+      pick = {BatchOptions::Sweep::kBlocked, options.block_lanes};
+      break;
+    case BatchOptions::Sweep::kSparseDelta:
+      pick = {BatchOptions::Sweep::kSparseDelta, 1};
+      break;
+    case BatchOptions::Sweep::kDenseCopy:
+      pick = {BatchOptions::Sweep::kDenseCopy, 1};
+      break;
+  }
+  plan->engine_ = pick.engine;
+  plan->lanes_ = pick.lanes;
+
+  std::size_t threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (plan->engine_ == BatchOptions::Sweep::kDenseCopy) {
+    threads = std::min(threads, n);
+  }
+  plan->num_threads_ = threads;
+  plan->num_blocks_ = (n + plan->lanes_ - 1) / plan->lanes_;
+
+  // The shared base valuation both sides evaluate under.
+  plan->base_ = base_meta_valuation;
+  plan->base_.Resize(frozen_pool_size);
+
+  // Per-block override-union tables (blocked kernel only). One table per
+  // block serves both program sides: the tables are valuation-level, and
+  // both sides evaluate under the same compressed-side base.
+  if (plan->engine_ == BatchOptions::Sweep::kBlocked) {
+    plan->block_tables_.reserve(plan->num_blocks_);
+    for (std::size_t b = 0; b < plan->num_blocks_; ++b) {
+      prov::OverrideSpan spans[prov::EvalProgram::kMaxLanes];
+      const std::size_t count = std::min(plan->lanes_, n - b * plan->lanes_);
+      for (std::size_t l = 0; l < count; ++l) {
+        const std::vector<prov::VarOverride>& ov =
+            plan->compiled_[b * plan->lanes_ + l].overrides;
+        spans[l] = {ov.data(), ov.size()};
+      }
+      plan->block_tables_.push_back(
+          prov::MakeBlockOverrides(plan->base_, spans, count));
+    }
+  }
+
+  // The tile schedules. The dense-copy engine scans scenario-major with no
+  // intra-program tiling, so it gets the trivial one-range schedule.
+  if (plan->engine_ == BatchOptions::Sweep::kDenseCopy) {
+    ProgramSchedule full_schedule;
+    full_schedule.num_polys = session->full_program().NumPolys();
+    full_schedule.split_poly = full_schedule.num_polys;
+    full_schedule.ranges.emplace_back(
+        0, static_cast<std::uint32_t>(full_schedule.num_polys));
+    ProgramSchedule compressed_schedule;
+    compressed_schedule.num_polys = compressed.NumPolys();
+    compressed_schedule.split_poly = compressed_schedule.num_polys;
+    compressed_schedule.ranges.emplace_back(
+        0, static_cast<std::uint32_t>(compressed_schedule.num_polys));
+    plan->full_schedule_ = std::move(full_schedule);
+    plan->compressed_schedule_ = std::move(compressed_schedule);
+  } else {
+    plan->full_schedule_ =
+        MakeSchedule(sweep_full, threads, plan->num_blocks_, options);
+    plan->compressed_schedule_ =
+        MakeSchedule(compressed, threads, plan->num_blocks_, options);
+  }
+
+  return std::shared_ptr<const BatchPlan>(std::move(plan));
+}
+
+}  // namespace cobra::core

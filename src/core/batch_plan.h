@@ -1,0 +1,216 @@
+#ifndef COBRA_CORE_BATCH_PLAN_H_
+#define COBRA_CORE_BATCH_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scenario.h"
+#include "prov/eval_program.h"
+#include "prov/valuation.h"
+#include "util/status.h"
+
+namespace cobra::core {
+
+class CompiledSession;
+
+/// 128-bit content fingerprint of a `ScenarioSet`: a hash over the scenario
+/// names and their override lists (variable names and IEEE-754 value bit
+/// patterns, in order). Two sets with the same content — including delta
+/// order — fingerprint identically; mutating a set after planning (adding a
+/// scenario, changing a delta) changes the fingerprint, so a stale plan can
+/// never be replayed for the mutated set. The fingerprint is computed from
+/// the raw set without resolving variable names against the pool, which is
+/// what makes a warm plan-cache hit cheap: one pass over the bytes instead
+/// of recompiling every scenario.
+struct PlanFingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const PlanFingerprint& a, const PlanFingerprint& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const PlanFingerprint& a, const PlanFingerprint& b) {
+    return !(a == b);
+  }
+
+  /// 32 hex digits, for display (shell `plan` table, bench JSON).
+  std::string ToHex() const;
+};
+
+/// Computes the content fingerprint of `scenarios` (see PlanFingerprint).
+PlanFingerprint FingerprintScenarios(const ScenarioSet& scenarios);
+
+/// One scenario lowered to pool ids: a sorted, duplicate-free override list
+/// (later deltas on the same variable keep the last value).
+struct CompiledScenario {
+  std::vector<prov::VarOverride> overrides;
+};
+
+/// The tile schedule for one compiled program: whole-polynomial ranges,
+/// plus (when one polynomial dominates and whole-poly splitting could not
+/// fill the requested partitions) term-range slices of that polynomial
+/// whose partial sums are reduced in fixed slice order after the sweep.
+/// Derived once at planning time from the program shape, the thread budget
+/// and the partitioning knobs; execution only reads it.
+struct ProgramSchedule {
+  /// Whole-poly [begin, end) ranges; every polynomial not term-split is
+  /// covered by exactly one range.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+
+  /// The term-split polynomial, or `num_polys` when no splitting applies.
+  std::size_t split_poly = 0;
+
+  /// NumPolys() of the scheduled program (the "no split" sentinel value).
+  std::size_t num_polys = 0;
+
+  /// Absolute term bounds of the split polynomial's slices (empty when
+  /// split_poly == num_polys).
+  std::vector<std::uint32_t> term_bounds;
+
+  std::size_t term_slices() const {
+    return term_bounds.empty() ? 0 : term_bounds.size() - 1;
+  }
+
+  /// Tiles per scenario block for this program.
+  std::size_t slices() const { return ranges.size() + term_slices(); }
+};
+
+/// The resolved engine choice of the `Sweep::kAuto` policy.
+struct EnginePick {
+  BatchOptions::Sweep engine = BatchOptions::Sweep::kSparseDelta;
+  std::size_t lanes = 1;  ///< 4 or 8 for kBlocked, 1 for the scalar engines.
+};
+
+/// The adaptive engine policy: picks the sweep engine and lane count from
+/// the combined program weight (terms + factors of both sides), the
+/// scenario count, and the widest per-scenario override list. Deliberately
+/// independent of the thread count (and of anything else nondeterministic),
+/// so the same workload always plans the same way:
+///
+///   - tiny programs, single scenarios, or programs small relative to the
+///     override width fall back to `kSparseDelta` — the per-batch fixed
+///     costs (block-table builds, tile dispatch) would dominate the scan;
+///   - everything else runs the blocked kernel, 8 lanes when there are at
+///     least 8 scenarios to fill a block, 4 otherwise.
+EnginePick ChooseAutoEngine(std::size_t program_weight,
+                            std::size_t num_scenarios,
+                            std::size_t max_override_width);
+
+/// An immutable, reusable execution plan for one (scenario set, base meta
+/// valuation, BatchOptions) triple against one `CompiledSession` — the
+/// plan-once / execute-many half of the batched serving path.
+///
+/// Planning owns everything `AssignBatch` used to redo per call: scenario
+/// compilation (name→id resolution into sorted override lists), the
+/// per-block override-union tables of the blocked kernel, the engine/lane
+/// choice (resolving `Sweep::kAuto` through the adaptive policy), and the
+/// (scenario-block × poly-range) tile schedule for both program sides.
+/// `CompiledSession::Execute(plan)` then runs the sweep reading only this
+/// plan, and `AssignBatch` is a thin PlanBatch + Execute wrapper over a
+/// fingerprint-keyed plan cache — a serving tier replaying the same
+/// scenario set against fresh snapshot defaults (or simply again) skips
+/// recompilation entirely.
+///
+/// A plan is deeply immutable after construction and may be executed
+/// concurrently from any number of threads. It references its origin
+/// session through a weak_ptr: plans live in the session's own cache, so a
+/// strong back-reference would make every snapshot that ever planned a
+/// batch immortal (a reference cycle). Executing requires the session
+/// anyway — `Execute` rejects a plan whose origin is gone or different.
+class BatchPlan {
+ public:
+  /// Compiles a plan. Validates `options` (naming the offending field and
+  /// the accepted values) and the scenario set (non-empty, unique names,
+  /// every delta variable known to the snapshot) once, here — execution
+  /// never re-validates. `session` must be non-null. A caller that already
+  /// fingerprinted the set (the plan cache keys on it before planning) may
+  /// pass the digest to skip the second content pass; null recomputes it.
+  static util::Result<std::shared_ptr<const BatchPlan>> Create(
+      std::shared_ptr<const CompiledSession> session,
+      const ScenarioSet& scenarios,
+      const prov::Valuation& base_meta_valuation, const BatchOptions& options,
+      const PlanFingerprint* precomputed_fingerprint = nullptr);
+
+  /// The session this plan was built against, or null if that session has
+  /// since been destroyed (the plan does not keep it alive — see the class
+  /// comment). The weak_ptr makes the check ABA-safe: a new session reusing
+  /// the old one's address still fails to lock the old control block.
+  std::shared_ptr<const CompiledSession> session() const {
+    return session_.lock();
+  }
+
+  /// Content fingerprint of the planned scenario set.
+  const PlanFingerprint& fingerprint() const { return fingerprint_; }
+
+  /// The resolved engine — never `kAuto` (the policy resolves it at
+  /// planning time so the choice is inspectable and cacheable).
+  BatchOptions::Sweep engine() const { return engine_; }
+
+  /// Scenario lanes per block: 4 or 8 for the blocked kernel, 1 otherwise.
+  std::size_t lanes() const { return lanes_; }
+
+  /// Worker threads the sweep will use (the resolved `num_threads`).
+  std::size_t num_threads() const { return num_threads_; }
+
+  std::size_t num_scenarios() const { return scenario_names_.size(); }
+
+  /// Scenario blocks of the sweep (== ceil(scenarios / lanes)).
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  /// Total (block × range) tiles across both program sides — the unit of
+  /// work the sweep's worker threads claim.
+  std::size_t num_tiles() const {
+    return num_blocks_ * (full_schedule_.slices() + compressed_schedule_.slices());
+  }
+
+  /// The options the plan was built from (with `sweep` still as requested;
+  /// see engine() for the resolved choice).
+  const BatchOptions& options() const { return options_; }
+
+  const std::vector<std::string>& scenario_names() const {
+    return scenario_names_;
+  }
+
+  /// The pool-sized base meta valuation scenarios apply on top of.
+  const prov::Valuation& base() const { return base_; }
+
+  const std::vector<CompiledScenario>& compiled() const { return compiled_; }
+
+  /// Per-block override-union tables (empty unless engine() == kBlocked).
+  const std::vector<prov::BlockOverrides>& block_tables() const {
+    return block_tables_;
+  }
+
+  /// Tile schedule of the sweep-side full program.
+  const ProgramSchedule& full_schedule() const { return full_schedule_; }
+
+  /// Tile schedule of the compressed program.
+  const ProgramSchedule& compressed_schedule() const {
+    return compressed_schedule_;
+  }
+
+ private:
+  BatchPlan() = default;
+
+  std::weak_ptr<const CompiledSession> session_;
+  PlanFingerprint fingerprint_;
+  BatchOptions options_;
+  BatchOptions::Sweep engine_ = BatchOptions::Sweep::kSparseDelta;
+  std::size_t lanes_ = 1;
+  std::size_t num_threads_ = 1;
+  std::size_t num_blocks_ = 0;
+  std::vector<std::string> scenario_names_;
+  prov::Valuation base_{0};
+  std::vector<CompiledScenario> compiled_;
+  std::vector<prov::BlockOverrides> block_tables_;
+  ProgramSchedule full_schedule_;
+  ProgramSchedule compressed_schedule_;
+};
+
+}  // namespace cobra::core
+
+#endif  // COBRA_CORE_BATCH_PLAN_H_

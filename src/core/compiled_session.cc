@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <mutex>
 #include <thread>
-#include <unordered_set>
 #include <utility>
 
 #include "core/io.h"
+#include "util/hash.h"
 #include "util/str.h"
 #include "util/timer.h"
 
@@ -29,6 +31,20 @@ std::vector<prov::VarId> ExtendIdentity(std::vector<prov::VarId> mapping,
 
 }  // namespace
 
+CompiledSession::BaseHash CompiledSession::HashBase(const prov::Valuation& v) {
+  // 128-bit (util::Hash128) because PlanCacheKey *equality* relies on it —
+  // same correctness standard as the scenario fingerprint.
+  util::Hash128 hash(0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL);
+  hash.Feed(v.size());
+  for (double value : v.values()) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    hash.Feed(bits);
+  }
+  return {hash.lo(), hash.hi()};
+}
+
 std::string AssignReport::ToString(std::size_t max_rows) const {
   std::string out = delta.ToString(max_rows);
   out += util::StrFormat(
@@ -45,6 +61,9 @@ std::string BatchAssignReport::ToString(std::size_t max_scenarios,
   std::string out = util::StrFormat(
       "batch:            %zu scenarios on %zu thread(s)\n", reports.size(),
       num_threads);
+  out += util::StrFormat("engine:           %s, %zu lane(s)%s\n",
+                         SweepName(engine), block_lanes,
+                         plan_cache_hit ? ", cached plan" : "");
   out += util::StrFormat(
       "sweep time:       full=%.3gms compressed=%.3gms\n",
       full_sweep_seconds * 1e3, compressed_sweep_seconds * 1e3);
@@ -106,6 +125,7 @@ CompiledSession::CompiledSession(std::shared_ptr<const Artifacts> artifacts,
       default_full_(0) {
   default_meta_.Resize(artifacts_->frozen_pool_size);
   default_full_ = ExpandValuation(default_meta_);
+  default_base_hash_ = HashBase(default_meta_);
 }
 
 util::Result<std::shared_ptr<const CompiledSession>> CompiledSession::Create(
@@ -285,97 +305,153 @@ util::Result<AssignReport> CompiledSession::AssignAgainstBase(
   return report;
 }
 
-util::Result<std::vector<CompiledSession::CompiledScenario>>
-CompiledSession::CompileScenarios(const ScenarioSet& scenarios) const {
-  std::vector<CompiledScenario> compiled;
-  compiled.reserve(scenarios.size());
-  for (const Scenario& scenario : scenarios.scenarios()) {
-    CompiledScenario cs;
-    for (const Scenario::Delta& delta : scenario.deltas) {
-      prov::VarId id = artifacts_->pool->Find(delta.var);
-      if (id == prov::kInvalidVar) {
-        return util::Status::InvalidArgument(util::StrFormat(
-            "AssignBatch scenario \"%s\": unknown variable: %s",
-            scenario.name.c_str(), delta.var.c_str()));
-      }
-      if (id >= artifacts_->frozen_pool_size) {
-        // The pool is shared with the (still-mutable) authoring session;
-        // names interned after this snapshot was taken are not part of its
-        // frozen world.
-        return util::Status::InvalidArgument(util::StrFormat(
-            "AssignBatch scenario \"%s\": variable %s was interned after "
-            "this snapshot was taken",
-            scenario.name.c_str(), delta.var.c_str()));
-      }
-      // Deltas apply in order, so a repeated variable keeps the last value;
-      // the compiled list stays duplicate-free for the scan.
-      bool found = false;
-      for (prov::VarOverride& existing : cs.overrides) {
-        if (existing.var == id) {
-          existing.value = delta.value;
-          found = true;
-        }
-      }
-      if (!found) cs.overrides.push_back({id, delta.value});
-    }
-    std::sort(cs.overrides.begin(), cs.overrides.end(),
-              [](const prov::VarOverride& a, const prov::VarOverride& b) {
-                return a.var < b.var;
-              });
-    compiled.push_back(std::move(cs));
-  }
-  return compiled;
+std::size_t CompiledSession::PlanCacheKeyHash::operator()(
+    const PlanCacheKey& key) const {
+  std::uint64_t h = key.scenarios.lo;
+  h = util::HashCombine(h, key.scenarios.hi);
+  h = util::HashCombine(h, key.base_hash_lo);
+  h = util::HashCombine(h, key.base_hash_hi);
+  h = util::HashCombine(h, key.sweep);
+  h = util::HashCombine(h, key.block_lanes);
+  h = util::HashCombine(h, key.num_threads);
+  h = util::HashCombine(h, key.partition_min_terms);
+  h = util::HashCombine(h, key.split_min_terms);
+  return static_cast<std::size_t>(h);
 }
 
-util::Result<BatchAssignReport> CompiledSession::AssignBatch(
+util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatchImpl(
     const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
-    const BatchOptions& options) const {
-  if (scenarios.empty()) {
-    return util::Status::InvalidArgument("AssignBatch: empty scenario set");
-  }
+    const BaseHash& base_hash, const BatchOptions& options,
+    bool* cache_hit) const {
+  // A plan is fully determined by (scenario content, base content, options);
+  // the key carries all three, so an explicit base that happens to equal the
+  // default shares its cache line, and a different base can never alias.
+  PlanCacheKey key;
+  key.scenarios = FingerprintScenarios(scenarios);
+  key.base_hash_lo = base_hash.lo;
+  key.base_hash_hi = base_hash.hi;
+  key.sweep = static_cast<std::uint32_t>(options.sweep);
+  key.block_lanes = options.block_lanes;
+  key.num_threads = options.num_threads;
+  key.partition_min_terms = options.partition_min_terms;
+  key.split_min_terms = options.split_min_terms;
+
   {
-    std::unordered_set<std::string_view> seen;
-    for (const Scenario& scenario : scenarios.scenarios()) {
-      if (!seen.insert(scenario.name).second) {
-        return util::Status::InvalidArgument(util::StrFormat(
-            "AssignBatch: duplicate scenario name \"%s\"",
-            scenario.name.c_str()));
-      }
+    std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second;
     }
   }
+  plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = false;
 
-  util::Result<std::vector<CompiledScenario>> compiled =
-      CompileScenarios(scenarios);
-  if (!compiled.ok()) return compiled.status();
+  // Plan outside any lock: compilation is the expensive part, and two
+  // threads racing to plan the same set merely duplicate work once.
+  util::Result<std::shared_ptr<const BatchPlan>> plan =
+      BatchPlan::Create(shared_from_this(), scenarios, base_meta_valuation,
+                        options, &key.scenarios);
+  if (!plan.ok()) return plan.status();
 
-  const prov::Valuation base = PoolSized(base_meta_valuation);
-  const prov::EvalProgram& compressed_program = artifacts_->compressed_program;
-
-  const std::size_t n = scenarios.size();
-  std::size_t threads = options.num_threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  {
+    std::unique_lock<std::shared_mutex> lock(plan_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) return it->second;  // lost the plan race
+    if (plan_cache_.size() >= kPlanCacheMaxEntries) {
+      plan_cache_.erase(plan_cache_order_.front());  // FIFO: oldest first
+      plan_cache_order_.pop_front();
+    }
+    plan_cache_.emplace(key, *plan);
+    plan_cache_order_.push_back(key);
   }
+  return *plan;
+}
+
+util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatch(
+    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
+    const BatchOptions& options, bool* cache_hit) const {
+  return PlanBatchImpl(scenarios, base_meta_valuation,
+                       HashBase(base_meta_valuation), options, cache_hit);
+}
+
+util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatch(
+    const ScenarioSet& scenarios, const BatchOptions& options,
+    bool* cache_hit) const {
+  return PlanBatchImpl(scenarios, default_meta_, default_base_hash_, options,
+                       cache_hit);
+}
+
+CompiledSession::PlanCacheStats CompiledSession::plan_cache_stats() const {
+  PlanCacheStats stats;
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+    stats.entries = plan_cache_.size();
+  }
+  stats.hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  stats.misses = plan_cache_misses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::vector<CompiledSession::CachedPlanInfo> CompiledSession::CachedPlans()
+    const {
+  std::vector<CachedPlanInfo> out;
+  std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+  out.reserve(plan_cache_.size());
+  for (const auto& [key, plan] : plan_cache_) {
+    CachedPlanInfo info;
+    info.fingerprint = plan->fingerprint().ToHex();
+    info.engine = plan->engine();
+    info.lanes = plan->lanes();
+    info.tiles = plan->num_tiles();
+    info.scenarios = plan->num_scenarios();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+void CompiledSession::ClearPlanCache() const {
+  std::unique_lock<std::shared_mutex> lock(plan_mutex_);
+  plan_cache_.clear();
+  plan_cache_order_.clear();
+}
+
+util::Result<BatchAssignReport> CompiledSession::Execute(
+    const BatchPlan& plan) const {
+  if (plan.session().get() != this) {
+    return util::Status::InvalidArgument(
+        "CompiledSession::Execute: the BatchPlan was built against a "
+        "different (or since-destroyed) CompiledSession");
+  }
+  const std::size_t n = plan.num_scenarios();
+  const prov::Valuation& base = plan.base();
+  const std::vector<CompiledScenario>& compiled = plan.compiled();
+  const prov::EvalProgram& compressed_program = artifacts_->compressed_program;
+  const std::size_t threads = plan.num_threads();
 
   std::vector<std::vector<double>> full_values(n);
   std::vector<std::vector<double>> compressed_values(n);
 
   BatchAssignReport batch;
-  batch.scenario_names = scenarios.Names();
+  batch.scenario_names = plan.scenario_names();
+  batch.engine = plan.engine();
+  batch.block_lanes = plan.lanes();
 
-  if (options.sweep == BatchOptions::Sweep::kDenseCopy) {
+  if (plan.engine() == BatchOptions::Sweep::kDenseCopy) {
     // Legacy engine: materialize one full-pool valuation per scenario per
     // side, then dense scans — the baseline the sparse path is benchmarked
-    // against (bench_a6/bench_a7).
+    // against (bench_a6/bench_a7). The materialization is the engine's
+    // defining cost, so it stays in execution rather than being cached on
+    // the plan.
     const prov::EvalProgram& full_program = artifacts_->full_program;
-    threads = std::min(threads, n);
     std::vector<prov::Valuation> meta_valuations;
     std::vector<prov::Valuation> full_valuations;
     meta_valuations.reserve(n);
     full_valuations.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       prov::Valuation meta = base;
-      for (const prov::VarOverride& ov : (*compiled)[i].overrides) {
+      for (const prov::VarOverride& ov : compiled[i].overrides) {
         meta.Set(ov.var, ov.value);
       }
       full_valuations.push_back(ExpandValuation(meta));
@@ -415,96 +491,35 @@ util::Result<BatchAssignReport> CompiledSession::AssignBatch(
     // Sparse-delta and scenario-blocked engines. Every scenario is a small
     // override list; the full side evaluates the meta-indirected program
     // under the shared compressed-side base, so nothing pool-sized is copied
-    // per scenario. The blocked engine (default) additionally groups
-    // scenarios into blocks of `block_lanes` lanes: one scan of the compiled
-    // arrays serves the whole block, with a per-block override-union table
-    // patching individual lanes, so the factor/coeff streams are read once
-    // per block instead of once per scenario. Work is scheduled as
-    // (scenario-block × poly-range) tiles; when blocks are scarcer than
-    // threads, programs are split into polynomial ranges, and a single
-    // dominant polynomial falls back to term-range slices whose partial
-    // sums are reduced in fixed order after the sweep joins (deterministic
-    // regardless of the thread schedule).
-    const bool use_blocks = options.sweep == BatchOptions::Sweep::kBlocked;
-    if (use_blocks && options.block_lanes != 4 && options.block_lanes != 8) {
-      return util::Status::InvalidArgument(util::StrFormat(
-          "AssignBatch: block_lanes must be 4 or 8, got %zu",
-          options.block_lanes));
-    }
-    const std::size_t lanes = use_blocks ? options.block_lanes : 1;
-    const std::size_t num_blocks = (n + lanes - 1) / lanes;
+    // per scenario. The blocked engine additionally groups scenarios into
+    // blocks of `lanes` lanes: one scan of the compiled arrays serves the
+    // whole block, with the plan's per-block override-union table patching
+    // individual lanes. Work runs as the plan's (scenario-block ×
+    // poly-range | term-range) tiles; disjoint tiles touch disjoint output
+    // cells, so the sweep is race-free and the merged result is
+    // schedule-independent.
+    const bool use_blocks = plan.engine() == BatchOptions::Sweep::kBlocked;
+    const std::size_t lanes = plan.lanes();
+    const std::size_t num_blocks = plan.num_blocks();
+    const std::vector<prov::BlockOverrides>& block_tables =
+        plan.block_tables();
     const prov::EvalProgram& sweep_full = artifacts_->sweep_full_program;
-
-    // Block override-union tables are valuation-level, not program-level:
-    // both sides evaluate under the same compressed-side base, so one table
-    // per block serves both sweeps.
-    std::vector<prov::BlockOverrides> block_tables;
-    if (use_blocks) {
-      block_tables.reserve(num_blocks);
-      for (std::size_t b = 0; b < num_blocks; ++b) {
-        prov::OverrideSpan spans[prov::EvalProgram::kMaxLanes];
-        const std::size_t count = std::min(lanes, n - b * lanes);
-        for (std::size_t l = 0; l < count; ++l) {
-          const std::vector<prov::VarOverride>& ov =
-              (*compiled)[b * lanes + l].overrides;
-          spans[l] = {ov.data(), ov.size()};
-        }
-        block_tables.push_back(prov::MakeBlockOverrides(base, spans, count));
-      }
-    }
 
     std::size_t used_threads = 1;
     auto sweep = [&](const prov::EvalProgram& program,
+                     const ProgramSchedule& schedule,
                      std::vector<std::vector<double>>* out) {
       const std::size_t polys = program.NumPolys();
       // Scenario-major result matrix: row i is scenario i's per-poly
       // values. A blocked tile writes `lanes` adjacent rows with stride
-      // `polys`; disjoint tiles touch disjoint cells, so the sweep is
-      // race-free and the merged result is schedule-independent.
+      // `polys`.
       std::vector<double> flat(n * polys, 0.0);
 
-      std::size_t parts = 1;
-      if (threads > num_blocks && options.partition_min_terms > 0) {
-        const std::size_t want = (threads + num_blocks - 1) / num_blocks;
-        const std::size_t cap =
-            program.NumTerms() / options.partition_min_terms + 1;
-        parts = std::min(want, cap);
-      }
-      const std::vector<std::uint32_t> bounds = program.PartitionPolys(parts);
-
-      // The tiling plan: whole-poly ranges, plus (when one polynomial
-      // dominates and poly-boundary splitting could not fill the requested
-      // parts) term-range slices of that polynomial.
-      std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
-      std::size_t split_poly = program.NumPolys();
-      std::vector<std::uint32_t> term_bounds;
-      if (parts > bounds.size() - 1 && options.split_min_terms > 0) {
-        split_poly = program.DominantPoly(options.split_min_terms);
-      }
-      if (split_poly < program.NumPolys()) {
-        const std::uint32_t sp = static_cast<std::uint32_t>(split_poly);
-        for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
-          const std::uint32_t begin = bounds[r];
-          const std::uint32_t end = bounds[r + 1];
-          if (sp >= begin && sp < end) {
-            if (sp > begin) ranges.emplace_back(begin, sp);
-            if (sp + 1 < end) ranges.emplace_back(sp + 1, end);
-          } else {
-            ranges.emplace_back(begin, end);
-          }
-        }
-        const std::size_t spare =
-            parts > ranges.size() ? parts - ranges.size() : 2;
-        term_bounds = program.PartitionTerms(
-            split_poly, std::max<std::size_t>(2, spare));
-      } else {
-        for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
-          ranges.emplace_back(bounds[r], bounds[r + 1]);
-        }
-      }
-      const std::size_t term_slices =
-          term_bounds.empty() ? 0 : term_bounds.size() - 1;
-      const std::size_t slices = ranges.size() + term_slices;
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges =
+          schedule.ranges;
+      const std::vector<std::uint32_t>& term_bounds = schedule.term_bounds;
+      const std::size_t term_slices = schedule.term_slices();
+      const std::size_t slices = schedule.slices();
       // Scenario-major partial sums of the split polynomial, one slot per
       // term slice; reduced in fixed slice order after the join.
       std::vector<double> partials(term_slices == 0 ? 0 : n * term_slices,
@@ -528,8 +543,7 @@ util::Result<BatchAssignReport> CompiledSession::AssignBatch(
                 partials.data() + i0 * term_slices + k, term_slices);
           }
         } else {
-          const std::vector<prov::VarOverride>& ov =
-              (*compiled)[i0].overrides;
+          const std::vector<prov::VarOverride>& ov = compiled[i0].overrides;
           if (s < ranges.size()) {
             program.EvalRangeWithOverrides(base, ov.data(), ov.size(),
                                            ranges[s].first, ranges[s].second,
@@ -566,7 +580,7 @@ util::Result<BatchAssignReport> CompiledSession::AssignBatch(
           for (std::size_t k = 0; k < term_slices; ++k) {
             sum += partials[i * term_slices + k];
           }
-          flat[i * polys + split_poly] = sum;
+          flat[i * polys + schedule.split_poly] = sum;
         }
       }
       for (std::size_t i = 0; i < n; ++i) {
@@ -575,10 +589,11 @@ util::Result<BatchAssignReport> CompiledSession::AssignBatch(
       }
     };
     util::Timer timer;
-    sweep(sweep_full, &full_values);
+    sweep(sweep_full, plan.full_schedule(), &full_values);
     batch.full_sweep_seconds = timer.ElapsedSeconds();
     timer.Reset();
-    sweep(compressed_program, &compressed_values);
+    sweep(compressed_program, plan.compressed_schedule(),
+          &compressed_values);
     batch.compressed_sweep_seconds = timer.ElapsedSeconds();
     batch.num_threads = used_threads;
   }
@@ -604,8 +619,30 @@ util::Result<BatchAssignReport> CompiledSession::AssignBatch(
 }
 
 util::Result<BatchAssignReport> CompiledSession::AssignBatch(
+    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
+    const BatchOptions& options) const {
+  bool cache_hit = false;
+  util::Result<std::shared_ptr<const BatchPlan>> plan =
+      PlanBatch(scenarios, base_meta_valuation, options, &cache_hit);
+  if (!plan.ok()) return plan.status();
+  util::Result<BatchAssignReport> report = Execute(**plan);
+  if (!report.ok()) return report.status();
+  report->plan_cache_hit = cache_hit;
+  return report;
+}
+
+util::Result<BatchAssignReport> CompiledSession::AssignBatch(
     const ScenarioSet& scenarios, const BatchOptions& options) const {
-  return AssignBatch(scenarios, default_meta_, options);
+  // Routed through the default-base PlanBatch overload (not the explicit
+  // base one) so the warm path reuses the precomputed default-base hash.
+  bool cache_hit = false;
+  util::Result<std::shared_ptr<const BatchPlan>> plan =
+      PlanBatch(scenarios, options, &cache_hit);
+  if (!plan.ok()) return plan.status();
+  util::Result<BatchAssignReport> report = Execute(**plan);
+  if (!report.ok()) return report.status();
+  report->plan_cache_hit = cache_hit;
+  return report;
 }
 
 }  // namespace cobra::core

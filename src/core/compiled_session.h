@@ -1,12 +1,18 @@
 #ifndef COBRA_CORE_COMPILED_SESSION_H_
 #define COBRA_CORE_COMPILED_SESSION_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/apply.h"
+#include "core/batch_plan.h"
 #include "core/metrics.h"
 #include "core/scenario.h"
 #include "prov/eval_program.h"
@@ -54,6 +60,16 @@ struct BatchAssignReport {
   /// Worker threads actually used.
   std::size_t num_threads = 1;
 
+  /// The engine the sweep actually ran (never kAuto — the plan resolves the
+  /// adaptive policy before execution) and its lane count (1 for the scalar
+  /// engines).
+  BatchOptions::Sweep engine = BatchOptions::Sweep::kSparseDelta;
+  std::size_t block_lanes = 1;
+
+  /// Whether AssignBatch served this call from a cached BatchPlan (always
+  /// false for direct Execute() calls).
+  bool plan_cache_hit = false;
+
   std::size_t size() const { return reports.size(); }
 
   /// Renders the batch summary plus the first `max_scenarios` scenarios
@@ -82,13 +98,18 @@ struct BatchAssignReport {
 ///     a deep copy per snapshot;
 ///   - the abstraction metadata (meta-variables, group labels, sizes).
 ///
-/// Every member is deeply immutable after construction and every method is
-/// `const` and allocation-local, so one snapshot may serve any number of
-/// threads concurrently through a `std::shared_ptr<const CompiledSession>`
-/// with zero locks. Results are bit-identical to the equivalent `Session`
-/// calls (tested), so a serving tier can hand one snapshot to a fleet of
-/// workers while the authoring session keeps evolving.
-class CompiledSession {
+/// The compiled state is deeply immutable after construction and every
+/// method is `const`, so one snapshot may serve any number of threads
+/// concurrently through a `std::shared_ptr<const CompiledSession>`. The
+/// evaluation paths themselves are lock-free; the only synchronized state
+/// is the batch *plan cache* (PlanBatch/AssignBatch), a fingerprint-keyed
+/// map guarded by a `shared_mutex` so concurrent servers replaying
+/// overlapping scenario sets share compiled plans instead of re-planning.
+/// Results are bit-identical to the equivalent `Session` calls (tested), so
+/// a serving tier can hand one snapshot to a fleet of workers while the
+/// authoring session keeps evolving.
+class CompiledSession
+    : public std::enable_shared_from_this<CompiledSession> {
  public:
   /// Builds a snapshot from a compression result. `pool` is shared (not
   /// copied — `VarPool` is append-only and internally synchronized, and the
@@ -203,15 +224,15 @@ class CompiledSession {
   /// sweep, each scenario's deltas applied independently on top of
   /// `base_meta_valuation`. Scenario names must be unique and every delta
   /// variable must resolve in `pool()` to an id the snapshot knows (interned
-  /// before the snapshot was taken). With the default
-  /// `BatchOptions::Sweep::kBlocked`, scenarios are grouped into blocks of
-  /// `block_lanes` lanes and every (block × poly-range) tile evaluates all
-  /// lanes in one scan of the compiled program; large programs are
-  /// additionally partitioned across threads when blocks are scarce, with a
-  /// term-splitting fallback for a single dominant polynomial
-  /// (`split_min_terms`). Results are bit-identical to sequential `Assign()`
-  /// for every engine (term splitting, when it triggers, is deterministic
-  /// but may regroup additions — see `BatchOptions::split_min_terms`).
+  /// before the snapshot was taken). A thin plan-then-execute wrapper:
+  /// equivalent to `Execute(**PlanBatch(scenarios, base, options))`, with
+  /// the plan served from the fingerprint-keyed cache when this (scenario
+  /// set, base, options) triple was planned before. The default
+  /// `Sweep::kAuto` picks the engine and lane count adaptively (see
+  /// `BatchOptions::Sweep`); results are bit-identical to sequential
+  /// `Assign()` for every engine (term splitting, when it triggers, is
+  /// deterministic but may regroup additions — see
+  /// `BatchOptions::split_min_terms`).
   util::Result<BatchAssignReport> AssignBatch(
       const ScenarioSet& scenarios,
       const prov::Valuation& base_meta_valuation,
@@ -220,6 +241,57 @@ class CompiledSession {
   /// AssignBatch() on top of the snapshot's default meta valuation.
   util::Result<BatchAssignReport> AssignBatch(
       const ScenarioSet& scenarios, const BatchOptions& options = {}) const;
+
+  /// Compiles (or fetches from the plan cache) the execution plan for this
+  /// (scenario set, base valuation, options) triple: per-scenario sorted
+  /// override lists, per-block override-union tables, the resolved engine
+  /// and lane count, and the tile schedules for both program sides — the
+  /// plan-once half of plan-once/execute-many. The cache key is the
+  /// scenario set's content fingerprint plus the options and the base
+  /// valuation's content hash; the cache is guarded by a `shared_mutex`
+  /// (shared for lookups, exclusive only to insert), so concurrent callers
+  /// replaying known scenario sets proceed in parallel. If `cache_hit` is
+  /// non-null it is set to whether the plan came from the cache.
+  util::Result<std::shared_ptr<const BatchPlan>> PlanBatch(
+      const ScenarioSet& scenarios,
+      const prov::Valuation& base_meta_valuation,
+      const BatchOptions& options = {}, bool* cache_hit = nullptr) const;
+
+  /// PlanBatch() on top of the snapshot's default meta valuation.
+  util::Result<std::shared_ptr<const BatchPlan>> PlanBatch(
+      const ScenarioSet& scenarios, const BatchOptions& options = {},
+      bool* cache_hit = nullptr) const;
+
+  /// Executes a compiled plan: the execute-many half. The plan must have
+  /// been built by this session's PlanBatch (rejected with InvalidArgument
+  /// otherwise); it may be executed any number of times, concurrently, and
+  /// results are bit-identical to the equivalent AssignBatch call.
+  util::Result<BatchAssignReport> Execute(const BatchPlan& plan) const;
+
+  /// Aggregate plan-cache counters. Hits/misses count PlanBatch lookups
+  /// (AssignBatch goes through PlanBatch); entries is the current cache
+  /// size.
+  struct PlanCacheStats {
+    std::size_t entries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  PlanCacheStats plan_cache_stats() const;
+
+  /// One row of the cached-plan table (shell `plan` command, diagnostics).
+  struct CachedPlanInfo {
+    std::string fingerprint;  ///< Scenario-set fingerprint, 32 hex digits.
+    BatchOptions::Sweep engine = BatchOptions::Sweep::kSparseDelta;
+    std::size_t lanes = 0;
+    std::size_t tiles = 0;
+    std::size_t scenarios = 0;
+  };
+  /// The cached plans, in unspecified order.
+  std::vector<CachedPlanInfo> CachedPlans() const;
+
+  /// Drops every cached plan (counters keep accumulating). For operational
+  /// tooling and cold-path benchmarks; plans already handed out stay valid.
+  void ClearPlanCache() const;
 
  private:
   /// The valuation-independent (and most expensive) part of a snapshot,
@@ -255,20 +327,69 @@ class CompiledSession {
   CompiledSession(std::shared_ptr<const Artifacts> artifacts,
                   prov::Valuation default_meta);
 
-  /// One scenario lowered to ids: a sorted, duplicate-free override list.
-  struct CompiledScenario {
-    std::vector<prov::VarOverride> overrides;
-  };
-
-  util::Result<std::vector<CompiledScenario>> CompileScenarios(
-      const ScenarioSet& scenarios) const;
-
   /// Copies `v` and extends it neutrally to the pool size.
   prov::Valuation PoolSized(const prov::Valuation& v) const;
+
+  /// 128-bit content hash of a base valuation (see util::Hash128).
+  struct BaseHash {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  static BaseHash HashBase(const prov::Valuation& v);
+
+  /// The shared implementation behind both PlanBatch overloads: the
+  /// default-base overload passes the hash precomputed at construction so
+  /// the warm path never rehashes the (immutable) default valuation.
+  util::Result<std::shared_ptr<const BatchPlan>> PlanBatchImpl(
+      const ScenarioSet& scenarios,
+      const prov::Valuation& base_meta_valuation, const BaseHash& base_hash,
+      const BatchOptions& options, bool* cache_hit) const;
+
+  /// Full identity of one planned batch: the scenario-set fingerprint plus
+  /// everything else a plan is derived from (the options and the base
+  /// valuation content). The map's bucket hash only routes; key equality
+  /// compares the options fields exactly and the two content digests —
+  /// both 128-bit (two independently-seeded chains), because an equality
+  /// collision would silently replay the wrong plan, and 64 bits is not
+  /// enough to stake correctness on.
+  struct PlanCacheKey {
+    PlanFingerprint scenarios;
+    std::uint64_t base_hash_lo = 0;
+    std::uint64_t base_hash_hi = 0;
+    std::uint32_t sweep = 0;
+    std::uint64_t block_lanes = 0;
+    std::uint64_t num_threads = 0;
+    std::uint64_t partition_min_terms = 0;
+    std::uint64_t split_min_terms = 0;
+
+    bool operator==(const PlanCacheKey&) const = default;
+  };
+  struct PlanCacheKeyHash {
+    std::size_t operator()(const PlanCacheKey& key) const;
+  };
+
+  /// Cached plans are bounded; a server cycling through more distinct
+  /// scenario sets than this simply re-plans the excess (correctness never
+  /// depends on the cache).
+  static constexpr std::size_t kPlanCacheMaxEntries = 64;
 
   std::shared_ptr<const Artifacts> artifacts_;
   prov::Valuation default_meta_;
   prov::Valuation default_full_;
+  BaseHash default_base_hash_;  ///< HashBase(default_meta_), precomputed.
+
+  /// The plan cache: the one synchronized corner of the serving layer.
+  /// Lookups take the lock shared; only a miss's insert takes it exclusive.
+  /// `plan_cache_order_` records insertion order so eviction at capacity is
+  /// FIFO (oldest plan first) instead of whatever the map's bucket layout
+  /// puts at begin().
+  mutable std::shared_mutex plan_mutex_;
+  mutable std::unordered_map<PlanCacheKey, std::shared_ptr<const BatchPlan>,
+                             PlanCacheKeyHash>
+      plan_cache_;
+  mutable std::deque<PlanCacheKey> plan_cache_order_;
+  mutable std::atomic<std::uint64_t> plan_cache_hits_{0};
+  mutable std::atomic<std::uint64_t> plan_cache_misses_{0};
 };
 
 }  // namespace cobra::core

@@ -9,4 +9,18 @@ std::vector<std::string> ScenarioSet::Names() const {
   return names;
 }
 
+const char* SweepName(BatchOptions::Sweep sweep) {
+  switch (sweep) {
+    case BatchOptions::Sweep::kAuto:
+      return "kAuto";
+    case BatchOptions::Sweep::kBlocked:
+      return "kBlocked";
+    case BatchOptions::Sweep::kSparseDelta:
+      return "kSparseDelta";
+    case BatchOptions::Sweep::kDenseCopy:
+      return "kDenseCopy";
+  }
+  return "?";
+}
+
 }  // namespace cobra::core

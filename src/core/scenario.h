@@ -106,6 +106,15 @@ class ScenarioSet {
 struct BatchOptions {
   /// Sweep implementation.
   enum class Sweep {
+    /// Adaptive policy (default): the batch planner picks the engine and
+    /// lane count from the compiled program sizes, the scenario count, and
+    /// the override width — the blocked kernel whenever the program scan
+    /// dominates, falling back to `kSparseDelta` for tiny programs where the
+    /// per-batch fixed costs (block tables, tile dispatch) would dominate.
+    /// The choice is deterministic and independent of the thread count, and
+    /// every engine is bit-identical, so `kAuto` never changes results —
+    /// pin one of the explicit engines below to A/B against it.
+    kAuto,
     /// Scenario-blocked kernel: scenarios are grouped into blocks of
     /// `block_lanes` lanes and each (block × poly-range) tile evaluates all
     /// lanes in ONE scan of the compiled program — the base value is
@@ -113,7 +122,7 @@ struct BatchOptions {
     /// individual lanes, and the lane accumulators advance in lockstep, so
     /// per-scenario results stay bit-identical to the scalar paths while the
     /// factor/coeff arrays are read once per block instead of once per
-    /// scenario. Default.
+    /// scenario.
     kBlocked,
     /// Scalar sparse engine: each scenario is a small sorted (VarId, value)
     /// override list resolved during its own scan — no per-scenario
@@ -131,7 +140,7 @@ struct BatchOptions {
   /// sweep tasks (scenario blocks × program partitions).
   std::size_t num_threads = 0;
 
-  Sweep sweep = Sweep::kBlocked;
+  Sweep sweep = Sweep::kAuto;
 
   /// Scenario lanes per block for `Sweep::kBlocked`: 4 or 8 (the kernel's
   /// compile-time lane widths). A trailing ragged block (num_scenarios %
@@ -160,6 +169,10 @@ struct BatchOptions {
   /// shapes.
   std::size_t split_min_terms = 4096;
 };
+
+/// Human-readable engine name ("kAuto", "kBlocked", ...); "?" for values
+/// outside the enum.
+const char* SweepName(BatchOptions::Sweep sweep);
 
 }  // namespace cobra::core
 

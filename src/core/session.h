@@ -150,10 +150,12 @@ class Session {
   /// post-Compress() defaults); nothing leaks between scenarios and the
   /// session's own meta valuation is untouched.
   ///
-  /// Thin wrapper over `Snapshot()`: programs are compiled at most once and
-  /// the sweep runs on the immutable snapshot (sparse per-scenario deltas
-  /// by default; see `BatchOptions`). This is the serving path for many
-  /// concurrent what-if scenarios against one compression.
+  /// Thin wrapper over `Snapshot()`: programs are compiled at most once,
+  /// the snapshot plans the batch (scenario compilation, engine choice —
+  /// `Sweep::kAuto` by default — block tables and tile schedule, all cached
+  /// by scenario-set fingerprint), and the sweep executes that plan. This
+  /// is the serving path for many concurrent what-if scenarios against one
+  /// compression; replaying the same scenario set skips re-planning.
   util::Result<BatchAssignReport> AssignBatch(
       const ScenarioSet& scenarios, const BatchOptions& options = {}) const;
 

@@ -10,10 +10,12 @@ namespace cobra::prov {
 namespace {
 
 /// The raw view of a BlockOverrides table the kernels scan: a sorted var
-/// array with a W-wide value row per var plus the [lo, hi] guard band.
+/// array with a W-wide value row per var, the [lo, hi] guard band, and the
+/// optional dense row index covering [lo, hi].
 struct LaneTableView {
   const VarId* vars = nullptr;
   const double* values = nullptr;
+  const std::int32_t* dense = nullptr;  ///< nullptr => binary search.
   std::size_t rows = 0;
   VarId lo = kInvalidVar;
   VarId hi = 0;
@@ -21,14 +23,20 @@ struct LaneTableView {
 
 /// Looks up `var`'s per-lane value row, or nullptr when the block does not
 /// override `var`. The guard band rejects most factors with two compares;
-/// the row scan is over a handful of register-resident entries.
+/// inside the band the dense index resolves the row with one load when the
+/// union's id span is small, and a binary search over the factor-sorted var
+/// array (O(log k) in the union size k) otherwise — wide scenario unions no
+/// longer pay a linear scan per factor.
 template <int W>
 inline const double* FindLaneRow(const LaneTableView& table, VarId var) {
   if (var < table.lo || var > table.hi) return nullptr;
-  for (std::size_t r = 0; r < table.rows; ++r) {
-    if (table.vars[r] == var) return table.values + r * W;
+  if (table.dense != nullptr) {
+    const std::int32_t row = table.dense[var - table.lo];
+    return row < 0 ? nullptr : table.values + static_cast<std::size_t>(row) * W;
   }
-  return nullptr;
+  const VarId* it = std::lower_bound(table.vars, table.vars + table.rows, var);
+  if (it == table.vars + table.rows || *it != var) return nullptr;
+  return table.values + static_cast<std::size_t>(it - table.vars) * W;
 }
 
 /// The blocked inner loop at compile-time lane width W. Per factor the base
@@ -155,6 +163,19 @@ BlockOverrides MakeBlockOverrides(const Valuation& base,
                            lanes[l].data[o].var) -
           block.vars_.begin();
       block.values_[r * block.width_ + l] = lanes[l].data[o].value;
+    }
+  }
+  // O(1) lookup fast path: when the union's id span is small, one row-index
+  // array covers it (wider unions binary-search the sorted var array).
+  if (!block.vars_.empty()) {
+    const std::size_t span =
+        static_cast<std::size_t>(block.hi_ - block.lo_) + 1;
+    if (span <= BlockOverrides::kDenseIndexMaxSpan) {
+      block.dense_index_.assign(span, -1);
+      for (std::size_t r = 0; r < block.vars_.size(); ++r) {
+        block.dense_index_[block.vars_[r] - block.lo_] =
+            static_cast<std::int32_t>(r);
+      }
     }
   }
   return block;
@@ -327,8 +348,10 @@ void EvalProgram::EvalRangeBlocked(const Valuation& base,
   COBRA_CHECK_MSG(poly_begin <= poly_end && poly_end <= NumPolys(),
                   "EvalProgram::EvalRangeBlocked: bad poly range");
   const double* values = base.values().data();
-  const LaneTableView table{block.vars_.data(), block.values_.data(),
-                            block.vars_.size(), block.lo_, block.hi_};
+  const LaneTableView table{
+      block.vars_.data(), block.values_.data(),
+      block.dense_index_.empty() ? nullptr : block.dense_index_.data(),
+      block.vars_.size(), block.lo_, block.hi_};
   if (block.width_ == 4) {
     RunBlockedRange<4>(poly_starts_.data(), term_starts_.data(),
                        coeffs_.data(), factors_.data(), values, table,
@@ -379,8 +402,10 @@ void EvalProgram::EvalTermRangeBlocked(const Valuation& base,
   COBRA_CHECK_MSG(term_begin <= term_end && term_end <= NumTerms(),
                   "EvalProgram::EvalTermRangeBlocked: bad term range");
   const double* values = base.values().data();
-  const LaneTableView table{block.vars_.data(), block.values_.data(),
-                            block.vars_.size(), block.lo_, block.hi_};
+  const LaneTableView table{
+      block.vars_.data(), block.values_.data(),
+      block.dense_index_.empty() ? nullptr : block.dense_index_.data(),
+      block.vars_.size(), block.lo_, block.hi_};
   if (block.width_ == 4) {
     RunBlockedTermRange<4>(term_starts_.data(), coeffs_.data(),
                            factors_.data(), values, table, term_begin,

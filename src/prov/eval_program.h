@@ -33,9 +33,11 @@ struct OverrideSpan {
 /// value, or the shared base value when lane l does not override that
 /// variable). Built once per scenario block by `MakeBlockOverrides()` and
 /// reused across every (poly-range | term-range) tile the block is scheduled
-/// on. The table is tiny — a handful of meta-variables times the lane width
-/// — so factor lookups are a guarded linear scan over register-resident
-/// rows, exactly like the scalar sparse path's override scan.
+/// on. Factor lookups are O(log k) in the union size k: a [lo, hi] guard
+/// band rejects most factors with two compares, then either a dense
+/// row-index array (when the union's id span is small — one load) or a
+/// binary search over the factor-sorted var array resolves the row, so wide
+/// scenarios (large unions) no longer pay a linear scan per factor.
 class BlockOverrides {
  public:
   /// Number of scenario lanes the block carries (1..kMaxLanes).
@@ -46,6 +48,18 @@ class BlockOverrides {
   /// the same instruction stream without affecting real lanes.
   std::size_t width() const { return width_; }
 
+  /// Number of distinct variables in the block's override union.
+  std::size_t union_size() const { return vars_.size(); }
+
+  /// Whether lookups resolve through the dense per-span row index (true when
+  /// the union's id span is at most kDenseIndexMaxSpan) instead of binary
+  /// search. Exposed for tests; both paths return identical rows.
+  bool uses_dense_index() const { return !dense_index_.empty(); }
+
+  /// Largest (hi - lo + 1) id span for which the dense row index is built;
+  /// wider unions fall back to binary search.
+  static constexpr std::size_t kDenseIndexMaxSpan = 4096;
+
  private:
   friend class EvalProgram;
   friend BlockOverrides MakeBlockOverrides(const Valuation& base,
@@ -54,9 +68,13 @@ class BlockOverrides {
 
   std::vector<VarId> vars_;     ///< Sorted union of overridden variables.
   std::vector<double> values_;  ///< vars_.size() rows of `width_` lane values.
+  /// When the union spans at most kDenseIndexMaxSpan ids, dense_index_[v -
+  /// lo_] is the row index of variable v (or -1 when v is not overridden) —
+  /// the O(1) fast path. Empty for wider unions (binary search instead).
+  std::vector<std::int32_t> dense_index_;
   std::size_t num_lanes_ = 0;
   std::size_t width_ = 0;
-  // Inclusive guard band so factors outside [lo_, hi_] skip the row scan;
+  // Inclusive guard band so factors outside [lo_, hi_] skip the row lookup;
   // an empty table uses lo_ > hi_ so the guard never matches.
   VarId lo_ = kInvalidVar;
   VarId hi_ = 0;

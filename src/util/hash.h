@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace cobra::util {
@@ -33,6 +34,50 @@ inline std::uint64_t HashBytes(std::string_view bytes) {
   }
   return h;
 }
+
+/// 128-bit content-hash accumulator: two independently seeded HashCombine
+/// chains advanced in lockstep, with every fed word entering *both* chains
+/// (the second under a fixed xor mask) so no input is first collapsed to 64
+/// bits. Used where a digest participates in cache-key *equality* — the
+/// plan cache's scenario fingerprint and base-valuation hash — because an
+/// equality collision silently replays the wrong cached result, and a
+/// 64-bit digest would stake correctness on a birthday bound.
+class Hash128 {
+ public:
+  Hash128(std::uint64_t seed_lo, std::uint64_t seed_hi)
+      : lo_(seed_lo), hi_(seed_hi) {}
+
+  /// Feeds one 64-bit word into both chains.
+  void Feed(std::uint64_t value) {
+    lo_ = HashCombine(lo_, value);
+    hi_ = HashCombine(hi_, value ^ 0xa5a5a5a5a5a5a5a5ULL);
+  }
+
+  /// Feeds a length-prefixed byte string word-wise into both chains (the
+  /// tail word is zero-padded; the length prefix keeps "ab","c" distinct
+  /// from "a","bc").
+  void FeedBytes(std::string_view bytes) {
+    Feed(bytes.size());
+    std::size_t i = 0;
+    for (; i + 8 <= bytes.size(); i += 8) {
+      std::uint64_t word;
+      std::memcpy(&word, bytes.data() + i, 8);
+      Feed(word);
+    }
+    if (i < bytes.size()) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, bytes.data() + i, bytes.size() - i);
+      Feed(word);
+    }
+  }
+
+  std::uint64_t lo() const { return lo_; }
+  std::uint64_t hi() const { return hi_; }
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
 
 }  // namespace cobra::util
 

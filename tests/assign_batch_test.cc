@@ -138,6 +138,7 @@ TEST_F(AssignBatchTest, ThreadCountDoesNotChangeResults) {
   four.sweep = BatchOptions::Sweep::kSparseDelta;  // 7 scalar tasks
   BatchOptions blocks;
   blocks.num_threads = 4;
+  blocks.sweep = BatchOptions::Sweep::kBlocked;  // pin: kAuto may pick sparse
   blocks.block_lanes = 4;  // 7 scenarios -> 2 blocked tiles
   BatchAssignReport a = session.AssignBatch(scenarios, one).ValueOrDie();
   BatchAssignReport b = session.AssignBatch(scenarios, four).ValueOrDie();

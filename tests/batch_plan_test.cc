@@ -1,0 +1,434 @@
+// Tests for the BatchPlan layer: the adaptive (kAuto) engine policy, the
+// plan-once/execute-many split, and the fingerprint-keyed plan cache on
+// CompiledSession — determinism across thread counts, bit-identity of kAuto
+// against every explicit engine and of warm (cached) against cold plans,
+// cache hit/miss semantics under scenario-set mutation, uniform BatchOptions
+// validation, and an 8-thread concurrency hammer (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_plan.h"
+#include "core/compiled_session.h"
+#include "core/scenario.h"
+#include "core/session.h"
+#include "data/example_db.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace cobra::core {
+namespace {
+
+void LoadPaperSession(Session* session) {
+  session->LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
+  session->SetTreeText(data::kFigure2TreeText).CheckOK();
+  session->SetBound(10);
+  session->Compress().ValueOrDie();
+}
+
+ScenarioSet MakeScenarios(const CompiledSession& snapshot, std::size_t n) {
+  const std::vector<MetaVar>& meta = snapshot.meta_vars();
+  EXPECT_FALSE(meta.empty());
+  ScenarioSet set;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = set.Add("scenario-" + std::to_string(i));
+    s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i + 1));
+    if (meta.size() > 1) {
+      s.Set(meta[(i + 1) % meta.size()].name,
+            1.0 - 0.02 * static_cast<double>(i + 1));
+    }
+  }
+  return set;
+}
+
+void ExpectBatchBitIdentical(const BatchAssignReport& a,
+                             const BatchAssignReport& b) {
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    const auto& ra = a.reports[i].delta.rows;
+    const auto& rb = b.reports[i].delta.rows;
+    ASSERT_EQ(ra.size(), rb.size()) << "scenario " << i;
+    for (std::size_t r = 0; r < ra.size(); ++r) {
+      EXPECT_EQ(ra[r].full, rb[r].full) << "scenario " << i << " row " << r;
+      EXPECT_EQ(ra[r].compressed, rb[r].compressed)
+          << "scenario " << i << " row " << r;
+    }
+  }
+}
+
+// --------------------------------------------------------------- the policy
+
+TEST(ChooseAutoEngineTest, TinyProgramsFallBackToSparse) {
+  // Below the weight threshold the per-batch fixed costs dominate: sparse.
+  EXPECT_EQ(ChooseAutoEngine(10, 1024, 2).engine,
+            BatchOptions::Sweep::kSparseDelta);
+  EXPECT_EQ(ChooseAutoEngine(10, 1024, 2).lanes, 1u);
+  // A single scenario has nothing to block with.
+  EXPECT_EQ(ChooseAutoEngine(1u << 20, 1, 2).engine,
+            BatchOptions::Sweep::kSparseDelta);
+  // Wide override unions need a proportionally longer scan to amortize.
+  EXPECT_EQ(ChooseAutoEngine(4096, 64, 1000).engine,
+            BatchOptions::Sweep::kSparseDelta);
+}
+
+TEST(ChooseAutoEngineTest, LargeProgramsBlockAndSizeLanesByScenarioCount) {
+  EnginePick many = ChooseAutoEngine(1u << 20, 1024, 2);
+  EXPECT_EQ(many.engine, BatchOptions::Sweep::kBlocked);
+  EXPECT_EQ(many.lanes, 8u);
+  EnginePick few = ChooseAutoEngine(1u << 20, 5, 2);
+  EXPECT_EQ(few.engine, BatchOptions::Sweep::kBlocked);
+  EXPECT_EQ(few.lanes, 4u);
+}
+
+TEST(BatchPlanTest, AutoChoiceIsDeterministicAcrossThreadCounts) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(*snapshot, 9);
+
+  BatchOptions::Sweep engine{};
+  std::size_t lanes = 0;
+  bool first = true;
+  for (std::size_t threads : {1u, 2u, 3u, 8u, 16u}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    auto plan = snapshot->PlanBatch(scenarios, options).ValueOrDie();
+    EXPECT_NE(plan->engine(), BatchOptions::Sweep::kAuto);
+    if (first) {
+      engine = plan->engine();
+      lanes = plan->lanes();
+      first = false;
+    } else {
+      EXPECT_EQ(plan->engine(), engine) << "threads=" << threads;
+      EXPECT_EQ(plan->lanes(), lanes) << "threads=" << threads;
+    }
+  }
+}
+
+// ------------------------------------------------------------- bit-identity
+
+TEST(BatchPlanTest, AutoBitIdenticalToEveryExplicitEngine) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(*snapshot, 11);
+
+  BatchAssignReport auto_batch = snapshot->AssignBatch(scenarios).ValueOrDie();
+  EXPECT_NE(auto_batch.engine, BatchOptions::Sweep::kAuto);
+
+  for (BatchOptions::Sweep sweep :
+       {BatchOptions::Sweep::kBlocked, BatchOptions::Sweep::kSparseDelta,
+        BatchOptions::Sweep::kDenseCopy}) {
+    BatchOptions options;
+    options.sweep = sweep;
+    BatchAssignReport pinned =
+        snapshot->AssignBatch(scenarios, options).ValueOrDie();
+    EXPECT_EQ(pinned.engine, sweep);
+    ExpectBatchBitIdentical(auto_batch, pinned);
+  }
+}
+
+// ---------------------------------------------------------------- the cache
+
+TEST(BatchPlanTest, ReplayHitsTheCacheAndReturnsTheSamePlan) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(*snapshot, 6);
+
+  CompiledSession::PlanCacheStats before = snapshot->plan_cache_stats();
+  EXPECT_EQ(before.entries, 0u);
+
+  bool hit = true;
+  auto cold = snapshot->PlanBatch(scenarios, {}, &hit).ValueOrDie();
+  EXPECT_FALSE(hit);
+  auto warm = snapshot->PlanBatch(scenarios, {}, &hit).ValueOrDie();
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cold.get(), warm.get());  // literally the same compiled plan
+
+  CompiledSession::PlanCacheStats after = snapshot->plan_cache_stats();
+  EXPECT_EQ(after.entries, 1u);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+
+  // AssignBatch reports the hit.
+  BatchAssignReport replay = snapshot->AssignBatch(scenarios).ValueOrDie();
+  EXPECT_TRUE(replay.plan_cache_hit);
+
+  // The cached-plan table describes the entry.
+  std::vector<CompiledSession::CachedPlanInfo> table = snapshot->CachedPlans();
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].fingerprint, cold->fingerprint().ToHex());
+  EXPECT_EQ(table[0].engine, cold->engine());
+  EXPECT_EQ(table[0].lanes, cold->lanes());
+  EXPECT_EQ(table[0].tiles, cold->num_tiles());
+  EXPECT_EQ(table[0].scenarios, 6u);
+
+  snapshot->ClearPlanCache();
+  EXPECT_EQ(snapshot->plan_cache_stats().entries, 0u);
+  BatchAssignReport recold = snapshot->AssignBatch(scenarios).ValueOrDie();
+  EXPECT_FALSE(recold.plan_cache_hit);
+  ExpectBatchBitIdentical(replay, recold);
+}
+
+TEST(BatchPlanTest, MutatingTheScenarioSetChangesTheFingerprint) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(*snapshot, 4);
+
+  PlanFingerprint original = FingerprintScenarios(scenarios);
+  EXPECT_EQ(FingerprintScenarios(scenarios), original);  // content-stable
+
+  bool hit = true;
+  snapshot->PlanBatch(scenarios, {}, &hit).ValueOrDie();
+  EXPECT_FALSE(hit);
+  snapshot->PlanBatch(scenarios, {}, &hit).ValueOrDie();
+  EXPECT_TRUE(hit);
+
+  // Mutate after planning: a new delta must change the fingerprint and miss.
+  const std::string meta_name = snapshot->meta_vars().front().name;
+  scenarios.Add("late-addition").Set(meta_name, 0.5);
+  EXPECT_NE(FingerprintScenarios(scenarios), original);
+  snapshot->PlanBatch(scenarios, {}, &hit).ValueOrDie();
+  EXPECT_FALSE(hit);
+
+  // Changing one delta value (same shape) also re-fingerprints.
+  ScenarioSet tweaked = MakeScenarios(*snapshot, 4);
+  PlanFingerprint base_fp = FingerprintScenarios(tweaked);
+  ScenarioSet tweaked2 = MakeScenarios(*snapshot, 4);
+  tweaked2.Add(Scenario{"x", {{meta_name, 1.0}}});
+  tweaked.Add(Scenario{"x", {{meta_name, 1.0000001}}});
+  EXPECT_NE(FingerprintScenarios(tweaked), FingerprintScenarios(tweaked2));
+  EXPECT_NE(FingerprintScenarios(tweaked), base_fp);
+
+  // A different base valuation must not reuse the old plan either.
+  ScenarioSet replay = MakeScenarios(*snapshot, 4);
+  snapshot->PlanBatch(replay, {}, &hit).ValueOrDie();
+  prov::Valuation other(snapshot->pool_size());
+  for (std::size_t v = 0; v < snapshot->pool_size(); ++v) {
+    other.Set(static_cast<prov::VarId>(v), 1.0);
+  }
+  other.Set(snapshot->meta_vars().front().var, 2.0);
+  snapshot->PlanBatch(replay, other, {}, &hit).ValueOrDie();
+  EXPECT_FALSE(hit);
+}
+
+// --------------------------------------------------------------- validation
+
+TEST(BatchPlanTest, InvalidOptionsNameTheFieldAndAcceptedValues) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(*snapshot, 3);
+
+  BatchOptions bad_lanes;
+  bad_lanes.sweep = BatchOptions::Sweep::kBlocked;
+  bad_lanes.block_lanes = 3;
+  util::Result<BatchAssignReport> r1 =
+      snapshot->AssignBatch(scenarios, bad_lanes);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r1.status().message().find("BatchOptions.block_lanes"),
+            std::string::npos);
+  EXPECT_NE(r1.status().message().find("4 or 8"), std::string::npos);
+
+  BatchOptions bad_sweep;
+  bad_sweep.sweep = static_cast<BatchOptions::Sweep>(99);
+  util::Result<BatchAssignReport> r2 =
+      snapshot->AssignBatch(scenarios, bad_sweep);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r2.status().message().find("BatchOptions.sweep"),
+            std::string::npos);
+  EXPECT_NE(r2.status().message().find("kAuto"), std::string::npos);
+
+  // The lane knob belongs to kBlocked: kAuto picks lanes itself and the
+  // scalar engines ignore it.
+  for (BatchOptions::Sweep sweep :
+       {BatchOptions::Sweep::kAuto, BatchOptions::Sweep::kSparseDelta,
+        BatchOptions::Sweep::kDenseCopy}) {
+    BatchOptions ignored;
+    ignored.sweep = sweep;
+    ignored.block_lanes = 3;
+    EXPECT_TRUE(snapshot->AssignBatch(scenarios, ignored).ok())
+        << SweepName(sweep);
+  }
+
+  // Validation happens at plan time: PlanBatch reports the same errors.
+  EXPECT_FALSE(snapshot->PlanBatch(scenarios, bad_lanes).ok());
+  EXPECT_FALSE(snapshot->PlanBatch(ScenarioSet(), BatchOptions()).ok());
+}
+
+TEST(BatchPlanTest, ExecuteRejectsAForeignPlan) {
+  Session a;
+  LoadPaperSession(&a);
+  auto snapshot_a = a.Snapshot().ValueOrDie();
+  Session b;
+  LoadPaperSession(&b);
+  auto snapshot_b = b.Snapshot().ValueOrDie();
+
+  ScenarioSet scenarios = MakeScenarios(*snapshot_a, 2);
+  auto plan = snapshot_a->PlanBatch(scenarios).ValueOrDie();
+  EXPECT_TRUE(snapshot_a->Execute(*plan).ok());
+  util::Result<BatchAssignReport> foreign = snapshot_b->Execute(*plan);
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// Cached plans reference their session weakly: a snapshot that ran
+// AssignBatch (so its cache holds plans) must still be destroyed when the
+// last external reference drops — a strong back-reference would be a
+// shared_ptr cycle and every snapshot generation would leak.
+TEST(BatchPlanTest, CachedPlansDoNotKeepTheSessionAlive) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(*snapshot, 4);
+  auto plan = snapshot->PlanBatch(scenarios).ValueOrDie();
+  EXPECT_EQ(snapshot->plan_cache_stats().entries, 1u);
+  EXPECT_NE(plan->session(), nullptr);
+
+  std::weak_ptr<const CompiledSession> weak = snapshot;
+  snapshot.reset();
+  session.SetBound(4);                // drop the Session's cached snapshot
+  session.Compress().ValueOrDie();
+  EXPECT_TRUE(weak.expired());        // the plan cache did not pin it
+  EXPECT_EQ(plan->session(), nullptr);  // a held plan observes the loss
+}
+
+// --------------------------------------------- randomized cold-vs-warm sweep
+
+/// Random scenario sets over the paper session: for every engine (kAuto and
+/// the three explicit ones), a cold plan (cache cleared), a warm replay
+/// (cached plan) and a direct PlanBatch+Execute round must produce exactly
+/// the same bits.
+TEST(BatchPlanTest, RandomizedColdAndWarmPlansAreBitIdentical) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  const std::vector<MetaVar>& meta = snapshot->meta_vars();
+  ASSERT_FALSE(meta.empty());
+
+  util::Rng rng(0xBA7C471AULL);
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    util::Rng it = rng.Fork(static_cast<std::uint64_t>(iteration));
+    ScenarioSet scenarios;
+    const std::size_t n = static_cast<std::size_t>(it.NextInRange(1, 24));
+    for (std::size_t s = 0; s < n; ++s) {
+      auto handle = scenarios.Add("s" + std::to_string(s));
+      const std::size_t overrides =
+          static_cast<std::size_t>(it.NextInRange(0, 5));
+      for (std::size_t o = 0; o < overrides; ++o) {
+        handle.Set(meta[it.NextBelow(meta.size())].name,
+                   it.NextDoubleInRange(0.5, 1.5));
+      }
+    }
+
+    BatchAssignReport reference;
+    bool have_reference = false;
+    for (BatchOptions::Sweep sweep :
+         {BatchOptions::Sweep::kAuto, BatchOptions::Sweep::kBlocked,
+          BatchOptions::Sweep::kSparseDelta,
+          BatchOptions::Sweep::kDenseCopy}) {
+      BatchOptions options;
+      options.sweep = sweep;
+      if (it.NextBool(0.3)) options.partition_min_terms = 1;
+      options.num_threads = 1 + static_cast<std::size_t>(it.NextBelow(8));
+
+      snapshot->ClearPlanCache();
+      BatchAssignReport cold =
+          snapshot->AssignBatch(scenarios, options).ValueOrDie();
+      EXPECT_FALSE(cold.plan_cache_hit);
+      BatchAssignReport warm =
+          snapshot->AssignBatch(scenarios, options).ValueOrDie();
+      EXPECT_TRUE(warm.plan_cache_hit);
+      ExpectBatchBitIdentical(cold, warm);
+
+      auto plan = snapshot->PlanBatch(scenarios, options).ValueOrDie();
+      BatchAssignReport direct = snapshot->Execute(*plan).ValueOrDie();
+      ExpectBatchBitIdentical(cold, direct);
+
+      if (!have_reference) {
+        reference = cold;
+        have_reference = true;
+      } else {
+        ExpectBatchBitIdentical(reference, cold);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- concurrency
+
+/// Eight threads hammer one snapshot's plan cache with overlapping scenario
+/// sets — replays (shared-lock hits), novel sets (exclusive-lock inserts)
+/// and periodic ClearPlanCache calls — while every result must stay
+/// bit-identical to a single-threaded baseline. Run under ThreadSanitizer
+/// in CI.
+TEST(BatchPlanTest, PlanCacheConcurrentHammer) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+
+  constexpr std::size_t kSets = 4;
+  std::vector<ScenarioSet> sets;
+  std::vector<BatchAssignReport> baselines;
+  for (std::size_t i = 0; i < kSets; ++i) {
+    sets.push_back(MakeScenarios(*snapshot, 3 + i * 2));
+    baselines.push_back(snapshot->AssignBatch(sets[i]).ValueOrDie());
+  }
+  snapshot->ClearPlanCache();
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 24;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w]() {
+      for (std::size_t i = 0; i < kIterations && !failed.load(); ++i) {
+        const std::size_t which = (w + i) % kSets;
+        if (w == 0 && i % 7 == 3) snapshot->ClearPlanCache();
+        util::Result<BatchAssignReport> got =
+            snapshot->AssignBatch(sets[which]);
+        if (!got.ok()) {
+          failed.store(true);
+          break;
+        }
+        const BatchAssignReport& want = baselines[which];
+        if (got->reports.size() != want.reports.size()) {
+          failed.store(true);
+          break;
+        }
+        for (std::size_t s = 0; s < want.reports.size(); ++s) {
+          const auto& ra = got->reports[s].delta.rows;
+          const auto& rb = want.reports[s].delta.rows;
+          if (ra.size() != rb.size()) {
+            failed.store(true);
+            break;
+          }
+          for (std::size_t r = 0; r < ra.size(); ++r) {
+            if (ra[r].full != rb[r].full ||
+                ra[r].compressed != rb[r].compressed) {
+              failed.store(true);
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_FALSE(failed.load());
+  CompiledSession::PlanCacheStats stats = snapshot->plan_cache_stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace cobra::core

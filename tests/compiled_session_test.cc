@@ -229,6 +229,7 @@ TEST(CompiledSessionTest, BlockedRejectsBadLaneCount) {
   ScenarioSet scenarios;
   scenarios.Add("s").Set("Business", 1.1);
   BatchOptions options;
+  options.sweep = BatchOptions::Sweep::kBlocked;  // the lane knob's engine
   options.block_lanes = 3;
   util::Result<BatchAssignReport> result =
       snapshot->AssignBatch(scenarios, options);

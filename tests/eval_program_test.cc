@@ -366,6 +366,68 @@ TEST(EvalProgramBlockedTest, BlockedLanesBitIdenticalToScalarRandomized) {
   }
 }
 
+// The override-union lookup has two O(log k)-or-better paths: a dense
+// per-block row index when the union's id span is small, and a binary
+// search over the factor-sorted var array when it is wide. Both must
+// resolve exactly the same rows, i.e. stay bit-identical to the scalar
+// sparse path — here with a union spanning far more than
+// kDenseIndexMaxSpan ids so the binary-search path actually runs.
+TEST(EvalProgramBlockedTest, WideUnionBinarySearchMatchesScalar) {
+  const VarId far = static_cast<VarId>(BlockOverrides::kDenseIndexMaxSpan * 3);
+  // One polynomial: 2*x0*x_far + 3*x_far, plus one untouched poly 5*x1.
+  EvalProgram program =
+      EvalProgram::FromParts({0, 2, 3}, {0, 2, 3, 4}, {2.0, 3.0, 5.0},
+                             {0, far, far, 1})
+          .ValueOrDie();
+  Valuation base(static_cast<std::size_t>(far) + 1);
+  for (std::size_t v = 0; v <= far; ++v) {
+    base.Set(static_cast<VarId>(v), 1.0 + 1e-6 * static_cast<double>(v % 97));
+  }
+
+  std::vector<VarOverride> lane0 = {{0, 0.5}};          // narrow end
+  std::vector<VarOverride> lane1 = {{far, 2.25}};       // far end
+  std::vector<VarOverride> lane2 = {{0, 3.0}, {far, 0.125}};
+  OverrideSpan spans[EvalProgram::kMaxLanes] = {
+      {lane0.data(), lane0.size()},
+      {lane1.data(), lane1.size()},
+      {lane2.data(), lane2.size()}};
+  BlockOverrides wide = MakeBlockOverrides(base, spans, 3);
+  EXPECT_FALSE(wide.uses_dense_index());
+  EXPECT_EQ(wide.union_size(), 2u);
+
+  const std::size_t polys = program.NumPolys();
+  std::vector<double> blocked(3 * polys, -1.0);
+  program.EvalRangeBlocked(base, wide, 0, polys, blocked.data(), polys);
+  const std::vector<VarOverride>* lanes[] = {&lane0, &lane1, &lane2};
+  for (std::size_t l = 0; l < 3; ++l) {
+    std::vector<double> want;
+    program.EvalWithOverrides(base, lanes[l]->data(), lanes[l]->size(),
+                              &want);
+    for (std::size_t p = 0; p < polys; ++p) {
+      EXPECT_EQ(blocked[l * polys + p], want[p]) << "lane " << l;
+    }
+  }
+
+  // A narrow union over the same base takes the dense-index path and agrees.
+  std::vector<VarOverride> near0 = {{0, 0.5}};
+  std::vector<VarOverride> near1 = {{1, 4.0}};
+  OverrideSpan near_spans[EvalProgram::kMaxLanes] = {
+      {near0.data(), near0.size()}, {near1.data(), near1.size()}};
+  BlockOverrides narrow = MakeBlockOverrides(base, near_spans, 2);
+  EXPECT_TRUE(narrow.uses_dense_index());
+  std::vector<double> narrow_out(2 * polys, -1.0);
+  program.EvalRangeBlocked(base, narrow, 0, polys, narrow_out.data(), polys);
+  const std::vector<VarOverride>* near_lanes[] = {&near0, &near1};
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::vector<double> want;
+    program.EvalWithOverrides(base, near_lanes[l]->data(),
+                              near_lanes[l]->size(), &want);
+    for (std::size_t p = 0; p < polys; ++p) {
+      EXPECT_EQ(narrow_out[l * polys + p], want[p]) << "lane " << l;
+    }
+  }
+}
+
 TEST(EvalProgramBlockedTest, SubRangesComposeToWholeProgram) {
   util::Rng rng(7);
   VarPool pool;
