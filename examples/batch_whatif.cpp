@@ -41,8 +41,10 @@
 #include "core/scenario.h"
 #include "core/session.h"
 #include "data/example_db.h"
+#include "util/csv.h"
 #include "util/status.h"
 #include "util/timer.h"
+#include "verify/verify.h"
 
 namespace {
 
@@ -99,18 +101,36 @@ int main(int argc, char** argv) {
   // to the origin process.
   std::shared_ptr<const core::CompiledSession> snapshot;
   if (!snapshot_path.empty()) {
+    // A snapshot file is external input: parse it, run the static verifier
+    // over the decoded package, and only then admit it into the serving
+    // path. FromSnapshot re-verifies (the check is mandatory there), but
+    // verifying explicitly lets the tool print the finding table instead of
+    // just a refusal line.
     util::Result<std::shared_ptr<const core::CompiledSession>> loaded =
-        core::LoadSnapshot(snapshot_path);
+        [&]() -> util::Result<std::shared_ptr<const core::CompiledSession>> {
+      util::Result<std::string> bytes = util::ReadFile(snapshot_path);
+      if (!bytes.ok()) return bytes.status();
+      util::Result<core::SnapshotPackage> package =
+          core::ParseSnapshot(*bytes, snapshot_path);
+      if (!package.ok()) return package.status();
+      verify::VerifyReport report = verify::VerifySnapshot(*package);
+      if (!report.ok()) {
+        std::printf("%s", report.ToString().c_str());
+        return util::Status::InvalidArgument(
+            snapshot_path + ": snapshot failed verification");
+      }
+      return core::CompiledSession::FromSnapshot(*package);
+    }();
     if (loaded.ok()) {
       snapshot = *loaded;
       std::printf(
-          "serving from snapshot %s (pool %zu, %zu -> %zu monomials) — "
-          "no recompilation\n",
+          "serving from snapshot %s (verified; pool %zu, %zu -> %zu "
+          "monomials) — no recompilation\n",
           snapshot_path.c_str(), snapshot->pool_size(),
           snapshot->full_size(), snapshot->compressed_size());
     } else {
-      // Missing on the first run, or stale/corrupted: fall back to the
-      // origin path, which rewrites the file for the next invocation.
+      // Missing on the first run, or stale/corrupted/rejected: fall back to
+      // the origin path, which rewrites the file for the next invocation.
       std::printf("%s — compressing instead\n",
                   loaded.status().ToString().c_str());
     }

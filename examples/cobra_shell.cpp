@@ -30,6 +30,10 @@
 //   plan                             show the snapshot's cached-plan table
 //                                    (fingerprint, engine, lanes, tiles)
 //                                    and the cache hit/miss counters
+//   verify                           run the static verifier over the live
+//                                    compiled session: programs, the
+//                                    snapshot round-trip, and every cached
+//                                    plan; prints the finding table
 //   # ...                            comment
 //
 // Example session (using the bundled telephony example): see
@@ -51,6 +55,7 @@
 #include "rel/sql/planner.h"
 #include "util/csv.h"
 #include "util/str.h"
+#include "verify/verify.h"
 
 namespace {
 
@@ -83,6 +88,7 @@ class Shell {
     if (command == "snapshot") return Snapshot(in);
     if (command == "batch") return Batch(in);
     if (command == "plan") return Plan();
+    if (command == "verify") return Verify();
     std::printf("error: unknown command '%s'\n", command.c_str());
     return true;
   }
@@ -333,6 +339,19 @@ class Shell {
     std::printf("%zu cached plan(s), %llu hit(s), %llu miss(es)\n",
                 stats.entries, static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses));
+    return true;
+  }
+
+  bool Verify() {
+    if (!session_.IsCompressed()) {
+      std::printf("error: compress before verifying\n");
+      return true;
+    }
+    util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
+        session_.Snapshot();
+    if (!snapshot.ok()) return Report(snapshot.status());
+    verify::VerifyReport report = verify::VerifySession(**snapshot);
+    std::printf("%s", report.ToString().c_str());
     return true;
   }
 

@@ -11,6 +11,7 @@
 #include "util/hash.h"
 #include "util/str.h"
 #include "util/timer.h"
+#include "verify/verify.h"
 
 namespace cobra::core {
 
@@ -163,6 +164,19 @@ CompiledSession::FromSnapshot(const SnapshotPackage& snapshot) {
                                          std::move(msg));
   };
   const std::size_t pool_size = snapshot.pool_names.size();
+
+  // Trust boundary: the snapshot crossed a process (or machine) boundary,
+  // so it is statically verified before anything is built from it. The
+  // checksum already proved the *bytes* arrived intact; the verifier proves
+  // the *content* is internally consistent, and a refusal names the
+  // offending section instead of surfacing later as a wrong answer.
+  const verify::VerifyReport report = verify::VerifySnapshot(snapshot);
+  if (!report.ok()) {
+    const verify::Finding& first = *report.FirstError();
+    return invalid(util::StrFormat(
+        "snapshot failed verification with %zu error finding(s); first: %s",
+        report.num_errors(), first.ToString().c_str()));
+  }
 
   // Rebuild the frozen pool: interning the names in id order must reproduce
   // a dense 0..n-1 id sequence, which fails exactly when a name repeats.
@@ -355,6 +369,26 @@ util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatchImpl(
                         options, &key.scenarios);
   if (!plan.ok()) return plan.status();
 
+  // Trust boundary: verify the freshly compiled plan before it enters the
+  // cache (and gets replayed indefinitely). Always in debug builds, opt-in
+  // for release via `verify_plans`. A failure here is a planner bug, not a
+  // caller error — hence Internal.
+#ifdef NDEBUG
+  const bool verify_plan = options.verify_plans;
+#else
+  const bool verify_plan = true;
+#endif
+  if (verify_plan) {
+    const verify::VerifyReport report =
+        verify::VerifyPlan(**plan, *this, &scenarios);
+    if (!report.ok()) {
+      return util::Status::Internal(util::StrFormat(
+          "CompiledSession::PlanBatch: freshly compiled plan failed "
+          "verification with %zu error finding(s); first: %s",
+          report.num_errors(), report.FirstError()->ToString().c_str()));
+    }
+  }
+
   {
     std::unique_lock<std::shared_mutex> lock(plan_mutex_);
     auto it = plan_cache_.find(key);
@@ -408,6 +442,15 @@ std::vector<CompiledSession::CachedPlanInfo> CompiledSession::CachedPlans()
     info.scenarios = plan->num_scenarios();
     out.push_back(std::move(info));
   }
+  return out;
+}
+
+std::vector<std::shared_ptr<const BatchPlan>>
+CompiledSession::CachedPlanHandles() const {
+  std::vector<std::shared_ptr<const BatchPlan>> out;
+  std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+  out.reserve(plan_cache_.size());
+  for (const auto& [key, plan] : plan_cache_) out.push_back(plan);
   return out;
 }
 

@@ -289,6 +289,11 @@ class CompiledSession
   /// The cached plans, in unspecified order.
   std::vector<CachedPlanInfo> CachedPlans() const;
 
+  /// Shared handles to the cached plans themselves, in unspecified order —
+  /// for tooling that inspects plans (the static verifier's session pass).
+  /// The handles stay valid even if the cache evicts them afterwards.
+  std::vector<std::shared_ptr<const BatchPlan>> CachedPlanHandles() const;
+
   /// Drops every cached plan (counters keep accumulating). For operational
   /// tooling and cold-path benchmarks; plans already handed out stay valid.
   void ClearPlanCache() const;

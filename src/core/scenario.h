@@ -168,6 +168,16 @@ struct BatchOptions {
   /// strict bit-identity with the sequential path even for dominant-poly
   /// shapes.
   std::size_t split_min_terms = 4096;
+
+  /// Runs the static plan verifier (verify/verify.h) on every freshly
+  /// compiled plan before it enters the plan cache, failing the call with
+  /// `Internal` if the plan is inconsistent with its session or scenario
+  /// set. Always on in debug builds; this knob opts release builds in.
+  /// Deliberately NOT part of the plan-cache key: the verifier does not
+  /// change what is planned, so two option sets differing only here share
+  /// a cache entry (and a cache hit skips verification — the plan was
+  /// verified when it was inserted).
+  bool verify_plans = false;
 };
 
 /// Human-readable engine name ("kAuto", "kBlocked", ...); "?" for values

@@ -56,6 +56,11 @@ class BlockOverrides {
   /// search. Exposed for tests; both paths return identical rows.
   bool uses_dense_index() const { return !dense_index_.empty(); }
 
+  /// The block's override-union variables, sorted ascending and
+  /// duplicate-free — the invariant the per-factor binary search relies on.
+  /// Read-only; exposed for the static verifier (verify/verify.h).
+  const std::vector<VarId>& vars() const { return vars_; }
+
   /// Largest (hi - lo + 1) id span for which the dense row index is built;
   /// wider unions fall back to binary search.
   static constexpr std::size_t kDenseIndexMaxSpan = 4096;

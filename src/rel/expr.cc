@@ -54,19 +54,40 @@ const char* OpSymbol(ExprOp op) {
 }  // namespace
 
 std::string Expr::ToString() const {
+  // Built via append instead of `"lit" + std::string` chains: GCC 12's
+  // -Wrestrict misfires on const char* + basic_string&& at -O2 and the
+  // repo builds with -Werror.
+  std::string out;
   switch (op_) {
     case ExprOp::kColumn:
       return name_;
     case ExprOp::kLiteral:
-      return literal_.type() == Type::kString ? "'" + literal_.ToString() + "'"
-                                              : literal_.ToString();
+      if (literal_.type() == Type::kString) {
+        out += '\'';
+        out += literal_.ToString();
+        out += '\'';
+        return out;
+      }
+      return literal_.ToString();
     case ExprOp::kNeg:
-      return "(-" + lhs_->ToString() + ")";
+      out += "(-";
+      out += lhs_->ToString();
+      out += ')';
+      return out;
     case ExprOp::kNot:
-      return "(NOT " + lhs_->ToString() + ")";
+      out += "(NOT ";
+      out += lhs_->ToString();
+      out += ')';
+      return out;
     default:
-      return "(" + lhs_->ToString() + " " + OpSymbol(op_) + " " +
-             rhs_->ToString() + ")";
+      out += '(';
+      out += lhs_->ToString();
+      out += ' ';
+      out += OpSymbol(op_);
+      out += ' ';
+      out += rhs_->ToString();
+      out += ')';
+      return out;
   }
 }
 

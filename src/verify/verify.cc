@@ -1,0 +1,750 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "prov/variable.h"
+#include "util/str.h"
+
+namespace cobra::verify {
+
+namespace {
+
+/// Bitwise double equality: override values are content, so -0.0 and +0.0
+/// (or two different NaN payloads) must not compare equal.
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/// Verifies one side's tile schedule against the program it will scan: the
+/// whole-poly ranges must be sorted, disjoint, non-empty and — together
+/// with the term-split polynomial, when one exists — cover [0, NumPolys())
+/// exactly once; the term slices must exactly tile the split polynomial's
+/// term range.
+void VerifySchedule(const core::ProgramSchedule& schedule,
+                    const prov::EvalProgram& program,
+                    std::string_view artifact, VerifyReport* report) {
+  const std::size_t num_polys = program.NumPolys();
+  if (schedule.num_polys != num_polys) {
+    report->AddError(artifact, 0,
+                     util::StrFormat(
+                         "schedule is for %zu polynomials but the program "
+                         "compiles %zu",
+                         schedule.num_polys, num_polys));
+    return;  // Everything below keys off the poly count.
+  }
+  const bool split = schedule.split_poly < num_polys;
+  if (!split && schedule.split_poly != num_polys) {
+    report->AddError(artifact, 0,
+                     util::StrFormat(
+                         "split_poly %zu is outside [0, %zu] (NumPolys is "
+                         "the no-split sentinel)",
+                         schedule.split_poly, num_polys));
+    return;
+  }
+
+  // The ranges as planned are already in scan order; verify without
+  // re-sorting so an out-of-order schedule is itself a finding.
+  std::size_t next = 0;
+  auto skip_split = [&] {
+    if (split && next == schedule.split_poly) ++next;
+  };
+  skip_split();
+  for (std::size_t r = 0; r < schedule.ranges.size(); ++r) {
+    const auto [begin, end] = schedule.ranges[r];
+    if (begin >= end || end > num_polys) {
+      report->AddError(artifact, r,
+                       util::StrFormat("range %zu [%u, %u) is empty or "
+                                       "exceeds the %zu polynomials",
+                                       r, begin, end, num_polys));
+      return;
+    }
+    if (begin != next) {
+      report->AddError(
+          artifact, r,
+          util::StrFormat("range %zu starts at poly %u but poly %zu is the "
+                          "next uncovered (ranges must tile the program "
+                          "exactly once)",
+                          r, begin, next));
+      return;
+    }
+    next = end;
+    skip_split();
+  }
+  if (next != num_polys) {
+    report->AddError(artifact, schedule.ranges.size(),
+                     util::StrFormat("ranges cover polys [0, %zu) but the "
+                                     "program has %zu",
+                                     next, num_polys));
+  }
+
+  // Term slices: present exactly when a polynomial is split, and exactly
+  // tiling its term range.
+  if (!split) {
+    if (!schedule.term_bounds.empty()) {
+      report->AddError(artifact, 0,
+                       "term_bounds present without a split polynomial");
+    }
+    return;
+  }
+  const std::vector<std::uint32_t>& starts = program.poly_starts();
+  const std::uint32_t term_begin = starts[schedule.split_poly];
+  const std::uint32_t term_end = starts[schedule.split_poly + 1];
+  if (schedule.term_bounds.size() < 2) {
+    report->AddError(artifact, 0,
+                     util::StrFormat("split polynomial %zu has no term "
+                                     "slices",
+                                     schedule.split_poly));
+    return;
+  }
+  if (schedule.term_bounds.front() != term_begin ||
+      schedule.term_bounds.back() != term_end) {
+    report->AddError(
+        artifact, 0,
+        util::StrFormat("term slices cover [%u, %u) but split polynomial "
+                        "%zu owns terms [%u, %u)",
+                        schedule.term_bounds.front(),
+                        schedule.term_bounds.back(), schedule.split_poly,
+                        term_begin, term_end));
+    return;
+  }
+  for (std::size_t k = 0; k + 1 < schedule.term_bounds.size(); ++k) {
+    if (schedule.term_bounds[k] >= schedule.term_bounds[k + 1]) {
+      report->AddError(artifact, k,
+                       util::StrFormat("term slice %zu [%u, %u) is empty or "
+                                       "out of order",
+                                       k, schedule.term_bounds[k],
+                                       schedule.term_bounds[k + 1]));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Finding::ToString() const {
+  return util::StrFormat("%s %s[%zu]: %s", SeverityName(severity),
+                         artifact.c_str(), offset, message.c_str());
+}
+
+void VerifyReport::AddError(std::string_view artifact, std::size_t offset,
+                            std::string message) {
+  findings_.push_back(Finding{Severity::kError, std::string(artifact), offset,
+                              std::move(message)});
+  ++num_errors_;
+}
+
+void VerifyReport::AddWarning(std::string_view artifact, std::size_t offset,
+                              std::string message) {
+  findings_.push_back(Finding{Severity::kWarning, std::string(artifact),
+                              offset, std::move(message)});
+}
+
+void VerifyReport::Merge(const VerifyReport& other) {
+  findings_.insert(findings_.end(), other.findings_.begin(),
+                   other.findings_.end());
+  num_errors_ += other.num_errors_;
+}
+
+const Finding* VerifyReport::FirstError() const {
+  for (const Finding& finding : findings_) {
+    if (finding.severity == Severity::kError) return &finding;
+  }
+  return nullptr;
+}
+
+std::string VerifyReport::ToString() const {
+  std::string out;
+  if (!findings_.empty()) {
+    out += util::StrFormat("%-8s %-24s %8s  %s\n", "severity", "artifact",
+                           "offset", "message");
+    for (const Finding& finding : findings_) {
+      out += util::StrFormat("%-8s %-24s %8zu  %s\n",
+                             SeverityName(finding.severity),
+                             finding.artifact.c_str(), finding.offset,
+                             finding.message.c_str());
+    }
+  }
+  out += util::StrFormat("%zu finding(s): %zu error(s), %zu warning(s)%s\n",
+                         findings_.size(), num_errors(), num_warnings(),
+                         ok() ? " — artifact is servable" : "");
+  return out;
+}
+
+namespace {
+
+/// The shared single walk over the four compiled arrays (used for both an
+/// `EvalProgram` and a raw snapshot image). Returns max(factor id) + 1 so
+/// the EvalProgram entry point can cross-check the cached MinValuationSize,
+/// or kNoPoolBound when a factor check already failed.
+std::size_t VerifyProgramArrays(const std::vector<std::uint32_t>& poly_starts,
+                                const std::vector<std::uint32_t>& term_starts,
+                                const std::vector<double>& coeffs,
+                                const std::vector<prov::VarId>& factors,
+                                std::size_t pool_size,
+                                std::string_view artifact,
+                                VerifyReport* out) {
+  VerifyReport& report = *out;
+  // Polynomial term ranges: contiguous, non-overlapping, covering.
+  if (poly_starts.empty() || poly_starts.front() != 0) {
+    report.AddError(artifact, 0,
+                    "poly_starts must be non-empty and start at 0");
+  } else {
+    for (std::size_t p = 0; p + 1 < poly_starts.size(); ++p) {
+      if (poly_starts[p] > poly_starts[p + 1]) {
+        report.AddError(artifact, p + 1,
+                        util::StrFormat("poly_starts decreases at entry %zu "
+                                        "(%u after %u): term ranges would "
+                                        "overlap",
+                                        p + 1, poly_starts[p + 1],
+                                        poly_starts[p]));
+        break;
+      }
+    }
+    if (poly_starts.back() != coeffs.size()) {
+      report.AddError(artifact, poly_starts.size() - 1,
+                      util::StrFormat("poly_starts ends at %u but the "
+                                      "program has %zu terms: term ranges "
+                                      "must cover the term array exactly",
+                                      poly_starts.back(), coeffs.size()));
+    }
+  }
+
+  // Term factor ranges: one entry per term plus a bound, partitioning the
+  // factor array.
+  if (term_starts.size() != coeffs.size() + 1 || term_starts.front() != 0) {
+    report.AddError(artifact, 0,
+                    util::StrFormat("term_starts has %zu entries for %zu "
+                                    "terms (want terms + 1, starting at 0)",
+                                    term_starts.size(), coeffs.size()));
+  } else {
+    for (std::size_t t = 0; t + 1 < term_starts.size(); ++t) {
+      if (term_starts[t] > term_starts[t + 1]) {
+        report.AddError(artifact, t + 1,
+                        util::StrFormat("term_starts decreases at entry %zu "
+                                        "(%u after %u): factor ranges would "
+                                        "overlap",
+                                        t + 1, term_starts[t + 1],
+                                        term_starts[t]));
+        break;
+      }
+    }
+    if (term_starts.back() != factors.size()) {
+      report.AddError(artifact, term_starts.size() - 1,
+                      util::StrFormat("term_starts ends at %u but the "
+                                      "program has %zu factors",
+                                      term_starts.back(), factors.size()));
+    }
+  }
+
+  // Coefficient literals: finite, or evaluation would launder NaN/Inf into
+  // every answer the polynomial touches.
+  for (std::size_t t = 0; t < coeffs.size(); ++t) {
+    if (!std::isfinite(coeffs[t])) {
+      report.AddError(artifact, t,
+                      util::StrFormat("coefficient %zu is %s (literals must "
+                                      "be finite)",
+                                      t, std::isnan(coeffs[t]) ? "NaN"
+                                                               : "infinite"));
+      break;
+    }
+  }
+
+  // Factor ids: valid, and inside the pool when a bound is known.
+  std::size_t max_factor_plus_one = 0;
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    if (factors[f] == prov::kInvalidVar) {
+      report.AddError(artifact, f,
+                      util::StrFormat("factor %zu is kInvalidVar", f));
+      return kNoPoolBound;
+    }
+    max_factor_plus_one = std::max(
+        max_factor_plus_one, static_cast<std::size_t>(factors[f]) + 1);
+    if (pool_size != kNoPoolBound && factors[f] >= pool_size) {
+      report.AddError(artifact, f,
+                      util::StrFormat("factor %zu references variable id %u "
+                                      "outside the pool (%zu variables)",
+                                      f, factors[f], pool_size));
+      return kNoPoolBound;
+    }
+  }
+  return max_factor_plus_one;
+}
+
+}  // namespace
+
+VerifyReport VerifyProgram(const prov::EvalProgram& program,
+                           std::size_t pool_size, std::string_view artifact) {
+  VerifyReport report;
+  const std::size_t max_factor_plus_one = VerifyProgramArrays(
+      program.poly_starts(), program.term_starts(), program.coeffs(),
+      program.factors(), pool_size, artifact, &report);
+  if (max_factor_plus_one != kNoPoolBound &&
+      program.MinValuationSize() != max_factor_plus_one) {
+    report.AddError(artifact, 0,
+                    util::StrFormat("MinValuationSize %zu disagrees with the "
+                                    "largest factor id (+1 = %zu)",
+                                    program.MinValuationSize(),
+                                    max_factor_plus_one));
+  }
+  return report;
+}
+
+VerifyReport VerifyProgram(const core::EvalProgramImage& image,
+                           std::size_t pool_size, std::string_view artifact) {
+  VerifyReport report;
+  VerifyProgramArrays(image.poly_starts, image.term_starts, image.coeffs,
+                      image.factors, pool_size, artifact, &report);
+  return report;
+}
+
+VerifyReport VerifyPlan(const core::BatchPlan& plan,
+                        const core::CompiledSession& session,
+                        const core::ScenarioSet* scenarios) {
+  VerifyReport report;
+
+  // Origin: a plan references its session by weak_ptr, so a foreign (or
+  // orphaned) plan is detectable before execution ever dereferences
+  // program arrays that may not match the plan's schedules.
+  if (plan.session().get() != &session) {
+    report.AddError("plan", 0,
+                    "plan was built against a different (or since-destroyed) "
+                    "session");
+    return report;
+  }
+
+  const std::size_t n = plan.num_scenarios();
+  const std::size_t pool_size = session.pool_size();
+
+  // Engine and lanes: kAuto must have been resolved at planning time; the
+  // blocked kernel only compiles 4- and 8-lane widths.
+  if (plan.engine() == core::BatchOptions::Sweep::kAuto) {
+    report.AddError("plan", 0, "engine is unresolved kAuto");
+  }
+  const bool blocked = plan.engine() == core::BatchOptions::Sweep::kBlocked;
+  if (blocked) {
+    if (plan.lanes() != 4 && plan.lanes() != 8) {
+      report.AddError("plan", 0,
+                      util::StrFormat("blocked engine with %zu lanes "
+                                      "(compiled widths are 4 and 8)",
+                                      plan.lanes()));
+    }
+  } else if (plan.lanes() != 1) {
+    report.AddError("plan", 0,
+                    util::StrFormat("scalar engine with %zu lanes (want 1)",
+                                    plan.lanes()));
+  }
+  if (plan.num_threads() == 0) {
+    report.AddError("plan", 0, "num_threads is 0");
+  }
+
+  // Scenario blocks: the sweep schedules num_blocks × slices tiles, so a
+  // wrong block count either drops scenarios or reads past the compiled
+  // lists.
+  const std::size_t lanes = std::max<std::size_t>(1, plan.lanes());
+  const std::size_t want_blocks = (n + lanes - 1) / lanes;
+  if (plan.num_blocks() != want_blocks) {
+    report.AddError("plan", 0,
+                    util::StrFormat("%zu scenario blocks for %zu scenarios "
+                                    "at %zu lanes (want %zu)",
+                                    plan.num_blocks(), n, lanes, want_blocks));
+  }
+  if (plan.scenario_names().size() != plan.compiled().size()) {
+    report.AddError("plan", 0,
+                    util::StrFormat("%zu scenario names but %zu compiled "
+                                    "scenarios",
+                                    plan.scenario_names().size(),
+                                    plan.compiled().size()));
+  }
+
+  // Compiled override lists: sorted, duplicate-free, inside the frozen
+  // pool. The kernels binary-search these, so order is load-bearing.
+  for (std::size_t i = 0; i < plan.compiled().size(); ++i) {
+    const std::vector<prov::VarOverride>& overrides =
+        plan.compiled()[i].overrides;
+    for (std::size_t o = 0; o < overrides.size(); ++o) {
+      if (overrides[o].var >= pool_size) {
+        report.AddError("plan scenario", i,
+                        util::StrFormat("override %zu references variable id "
+                                        "%u outside the frozen pool (%zu)",
+                                        o, overrides[o].var, pool_size));
+        break;
+      }
+      if (o > 0 && overrides[o - 1].var >= overrides[o].var) {
+        report.AddError("plan scenario", i,
+                        util::StrFormat("override list is not strictly "
+                                        "sorted at entry %zu (var %u after "
+                                        "%u)",
+                                        o, overrides[o].var,
+                                        overrides[o - 1].var));
+        break;
+      }
+      if (!std::isfinite(overrides[o].value)) {
+        report.AddWarning("plan scenario", i,
+                          util::StrFormat("override %zu value is not finite",
+                                          o));
+      }
+    }
+  }
+
+  // Base valuation: the kernels index it with any factor id the programs
+  // carry, so it must be dense over the frozen pool.
+  if (plan.base().size() < pool_size) {
+    report.AddError("plan", 0,
+                    util::StrFormat("base valuation covers %zu variables "
+                                    "but the frozen pool holds %zu",
+                                    plan.base().size(), pool_size));
+  }
+
+  // Block override-union tables: one per block for the blocked engine
+  // (ragged tail carries the real lane count), none otherwise.
+  if (blocked) {
+    if (plan.block_tables().size() != plan.num_blocks()) {
+      report.AddError("plan", 0,
+                      util::StrFormat("%zu block tables for %zu blocks",
+                                      plan.block_tables().size(),
+                                      plan.num_blocks()));
+    } else {
+      for (std::size_t b = 0; b < plan.block_tables().size(); ++b) {
+        const prov::BlockOverrides& table = plan.block_tables()[b];
+        const std::size_t want = std::min(lanes, n - b * lanes);
+        if (table.num_lanes() != want) {
+          report.AddError("plan block", b,
+                          util::StrFormat("table carries %zu lanes (want "
+                                          "%zu)",
+                                          table.num_lanes(), want));
+        }
+        if (table.width() != 4 && table.width() != 8) {
+          report.AddError("plan block", b,
+                          util::StrFormat("table width %zu (want 4 or 8)",
+                                          table.width()));
+        }
+
+        // Union table: sorted ascending, duplicate-free (the per-factor
+        // binary search relies on it), inside the pool, and resolved via
+        // the dense row index exactly when the id span permits.
+        const std::vector<prov::VarId>& vars = table.vars();
+        bool union_ok = true;
+        for (std::size_t o = 0; o < vars.size(); ++o) {
+          if (vars[o] >= pool_size) {
+            report.AddError("plan block", b,
+                            util::StrFormat("union entry %zu is variable id "
+                                            "%u outside the frozen pool "
+                                            "(%zu)",
+                                            o, vars[o], pool_size));
+            union_ok = false;
+            break;
+          }
+          if (o > 0 && vars[o - 1] >= vars[o]) {
+            report.AddError("plan block", b,
+                            util::StrFormat("override union is not strictly "
+                                            "sorted at entry %zu (var %u "
+                                            "after %u)",
+                                            o, vars[o], vars[o - 1]));
+            union_ok = false;
+            break;
+          }
+        }
+        if (union_ok && !vars.empty()) {
+          const std::size_t span = vars.back() - vars.front() + 1;
+          const bool want_dense =
+              span <= prov::BlockOverrides::kDenseIndexMaxSpan;
+          if (table.uses_dense_index() != want_dense) {
+            report.AddError("plan block", b,
+                            util::StrFormat("dense row index %s for union "
+                                            "id span %zu (threshold %zu)",
+                                            table.uses_dense_index()
+                                                ? "present"
+                                                : "missing",
+                                            span,
+                                            prov::BlockOverrides::
+                                                kDenseIndexMaxSpan));
+          }
+        }
+
+        // The union must be exactly the union of the block's lanes'
+        // compiled override variables — a missing entry silently serves
+        // the base value for an overridden variable.
+        if (union_ok && b * lanes < plan.compiled().size()) {
+          std::vector<prov::VarId> expected;
+          const std::size_t lane_end =
+              std::min(plan.compiled().size(), b * lanes + want);
+          for (std::size_t i = b * lanes; i < lane_end; ++i) {
+            for (const prov::VarOverride& ov : plan.compiled()[i].overrides) {
+              expected.push_back(ov.var);
+            }
+          }
+          std::sort(expected.begin(), expected.end());
+          expected.erase(std::unique(expected.begin(), expected.end()),
+                         expected.end());
+          if (expected != vars) {
+            report.AddError("plan block", b,
+                            util::StrFormat("override union holds %zu "
+                                            "variables but the block's "
+                                            "lanes override %zu distinct "
+                                            "variables",
+                                            vars.size(), expected.size()));
+          }
+        }
+      }
+    }
+  } else if (!plan.block_tables().empty()) {
+    report.AddError("plan", 0,
+                    util::StrFormat("%zu block tables on a scalar engine",
+                                    plan.block_tables().size()));
+  }
+
+  // Tile schedules partition the (scenario-block × poly-range) space
+  // exactly once per side. The dense-copy full side scans full_program;
+  // the sparse/blocked full side scans the meta-indirected program — both
+  // have the same shape, so verifying against sweep_full_program is exact.
+  VerifySchedule(plan.full_schedule(), session.sweep_full_program(),
+                 "plan full schedule", &report);
+  VerifySchedule(plan.compressed_schedule(), session.compressed_program(),
+                 "plan compressed schedule", &report);
+
+  // Fingerprint and lowering cross-check against the scenario set the plan
+  // claims to serve (available at the plan-cache insert boundary).
+  if (scenarios != nullptr) {
+    const core::PlanFingerprint recomputed =
+        core::FingerprintScenarios(*scenarios);
+    if (recomputed != plan.fingerprint()) {
+      report.AddError("plan", 0,
+                      util::StrFormat("fingerprint %s does not recompute "
+                                      "from the scenario set (%s)",
+                                      plan.fingerprint().ToHex().c_str(),
+                                      recomputed.ToHex().c_str()));
+    }
+    if (scenarios->size() != n) {
+      report.AddError("plan", 0,
+                      util::StrFormat("plan compiles %zu scenarios but the "
+                                      "set holds %zu",
+                                      n, scenarios->size()));
+      return report;
+    }
+    const prov::VarPool& pool = session.pool();
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::Scenario& scenario = scenarios->scenario(i);
+      if (scenario.name != plan.scenario_names()[i]) {
+        report.AddError("plan scenario", i,
+                        util::StrFormat("name \"%s\" does not match the "
+                                        "set's \"%s\"",
+                                        plan.scenario_names()[i].c_str(),
+                                        scenario.name.c_str()));
+        continue;
+      }
+      // Re-lower the deltas (last value wins per variable, sorted by id)
+      // and demand the compiled list matches bit for bit.
+      std::vector<prov::VarOverride> expected;
+      for (const core::Scenario::Delta& delta : scenario.deltas) {
+        const prov::VarId id = pool.Find(delta.var);
+        if (id == prov::kInvalidVar || id >= pool_size) {
+          report.AddError("plan scenario", i,
+                          util::StrFormat("delta variable \"%s\" does not "
+                                          "resolve in the frozen pool",
+                                          delta.var.c_str()));
+          expected.clear();
+          break;
+        }
+        bool found = false;
+        for (prov::VarOverride& existing : expected) {
+          if (existing.var == id) {
+            existing.value = delta.value;
+            found = true;
+          }
+        }
+        if (!found) expected.push_back({id, delta.value});
+      }
+      std::sort(expected.begin(), expected.end(),
+                [](const prov::VarOverride& a, const prov::VarOverride& b) {
+                  return a.var < b.var;
+                });
+      const std::vector<prov::VarOverride>& compiled =
+          plan.compiled()[i].overrides;
+      bool match = compiled.size() == expected.size();
+      for (std::size_t o = 0; match && o < expected.size(); ++o) {
+        match = compiled[o].var == expected[o].var &&
+                SameBits(compiled[o].value, expected[o].value);
+      }
+      if (!match) {
+        report.AddError("plan scenario", i,
+                        "compiled override list does not match the "
+                        "scenario's lowered deltas");
+      }
+    }
+  }
+  return report;
+}
+
+VerifyReport VerifySnapshot(const core::SnapshotPackage& snapshot) {
+  VerifyReport report;
+  const std::size_t pool_size = snapshot.pool_names.size();
+
+  // Pool name ↔ id bijection: re-interning in id order must reproduce the
+  // dense id sequence, which fails exactly when a name is empty or repeats.
+  {
+    std::unordered_set<std::string_view> seen;
+    seen.reserve(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      const std::string& name = snapshot.pool_names[i];
+      if (name.empty()) {
+        report.AddError("pool", i,
+                        util::StrFormat("pool name %zu is empty", i));
+        continue;
+      }
+      if (!seen.insert(name).second) {
+        report.AddError("pool", i,
+                        util::StrFormat("duplicate pool name \"%s\" (id "
+                                        "%zu): name/id mapping is not a "
+                                        "bijection",
+                                        name.c_str(), i));
+      }
+    }
+  }
+
+  // Both compiled programs, under the pool bound.
+  report.Merge(
+      VerifyProgram(snapshot.full_program, pool_size, "full program"));
+  report.Merge(VerifyProgram(snapshot.compressed_program, pool_size,
+                             "compressed program"));
+
+  // Group alignment: answers are reported per label, so the two sides and
+  // the label list must agree on the group count.
+  const std::size_t full_polys = snapshot.full_program.poly_starts.empty()
+                                     ? 0
+                                     : snapshot.full_program.poly_starts.size() - 1;
+  const std::size_t compressed_polys =
+      snapshot.compressed_program.poly_starts.empty()
+          ? 0
+          : snapshot.compressed_program.poly_starts.size() - 1;
+  if (full_polys != compressed_polys) {
+    report.AddError("labels", 0,
+                    util::StrFormat("group count mismatch (full=%zu "
+                                    "compressed=%zu)",
+                                    full_polys, compressed_polys));
+  }
+  if (snapshot.labels.size() != full_polys) {
+    report.AddError("labels", 0,
+                    util::StrFormat("label count %zu does not match the %zu "
+                                    "polynomial groups",
+                                    snapshot.labels.size(), full_polys));
+  }
+
+  // leaf→meta remap: pool-sized, closed over the pool, idempotent (a
+  // remap target that itself remaps elsewhere would make the baked-in
+  // sweep program and ExpandValuation disagree).
+  if (snapshot.leaf_to_meta.size() != pool_size) {
+    report.AddError("leaf_to_meta", 0,
+                    util::StrFormat("remap covers %zu variables but the "
+                                    "pool holds %zu",
+                                    snapshot.leaf_to_meta.size(), pool_size));
+  } else {
+    for (std::size_t v = 0; v < pool_size; ++v) {
+      const prov::VarId mapped = snapshot.leaf_to_meta[v];
+      if (mapped >= pool_size) {
+        report.AddError("leaf_to_meta", v,
+                        util::StrFormat("variable %zu remaps to id %u "
+                                        "outside the pool: remap is not "
+                                        "closed over the pool",
+                                        v, mapped));
+      } else if (snapshot.leaf_to_meta[mapped] != mapped) {
+        report.AddError("leaf_to_meta", v,
+                        util::StrFormat("remap is not idempotent: %zu -> %u "
+                                        "-> %u",
+                                        v, mapped,
+                                        snapshot.leaf_to_meta[mapped]));
+      }
+    }
+  }
+
+  // Meta-variables: ids inside the pool, names matching their pooled
+  // names, leaves inside the pool and agreeing with the remap.
+  for (std::size_t m = 0; m < snapshot.meta_vars.size(); ++m) {
+    const core::MetaVar& mv = snapshot.meta_vars[m];
+    if (mv.var >= pool_size) {
+      report.AddError("meta_vars", m,
+                      util::StrFormat("meta-variable \"%s\" has id %u "
+                                      "outside the pool",
+                                      mv.name.c_str(), mv.var));
+      continue;
+    }
+    if (mv.name != snapshot.pool_names[mv.var]) {
+      report.AddError("meta_vars", m,
+                      util::StrFormat("meta-variable name \"%s\" does not "
+                                      "match pool name \"%s\" of id %u",
+                                      mv.name.c_str(),
+                                      snapshot.pool_names[mv.var].c_str(),
+                                      mv.var));
+    }
+    if (mv.leaves.empty()) {
+      report.AddWarning("meta_vars", m,
+                        util::StrFormat("meta-variable \"%s\" abstracts no "
+                                        "leaves",
+                                        mv.name.c_str()));
+    }
+    for (prov::VarId leaf : mv.leaves) {
+      if (leaf >= pool_size) {
+        report.AddError("meta_vars", m,
+                        util::StrFormat("meta-variable \"%s\" leaf id %u is "
+                                        "outside the pool",
+                                        mv.name.c_str(), leaf));
+      } else if (snapshot.leaf_to_meta.size() == pool_size &&
+                 snapshot.leaf_to_meta[leaf] != mv.var) {
+        report.AddError("meta_vars", m,
+                        util::StrFormat("leaf %u of meta-variable \"%s\" "
+                                        "remaps to %u, not to it",
+                                        leaf, mv.name.c_str(),
+                                        snapshot.leaf_to_meta[leaf]));
+      }
+    }
+  }
+
+  // Default valuation: dense over the frozen pool, finite values.
+  if (snapshot.default_meta.size() != pool_size) {
+    report.AddError("default valuation", 0,
+                    util::StrFormat("default valuation covers %zu variables "
+                                    "but the pool holds %zu (must be dense)",
+                                    snapshot.default_meta.size(), pool_size));
+  }
+  for (std::size_t v = 0; v < snapshot.default_meta.size(); ++v) {
+    if (!std::isfinite(snapshot.default_meta[v])) {
+      report.AddError("default valuation", v,
+                      util::StrFormat("default value %zu is not finite", v));
+      break;
+    }
+  }
+  return report;
+}
+
+VerifyReport VerifySession(const core::CompiledSession& session) {
+  VerifyReport report;
+  const std::size_t pool_size = session.pool_size();
+  report.Merge(
+      VerifyProgram(session.full_program(), pool_size, "full program"));
+  report.Merge(VerifyProgram(session.sweep_full_program(), pool_size,
+                             "sweep full program"));
+  report.Merge(VerifyProgram(session.compressed_program(), pool_size,
+                             "compressed program"));
+  report.Merge(VerifySnapshot(MakeSnapshot(session)));
+  const std::vector<std::shared_ptr<const core::BatchPlan>> plans =
+      session.CachedPlanHandles();
+  for (const std::shared_ptr<const core::BatchPlan>& plan : plans) {
+    report.Merge(VerifyPlan(*plan, session));
+  }
+  return report;
+}
+
+}  // namespace cobra::verify

@@ -97,7 +97,9 @@ TEST_F(DpTest, ExplainTraceCoversAllNodes) {
     const std::size_t inf_floor = profile_.total_monomials * 100;
     for (std::size_t k = 0; k < node.frontier.size(); ++k) {
       if (node.frontier[k] >= inf_floor) continue;
-      if (seen_finite) EXPECT_GE(node.frontier[k], last_finite);
+      if (seen_finite) {
+        EXPECT_GE(node.frontier[k], last_finite);
+      }
       last_finite = node.frontier[k];
       seen_finite = true;
     }

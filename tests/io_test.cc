@@ -180,7 +180,7 @@ TEST_F(IoTest, SerializeRejectsNamesThatCannotRoundTrip) {
 
   // Labels may contain spaces, but '='/comment/section lookalikes and
   // untrimmed whitespace would not survive the round trip.
-  for (const std::string& bad_label :
+  for (const char* bad_label :
        {"a = b", "#comment", "[polynomials]", " padded ", ""}) {
     prov::VarPool pool;
     prov::VarId var = pool.Intern("x");
@@ -194,7 +194,7 @@ TEST_F(IoTest, SerializeRejectsNamesThatCannotRoundTrip) {
   // ("1e5" would re-parse as the constant 100000), so they are rejected as
   // polynomial variables — but stay fine in [meta]/[defaults], whose
   // parsers split on '<-'/'=' instead.
-  for (const std::string& numeric : {"1e5", "2024", "2x", ".5"}) {
+  for (const char* numeric : {"1e5", "2024", "2x", ".5"}) {
     prov::VarPool pool;
     prov::VarId var = pool.Intern(numeric);
     CompressedPackage package;

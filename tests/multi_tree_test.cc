@@ -64,7 +64,9 @@ TEST_F(MultiTreeTest, ReportedSizeMatchesSubstitution) {
                                          s.cuts, &scratch)
                           .ValueOrDie();
     EXPECT_EQ(abs.compressed_size, s.compressed_size) << "bound " << bound;
-    if (s.feasible) EXPECT_LE(s.compressed_size, bound) << "bound " << bound;
+    if (s.feasible) {
+      EXPECT_LE(s.compressed_size, bound) << "bound " << bound;
+    }
   }
 }
 

@@ -89,7 +89,9 @@ TEST(SensitivityTest, RunningExampleRanking) {
   // Variables absent from a polynomial contribute only where they occur:
   // p1 impact = 208.8·1 + 240·1 = 448.8.
   for (const auto& row : report.rows) {
-    if (row.name == "p1") EXPECT_NEAR(row.impact, 448.8, 1e-9);
+    if (row.name == "p1") {
+      EXPECT_NEAR(row.impact, 448.8, 1e-9);
+    }
   }
 }
 

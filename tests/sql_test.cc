@@ -170,8 +170,12 @@ TEST_F(PlannerTest, ThreeWayJoinGroupByMatchesPaperTotals) {
   for (std::size_t i = 0; i < 2; ++i) {
     std::int64_t zip = t.Get(i, 0).AsInt64();
     double revenue = t.Get(i, 1).AsDouble();
-    if (zip == 10001) EXPECT_NEAR(revenue, 905.25, 1e-9);
-    if (zip == 10002) EXPECT_NEAR(revenue, 437.45, 1e-9);
+    if (zip == 10001) {
+      EXPECT_NEAR(revenue, 905.25, 1e-9);
+    }
+    if (zip == 10002) {
+      EXPECT_NEAR(revenue, 437.45, 1e-9);
+    }
   }
 }
 

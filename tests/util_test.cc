@@ -288,7 +288,7 @@ TEST(HashTest, HashBytes) {
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(t.ElapsedNanos(), 0);
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
 }

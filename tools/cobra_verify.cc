@@ -1,0 +1,127 @@
+// cobra_verify — offline fleet audit of COBRA serving snapshots.
+//
+// Usage:
+//   cobra_verify <snapshot-file-or-directory>...
+//
+// Each file argument is audited as one binary snapshot artifact; a
+// directory argument audits every regular file directly inside it (one
+// fleet snapshot directory, no recursion). Per artifact the tool runs the
+// full load pipeline short of serving: read -> ParseSnapshot (format,
+// version, checksum) -> VerifySnapshot (static content verification) ->
+// CompiledSession::FromSnapshot (the mandatory serving-side gate), and
+// prints the VerifyReport findings for anything inconsistent.
+//
+// Exit codes (the fleet-automation contract, see README "Verifying
+// artifacts before serving"):
+//   0  every artifact is clean (warnings alone do not fail the audit)
+//   1  at least one artifact has error findings or fails to parse/load
+//   2  usage error, or a path that cannot be read/listed at all
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/compiled_session.h"
+#include "core/io.h"
+#include "util/csv.h"
+#include "verify/verify.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using cobra::core::CompiledSession;
+using cobra::core::ParseSnapshot;
+using cobra::core::SnapshotPackage;
+using cobra::util::Result;
+using cobra::verify::VerifyReport;
+using cobra::verify::VerifySnapshot;
+
+/// Audits one snapshot file. Returns true when the artifact is servable.
+bool AuditFile(const std::string& path) {
+  std::printf("== %s\n", path.c_str());
+  Result<std::string> data = cobra::util::ReadFile(path);
+  if (!data.ok()) {
+    std::printf("UNREADABLE: %s\n\n", data.status().ToString().c_str());
+    return false;
+  }
+  Result<SnapshotPackage> snapshot = ParseSnapshot(*data, path);
+  if (!snapshot.ok()) {
+    std::printf("CORRUPT: %s\n\n", snapshot.status().ToString().c_str());
+    return false;
+  }
+  const VerifyReport report = VerifySnapshot(*snapshot);
+  std::printf("%s", report.ToString().c_str());
+  if (!report.ok()) {
+    std::printf("REJECTED\n\n");
+    return false;
+  }
+  // The same gate a replica runs: FromSnapshot re-verifies and builds the
+  // serving session, so a pass here means the fleet can load this file.
+  Result<std::shared_ptr<const CompiledSession>> session =
+      CompiledSession::FromSnapshot(*snapshot);
+  if (!session.ok()) {
+    std::printf("REJECTED: %s\n\n", session.status().ToString().c_str());
+    return false;
+  }
+  std::printf("OK: %zu groups, %zu pool variables, %zu -> %zu monomials\n\n",
+              (*session)->labels().size(), (*session)->pool_size(),
+              (*session)->full_size(), (*session)->compressed_size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <snapshot-file-or-directory>...\n"
+                 "Audits COBRA binary snapshots (exit 0 clean, 1 findings, "
+                 "2 usage/unreadable).\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path path(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      bool any = false;
+      for (const fs::directory_entry& entry :
+           fs::directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path().string());
+          any = true;
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "cannot list directory %s: %s\n", argv[i],
+                     ec.message().c_str());
+        return 2;
+      }
+      if (!any) {
+        std::fprintf(stderr, "directory %s holds no regular files\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path.string());
+    } else {
+      std::fprintf(stderr, "no such file or directory: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t failed = 0;
+  for (const std::string& file : files) {
+    if (!AuditFile(file)) ++failed;
+  }
+  std::printf("%zu artifact(s) audited, %zu rejected\n", files.size(),
+              failed);
+  return failed == 0 ? 0 : 1;
+}
