@@ -27,10 +27,14 @@
 //        COBRA_A7_THREADS (0 = hardware), COBRA_A7_BUCKET (128 orders per
 //        tree bucket), COBRA_A7_BOUND_PCT (60), COBRA_A7_CHECK (16
 //        scenarios cross-checked against sequential Assign()),
-//        COBRA_A7_LANES (8, blocked-kernel lane count: 4 or 8).
+//        COBRA_A7_LANES (8, blocked-kernel lane count: 4 or 8),
+//        COBRA_A7_MT_THREADS (hardware, floored at 2 — the extra blocked
+//        run exercising the multi-threaded tile pool).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/compiled_session.h"
@@ -165,9 +169,26 @@ int main() {
       snapshot->AssignBatch(scenarios, blocked).ValueOrDie();
   const double blocked_seconds = timer.ElapsedSeconds();
 
+  // Multi-threaded coverage: the same blocked sweep with threads > 1 drives
+  // the work-stealing tile pool (a single-threaded run never spawns it) and
+  // must stay bit-identical — the fixed-order partial reduction makes the
+  // result schedule-independent. COBRA_A7_MT_THREADS (default: hardware,
+  // floored at 2 so single-core hosts still exercise the pool).
+  const std::size_t mt_threads = std::max<std::size_t>(
+      2, bench::EnvSize("COBRA_A7_MT_THREADS",
+                        std::thread::hardware_concurrency()));
+  core::BatchOptions blocked_mt = blocked;
+  blocked_mt.num_threads = mt_threads;
+  timer.Reset();
+  core::BatchAssignReport blocked_mt_batch =
+      snapshot->AssignBatch(scenarios, blocked_mt).ValueOrDie();
+  const double blocked_mt_seconds = timer.ElapsedSeconds();
+
   double max_diff = MaxBatchDifference(dense_batch, sparse_batch);
   max_diff = std::max(max_diff,
                       MaxBatchDifference(sparse_batch, blocked_batch));
+  max_diff = std::max(max_diff,
+                      MaxBatchDifference(blocked_batch, blocked_mt_batch));
 
   // Spot-check a sample against the sequential interactive path.
   const std::size_t sample = std::min(check, num_scenarios);
@@ -206,6 +227,10 @@ int main() {
   std::printf("%-28s %12.2f %14.2fus\n", "blocked sweep",
               blocked_seconds * 1e3,
               blocked_seconds * 1e6 / static_cast<double>(num_scenarios));
+  std::printf("%-28s %12.2f %14.2fus  (threads=%zu)\n", "blocked sweep (mt)",
+              blocked_mt_seconds * 1e3,
+              blocked_mt_seconds * 1e6 / static_cast<double>(num_scenarios),
+              blocked_mt_batch.num_threads);
   std::printf(
       "\nscenarios=%zu threads=%zu lanes=%zu  scenarios/sec: dense=%.0f "
       "sparse=%.0f blocked=%.0f\n"
@@ -229,6 +254,8 @@ int main() {
   json.Add("dense_seconds", dense_seconds);
   json.Add("sparse_seconds", sparse_seconds);
   json.Add("blocked_seconds", blocked_seconds);
+  json.Add("threads_mt", blocked_mt_batch.num_threads);
+  json.Add("blocked_seconds_mt", blocked_mt_seconds);
   json.Add("sparse_vs_dense", sparse_vs_dense);
   json.Add("blocked_vs_sparse", blocked_vs_sparse);
   json.Add("max_diff", max_diff);

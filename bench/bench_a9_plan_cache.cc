@@ -28,11 +28,14 @@
 // Knobs: COBRA_A9_SCENARIOS (1024), COBRA_A9_SF (0.01, TPC-H scale factor),
 //        COBRA_A9_THREADS (0 = hardware), COBRA_A9_BUCKET (128 orders per
 //        tree bucket), COBRA_A9_BOUND_PCT (60), COBRA_A9_DELTAS (12
-//        overrides per scenario), COBRA_A9_REPS (5 best-of repetitions).
+//        overrides per scenario), COBRA_A9_REPS (5 best-of repetitions),
+//        COBRA_A9_MT_THREADS (hardware, floored at 2 — the extra warm run
+//        exercising the multi-threaded tile pool).
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/batch_plan.h"
@@ -187,6 +190,27 @@ int main() {
     max_diff = std::max(max_diff, MaxBatchDifference(cold, warm));
   }
 
+  // Multi-threaded coverage: one warm replay with threads > 1 drives the
+  // work-stealing tile pool (a single-threaded run never spawns it) and
+  // must stay bit-identical — the fixed-order partial reduction makes the
+  // result schedule-independent. COBRA_A9_MT_THREADS (default: hardware,
+  // floored at 2 so single-core hosts still exercise the pool).
+  const std::size_t mt_threads = std::max<std::size_t>(
+      2, bench::EnvSize("COBRA_A9_MT_THREADS",
+                        std::thread::hardware_concurrency()));
+  core::BatchOptions options_mt = options;
+  options_mt.num_threads = mt_threads;
+  snapshot->AssignBatch(scenarios, options_mt).ValueOrDie();  // plan + warm
+  timer.Reset();
+  core::BatchAssignReport warm_mt =
+      snapshot->AssignBatch(scenarios, options_mt).ValueOrDie();
+  const double warm_mt_seconds = timer.ElapsedSeconds();
+  if (!warm_mt.plan_cache_hit) {
+    std::fprintf(stderr, "multi-threaded warm call missed the plan cache\n");
+    return 1;
+  }
+  max_diff = std::max(max_diff, MaxBatchDifference(auto_cold, warm_mt));
+
   const double warm_speedup =
       warm_seconds > 0.0 ? cold_seconds / warm_seconds : HUGE_VAL;
   const core::CompiledSession::PlanCacheStats stats =
@@ -199,6 +223,10 @@ int main() {
   std::printf("%-28s %12.3f %14.2fus\n", "warm (cached plan)",
               warm_seconds * 1e3,
               warm_seconds * 1e6 / static_cast<double>(num_scenarios));
+  std::printf("%-28s %12.3f %14.2fus  (threads=%zu)\n", "warm (mt)",
+              warm_mt_seconds * 1e3,
+              warm_mt_seconds * 1e6 / static_cast<double>(num_scenarios),
+              warm_mt.num_threads);
   std::printf(
       "\nscenarios=%zu threads=%zu engine=%s lanes=%zu  warm vs cold=%.2fx\n"
       "plan cache: %zu entries, %llu hits, %llu misses  max |diff|=%g\n",
@@ -222,6 +250,8 @@ int main() {
   json.Add("monomials_compressed", snapshot->compressed_size());
   json.Add("cold_seconds", cold_seconds);
   json.Add("warm_seconds", warm_seconds);
+  json.Add("threads_mt", warm_mt.num_threads);
+  json.Add("warm_seconds_mt", warm_mt_seconds);
   json.Add("warm_speedup", warm_speedup);
   json.Add("max_diff", max_diff);
   json.Add("identical", max_diff == 0.0);

@@ -27,9 +27,16 @@
 //                                    by default) through the snapshot's
 //                                    batched sweep; repeating the command
 //                                    replays the cached BatchPlan
+//   grid [n] [bases] [file]          run n synthetic scenarios under
+//                                    `bases` per-user base valuations in one
+//                                    AssignGrid sweep — the shared PlanCore
+//                                    is planned once, each base binds only a
+//                                    cheap overlay; with a file the snapshot
+//                                    is loaded from disk (the replica path)
 //   plan                             show the snapshot's cached-plan table
-//                                    (fingerprint, engine, lanes, tiles)
-//                                    and the cache hit/miss counters
+//                                    (fingerprint, engine, lanes, tiles,
+//                                    per-entry overlay count) and the cache
+//                                    hit/core-hit/miss counters
 //   verify                           run the static verifier over the live
 //                                    compiled session: programs, the
 //                                    snapshot round-trip, and every cached
@@ -87,6 +94,7 @@ class Shell {
     if (command == "package") return Package(in);
     if (command == "snapshot") return Snapshot(in);
     if (command == "batch") return Batch(in);
+    if (command == "grid") return Grid(in);
     if (command == "plan") return Plan();
     if (command == "verify") return Verify();
     std::printf("error: unknown command '%s'\n", command.c_str());
@@ -317,6 +325,46 @@ class Shell {
     return true;
   }
 
+  bool Grid(std::istringstream& in) {
+    std::size_t n = 16;
+    std::size_t num_bases = 4;
+    std::string path;
+    in >> n >> num_bases >> path;
+    if (n == 0) n = 16;
+    if (num_bases == 0) num_bases = 4;
+
+    // With a path the snapshot comes off disk like a replica would serve
+    // it; otherwise the live session's snapshot is used (requires a prior
+    // `compress`).
+    util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
+        path.empty() ? session_.Snapshot() : core::LoadSnapshot(path);
+    if (!snapshot.ok()) return Report(snapshot.status());
+    const std::vector<core::MetaVar>& meta = (*snapshot)->meta_vars();
+    if (meta.empty()) {
+      std::printf("error: the cut has no meta-variables to perturb\n");
+      return true;
+    }
+    core::ScenarioSet scenarios;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto s = scenarios.Add("whatif-" + std::to_string(i));
+      s.Set(meta[i % meta.size()].name,
+            1.0 + 0.01 * static_cast<double>(i % 40 + 1));
+    }
+    std::vector<prov::Valuation> bases;
+    bases.reserve(num_bases);
+    for (std::size_t b = 0; b < num_bases; ++b) {
+      prov::Valuation base((*snapshot)->pool_size());
+      base.Set(meta[b % meta.size()].var,
+               1.0 + 0.05 * static_cast<double>(b % 10 + 1));
+      bases.push_back(std::move(base));
+    }
+    util::Result<core::GridAssignReport> grid =
+        (*snapshot)->AssignGrid(scenarios, bases);
+    if (!grid.ok()) return Report(grid.status());
+    std::printf("%s", grid->ToString().c_str());
+    return true;
+  }
+
   bool Plan() {
     util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
         session_.Snapshot();
@@ -329,15 +377,18 @@ class Shell {
       std::printf("plan cache empty — run `batch [n]` first\n");
       return true;
     }
-    std::printf("%-32s %-12s %5s %6s %9s\n", "fingerprint", "engine",
-                "lanes", "tiles", "scenarios");
+    std::printf("%-32s %-12s %5s %6s %9s %9s\n", "fingerprint", "engine",
+                "lanes", "tiles", "scenarios", "overlays");
     for (const core::CompiledSession::CachedPlanInfo& info : plans) {
-      std::printf("%-32s %-12s %5zu %6zu %9zu\n", info.fingerprint.c_str(),
-                  core::SweepName(info.engine), info.lanes, info.tiles,
-                  info.scenarios);
+      std::printf("%-32s %-12s %5zu %6zu %9zu %9zu\n",
+                  info.fingerprint.c_str(), core::SweepName(info.engine),
+                  info.lanes, info.tiles, info.scenarios, info.overlays);
     }
-    std::printf("%zu cached plan(s), %llu hit(s), %llu miss(es)\n",
-                stats.entries, static_cast<unsigned long long>(stats.hits),
+    std::printf("%zu cached plan(s) (%zu overlays), %llu hit(s), "
+                "%llu core hit(s), %llu miss(es)\n",
+                stats.entries, stats.overlays,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.core_hits),
                 static_cast<unsigned long long>(stats.misses));
     return true;
   }

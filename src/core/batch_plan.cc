@@ -105,6 +105,32 @@ PlanFingerprint FingerprintScenarios(const ScenarioSet& scenarios) {
   return {hash.lo(), hash.hi()};
 }
 
+BaseFingerprint FingerprintBase(const prov::Valuation& base,
+                                std::size_t pool_size) {
+  // 128-bit (util::Hash128) because overlay *identity* relies on it — same
+  // correctness standard as the scenario fingerprint. Hashing the
+  // pool-normalized view (short valuations extend neutrally, tails past the
+  // frozen pool are invisible to the kernels) means equal-behaving bases
+  // always share one overlay.
+  util::Hash128 hash(0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL);
+  hash.Feed(pool_size);
+  const std::vector<double>& values = base.values();
+  const std::size_t covered = std::min(values.size(), pool_size);
+  for (std::size_t v = 0; v < covered; ++v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(values[v]));
+    std::memcpy(&bits, &values[v], sizeof(bits));
+    hash.Feed(bits);
+  }
+  if (covered < pool_size) {
+    std::uint64_t neutral_bits = 0;
+    const double neutral = 1.0;
+    std::memcpy(&neutral_bits, &neutral, sizeof(neutral_bits));
+    for (std::size_t v = covered; v < pool_size; ++v) hash.Feed(neutral_bits);
+  }
+  return {hash.lo(), hash.hi()};
+}
+
 EnginePick ChooseAutoEngine(std::size_t program_weight,
                             std::size_t num_scenarios,
                             std::size_t max_override_width) {
@@ -116,10 +142,9 @@ EnginePick ChooseAutoEngine(std::size_t program_weight,
           num_scenarios >= 8 ? std::size_t{8} : std::size_t{4}};
 }
 
-util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(
+util::Result<std::shared_ptr<const PlanCore>> PlanCore::Create(
     std::shared_ptr<const CompiledSession> session,
-    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
-    const BatchOptions& options,
+    const ScenarioSet& scenarios, const BatchOptions& options,
     const PlanFingerprint* precomputed_fingerprint) {
   if (session == nullptr) {
     return util::Status::InvalidArgument("BatchPlan: null session");
@@ -165,17 +190,18 @@ util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(
   const prov::VarPool& pool = session->pool();
   const std::size_t frozen_pool_size = session->pool_size();
 
-  auto plan = std::shared_ptr<BatchPlan>(new BatchPlan());
-  plan->session_ = session;
-  plan->fingerprint_ = precomputed_fingerprint != nullptr
+  auto core = std::shared_ptr<PlanCore>(new PlanCore());
+  core->session_ = session;
+  core->fingerprint_ = precomputed_fingerprint != nullptr
                            ? *precomputed_fingerprint
                            : FingerprintScenarios(scenarios);
-  plan->options_ = options;
-  plan->scenario_names_ = scenarios.Names();
+  core->options_ = options;
+  core->frozen_pool_size_ = frozen_pool_size;
+  core->scenario_names_ = scenarios.Names();
 
   // Lower every scenario to a sorted, duplicate-free (VarId, value) list.
   std::size_t max_override_width = 0;
-  plan->compiled_.reserve(scenarios.size());
+  core->compiled_.reserve(scenarios.size());
   for (const Scenario& scenario : scenarios.scenarios()) {
     CompiledScenario compiled;
     for (const Scenario::Delta& delta : scenario.deltas) {
@@ -211,7 +237,7 @@ util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(
               });
     max_override_width = std::max(max_override_width,
                                   compiled.overrides.size());
-    plan->compiled_.push_back(std::move(compiled));
+    core->compiled_.push_back(std::move(compiled));
   }
 
   const prov::EvalProgram& sweep_full = session->sweep_full_program();
@@ -241,44 +267,42 @@ util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(
       pick = {BatchOptions::Sweep::kDenseCopy, 1};
       break;
   }
-  plan->engine_ = pick.engine;
-  plan->lanes_ = pick.lanes;
+  core->engine_ = pick.engine;
+  core->lanes_ = pick.lanes;
 
   std::size_t threads = options.num_threads;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  if (plan->engine_ == BatchOptions::Sweep::kDenseCopy) {
+  if (core->engine_ == BatchOptions::Sweep::kDenseCopy) {
     threads = std::min(threads, n);
   }
-  plan->num_threads_ = threads;
-  plan->num_blocks_ = (n + plan->lanes_ - 1) / plan->lanes_;
+  core->num_threads_ = threads;
+  core->num_blocks_ = (n + core->lanes_ - 1) / core->lanes_;
 
-  // The shared base valuation both sides evaluate under.
-  plan->base_ = base_meta_valuation;
-  plan->base_.Resize(frozen_pool_size);
-
-  // Per-block override-union tables (blocked kernel only). One table per
-  // block serves both program sides: the tables are valuation-level, and
-  // both sides evaluate under the same compressed-side base.
-  if (plan->engine_ == BatchOptions::Sweep::kBlocked) {
-    plan->block_tables_.reserve(plan->num_blocks_);
-    for (std::size_t b = 0; b < plan->num_blocks_; ++b) {
+  // Per-block override-union skeletons (blocked kernel only): the sorted
+  // unions and dense row indexes, built once here; MakeOverlay() binds the
+  // value rows to each base. One table per block serves both program sides:
+  // the tables are valuation-level, and both sides evaluate under the same
+  // compressed-side base.
+  if (core->engine_ == BatchOptions::Sweep::kBlocked) {
+    core->block_skeletons_.reserve(core->num_blocks_);
+    for (std::size_t b = 0; b < core->num_blocks_; ++b) {
       prov::OverrideSpan spans[prov::EvalProgram::kMaxLanes];
-      const std::size_t count = std::min(plan->lanes_, n - b * plan->lanes_);
+      const std::size_t count = std::min(core->lanes_, n - b * core->lanes_);
       for (std::size_t l = 0; l < count; ++l) {
         const std::vector<prov::VarOverride>& ov =
-            plan->compiled_[b * plan->lanes_ + l].overrides;
+            core->compiled_[b * core->lanes_ + l].overrides;
         spans[l] = {ov.data(), ov.size()};
       }
-      plan->block_tables_.push_back(
-          prov::MakeBlockOverrides(plan->base_, spans, count));
+      core->block_skeletons_.push_back(
+          prov::MakeBlockOverridesSkeleton(spans, count));
     }
   }
 
   // The tile schedules. The dense-copy engine scans scenario-major with no
   // intra-program tiling, so it gets the trivial one-range schedule.
-  if (plan->engine_ == BatchOptions::Sweep::kDenseCopy) {
+  if (core->engine_ == BatchOptions::Sweep::kDenseCopy) {
     ProgramSchedule full_schedule;
     full_schedule.num_polys = session->full_program().NumPolys();
     full_schedule.split_poly = full_schedule.num_polys;
@@ -289,16 +313,65 @@ util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(
     compressed_schedule.split_poly = compressed_schedule.num_polys;
     compressed_schedule.ranges.emplace_back(
         0, static_cast<std::uint32_t>(compressed_schedule.num_polys));
-    plan->full_schedule_ = std::move(full_schedule);
-    plan->compressed_schedule_ = std::move(compressed_schedule);
+    core->full_schedule_ = std::move(full_schedule);
+    core->compressed_schedule_ = std::move(compressed_schedule);
   } else {
-    plan->full_schedule_ =
-        MakeSchedule(sweep_full, threads, plan->num_blocks_, options);
-    plan->compressed_schedule_ =
-        MakeSchedule(compressed, threads, plan->num_blocks_, options);
+    core->full_schedule_ =
+        MakeSchedule(sweep_full, threads, core->num_blocks_, options);
+    core->compressed_schedule_ =
+        MakeSchedule(compressed, threads, core->num_blocks_, options);
   }
 
-  return std::shared_ptr<const BatchPlan>(std::move(plan));
+  return std::shared_ptr<const PlanCore>(std::move(core));
+}
+
+std::shared_ptr<const PlanBaseOverlay> PlanCore::MakeOverlay(
+    const prov::Valuation& base_meta_valuation,
+    const BaseFingerprint* precomputed_fingerprint) const {
+  auto overlay = std::make_shared<PlanBaseOverlay>();
+  overlay->base = base_meta_valuation;
+  overlay->base.Resize(frozen_pool_size_);
+  overlay->base_fingerprint =
+      precomputed_fingerprint != nullptr
+          ? *precomputed_fingerprint
+          : FingerprintBase(base_meta_valuation, frozen_pool_size_);
+
+  if (engine_ == BatchOptions::Sweep::kBlocked) {
+    const std::size_t n = num_scenarios();
+    overlay->block_tables.reserve(block_skeletons_.size());
+    for (std::size_t b = 0; b < block_skeletons_.size(); ++b) {
+      prov::OverrideSpan spans[prov::EvalProgram::kMaxLanes];
+      const std::size_t count = std::min(lanes_, n - b * lanes_);
+      for (std::size_t l = 0; l < count; ++l) {
+        const std::vector<prov::VarOverride>& ov =
+            compiled_[b * lanes_ + l].overrides;
+        spans[l] = {ov.data(), ov.size()};
+      }
+      overlay->block_tables.push_back(prov::RebindBlockOverrides(
+          block_skeletons_[b], overlay->base, spans, count));
+    }
+  }
+  return std::shared_ptr<const PlanBaseOverlay>(std::move(overlay));
+}
+
+util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(
+    std::shared_ptr<const CompiledSession> session,
+    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
+    const BatchOptions& options,
+    const PlanFingerprint* precomputed_fingerprint) {
+  util::Result<std::shared_ptr<const PlanCore>> core = PlanCore::Create(
+      std::move(session), scenarios, options, precomputed_fingerprint);
+  if (!core.ok()) return core.status();
+  return FromParts(*core, (*core)->MakeOverlay(base_meta_valuation));
+}
+
+std::shared_ptr<const BatchPlan> BatchPlan::FromParts(
+    std::shared_ptr<const PlanCore> core,
+    std::shared_ptr<const PlanBaseOverlay> overlay) {
+  COBRA_CHECK_MSG(core != nullptr && overlay != nullptr,
+                  "BatchPlan::FromParts: null core or overlay");
+  return std::shared_ptr<const BatchPlan>(
+      new BatchPlan(std::move(core), std::move(overlay)));
 }
 
 }  // namespace cobra::core

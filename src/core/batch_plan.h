@@ -44,6 +44,30 @@ struct PlanFingerprint {
 /// Computes the content fingerprint of `scenarios` (see PlanFingerprint).
 PlanFingerprint FingerprintScenarios(const ScenarioSet& scenarios);
 
+/// 128-bit content hash of a base valuation as seen through a frozen pool —
+/// the per-base half of the plan-cache key. Like the scenario fingerprint,
+/// plan *identity* rests on its equality, so it is two independently-seeded
+/// 64-bit chains, not one.
+struct BaseFingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const BaseFingerprint& a, const BaseFingerprint& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const BaseFingerprint& a, const BaseFingerprint& b) {
+    return !(a == b);
+  }
+};
+
+/// Hashes exactly `pool_size` entries of `base`: positions past
+/// `base.size()` hash as the neutral 1.0 the `Valuation` contract extends
+/// with, and entries beyond the frozen pool are ignored (the kernels never
+/// read them). A short valuation and its pool-sized extension therefore
+/// fingerprint identically and share one overlay.
+BaseFingerprint FingerprintBase(const prov::Valuation& base,
+                                std::size_t pool_size);
+
 /// One scenario lowered to pool ids: a sorted, duplicate-free override list
 /// (later deltas on the same variable keep the last value).
 struct CompiledScenario {
@@ -100,45 +124,67 @@ EnginePick ChooseAutoEngine(std::size_t program_weight,
                             std::size_t num_scenarios,
                             std::size_t max_override_width);
 
-/// An immutable, reusable execution plan for one (scenario set, base meta
-/// valuation, BatchOptions) triple against one `CompiledSession` — the
-/// plan-once / execute-many half of the batched serving path.
+/// The cheap per-base half of a plan: the pool-sized base valuation the
+/// scenarios apply on top of, its content fingerprint, and — for the
+/// blocked engine — the block patch tables with value rows bound to that
+/// base. Materialized from a `PlanCore` in O(pool + union sizes): no
+/// scenario lowering, no sorting, no index builds. Immutable once published
+/// inside a `BatchPlan`.
+struct PlanBaseOverlay {
+  /// The shared base valuation both program sides evaluate under,
+  /// pool-sized (the kernels index it with any factor id the programs
+  /// carry).
+  prov::Valuation base{0};
+
+  /// FingerprintBase(base, frozen pool size) — the overlay's cache key.
+  BaseFingerprint base_fingerprint;
+
+  /// Per-block override-union tables bound to `base` (empty unless the
+  /// core's engine is kBlocked). Structurally identical to the core's
+  /// skeletons; only the value rows differ per base.
+  std::vector<prov::BlockOverrides> block_tables;
+};
+
+/// The base-independent core of a plan: everything derived from the
+/// (scenario set, options, session) triple alone — scenario lowering into
+/// sorted override lists, the resolved engine/lane/thread choice, the
+/// per-block override-union *skeletons* (sorted unions + dense row indexes,
+/// values unbound), and the (scenario-block × poly-range) tile schedules
+/// for both program sides. This is the expensive half of planning; a grid
+/// sweep or a per-user-defaults serving tier compiles it once and stamps
+/// out a `PlanBaseOverlay` per base.
 ///
-/// Planning owns everything `AssignBatch` used to redo per call: scenario
-/// compilation (name→id resolution into sorted override lists), the
-/// per-block override-union tables of the blocked kernel, the engine/lane
-/// choice (resolving `Sweep::kAuto` through the adaptive policy), and the
-/// (scenario-block × poly-range) tile schedule for both program sides.
-/// `CompiledSession::Execute(plan)` then runs the sweep reading only this
-/// plan, and `AssignBatch` is a thin PlanBatch + Execute wrapper over a
-/// fingerprint-keyed plan cache — a serving tier replaying the same
-/// scenario set against fresh snapshot defaults (or simply again) skips
-/// recompilation entirely.
-///
-/// A plan is deeply immutable after construction and may be executed
-/// concurrently from any number of threads. It references its origin
-/// session through a weak_ptr: plans live in the session's own cache, so a
+/// A core is deeply immutable after construction and references its origin
+/// session through a weak_ptr (plans live in the session's own cache, so a
 /// strong back-reference would make every snapshot that ever planned a
-/// batch immortal (a reference cycle). Executing requires the session
-/// anyway — `Execute` rejects a plan whose origin is gone or different.
-class BatchPlan {
+/// batch immortal).
+class PlanCore {
  public:
-  /// Compiles a plan. Validates `options` (naming the offending field and
-  /// the accepted values) and the scenario set (non-empty, unique names,
-  /// every delta variable known to the snapshot) once, here — execution
-  /// never re-validates. `session` must be non-null. A caller that already
-  /// fingerprinted the set (the plan cache keys on it before planning) may
-  /// pass the digest to skip the second content pass; null recomputes it.
-  static util::Result<std::shared_ptr<const BatchPlan>> Create(
+  /// Compiles the base-independent half. Validates `options` (naming the
+  /// offending field and the accepted values) and the scenario set
+  /// (non-empty, unique names, every delta variable known to the snapshot)
+  /// once, here — execution never re-validates. `session` must be non-null.
+  /// A caller that already fingerprinted the set (the plan cache keys on it
+  /// before planning) may pass the digest to skip the second content pass;
+  /// null recomputes it.
+  static util::Result<std::shared_ptr<const PlanCore>> Create(
       std::shared_ptr<const CompiledSession> session,
-      const ScenarioSet& scenarios,
-      const prov::Valuation& base_meta_valuation, const BatchOptions& options,
+      const ScenarioSet& scenarios, const BatchOptions& options,
       const PlanFingerprint* precomputed_fingerprint = nullptr);
 
-  /// The session this plan was built against, or null if that session has
-  /// since been destroyed (the plan does not keep it alive — see the class
-  /// comment). The weak_ptr makes the check ABA-safe: a new session reusing
-  /// the old one's address still fails to lock the old control block.
+  /// Materializes the per-base half: copies `base_meta_valuation` pool-sized
+  /// and (for the blocked engine) rebinds every block skeleton's value rows
+  /// to it. A caller that already fingerprinted the base (the overlay cache
+  /// keys on it before materializing) may pass the digest; null recomputes
+  /// it.
+  std::shared_ptr<const PlanBaseOverlay> MakeOverlay(
+      const prov::Valuation& base_meta_valuation,
+      const BaseFingerprint* precomputed_fingerprint = nullptr) const;
+
+  /// The session this core was built against, or null if that session has
+  /// since been destroyed (see the class comment). The weak_ptr makes the
+  /// check ABA-safe: a new session reusing the old one's address still
+  /// fails to lock the old control block.
   std::shared_ptr<const CompiledSession> session() const {
     return session_.lock();
   }
@@ -164,10 +210,11 @@ class BatchPlan {
   /// Total (block × range) tiles across both program sides — the unit of
   /// work the sweep's worker threads claim.
   std::size_t num_tiles() const {
-    return num_blocks_ * (full_schedule_.slices() + compressed_schedule_.slices());
+    return num_blocks_ *
+           (full_schedule_.slices() + compressed_schedule_.slices());
   }
 
-  /// The options the plan was built from (with `sweep` still as requested;
+  /// The options the core was built from (with `sweep` still as requested;
   /// see engine() for the resolved choice).
   const BatchOptions& options() const { return options_; }
 
@@ -175,14 +222,14 @@ class BatchPlan {
     return scenario_names_;
   }
 
-  /// The pool-sized base meta valuation scenarios apply on top of.
-  const prov::Valuation& base() const { return base_; }
-
   const std::vector<CompiledScenario>& compiled() const { return compiled_; }
 
-  /// Per-block override-union tables (empty unless engine() == kBlocked).
-  const std::vector<prov::BlockOverrides>& block_tables() const {
-    return block_tables_;
+  /// Per-block override-union skeletons (empty unless engine() ==
+  /// kBlocked): the base-invariant structure of the block tables, value
+  /// rows unbound. MakeOverlay() rebinds them per base; the kernels never
+  /// read these directly.
+  const std::vector<prov::BlockOverrides>& block_skeletons() const {
+    return block_skeletons_;
   }
 
   /// Tile schedule of the sweep-side full program.
@@ -193,8 +240,12 @@ class BatchPlan {
     return compressed_schedule_;
   }
 
+  /// The pool size frozen into this core (== the origin session's
+  /// pool_size()); overlays size their base valuation to it.
+  std::size_t frozen_pool_size() const { return frozen_pool_size_; }
+
  private:
-  BatchPlan() = default;
+  PlanCore() = default;
 
   std::weak_ptr<const CompiledSession> session_;
   PlanFingerprint fingerprint_;
@@ -203,12 +254,101 @@ class BatchPlan {
   std::size_t lanes_ = 1;
   std::size_t num_threads_ = 1;
   std::size_t num_blocks_ = 0;
+  std::size_t frozen_pool_size_ = 0;
   std::vector<std::string> scenario_names_;
-  prov::Valuation base_{0};
   std::vector<CompiledScenario> compiled_;
-  std::vector<prov::BlockOverrides> block_tables_;
+  std::vector<prov::BlockOverrides> block_skeletons_;
   ProgramSchedule full_schedule_;
   ProgramSchedule compressed_schedule_;
+};
+
+/// An immutable, reusable execution plan for one (scenario set, base meta
+/// valuation, BatchOptions) triple against one `CompiledSession` — the
+/// plan-once / execute-many half of the batched serving path.
+///
+/// Internally a plan is a pair: a shared, base-independent `PlanCore`
+/// (scenario lowering, engine/lane resolution, override-union skeletons,
+/// tile schedules) plus a cheap `PlanBaseOverlay` binding one base
+/// valuation (pool-sized base + per-block value rows). The plan cache keys
+/// cores on the scenario fingerprint and options alone and attaches one
+/// overlay per distinct base, so replaying the same scenario set against a
+/// different base — the grid / per-user-defaults workload — reuses the
+/// expensive half and pays only the overlay. `CompiledSession::Execute`
+/// runs the sweep reading only this plan; `AssignBatch` is a thin
+/// PlanBatch + Execute wrapper; `AssignGrid` stamps out overlays in its
+/// inner loop.
+///
+/// A plan is deeply immutable after construction and may be executed
+/// concurrently from any number of threads. Like its core it references the
+/// origin session through a weak_ptr — `Execute` rejects a plan whose
+/// origin is gone or different.
+class BatchPlan {
+ public:
+  /// Compiles a full plan (core + overlay) in one call — the single-base
+  /// convenience path. See `PlanCore::Create` for the validation contract.
+  static util::Result<std::shared_ptr<const BatchPlan>> Create(
+      std::shared_ptr<const CompiledSession> session,
+      const ScenarioSet& scenarios,
+      const prov::Valuation& base_meta_valuation, const BatchOptions& options,
+      const PlanFingerprint* precomputed_fingerprint = nullptr);
+
+  /// Pairs an existing core with an overlay (both non-null) — the grid /
+  /// overlay-cache path. The overlay should have been produced by
+  /// `core->MakeOverlay()`; `VerifyPlan` audits the pairing.
+  static std::shared_ptr<const BatchPlan> FromParts(
+      std::shared_ptr<const PlanCore> core,
+      std::shared_ptr<const PlanBaseOverlay> overlay);
+
+  /// The shared base-independent half.
+  const std::shared_ptr<const PlanCore>& core() const { return core_; }
+
+  /// The per-base half.
+  const PlanBaseOverlay& overlay() const { return *overlay_; }
+
+  /// @name Flat accessors (delegating to the core/overlay pair).
+  /// @{
+  std::shared_ptr<const CompiledSession> session() const {
+    return core_->session();
+  }
+  const PlanFingerprint& fingerprint() const { return core_->fingerprint(); }
+  BatchOptions::Sweep engine() const { return core_->engine(); }
+  std::size_t lanes() const { return core_->lanes(); }
+  std::size_t num_threads() const { return core_->num_threads(); }
+  std::size_t num_scenarios() const { return core_->num_scenarios(); }
+  std::size_t num_blocks() const { return core_->num_blocks(); }
+  std::size_t num_tiles() const { return core_->num_tiles(); }
+  const BatchOptions& options() const { return core_->options(); }
+  const std::vector<std::string>& scenario_names() const {
+    return core_->scenario_names();
+  }
+  const std::vector<CompiledScenario>& compiled() const {
+    return core_->compiled();
+  }
+
+  /// The pool-sized base meta valuation scenarios apply on top of.
+  const prov::Valuation& base() const { return overlay_->base; }
+
+  /// Per-block override-union tables bound to base() (empty unless
+  /// engine() == kBlocked).
+  const std::vector<prov::BlockOverrides>& block_tables() const {
+    return overlay_->block_tables;
+  }
+
+  const ProgramSchedule& full_schedule() const {
+    return core_->full_schedule();
+  }
+  const ProgramSchedule& compressed_schedule() const {
+    return core_->compressed_schedule();
+  }
+  /// @}
+
+ private:
+  BatchPlan(std::shared_ptr<const PlanCore> core,
+            std::shared_ptr<const PlanBaseOverlay> overlay)
+      : core_(std::move(core)), overlay_(std::move(overlay)) {}
+
+  std::shared_ptr<const PlanCore> core_;
+  std::shared_ptr<const PlanBaseOverlay> overlay_;
 };
 
 }  // namespace cobra::core

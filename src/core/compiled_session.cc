@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstring>
+#include <cmath>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -32,20 +32,6 @@ std::vector<prov::VarId> ExtendIdentity(std::vector<prov::VarId> mapping,
 
 }  // namespace
 
-CompiledSession::BaseHash CompiledSession::HashBase(const prov::Valuation& v) {
-  // 128-bit (util::Hash128) because PlanCacheKey *equality* relies on it —
-  // same correctness standard as the scenario fingerprint.
-  util::Hash128 hash(0x243f6a8885a308d3ULL, 0x13198a2e03707344ULL);
-  hash.Feed(v.size());
-  for (double value : v.values()) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(value));
-    std::memcpy(&bits, &value, sizeof(bits));
-    hash.Feed(bits);
-  }
-  return {hash.lo(), hash.hi()};
-}
-
 std::string AssignReport::ToString(std::size_t max_rows) const {
   std::string out = delta.ToString(max_rows);
   out += util::StrFormat(
@@ -64,7 +50,9 @@ std::string BatchAssignReport::ToString(std::size_t max_scenarios,
       num_threads);
   out += util::StrFormat("engine:           %s, %zu lane(s)%s\n",
                          SweepName(engine), block_lanes,
-                         plan_cache_hit ? ", cached plan" : "");
+                         plan_cache_hit
+                             ? ", cached plan"
+                             : (plan_core_hit ? ", cached core" : ""));
   out += util::StrFormat(
       "sweep time:       full=%.3gms compressed=%.3gms\n",
       full_sweep_seconds * 1e3, compressed_sweep_seconds * 1e3);
@@ -86,6 +74,28 @@ std::string BatchAssignReport::ToString(std::size_t max_scenarios,
     out += util::StrFormat("... (%zu more scenarios)\n",
                            reports.size() - shown);
   }
+  return out;
+}
+
+std::string GridAssignReport::ToString() const {
+  std::string out = util::StrFormat(
+      "grid:             %zu scenarios x %zu bases (%zu groups, %zu cells)\n",
+      num_scenarios(), num_bases, num_groups, cells());
+  out += util::StrFormat("engine:           %s, %zu lane(s), %zu thread(s)\n",
+                         SweepName(engine), block_lanes, num_threads);
+  out += util::StrFormat(
+      "plan:             core %s, first overlay %s, %zu overlay hit(s)\n",
+      plan_core_hit ? "cached" : "compiled",
+      plan_cache_hit ? "cached" : "built", overlay_cache_hits);
+  out += util::StrFormat(
+      "plan time:        core+first=%.3gms overlays=%.3gms\n",
+      plan_seconds * 1e3, overlay_seconds * 1e3);
+  out += util::StrFormat(
+      "sweep time:       full=%.3gms compressed=%.3gms\n",
+      full_sweep_seconds * 1e3, compressed_sweep_seconds * 1e3);
+  out += util::StrFormat(
+      "errors:           max_abs=%.3g mean_abs=%.3g (fixed-order)\n",
+      max_abs_error, mean_abs_error);
   return out;
 }
 
@@ -126,7 +136,8 @@ CompiledSession::CompiledSession(std::shared_ptr<const Artifacts> artifacts,
       default_full_(0) {
   default_meta_.Resize(artifacts_->frozen_pool_size);
   default_full_ = ExpandValuation(default_meta_);
-  default_base_hash_ = HashBase(default_meta_);
+  default_base_fingerprint_ =
+      FingerprintBase(default_meta_, artifacts_->frozen_pool_size);
 }
 
 util::Result<std::shared_ptr<const CompiledSession>> CompiledSession::Create(
@@ -323,8 +334,6 @@ std::size_t CompiledSession::PlanCacheKeyHash::operator()(
     const PlanCacheKey& key) const {
   std::uint64_t h = key.scenarios.lo;
   h = util::HashCombine(h, key.scenarios.hi);
-  h = util::HashCombine(h, key.base_hash_lo);
-  h = util::HashCombine(h, key.base_hash_hi);
   h = util::HashCombine(h, key.sweep);
   h = util::HashCombine(h, key.block_lanes);
   h = util::HashCombine(h, key.num_threads);
@@ -333,41 +342,64 @@ std::size_t CompiledSession::PlanCacheKeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
-util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatchImpl(
-    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
-    const BaseHash& base_hash, const BatchOptions& options,
-    bool* cache_hit) const {
-  // A plan is fully determined by (scenario content, base content, options);
-  // the key carries all three, so an explicit base that happens to equal the
-  // default shares its cache line, and a different base can never alias.
+CompiledSession::PlanCacheKey CompiledSession::MakePlanCacheKey(
+    const ScenarioSet& scenarios, const BatchOptions& options) {
+  // The core is fully determined by (scenario content, options); the base
+  // valuation only selects an overlay *inside* the entry, so base churn —
+  // the grid / per-user-defaults workload — can neither evict cores nor
+  // split one scenario set across entries.
   PlanCacheKey key;
   key.scenarios = FingerprintScenarios(scenarios);
-  key.base_hash_lo = base_hash.lo;
-  key.base_hash_hi = base_hash.hi;
   key.sweep = static_cast<std::uint32_t>(options.sweep);
   key.block_lanes = options.block_lanes;
   key.num_threads = options.num_threads;
   key.partition_min_terms = options.partition_min_terms;
   key.split_min_terms = options.split_min_terms;
+  return key;
+}
 
+util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatchImpl(
+    const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
+    const BaseFingerprint& base_fingerprint, const BatchOptions& options,
+    bool* cache_hit, bool* core_hit) const {
+  PlanCacheKey key = MakePlanCacheKey(scenarios, options);
+
+  std::shared_ptr<const PlanCore> core;
   {
     std::shared_lock<std::shared_mutex> lock(plan_mutex_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
-      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (cache_hit != nullptr) *cache_hit = true;
-      return it->second;
+      for (const auto& [fp, cached] : it->second.overlays) {
+        if (fp == base_fingerprint) {
+          plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          if (cache_hit != nullptr) *cache_hit = true;
+          if (core_hit != nullptr) *core_hit = true;
+          return cached;
+        }
+      }
+      core = it->second.core;
     }
   }
-  plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
   if (cache_hit != nullptr) *cache_hit = false;
+  if (core_hit != nullptr) *core_hit = core != nullptr;
+  if (core != nullptr) {
+    plan_cache_core_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Plan outside any lock: compilation is the expensive part, and two
-  // threads racing to plan the same set merely duplicate work once.
-  util::Result<std::shared_ptr<const BatchPlan>> plan =
-      BatchPlan::Create(shared_from_this(), scenarios, base_meta_valuation,
-                        options, &key.scenarios);
-  if (!plan.ok()) return plan.status();
+  // threads racing to plan the same set merely duplicate work once. On a
+  // core hit only the cheap per-base overlay is materialized — no scenario
+  // re-lowering, no union sorting, no schedule derivation.
+  if (core == nullptr) {
+    util::Result<std::shared_ptr<const PlanCore>> fresh = PlanCore::Create(
+        shared_from_this(), scenarios, options, &key.scenarios);
+    if (!fresh.ok()) return fresh.status();
+    core = *fresh;
+  }
+  std::shared_ptr<const BatchPlan> plan = BatchPlan::FromParts(
+      core, core->MakeOverlay(base_meta_valuation, &base_fingerprint));
 
   // Trust boundary: verify the freshly compiled plan before it enters the
   // cache (and gets replayed indefinitely). Always in debug builds, opt-in
@@ -380,7 +412,7 @@ util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatchImpl(
 #endif
   if (verify_plan) {
     const verify::VerifyReport report =
-        verify::VerifyPlan(**plan, *this, &scenarios);
+        verify::VerifyPlan(*plan, *this, &scenarios);
     if (!report.ok()) {
       return util::Status::Internal(util::StrFormat(
           "CompiledSession::PlanBatch: freshly compiled plan failed "
@@ -392,29 +424,41 @@ util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatchImpl(
   {
     std::unique_lock<std::shared_mutex> lock(plan_mutex_);
     auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) return it->second;  // lost the plan race
-    if (plan_cache_.size() >= kPlanCacheMaxEntries) {
-      plan_cache_.erase(plan_cache_order_.front());  // FIFO: oldest first
-      plan_cache_order_.pop_front();
+    if (it == plan_cache_.end()) {
+      if (plan_cache_.size() >= kPlanCacheMaxEntries) {
+        plan_cache_.erase(plan_cache_order_.front());  // FIFO: oldest first
+        plan_cache_order_.pop_front();
+      }
+      it = plan_cache_.emplace(key, PlanCacheEntry{}).first;
+      it->second.core = core;
+      plan_cache_order_.push_back(key);
     }
-    plan_cache_.emplace(key, *plan);
-    plan_cache_order_.push_back(key);
+    PlanCacheEntry& entry = it->second;
+    for (const auto& [fp, cached] : entry.overlays) {
+      if (fp == base_fingerprint) return cached;  // lost the overlay race
+    }
+    if (entry.overlays.size() >= kMaxOverlaysPerEntry) {
+      entry.overlays.erase(entry.overlays.begin());  // FIFO: oldest first
+    }
+    entry.overlays.emplace_back(base_fingerprint, plan);
   }
-  return *plan;
+  return plan;
 }
 
 util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatch(
     const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
     const BatchOptions& options, bool* cache_hit) const {
-  return PlanBatchImpl(scenarios, base_meta_valuation,
-                       HashBase(base_meta_valuation), options, cache_hit);
+  return PlanBatchImpl(
+      scenarios, base_meta_valuation,
+      FingerprintBase(base_meta_valuation, artifacts_->frozen_pool_size),
+      options, cache_hit, nullptr);
 }
 
 util::Result<std::shared_ptr<const BatchPlan>> CompiledSession::PlanBatch(
     const ScenarioSet& scenarios, const BatchOptions& options,
     bool* cache_hit) const {
-  return PlanBatchImpl(scenarios, default_meta_, default_base_hash_, options,
-                       cache_hit);
+  return PlanBatchImpl(scenarios, default_meta_, default_base_fingerprint_,
+                       options, cache_hit, nullptr);
 }
 
 CompiledSession::PlanCacheStats CompiledSession::plan_cache_stats() const {
@@ -422,8 +466,12 @@ CompiledSession::PlanCacheStats CompiledSession::plan_cache_stats() const {
   {
     std::shared_lock<std::shared_mutex> lock(plan_mutex_);
     stats.entries = plan_cache_.size();
+    for (const auto& [key, entry] : plan_cache_) {
+      stats.overlays += entry.overlays.size();
+    }
   }
   stats.hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  stats.core_hits = plan_cache_core_hits_.load(std::memory_order_relaxed);
   stats.misses = plan_cache_misses_.load(std::memory_order_relaxed);
   return stats;
 }
@@ -433,13 +481,14 @@ std::vector<CompiledSession::CachedPlanInfo> CompiledSession::CachedPlans()
   std::vector<CachedPlanInfo> out;
   std::shared_lock<std::shared_mutex> lock(plan_mutex_);
   out.reserve(plan_cache_.size());
-  for (const auto& [key, plan] : plan_cache_) {
+  for (const auto& [key, entry] : plan_cache_) {
     CachedPlanInfo info;
-    info.fingerprint = plan->fingerprint().ToHex();
-    info.engine = plan->engine();
-    info.lanes = plan->lanes();
-    info.tiles = plan->num_tiles();
-    info.scenarios = plan->num_scenarios();
+    info.fingerprint = entry.core->fingerprint().ToHex();
+    info.engine = entry.core->engine();
+    info.lanes = entry.core->lanes();
+    info.tiles = entry.core->num_tiles();
+    info.scenarios = entry.core->num_scenarios();
+    info.overlays = entry.overlays.size();
     out.push_back(std::move(info));
   }
   return out;
@@ -449,8 +498,9 @@ std::vector<std::shared_ptr<const BatchPlan>>
 CompiledSession::CachedPlanHandles() const {
   std::vector<std::shared_ptr<const BatchPlan>> out;
   std::shared_lock<std::shared_mutex> lock(plan_mutex_);
-  out.reserve(plan_cache_.size());
-  for (const auto& [key, plan] : plan_cache_) out.push_back(plan);
+  for (const auto& [key, entry] : plan_cache_) {
+    for (const auto& [fp, plan] : entry.overlays) out.push_back(plan);
+  }
   return out;
 }
 
@@ -531,101 +581,21 @@ util::Result<BatchAssignReport> CompiledSession::Execute(
     sweep(compressed_program, meta_valuations, &compressed_values);
     batch.compressed_sweep_seconds = timer.ElapsedSeconds();
   } else {
-    // Sparse-delta and scenario-blocked engines. Every scenario is a small
-    // override list; the full side evaluates the meta-indirected program
-    // under the shared compressed-side base, so nothing pool-sized is copied
-    // per scenario. The blocked engine additionally groups scenarios into
-    // blocks of `lanes` lanes: one scan of the compiled arrays serves the
-    // whole block, with the plan's per-block override-union table patching
-    // individual lanes. Work runs as the plan's (scenario-block ×
-    // poly-range | term-range) tiles; disjoint tiles touch disjoint output
-    // cells, so the sweep is race-free and the merged result is
-    // schedule-independent.
-    const bool use_blocks = plan.engine() == BatchOptions::Sweep::kBlocked;
-    const std::size_t lanes = plan.lanes();
-    const std::size_t num_blocks = plan.num_blocks();
-    const std::vector<prov::BlockOverrides>& block_tables =
-        plan.block_tables();
+    // Sparse-delta and scenario-blocked engines: the shared sweep core
+    // (SweepPlanProgram) fills a scenario-major flat matrix per side, then
+    // the rows are lifted into per-scenario report vectors.
     const prov::EvalProgram& sweep_full = artifacts_->sweep_full_program;
+    const PlanCore& core = *plan.core();
+    const PlanBaseOverlay& overlay = plan.overlay();
 
     std::size_t used_threads = 1;
     auto sweep = [&](const prov::EvalProgram& program,
                      const ProgramSchedule& schedule,
                      std::vector<std::vector<double>>* out) {
       const std::size_t polys = program.NumPolys();
-      // Scenario-major result matrix: row i is scenario i's per-poly
-      // values. A blocked tile writes `lanes` adjacent rows with stride
-      // `polys`.
       std::vector<double> flat(n * polys, 0.0);
-
-      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges =
-          schedule.ranges;
-      const std::vector<std::uint32_t>& term_bounds = schedule.term_bounds;
-      const std::size_t term_slices = schedule.term_slices();
-      const std::size_t slices = schedule.slices();
-      // Scenario-major partial sums of the split polynomial, one slot per
-      // term slice; reduced in fixed slice order after the join.
-      std::vector<double> partials(term_slices == 0 ? 0 : n * term_slices,
-                                   0.0);
-
-      const std::size_t tasks = num_blocks * slices;
-      auto run_task = [&](std::size_t t) {
-        const std::size_t block = t / slices;
-        const std::size_t s = t % slices;
-        const std::size_t i0 = block * lanes;
-        if (use_blocks) {
-          const prov::BlockOverrides& table = block_tables[block];
-          if (s < ranges.size()) {
-            program.EvalRangeBlocked(base, table, ranges[s].first,
-                                     ranges[s].second,
-                                     flat.data() + i0 * polys, polys);
-          } else {
-            const std::size_t k = s - ranges.size();
-            program.EvalTermRangeBlocked(
-                base, table, term_bounds[k], term_bounds[k + 1],
-                partials.data() + i0 * term_slices + k, term_slices);
-          }
-        } else {
-          const std::vector<prov::VarOverride>& ov = compiled[i0].overrides;
-          if (s < ranges.size()) {
-            program.EvalRangeWithOverrides(base, ov.data(), ov.size(),
-                                           ranges[s].first, ranges[s].second,
-                                           flat.data() + i0 * polys);
-          } else {
-            const std::size_t k = s - ranges.size();
-            partials[i0 * term_slices + k] =
-                program.EvalTermRangeWithOverrides(base, ov.data(), ov.size(),
-                                                   term_bounds[k],
-                                                   term_bounds[k + 1]);
-          }
-        }
-      };
-      const std::size_t workers = std::min(threads, tasks);
-      used_threads = std::max(used_threads, workers);
-      if (workers <= 1) {
-        for (std::size_t t = 0; t < tasks; ++t) run_task(t);
-      } else {
-        std::atomic<std::size_t> next{0};
-        auto worker = [&]() {
-          for (std::size_t t = next.fetch_add(1); t < tasks;
-               t = next.fetch_add(1)) {
-            run_task(t);
-          }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-        for (std::thread& th : pool) th.join();
-      }
-      if (term_slices > 0) {
-        for (std::size_t i = 0; i < n; ++i) {
-          double sum = 0.0;
-          for (std::size_t k = 0; k < term_slices; ++k) {
-            sum += partials[i * term_slices + k];
-          }
-          flat[i * polys + schedule.split_poly] = sum;
-        }
-      }
+      SweepPlanProgram(core, overlay, program, schedule, flat.data(),
+                       &used_threads);
       for (std::size_t i = 0; i < n; ++i) {
         (*out)[i].assign(flat.begin() + i * polys,
                          flat.begin() + (i + 1) * polys);
@@ -661,30 +631,254 @@ util::Result<BatchAssignReport> CompiledSession::Execute(
   return batch;
 }
 
+void CompiledSession::SweepPlanProgram(const PlanCore& core,
+                                       const PlanBaseOverlay& overlay,
+                                       const prov::EvalProgram& program,
+                                       const ProgramSchedule& schedule,
+                                       double* flat,
+                                       std::size_t* used_threads) const {
+  // Every scenario is a small override list; the full side evaluates the
+  // meta-indirected program under the shared compressed-side base, so
+  // nothing pool-sized is copied per scenario. The blocked engine
+  // additionally groups scenarios into blocks of `lanes` lanes: one scan of
+  // the compiled arrays serves the whole block, with the overlay's
+  // per-block override-union table patching individual lanes. Work runs as
+  // the core's (scenario-block × poly-range | term-range) tiles; disjoint
+  // tiles touch disjoint output cells, so the sweep is race-free and the
+  // merged result is schedule-independent. A blocked tile writes `lanes`
+  // adjacent rows of the scenario-major matrix with stride `polys`.
+  const std::size_t n = core.num_scenarios();
+  const std::size_t threads = core.num_threads();
+  const bool use_blocks = core.engine() == BatchOptions::Sweep::kBlocked;
+  const std::size_t lanes = core.lanes();
+  const std::size_t num_blocks = core.num_blocks();
+  const std::vector<CompiledScenario>& compiled = core.compiled();
+  const std::vector<prov::BlockOverrides>& block_tables =
+      overlay.block_tables;
+  const prov::Valuation& base = overlay.base;
+  const std::size_t polys = program.NumPolys();
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& ranges =
+      schedule.ranges;
+  const std::vector<std::uint32_t>& term_bounds = schedule.term_bounds;
+  const std::size_t term_slices = schedule.term_slices();
+  const std::size_t slices = schedule.slices();
+  // Scenario-major partial sums of the split polynomial, one slot per term
+  // slice; reduced in fixed slice order after the join.
+  std::vector<double> partials(term_slices == 0 ? 0 : n * term_slices, 0.0);
+
+  const std::size_t tasks = num_blocks * slices;
+  auto run_task = [&](std::size_t t) {
+    const std::size_t block = t / slices;
+    const std::size_t s = t % slices;
+    const std::size_t i0 = block * lanes;
+    if (use_blocks) {
+      const prov::BlockOverrides& table = block_tables[block];
+      if (s < ranges.size()) {
+        program.EvalRangeBlocked(base, table, ranges[s].first,
+                                 ranges[s].second, flat + i0 * polys, polys);
+      } else {
+        const std::size_t k = s - ranges.size();
+        program.EvalTermRangeBlocked(base, table, term_bounds[k],
+                                     term_bounds[k + 1],
+                                     partials.data() + i0 * term_slices + k,
+                                     term_slices);
+      }
+    } else {
+      const std::vector<prov::VarOverride>& ov = compiled[i0].overrides;
+      if (s < ranges.size()) {
+        program.EvalRangeWithOverrides(base, ov.data(), ov.size(),
+                                       ranges[s].first, ranges[s].second,
+                                       flat + i0 * polys);
+      } else {
+        const std::size_t k = s - ranges.size();
+        partials[i0 * term_slices + k] = program.EvalTermRangeWithOverrides(
+            base, ov.data(), ov.size(), term_bounds[k], term_bounds[k + 1]);
+      }
+    }
+  };
+  const std::size_t workers = std::min(threads, tasks);
+  *used_threads = std::max(*used_threads, workers);
+  if (workers <= 1) {
+    for (std::size_t t = 0; t < tasks; ++t) run_task(t);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (std::size_t t = next.fetch_add(1); t < tasks;
+           t = next.fetch_add(1)) {
+        run_task(t);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  if (term_slices > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < term_slices; ++k) {
+        sum += partials[i * term_slices + k];
+      }
+      flat[i * polys + schedule.split_poly] = sum;
+    }
+  }
+}
+
+util::Result<GridAssignReport> CompiledSession::AssignGrid(
+    const ScenarioSet& scenarios, std::span<const prov::Valuation> bases,
+    const BatchOptions& options) const {
+  if (bases.empty()) {
+    return util::Status::InvalidArgument("AssignGrid: empty base list");
+  }
+
+  GridAssignReport grid;
+  grid.num_bases = bases.size();
+  grid.labels = artifacts_->labels;
+  grid.num_groups = artifacts_->labels.size();
+
+  // Plan the shared core once, through the plan cache — the first base's
+  // plan is the one insertion the grid makes, so a huge base sweep warms
+  // the cache for follow-up AssignBatch calls without flushing it.
+  util::Timer plan_timer;
+  bool cache_hit = false;
+  bool core_hit = false;
+  util::Result<std::shared_ptr<const BatchPlan>> first = PlanBatchImpl(
+      scenarios, bases[0],
+      FingerprintBase(bases[0], artifacts_->frozen_pool_size), options,
+      &cache_hit, &core_hit);
+  if (!first.ok()) return first.status();
+  grid.plan_seconds = plan_timer.ElapsedSeconds();
+  grid.plan_cache_hit = cache_hit;
+  grid.plan_core_hit = core_hit;
+
+  const std::shared_ptr<const PlanCore> core = (*first)->core();
+  const std::size_t n = core->num_scenarios();
+  grid.scenario_names = core->scenario_names();
+  grid.engine = core->engine();
+  grid.block_lanes = core->lanes();
+
+  const std::size_t polys_full = artifacts_->sweep_full_program.NumPolys();
+  const std::size_t polys_comp = artifacts_->compressed_program.NumPolys();
+  grid.full_values.assign(bases.size() * n * polys_full, 0.0);
+  grid.compressed_values.assign(bases.size() * n * polys_comp, 0.0);
+
+  const PlanCacheKey key = MakePlanCacheKey(scenarios, options);
+  std::size_t used_threads = 1;
+
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    // Materialize (or fetch) the per-base overlay. Bases after the first
+    // consult the overlay cache read-only: a hit reuses the cached plan's
+    // overlay, a miss binds a fresh one locally without inserting — so the
+    // grid cannot evict the overlays a serving tier depends on.
+    std::shared_ptr<const PlanBaseOverlay> overlay;
+    if (b == 0) {
+      overlay = std::shared_ptr<const PlanBaseOverlay>((*first),
+                                                       &(*first)->overlay());
+    } else {
+      util::Timer overlay_timer;
+      const BaseFingerprint fp =
+          FingerprintBase(bases[b], artifacts_->frozen_pool_size);
+      {
+        std::shared_lock<std::shared_mutex> lock(plan_mutex_);
+        auto it = plan_cache_.find(key);
+        if (it != plan_cache_.end()) {
+          for (const auto& [cached_fp, cached] : it->second.overlays) {
+            if (cached_fp == fp) {
+              overlay = std::shared_ptr<const PlanBaseOverlay>(
+                  cached, &cached->overlay());
+              ++grid.overlay_cache_hits;
+              break;
+            }
+          }
+        }
+      }
+      if (overlay == nullptr) overlay = core->MakeOverlay(bases[b], &fp);
+      grid.overlay_seconds += overlay_timer.ElapsedSeconds();
+    }
+
+    if (core->engine() == BatchOptions::Sweep::kDenseCopy) {
+      // The legacy dense engine has no flat sweep core; run it through
+      // Execute and copy the per-scenario rows into the grid cells.
+      util::Result<BatchAssignReport> batch =
+          Execute(*BatchPlan::FromParts(core, overlay));
+      if (!batch.ok()) return batch.status();
+      grid.full_sweep_seconds += batch->full_sweep_seconds;
+      grid.compressed_sweep_seconds += batch->compressed_sweep_seconds;
+      used_threads = std::max(used_threads, batch->num_threads);
+      for (std::size_t s = 0; s < n; ++s) {
+        const ResultDelta& delta = batch->reports[s].delta;
+        for (std::size_t g = 0; g < grid.num_groups; ++g) {
+          grid.full_values[(b * n + s) * polys_full + g] =
+              delta.rows[g].full;
+          grid.compressed_values[(b * n + s) * polys_comp + g] =
+              delta.rows[g].compressed;
+        }
+      }
+      continue;
+    }
+
+    util::Timer timer;
+    SweepPlanProgram(*core, *overlay, artifacts_->sweep_full_program,
+                     core->full_schedule(),
+                     grid.full_values.data() + b * n * polys_full,
+                     &used_threads);
+    grid.full_sweep_seconds += timer.ElapsedSeconds();
+    timer.Reset();
+    SweepPlanProgram(*core, *overlay, artifacts_->compressed_program,
+                     core->compressed_schedule(),
+                     grid.compressed_values.data() + b * n * polys_comp,
+                     &used_threads);
+    grid.compressed_sweep_seconds += timer.ElapsedSeconds();
+  }
+  grid.num_threads = used_threads;
+
+  // Deterministic fixed-order reduction: cells are visited in (base,
+  // scenario, group) order regardless of how the sweeps were threaded.
+  double sum_abs = 0.0;
+  const std::size_t total = grid.cells();
+  for (std::size_t c = 0; c < total; ++c) {
+    const double abs_err =
+        std::abs(grid.full_values[c] - grid.compressed_values[c]);
+    if (abs_err > grid.max_abs_error) grid.max_abs_error = abs_err;
+    sum_abs += abs_err;
+  }
+  grid.mean_abs_error =
+      total == 0 ? 0.0 : sum_abs / static_cast<double>(total);
+  return grid;
+}
+
 util::Result<BatchAssignReport> CompiledSession::AssignBatch(
     const ScenarioSet& scenarios, const prov::Valuation& base_meta_valuation,
     const BatchOptions& options) const {
   bool cache_hit = false;
-  util::Result<std::shared_ptr<const BatchPlan>> plan =
-      PlanBatch(scenarios, base_meta_valuation, options, &cache_hit);
+  bool core_hit = false;
+  util::Result<std::shared_ptr<const BatchPlan>> plan = PlanBatchImpl(
+      scenarios, base_meta_valuation,
+      FingerprintBase(base_meta_valuation, artifacts_->frozen_pool_size),
+      options, &cache_hit, &core_hit);
   if (!plan.ok()) return plan.status();
   util::Result<BatchAssignReport> report = Execute(**plan);
   if (!report.ok()) return report.status();
   report->plan_cache_hit = cache_hit;
+  report->plan_core_hit = core_hit;
   return report;
 }
 
 util::Result<BatchAssignReport> CompiledSession::AssignBatch(
     const ScenarioSet& scenarios, const BatchOptions& options) const {
-  // Routed through the default-base PlanBatch overload (not the explicit
-  // base one) so the warm path reuses the precomputed default-base hash.
+  // Routed through the default-base fingerprint precomputed at construction
+  // so the warm path never rehashes the (immutable) default valuation.
   bool cache_hit = false;
+  bool core_hit = false;
   util::Result<std::shared_ptr<const BatchPlan>> plan =
-      PlanBatch(scenarios, options, &cache_hit);
+      PlanBatchImpl(scenarios, default_meta_, default_base_fingerprint_,
+                    options, &cache_hit, &core_hit);
   if (!plan.ok()) return plan.status();
   util::Result<BatchAssignReport> report = Execute(**plan);
   if (!report.ok()) return report.status();
   report->plan_cache_hit = cache_hit;
+  report->plan_core_hit = core_hit;
   return report;
 }
 

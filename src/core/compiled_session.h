@@ -7,8 +7,10 @@
 #include <deque>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/apply.h"
@@ -66,9 +68,14 @@ struct BatchAssignReport {
   BatchOptions::Sweep engine = BatchOptions::Sweep::kSparseDelta;
   std::size_t block_lanes = 1;
 
-  /// Whether AssignBatch served this call from a cached BatchPlan (always
-  /// false for direct Execute() calls).
+  /// Whether AssignBatch served this call from a fully cached BatchPlan —
+  /// core *and* base overlay (always false for direct Execute() calls).
   bool plan_cache_hit = false;
+
+  /// Whether at least the base-independent plan core came from the cache
+  /// (true on every full hit, and also when only the cheap per-base overlay
+  /// had to be materialized — the same-scenarios/different-base warm path).
+  bool plan_core_hit = false;
 
   std::size_t size() const { return reports.size(); }
 
@@ -76,6 +83,81 @@ struct BatchAssignReport {
   /// (each truncated to `max_rows` result rows).
   std::string ToString(std::size_t max_scenarios = 5,
                        std::size_t max_rows = 3) const;
+};
+
+/// Outcome of one `AssignGrid` call: the full (scenario × base) result
+/// matrix for both program sides, plus plan/overlay accounting and a
+/// deterministic fixed-order error reduction.
+///
+/// Cell (b, s, g) — base b, scenario s, output group g — lives at flat
+/// index `(b * num_scenarios() + s) * num_groups + g` in `full_values` /
+/// `compressed_values`. Every cell is bit-identical to the corresponding
+/// entry of `AssignBatch(scenarios, bases[b], options)`: the grid runs the
+/// same kernels over the same plan, it only skips the per-base re-planning
+/// and per-scenario report materialization. The error aggregates are
+/// reduced in fixed (base, scenario, group) order, so they are
+/// deterministic regardless of the thread schedule.
+struct GridAssignReport {
+  std::vector<std::string> scenario_names;
+  std::vector<std::string> labels;  ///< Output group labels, in cell order.
+  std::size_t num_bases = 0;
+  std::size_t num_groups = 0;
+
+  /// Row-major (base, scenario, group) result matrices; see the class
+  /// comment for the cell layout.
+  std::vector<double> full_values;
+  std::vector<double> compressed_values;
+
+  /// The engine the sweep ran (never kAuto), its lane count, and the
+  /// maximum worker threads any per-base sweep used.
+  BatchOptions::Sweep engine = BatchOptions::Sweep::kSparseDelta;
+  std::size_t block_lanes = 1;
+  std::size_t num_threads = 1;
+
+  /// Whether the shared plan core came from the plan cache (no scenario
+  /// re-lowering), and whether the first base's full plan did.
+  bool plan_core_hit = false;
+  bool plan_cache_hit = false;
+
+  /// How many of the remaining bases found their overlay already attached
+  /// to the cached core ([0, num_bases - 1]; the first base is accounted
+  /// in plan_cache_hit).
+  std::size_t overlay_cache_hits = 0;
+
+  /// Planning cost of the shared core + first overlay, and of the
+  /// remaining per-base overlay materializations.
+  double plan_seconds = 0.0;
+  double overlay_seconds = 0.0;
+
+  /// Wall-clock seconds summed over every per-base sweep on each side.
+  double full_sweep_seconds = 0.0;
+  double compressed_sweep_seconds = 0.0;
+
+  /// Fixed-order reductions over all cells: max and mean |full -
+  /// compressed|.
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+
+  std::size_t num_scenarios() const { return scenario_names.size(); }
+  std::size_t cells() const {
+    return num_bases * scenario_names.size() * num_groups;
+  }
+
+  double full_value(std::size_t base, std::size_t scenario,
+                    std::size_t group) const {
+    return full_values[(base * scenario_names.size() + scenario) * num_groups +
+                       group];
+  }
+  double compressed_value(std::size_t base, std::size_t scenario,
+                          std::size_t group) const {
+    return compressed_values[(base * scenario_names.size() + scenario) *
+                                 num_groups +
+                             group];
+  }
+
+  /// Renders the grid summary (dimensions, engine, cache accounting,
+  /// timings, error aggregates).
+  std::string ToString() const;
 };
 
 /// An immutable snapshot of a compressed session — the serving layer.
@@ -242,16 +324,36 @@ class CompiledSession
   util::Result<BatchAssignReport> AssignBatch(
       const ScenarioSet& scenarios, const BatchOptions& options = {}) const;
 
+  /// Evaluates every scenario against every base valuation — the 2-D grid
+  /// sweep (one scenario set × many per-user defaults). The shared plan
+  /// core (scenario lowering, engine choice, union skeletons, tile
+  /// schedules) is planned once through the plan cache; the inner loop only
+  /// materializes the cheap per-base overlay (pool-sized base + block-table
+  /// value rows) and runs the existing blocked/sparse kernels straight into
+  /// the grid's flat result matrices. Per-cell results are bit-identical to
+  /// the per-base `AssignBatch` loop; the report's error aggregates use a
+  /// deterministic fixed-order reduction. Bases already cached as overlays
+  /// are reused (counted in `overlay_cache_hits`); the grid itself inserts
+  /// only the first base's plan, so a 10^4-base sweep cannot flush the
+  /// serving cache.
+  util::Result<GridAssignReport> AssignGrid(
+      const ScenarioSet& scenarios, std::span<const prov::Valuation> bases,
+      const BatchOptions& options = {}) const;
+
   /// Compiles (or fetches from the plan cache) the execution plan for this
   /// (scenario set, base valuation, options) triple: per-scenario sorted
   /// override lists, per-block override-union tables, the resolved engine
   /// and lane count, and the tile schedules for both program sides — the
-  /// plan-once half of plan-once/execute-many. The cache key is the
-  /// scenario set's content fingerprint plus the options and the base
-  /// valuation's content hash; the cache is guarded by a `shared_mutex`
-  /// (shared for lookups, exclusive only to insert), so concurrent callers
-  /// replaying known scenario sets proceed in parallel. If `cache_hit` is
-  /// non-null it is set to whether the plan came from the cache.
+  /// plan-once half of plan-once/execute-many. The cache keys the
+  /// base-*invariant* plan core on the scenario set's content fingerprint
+  /// plus the options, and attaches one cheap per-base overlay per distinct
+  /// base hash — so replaying known scenarios against a new base re-uses
+  /// the expensive half instead of re-planning. The cache is guarded by a
+  /// `shared_mutex` (shared for lookups, exclusive only to insert), so
+  /// concurrent callers replaying known scenario sets proceed in parallel.
+  /// If `cache_hit` is non-null it is set to whether the *full* plan (core
+  /// + overlay) came from the cache; a core-only hit reports false there
+  /// but is visible in `plan_cache_stats().core_hits`.
   util::Result<std::shared_ptr<const BatchPlan>> PlanBatch(
       const ScenarioSet& scenarios,
       const prov::Valuation& base_meta_valuation,
@@ -268,12 +370,18 @@ class CompiledSession
   /// results are bit-identical to the equivalent AssignBatch call.
   util::Result<BatchAssignReport> Execute(const BatchPlan& plan) const;
 
-  /// Aggregate plan-cache counters. Hits/misses count PlanBatch lookups
-  /// (AssignBatch goes through PlanBatch); entries is the current cache
-  /// size.
+  /// Aggregate plan-cache counters. Every PlanBatch lookup (AssignBatch and
+  /// AssignGrid go through the same cache) lands in exactly one bucket:
+  /// `hits` (core and overlay both cached), `core_hits` (core cached, only
+  /// the cheap per-base overlay was materialized — the same-scenarios/
+  /// different-base warm path), or `misses` (full planning). `entries`
+  /// counts cached cores, `overlays` the base overlays attached across
+  /// them.
   struct PlanCacheStats {
     std::size_t entries = 0;
+    std::size_t overlays = 0;
     std::uint64_t hits = 0;
+    std::uint64_t core_hits = 0;
     std::uint64_t misses = 0;
   };
   PlanCacheStats plan_cache_stats() const;
@@ -285,6 +393,7 @@ class CompiledSession
     std::size_t lanes = 0;
     std::size_t tiles = 0;
     std::size_t scenarios = 0;
+    std::size_t overlays = 0;  ///< Base overlays attached to this core.
   };
   /// The cached plans, in unspecified order.
   std::vector<CachedPlanInfo> CachedPlans() const;
@@ -335,32 +444,39 @@ class CompiledSession
   /// Copies `v` and extends it neutrally to the pool size.
   prov::Valuation PoolSized(const prov::Valuation& v) const;
 
-  /// 128-bit content hash of a base valuation (see util::Hash128).
-  struct BaseHash {
-    std::uint64_t lo = 0;
-    std::uint64_t hi = 0;
-  };
-  static BaseHash HashBase(const prov::Valuation& v);
-
-  /// The shared implementation behind both PlanBatch overloads: the
-  /// default-base overload passes the hash precomputed at construction so
-  /// the warm path never rehashes the (immutable) default valuation.
+  /// The shared implementation behind both PlanBatch overloads (and the
+  /// grid's core acquisition): the default-base overload passes the
+  /// fingerprint precomputed at construction so the warm path never
+  /// rehashes the (immutable) default valuation. `core_hit`, when non-null,
+  /// reports whether at least the plan core came from the cache.
   util::Result<std::shared_ptr<const BatchPlan>> PlanBatchImpl(
       const ScenarioSet& scenarios,
-      const prov::Valuation& base_meta_valuation, const BaseHash& base_hash,
-      const BatchOptions& options, bool* cache_hit) const;
+      const prov::Valuation& base_meta_valuation,
+      const BaseFingerprint& base_fingerprint, const BatchOptions& options,
+      bool* cache_hit, bool* core_hit) const;
 
-  /// Full identity of one planned batch: the scenario-set fingerprint plus
-  /// everything else a plan is derived from (the options and the base
-  /// valuation content). The map's bucket hash only routes; key equality
-  /// compares the options fields exactly and the two content digests —
-  /// both 128-bit (two independently-seeded chains), because an equality
-  /// collision would silently replay the wrong plan, and 64 bits is not
-  /// enough to stake correctness on.
+  /// Runs the sparse/blocked sweep of one program side for every scenario,
+  /// writing the scenario-major result matrix (num_scenarios ×
+  /// program.NumPolys(), row-major) to `flat` — the execution core shared
+  /// by Execute() and AssignGrid(). Performs exactly the same tile
+  /// dispatch, kernel calls and fixed-order partial reduction regardless of
+  /// the caller, so grid cells are bit-identical to batch results.
+  /// `used_threads` is raised (never lowered) to the worker count used.
+  void SweepPlanProgram(const PlanCore& core, const PlanBaseOverlay& overlay,
+                        const prov::EvalProgram& program,
+                        const ProgramSchedule& schedule, double* flat,
+                        std::size_t* used_threads) const;
+
+  /// Base-invariant identity of one planned batch: the scenario-set
+  /// fingerprint plus the options a core is derived from — deliberately
+  /// *without* the base valuation, which only selects an overlay inside the
+  /// entry. The map's bucket hash only routes; key equality compares the
+  /// options fields exactly and the 128-bit content digest (two
+  /// independently-seeded chains), because an equality collision would
+  /// silently replay the wrong plan, and 64 bits is not enough to stake
+  /// correctness on.
   struct PlanCacheKey {
     PlanFingerprint scenarios;
-    std::uint64_t base_hash_lo = 0;
-    std::uint64_t base_hash_hi = 0;
     std::uint32_t sweep = 0;
     std::uint64_t block_lanes = 0;
     std::uint64_t num_threads = 0;
@@ -373,27 +489,44 @@ class CompiledSession
     std::size_t operator()(const PlanCacheKey& key) const;
   };
 
-  /// Cached plans are bounded; a server cycling through more distinct
-  /// scenario sets than this simply re-plans the excess (correctness never
-  /// depends on the cache).
+  /// One cached core plus its per-base overlays: full plans (all sharing
+  /// `core`) in insertion order, keyed by base fingerprint. The overlay
+  /// list is small and scanned linearly — base churn beyond
+  /// kMaxOverlaysPerEntry evicts FIFO without touching the core.
+  struct PlanCacheEntry {
+    std::shared_ptr<const PlanCore> core;
+    std::vector<std::pair<BaseFingerprint, std::shared_ptr<const BatchPlan>>>
+        overlays;
+  };
+
+  /// Builds the base-invariant cache key for (scenarios, options).
+  static PlanCacheKey MakePlanCacheKey(const ScenarioSet& scenarios,
+                                       const BatchOptions& options);
+
+  /// Cached cores are bounded, as are the overlays attached to each one; a
+  /// server cycling through more distinct scenario sets (or bases) than
+  /// this simply re-plans the excess (correctness never depends on the
+  /// cache).
   static constexpr std::size_t kPlanCacheMaxEntries = 64;
+  static constexpr std::size_t kMaxOverlaysPerEntry = 8;
 
   std::shared_ptr<const Artifacts> artifacts_;
   prov::Valuation default_meta_;
   prov::Valuation default_full_;
-  BaseHash default_base_hash_;  ///< HashBase(default_meta_), precomputed.
+  /// FingerprintBase(default_meta_, pool), precomputed.
+  BaseFingerprint default_base_fingerprint_;
 
   /// The plan cache: the one synchronized corner of the serving layer.
   /// Lookups take the lock shared; only a miss's insert takes it exclusive.
-  /// `plan_cache_order_` records insertion order so eviction at capacity is
-  /// FIFO (oldest plan first) instead of whatever the map's bucket layout
-  /// puts at begin().
+  /// `plan_cache_order_` records insertion order so core eviction at
+  /// capacity is FIFO (oldest core first) instead of whatever the map's
+  /// bucket layout puts at begin(); evicting a core drops all its overlays.
   mutable std::shared_mutex plan_mutex_;
-  mutable std::unordered_map<PlanCacheKey, std::shared_ptr<const BatchPlan>,
-                             PlanCacheKeyHash>
+  mutable std::unordered_map<PlanCacheKey, PlanCacheEntry, PlanCacheKeyHash>
       plan_cache_;
   mutable std::deque<PlanCacheKey> plan_cache_order_;
   mutable std::atomic<std::uint64_t> plan_cache_hits_{0};
+  mutable std::atomic<std::uint64_t> plan_cache_core_hits_{0};
   mutable std::atomic<std::uint64_t> plan_cache_misses_{0};
 };
 

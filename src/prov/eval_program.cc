@@ -123,12 +123,11 @@ void RunBlockedTermRange(const std::uint32_t* term_starts,
 
 }  // namespace
 
-BlockOverrides MakeBlockOverrides(const Valuation& base,
-                                  const OverrideSpan* lanes,
-                                  std::size_t num_lanes) {
+BlockOverrides MakeBlockOverridesSkeleton(const OverrideSpan* lanes,
+                                          std::size_t num_lanes) {
   COBRA_CHECK_MSG(
       num_lanes >= 1 && num_lanes <= EvalProgram::kMaxLanes,
-      "MakeBlockOverrides: lane count outside [1, kMaxLanes]");
+      "MakeBlockOverridesSkeleton: lane count outside [1, kMaxLanes]");
   BlockOverrides block;
   block.num_lanes_ = num_lanes;
   block.width_ = num_lanes <= 4 ? 4 : 8;
@@ -141,30 +140,13 @@ BlockOverrides MakeBlockOverrides(const Valuation& base,
   block.vars_.erase(std::unique(block.vars_.begin(), block.vars_.end()),
                     block.vars_.end());
   if (!block.vars_.empty()) {
-    COBRA_CHECK_MSG(block.vars_.back() < base.size(),
-                    "MakeBlockOverrides: override variable outside the base "
-                    "valuation");
     block.lo_ = block.vars_.front();
     block.hi_ = block.vars_.back();
   }
-  // Every row defaults to the broadcast base value (this also covers the
-  // padding lanes), then each lane patches in its own overrides.
-  block.values_.resize(block.vars_.size() * block.width_);
-  for (std::size_t r = 0; r < block.vars_.size(); ++r) {
-    const double v = base.values()[block.vars_[r]];
-    for (std::size_t l = 0; l < block.width_; ++l) {
-      block.values_[r * block.width_ + l] = v;
-    }
-  }
-  for (std::size_t l = 0; l < num_lanes; ++l) {
-    for (std::size_t o = 0; o < lanes[l].size; ++o) {
-      const std::size_t r =
-          std::lower_bound(block.vars_.begin(), block.vars_.end(),
-                           lanes[l].data[o].var) -
-          block.vars_.begin();
-      block.values_[r * block.width_ + l] = lanes[l].data[o].value;
-    }
-  }
+  // Value rows stay zero until RebindBlockOverrides() binds a base — a
+  // skeleton handed to a kernel would multiply everything by 0, not crash,
+  // which is why only the rebinding path may publish one.
+  block.values_.assign(block.vars_.size() * block.width_, 0.0);
   // O(1) lookup fast path: when the union's id span is small, one row-index
   // array covers it (wider unions binary-search the sorted var array).
   if (!block.vars_.empty()) {
@@ -179,6 +161,46 @@ BlockOverrides MakeBlockOverrides(const Valuation& base,
     }
   }
   return block;
+}
+
+BlockOverrides RebindBlockOverrides(const BlockOverrides& block,
+                                    const Valuation& base,
+                                    const OverrideSpan* lanes,
+                                    std::size_t num_lanes) {
+  COBRA_CHECK_MSG(num_lanes == block.num_lanes_,
+                  "RebindBlockOverrides: lane count does not match the "
+                  "skeleton");
+  BlockOverrides bound = block;
+  if (!bound.vars_.empty()) {
+    COBRA_CHECK_MSG(bound.vars_.back() < base.size(),
+                    "RebindBlockOverrides: override variable outside the "
+                    "base valuation");
+  }
+  // Every row defaults to the broadcast base value (this also covers the
+  // padding lanes), then each lane patches in its own overrides.
+  for (std::size_t r = 0; r < bound.vars_.size(); ++r) {
+    const double v = base.values()[bound.vars_[r]];
+    for (std::size_t l = 0; l < bound.width_; ++l) {
+      bound.values_[r * bound.width_ + l] = v;
+    }
+  }
+  for (std::size_t l = 0; l < num_lanes; ++l) {
+    for (std::size_t o = 0; o < lanes[l].size; ++o) {
+      const std::size_t r =
+          std::lower_bound(bound.vars_.begin(), bound.vars_.end(),
+                           lanes[l].data[o].var) -
+          bound.vars_.begin();
+      bound.values_[r * bound.width_ + l] = lanes[l].data[o].value;
+    }
+  }
+  return bound;
+}
+
+BlockOverrides MakeBlockOverrides(const Valuation& base,
+                                  const OverrideSpan* lanes,
+                                  std::size_t num_lanes) {
+  return RebindBlockOverrides(MakeBlockOverridesSkeleton(lanes, num_lanes),
+                              base, lanes, num_lanes);
 }
 
 EvalProgram::EvalProgram(const PolySet& set) {

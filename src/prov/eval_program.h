@@ -61,15 +61,24 @@ class BlockOverrides {
   /// Read-only; exposed for the static verifier (verify/verify.h).
   const std::vector<VarId>& vars() const { return vars_; }
 
+  /// The value rows: union_size() rows of width() lane values, row-major
+  /// (row r holds variable vars()[r]'s per-lane values). Read-only; exposed
+  /// for the static verifier, which re-derives every row from the base
+  /// valuation and the lanes' override lists.
+  const std::vector<double>& values() const { return values_; }
+
   /// Largest (hi - lo + 1) id span for which the dense row index is built;
   /// wider unions fall back to binary search.
   static constexpr std::size_t kDenseIndexMaxSpan = 4096;
 
  private:
   friend class EvalProgram;
-  friend BlockOverrides MakeBlockOverrides(const Valuation& base,
-                                           const OverrideSpan* lanes,
-                                           std::size_t num_lanes);
+  friend BlockOverrides MakeBlockOverridesSkeleton(const OverrideSpan* lanes,
+                                                   std::size_t num_lanes);
+  friend BlockOverrides RebindBlockOverrides(const BlockOverrides& block,
+                                             const Valuation& base,
+                                             const OverrideSpan* lanes,
+                                             std::size_t num_lanes);
 
   std::vector<VarId> vars_;     ///< Sorted union of overridden variables.
   std::vector<double> values_;  ///< vars_.size() rows of `width_` lane values.
@@ -85,9 +94,33 @@ class BlockOverrides {
   VarId hi_ = 0;
 };
 
+/// Builds the base-independent skeleton of a block patch table: the sorted
+/// override union, guard band and dense row index for `num_lanes`
+/// (1..EvalProgram::kMaxLanes) scenario override lists, with every value
+/// row zero-initialized. The skeleton is everything about the table that
+/// does not depend on the base valuation — a plan core caches it and binds
+/// it to each base with RebindBlockOverrides(), so sweeping many bases pays
+/// the sort/unique/index construction once. The kernels must never read a
+/// skeleton directly.
+BlockOverrides MakeBlockOverridesSkeleton(const OverrideSpan* lanes,
+                                          std::size_t num_lanes);
+
+/// Returns a copy of `block` with every value row re-derived from `base`:
+/// lane l reads its own override value (the same `lanes` lists the block
+/// was built from), every other slot — non-overriding lanes and padding —
+/// reads `base`. The union structure (vars, dense index, guard band, lane
+/// count, width) is reused unchanged, so rebinding is O(union × width) with
+/// no sorting and no index rebuild. Every union variable must be covered by
+/// `base`.
+BlockOverrides RebindBlockOverrides(const BlockOverrides& block,
+                                    const Valuation& base,
+                                    const OverrideSpan* lanes,
+                                    std::size_t num_lanes);
+
 /// Builds the block patch table for `num_lanes` (1..EvalProgram::kMaxLanes)
-/// scenario override lists over the shared `base` valuation. Every override
-/// variable must be covered by `base`.
+/// scenario override lists over the shared `base` valuation — equivalent to
+/// rebinding a fresh skeleton. Every override variable must be covered by
+/// `base`.
 BlockOverrides MakeBlockOverrides(const Valuation& base,
                                   const OverrideSpan* lanes,
                                   std::size_t num_lanes);

@@ -409,6 +409,19 @@ VerifyReport VerifyPlan(const core::BatchPlan& plan,
                                     plan.base().size(), pool_size));
   }
 
+  // Overlay base fingerprint: the plan cache keys overlays by this, so a
+  // fingerprint that does not recompute from the stored base would serve
+  // another base's value tables on the next warm lookup.
+  {
+    const core::BaseFingerprint recomputed =
+        core::FingerprintBase(plan.base(), pool_size);
+    if (recomputed != plan.overlay().base_fingerprint) {
+      report.AddError("plan overlay", 0,
+                      "base fingerprint does not recompute from the "
+                      "overlay's base valuation");
+    }
+  }
+
   // Block override-union tables: one per block for the blocked engine
   // (ragged tail carries the real lane count), none otherwise.
   if (blocked) {
@@ -417,6 +430,13 @@ VerifyReport VerifyPlan(const core::BatchPlan& plan,
                       util::StrFormat("%zu block tables for %zu blocks",
                                       plan.block_tables().size(),
                                       plan.num_blocks()));
+    } else if (plan.core()->block_skeletons().size() !=
+               plan.block_tables().size()) {
+      report.AddError("plan", 0,
+                      util::StrFormat("core holds %zu block skeletons for "
+                                      "%zu overlay tables",
+                                      plan.core()->block_skeletons().size(),
+                                      plan.block_tables().size()));
     } else {
       for (std::size_t b = 0; b < plan.block_tables().size(); ++b) {
         const prov::BlockOverrides& table = plan.block_tables()[b];
@@ -497,6 +517,62 @@ VerifyReport VerifyPlan(const core::BatchPlan& plan,
                                             "lanes override %zu distinct "
                                             "variables",
                                             vars.size(), expected.size()));
+          }
+        }
+
+        // Core/overlay split: the overlay table must share the skeleton's
+        // structure exactly — only the value rows may differ between bases.
+        const prov::BlockOverrides& skeleton =
+            plan.core()->block_skeletons()[b];
+        if (skeleton.vars() != vars ||
+            skeleton.num_lanes() != table.num_lanes() ||
+            skeleton.width() != table.width() ||
+            skeleton.uses_dense_index() != table.uses_dense_index()) {
+          report.AddError("plan block", b,
+                          "overlay table structure disagrees with the "
+                          "core's block skeleton");
+        }
+
+        // Value rows: every (row, lane) cell must rebind bit-for-bit from
+        // the overlay's base and the lane's compiled overrides. Any other
+        // bit pattern means the table was bound against a different base
+        // (or corrupted after binding).
+        if (union_ok && plan.base().size() >= pool_size) {
+          const std::vector<double>& values = table.values();
+          bool rows_ok = values.size() == vars.size() * table.width();
+          if (!rows_ok) {
+            report.AddError("plan block", b,
+                            util::StrFormat("value table holds %zu entries "
+                                            "(want %zu rows of width %zu)",
+                                            values.size(), vars.size(),
+                                            table.width()));
+          }
+          for (std::size_t r = 0; rows_ok && r < vars.size(); ++r) {
+            for (std::size_t l = 0; rows_ok && l < table.width(); ++l) {
+              double expected = plan.base().values()[vars[r]];
+              if (l < table.num_lanes() &&
+                  b * lanes + l < plan.compiled().size()) {
+                const std::vector<prov::VarOverride>& lane_overrides =
+                    plan.compiled()[b * lanes + l].overrides;
+                const auto it = std::lower_bound(
+                    lane_overrides.begin(), lane_overrides.end(), vars[r],
+                    [](const prov::VarOverride& o, prov::VarId v) {
+                      return o.var < v;
+                    });
+                if (it != lane_overrides.end() && it->var == vars[r]) {
+                  expected = it->value;
+                }
+              }
+              if (!SameBits(values[r * table.width() + l], expected)) {
+                report.AddError(
+                    "plan block", b,
+                    util::StrFormat("value row %zu lane %zu does not rebind "
+                                    "from the overlay base and the lane's "
+                                    "overrides",
+                                    r, l));
+                rows_ok = false;
+              }
+            }
           }
         }
       }

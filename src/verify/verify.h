@@ -142,6 +142,14 @@ VerifyReport VerifyProgram(const core::EvalProgramImage& image,
 /// whole-poly ranges covering every polynomial, with the term-split
 /// polynomial's slices exactly tiling its term range.
 ///
+/// A plan is a base-invariant `PlanCore` plus a per-base
+/// `PlanBaseOverlay`, and the pass proves the two halves agree: the
+/// overlay's base fingerprint recomputes from its stored base valuation
+/// (the plan cache keys overlays by it), each overlay block table shares
+/// its core skeleton's structure (union, lane count, width, dense index),
+/// and every value-table cell rebinds bit-for-bit from the overlay base
+/// and the owning lane's compiled overrides.
+///
 /// When `scenarios` is non-null the pass additionally recomputes the
 /// scenario-set content fingerprint and re-lowers every scenario, proving
 /// the plan's cached key and compiled override lists match the set it

@@ -543,6 +543,80 @@ TEST_F(VerifyPlanTest, AssignBatchWithVerifyPlansMatchesWithout) {
   }
 }
 
+// The overlay half of a plan is data a cache replays across calls, so each
+// way it can rot — stale fingerprint, tables bound against another base,
+// dropped table, undersized base — must be caught before execution. The
+// corrupt overlays are assembled from the public parts API exactly as an
+// external plan store would.
+
+TEST_F(VerifyPlanTest, CorruptedOverlayFingerprintIsDetected) {
+  std::shared_ptr<const core::BatchPlan> plan =
+      snapshot_->PlanBatch(scenarios_).ValueOrDie();
+  auto bad = std::make_shared<core::PlanBaseOverlay>(plan->overlay());
+  bad->base_fingerprint.lo ^= 1;
+  std::shared_ptr<const core::BatchPlan> tampered =
+      core::BatchPlan::FromParts(plan->core(), bad);
+  const VerifyReport report = VerifyPlan(*tampered, *snapshot_, &scenarios_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasFindingContaining(report,
+                                   "base fingerprint does not recompute"))
+      << report.ToString();
+}
+
+TEST_F(VerifyPlanTest, OverlayTablesBoundToADifferentBaseAreDetected) {
+  BatchOptions options;
+  options.sweep = BatchOptions::Sweep::kBlocked;
+  std::shared_ptr<const core::BatchPlan> plan =
+      snapshot_->PlanBatch(scenarios_, options).ValueOrDie();
+
+  // Bind the block tables against a shifted base, then splice them into an
+  // overlay that still claims the original base: structurally perfect, but
+  // the value rows no longer rebind from the stored base.
+  prov::Valuation other(snapshot_->pool_size());
+  for (const core::MetaVar& meta : snapshot_->meta_vars()) {
+    other.Set(meta.var, 2.0);
+  }
+  std::shared_ptr<const core::PlanBaseOverlay> shifted =
+      plan->core()->MakeOverlay(other);
+  auto bad = std::make_shared<core::PlanBaseOverlay>(plan->overlay());
+  bad->block_tables = shifted->block_tables;
+  std::shared_ptr<const core::BatchPlan> tampered =
+      core::BatchPlan::FromParts(plan->core(), bad);
+  const VerifyReport report = VerifyPlan(*tampered, *snapshot_, &scenarios_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasFindingContaining(report, "does not rebind"))
+      << report.ToString();
+}
+
+TEST_F(VerifyPlanTest, DroppedOverlayBlockTableIsDetected) {
+  BatchOptions options;
+  options.sweep = BatchOptions::Sweep::kBlocked;
+  std::shared_ptr<const core::BatchPlan> plan =
+      snapshot_->PlanBatch(scenarios_, options).ValueOrDie();
+  auto bad = std::make_shared<core::PlanBaseOverlay>(plan->overlay());
+  ASSERT_FALSE(bad->block_tables.empty());
+  bad->block_tables.pop_back();
+  std::shared_ptr<const core::BatchPlan> tampered =
+      core::BatchPlan::FromParts(plan->core(), bad);
+  const VerifyReport report = VerifyPlan(*tampered, *snapshot_, &scenarios_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasFindingContaining(report, "block tables"))
+      << report.ToString();
+}
+
+TEST_F(VerifyPlanTest, UndersizedOverlayBaseIsDetected) {
+  std::shared_ptr<const core::BatchPlan> plan =
+      snapshot_->PlanBatch(scenarios_).ValueOrDie();
+  auto bad = std::make_shared<core::PlanBaseOverlay>(plan->overlay());
+  bad->base = prov::Valuation(1);
+  std::shared_ptr<const core::BatchPlan> tampered =
+      core::BatchPlan::FromParts(plan->core(), bad);
+  const VerifyReport report = VerifyPlan(*tampered, *snapshot_, &scenarios_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(HasFindingContaining(report, "base valuation covers"))
+      << report.ToString();
+}
+
 // --------------------------------------------------------------- session
 
 TEST(VerifySessionTest, LiveSessionWithCachedPlansVerifiesClean) {
