@@ -34,8 +34,14 @@
 //
 //   batch_whatif 1000 --bases 16   # one plan, 16 bases, N x 16 grid cells
 //
+// With --strict a snapshot that fails to load or verify is fatal (exit 1)
+// instead of falling back to in-process compression — the replica-fleet
+// behavior, where silently recompiling would hide a corrupt artifact:
+//
+//   batch_whatif 1000 snap.bin --strict   # exit 1 if snap.bin is bad
+//
 // Usage: batch_whatif [num_scenarios] [snapshot_file] [--repeat N]
-//                     [--bases N]
+//                     [--bases N] [--strict]
 
 #include <algorithm>
 #include <cstdio>
@@ -89,15 +95,20 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   std::size_t repeat = 1;
   std::size_t num_bases = 0;
+  bool strict = false;
   std::vector<const char*> positional;
   for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--strict") == 0) {
+      strict = true;
+      continue;
+    }
     const bool is_repeat = std::strcmp(argv[a], "--repeat") == 0;
     const bool is_bases = std::strcmp(argv[a], "--bases") == 0;
     if (is_repeat || is_bases) {
       if (a + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: %s [num_scenarios] [snapshot_file] [--repeat N] "
-                     "[--bases N]\n",
+                     "[--bases N] [--strict]\n",
                      argv[0]);
         return 2;
       }
@@ -144,10 +155,18 @@ int main(int argc, char** argv) {
           "monomials) — no recompilation\n",
           snapshot_path.c_str(), snapshot->pool_size(),
           snapshot->full_size(), snapshot->compressed_size());
+    } else if (strict) {
+      // Replica behavior: a bad snapshot is an operational failure, not an
+      // excuse to recompute locally (which would mask the corruption).
+      std::fprintf(stderr,
+                   "snapshot fallback refused (--strict): %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
     } else {
       // Missing on the first run, or stale/corrupted/rejected: fall back to
       // the origin path, which rewrites the file for the next invocation.
-      std::printf("%s — compressing instead\n",
+      // The Status says exactly why serving from the file was not possible.
+      std::printf("cannot serve from snapshot: %s — compressing instead\n",
                   loaded.status().ToString().c_str());
     }
   }

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving daemon (tools/cobra_serverd.cc).
+#
+# Exercises the full robustness loop against real processes over real TCP:
+#   1. seed a snapshot directory and start cobra_serverd on an ephemeral
+#      port (parsed from its READY line);
+#   2. serve an AssignBatch through cobra_client;
+#   3. drop a NEW snapshot version and assert the daemon hot-swaps to it;
+#   4. drop a CORRUPTED snapshot (full-size, interior bytes flipped — a
+#      checksum mismatch, i.e. permanent damage, not a torn write) and
+#      assert it is quarantined as *.rejected, the rejection is logged, and
+#      the daemon keeps serving the last good version;
+#   5. SIGTERM the daemon and assert it drains and exits 0.
+#
+# A verifier-rejected artifact (structurally parseable, semantically bad)
+# with its VerifyReport surfaced is covered by serve_watcher_test, which
+# can build one in-process; producing one from shell would mean
+# re-implementing the checksum, so this script sticks to byte corruption.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+WORK=$(mktemp -d)
+SNAPDIR="$WORK/snapshots"
+LOG="$WORK/serverd.log"
+SERVERD_PID=""
+cleanup() {
+  [[ -n "$SERVERD_PID" ]] && kill -9 "$SERVERD_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- serverd log ---" >&2
+  cat "$LOG" >&2 || true
+  exit 1
+}
+
+# Wait (up to ~5s) until the daemon's stderr log matches a pattern.
+wait_for_log() {
+  local pattern=$1
+  for _ in $(seq 1 100); do
+    grep -q "$pattern" "$LOG" 2>/dev/null && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+mkdir -p "$SNAPDIR"
+
+# 1. A known-good snapshot, produced by the snapshot bench's save mode
+#    (core::SaveSnapshot — the exact format the watcher loads).
+COBRA_A8_MODE=save COBRA_A8_PATH="$WORK/good.snap" COBRA_A8_SCENARIOS=8 \
+  "$BUILD/bench_a8_snapshot" >/dev/null
+cp "$WORK/good.snap" "$SNAPDIR/v001.snap"
+
+"$BUILD/cobra_serverd" --dir "$SNAPDIR" --poll-ms 50 \
+  >"$WORK/serverd.out" 2>"$LOG" &
+SERVERD_PID=$!
+
+# READY is printed after the initial load; parse the ephemeral port.
+for _ in $(seq 1 100); do
+  grep -q '^READY ' "$WORK/serverd.out" 2>/dev/null && break
+  kill -0 "$SERVERD_PID" 2>/dev/null || fail "daemon exited before READY"
+  sleep 0.05
+done
+grep -q '^READY ' "$WORK/serverd.out" || fail "no READY line"
+PORT=$(sed -n 's/^READY port=\([0-9]*\).*/\1/p' "$WORK/serverd.out")
+grep -q 'snapshot=v001.snap' "$WORK/serverd.out" \
+  || fail "daemon did not load the seeded v001.snap"
+
+# 2. A batch request serves values from v001. The snapshot's meta-variable
+#    names are compression artifacts, so the smoke sends a baseline
+#    (no-delta) scenario — the unit suites cover delta binding.
+"$BUILD/cobra_client" --port "$PORT" batch baseline: >"$WORK/batch1.out" \
+  || fail "batch against v001 failed"
+grep -q '^ok version=1 ' "$WORK/batch1.out" \
+  || fail "batch response did not come from version 1"
+grep -q 'full=' "$WORK/batch1.out" || fail "batch response carried no values"
+
+# 3. A new version appears (write-tmp-then-rename, the publish convention):
+#    the watcher must verify it and hot-swap.
+cp "$WORK/good.snap" "$SNAPDIR/.v002.tmp"
+mv "$SNAPDIR/.v002.tmp" "$SNAPDIR/v002.snap"
+wait_for_log 'watcher: swapped to v002.snap' || fail "no swap to v002"
+"$BUILD/cobra_client" --port "$PORT" ping >"$WORK/ping.out" \
+  || fail "ping after swap failed"
+grep -q 'snapshot=v002.snap' "$WORK/ping.out" \
+  || fail "daemon not serving v002 after swap"
+
+# 4. A corrupted version appears: full size, eight interior bytes flipped,
+#    so the checksum cannot match. It must be quarantined exactly once and
+#    the daemon must keep serving v002.
+SIZE=$(wc -c <"$WORK/good.snap")
+cp "$WORK/good.snap" "$SNAPDIR/.v003.tmp"
+printf 'CORRUPT!' | dd of="$SNAPDIR/.v003.tmp" bs=1 seek=$((SIZE / 2)) \
+  count=8 conv=notrunc status=none
+mv "$SNAPDIR/.v003.tmp" "$SNAPDIR/v003.snap"
+wait_for_log 'watcher: rejected v003.snap' || fail "corrupt v003 not rejected"
+grep -q 'quarantined as v003.snap.rejected' "$LOG" \
+  || fail "rejection log does not name the quarantine file"
+[[ -f "$SNAPDIR/v003.snap.rejected" ]] || fail "v003 not renamed to .rejected"
+[[ ! -f "$SNAPDIR/v003.snap" ]] || fail "corrupt v003.snap left in place"
+"$BUILD/cobra_client" --port "$PORT" ping >"$WORK/ping2.out" \
+  || fail "ping after quarantine failed"
+grep -q 'snapshot=v002.snap' "$WORK/ping2.out" \
+  || fail "daemon fell off v002 after the corrupt drop"
+
+# 5. SIGTERM: drain and exit 0.
+kill -TERM "$SERVERD_PID"
+EXIT=0
+wait "$SERVERD_PID" || EXIT=$?
+SERVERD_PID=""
+[[ "$EXIT" -eq 0 ]] || fail "daemon exited $EXIT on SIGTERM"
+grep -q 'serverd: drained and stopped' "$LOG" \
+  || fail "daemon did not log a clean drain"
+
+echo "serve_smoke: OK (port $PORT, swap + quarantine + drain verified)"

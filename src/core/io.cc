@@ -223,16 +223,23 @@ util::Status SavePackage(const CompressedPackage& package,
 util::Result<CompressedPackage> LoadPackage(const std::string& path,
                                             prov::VarPool* pool) {
   util::Result<std::string> text = util::ReadFile(path);
-  if (!text.ok()) return text.status();  // Already names the path.
+  if (!text.ok()) {
+    // Transient: the file may simply not be published (or readable) yet.
+    // The message already names the path.
+    return util::Status::Unavailable(text.status().message());
+  }
   if (util::Trim(*text).empty()) {
-    return util::Status::ParseError("package file " + path +
-                                    ": file is empty");
+    // Also transient: an empty file is what a writer that has opened but
+    // not yet flushed the package looks like.
+    return util::Status::Unavailable("package file " + path +
+                                     ": file is empty");
   }
   util::Result<CompressedPackage> package = ParsePackage(*text, pool);
   if (!package.ok()) {
-    return util::Status(package.status().code(),
-                        "package file " + path + ": " +
-                            package.status().message());
+    // Permanent: the file is fully present but malformed — re-reading it
+    // reproduces the same failure, so callers should not retry.
+    return util::Status::DataLoss("package file " + path + ": " +
+                                  package.status().message());
   }
   return package;
 }
@@ -408,7 +415,10 @@ class BinaryReader {
   std::size_t pos() const { return pos_; }
 
   util::Status Fail(const std::string& what) const {
-    return util::Status::ParseError(
+    // The reader only ever walks a payload whose checksum already matched,
+    // so a malformed field means the artifact is intact but wrong —
+    // permanent corruption, not a torn write.
+    return util::Status::DataLoss(
         util::StrFormat("snapshot %s: %s at payload byte %zu",
                         source_.c_str(), what.c_str(), pos_));
   }
@@ -480,17 +490,26 @@ std::string SerializeSnapshot(const SnapshotPackage& snapshot) {
 
 util::Result<SnapshotPackage> ParseSnapshot(std::string_view data,
                                             const std::string& source) {
-  auto fail = [&source](const std::string& what) {
-    return util::Status::ParseError("snapshot " + source + ": " + what);
+  // Failure classification (the serve-layer retry loops branch on it):
+  // an empty or short file is what an in-progress (torn) write looks like,
+  // so those fail `Unavailable` — transient, retry may succeed once the
+  // writer finishes. A file with the wrong magic, version, or checksum is
+  // complete but damaged: `DataLoss`, permanent, quarantine instead of
+  // retrying.
+  auto transient = [&source](const std::string& what) {
+    return util::Status::Unavailable("snapshot " + source + ": " + what);
   };
-  if (data.empty()) return fail("file is empty");
+  auto corrupt = [&source](const std::string& what) {
+    return util::Status::DataLoss("snapshot " + source + ": " + what);
+  };
+  if (data.empty()) return transient("file is empty");
   if (data.size() < kSnapshotHeaderSize) {
-    return fail(util::StrFormat(
+    return transient(util::StrFormat(
         "file is only %zu bytes — smaller than the %zu-byte header",
         data.size(), kSnapshotHeaderSize));
   }
   if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
-    return fail("bad magic (not a COBRA snapshot file)");
+    return corrupt("bad magic (not a COBRA snapshot file)");
   }
   BinaryReader header(data.substr(sizeof(kSnapshotMagic)), source);
   std::uint32_t version = 0;
@@ -500,18 +519,25 @@ util::Result<SnapshotPackage> ParseSnapshot(std::string_view data,
   COBRA_RETURN_IF_ERROR(header.U64(&payload_size));
   COBRA_RETURN_IF_ERROR(header.U64(&checksum));
   if (version != kSnapshotFormatVersion) {
-    return fail(util::StrFormat(
+    return corrupt(util::StrFormat(
         "unsupported format version %u (this build reads version %u)",
         version, kSnapshotFormatVersion));
   }
   std::string_view payload = data.substr(kSnapshotHeaderSize);
-  if (payload.size() != payload_size) {
-    return fail(util::StrFormat(
+  if (payload.size() < payload_size) {
+    // Fewer bytes than the header promises: a torn write that may still be
+    // in progress — transient.
+    return transient(util::StrFormat(
         "truncated: header promises %llu payload bytes but %zu are present",
         static_cast<unsigned long long>(payload_size), payload.size()));
   }
+  if (payload.size() > payload_size) {
+    return corrupt(util::StrFormat(
+        "oversized: header promises %llu payload bytes but %zu are present",
+        static_cast<unsigned long long>(payload_size), payload.size()));
+  }
   if (util::HashBytes(payload) != checksum) {
-    return fail("payload checksum mismatch (file is corrupted)");
+    return corrupt("payload checksum mismatch (file is corrupted)");
   }
 
   BinaryReader reader(payload, source);
@@ -550,15 +576,20 @@ util::Status SaveSnapshot(const CompiledSession& session,
 util::Result<std::shared_ptr<const CompiledSession>> LoadSnapshot(
     const std::string& path) {
   util::Result<std::string> data = util::ReadFile(path);
-  if (!data.ok()) return data.status();  // Already names the path.
+  if (!data.ok()) {
+    // Transient: a missing or unreadable file is the not-yet-published /
+    // mid-rename case. The message already names the path.
+    return util::Status::Unavailable(data.status().message());
+  }
   util::Result<SnapshotPackage> snapshot = ParseSnapshot(*data, path);
   if (!snapshot.ok()) return snapshot.status();
   util::Result<std::shared_ptr<const CompiledSession>> session =
       CompiledSession::FromSnapshot(*snapshot);
   if (!session.ok()) {
-    return util::Status(session.status().code(),
-                        "snapshot " + path + ": " +
-                            session.status().message());
+    // The bytes parsed (format + checksum OK) but the content failed the
+    // structural verifier or session rebuild: permanently bad artifact.
+    return util::Status::DataLoss("snapshot " + path + ": " +
+                                  session.status().message());
   }
   return session;
 }

@@ -70,7 +70,10 @@ CompressedPackage MakePackage(const Abstraction& abstraction,
 
 /// Writes/reads a package to/from a file. Load failures identify the file:
 /// a missing or unreadable path, an empty file, and a malformed body each
-/// produce a Status naming `path` and what was wrong with it.
+/// produce a Status naming `path` and what was wrong with it. Failures are
+/// classified for retry decisions (`util::IsRetryable`): a missing,
+/// unreadable, or empty file is `Unavailable` (transient — the writer may
+/// not have published yet), a malformed body is `DataLoss` (permanent).
 util::Status SavePackage(const CompressedPackage& package,
                          const prov::VarPool& pool, const std::string& path);
 util::Result<CompressedPackage> LoadPackage(const std::string& path,
@@ -138,6 +141,13 @@ std::string SerializeSnapshot(const SnapshotPackage& snapshot);
 /// Decodes the binary format. `source` names the origin (a file path) in
 /// every error: bad magic, unsupported version, length/checksum mismatch,
 /// or a payload truncated mid-field all produce a descriptive Status.
+///
+/// Errors are classified transient-vs-permanent so callers (the serving
+/// daemon's snapshot watcher) can decide whether to retry: an empty file or
+/// one holding fewer bytes than the header promises reads as an in-progress
+/// torn write and fails `Unavailable` (retryable); bad magic, an
+/// unsupported version, a checksum mismatch, or a malformed checksummed
+/// payload is permanent corruption and fails `DataLoss`.
 util::Result<SnapshotPackage> ParseSnapshot(std::string_view data,
                                             const std::string& source);
 
@@ -151,7 +161,11 @@ util::Status SaveSnapshot(const CompiledSession& session,
 /// deterministic remap the origin used), so `Assign`/`AssignBatch` results
 /// are bit-identical to the origin process under every sweep engine.
 /// Missing, empty, truncated, and corrupted files all fail with a Status
-/// naming `path` and the specific problem.
+/// naming `path` and the specific problem, classified transient-vs-
+/// permanent (see `ParseSnapshot`): missing/unreadable/torn files are
+/// `Unavailable` (retry may succeed), while corruption and verifier
+/// rejection are `DataLoss` (retrying reproduces the failure — quarantine
+/// instead).
 util::Result<std::shared_ptr<const CompiledSession>> LoadSnapshot(
     const std::string& path);
 

@@ -1,0 +1,269 @@
+#include "serve/snapshot_watcher.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/io.h"
+#include "serve/fault.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "verify/verify.h"
+
+namespace cobra::serve {
+
+namespace {
+
+bool EndsWith(const std::string& name, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return name.size() >= n &&
+         name.compare(name.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+util::Status QuarantineArtifact(const std::string& path) {
+  if (EndsWith(path, kRejectedSuffix)) {
+    return util::Status::InvalidArgument("already quarantined: " + path);
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return util::Status::NotFound("cannot quarantine missing file: " + path);
+  }
+  const std::string target = path + kRejectedSuffix;
+  if (std::rename(path.c_str(), target.c_str()) != 0) {
+    return util::Status::IoError("quarantine rename of " + path + " to " +
+                                 target + " failed: " +
+                                 std::strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::string> PickCandidate(const std::string& dir,
+                                        const std::string& current_name) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return util::Status::IoError("cannot list snapshot directory " + dir +
+                                 ": " + std::strerror(errno));
+  }
+  std::string best;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (!EndsWith(name, kSnapshotSuffix)) continue;
+    if (name <= current_name) continue;
+    if (best.empty() || name > best) best = name;
+  }
+  ::closedir(handle);
+  if (best.empty()) {
+    return util::Status::NotFound("no snapshot newer than '" + current_name +
+                                  "' in " + dir);
+  }
+  return best;
+}
+
+namespace {
+
+/// One verify-gated load attempt. Implements the same pipeline as
+/// core::LoadSnapshot but runs VerifySnapshot explicitly so a rejection's
+/// finding table can be surfaced to the daemon log, and probes the
+/// kSnapshotRead / kSlowLoad fault points.
+util::Result<std::shared_ptr<const core::CompiledSession>> LoadOnce(
+    const std::string& path, std::string* verify_report) {
+  COBRA_FAULT_STALL(FaultPoint::kSlowLoad);
+  if (COBRA_FAULT_FIRE(FaultPoint::kSnapshotRead)) {
+    return util::Status::Unavailable("injected snapshot read fault: " + path);
+  }
+  util::Result<std::string> data = util::ReadFile(path);
+  if (!data.ok()) {
+    // A vanishing or unreadable file is transient from the watcher's seat:
+    // the publisher may be mid-rename or the mount mid-hiccup.
+    return util::Status::Unavailable(data.status().message());
+  }
+  util::Result<core::SnapshotPackage> snapshot =
+      core::ParseSnapshot(*data, path);
+  if (!snapshot.ok()) return snapshot.status();
+  verify::VerifyReport report = verify::VerifySnapshot(*snapshot);
+  if (!report.ok()) {
+    *verify_report = report.ToString();
+    return util::Status::DataLoss("snapshot file " + path +
+                                  ": rejected by static verifier (" +
+                                  report.FirstError()->ToString() + ")");
+  }
+  return core::CompiledSession::FromSnapshot(*snapshot);
+}
+
+}  // namespace
+
+LoadOutcome LoadSnapshotWithRetry(const std::string& path,
+                                  const RetryPolicy& policy,
+                                  bool quarantine_on_permanent,
+                                  const std::function<void(int)>& sleep_ms) {
+  LoadOutcome outcome;
+  util::Rng jitter(policy.jitter_seed);
+  double delay = static_cast<double>(policy.backoff_initial_ms);
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    outcome.attempts = attempt;
+    util::Result<std::shared_ptr<const core::CompiledSession>> loaded =
+        LoadOnce(path, &outcome.verify_report);
+    if (loaded.ok()) {
+      outcome.session = *loaded;
+      outcome.status = util::Status::OK();
+      return outcome;
+    }
+    outcome.status = loaded.status();
+    if (!util::IsRetryable(outcome.status)) break;
+    if (attempt == attempts) break;
+    const int capped = static_cast<int>(
+        std::min(delay, static_cast<double>(policy.backoff_max_ms)));
+    // Uniform jitter in [capped/2, capped] decorrelates replicas retrying
+    // the same torn write.
+    const int wait =
+        capped <= 1
+            ? capped
+            : capped / 2 +
+                  static_cast<int>(jitter.NextBelow(
+                      static_cast<std::uint64_t>(capped - capped / 2) + 1));
+    if (sleep_ms) {
+      sleep_ms(wait);
+    } else if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+    delay *= policy.backoff_multiplier;
+  }
+  if (!util::IsRetryable(outcome.status) && quarantine_on_permanent) {
+    outcome.quarantined = QuarantineArtifact(path).ok();
+  }
+  return outcome;
+}
+
+SnapshotWatcher::SnapshotWatcher(Options options, SwapFn swap, LogFn log)
+    : options_(std::move(options)),
+      swap_(std::move(swap)),
+      log_(std::move(log)) {}
+
+SnapshotWatcher::~SnapshotWatcher() { Stop(); }
+
+void SnapshotWatcher::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SnapshotWatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SnapshotWatcher::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      if (stopping_) return;
+    }
+    PollOnce();
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stop_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.poll_interval_ms),
+                      [this] { return stopping_; });
+    if (stopping_) return;
+  }
+}
+
+util::Status SnapshotWatcher::PollOnce() {
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  std::string current;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current = current_name_;
+  }
+  util::Result<std::string> candidate = PickCandidate(options_.dir, current);
+  if (!candidate.ok()) {
+    // NotFound just means "nothing new": the steady state.
+    if (candidate.status().code() == util::StatusCode::kNotFound) {
+      return util::Status::OK();
+    }
+    if (log_) log_("watcher: " + candidate.status().ToString());
+    return candidate.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (skip_.count(*candidate) != 0) return util::Status::OK();
+  }
+  const std::string path = options_.dir + "/" + *candidate;
+  LoadOutcome outcome = LoadSnapshotWithRetry(path, options_.retry,
+                                              options_.quarantine);
+  if (outcome.status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_name_ = *candidate;
+    }
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    if (log_) {
+      log_("watcher: swapped to " + *candidate + " (attempts=" +
+           std::to_string(outcome.attempts) + ")");
+    }
+    if (swap_) swap_(std::move(outcome.session), *candidate);
+    return util::Status::OK();
+  }
+  if (util::IsRetryable(outcome.status)) {
+    transient_giveups_.fetch_add(1, std::memory_order_relaxed);
+    if (log_) {
+      log_("watcher: transient failure on " + *candidate + " after " +
+           std::to_string(outcome.attempts) +
+           " attempts, will re-poll: " + outcome.status.ToString());
+    }
+    return outcome.status;
+  }
+  // Permanent: quarantined (or remembered if the rename failed). The
+  // serving session is untouched either way.
+  if (outcome.quarantined) {
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    skip_.insert(*candidate);
+  }
+  if (log_) {
+    std::string line = "watcher: rejected " + *candidate + ": " +
+                       outcome.status.ToString() +
+                       (outcome.quarantined ? " (quarantined as " +
+                                                  *candidate +
+                                                  kRejectedSuffix + ")"
+                                            : " (quarantine failed; skipping)");
+    if (!outcome.verify_report.empty()) {
+      line += "\n" + outcome.verify_report;
+    }
+    log_(line);
+  }
+  return outcome.status;
+}
+
+SnapshotWatcher::Stats SnapshotWatcher::stats() const {
+  Stats stats;
+  stats.polls = polls_.load(std::memory_order_relaxed);
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.transient_giveups =
+      transient_giveups_.load(std::memory_order_relaxed);
+  stats.quarantines = quarantines_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string SnapshotWatcher::current_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_name_;
+}
+
+}  // namespace cobra::serve

@@ -1,0 +1,174 @@
+#ifndef COBRA_SERVE_SNAPSHOT_WATCHER_H_
+#define COBRA_SERVE_SNAPSHOT_WATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/compiled_session.h"
+#include "util/status.h"
+
+/// cobra::serve snapshot watching — how the daemon picks up new snapshot
+/// versions without ever serving a half-trusted artifact.
+///
+/// Directory convention: a serving directory holds binary snapshot files
+/// named `<version>.snap`. Versions order lexicographically, so publishers
+/// should zero-pad (`v000001.snap`, `v000002.snap`, ...); the watcher
+/// always serves the lexicographically greatest eligible `.snap`.
+/// Publishers must write to a temporary name (anything not ending in
+/// `.snap` — by convention `<version>.snap.tmp`) and `rename(2)` into
+/// place, so a candidate is normally complete the moment it is visible.
+/// The watcher still survives torn writes: a truncated artifact classifies
+/// as transient (`Unavailable`, core/io.h) and is retried with capped
+/// exponential backoff, never quarantined.
+///
+/// Artifacts that are *permanently* bad — checksum mismatch, malformed
+/// payload, or rejection by the static verifier (`cobra::verify`) — are
+/// renamed to `<name>.rejected` (quarantine) so the watcher never loops on
+/// them, and the serving session is left untouched: the daemon keeps
+/// answering from the previous version. The same `QuarantineArtifact`
+/// helper backs `cobra_verify --quarantine`.
+namespace cobra::serve {
+
+/// Suffixes of the directory convention.
+inline constexpr char kSnapshotSuffix[] = ".snap";
+inline constexpr char kRejectedSuffix[] = ".rejected";
+
+/// Capped exponential backoff with deterministic jitter for transient load
+/// failures: attempt k sleeps uniform([delay/2, delay]) where delay =
+/// min(initial * multiplier^(k-1), max).
+struct RetryPolicy {
+  int max_attempts = 5;       ///< Total attempts per load (1 = no retry).
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 2000;
+  double backoff_multiplier = 2.0;
+  std::uint64_t jitter_seed = 0x5eed;  ///< Seeds the jitter Rng.
+};
+
+/// Renames `path` to `path + ".rejected"` so directory scans stop seeing
+/// it. Fails with NotFound if `path` does not exist and IoError if the
+/// rename fails; refuses (InvalidArgument) paths already quarantined.
+util::Status QuarantineArtifact(const std::string& path);
+
+/// Scans `dir` for the next snapshot to serve: the lexicographically
+/// greatest file ending in `.snap` whose name is strictly greater than
+/// `current_name` (pass "" when nothing is loaded yet). Returns the bare
+/// file name; NotFound when no eligible candidate exists; IoError when the
+/// directory cannot be listed.
+util::Result<std::string> PickCandidate(const std::string& dir,
+                                        const std::string& current_name);
+
+/// The result of one (possibly retried) verify-gated snapshot load.
+struct LoadOutcome {
+  /// The servable session, or null on failure.
+  std::shared_ptr<const core::CompiledSession> session;
+  /// OK, or the final (post-retry) failure.
+  util::Status status;
+  /// When the static verifier rejected the artifact: the rendered
+  /// `VerifyReport` finding table (empty otherwise). The daemon logs this
+  /// verbatim — a quarantined file must be diagnosable from the log alone.
+  std::string verify_report;
+  /// Attempts actually made (1 = first try succeeded or failed permanent).
+  int attempts = 0;
+  /// Whether the artifact was renamed to `.rejected`.
+  bool quarantined = false;
+};
+
+/// Loads `path` through the full trust pipeline — read, ParseSnapshot
+/// (format/version/checksum), VerifySnapshot (static content audit),
+/// FromSnapshot (serving-session rebuild, which re-verifies) — retrying
+/// *transient* failures (`util::IsRetryable`) per `policy` and, when
+/// `quarantine_on_permanent` is set, renaming permanently-bad artifacts to
+/// `.rejected` exactly once. `sleep_ms` overrides how backoff waits are
+/// slept (tests inject a recorder; the default really sleeps).
+LoadOutcome LoadSnapshotWithRetry(
+    const std::string& path, const RetryPolicy& policy,
+    bool quarantine_on_permanent,
+    const std::function<void(int)>& sleep_ms = {});
+
+/// Watches a snapshot directory from its own thread and hands every
+/// successfully verified new version to `swap`. All loading, verification,
+/// retrying, and quarantining happens on the watcher thread — never on the
+/// serving path.
+class SnapshotWatcher {
+ public:
+  struct Options {
+    std::string dir;
+    int poll_interval_ms = 200;
+    RetryPolicy retry;
+    bool quarantine = true;
+  };
+
+  /// `swap` receives the verified session and the snapshot's file name.
+  /// `log` receives one line per noteworthy event (swap, retry exhaustion,
+  /// quarantine + verify report); it must be callable from the watcher
+  /// thread.
+  using SwapFn = std::function<void(
+      std::shared_ptr<const core::CompiledSession>, const std::string&)>;
+  using LogFn = std::function<void(const std::string&)>;
+
+  SnapshotWatcher(Options options, SwapFn swap, LogFn log);
+  ~SnapshotWatcher();
+
+  SnapshotWatcher(const SnapshotWatcher&) = delete;
+  SnapshotWatcher& operator=(const SnapshotWatcher&) = delete;
+
+  /// Starts the polling thread (idempotent).
+  void Start();
+
+  /// Stops and joins the polling thread (idempotent; the destructor calls
+  /// it). A load in progress finishes first — Swap is never interrupted.
+  void Stop();
+
+  /// Runs one scan-load-swap step synchronously on the caller's thread.
+  /// Returns OK when there was nothing new to do or a swap succeeded; the
+  /// load failure otherwise. Exposed for tests and for the daemon's
+  /// synchronous initial load.
+  util::Status PollOnce();
+
+  /// Monotonic counters (readable from any thread).
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t transient_giveups = 0;  ///< Retries exhausted this poll.
+    std::uint64_t quarantines = 0;
+  };
+  Stats stats() const;
+
+  /// The file name of the currently served snapshot ("" before the first
+  /// swap).
+  std::string current_name() const;
+
+ private:
+  void Loop();
+
+  Options options_;
+  SwapFn swap_;
+  LogFn log_;
+
+  mutable std::mutex mu_;          // guards current_name_ and skip_
+  std::string current_name_;
+  /// Names that failed permanently but could not be renamed away (e.g. a
+  /// read-only directory): remembered so the watcher does not hot-loop.
+  std::set<std::string> skip_;
+
+  std::atomic<std::uint64_t> polls_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> transient_giveups_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cobra::serve
+
+#endif  // COBRA_SERVE_SNAPSHOT_WATCHER_H_

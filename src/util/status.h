@@ -22,6 +22,9 @@ enum class StatusCode {
   kInfeasible,        ///< The optimization problem has no feasible solution.
   kInternal,          ///< An invariant was violated; indicates a bug.
   kIoError,           ///< Reading or writing an external resource failed.
+  kUnavailable,       ///< Transient failure; retrying later may succeed.
+  kDataLoss,          ///< Permanent corruption; the artifact is damaged.
+  kDeadlineExceeded,  ///< The operation ran past its deadline.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -75,6 +78,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   /// @}
 
@@ -158,6 +170,20 @@ class Result {
   std::optional<T> value_;
   Status status_;
 };
+
+/// True iff a failure with `code` is worth retrying as-is: the operation
+/// failed for a reason that can resolve on its own (a snapshot not yet
+/// published, a torn write still in progress, a full queue). Everything
+/// else — corruption, rejection by the verifier, malformed input — is
+/// permanent: retrying reproduces the same failure, so callers should
+/// quarantine or report instead. The retry loops in `serve/` branch on
+/// this exact predicate.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+inline bool IsRetryable(const Status& status) {
+  return IsRetryable(status.code());
+}
 
 namespace internal {
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr,

@@ -251,6 +251,9 @@ TEST_F(IoTest, LoadPackageNamesThePathAndTheProblem) {
   ASSERT_FALSE(missing.ok());
   EXPECT_NE(missing.status().message().find("/no/such/dir/pkg.txt"),
             std::string::npos);
+  // Transient: the package may simply not be published yet.
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_TRUE(util::IsRetryable(missing.status()));
 
   // Empty file.
   const std::string empty_path = ::testing::TempDir() + "/cobra_empty_pkg.txt";
@@ -259,6 +262,8 @@ TEST_F(IoTest, LoadPackageNamesThePathAndTheProblem) {
   ASSERT_FALSE(empty.ok());
   EXPECT_NE(empty.status().message().find(empty_path), std::string::npos);
   EXPECT_NE(empty.status().message().find("empty"), std::string::npos);
+  // An empty file looks like a writer that has not flushed yet: transient.
+  EXPECT_EQ(empty.status().code(), util::StatusCode::kUnavailable);
 
   // Whitespace-only counts as empty, too.
   ASSERT_TRUE(util::WriteFile(empty_path, "\n  \n").ok());
@@ -271,6 +276,9 @@ TEST_F(IoTest, LoadPackageNamesThePathAndTheProblem) {
   ASSERT_FALSE(bad.ok());
   EXPECT_NE(bad.status().message().find(bad_path), std::string::npos);
   EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+  // A malformed body is permanent: re-reading reproduces the failure.
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_FALSE(util::IsRetryable(bad.status()));
 }
 
 TEST_F(IoTest, CommentsAndBlankLinesIgnored) {

@@ -1,0 +1,327 @@
+// Tests for the snapshot watcher (serve/snapshot_watcher.h): candidate
+// selection must follow the directory convention, transient load failures
+// must retry with capped backoff and never quarantine, permanent failures
+// must quarantine exactly once with the verifier's findings surfaced, and
+// PollOnce must swap only on fully verified snapshots.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/compiled_session.h"
+#include "core/io.h"
+#include "core/session.h"
+#include "data/example_db.h"
+#include "serve/snapshot_watcher.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace cobra::serve {
+namespace {
+
+using core::CompiledSession;
+using core::Session;
+
+std::shared_ptr<const CompiledSession> ExampleSnapshot(Session* session) {
+  session->LoadPolynomialsText(data::kExamplePolynomialsText).CheckOK();
+  session->SetTreeText(data::kFigure2TreeText).CheckOK();
+  session->SetBound(6);
+  session->Compress().ValueOrDie();
+  return session->Snapshot().ValueOrDie();
+}
+
+/// A fresh empty directory under the test tmpdir (leftovers from earlier
+/// runs are removed — the directory convention makes stale files look like
+/// candidates).
+std::string MakeDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(QuarantineTest, RenamesToRejected) {
+  const std::string dir = MakeDir("quarantine_rename");
+  const std::string path = dir + "/v01.snap";
+  ASSERT_TRUE(util::WriteFile(path, "junk").ok());
+  ASSERT_TRUE(QuarantineArtifact(path).ok());
+  EXPECT_FALSE(util::ReadFile(path).ok());
+  EXPECT_TRUE(util::ReadFile(path + ".rejected").ok());
+}
+
+TEST(QuarantineTest, MissingFileIsNotFound) {
+  util::Status status =
+      QuarantineArtifact(::testing::TempDir() + "/no_such_artifact.snap");
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(QuarantineTest, RefusesAlreadyQuarantined) {
+  const std::string dir = MakeDir("quarantine_twice");
+  const std::string path = dir + "/v02.snap";
+  ASSERT_TRUE(util::WriteFile(path, "junk").ok());
+  ASSERT_TRUE(QuarantineArtifact(path).ok());
+  // Quarantining the quarantined name must refuse, not produce
+  // `.rejected.rejected` chains.
+  util::Status again = QuarantineArtifact(path + ".rejected");
+  EXPECT_EQ(again.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(PickCandidateTest, EmptyDirectoryIsNotFound) {
+  const std::string dir = MakeDir("pick_empty");
+  util::Result<std::string> picked = PickCandidate(dir, "");
+  ASSERT_FALSE(picked.ok());
+  EXPECT_EQ(picked.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(PickCandidateTest, MissingDirectoryIsIoError) {
+  util::Result<std::string> picked =
+      PickCandidate(::testing::TempDir() + "/no_such_dir", "");
+  ASSERT_FALSE(picked.ok());
+  EXPECT_EQ(picked.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(PickCandidateTest, PicksGreatestEligibleSnap) {
+  const std::string dir = MakeDir("pick_greatest");
+  ASSERT_TRUE(util::WriteFile(dir + "/v001.snap", "a").ok());
+  ASSERT_TRUE(util::WriteFile(dir + "/v003.snap", "c").ok());
+  ASSERT_TRUE(util::WriteFile(dir + "/v002.snap", "b").ok());
+  // Non-.snap names are invisible: in-progress temps, quarantined rejects,
+  // unrelated files.
+  ASSERT_TRUE(util::WriteFile(dir + "/v009.snap.tmp", "t").ok());
+  ASSERT_TRUE(util::WriteFile(dir + "/v008.snap.rejected", "r").ok());
+  ASSERT_TRUE(util::WriteFile(dir + "/notes.txt", "n").ok());
+
+  util::Result<std::string> picked = PickCandidate(dir, "");
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ(*picked, "v003.snap");
+
+  // Strictly greater than current: the served version itself is not a
+  // candidate, and older versions never roll back.
+  EXPECT_FALSE(PickCandidate(dir, "v003.snap").ok());
+  util::Result<std::string> newer = PickCandidate(dir, "v002.snap");
+  ASSERT_TRUE(newer.ok());
+  EXPECT_EQ(*newer, "v003.snap");
+}
+
+TEST(LoadRetryTest, GoodSnapshotLoadsFirstTry) {
+  const std::string dir = MakeDir("load_good");
+  Session session;
+  std::shared_ptr<const CompiledSession> origin = ExampleSnapshot(&session);
+  const std::string path = dir + "/v001.snap";
+  ASSERT_TRUE(core::SaveSnapshot(*origin, path).ok());
+
+  std::vector<int> sleeps;
+  LoadOutcome outcome = LoadSnapshotWithRetry(
+      path, RetryPolicy{}, /*quarantine_on_permanent=*/true,
+      [&sleeps](int ms) { sleeps.push_back(ms); });
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_NE(outcome.session, nullptr);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_FALSE(outcome.quarantined);
+  EXPECT_EQ(outcome.session->labels(), origin->labels());
+}
+
+TEST(LoadRetryTest, MissingFileRetriesWithCappedBackoffThenGivesUp) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_initial_ms = 10;
+  policy.backoff_max_ms = 25;
+  std::vector<int> sleeps;
+  LoadOutcome outcome = LoadSnapshotWithRetry(
+      ::testing::TempDir() + "/never_exists.snap", policy,
+      /*quarantine_on_permanent=*/true,
+      [&sleeps](int ms) { sleeps.push_back(ms); });
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), util::StatusCode::kUnavailable);
+  EXPECT_TRUE(util::IsRetryable(outcome.status));
+  EXPECT_EQ(outcome.attempts, 4);
+  // One backoff between each pair of attempts, jittered within
+  // [delay/2, delay] and capped at backoff_max_ms.
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_GE(sleeps[0], 5);
+  EXPECT_LE(sleeps[0], 10);
+  EXPECT_GE(sleeps[1], 10);
+  EXPECT_LE(sleeps[1], 20);
+  EXPECT_GE(sleeps[2], 12);  // min(40, cap 25) jittered to [12, 25]
+  EXPECT_LE(sleeps[2], 25);
+  EXPECT_FALSE(outcome.quarantined);
+}
+
+TEST(LoadRetryTest, CorruptFileQuarantinesWithoutRetry) {
+  const std::string dir = MakeDir("load_corrupt");
+  const std::string path = dir + "/v001.snap";
+  ASSERT_TRUE(
+      util::WriteFile(path, "XXXXXXXX not a snapshot at all").ok());
+  std::vector<int> sleeps;
+  LoadOutcome outcome = LoadSnapshotWithRetry(
+      path, RetryPolicy{}, /*quarantine_on_permanent=*/true,
+      [&sleeps](int ms) { sleeps.push_back(ms); });
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), util::StatusCode::kDataLoss);
+  EXPECT_EQ(outcome.attempts, 1);  // permanent: no retry loop
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_TRUE(outcome.quarantined);
+  EXPECT_FALSE(util::ReadFile(path).ok());
+  EXPECT_TRUE(util::ReadFile(path + ".rejected").ok());
+}
+
+TEST(LoadRetryTest, VerifierRejectionCarriesReportAndQuarantines) {
+  const std::string dir = MakeDir("load_unverifiable");
+  Session session;
+  std::shared_ptr<const CompiledSession> origin = ExampleSnapshot(&session);
+  // A snapshot that parses (magic, version, checksum all fine) but violates
+  // a verifier invariant: duplicate pool names break the name<->id
+  // bijection.
+  core::SnapshotPackage snapshot = core::MakeSnapshot(*origin);
+  ASSERT_GE(snapshot.pool_names.size(), 2u);
+  snapshot.pool_names[1] = snapshot.pool_names[0];
+  const std::string path = dir + "/v001.snap";
+  ASSERT_TRUE(util::WriteFile(path, core::SerializeSnapshot(snapshot)).ok());
+
+  LoadOutcome outcome = LoadSnapshotWithRetry(
+      path, RetryPolicy{}, /*quarantine_on_permanent=*/true,
+      [](int) {});
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), util::StatusCode::kDataLoss);
+  // The rendered VerifyReport travels with the outcome so the daemon can
+  // log exactly why the artifact was condemned.
+  EXPECT_NE(outcome.verify_report.find("error"), std::string::npos);
+  EXPECT_TRUE(outcome.quarantined);
+}
+
+TEST(LoadRetryTest, NoQuarantineWhenDisabled) {
+  const std::string dir = MakeDir("load_no_quarantine");
+  const std::string path = dir + "/v001.snap";
+  ASSERT_TRUE(util::WriteFile(path, "XXXXXXXX garbage").ok());
+  LoadOutcome outcome = LoadSnapshotWithRetry(
+      path, RetryPolicy{}, /*quarantine_on_permanent=*/false, [](int) {});
+  ASSERT_FALSE(outcome.status.ok());
+  EXPECT_FALSE(outcome.quarantined);
+  EXPECT_TRUE(util::ReadFile(path).ok());  // left in place
+}
+
+TEST(WatcherTest, PollOnceSwapsOnNewVerifiedSnapshots) {
+  const std::string dir = MakeDir("watcher_swaps");
+  Session session;
+  std::shared_ptr<const CompiledSession> origin = ExampleSnapshot(&session);
+  ASSERT_TRUE(core::SaveSnapshot(*origin, dir + "/v001.snap").ok());
+
+  std::vector<std::string> swapped;
+  std::vector<std::string> logged;
+  SnapshotWatcher::Options options;
+  options.dir = dir;
+  options.retry.max_attempts = 1;
+  SnapshotWatcher watcher(
+      options,
+      [&swapped](std::shared_ptr<const CompiledSession> loaded,
+                 const std::string& name) {
+        ASSERT_NE(loaded, nullptr);
+        swapped.push_back(name);
+      },
+      [&logged](const std::string& line) { logged.push_back(line); });
+
+  ASSERT_TRUE(watcher.PollOnce().ok());
+  ASSERT_EQ(swapped.size(), 1u);
+  EXPECT_EQ(swapped[0], "v001.snap");
+  EXPECT_EQ(watcher.current_name(), "v001.snap");
+
+  // Steady state: nothing new, no spurious swaps.
+  ASSERT_TRUE(watcher.PollOnce().ok());
+  EXPECT_EQ(swapped.size(), 1u);
+
+  // A newer version appears -> one more swap.
+  ASSERT_TRUE(core::SaveSnapshot(*origin, dir + "/v002.snap").ok());
+  ASSERT_TRUE(watcher.PollOnce().ok());
+  ASSERT_EQ(swapped.size(), 2u);
+  EXPECT_EQ(swapped[1], "v002.snap");
+  EXPECT_EQ(watcher.stats().swaps, 2u);
+}
+
+TEST(WatcherTest, PollOnceQuarantinesCorruptAndKeepsServing) {
+  const std::string dir = MakeDir("watcher_quarantines");
+  Session session;
+  std::shared_ptr<const CompiledSession> origin = ExampleSnapshot(&session);
+  ASSERT_TRUE(core::SaveSnapshot(*origin, dir + "/v001.snap").ok());
+
+  std::vector<std::string> swapped;
+  std::string log_text;
+  SnapshotWatcher::Options options;
+  options.dir = dir;
+  options.retry.max_attempts = 1;
+  SnapshotWatcher watcher(
+      options,
+      [&swapped](std::shared_ptr<const CompiledSession>,
+                 const std::string& name) { swapped.push_back(name); },
+      [&log_text](const std::string& line) { log_text += line + "\n"; });
+  ASSERT_TRUE(watcher.PollOnce().ok());
+  ASSERT_EQ(swapped.size(), 1u);
+
+  // A corrupt v002 appears: a full-size artifact whose interior bytes are
+  // flipped (checksum mismatch — a short junk file would classify as a
+  // torn write and be retried instead). PollOnce reports the failure,
+  // quarantines the file, and the served name stays v001.
+  std::string bad = core::SerializeSnapshot(core::MakeSnapshot(*origin));
+  for (std::size_t i = bad.size() / 2; i < bad.size() / 2 + 8; ++i) {
+    bad[i] = static_cast<char>(~bad[i]);
+  }
+  ASSERT_TRUE(util::WriteFile(dir + "/v002.snap", bad).ok());
+  util::Status poll = watcher.PollOnce();
+  ASSERT_FALSE(poll.ok());
+  EXPECT_EQ(poll.code(), util::StatusCode::kDataLoss);
+  EXPECT_EQ(swapped.size(), 1u);
+  EXPECT_EQ(watcher.current_name(), "v001.snap");
+  EXPECT_EQ(watcher.stats().quarantines, 1u);
+  EXPECT_NE(log_text.find("rejected v002.snap"), std::string::npos);
+
+  // Exactly once: the quarantined file is gone from scans, so the next
+  // poll is a clean steady state, not a retry loop.
+  ASSERT_TRUE(watcher.PollOnce().ok());
+  EXPECT_EQ(watcher.stats().quarantines, 1u);
+
+  // A good v003 still swaps normally afterwards.
+  ASSERT_TRUE(core::SaveSnapshot(*origin, dir + "/v003.snap").ok());
+  ASSERT_TRUE(watcher.PollOnce().ok());
+  ASSERT_EQ(swapped.size(), 2u);
+  EXPECT_EQ(swapped[1], "v003.snap");
+}
+
+TEST(WatcherTest, BackgroundThreadPicksUpSnapshots) {
+  const std::string dir = MakeDir("watcher_thread");
+  Session session;
+  std::shared_ptr<const CompiledSession> origin = ExampleSnapshot(&session);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> swapped;
+  SnapshotWatcher::Options options;
+  options.dir = dir;
+  options.poll_interval_ms = 5;
+  SnapshotWatcher watcher(
+      options,
+      [&](std::shared_ptr<const CompiledSession>, const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu);
+        swapped.push_back(name);
+        cv.notify_all();
+      },
+      nullptr);
+  watcher.Start();
+  ASSERT_TRUE(core::SaveSnapshot(*origin, dir + "/v001.snap").ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return !swapped.empty(); }));
+  }
+  watcher.Stop();
+  EXPECT_EQ(swapped[0], "v001.snap");
+  EXPECT_GE(watcher.stats().polls, 1u);
+}
+
+}  // namespace
+}  // namespace cobra::serve

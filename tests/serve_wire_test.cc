@@ -1,0 +1,256 @@
+// Tests for the serving wire protocol (serve/wire.h): encode/decode round
+// trips must preserve every field (doubles bit-exactly), malformed payloads
+// must fail with InvalidArgument instead of misdecoding, and the frame
+// layer must survive partial reads, clean closes, and hostile length
+// prefixes.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace cobra::serve {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+WireRequest ExampleBatchRequest() {
+  WireRequest request;
+  request.type = MsgType::kAssignBatch;
+  request.request_id = 0x1122334455667788ULL;
+  request.deadline_ms = 2500;
+  request.scenarios.Add("slump").Set("Business", 0.8);
+  request.scenarios.Add("mixed").Set("Business", 1.25).Set("Special", 0.9);
+  // A value whose bit pattern round-trips only if doubles are carried as
+  // bit patterns, not via text.
+  request.scenarios.Add("precise").Set("p1", 0.1 + 0.2);
+  return request;
+}
+
+TEST(WireTest, RequestRoundTrip) {
+  const WireRequest request = ExampleBatchRequest();
+  const std::string payload = EncodeRequest(request);
+  util::Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, MsgType::kAssignBatch);
+  EXPECT_EQ(decoded->request_id, request.request_id);
+  EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
+  ASSERT_EQ(decoded->scenarios.size(), 3u);
+  EXPECT_EQ(decoded->scenarios.scenario(0).name, "slump");
+  ASSERT_EQ(decoded->scenarios.scenario(2).deltas.size(), 1u);
+  EXPECT_EQ(decoded->scenarios.scenario(2).deltas[0].var, "p1");
+  EXPECT_TRUE(SameBits(decoded->scenarios.scenario(2).deltas[0].value,
+                       0.1 + 0.2));
+}
+
+TEST(WireTest, PingRequestRoundTrip) {
+  WireRequest request;
+  request.type = MsgType::kPing;
+  request.request_id = 7;
+  const std::string payload = EncodeRequest(request);
+  util::Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, MsgType::kPing);
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_TRUE(decoded->scenarios.empty());
+}
+
+TEST(WireTest, OkResponseRoundTrip) {
+  WireResponse response;
+  response.type = MsgType::kAssignBatch;
+  response.request_id = 42;
+  response.snapshot_version = 9;
+  response.labels = {"P1", "P2"};
+  response.scenario_names = {"a", "b", "c"};
+  response.full_values = {1.0, 0.1 + 0.2, 3.0, 4.0, 5.0, 6.0};
+  response.compressed_values = {6.5, 5.5, 4.5, 3.5, 2.5, 1.5};
+  const std::string payload = EncodeResponse(response);
+  util::Result<WireResponse> decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->code, WireCode::kOk);
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->snapshot_version, 9u);
+  EXPECT_EQ(decoded->labels, response.labels);
+  EXPECT_EQ(decoded->scenario_names, response.scenario_names);
+  ASSERT_EQ(decoded->full_values.size(), 6u);
+  EXPECT_TRUE(SameBits(decoded->full_value(0, 1), 0.1 + 0.2));
+  EXPECT_TRUE(SameBits(decoded->compressed_value(2, 0), 2.5));
+}
+
+TEST(WireTest, ErrorResponseRoundTrip) {
+  WireResponse response;
+  response.type = MsgType::kAssignBatch;
+  response.request_id = 13;
+  response.code = WireCode::kUnavailable;
+  response.message = "request queue full";
+  response.retry_after_ms = 75;
+  const std::string payload = EncodeResponse(response);
+  util::Result<WireResponse> decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, WireCode::kUnavailable);
+  EXPECT_EQ(decoded->message, "request queue full");
+  EXPECT_EQ(decoded->retry_after_ms, 75u);
+  EXPECT_TRUE(decoded->labels.empty());
+}
+
+TEST(WireTest, StatsResponseRoundTrip) {
+  WireResponse response;
+  response.type = MsgType::kStats;
+  response.request_id = 3;
+  response.snapshot_version = 2;
+  response.stats_text = "accepted=5 completed=5";
+  const std::string payload = EncodeResponse(response);
+  util::Result<WireResponse> decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stats_text, "accepted=5 completed=5");
+}
+
+TEST(WireTest, EveryTruncatedRequestPrefixFails) {
+  const std::string payload = EncodeRequest(ExampleBatchRequest());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    util::Result<WireRequest> decoded =
+        DecodeRequest(std::string_view(payload).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireTest, EveryTruncatedResponsePrefixFails) {
+  WireResponse response;
+  response.type = MsgType::kAssignBatch;
+  response.request_id = 1;
+  response.snapshot_version = 1;
+  response.labels = {"P1"};
+  response.scenario_names = {"s"};
+  response.full_values = {1.0};
+  response.compressed_values = {2.0};
+  const std::string payload = EncodeResponse(response);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    util::Result<WireResponse> decoded =
+        DecodeResponse(std::string_view(payload).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireTest, WrongVersionRejected) {
+  std::string payload = EncodeRequest(ExampleBatchRequest());
+  payload[0] = static_cast<char>(kWireVersion + 1);  // little-endian u16
+  util::Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, ToWireCodeMapsServingCodes) {
+  EXPECT_EQ(ToWireCode(util::StatusCode::kOk), WireCode::kOk);
+  EXPECT_EQ(ToWireCode(util::StatusCode::kInvalidArgument),
+            WireCode::kInvalidArgument);
+  EXPECT_EQ(ToWireCode(util::StatusCode::kFailedPrecondition),
+            WireCode::kFailedPrecondition);
+  EXPECT_EQ(ToWireCode(util::StatusCode::kUnavailable),
+            WireCode::kUnavailable);
+  EXPECT_EQ(ToWireCode(util::StatusCode::kDeadlineExceeded),
+            WireCode::kDeadlineExceeded);
+  // NotFound on the serving path means a name the client sent does not
+  // resolve — a client error, not a server fault.
+  EXPECT_EQ(ToWireCode(util::StatusCode::kNotFound),
+            WireCode::kInvalidArgument);
+  // Unclassified codes degrade to kInternal rather than leaking numbers
+  // outside the wire enum.
+  EXPECT_EQ(ToWireCode(util::StatusCode::kDataLoss), WireCode::kInternal);
+}
+
+TEST(WireTest, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string sent = EncodeRequest(ExampleBatchRequest());
+  ASSERT_TRUE(WriteFrame(fds[0], sent).ok());
+  std::string received;
+  bool closed = false;
+  ASSERT_TRUE(ReadFrame(fds[1], &received, &closed).ok());
+  EXPECT_FALSE(closed);
+  EXPECT_EQ(received, sent);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, CleanCloseAtFrameBoundarySetsClosed) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+  std::string payload;
+  bool closed = false;
+  util::Status read = ReadFrame(fds[1], &payload, &closed);
+  EXPECT_TRUE(read.ok()) << read.ToString();
+  EXPECT_TRUE(closed);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, EofMidFrameFails) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A length prefix promising 100 bytes, then close with none sent.
+  const unsigned char prefix[4] = {100, 0, 0, 0};
+  ASSERT_EQ(::write(fds[0], prefix, 4), 4);
+  ::close(fds[0]);
+  std::string payload;
+  bool closed = false;
+  util::Status read = ReadFrame(fds[1], &payload, &closed);
+  EXPECT_FALSE(read.ok());
+  ::close(fds[1]);
+}
+
+TEST(WireTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  unsigned char prefix[4];
+  std::memcpy(prefix, &huge, 4);
+  ASSERT_EQ(::write(fds[0], prefix, 4), 4);
+  std::string payload;
+  bool closed = false;
+  util::Status read = ReadFrame(fds[1], &payload, &closed);
+  EXPECT_FALSE(read.ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, WriteFrameRejectsOversizedPayload) {
+  // No fd interaction: the size check precedes any write.
+  std::string huge(kMaxFrameBytes + 1, 'x');
+  util::Status written = WriteFrame(-1, huge);
+  EXPECT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, PipelinedFramesArriveInOrder) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<std::string> sent;
+  for (int i = 0; i < 5; ++i) {
+    WireRequest request;
+    request.type = MsgType::kPing;
+    request.request_id = static_cast<std::uint64_t>(i);
+    sent.push_back(EncodeRequest(request));
+    ASSERT_TRUE(WriteFrame(fds[0], sent.back()).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::string payload;
+    bool closed = false;
+    ASSERT_TRUE(ReadFrame(fds[1], &payload, &closed).ok());
+    EXPECT_EQ(payload, sent[static_cast<std::size_t>(i)]);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace cobra::serve

@@ -147,6 +147,10 @@ TEST(SnapshotTest, LoadReportsMissingEmptyTruncatedAndCorrupted) {
   ASSERT_FALSE(missing.ok());
   EXPECT_NE(missing.status().message().find("no_such_snapshot.bin"),
             std::string::npos);
+  // Classification contract: a missing file is transient (the publisher may
+  // not have renamed the artifact into place yet) — retryable.
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_TRUE(util::IsRetryable(missing.status()));
 
   // Empty file.
   const std::string empty_path = dir + "/empty_snapshot.bin";
@@ -156,6 +160,8 @@ TEST(SnapshotTest, LoadReportsMissingEmptyTruncatedAndCorrupted) {
   ASSERT_FALSE(empty.ok());
   EXPECT_NE(empty.status().message().find(empty_path), std::string::npos);
   EXPECT_NE(empty.status().message().find("empty"), std::string::npos);
+  // An empty file is what an in-progress write looks like: transient.
+  EXPECT_EQ(empty.status().code(), util::StatusCode::kUnavailable);
 
   // Not a snapshot at all.
   const std::string garbage_path = dir + "/garbage_snapshot.bin";
@@ -166,6 +172,9 @@ TEST(SnapshotTest, LoadReportsMissingEmptyTruncatedAndCorrupted) {
       LoadSnapshot(garbage_path);
   ASSERT_FALSE(garbage.ok());
   EXPECT_NE(garbage.status().message().find("magic"), std::string::npos);
+  // Wrong magic is permanent corruption, never worth a retry.
+  EXPECT_EQ(garbage.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_FALSE(util::IsRetryable(garbage.status()));
 
   Session session;
   std::shared_ptr<const CompiledSession> origin = ExampleSnapshot(&session);
@@ -182,6 +191,10 @@ TEST(SnapshotTest, LoadReportsMissingEmptyTruncatedAndCorrupted) {
     ASSERT_FALSE(truncated.ok()) << "prefix of " << cut << " bytes";
     EXPECT_NE(truncated.status().message().find(trunc_path),
               std::string::npos);
+    // Every proper prefix reads as a torn write still in progress:
+    // transient, so a watcher retries instead of quarantining.
+    EXPECT_EQ(truncated.status().code(), util::StatusCode::kUnavailable)
+        << "prefix of " << cut << " bytes";
   }
 
   // A flipped payload byte fails the checksum.
@@ -193,6 +206,9 @@ TEST(SnapshotTest, LoadReportsMissingEmptyTruncatedAndCorrupted) {
       LoadSnapshot(corrupt_path);
   ASSERT_FALSE(corrupt.ok());
   EXPECT_NE(corrupt.status().message().find("checksum"), std::string::npos);
+  // A checksum mismatch at full length is permanent corruption.
+  EXPECT_EQ(corrupt.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_FALSE(util::IsRetryable(corrupt.status()));
 
   // A future format version is rejected up front (byte 8 is the version's
   // little-endian low byte).
@@ -201,6 +217,7 @@ TEST(SnapshotTest, LoadReportsMissingEmptyTruncatedAndCorrupted) {
   util::Result<SnapshotPackage> versioned = ParseSnapshot(future, "<test>");
   ASSERT_FALSE(versioned.ok());
   EXPECT_NE(versioned.status().message().find("version"), std::string::npos);
+  EXPECT_EQ(versioned.status().code(), util::StatusCode::kDataLoss);
 }
 
 TEST(SnapshotTest, FromSnapshotRejectsInconsistentPackages) {

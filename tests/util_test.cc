@@ -42,6 +42,28 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+// The transient-vs-permanent contract the serve-layer retry loops depend
+// on: exactly kUnavailable is retryable; corruption, verifier rejection,
+// and plain I/O errors are not.
+TEST(StatusTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("torn write")));
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::DataLoss("checksum mismatch")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("too slow")));
+  EXPECT_FALSE(IsRetryable(Status::IoError("disk on fire")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad request")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("bug")));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,157 @@
+// cobra_client — command-line client for cobra_serverd (serve/wire.h).
+//
+// Usage:
+//   cobra_client --port N [--host H] [--deadline-ms N] ping
+//   cobra_client --port N [--host H] [--deadline-ms N] stats
+//   cobra_client --port N [--host H] [--deadline-ms N] batch
+//       <name:var=value[,var=value...]>...
+//
+// `batch` sends one AssignBatch request whose scenarios are the positional
+// specs — e.g. `slump:Business=0.8 boom:Business=1.25,Special=0.9` — and
+// prints the served snapshot version plus the full/compressed value matrix.
+// Exit codes: 0 on an OK response, 1 on any error response (the wire code
+// and message are printed), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace {
+
+using cobra::core::ScenarioSet;
+using cobra::serve::Client;
+using cobra::serve::MsgType;
+using cobra::serve::WireCode;
+using cobra::serve::WireCodeName;
+using cobra::serve::WireRequest;
+using cobra::serve::WireResponse;
+using cobra::util::Result;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--host H] [--deadline-ms N] "
+               "ping|stats|batch <name:var=value[,var=value...]>...\n",
+               argv0);
+  return 2;
+}
+
+/// Parses "name:var=value,var=value" into one scenario of `scenarios`.
+bool ParseScenarioSpec(const std::string& spec, ScenarioSet* scenarios) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  ScenarioSet::Handle scenario = scenarios->Add(spec.substr(0, colon));
+  std::size_t pos = colon + 1;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string delta = spec.substr(pos, comma - pos);
+    const std::size_t eq = delta.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    char* end = nullptr;
+    const double value = std::strtod(delta.c_str() + eq + 1, &end);
+    if (end == delta.c_str() + eq + 1) return false;
+    scenario.Set(delta.substr(0, eq), value);
+    pos = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int deadline_ms = 0;
+  std::string command;
+  std::vector<std::string> specs;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--port" && a + 1 < argc) {
+      port = std::atoi(argv[++a]);
+    } else if (arg == "--host" && a + 1 < argc) {
+      host = argv[++a];
+    } else if (arg == "--deadline-ms" && a + 1 < argc) {
+      deadline_ms = std::atoi(argv[++a]);
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      specs.push_back(arg);
+    }
+  }
+  if (port <= 0 || command.empty()) return Usage(argv[0]);
+
+  WireRequest request;
+  request.request_id = 1;
+  request.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+  if (command == "ping") {
+    request.type = MsgType::kPing;
+  } else if (command == "stats") {
+    request.type = MsgType::kStats;
+  } else if (command == "batch") {
+    request.type = MsgType::kAssignBatch;
+    if (specs.empty()) return Usage(argv[0]);
+    for (const std::string& spec : specs) {
+      if (!ParseScenarioSpec(spec, &request.scenarios)) {
+        std::fprintf(stderr, "bad scenario spec: %s\n", spec.c_str());
+        return 2;
+      }
+    }
+  } else {
+    return Usage(argv[0]);
+  }
+
+  Result<Client> client = Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  Result<WireResponse> response = client->Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "call failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (response->code != WireCode::kOk) {
+    std::fprintf(stderr, "%s: %s", WireCodeName(response->code),
+                 response->message.c_str());
+    if (response->retry_after_ms > 0) {
+      std::fprintf(stderr, " (retry after %ums)", response->retry_after_ms);
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  switch (request.type) {
+    case MsgType::kPing:
+      std::printf("ok version=%llu snapshot=%s\n",
+                  static_cast<unsigned long long>(response->snapshot_version),
+                  response->message.empty() ? "-"
+                                            : response->message.c_str());
+      break;
+    case MsgType::kStats:
+      std::printf("%s\n", response->stats_text.c_str());
+      break;
+    case MsgType::kAssignBatch: {
+      std::printf("ok version=%llu scenarios=%zu groups=%zu\n",
+                  static_cast<unsigned long long>(response->snapshot_version),
+                  response->num_scenarios(), response->num_groups());
+      for (std::size_t s = 0; s < response->num_scenarios(); ++s) {
+        std::printf("%s:\n", response->scenario_names[s].c_str());
+        for (std::size_t g = 0; g < response->num_groups(); ++g) {
+          std::printf("  %-24s full=%.17g compressed=%.17g\n",
+                      response->labels[g].c_str(), response->full_value(s, g),
+                      response->compressed_value(s, g));
+        }
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// cobra_serverd — the fault-tolerant COBRA what-if serving daemon.
+//
+// Usage:
+//   cobra_serverd --dir <snapshot-dir> [--port N] [--workers N]
+//                 [--queue N] [--poll-ms N] [--default-deadline-ms N]
+//                 [--max-deadline-ms N] [--no-quarantine]
+//
+// The daemon watches <snapshot-dir> for versioned binary snapshots
+// (`<version>.snap`, lexicographically ordered; see README "Running
+// cobra_serverd") and answers wire-protocol what-if requests (serve/wire.h)
+// against the newest snapshot that survived the full trust pipeline:
+// parse (format/version/checksum) -> static verifier -> serving-session
+// rebuild. A snapshot that fails verification is quarantined (renamed
+// `<name>.rejected`) with its VerifyReport logged, and the daemon keeps
+// serving the previous version; a torn or still-copying file is retried
+// with capped exponential backoff. Swaps are atomic: requests admitted
+// before a swap finish on the session they started with.
+//
+// Admission is bounded: a full queue sheds (kUnavailable + retry-after)
+// instead of buffering, and every request runs under a deadline. SIGTERM
+// and SIGINT drain gracefully — accepted requests complete, then the
+// process exits 0.
+//
+// On startup the daemon prints exactly one machine-readable line to stdout:
+//   READY port=<port> snapshot=<name-or-"-">
+// (scripts wait for it), then logs to stderr.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "serve/server.h"
+#include "serve/snapshot_watcher.h"
+#include "util/status.h"
+
+namespace {
+
+using cobra::serve::CobraServer;
+using cobra::serve::ServerOptions;
+using cobra::serve::SnapshotWatcher;
+
+// Self-pipe written by the signal handler; main blocks on it.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  const char byte = 's';
+  [[maybe_unused]] ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --dir <snapshot-dir> [--port N] [--workers N] [--queue N]\n"
+      "          [--poll-ms N] [--default-deadline-ms N] "
+      "[--max-deadline-ms N]\n"
+      "          [--no-quarantine]\n"
+      "Serves what-if requests against the newest verified snapshot in the\n"
+      "directory; hot-swaps on new versions, quarantines corrupt ones, and\n"
+      "drains on SIGTERM/SIGINT (exit 0).\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  ServerOptions server_options;
+  SnapshotWatcher::Options watcher_options;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next_int = [&](int* out) {
+      if (a + 1 >= argc) return false;
+      *out = std::atoi(argv[++a]);
+      return true;
+    };
+    if (arg == "--dir") {
+      if (a + 1 >= argc) return Usage(argv[0]);
+      dir = argv[++a];
+    } else if (arg == "--port") {
+      if (!next_int(&server_options.port)) return Usage(argv[0]);
+    } else if (arg == "--workers") {
+      if (!next_int(&server_options.num_workers)) return Usage(argv[0]);
+    } else if (arg == "--queue") {
+      if (!next_int(&server_options.queue_capacity)) return Usage(argv[0]);
+    } else if (arg == "--poll-ms") {
+      if (!next_int(&watcher_options.poll_interval_ms)) return Usage(argv[0]);
+    } else if (arg == "--default-deadline-ms") {
+      if (!next_int(&server_options.default_deadline_ms)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--max-deadline-ms") {
+      if (!next_int(&server_options.max_deadline_ms)) return Usage(argv[0]);
+    } else if (arg == "--no-quarantine") {
+      watcher_options.quarantine = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (dir.empty()) return Usage(argv[0]);
+  watcher_options.dir = dir;
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe() failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action{};
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  CobraServer server(server_options);
+  auto log = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+    std::fflush(stderr);
+  };
+  server.set_log(log);
+
+  SnapshotWatcher watcher(
+      watcher_options,
+      [&server](std::shared_ptr<const cobra::core::CompiledSession> session,
+                const std::string& name) {
+        server.Swap(std::move(session), name);
+      },
+      log);
+
+  cobra::util::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // Synchronous initial load: serve something from the first request on
+  // when the directory already holds a good snapshot. Failures are logged
+  // and non-fatal — the watcher keeps trying, and requests answer
+  // kFailedPrecondition until a snapshot verifies.
+  watcher.PollOnce();
+  watcher.Start();
+
+  const std::string name = server.snapshot_name();
+  std::printf("READY port=%d snapshot=%s\n", server.port(),
+              name.empty() ? "-" : name.c_str());
+  std::fflush(stdout);
+
+  // Block until a signal arrives.
+  for (;;) {
+    pollfd fd = {g_signal_pipe[0], POLLIN, 0};
+    const int ready = ::poll(&fd, 1, -1);
+    if (ready > 0 || (ready < 0 && errno != EINTR)) break;
+  }
+
+  log("serverd: signal received, draining");
+  watcher.Stop();
+  server.Stop();
+  return 0;
+}

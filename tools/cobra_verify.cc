@@ -1,15 +1,21 @@
 // cobra_verify — offline fleet audit of COBRA serving snapshots.
 //
 // Usage:
-//   cobra_verify <snapshot-file-or-directory>...
+//   cobra_verify [--quarantine] <snapshot-file-or-directory>...
 //
 // Each file argument is audited as one binary snapshot artifact; a
 // directory argument audits every regular file directly inside it (one
-// fleet snapshot directory, no recursion). Per artifact the tool runs the
-// full load pipeline short of serving: read -> ParseSnapshot (format,
-// version, checksum) -> VerifySnapshot (static content verification) ->
+// fleet snapshot directory, no recursion; files already quarantined as
+// `*.rejected` are skipped). Per artifact the tool runs the full load
+// pipeline short of serving: read -> ParseSnapshot (format, version,
+// checksum) -> VerifySnapshot (static content verification) ->
 // CompiledSession::FromSnapshot (the mandatory serving-side gate), and
 // prints the VerifyReport findings for anything inconsistent.
+//
+// With --quarantine every *permanently* bad artifact (corrupt or rejected
+// by the verifier — not merely unreadable) is renamed to `<name>.rejected`,
+// the same convention `cobra_serverd`'s snapshot watcher applies, so the
+// serving fleet stops considering it.
 //
 // Exit codes (the fleet-automation contract, see README "Verifying
 // artifacts before serving"):
@@ -19,6 +25,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -27,6 +34,7 @@
 
 #include "core/compiled_session.h"
 #include "core/io.h"
+#include "serve/snapshot_watcher.h"
 #include "util/csv.h"
 #include "verify/verify.h"
 
@@ -36,28 +44,45 @@ namespace fs = std::filesystem;
 using cobra::core::CompiledSession;
 using cobra::core::ParseSnapshot;
 using cobra::core::SnapshotPackage;
+using cobra::serve::QuarantineArtifact;
 using cobra::util::Result;
+using cobra::util::Status;
 using cobra::verify::VerifyReport;
 using cobra::verify::VerifySnapshot;
 
-/// Audits one snapshot file. Returns true when the artifact is servable.
-bool AuditFile(const std::string& path) {
+bool IsRejectedName(const std::string& path) {
+  const std::size_t n = std::strlen(cobra::serve::kRejectedSuffix);
+  return path.size() >= n &&
+         path.compare(path.size() - n, n, cobra::serve::kRejectedSuffix) == 0;
+}
+
+enum class Verdict {
+  kClean,       ///< Servable.
+  kUnreadable,  ///< Could not read the file (do NOT quarantine: transient).
+  kRejected,    ///< Permanently bad: corrupt or verifier-rejected.
+};
+
+/// Audits one snapshot file.
+Verdict AuditFile(const std::string& path) {
   std::printf("== %s\n", path.c_str());
   Result<std::string> data = cobra::util::ReadFile(path);
   if (!data.ok()) {
     std::printf("UNREADABLE: %s\n\n", data.status().ToString().c_str());
-    return false;
+    return Verdict::kUnreadable;
   }
   Result<SnapshotPackage> snapshot = ParseSnapshot(*data, path);
   if (!snapshot.ok()) {
     std::printf("CORRUPT: %s\n\n", snapshot.status().ToString().c_str());
-    return false;
+    // A torn in-progress write classifies Unavailable (core/io.h): leave it
+    // alone, the publisher may still complete it. Only DataLoss condemns.
+    return cobra::util::IsRetryable(snapshot.status()) ? Verdict::kUnreadable
+                                                       : Verdict::kRejected;
   }
   const VerifyReport report = VerifySnapshot(*snapshot);
   std::printf("%s", report.ToString().c_str());
   if (!report.ok()) {
     std::printf("REJECTED\n\n");
-    return false;
+    return Verdict::kRejected;
   }
   // The same gate a replica runs: FromSnapshot re-verifies and builds the
   // serving session, so a pass here means the fleet can load this file.
@@ -65,63 +90,106 @@ bool AuditFile(const std::string& path) {
       CompiledSession::FromSnapshot(*snapshot);
   if (!session.ok()) {
     std::printf("REJECTED: %s\n\n", session.status().ToString().c_str());
-    return false;
+    return Verdict::kRejected;
   }
   std::printf("OK: %zu groups, %zu pool variables, %zu -> %zu monomials\n\n",
               (*session)->labels().size(), (*session)->pool_size(),
               (*session)->full_size(), (*session)->compressed_size());
-  return true;
+  return Verdict::kClean;
+}
+
+int Usage(const char* argv0, bool requested) {
+  std::fprintf(
+      requested ? stdout : stderr,
+      "usage: %s [--quarantine] <snapshot-file-or-directory>...\n"
+      "\n"
+      "Audits COBRA binary snapshots through the full serving trust\n"
+      "pipeline (parse -> checksum -> static verifier -> session rebuild).\n"
+      "Directory arguments audit every regular file directly inside\n"
+      "(*.rejected files are skipped).\n"
+      "\n"
+      "  --quarantine  rename permanently-bad artifacts to <name>.rejected\n"
+      "                (the cobra_serverd watcher convention); transient\n"
+      "                failures (unreadable/torn files) are never renamed\n"
+      "  --help        print this help and exit 0\n"
+      "\n"
+      "exit codes:\n"
+      "  0  every artifact is clean (warnings alone do not fail)\n"
+      "  1  at least one artifact was rejected or unreadable\n"
+      "  2  usage error, or a path that cannot be read/listed at all\n",
+      argv0);
+  return requested ? 0 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <snapshot-file-or-directory>...\n"
-                 "Audits COBRA binary snapshots (exit 0 clean, 1 findings, "
-                 "2 usage/unreadable).\n",
-                 argv[0]);
-    return 2;
+  bool quarantine = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quarantine") == 0) {
+      quarantine = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return Usage(argv[0], /*requested=*/true);
+    } else {
+      args.push_back(argv[i]);
+    }
   }
+  if (args.empty()) return Usage(argv[0], /*requested=*/false);
 
   std::vector<std::string> files;
-  for (int i = 1; i < argc; ++i) {
-    const fs::path path(argv[i]);
+  for (const std::string& arg : args) {
+    const fs::path path(arg);
     std::error_code ec;
     if (fs::is_directory(path, ec)) {
       bool any = false;
       for (const fs::directory_entry& entry :
            fs::directory_iterator(path, ec)) {
-        if (entry.is_regular_file()) {
+        if (entry.is_regular_file() &&
+            !IsRejectedName(entry.path().string())) {
           files.push_back(entry.path().string());
           any = true;
         }
       }
       if (ec) {
-        std::fprintf(stderr, "cannot list directory %s: %s\n", argv[i],
+        std::fprintf(stderr, "cannot list directory %s: %s\n", arg.c_str(),
                      ec.message().c_str());
         return 2;
       }
       if (!any) {
         std::fprintf(stderr, "directory %s holds no regular files\n",
-                     argv[i]);
+                     arg.c_str());
         return 2;
       }
     } else if (fs::is_regular_file(path, ec)) {
       files.push_back(path.string());
     } else {
-      std::fprintf(stderr, "no such file or directory: %s\n", argv[i]);
+      std::fprintf(stderr, "no such file or directory: %s\n", arg.c_str());
       return 2;
     }
   }
   std::sort(files.begin(), files.end());
 
   std::size_t failed = 0;
+  std::size_t quarantined = 0;
   for (const std::string& file : files) {
-    if (!AuditFile(file)) ++failed;
+    const Verdict verdict = AuditFile(file);
+    if (verdict == Verdict::kClean) continue;
+    ++failed;
+    if (verdict == Verdict::kRejected && quarantine) {
+      const Status renamed = QuarantineArtifact(file);
+      if (renamed.ok()) {
+        std::printf("quarantined: %s -> %s%s\n", file.c_str(), file.c_str(),
+                    cobra::serve::kRejectedSuffix);
+        ++quarantined;
+      } else {
+        std::fprintf(stderr, "quarantine failed for %s: %s\n", file.c_str(),
+                     renamed.ToString().c_str());
+      }
+    }
   }
-  std::printf("%zu artifact(s) audited, %zu rejected\n", files.size(),
-              failed);
+  std::printf("%zu artifact(s) audited, %zu rejected", files.size(), failed);
+  if (quarantine) std::printf(", %zu quarantined", quarantined);
+  std::printf("\n");
   return failed == 0 ? 0 : 1;
 }
