@@ -57,7 +57,7 @@ core::ScenarioSet MakeScenarios(const core::Session& session, std::size_t n) {
   }
   core::ScenarioSet set;
   for (std::size_t i = 0; i < n; ++i) {
-    auto s = set.Add("whatif-" + std::to_string(i));
+    auto s = set.Add("whatif-" + std::to_string(i)).ValueOrDie();
     s.Set(meta[i % meta.size()].name,
           1.0 + 0.01 * static_cast<double>(i % 40 + 1));
     if (meta.size() > 1) {

@@ -63,7 +63,7 @@ core::ScenarioSet MakeScenarios(const core::Session& session, std::size_t n,
   }
   core::ScenarioSet set;
   for (std::size_t i = 0; i < n; ++i) {
-    auto s = set.Add("replay-" + std::to_string(i));
+    auto s = set.Add("replay-" + std::to_string(i)).ValueOrDie();
     for (std::size_t d = 0; d < deltas; ++d) {
       s.Set(meta[(i * 7 + d * 13) % meta.size()].name,
             1.0 + 0.01 * static_cast<double>((i + d) % 40 + 1));

@@ -40,8 +40,16 @@
 //
 //   batch_whatif 1000 snap.bin --strict   # exit 1 if snap.bin is bad
 //
+// With --sweep-grid the tool streams a Cartesian grid of axis values
+// through AssignStream() instead of materializing scenarios: each axis is
+// `var=lo:hi:steps`, the product space is generated window by window, and
+// only the top-8 scenarios by compressed-side movement are kept — the
+// million-scenario sweep pattern at example scale:
+//
+//   batch_whatif --sweep-grid Business=0.5:1.5:50,Special=0.8:1.2:40
+//
 // Usage: batch_whatif [num_scenarios] [snapshot_file] [--repeat N]
-//                     [--bases N] [--strict]
+//                     [--bases N] [--sweep-grid SPEC] [--strict]
 
 #include <algorithm>
 #include <cstdio>
@@ -88,6 +96,38 @@ std::shared_ptr<const core::CompiledSession> CompressAndSnapshot(
   return snapshot;
 }
 
+/// Parses a --sweep-grid spec "var=lo:hi:steps[,var=lo:hi:steps...]" into
+/// Cartesian axes. Returns false (with a message) on malformed input.
+bool ParseSweepGrid(const std::string& spec,
+                    std::vector<core::ValueAxis>* axes) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string axis = spec.substr(pos, comma - pos);
+    const std::size_t eq = axis.find('=');
+    const std::size_t c1 = axis.find(':', eq == std::string::npos ? 0 : eq);
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : axis.find(':', c1 + 1);
+    if (eq == std::string::npos || eq == 0 || c2 == std::string::npos) {
+      std::fprintf(stderr, "bad --sweep-grid axis '%s' "
+                   "(want var=lo:hi:steps)\n", axis.c_str());
+      return false;
+    }
+    const double lo = std::strtod(axis.c_str() + eq + 1, nullptr);
+    const double hi = std::strtod(axis.c_str() + c1 + 1, nullptr);
+    const std::size_t steps = std::strtoul(axis.c_str() + c2 + 1, nullptr, 10);
+    if (steps == 0) {
+      std::fprintf(stderr, "bad --sweep-grid axis '%s': steps must be > 0\n",
+                   axis.c_str());
+      return false;
+    }
+    axes->push_back(core::LinSpace(axis.substr(0, eq), lo, hi, steps));
+    pos = comma + 1;
+  }
+  return !axes->empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,6 +135,7 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   std::size_t repeat = 1;
   std::size_t num_bases = 0;
+  std::string sweep_grid;
   bool strict = false;
   std::vector<const char*> positional;
   for (int a = 1; a < argc; ++a) {
@@ -104,13 +145,19 @@ int main(int argc, char** argv) {
     }
     const bool is_repeat = std::strcmp(argv[a], "--repeat") == 0;
     const bool is_bases = std::strcmp(argv[a], "--bases") == 0;
-    if (is_repeat || is_bases) {
+    const bool is_sweep = std::strcmp(argv[a], "--sweep-grid") == 0;
+    if (is_repeat || is_bases || is_sweep) {
       if (a + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: %s [num_scenarios] [snapshot_file] [--repeat N] "
-                     "[--bases N] [--strict]\n",
+                     "[--bases N] [--sweep-grid var=lo:hi:steps[,...]] "
+                     "[--strict]\n",
                      argv[0]);
         return 2;
+      }
+      if (is_sweep) {
+        sweep_grid = argv[++a];
+        continue;
       }
       const std::size_t value = std::strtoul(argv[++a], nullptr, 10);
       if (is_repeat) repeat = std::max<std::size_t>(1, value);
@@ -177,10 +224,11 @@ int main(int argc, char** argv) {
   // Add() returns an index-stable handle, so earlier handles survive later
   // Add() calls.
   core::ScenarioSet scenarios;
-  auto boom = scenarios.Add("business boom");
-  scenarios.Add("business slump").Set("Business", 0.8);
-  scenarios.Add("special plans cheaper").Set("Special", 0.9);
+  auto boom = scenarios.Add("business boom").ValueOrDie();
+  scenarios.Add("business slump").ValueOrDie().Set("Business", 0.8);
+  scenarios.Add("special plans cheaper").ValueOrDie().Set("Special", 0.9);
   scenarios.Add("boom + standard churn")
+      .ValueOrDie()
       .Set("Business", 1.25)
       .Set("p1", 0.7);
   boom.Set("Business", 1.25);  // still valid after the Adds above
@@ -188,6 +236,7 @@ int main(int argc, char** argv) {
   const std::vector<core::MetaVar>& meta = snapshot->meta_vars();
   for (std::size_t i = 0; i < extra && !meta.empty(); ++i) {
     scenarios.Add("analyst-" + std::to_string(i))
+        .ValueOrDie()
         .Set(meta[i % meta.size()].name,
              1.0 + 0.01 * static_cast<double>(i % 50));
   }
@@ -237,6 +286,37 @@ int main(int argc, char** argv) {
     std::printf("\ngrid: %zu scenarios x %zu bases in %.3fms\n%s",
                 grid.num_scenarios(), grid.num_bases,
                 timer.ElapsedSeconds() * 1e3, grid.ToString().c_str());
+  }
+
+  // Sweep mode: stream the Cartesian product of the axes through
+  // AssignStream instead of materializing it — the generator is the
+  // scenario set, one window at a time, and the top-k query lets the
+  // kernel skip the full-side program for everything that cannot rank.
+  if (!sweep_grid.empty()) {
+    std::vector<core::ValueAxis> axes;
+    if (!ParseSweepGrid(sweep_grid, &axes)) return 2;
+    util::Result<std::shared_ptr<const core::CartesianSource>> source =
+        core::CartesianSource::Create(std::move(axes), "sweep");
+    if (!source.ok()) {
+      std::fprintf(stderr, "--sweep-grid: %s\n",
+                   source.status().ToString().c_str());
+      return 2;
+    }
+    core::StreamOptions stream;
+    stream.query.kind = core::StreamQuery::Kind::kTopK;
+    stream.query.k = 8;
+    util::Timer timer;
+    util::Result<core::SweepSummary> summary =
+        snapshot->AssignStream(**source, stream);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "sweep failed: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nsweep: %llu scenarios in %.3fms\n%s",
+                static_cast<unsigned long long>((*source)->size()),
+                timer.ElapsedSeconds() * 1e3,
+                summary->ToString().c_str());
   }
   return 0;
 }

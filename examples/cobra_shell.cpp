@@ -27,6 +27,12 @@
 //                                    by default) through the snapshot's
 //                                    batched sweep; repeating the command
 //                                    replays the cached BatchPlan
+//   sweep [n] [k]                    stream n seeded Monte-Carlo scenarios
+//                                    (4096 by default) over the cut's
+//                                    meta-variables through AssignStream,
+//                                    keeping the top k (8) by
+//                                    compressed-side movement — nothing is
+//                                    materialized
 //   grid [n] [bases] [file]          run n synthetic scenarios under
 //                                    `bases` per-user base valuations in one
 //                                    AssignGrid sweep — the shared PlanCore
@@ -94,6 +100,7 @@ class Shell {
     if (command == "package") return Package(in);
     if (command == "snapshot") return Snapshot(in);
     if (command == "batch") return Batch(in);
+    if (command == "sweep") return Sweep(in);
     if (command == "grid") return Grid(in);
     if (command == "plan") return Plan();
     if (command == "verify") return Verify();
@@ -311,7 +318,7 @@ class Shell {
     // plan cache (see `plan`).
     core::ScenarioSet scenarios;
     for (std::size_t i = 0; i < n; ++i) {
-      auto s = scenarios.Add("whatif-" + std::to_string(i));
+      auto s = scenarios.Add("whatif-" + std::to_string(i)).ValueOrDie();
       s.Set(meta[i % meta.size()].name,
             1.0 + 0.01 * static_cast<double>(i % 40 + 1));
     }
@@ -322,6 +329,47 @@ class Shell {
         (*snapshot)->AssignBatch(scenarios);
     if (!batch.ok()) return Report(batch.status());
     std::printf("%s", batch->ToString(2, 3).c_str());
+    return true;
+  }
+
+  bool Sweep(std::istringstream& in) {
+    std::size_t n = 4096;
+    std::size_t k = 8;
+    in >> n >> k;
+    if (n == 0) n = 4096;
+    if (k == 0) k = 8;
+    if (!session_.IsCompressed()) {
+      std::printf("error: compress before running a sweep\n");
+      return true;
+    }
+    const std::vector<core::MetaVar>& meta = session_.meta_vars();
+    if (meta.empty()) {
+      std::printf("error: the cut has no meta-variables to perturb\n");
+      return true;
+    }
+    // A seeded Monte-Carlo source over every meta-variable: scenario i is a
+    // pure function of (seed, i), so nothing is materialized — the space is
+    // generated window by window inside AssignStream and only the k best
+    // scenarios (by compressed-side movement) are kept.
+    std::vector<core::RangeAxis> axes;
+    axes.reserve(meta.size());
+    for (const core::MetaVar& m : meta) {
+      axes.push_back({m.name, 0.9, 1.1});
+    }
+    util::Result<std::shared_ptr<const core::SampledSource>> source =
+        core::SampledSource::Create(std::move(axes), n, /*seed=*/42,
+                                    "sweep");
+    if (!source.ok()) return Report(source.status());
+    util::Result<std::shared_ptr<const core::CompiledSession>> snapshot =
+        session_.Snapshot();
+    if (!snapshot.ok()) return Report(snapshot.status());
+    core::StreamOptions options;
+    options.query.kind = core::StreamQuery::Kind::kTopK;
+    options.query.k = k;
+    util::Result<core::SweepSummary> summary =
+        (*snapshot)->AssignStream(**source, options);
+    if (!summary.ok()) return Report(summary.status());
+    std::printf("%s", summary->ToString(k).c_str());
     return true;
   }
 
@@ -346,7 +394,7 @@ class Shell {
     }
     core::ScenarioSet scenarios;
     for (std::size_t i = 0; i < n; ++i) {
-      auto s = scenarios.Add("whatif-" + std::to_string(i));
+      auto s = scenarios.Add("whatif-" + std::to_string(i)).ValueOrDie();
       s.Set(meta[i % meta.size()].name,
             1.0 + 0.01 * static_cast<double>(i % 40 + 1));
     }

@@ -74,6 +74,33 @@ ProgramSchedule MakeSchedule(const prov::EvalProgram& program,
   return schedule;
 }
 
+/// Validates the engine knobs once, at planning time; every rejection names
+/// the offending BatchOptions field and the accepted values. Shared by the
+/// batch path (PlanCore::Create) and the streaming path (StreamPlan::Create).
+util::Status ValidateSweepOptions(const BatchOptions& options) {
+  switch (options.sweep) {
+    case BatchOptions::Sweep::kAuto:
+    case BatchOptions::Sweep::kBlocked:
+    case BatchOptions::Sweep::kSparseDelta:
+    case BatchOptions::Sweep::kDenseCopy:
+      break;
+    default:
+      return util::Status::InvalidArgument(util::StrFormat(
+          "AssignBatch: invalid BatchOptions.sweep = %d (accepted: kAuto, "
+          "kBlocked, kSparseDelta, kDenseCopy)",
+          static_cast<int>(options.sweep)));
+  }
+  if (options.sweep == BatchOptions::Sweep::kBlocked &&
+      options.block_lanes != 4 && options.block_lanes != 8) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "AssignBatch: invalid BatchOptions.block_lanes = %zu (accepted: 4 or "
+        "8; kAuto picks the lane count itself and the scalar engines ignore "
+        "the knob)",
+        options.block_lanes));
+  }
+  return util::Status::OK();
+}
+
 }  // namespace
 
 std::string PlanFingerprint::ToHex() const {
@@ -150,28 +177,8 @@ util::Result<std::shared_ptr<const PlanCore>> PlanCore::Create(
     return util::Status::InvalidArgument("BatchPlan: null session");
   }
 
-  // Options are validated here, once, and never mid-sweep; every rejection
-  // names the offending BatchOptions field and the accepted values.
-  switch (options.sweep) {
-    case BatchOptions::Sweep::kAuto:
-    case BatchOptions::Sweep::kBlocked:
-    case BatchOptions::Sweep::kSparseDelta:
-    case BatchOptions::Sweep::kDenseCopy:
-      break;
-    default:
-      return util::Status::InvalidArgument(util::StrFormat(
-          "AssignBatch: invalid BatchOptions.sweep = %d (accepted: kAuto, "
-          "kBlocked, kSparseDelta, kDenseCopy)",
-          static_cast<int>(options.sweep)));
-  }
-  if (options.sweep == BatchOptions::Sweep::kBlocked &&
-      options.block_lanes != 4 && options.block_lanes != 8) {
-    return util::Status::InvalidArgument(util::StrFormat(
-        "AssignBatch: invalid BatchOptions.block_lanes = %zu (accepted: 4 or "
-        "8; kAuto picks the lane count itself and the scalar engines ignore "
-        "the knob)",
-        options.block_lanes));
-  }
+  // Options are validated here, once, and never mid-sweep.
+  COBRA_RETURN_IF_ERROR(ValidateSweepOptions(options));
 
   if (scenarios.empty()) {
     return util::Status::InvalidArgument("AssignBatch: empty scenario set");
@@ -352,6 +359,86 @@ std::shared_ptr<const PlanBaseOverlay> PlanCore::MakeOverlay(
     }
   }
   return std::shared_ptr<const PlanBaseOverlay>(std::move(overlay));
+}
+
+util::Result<std::shared_ptr<const StreamPlan>> StreamPlan::Create(
+    std::shared_ptr<const CompiledSession> session,
+    const ScenarioSource& source, const BatchOptions& options) {
+  if (session == nullptr) {
+    return util::Status::InvalidArgument("AssignStream: null session");
+  }
+  COBRA_RETURN_IF_ERROR(ValidateSweepOptions(options));
+  if (options.sweep == BatchOptions::Sweep::kDenseCopy) {
+    return util::Status::InvalidArgument(
+        "AssignStream: BatchOptions.sweep = kDenseCopy is not streamable "
+        "(accepted: kAuto, kBlocked, kSparseDelta)");
+  }
+  if (options.stream_block_scenarios == 0) {
+    return util::Status::InvalidArgument(
+        "AssignStream: invalid BatchOptions.stream_block_scenarios = 0 "
+        "(the streaming window must hold at least one scenario)");
+  }
+  if (source.size() == 0) {
+    return util::Status::InvalidArgument("AssignStream: empty scenario source");
+  }
+
+  auto plan = std::shared_ptr<StreamPlan>(new StreamPlan());
+  plan->session_ = session;
+  plan->source_fingerprint_ = source.fingerprint();
+  plan->source_size_ = source.size();
+  plan->window_ = static_cast<std::size_t>(
+      std::min<std::uint64_t>(options.stream_block_scenarios, source.size()));
+
+  // Resolve the engine ONCE for the whole stream, from the same inputs the
+  // batch policy reads — with the source's size (clamped to the window: a
+  // chunk never sees more scenarios than that) standing in for the scenario
+  // count and its max_deltas() bound for the measured override width. Every
+  // chunk core is then compiled with the pinned choice, so chunk boundaries
+  // can never flip the engine mid-stream.
+  EnginePick pick;
+  switch (options.sweep) {
+    case BatchOptions::Sweep::kAuto: {
+      const prov::EvalProgram& sweep_full = session->sweep_full_program();
+      const prov::EvalProgram& compressed = session->compressed_program();
+      const std::size_t weight = sweep_full.NumTerms() +
+                                 sweep_full.factors().size() +
+                                 compressed.NumTerms() +
+                                 compressed.factors().size();
+      pick = ChooseAutoEngine(weight, plan->window_, source.max_deltas());
+      break;
+    }
+    case BatchOptions::Sweep::kBlocked:
+      pick = {BatchOptions::Sweep::kBlocked, options.block_lanes};
+      break;
+    default:
+      pick = {BatchOptions::Sweep::kSparseDelta, 1};
+      break;
+  }
+
+  plan->resolved_ = options;
+  plan->resolved_.sweep = pick.engine;
+  plan->lanes_ = pick.lanes;
+  if (pick.engine == BatchOptions::Sweep::kBlocked) {
+    plan->resolved_.block_lanes = pick.lanes;
+  }
+  if (plan->resolved_.num_threads == 0) {
+    plan->resolved_.num_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::shared_ptr<const StreamPlan>(std::move(plan));
+}
+
+util::Result<std::shared_ptr<const PlanCore>> StreamPlan::LowerChunk(
+    const ScenarioSet& chunk) const {
+  std::shared_ptr<const CompiledSession> session = session_.lock();
+  if (session == nullptr) {
+    return util::Status::FailedPrecondition(
+        "AssignStream: the plan's origin session has been destroyed");
+  }
+  // The pinned options make this exactly the per-chunk slice of batch
+  // planning: scenario lowering, block-override skeletons and tile
+  // schedules for this window only.
+  return PlanCore::Create(std::move(session), chunk, resolved_);
 }
 
 util::Result<std::shared_ptr<const BatchPlan>> BatchPlan::Create(

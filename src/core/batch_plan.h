@@ -262,6 +262,76 @@ class PlanCore {
   ProgramSchedule compressed_schedule_;
 };
 
+/// The plan-time half of a streaming sweep: everything about evaluating a
+/// `ScenarioSource` that does NOT depend on the scenarios themselves —
+/// the resolved engine/lane/thread choice (made once, from the program
+/// shapes, the source's size and its `max_deltas()` bound) and the
+/// streaming window. The per-scenario half (lowering to sorted override
+/// lists, block-override skeletons, tile schedules) is deferred to
+/// `LowerChunk`, which compiles one window-sized `PlanCore` at a time as
+/// the source streams — so plan memory, like sweep memory, is bounded by
+/// `BatchOptions::stream_block_scenarios` and never by `size()`.
+///
+/// Engine/lane decisions are pinned at Create time: every chunk's core is
+/// compiled with the same resolved engine, so a streamed sweep behaves like
+/// one large batch cut into windows (and is bit-identical to it on any
+/// materialized prefix). The `kDenseCopy` legacy engine is not streamable
+/// and is rejected here.
+class StreamPlan {
+ public:
+  /// Resolves the stream-invariant plan half. Validates `options` like
+  /// `PlanCore::Create` (plus `stream_block_scenarios > 0` and the
+  /// no-kDenseCopy rule) and rejects a null session or an empty source.
+  static util::Result<std::shared_ptr<const StreamPlan>> Create(
+      std::shared_ptr<const CompiledSession> session,
+      const ScenarioSource& source, const BatchOptions& options);
+
+  /// Compiles the per-scenario plan half for one generated window — sorted
+  /// override lists, block-override skeletons, tile schedules — under the
+  /// pinned engine. Fails with `FailedPrecondition` when the origin session
+  /// has been destroyed.
+  util::Result<std::shared_ptr<const PlanCore>> LowerChunk(
+      const ScenarioSet& chunk) const;
+
+  /// The session this plan was built against, or null if destroyed.
+  std::shared_ptr<const CompiledSession> session() const {
+    return session_.lock();
+  }
+
+  /// The resolved engine — never `kAuto`, never `kDenseCopy`.
+  BatchOptions::Sweep engine() const { return resolved_.sweep; }
+
+  /// Scenario lanes per block (4/8 blocked, 1 scalar).
+  std::size_t lanes() const { return lanes_; }
+
+  /// Resolved worker thread count.
+  std::size_t num_threads() const { return resolved_.num_threads; }
+
+  /// Scenarios generated/lowered/swept per streamed block:
+  /// min(stream_block_scenarios, source size).
+  std::size_t window() const { return window_; }
+
+  /// The streamed space's spec fingerprint and size, recorded at Create.
+  const SourceFingerprint& source_fingerprint() const {
+    return source_fingerprint_;
+  }
+  std::uint64_t source_size() const { return source_size_; }
+
+  /// The options every chunk core is compiled with: the caller's options
+  /// with `sweep`/`block_lanes`/`num_threads` pinned to the resolved choice.
+  const BatchOptions& resolved_options() const { return resolved_; }
+
+ private:
+  StreamPlan() = default;
+
+  std::weak_ptr<const CompiledSession> session_;
+  BatchOptions resolved_;
+  std::size_t lanes_ = 1;
+  std::size_t window_ = 0;
+  SourceFingerprint source_fingerprint_;
+  std::uint64_t source_size_ = 0;
+};
+
 /// An immutable, reusable execution plan for one (scenario set, base meta
 /// valuation, BatchOptions) triple against one `CompiledSession` — the
 /// plan-once / execute-many half of the batched serving path.

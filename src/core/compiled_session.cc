@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -636,7 +637,8 @@ void CompiledSession::SweepPlanProgram(const PlanCore& core,
                                        const prov::EvalProgram& program,
                                        const ProgramSchedule& schedule,
                                        double* flat,
-                                       std::size_t* used_threads) const {
+                                       std::size_t* used_threads,
+                                       const std::uint8_t* block_mask) const {
   // Every scenario is a small override list; the full side evaluates the
   // meta-indirected program under the shared compressed-side base, so
   // nothing pool-sized is copied per scenario. The blocked engine
@@ -670,6 +672,10 @@ void CompiledSession::SweepPlanProgram(const PlanCore& core,
   const std::size_t tasks = num_blocks * slices;
   auto run_task = [&](std::size_t t) {
     const std::size_t block = t / slices;
+    // Early-exit mask (streaming queries): a pruned block's tiles are
+    // no-ops, its rows stay untouched. Workers still claim the task ids —
+    // the test is one load, far cheaper than compacting the tile list.
+    if (block_mask != nullptr && block_mask[block] == 0) return;
     const std::size_t s = t % slices;
     const std::size_t i0 = block * lanes;
     if (use_blocks) {
@@ -716,6 +722,7 @@ void CompiledSession::SweepPlanProgram(const PlanCore& core,
   }
   if (term_slices > 0) {
     for (std::size_t i = 0; i < n; ++i) {
+      if (block_mask != nullptr && block_mask[i / lanes] == 0) continue;
       double sum = 0.0;
       for (std::size_t k = 0; k < term_slices; ++k) {
         sum += partials[i * term_slices + k];
@@ -880,6 +887,398 @@ util::Result<BatchAssignReport> CompiledSession::AssignBatch(
   report->plan_cache_hit = cache_hit;
   report->plan_core_hit = core_hit;
   return report;
+}
+
+std::string SweepSummary::ToString(std::size_t max_rows) const {
+  std::string out = util::StrFormat(
+      "stream:      %llu/%llu scenario(s) in %llu block(s) of %zu%s\n"
+      "engine:      %s, %zu lane(s), %zu thread(s)\n"
+      "source:      fp=%s\n"
+      "full rows:   computed=%llu skipped=%llu matched=%llu\n"
+      "metric:      sum=%.6g min=%.6g@%llu max=%.6g@%llu\n"
+      "time:        generate=%.1fms plan=%.1fms full=%.1fms "
+      "compressed=%.1fms\n",
+      static_cast<unsigned long long>(scenarios),
+      static_cast<unsigned long long>(source_size),
+      static_cast<unsigned long long>(chunks), window,
+      stopped_early ? " (stopped early)" : "", SweepName(engine), block_lanes,
+      num_threads, source_fingerprint.ToHex().c_str(),
+      static_cast<unsigned long long>(full_rows_computed),
+      static_cast<unsigned long long>(full_rows_skipped),
+      static_cast<unsigned long long>(matched), metric_sum, metric_min,
+      static_cast<unsigned long long>(metric_argmin), metric_max,
+      static_cast<unsigned long long>(metric_argmax), generate_seconds * 1e3,
+      plan_seconds * 1e3, full_sweep_seconds * 1e3,
+      compressed_sweep_seconds * 1e3);
+  for (std::size_t g = 0; g < labels.size(); ++g) {
+    out += util::StrFormat("group:       %-24s [%.6g, %.6g]\n",
+                           labels[g].c_str(), group_min[g], group_max[g]);
+  }
+  const std::size_t rows = std::min(max_rows, entries.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const StreamEntry& e = entries[i];
+    out += util::StrFormat("entry:       #%-10llu %-24s metric=%.6g\n",
+                           static_cast<unsigned long long>(e.index),
+                           e.name.c_str(), e.metric);
+  }
+  if (entries.size() > rows) {
+    out += util::StrFormat("entry:       ... %zu more\n",
+                           entries.size() - rows);
+  }
+  return out;
+}
+
+util::Result<SweepSummary> CompiledSession::AssignStream(
+    const ScenarioSource& source, const prov::Valuation& base_meta_valuation,
+    const StreamOptions& options, const StreamConsumer& consumer) const {
+  const StreamQuery& query = options.query;
+  switch (query.kind) {
+    case StreamQuery::Kind::kAll:
+    case StreamQuery::Kind::kTopK:
+    case StreamQuery::Kind::kThreshold:
+      break;
+    default:
+      return util::Status::InvalidArgument(util::StrFormat(
+          "AssignStream: invalid StreamQuery.kind = %d (accepted: kAll, "
+          "kTopK, kThreshold)",
+          static_cast<int>(query.kind)));
+  }
+  switch (query.metric) {
+    case StreamQuery::Metric::kSumAbsDelta:
+    case StreamQuery::Metric::kMaxAbsDelta:
+      break;
+    case StreamQuery::Metric::kGroupValue:
+      if (query.group >= artifacts_->labels.size()) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "AssignStream: StreamQuery.group = %zu out of range (the "
+            "session has %zu output group(s))",
+            query.group, artifacts_->labels.size()));
+      }
+      break;
+    default:
+      return util::Status::InvalidArgument(util::StrFormat(
+          "AssignStream: invalid StreamQuery.metric = %d (accepted: "
+          "kSumAbsDelta, kMaxAbsDelta, kGroupValue)",
+          static_cast<int>(query.metric)));
+  }
+  if (query.kind == StreamQuery::Kind::kTopK && query.k == 0) {
+    return util::Status::InvalidArgument(
+        "AssignStream: StreamQuery.k = 0 (a top-k query must keep at least "
+        "one scenario)");
+  }
+
+  util::Result<std::shared_ptr<const StreamPlan>> plan_result =
+      StreamPlan::Create(shared_from_this(), source, options.batch);
+  if (!plan_result.ok()) return plan_result.status();
+  const StreamPlan& plan = **plan_result;
+
+  // Trust boundary, mirroring PlanBatch: audit the generator spec (and,
+  // below, the first chunk's freshly compiled plan) before a million-row
+  // sweep replays it. Always in debug builds, opt-in via `verify_plans`.
+#ifdef NDEBUG
+  const bool audit = options.batch.verify_plans;
+#else
+  const bool audit = true;
+#endif
+  if (audit) {
+    const verify::VerifyReport report = verify::VerifySource(source);
+    if (!report.ok()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "AssignStream: scenario source failed verification with %zu "
+          "error finding(s); first: %s",
+          report.num_errors(), report.FirstError()->ToString().c_str()));
+    }
+  }
+
+  SweepSummary summary;
+  summary.source_size = plan.source_size();
+  summary.source_fingerprint = plan.source_fingerprint();
+  summary.engine = plan.engine();
+  summary.block_lanes = plan.lanes();
+  summary.num_threads = plan.num_threads();
+  summary.window = plan.window();
+  summary.labels = artifacts_->labels;
+  const std::size_t groups = summary.labels.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  summary.group_min.assign(groups, kInf);
+  summary.group_max.assign(groups, -kInf);
+  summary.metric_min = kInf;
+  summary.metric_max = -kInf;
+
+  // The base compressed row is the metric's reference point, shared by
+  // every chunk; the pool-sized base feeds the per-chunk overlay rebinds.
+  const prov::Valuation base = PoolSized(base_meta_valuation);
+  const BaseFingerprint base_fp =
+      FingerprintBase(base_meta_valuation, artifacts_->frozen_pool_size);
+  std::vector<double> base_comp;
+  artifacts_->compressed_program.Eval(base, &base_comp);
+
+  const prov::EvalProgram& sweep_full = artifacts_->sweep_full_program;
+  const prov::EvalProgram& compressed = artifacts_->compressed_program;
+  const std::size_t polys_full = sweep_full.NumPolys();
+  const std::size_t polys_comp = compressed.NumPolys();
+
+  auto metric_of = [&](const double* comp_row) -> double {
+    switch (query.metric) {
+      case StreamQuery::Metric::kMaxAbsDelta: {
+        double m = 0.0;
+        for (std::size_t g = 0; g < groups; ++g) {
+          m = std::max(m, std::abs(comp_row[g] - base_comp[g]));
+        }
+        return m;
+      }
+      case StreamQuery::Metric::kGroupValue:
+        return comp_row[query.group];
+      case StreamQuery::Metric::kSumAbsDelta:
+      default: {
+        double m = 0.0;
+        for (std::size_t g = 0; g < groups; ++g) {
+          m += std::abs(comp_row[g] - base_comp[g]);
+        }
+        return m;
+      }
+    }
+  };
+
+  // kTopK working set, unsorted; `worst` tracks the current eviction
+  // candidate so the common reject path is one compare. Ties break toward
+  // the earlier ordinal (a later equal metric never evicts).
+  std::vector<StreamEntry> top;
+  std::size_t worst = 0;
+  auto recompute_worst = [&]() {
+    worst = 0;
+    for (std::size_t j = 1; j < top.size(); ++j) {
+      if (top[j].metric < top[worst].metric ||
+          (top[j].metric == top[worst].metric &&
+           top[j].index > top[worst].index)) {
+        worst = j;
+      }
+    }
+  };
+
+  ScenarioSet chunk;
+  std::vector<std::string> names;
+  std::vector<double> full_flat;
+  std::vector<double> comp_flat;
+  std::vector<double> metrics;
+  std::vector<std::uint8_t> need_full;
+  std::vector<std::uint8_t> mask;
+  util::Timer timer;
+
+  std::uint64_t begin = 0;
+  while (begin < summary.source_size) {
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(summary.window, summary.source_size - begin));
+
+    timer.Reset();
+    chunk.Clear();
+    chunk.Reserve(count);
+    COBRA_RETURN_IF_ERROR(source.Generate(begin, count, &chunk));
+    if (chunk.size() != count) {
+      return util::Status::Internal(util::StrFormat(
+          "AssignStream: source produced %zu scenario(s) for window "
+          "[%llu, %llu) — generators must fill the window exactly",
+          chunk.size(), static_cast<unsigned long long>(begin),
+          static_cast<unsigned long long>(begin + count)));
+    }
+    summary.generate_seconds += timer.ElapsedSeconds();
+
+    timer.Reset();
+    util::Result<std::shared_ptr<const PlanCore>> core_result =
+        plan.LowerChunk(chunk);
+    if (!core_result.ok()) return core_result.status();
+    const PlanCore& core = **core_result;
+    const std::shared_ptr<const PlanBaseOverlay> overlay =
+        core.MakeOverlay(base, &base_fp);
+    summary.plan_seconds += timer.ElapsedSeconds();
+
+    if (audit && summary.chunks == 0) {
+      const std::shared_ptr<const BatchPlan> first_plan =
+          BatchPlan::FromParts(*core_result, overlay);
+      const verify::VerifyReport report =
+          verify::VerifyPlan(*first_plan, *this, &chunk);
+      if (!report.ok()) {
+        return util::Status::Internal(util::StrFormat(
+            "AssignStream: freshly compiled first-chunk plan failed "
+            "verification with %zu error finding(s); first: %s",
+            report.num_errors(), report.FirstError()->ToString().c_str()));
+      }
+    }
+
+    // The compressed side always runs in full: it IS the metric, and
+    // COBRA's premise makes it the cheap side.
+    comp_flat.assign(count * polys_comp, 0.0);
+    std::size_t used_threads = 1;
+    timer.Reset();
+    SweepPlanProgram(core, *overlay, compressed, core.compressed_schedule(),
+                     comp_flat.data(), &used_threads);
+    summary.compressed_sweep_seconds += timer.ElapsedSeconds();
+
+    // Fixed-order metric pass: aggregates and early-exit decisions walk
+    // scenarios in stream order, so every running statistic is
+    // deterministic across thread counts and chunkings.
+    metrics.assign(count, 0.0);
+    need_full.assign(count, 1);
+    std::vector<std::uint8_t> keep(
+        query.kind == StreamQuery::Kind::kThreshold ? count : 0, 0);
+    std::size_t kept_this_chunk = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double* comp_row = comp_flat.data() + i * polys_comp;
+      const double m = metric_of(comp_row);
+      metrics[i] = m;
+      const std::uint64_t ordinal = begin + i;
+      summary.metric_sum += m;
+      if (m < summary.metric_min) {
+        summary.metric_min = m;
+        summary.metric_argmin = ordinal;
+      }
+      if (m > summary.metric_max) {
+        summary.metric_max = m;
+        summary.metric_argmax = ordinal;
+      }
+      for (std::size_t g = 0; g < groups; ++g) {
+        summary.group_min[g] = std::min(summary.group_min[g], comp_row[g]);
+        summary.group_max[g] = std::max(summary.group_max[g], comp_row[g]);
+      }
+      switch (query.kind) {
+        case StreamQuery::Kind::kAll:
+          break;
+        case StreamQuery::Kind::kThreshold: {
+          const bool hit = m >= query.cutoff;
+          if (hit) ++summary.matched;
+          const bool carry =
+              hit && (query.max_entries == 0 ||
+                      summary.entries.size() + kept_this_chunk <
+                          query.max_entries);
+          keep[i] = carry ? 1 : 0;
+          if (carry) ++kept_this_chunk;
+          need_full[i] = carry ? 1 : 0;
+          break;
+        }
+        case StreamQuery::Kind::kTopK: {
+          if (top.size() < query.k) {
+            top.push_back(
+                {ordinal, chunk.scenario(i).name, m, {}, {}});
+            recompute_worst();
+          } else if (m > top[worst].metric) {
+            top[worst] = {ordinal, chunk.scenario(i).name, m, {}, {}};
+            recompute_worst();
+          } else {
+            need_full[i] = 0;
+          }
+          break;
+        }
+      }
+    }
+
+    // Full side, pruned at block granularity: a block runs iff any of its
+    // lanes still matters to the query.
+    full_flat.assign(count * polys_full, 0.0);
+    timer.Reset();
+    if (query.kind == StreamQuery::Kind::kAll) {
+      SweepPlanProgram(core, *overlay, sweep_full, core.full_schedule(),
+                       full_flat.data(), &used_threads);
+      summary.full_rows_computed += count;
+    } else {
+      const std::size_t lanes = core.lanes();
+      const std::size_t num_blocks = core.num_blocks();
+      mask.assign(num_blocks, 0);
+      bool any = false;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (need_full[i] != 0) {
+          mask[i / lanes] = 1;
+          any = true;
+        }
+      }
+      std::uint64_t rows_run = 0;
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (mask[b] != 0) {
+          rows_run += std::min(lanes, count - b * lanes);
+        }
+      }
+      summary.full_rows_computed += rows_run;
+      summary.full_rows_skipped += count - rows_run;
+      if (any) {
+        SweepPlanProgram(core, *overlay, sweep_full, core.full_schedule(),
+                         full_flat.data(), &used_threads, mask.data());
+      }
+      // Report rows the consumer may read: only surviving blocks' rows.
+      for (std::size_t i = 0; i < count; ++i) {
+        need_full[i] = mask[i / lanes];
+      }
+    }
+    summary.full_sweep_seconds += timer.ElapsedSeconds();
+
+    switch (query.kind) {
+      case StreamQuery::Kind::kThreshold:
+        for (std::size_t i = 0; i < count; ++i) {
+          if (keep[i] == 0) continue;
+          StreamEntry entry;
+          entry.index = begin + i;
+          entry.name = chunk.scenario(i).name;
+          entry.metric = metrics[i];
+          entry.full.assign(full_flat.begin() + i * polys_full,
+                            full_flat.begin() + (i + 1) * polys_full);
+          entry.compressed.assign(comp_flat.begin() + i * polys_comp,
+                                  comp_flat.begin() + (i + 1) * polys_comp);
+          summary.entries.push_back(std::move(entry));
+        }
+        break;
+      case StreamQuery::Kind::kTopK:
+        // Backfill rows for survivors born in this chunk. A scenario kept
+        // then evicted within the same chunk wasted its block's full rows —
+        // harmless, and bounded by the window.
+        for (StreamEntry& e : top) {
+          if (!e.full.empty()) continue;
+          if (e.index < begin || e.index >= begin + count) continue;
+          const std::size_t i = static_cast<std::size_t>(e.index - begin);
+          e.full.assign(full_flat.begin() + i * polys_full,
+                        full_flat.begin() + (i + 1) * polys_full);
+          e.compressed.assign(comp_flat.begin() + i * polys_comp,
+                              comp_flat.begin() + (i + 1) * polys_comp);
+        }
+        break;
+      case StreamQuery::Kind::kAll:
+        break;
+    }
+
+    summary.scenarios += count;
+    ++summary.chunks;
+    begin += count;
+
+    if (consumer) {
+      names = chunk.Names();
+      StreamBlockView view;
+      view.begin = begin - count;
+      view.count = count;
+      view.num_groups = groups;
+      view.names = &names;
+      view.metrics = metrics.data();
+      view.full_computed = need_full.data();
+      view.full = full_flat.data();
+      view.compressed = comp_flat.data();
+      if (!consumer(view)) {
+        summary.stopped_early = true;
+        break;
+      }
+    }
+  }
+
+  if (query.kind == StreamQuery::Kind::kTopK) {
+    std::sort(top.begin(), top.end(),
+              [](const StreamEntry& a, const StreamEntry& b) {
+                if (a.metric != b.metric) return a.metric > b.metric;
+                return a.index < b.index;
+              });
+    summary.entries = std::move(top);
+  }
+  return summary;
+}
+
+util::Result<SweepSummary> CompiledSession::AssignStream(
+    const ScenarioSource& source, const StreamOptions& options,
+    const StreamConsumer& consumer) const {
+  return AssignStream(source, default_meta_, options, consumer);
 }
 
 }  // namespace cobra::core

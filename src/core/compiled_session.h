@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -158,6 +159,139 @@ struct GridAssignReport {
   /// Renders the grid summary (dimensions, engine, cache accounting,
   /// timings, error aggregates).
   std::string ToString() const;
+};
+
+/// Early-exit query for a streaming sweep (`CompiledSession::AssignStream`).
+///
+/// Every streamed scenario first gets a cheap per-scenario *metric* from the
+/// compressed-side program — COBRA's whole premise is that the compressed
+/// artifact is a fast proxy for the full provenance — and only scenarios the
+/// query still cares about have their block's expensive full-side sweep run:
+///
+///   - `kAll`: no pruning; every scenario's full row is computed (and
+///     delivered through the consumer). The mode whose streamed rows are
+///     bit-identical to a materialized `AssignBatch` prefix.
+///   - `kTopK`: keep the `k` scenarios with the LARGEST metric. A block's
+///     full side runs only when one of its lanes beats the current k-th
+///     best (ties keep the earlier scenario, so the result is deterministic
+///     and order-independent of nothing — the stream order is fixed).
+///   - `kThreshold`: keep scenarios with metric >= `cutoff`; blocks with no
+///     qualifying lane skip the full side entirely.
+struct StreamQuery {
+  enum class Kind { kAll, kTopK, kThreshold };
+
+  /// The per-scenario ranking metric, from the compressed row vs the base
+  /// compressed row.
+  enum class Metric {
+    kSumAbsDelta,  ///< sum over groups of |value - base value|
+    kMaxAbsDelta,  ///< max over groups of |value - base value|
+    kGroupValue,   ///< the raw compressed value of group `group`
+  };
+
+  Kind kind = Kind::kAll;
+  Metric metric = Metric::kSumAbsDelta;
+  std::size_t k = 16;       ///< kTopK: how many scenarios to keep.
+  double cutoff = 0.0;      ///< kThreshold: keep metric >= cutoff.
+  std::size_t group = 0;    ///< kGroupValue: which output group.
+  /// kThreshold: cap on materialized entries (0 = unbounded). Matches past
+  /// the cap still count in `SweepSummary::matched`, they just don't carry
+  /// result rows — the knob that keeps an unselective cutoff memory-safe.
+  std::size_t max_entries = 0;
+};
+
+/// Everything `AssignStream` takes besides the source: the batch execution
+/// knobs (engine, threads, `stream_block_scenarios` window) plus the query.
+struct StreamOptions {
+  BatchOptions batch;
+  StreamQuery query;
+};
+
+/// One swept streamed block, as seen by a `StreamConsumer`. All pointers
+/// borrow from per-chunk buffers owned by AssignStream and are valid only
+/// during the callback — copy what you keep. Row `i` of the block is
+/// scenario `begin + i` of the source.
+struct StreamBlockView {
+  std::uint64_t begin = 0;      ///< Source ordinal of row 0.
+  std::size_t count = 0;        ///< Scenarios in this block.
+  std::size_t num_groups = 0;   ///< Output groups per row.
+  const std::vector<std::string>* names = nullptr;  ///< `count` names.
+  const double* metrics = nullptr;       ///< `count` per-scenario metrics.
+  /// Per-scenario flag: full row `i` was computed (its block survived the
+  /// early-exit test). Always 1 under `StreamQuery::Kind::kAll`.
+  const std::uint8_t* full_computed = nullptr;
+  const double* full = nullptr;        ///< count × num_groups, row-major.
+  const double* compressed = nullptr;  ///< count × num_groups, row-major.
+};
+
+/// Per-block callback; return false to stop the stream (the summary then
+/// has `stopped_early = true`). An empty function is allowed.
+using StreamConsumer = std::function<bool(const StreamBlockView&)>;
+
+/// One scenario kept by a kTopK/kThreshold query: its source ordinal, name,
+/// metric, and result rows (`full` is empty when the scenario's block was
+/// pruned before its full side ran — possible only for kThreshold matches
+/// past `max_entries`... which carry no entry at all; kept entries always
+/// have both rows).
+struct StreamEntry {
+  std::uint64_t index = 0;
+  std::string name;
+  double metric = 0.0;
+  std::vector<double> full;
+  std::vector<double> compressed;
+};
+
+/// Outcome of one `AssignStream` call: fixed-order running aggregates over
+/// the whole stream, per-group compressed-side extrema, the query's kept
+/// entries, and pruning/timing accounting. Memory is O(groups + entries) —
+/// never O(source size); per-scenario rows flow through the consumer.
+struct SweepSummary {
+  std::uint64_t scenarios = 0;     ///< Scenarios swept (== source_size
+                                   ///  unless the consumer stopped early).
+  std::uint64_t source_size = 0;
+  std::uint64_t chunks = 0;        ///< Streamed blocks (windows) processed.
+  SourceFingerprint source_fingerprint;
+
+  BatchOptions::Sweep engine = BatchOptions::Sweep::kSparseDelta;
+  std::size_t block_lanes = 1;
+  std::size_t num_threads = 1;
+  std::size_t window = 0;          ///< Scenarios per streamed block.
+  bool stopped_early = false;
+
+  /// Early-exit accounting: how many scenarios' full-side rows actually ran
+  /// vs were pruned. Under kAll, skipped == 0.
+  std::uint64_t full_rows_computed = 0;
+  std::uint64_t full_rows_skipped = 0;
+
+  /// kThreshold: scenarios meeting the cutoff (including ones past
+  /// `max_entries` that carry no entry).
+  std::uint64_t matched = 0;
+
+  /// Fixed-order (stream-order) aggregates of the per-scenario metric:
+  /// deterministic regardless of thread count or chunking.
+  double metric_sum = 0.0;
+  double metric_min = 0.0;
+  double metric_max = 0.0;
+  std::uint64_t metric_argmin = 0;  ///< Source ordinal of metric_min.
+  std::uint64_t metric_argmax = 0;  ///< Source ordinal of metric_max.
+
+  /// Per-group extrema of the compressed-side values across the stream,
+  /// aligned with `labels`.
+  std::vector<std::string> labels;
+  std::vector<double> group_min;
+  std::vector<double> group_max;
+
+  /// kTopK: the k best, metric-descending (ties by ascending ordinal);
+  /// kThreshold: matches in stream order (truncated at `max_entries`);
+  /// kAll: empty.
+  std::vector<StreamEntry> entries;
+
+  double generate_seconds = 0.0;   ///< Source Generate() time.
+  double plan_seconds = 0.0;       ///< Per-chunk lowering/planning time.
+  double full_sweep_seconds = 0.0;
+  double compressed_sweep_seconds = 0.0;
+
+  /// Renders the summary plus the first `max_rows` kept entries.
+  std::string ToString(std::size_t max_rows = 10) const;
 };
 
 /// An immutable snapshot of a compressed session — the serving layer.
@@ -340,6 +474,39 @@ class CompiledSession
       const ScenarioSet& scenarios, std::span<const prov::Valuation> bases,
       const BatchOptions& options = {}) const;
 
+  /// Sweeps a generated scenario space as a stream of
+  /// `BatchOptions::stream_block_scenarios`-sized blocks, on top of
+  /// `base_meta_valuation`: each block is generated from the source, lowered
+  /// to a window-sized plan chunk (same lowering, same block-override
+  /// tables, same tile schedules as `AssignBatch` — the engine is resolved
+  /// once up front and pinned), swept through the shared kernels, folded
+  /// into the running `SweepSummary`, and handed to `consumer` before the
+  /// next block is generated. Peak memory is bounded by the window — a
+  /// 10^8-scenario grid sweeps in the same footprint as a 10^4 one.
+  ///
+  /// Equivalence contract: under `StreamQuery::Kind::kAll`, the full and
+  /// compressed rows delivered for scenarios [0, P) are bit-identical to
+  /// materializing those P scenarios and calling `AssignBatch` (for every
+  /// engine; the one caveat is `split_min_terms` term-splitting, whose
+  /// regrouped additions may differ in the last ulp when the chunking
+  /// changes the block count — pin `split_min_terms = 0` for strict
+  /// identity on dominant-poly shapes, exactly as documented there).
+  ///
+  /// kTopK/kThreshold queries prune: a block whose lanes all fail the
+  /// current cutoff skips its full-side sweep entirely (the compressed side
+  /// always runs — it is the metric). Pruning never changes kept results,
+  /// only the work spent on discarded ones.
+  util::Result<SweepSummary> AssignStream(
+      const ScenarioSource& source,
+      const prov::Valuation& base_meta_valuation,
+      const StreamOptions& options = {},
+      const StreamConsumer& consumer = {}) const;
+
+  /// AssignStream() on top of the snapshot's default meta valuation.
+  util::Result<SweepSummary> AssignStream(
+      const ScenarioSource& source, const StreamOptions& options = {},
+      const StreamConsumer& consumer = {}) const;
+
   /// Compiles (or fetches from the plan cache) the execution plan for this
   /// (scenario set, base valuation, options) triple: per-scenario sorted
   /// override lists, per-block override-union tables, the resolved engine
@@ -462,10 +629,15 @@ class CompiledSession
   /// dispatch, kernel calls and fixed-order partial reduction regardless of
   /// the caller, so grid cells are bit-identical to batch results.
   /// `used_threads` is raised (never lowered) to the worker count used.
+  /// `block_mask`, when non-null, has one byte per scenario block; a block
+  /// whose byte is 0 is skipped entirely (its rows in `flat` are left
+  /// untouched) — the streaming early-exit hook. Computed blocks run the
+  /// identical kernel path, so masking never perturbs surviving rows.
   void SweepPlanProgram(const PlanCore& core, const PlanBaseOverlay& overlay,
                         const prov::EvalProgram& program,
                         const ProgramSchedule& schedule, double* flat,
-                        std::size_t* used_threads) const;
+                        std::size_t* used_threads,
+                        const std::uint8_t* block_mask = nullptr) const;
 
   /// Base-invariant identity of one planned batch: the scenario-set
   /// fingerprint plus the options a core is derived from — deliberately

@@ -2,8 +2,13 @@
 #define COBRA_CORE_SCENARIO_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
+
+#include "util/status.h"
 
 namespace cobra::core {
 
@@ -26,7 +31,7 @@ struct Scenario {
   std::vector<Delta> deltas;   ///< Applied in order over the defaults.
 
   /// Appends one override; chainable:
-  ///   set.Add("slump").Set("Business", 0.9).Set("Special", 0.8);
+  ///   set.Add("slump").ValueOrDie().Set("Business", 0.9).Set("Special", 0.8);
   Scenario& Set(std::string var, double value) {
     deltas.push_back({std::move(var), value});
     return *this;
@@ -37,8 +42,9 @@ struct Scenario {
 /// `CompiledSession::AssignBatch`. Each scenario is independent: deltas
 /// never leak from one scenario to the next (unlike repeated
 /// `Session::SetMetaValue` calls, which mutate the one shared meta
-/// valuation). Scenario names must be unique within a set — the batch
-/// engine rejects duplicates.
+/// valuation). Scenario names must be unique within a set — `Add` rejects a
+/// duplicate name with `InvalidArgument` (and the batch planner re-checks at
+/// admission as defense in depth).
 class ScenarioSet {
  public:
   ScenarioSet() = default;
@@ -47,8 +53,8 @@ class ScenarioSet {
   /// chaining. Unlike a `Scenario&` (which the vector's growth on a later
   /// Add() would dangle), a handle stays valid across Add() calls:
   ///
-  ///   auto boom = set.Add("boom");
-  ///   set.Add("slump").Set("Business", 0.8);
+  ///   auto boom = set.Add("boom").ValueOrDie();
+  ///   set.Add("slump").ValueOrDie().Set("Business", 0.8);
   ///   boom.Set("Business", 1.25);   // safe: resolved through the set
   ///
   /// A handle refers to the set *object* it came from: copying or moving
@@ -78,14 +84,24 @@ class ScenarioSet {
   };
 
   /// Appends an empty scenario and returns an index-stable handle for delta
-  /// chaining. The handle remains valid across later Add() calls.
-  Handle Add(std::string name) {
-    scenarios_.push_back(Scenario{std::move(name), {}});
-    return Handle(this, scenarios_.size() - 1);
-  }
+  /// chaining. The handle remains valid across later Add() calls. Fails with
+  /// `InvalidArgument` (and leaves the set unchanged) when the name is
+  /// already taken.
+  util::Result<Handle> Add(std::string name);
 
-  /// Appends a fully-built scenario.
-  void Add(Scenario scenario) { scenarios_.push_back(std::move(scenario)); }
+  /// Appends a fully-built scenario and returns an index-stable handle, like
+  /// the name overload. Fails with `InvalidArgument` (set unchanged) when
+  /// the scenario's name is already taken.
+  util::Result<Handle> Add(Scenario scenario);
+
+  /// Pre-allocates capacity for `n` scenarios (names and storage); purely an
+  /// allocation hint, like `std::vector::reserve`.
+  void Reserve(std::size_t n);
+
+  /// Removes every scenario. Outstanding handles are invalidated. Capacity
+  /// is retained, so a Clear()+Reserve()+Add() loop reuses the buffers —
+  /// the streaming sweep's per-block pattern.
+  void Clear();
 
   std::size_t size() const { return scenarios_.size(); }
   bool empty() const { return scenarios_.empty(); }
@@ -100,7 +116,248 @@ class ScenarioSet {
 
  private:
   std::vector<Scenario> scenarios_;
+  std::unordered_set<std::string> names_;  ///< Uniqueness index over `scenarios_`.
 };
+
+/// 128-bit content fingerprint of a scenario *generator spec* (not of the
+/// scenarios it produces): two sources with equal fingerprints generate
+/// identical scenario streams, so a fingerprint keys plans and caches for a
+/// generated space without materializing it. Deterministic across processes
+/// and platforms (fed from explicit integer/bit-pattern encodings, never
+/// from pointers or iteration order of unordered containers).
+struct SourceFingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const SourceFingerprint& a,
+                         const SourceFingerprint& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const SourceFingerprint& a,
+                         const SourceFingerprint& b) {
+    return !(a == b);
+  }
+
+  /// 32 lowercase hex chars.
+  std::string ToHex() const;
+};
+
+/// A pull-based producer of scenarios: defines a finite, ordered scenario
+/// space of `size()` entries and generates any contiguous window of it on
+/// demand. This is the streaming counterpart of `ScenarioSet` — a
+/// 10^6-scenario grid is a ~100-byte spec here, and
+/// `CompiledSession::AssignStream` evaluates it one
+/// `BatchOptions::stream_block_scenarios`-sized block at a time, so sweep
+/// memory is bounded by the window, never by `size()`.
+///
+/// Contract for implementations:
+///  - `Generate(begin, count, out)` APPENDS scenarios `[begin, begin+count)`
+///    to `out`, in order.
+///  - Generation is deterministic and chunking-invariant:
+///    `Generate(0, n)` produces exactly the concatenation of
+///    `Generate(0, k)` and `Generate(k, n - k)` for any split `k` — the
+///    property the streaming sweep's bit-identity guarantee rests on.
+///  - Scenario names are unique across the whole space (generators suffix
+///    the ordinal index to guarantee this).
+///  - `fingerprint()` is a pure function of the spec: equal fingerprints
+///    imply equal streams.
+class ScenarioSource {
+ public:
+  virtual ~ScenarioSource() = default;
+
+  /// Total number of scenarios in the space. Always finite and > 0 for
+  /// sources built by the factory functions below.
+  virtual std::uint64_t size() const = 0;
+
+  /// Upper bound on the delta count of any generated scenario — the engine
+  /// policy input that replaces `max_override_width` for materialized sets.
+  virtual std::size_t max_deltas() const = 0;
+
+  /// Deterministic 128-bit spec fingerprint (see SourceFingerprint).
+  virtual SourceFingerprint fingerprint() const = 0;
+
+  /// Appends scenarios `[begin, begin + count)` to `out`. Fails with
+  /// `InvalidArgument` when the window exceeds `size()`.
+  virtual util::Status Generate(std::uint64_t begin, std::uint64_t count,
+                                ScenarioSet* out) const = 0;
+
+  /// Materializes the whole space into one flat set — the bridge back to
+  /// `AssignBatch`. Memory is proportional to `size()`; prefer
+  /// `AssignStream` for large spaces.
+  util::Result<ScenarioSet> Materialize() const;
+};
+
+/// Wraps an already-materialized `ScenarioSet` as a source, so the streaming
+/// path and the batch path share one entry point. `AssignStream` over an
+/// ExplicitSource is bit-identical to `AssignBatch` over the wrapped set.
+class ExplicitSource : public ScenarioSource {
+ public:
+  /// Fails with `InvalidArgument` on an empty set.
+  static util::Result<std::shared_ptr<const ExplicitSource>> Create(
+      ScenarioSet scenarios);
+
+  std::uint64_t size() const override;
+  std::size_t max_deltas() const override;
+  SourceFingerprint fingerprint() const override;
+  util::Status Generate(std::uint64_t begin, std::uint64_t count,
+                        ScenarioSet* out) const override;
+
+  const ScenarioSet& scenarios() const { return scenarios_; }
+
+ private:
+  explicit ExplicitSource(ScenarioSet scenarios);
+
+  ScenarioSet scenarios_;
+  std::size_t max_deltas_ = 0;
+  SourceFingerprint fingerprint_;
+};
+
+/// One axis of a cartesian grid: a variable swept over an explicit value
+/// list.
+struct ValueAxis {
+  std::string var;
+  std::vector<double> values;
+};
+
+/// `steps` evenly spaced values over `[lo, hi]` inclusive (both endpoints
+/// exact; `steps == 1` yields just `lo`) — the `--sweep-grid var=lo:hi:steps`
+/// building block.
+ValueAxis LinSpace(std::string var, double lo, double hi, std::size_t steps);
+
+/// The cartesian product of per-variable value axes: scenario `i` decomposes
+/// mixed-radix over the axis sizes with the LAST axis varying fastest (row
+/// major), and sets one delta per axis. Names are `<prefix>-<i>`.
+class CartesianSource : public ScenarioSource {
+ public:
+  /// Validates the spec: at least one axis, non-empty variable names and
+  /// value lists, all values finite, no repeated variable across axes, and a
+  /// product that fits in 62 bits. Fails with `InvalidArgument` otherwise.
+  static util::Result<std::shared_ptr<const CartesianSource>> Create(
+      std::vector<ValueAxis> axes, std::string name_prefix = "grid");
+
+  std::uint64_t size() const override { return size_; }
+  std::size_t max_deltas() const override { return axes_.size(); }
+  SourceFingerprint fingerprint() const override;
+  util::Status Generate(std::uint64_t begin, std::uint64_t count,
+                        ScenarioSet* out) const override;
+
+  const std::vector<ValueAxis>& axes() const { return axes_; }
+
+ private:
+  CartesianSource(std::vector<ValueAxis> axes, std::string name_prefix,
+                  std::uint64_t size);
+
+  std::vector<ValueAxis> axes_;
+  std::string name_prefix_;
+  std::uint64_t size_ = 0;
+};
+
+/// One axis of a Monte-Carlo draw: a variable sampled uniformly from
+/// `[lo, hi]`.
+struct RangeAxis {
+  std::string var;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Seeded Monte-Carlo what-if: `count` scenarios, each drawing one uniform
+/// value per axis. Scenario `i` is generated from its own decorrelated
+/// stream `Rng(seed).Fork(i)`, so the draw for a given index is a pure
+/// function of (seed, i) — identical across chunkings, thread counts, and
+/// processes. Names are `<prefix>-<i>`.
+class SampledSource : public ScenarioSource {
+ public:
+  /// Validates the spec: `count > 0`, at least one axis, non-empty variable
+  /// names, finite `lo <= hi`, no repeated variable across axes. Fails with
+  /// `InvalidArgument` otherwise.
+  static util::Result<std::shared_ptr<const SampledSource>> Create(
+      std::vector<RangeAxis> axes, std::uint64_t count, std::uint64_t seed,
+      std::string name_prefix = "mc");
+
+  std::uint64_t size() const override { return count_; }
+  std::size_t max_deltas() const override { return axes_.size(); }
+  SourceFingerprint fingerprint() const override;
+  util::Status Generate(std::uint64_t begin, std::uint64_t count,
+                        ScenarioSet* out) const override;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  SampledSource(std::vector<RangeAxis> axes, std::uint64_t count,
+                std::uint64_t seed, std::string name_prefix);
+
+  std::vector<RangeAxis> axes_;
+  std::uint64_t count_ = 0;
+  std::uint64_t seed_ = 0;
+  std::string name_prefix_;
+};
+
+/// Concatenation: the scenario spaces of `parts`, back to back, in order.
+/// Part names must already be globally unique (the built-in generators'
+/// index-suffixed names are — wrap distinct prefixes when concatenating two
+/// generators of the same kind).
+class ConcatSource : public ScenarioSource {
+ public:
+  /// Fails with `InvalidArgument` on an empty part list, a null part, or a
+  /// total size overflowing 62 bits.
+  static util::Result<std::shared_ptr<const ConcatSource>> Create(
+      std::vector<std::shared_ptr<const ScenarioSource>> parts);
+
+  std::uint64_t size() const override { return size_; }
+  std::size_t max_deltas() const override { return max_deltas_; }
+  SourceFingerprint fingerprint() const override;
+  util::Status Generate(std::uint64_t begin, std::uint64_t count,
+                        ScenarioSet* out) const override;
+
+ private:
+  ConcatSource(std::vector<std::shared_ptr<const ScenarioSource>> parts,
+               std::uint64_t size, std::size_t max_deltas);
+
+  std::vector<std::shared_ptr<const ScenarioSource>> parts_;
+  std::uint64_t size_ = 0;
+  std::size_t max_deltas_ = 0;
+};
+
+/// Delta composition: every pairing of an `outer` and an `inner` scenario,
+/// outer-major (`i = outer_index * inner->size() + inner_index`). The
+/// composed scenario applies the outer deltas then the inner deltas —
+/// last-value-wins, matching the batch engine's per-scenario dedupe — and is
+/// named `<outer name><sep><inner name>`.
+class ComposeSource : public ScenarioSource {
+ public:
+  /// Fails with `InvalidArgument` on null children or a product overflowing
+  /// 62 bits.
+  static util::Result<std::shared_ptr<const ComposeSource>> Create(
+      std::shared_ptr<const ScenarioSource> outer,
+      std::shared_ptr<const ScenarioSource> inner, std::string name_sep = "+");
+
+  std::uint64_t size() const override { return size_; }
+  std::size_t max_deltas() const override { return max_deltas_; }
+  SourceFingerprint fingerprint() const override;
+  util::Status Generate(std::uint64_t begin, std::uint64_t count,
+                        ScenarioSet* out) const override;
+
+ private:
+  ComposeSource(std::shared_ptr<const ScenarioSource> outer,
+                std::shared_ptr<const ScenarioSource> inner,
+                std::string name_sep, std::uint64_t size,
+                std::size_t max_deltas);
+
+  std::shared_ptr<const ScenarioSource> outer_;
+  std::shared_ptr<const ScenarioSource> inner_;
+  std::string name_sep_;
+  std::uint64_t size_ = 0;
+  std::size_t max_deltas_ = 0;
+};
+
+/// Sugar for the combinators, mirroring the algebra in the paper's
+/// hypothetical-reasoning framing: `Concat` unions scenario spaces,
+/// `Compose` crosses their deltas.
+util::Result<std::shared_ptr<const ScenarioSource>> Concat(
+    std::vector<std::shared_ptr<const ScenarioSource>> parts);
+util::Result<std::shared_ptr<const ScenarioSource>> Compose(
+    std::shared_ptr<const ScenarioSource> outer,
+    std::shared_ptr<const ScenarioSource> inner, std::string name_sep = "+");
 
 /// Execution knobs for the batched scenario sweep.
 struct BatchOptions {
@@ -131,7 +388,8 @@ struct BatchOptions {
     kSparseDelta,
     /// Legacy engine: one full-pool `Valuation` copy per scenario per side,
     /// then dense scans. Kept for A/B benchmarking (bench_a6/bench_a7) —
-    /// results are bit-identical to the other engines.
+    /// results are bit-identical to the other engines. Not streamable:
+    /// `AssignStream` rejects it.
     kDenseCopy,
   };
 
@@ -168,6 +426,12 @@ struct BatchOptions {
   /// strict bit-identity with the sequential path even for dominant-poly
   /// shapes.
   std::size_t split_min_terms = 4096;
+
+  /// Streaming window for `CompiledSession::AssignStream`: how many
+  /// scenarios are generated, lowered, and swept per streamed block. Peak
+  /// sweep memory scales with this window (times the per-scenario row
+  /// width), never with the source size. Must be > 0.
+  std::size_t stream_block_scenarios = 4096;
 
   /// Runs the static plan verifier (verify/verify.h) on every freshly
   /// compiled plan before it enters the plan cache, failing the call with

@@ -486,8 +486,16 @@ WireResponse CobraServer::RunAssignBatch(const PendingRequest& pending,
     }
     core::ScenarioSet sub;
     const std::size_t end = std::min(offset + chunk, scenarios.size());
+    sub.Reserve(end - offset);
     for (std::size_t i = offset; i < end; ++i) {
-      sub.Add(scenarios.scenario(i));
+      // Names were vetted unique by the decoder; a sub-batch of distinct
+      // indices cannot collide.
+      util::Result<core::ScenarioSet::Handle> added =
+          sub.Add(scenarios.scenario(i));
+      if (!added.ok()) {
+        return ErrorResponse(WireCode::kInvalidArgument,
+                             added.status().message());
+      }
     }
     util::Result<core::BatchAssignReport> report =
         snapshot.session->AssignBatch(sub);

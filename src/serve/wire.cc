@@ -256,19 +256,36 @@ util::Result<WireRequest> DecodeRequest(std::string_view payload) {
     std::size_t num_scenarios = 0;
     // A scenario is at least a name length + delta count: 8 bytes.
     COBRA_RETURN_IF_ERROR(reader.Count(8, &num_scenarios, "scenario"));
+    if (num_scenarios > kMaxRequestScenarios) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "wire: request carries %zu scenarios, over the "
+          "kMaxRequestScenarios cap of %u",
+          num_scenarios, kMaxRequestScenarios));
+    }
+    request.scenarios.Reserve(num_scenarios);
+    std::size_t total_deltas = 0;
     for (std::size_t i = 0; i < num_scenarios; ++i) {
       std::string name;
       COBRA_RETURN_IF_ERROR(reader.Str(&name, "scenario name"));
-      core::ScenarioSet::Handle handle = request.scenarios.Add(std::move(name));
+      util::Result<core::ScenarioSet::Handle> handle =
+          request.scenarios.Add(std::move(name));
+      if (!handle.ok()) return handle.status();
       std::size_t num_deltas = 0;
       // A delta is at least a var length + value: 12 bytes.
       COBRA_RETURN_IF_ERROR(reader.Count(12, &num_deltas, "delta"));
+      total_deltas += num_deltas;
+      if (total_deltas > kMaxRequestDeltas) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "wire: request carries over %u total overrides "
+            "(kMaxRequestDeltas cap)",
+            kMaxRequestDeltas));
+      }
       for (std::size_t d = 0; d < num_deltas; ++d) {
         std::string var;
         double value = 0.0;
         COBRA_RETURN_IF_ERROR(reader.Str(&var, "delta variable"));
         COBRA_RETURN_IF_ERROR(reader.F64(&value, "delta value"));
-        handle.Set(std::move(var), value);
+        handle->Set(std::move(var), value);
       }
     }
   }

@@ -33,6 +33,17 @@ inline constexpr std::uint16_t kWireVersion = 1;
 /// Hard ceiling on one frame's payload (requests and responses alike).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Hard ceiling on scenarios in one kAssignBatch request. Bulk spaces
+/// beyond this belong to the streaming sweep API (AssignStream) on a local
+/// snapshot, not to single-shot wire frames; the decoder rejects larger
+/// requests with kInvalidArgument before any planning work runs.
+inline constexpr std::uint32_t kMaxRequestScenarios = 65536;
+
+/// Hard ceiling on the total override (delta) count summed across all
+/// scenarios of one kAssignBatch request — bounds decoder memory the same
+/// way kMaxFrameBytes bounds the raw payload.
+inline constexpr std::uint32_t kMaxRequestDeltas = 1u << 20;
+
 /// Request/response kinds.
 enum class MsgType : std::uint16_t {
   kPing = 1,         ///< Liveness + served snapshot version.

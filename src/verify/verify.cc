@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <unordered_set>
 #include <utility>
@@ -819,6 +820,193 @@ VerifyReport VerifySession(const core::CompiledSession& session) {
       session.CachedPlanHandles();
   for (const std::shared_ptr<const core::BatchPlan>& plan : plans) {
     report.Merge(VerifyPlan(*plan, session));
+  }
+  return report;
+}
+
+namespace {
+
+/// Per-scenario contract checks shared by the head and tail probes.
+/// `ordinal(i)` maps a window-local index to its source ordinal for
+/// findings.
+void VerifyProbedScenarios(const core::ScenarioSet& window,
+                           std::uint64_t window_begin, std::size_t max_deltas,
+                           VerifyReport* report) {
+  std::unordered_set<std::string_view> names;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const core::Scenario& scenario = window.scenario(i);
+    const std::size_t ordinal =
+        static_cast<std::size_t>(window_begin) + i;
+    if (scenario.name.empty()) {
+      report->AddError("source scenario", ordinal,
+                       "generated scenario has an empty name");
+    } else if (!names.insert(scenario.name).second) {
+      report->AddError(
+          "source scenario", ordinal,
+          util::StrFormat("generated scenario name \"%s\" repeats within "
+                          "the probed window",
+                          scenario.name.c_str()));
+    }
+    if (scenario.deltas.size() > max_deltas) {
+      report->AddError(
+          "source scenario", ordinal,
+          util::StrFormat("scenario carries %zu override(s) but the source "
+                          "advertises max_deltas() = %zu",
+                          scenario.deltas.size(), max_deltas));
+    }
+    for (const core::Scenario::Delta& delta : scenario.deltas) {
+      if (delta.var.empty()) {
+        report->AddError("source scenario", ordinal,
+                         "override has an empty variable name");
+        break;
+      }
+      if (!std::isfinite(delta.value)) {
+        report->AddError(
+            "source scenario", ordinal,
+            util::StrFormat("override \"%s\" has a non-finite value",
+                            delta.var.c_str()));
+        break;
+      }
+    }
+  }
+}
+
+/// Bitwise scenario-set equality (names, override order, value bits).
+bool SameScenarios(const core::ScenarioSet& a, const core::ScenarioSet& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const core::Scenario& sa = a.scenario(i);
+    const core::Scenario& sb = b.scenario(i);
+    if (sa.name != sb.name || sa.deltas.size() != sb.deltas.size()) {
+      return false;
+    }
+    for (std::size_t d = 0; d < sa.deltas.size(); ++d) {
+      if (sa.deltas[d].var != sb.deltas[d].var ||
+          !SameBits(sa.deltas[d].value, sb.deltas[d].value)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+VerifyReport VerifySource(const core::ScenarioSource& source,
+                          std::size_t probe) {
+  VerifyReport report;
+  const std::uint64_t size = source.size();
+  if (size == 0) {
+    report.AddError("source", 0, "source is empty (size() == 0)");
+    return report;
+  }
+  if (probe == 0) probe = 1;
+
+  // Spec fingerprint: recomputation must be a pure function of the spec.
+  const core::SourceFingerprint fp1 = source.fingerprint();
+  const core::SourceFingerprint fp2 = source.fingerprint();
+  if (fp1 != fp2) {
+    report.AddError("source", 0,
+                    util::StrFormat("spec fingerprint is unstable across "
+                                    "recomputation (%s vs %s)",
+                                    fp1.ToHex().c_str(), fp2.ToHex().c_str()));
+  }
+
+  const std::size_t head = static_cast<std::size_t>(
+      std::min<std::uint64_t>(probe, size));
+
+  // Head probe: generate the window twice, then split — all three must be
+  // bitwise identical (determinism + the chunking-invariance clause the
+  // streaming sweep's bit-identity guarantee rests on).
+  core::ScenarioSet whole;
+  whole.Reserve(head);
+  util::Status status = source.Generate(0, head, &whole);
+  if (!status.ok()) {
+    report.AddError("source", 0,
+                    util::StrFormat("Generate(0, %zu) failed: %s", head,
+                                    status.ToString().c_str()));
+    return report;
+  }
+  if (whole.size() != head) {
+    report.AddError("source", 0,
+                    util::StrFormat("Generate(0, %zu) produced %zu "
+                                    "scenario(s) — must fill the window",
+                                    head, whole.size()));
+    return report;
+  }
+
+  core::ScenarioSet again;
+  again.Reserve(head);
+  status = source.Generate(0, head, &again);
+  if (!status.ok()) {
+    report.AddError("source", 0,
+                    util::StrFormat("repeated Generate(0, %zu) failed: %s",
+                                    head, status.ToString().c_str()));
+  } else if (!SameScenarios(whole, again)) {
+    report.AddError("source", 0,
+                    util::StrFormat("Generate(0, %zu) is nondeterministic: "
+                                    "two runs produced different scenarios",
+                                    head));
+  }
+
+  if (head > 1) {
+    const std::size_t half = head / 2;
+    core::ScenarioSet split;
+    split.Reserve(head);
+    status = source.Generate(0, half, &split);
+    if (status.ok()) status = source.Generate(half, head - half, &split);
+    if (!status.ok()) {
+      report.AddError("source", 0,
+                      util::StrFormat("split Generate over [0, %zu) failed: "
+                                      "%s",
+                                      head, status.ToString().c_str()));
+    } else if (!SameScenarios(whole, split)) {
+      report.AddError("source", 0,
+                      util::StrFormat("chunking changes output: generating "
+                                      "[0, %zu) as [0, %zu) + [%zu, %zu) "
+                                      "differs from one window",
+                                      head, half, half, head));
+    }
+  }
+
+  VerifyProbedScenarios(whole, 0, source.max_deltas(), &report);
+
+  // Tail probe: combinator range math (Concat part boundaries, Compose
+  // outer/inner decomposition) is most fragile near size().
+  if (size > head) {
+    const std::uint64_t tail_begin =
+        size - std::min<std::uint64_t>(probe, size - head);
+    const std::size_t tail =
+        static_cast<std::size_t>(size - tail_begin);
+    core::ScenarioSet tail_window;
+    tail_window.Reserve(tail);
+    status = source.Generate(tail_begin, tail, &tail_window);
+    if (!status.ok()) {
+      report.AddError(
+          "source", static_cast<std::size_t>(tail_begin),
+          util::StrFormat("tail Generate(%llu, %zu) failed: %s",
+                          static_cast<unsigned long long>(tail_begin), tail,
+                          status.ToString().c_str()));
+    } else if (tail_window.size() != tail) {
+      report.AddError(
+          "source", static_cast<std::size_t>(tail_begin),
+          util::StrFormat("tail Generate(%llu, %zu) produced %zu "
+                          "scenario(s) — must fill the window",
+                          static_cast<unsigned long long>(tail_begin), tail,
+                          tail_window.size()));
+    } else {
+      VerifyProbedScenarios(tail_window, tail_begin, source.max_deltas(),
+                            &report);
+    }
+  }
+
+  // Past-the-end windows must be rejected, not clamped: AssignStream's
+  // chunk loop relies on precise range errors.
+  core::ScenarioSet overflow;
+  if (source.Generate(size, 1, &overflow).ok()) {
+    report.AddError("source", static_cast<std::size_t>(size),
+                    "Generate past size() succeeded (must reject windows "
+                    "beyond the source)");
   }
   return report;
 }

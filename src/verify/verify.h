@@ -174,6 +174,29 @@ VerifyReport VerifySnapshot(const core::SnapshotPackage& snapshot);
 /// plan currently in its plan cache — and merges the reports.
 VerifyReport VerifySession(const core::CompiledSession& session);
 
+/// Audits a scenario generator spec before a streaming sweep replays it
+/// millions of times (`CompiledSession::AssignStream` runs this at its
+/// trust boundary, like the plan cache runs `VerifyPlan`). The source's
+/// *code* cannot be inspected, so the pass probes its *contract*:
+///
+///   - the source is non-empty and its spec fingerprint is stable across
+///     recomputation;
+///   - a head window of `probe` scenarios generates identically twice, and
+///     identically when split into two sub-windows (the chunking-invariance
+///     clause of `ScenarioSource::Generate`) — bitwise, including -0.0/NaN
+///     payload differences;
+///   - every probed scenario has a non-empty name (unique within the
+///     window), non-empty override variable names, finite override values
+///     (no NaN/Inf deltas), and at most `max_deltas()` overrides;
+///   - a tail window near `size()` generates without error and passes the
+///     same per-scenario checks (catches off-by-one range math in
+///     combinators).
+///
+/// Probing is O(probe), never O(size): a million-scenario grid is audited
+/// through two small windows.
+VerifyReport VerifySource(const core::ScenarioSource& source,
+                          std::size_t probe = 64);
+
 }  // namespace cobra::verify
 
 #endif  // COBRA_VERIFY_VERIFY_H_

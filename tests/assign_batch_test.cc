@@ -30,7 +30,7 @@ class AssignBatchTest : public ::testing::Test {
     EXPECT_FALSE(meta.empty());
     ScenarioSet set;
     for (std::size_t i = 0; i < n; ++i) {
-      auto s = set.Add("scenario-" + std::to_string(i));
+      auto s = set.Add("scenario-" + std::to_string(i)).ValueOrDie();
       s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i + 1));
       if (meta.size() > 1) {
         s.Set(meta[(i + 1) % meta.size()].name,
@@ -182,7 +182,7 @@ TEST_F(AssignBatchTest, UnknownVariableNamesTheScenario) {
   session.Compress().ValueOrDie();
 
   ScenarioSet scenarios;
-  scenarios.Add("bad-scenario").Set("no_such_var", 2.0);
+  scenarios.Add("bad-scenario").ValueOrDie().Set("no_such_var", 2.0);
   util::Result<BatchAssignReport> result = session.AssignBatch(scenarios);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
@@ -272,20 +272,24 @@ TEST_F(AssignBatchTest, BlockLanesOutsideSupportedWidthsRejected) {
   }
 }
 
-TEST_F(AssignBatchTest, DuplicateScenarioNamesRejected) {
-  Session session;
-  Load(&session);
-  session.SetBound(10);
-  session.Compress().ValueOrDie();
-
+TEST_F(AssignBatchTest, DuplicateScenarioNamesRejectedAtAddTime) {
+  // Duplicates are now refused at the authoring seam, before any planning:
+  // the set stays duplicate-free by construction.
   ScenarioSet scenarios;
-  scenarios.Add("twin").Set("Business", 1.1);
-  scenarios.Add("other").Set("Business", 0.9);
-  scenarios.Add("twin").Set("Business", 1.2);
-  util::Result<BatchAssignReport> result = session.AssignBatch(scenarios);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
-  EXPECT_NE(result.status().message().find("twin"), std::string::npos);
+  scenarios.Add("twin").ValueOrDie().Set("Business", 1.1);
+  scenarios.Add("other").ValueOrDie().Set("Business", 0.9);
+  util::Result<ScenarioSet::Handle> dup = scenarios.Add("twin");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("twin"), std::string::npos);
+  EXPECT_EQ(scenarios.size(), 2u);
+
+  // The Scenario overload enforces the same invariant.
+  util::Result<ScenarioSet::Handle> dup2 =
+      scenarios.Add(Scenario{"other", {{"Business", 1.2}}});
+  ASSERT_FALSE(dup2.ok());
+  EXPECT_EQ(dup2.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(scenarios.size(), 2u);
 }
 
 // The old Add(std::string) returned a Scenario& into the backing vector,
@@ -294,10 +298,10 @@ TEST_F(AssignBatchTest, DuplicateScenarioNamesRejected) {
 // scenario.
 TEST_F(AssignBatchTest, AddHandleStaysValidAcrossLaterAdds) {
   ScenarioSet set;
-  auto first = set.Add("first");
+  auto first = set.Add("first").ValueOrDie();
   // Force reallocation of the scenario vector.
   for (int i = 0; i < 100; ++i) {
-    set.Add("filler-" + std::to_string(i)).Set("Business", 1.0);
+    set.Add("filler-" + std::to_string(i)).ValueOrDie().Set("Business", 1.0);
   }
   first.Set("Business", 1.25).Set("Special", 0.75);
 
@@ -317,7 +321,7 @@ TEST_F(AssignBatchTest, DenseCopySweepMatchesSparseBitForBit) {
   session.Compress().ValueOrDie();
   ScenarioSet scenarios = MakeScenarios(session, 9);
   // A repeated delta on one variable: last value must win in both engines.
-  scenarios.Add("repeat").Set("Business", 1.4).Set("Business", 0.6);
+  scenarios.Add("repeat").ValueOrDie().Set("Business", 1.4).Set("Business", 0.6);
 
   BatchOptions sparse;
   sparse.sweep = BatchOptions::Sweep::kSparseDelta;

@@ -36,7 +36,7 @@ ScenarioSet MakeScenarios(const CompiledSession& snapshot, std::size_t n) {
   EXPECT_FALSE(meta.empty());
   ScenarioSet set;
   for (std::size_t i = 0; i < n; ++i) {
-    auto s = set.Add("scenario-" + std::to_string(i));
+    auto s = set.Add("scenario-" + std::to_string(i)).ValueOrDie();
     s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i + 1));
     if (meta.size() > 1) {
       s.Set(meta[(i + 1) % meta.size()].name,
@@ -279,7 +279,7 @@ TEST(AssignGridTest, RandomizedBasesMatchPerBaseBatchesForEveryEngine) {
     ScenarioSet scenarios;
     const std::size_t n = static_cast<std::size_t>(it.NextInRange(1, 17));
     for (std::size_t s = 0; s < n; ++s) {
-      auto handle = scenarios.Add("s" + std::to_string(s));
+      auto handle = scenarios.Add("s" + std::to_string(s)).ValueOrDie();
       const std::size_t overrides =
           static_cast<std::size_t>(it.NextInRange(0, 4));
       for (std::size_t o = 0; o < overrides; ++o) {

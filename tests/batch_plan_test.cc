@@ -36,7 +36,7 @@ ScenarioSet MakeScenarios(const CompiledSession& snapshot, std::size_t n) {
   EXPECT_FALSE(meta.empty());
   ScenarioSet set;
   for (std::size_t i = 0; i < n; ++i) {
-    auto s = set.Add("scenario-" + std::to_string(i));
+    auto s = set.Add("scenario-" + std::to_string(i)).ValueOrDie();
     s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i + 1));
     if (meta.size() > 1) {
       s.Set(meta[(i + 1) % meta.size()].name,
@@ -193,7 +193,7 @@ TEST(BatchPlanTest, MutatingTheScenarioSetChangesTheFingerprint) {
 
   // Mutate after planning: a new delta must change the fingerprint and miss.
   const std::string meta_name = snapshot->meta_vars().front().name;
-  scenarios.Add("late-addition").Set(meta_name, 0.5);
+  scenarios.Add("late-addition").ValueOrDie().Set(meta_name, 0.5);
   EXPECT_NE(FingerprintScenarios(scenarios), original);
   snapshot->PlanBatch(scenarios, {}, &hit).ValueOrDie();
   EXPECT_FALSE(hit);
@@ -321,7 +321,7 @@ TEST(BatchPlanTest, RandomizedColdAndWarmPlansAreBitIdentical) {
     ScenarioSet scenarios;
     const std::size_t n = static_cast<std::size_t>(it.NextInRange(1, 24));
     for (std::size_t s = 0; s < n; ++s) {
-      auto handle = scenarios.Add("s" + std::to_string(s));
+      auto handle = scenarios.Add("s" + std::to_string(s)).ValueOrDie();
       const std::size_t overrides =
           static_cast<std::size_t>(it.NextInRange(0, 5));
       for (std::size_t o = 0; o < overrides; ++o) {

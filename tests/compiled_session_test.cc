@@ -129,7 +129,7 @@ TEST(CompiledSessionTest, SnapshotSurvivesSessionMutation) {
   std::size_t old_compressed = snapshot->compressed_size();
 
   ScenarioSet scenarios;
-  scenarios.Add("boom").Set("Business", 1.25);
+  scenarios.Add("boom").ValueOrDie().Set("Business", 1.25);
   BatchAssignReport before = snapshot->AssignBatch(scenarios).ValueOrDie();
 
   // Recompress the session under a tighter bound: the old snapshot must be
@@ -154,12 +154,12 @@ TEST(CompiledSessionTest, SparseOverridesMatchSequentialWithExponents) {
 
   ScenarioSet scenarios;
   scenarios.Add("default-noop");                    // empty override list
-  scenarios.Add("meta").Set("G", 1.5);              // abstracted group
-  scenarios.Add("outside").Set("z", 0.5);           // out-of-abstraction var
-  scenarios.Add("outside2").Set("w", 2.5).Set("z", 1.25);
-  scenarios.Add("mixed").Set("G", 0.8).Set("z", 3.0).Set("w", 0.1);
-  scenarios.Add("leaf-under-meta").Set("x", 9.0);   // no-op: G wins
-  scenarios.Add("repeat").Set("G", 2.0).Set("G", 0.25);
+  scenarios.Add("meta").ValueOrDie().Set("G", 1.5);              // abstracted group
+  scenarios.Add("outside").ValueOrDie().Set("z", 0.5);           // out-of-abstraction var
+  scenarios.Add("outside2").ValueOrDie().Set("w", 2.5).Set("z", 1.25);
+  scenarios.Add("mixed").ValueOrDie().Set("G", 0.8).Set("z", 3.0).Set("w", 0.1);
+  scenarios.Add("leaf-under-meta").ValueOrDie().Set("x", 9.0);   // no-op: G wins
+  scenarios.Add("repeat").ValueOrDie().Set("G", 2.0).Set("G", 0.25);
 
   std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
 
@@ -198,7 +198,7 @@ TEST(CompiledSessionTest, BlockedSweepBitIdenticalAcrossLaneAndThreadCounts) {
   for (std::size_t count : {1u, 4u, 5u, 8u, 13u, 16u}) {
     ScenarioSet scenarios;
     for (std::size_t i = 0; i < count; ++i) {
-      auto s = scenarios.Add("s" + std::to_string(i));
+      auto s = scenarios.Add("s" + std::to_string(i)).ValueOrDie();
       if (i % 3 != 0) {  // every third scenario keeps an empty override list
         s.Set(meta[i % meta.size()].name,
               1.0 + 0.03 * static_cast<double>(i + 1));
@@ -227,7 +227,7 @@ TEST(CompiledSessionTest, BlockedRejectsBadLaneCount) {
   LoadPaperSession(&session);
   auto snapshot = session.Snapshot().ValueOrDie();
   ScenarioSet scenarios;
-  scenarios.Add("s").Set("Business", 1.1);
+  scenarios.Add("s").ValueOrDie().Set("Business", 1.1);
   BatchOptions options;
   options.sweep = BatchOptions::Sweep::kBlocked;  // the lane knob's engine
   options.block_lanes = 3;
@@ -243,8 +243,8 @@ TEST(CompiledSessionTest, PartitionedSweepIsDeterministic) {
   const std::vector<MetaVar>& meta = session.meta_vars();
   ASSERT_GE(meta.size(), 2u);
   ScenarioSet scenarios;
-  scenarios.Add("boom").Set(meta[0].name, 1.25);
-  scenarios.Add("slump").Set(meta[0].name, 0.8).Set(meta[1].name, 0.9);
+  scenarios.Add("boom").ValueOrDie().Set(meta[0].name, 1.25);
+  scenarios.Add("slump").ValueOrDie().Set(meta[0].name, 0.8).Set(meta[1].name, 0.9);
   std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
 
   auto snapshot = session.Snapshot().ValueOrDie();
@@ -285,8 +285,8 @@ TEST(CompiledSessionTest, TermSplitFallbackDeterministicAndAccurate) {
   Session session;
   LoadDominantPolySession(&session);
   ScenarioSet scenarios;
-  scenarios.Add("boom").Set("G", 1.25);
-  scenarios.Add("mix").Set("G", 0.8).Set("z", 1.5);
+  scenarios.Add("boom").ValueOrDie().Set("G", 1.25);
+  scenarios.Add("mix").ValueOrDie().Set("G", 0.8).Set("z", 1.5);
   std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
   auto snapshot = session.Snapshot().ValueOrDie();
 
@@ -361,7 +361,7 @@ TEST(CompiledSessionTest, SnapshotSharesPoolAndFreezesItsSize) {
   // instead of silently ignoring it (sparse) or aborting (dense).
   session.mutable_pool()->Intern("late_var");
   ScenarioSet scenarios;
-  scenarios.Add("late").Set("late_var", 2.0);
+  scenarios.Add("late").ValueOrDie().Set("late_var", 2.0);
   for (BatchOptions::Sweep sweep :
        {BatchOptions::Sweep::kBlocked, BatchOptions::Sweep::kSparseDelta,
         BatchOptions::Sweep::kDenseCopy}) {
@@ -404,7 +404,7 @@ TEST(CompiledSessionConcurrencyTest, ManyThreadsMatchSequential) {
   const std::vector<MetaVar>& meta = session.meta_vars();
   ASSERT_FALSE(meta.empty());
   for (std::size_t i = 0; i < kScenarios; ++i) {
-    auto s = scenarios.Add("scenario-" + std::to_string(i));
+    auto s = scenarios.Add("scenario-" + std::to_string(i)).ValueOrDie();
     s.Set(meta[i % meta.size()].name, 1.0 + 0.05 * static_cast<double>(i));
     s.Set(meta[(i + 1) % meta.size()].name,
           1.0 - 0.02 * static_cast<double>(i));
@@ -455,8 +455,8 @@ TEST(CompiledSessionConcurrencyTest, SplitTiledSchedulerDeterministic) {
   Session session;
   LoadDominantPolySession(&session);
   ScenarioSet scenarios;
-  scenarios.Add("boom").Set("G", 1.25);
-  scenarios.Add("mix").Set("G", 0.8).Set("z", 1.5);
+  scenarios.Add("boom").ValueOrDie().Set("G", 1.25);
+  scenarios.Add("mix").ValueOrDie().Set("G", 0.8).Set("z", 1.5);
   auto snapshot = session.Snapshot().ValueOrDie();
 
   BatchOptions split;
@@ -509,8 +509,8 @@ TEST(CompiledSessionConcurrencyTest, ServingWhileAuthoringInterns) {
   Session session;
   LoadPaperSession(&session);
   ScenarioSet scenarios;
-  scenarios.Add("boom").Set("Business", 1.25);
-  scenarios.Add("slump").Set("Business", 0.8).Set("Special", 0.9);
+  scenarios.Add("boom").ValueOrDie().Set("Business", 1.25);
+  scenarios.Add("slump").ValueOrDie().Set("Business", 0.8).Set("Special", 0.9);
   std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
   auto snapshot = session.Snapshot().ValueOrDie();
 

@@ -59,8 +59,8 @@ std::shared_ptr<const CompiledSession> ExampleSnapshot(Session* session) {
 
 ScenarioSet ExampleScenarios() {
   ScenarioSet scenarios;
-  scenarios.Add("slump").Set("Business", 0.8);
-  scenarios.Add("mixed").Set("Business", 1.25).Set("Special", 0.9);
+  scenarios.Add("slump").ValueOrDie().Set("Business", 0.8);
+  scenarios.Add("mixed").ValueOrDie().Set("Business", 1.25).Set("Special", 0.9);
   return scenarios;
 }
 

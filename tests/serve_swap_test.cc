@@ -47,8 +47,8 @@ std::shared_ptr<const CompiledSession> ExampleSnapshot(Session* session) {
 ScenarioSet ExampleScenarios() {
   ScenarioSet scenarios;
   scenarios.Add("baseline");
-  scenarios.Add("slump").Set("Business", 0.8);
-  scenarios.Add("mixed").Set("Business", 1.25).Set("Special", 0.9);
+  scenarios.Add("slump").ValueOrDie().Set("Business", 0.8);
+  scenarios.Add("mixed").ValueOrDie().Set("Business", 1.25).Set("Special", 0.9);
   return scenarios;
 }
 
@@ -188,7 +188,7 @@ TEST(ServeSwapTest, RequestsBeforeFirstSwapFailPrecondition) {
   WireRequest request;
   request.type = MsgType::kAssignBatch;
   request.request_id = 1;
-  request.scenarios.Add("s").Set("Business", 0.5);
+  request.scenarios.Add("s").ValueOrDie().Set("Business", 0.5);
   util::Result<WireResponse> response = client->Call(request);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->code, WireCode::kFailedPrecondition);

@@ -29,11 +29,11 @@ WireRequest ExampleBatchRequest() {
   request.type = MsgType::kAssignBatch;
   request.request_id = 0x1122334455667788ULL;
   request.deadline_ms = 2500;
-  request.scenarios.Add("slump").Set("Business", 0.8);
-  request.scenarios.Add("mixed").Set("Business", 1.25).Set("Special", 0.9);
+  request.scenarios.Add("slump").ValueOrDie().Set("Business", 0.8);
+  request.scenarios.Add("mixed").ValueOrDie().Set("Business", 1.25).Set("Special", 0.9);
   // A value whose bit pattern round-trips only if doubles are carried as
   // bit patterns, not via text.
-  request.scenarios.Add("precise").Set("p1", 0.1 + 0.2);
+  request.scenarios.Add("precise").ValueOrDie().Set("p1", 0.1 + 0.2);
   return request;
 }
 
@@ -250,6 +250,69 @@ TEST(WireTest, PipelinedFramesArriveInOrder) {
   }
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+TEST(WireTest, RequestAtScenarioCapDecodesButOneOverIsRejected) {
+  WireRequest request;
+  request.type = MsgType::kAssignBatch;
+  request.scenarios.Reserve(kMaxRequestScenarios + 1);
+  for (std::uint32_t i = 0; i < kMaxRequestScenarios; ++i) {
+    ASSERT_TRUE(request.scenarios.Add("s" + std::to_string(i)).ok());
+  }
+  util::Result<WireRequest> at_cap = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(at_cap.ok()) << at_cap.status().ToString();
+  EXPECT_EQ(at_cap->scenarios.size(), kMaxRequestScenarios);
+
+  ASSERT_TRUE(request.scenarios.Add("one-over").ok());
+  util::Result<WireRequest> over = DecodeRequest(EncodeRequest(request));
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), util::StatusCode::kInvalidArgument);
+  // The error names the cap so the client knows what to shrink.
+  EXPECT_NE(over.status().message().find("kMaxRequestScenarios"),
+            std::string::npos);
+  EXPECT_NE(over.status().message().find(
+                std::to_string(kMaxRequestScenarios)),
+            std::string::npos);
+}
+
+TEST(WireTest, RequestOverTotalDeltaCapIsRejected) {
+  // 17 scenarios x 65536 overrides = 1,114,112 > kMaxRequestDeltas
+  // (1,048,576), while every individual scenario is modest and the whole
+  // frame stays far below kMaxFrameBytes — only the total-delta cap trips.
+  WireRequest request;
+  request.type = MsgType::kAssignBatch;
+  for (int s = 0; s < 17; ++s) {
+    auto handle = request.scenarios.Add("s" + std::to_string(s));
+    ASSERT_TRUE(handle.ok());
+    for (int d = 0; d < 65536; ++d) {
+      handle->Set("v", 1.0 + d);
+    }
+  }
+  const std::string payload = EncodeRequest(request);
+  ASSERT_LT(payload.size(), kMaxFrameBytes);
+  util::Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("kMaxRequestDeltas"),
+            std::string::npos);
+}
+
+TEST(WireTest, DuplicateScenarioNamesRejectedAtDecode) {
+  // The decoder feeds names through ScenarioSet::Add, which now enforces
+  // uniqueness — a hostile frame with twin names must not decode. Encode a
+  // two-scenario request, then splice the second name to match the first.
+  WireRequest request;
+  request.type = MsgType::kAssignBatch;
+  request.scenarios.Add("twin-a").ValueOrDie();
+  request.scenarios.Add("twin-b").ValueOrDie();
+  std::string payload = EncodeRequest(request);
+  const std::size_t pos = payload.find("twin-b");
+  ASSERT_NE(pos, std::string::npos);
+  payload.replace(pos, 6, "twin-a");
+  util::Result<WireRequest> decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("twin-a"), std::string::npos);
 }
 
 }  // namespace

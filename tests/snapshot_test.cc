@@ -60,9 +60,9 @@ std::shared_ptr<const CompiledSession> ExampleSnapshot(Session* session) {
 ScenarioSet ExampleScenarios() {
   ScenarioSet scenarios;
   scenarios.Add("baseline");
-  scenarios.Add("slump").Set("Business", 0.8);
-  scenarios.Add("mixed").Set("Business", 1.25).Set("Special", 0.9);
-  scenarios.Add("leafy").Set("p1", 0.7).Set("m3", 1.1);
+  scenarios.Add("slump").ValueOrDie().Set("Business", 0.8);
+  scenarios.Add("mixed").ValueOrDie().Set("Business", 1.25).Set("Special", 0.9);
+  scenarios.Add("leafy").ValueOrDie().Set("p1", 0.7).Set("m3", 1.1);
   return scenarios;
 }
 
@@ -395,7 +395,7 @@ TEST(SnapshotTest, RandomizedRoundTripIsBitIdenticalAcrossEngines) {
         static_cast<std::size_t>(it.NextInRange(1, 20));
     const std::vector<MetaVar>& meta = origin->meta_vars();
     for (std::size_t s = 0; s < num_scenarios; ++s) {
-      auto handle = scenarios.Add("s" + std::to_string(s));
+      auto handle = scenarios.Add("s" + std::to_string(s)).ValueOrDie();
       const std::size_t num_overrides =
           static_cast<std::size_t>(it.NextInRange(0, 4));
       for (std::size_t o = 0; o < num_overrides; ++o) {

@@ -51,9 +51,9 @@ std::shared_ptr<const CompiledSession> ExampleSnapshot(Session* session) {
 ScenarioSet ExampleScenarios() {
   ScenarioSet scenarios;
   scenarios.Add("baseline");
-  scenarios.Add("slump").Set("Business", 0.8);
-  scenarios.Add("mixed").Set("Business", 1.25).Set("Special", 0.9);
-  scenarios.Add("leafy").Set("p1", 0.7).Set("m3", 1.1);
+  scenarios.Add("slump").ValueOrDie().Set("Business", 0.8);
+  scenarios.Add("mixed").ValueOrDie().Set("Business", 1.25).Set("Special", 0.9);
+  scenarios.Add("leafy").ValueOrDie().Set("p1", 0.7).Set("m3", 1.1);
   return scenarios;
 }
 
@@ -472,7 +472,7 @@ TEST_F(VerifyPlanTest, RaggedBlockedPlanVerifiesClean) {
 
   options.block_lanes = 4;
   ScenarioSet five = scenarios_;
-  five.Add("fifth").Set("Business", 1.01);
+  five.Add("fifth").ValueOrDie().Set("Business", 1.01);
   plan = snapshot_->PlanBatch(five, options).ValueOrDie();
   EXPECT_TRUE(VerifyPlan(*plan, *snapshot_, &five).ok());
 }
@@ -494,7 +494,7 @@ TEST_F(VerifyPlanTest, FingerprintMismatchIsDetected) {
   std::shared_ptr<const core::BatchPlan> plan =
       snapshot_->PlanBatch(scenarios_).ValueOrDie();
   ScenarioSet tampered = scenarios_;
-  tampered.Add("extra").Set("Business", 0.5);
+  tampered.Add("extra").ValueOrDie().Set("Business", 0.5);
   const VerifyReport report = VerifyPlan(*plan, *snapshot_, &tampered);
   ASSERT_FALSE(report.ok());
   EXPECT_TRUE(HasFindingContaining(report, "does not recompute"))

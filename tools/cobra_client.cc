@@ -44,7 +44,10 @@ int Usage(const char* argv0) {
 bool ParseScenarioSpec(const std::string& spec, ScenarioSet* scenarios) {
   const std::size_t colon = spec.find(':');
   if (colon == std::string::npos || colon == 0) return false;
-  ScenarioSet::Handle scenario = scenarios->Add(spec.substr(0, colon));
+  Result<ScenarioSet::Handle> added =
+      scenarios->Add(spec.substr(0, colon));
+  if (!added.ok()) return false;
+  ScenarioSet::Handle scenario = *added;
   std::size_t pos = colon + 1;
   while (pos < spec.size()) {
     std::size_t comma = spec.find(',', pos);
