@@ -190,38 +190,35 @@ int main() {
   double naive_seconds = HUGE_VAL;
   double warm_seconds = HUGE_VAL;
   double grid_seconds = HUGE_VAL;
-  util::Timer timer;
   for (std::size_t r = 0; r < reps; ++r) {
-    timer.Reset();
-    for (const prov::Valuation& base : bases) {
-      snapshot->ClearPlanCache();
-      snapshot->AssignBatch(scenarios, base, options).ValueOrDie();
-    }
-    naive_seconds = std::min(naive_seconds, timer.ElapsedSeconds());
+    naive_seconds = std::min(naive_seconds, bench::TimeSeconds([&] {
+      for (const prov::Valuation& base : bases) {
+        snapshot->ClearPlanCache();
+        snapshot->AssignBatch(scenarios, base, options).ValueOrDie();
+      }
+    }));
 
     snapshot->ClearPlanCache();
     snapshot->AssignBatch(scenarios, bases[0], options).ValueOrDie();
-    timer.Reset();
-    for (const prov::Valuation& base : bases) {
-      snapshot->AssignBatch(scenarios, base, options).ValueOrDie();
-    }
-    warm_seconds = std::min(warm_seconds, timer.ElapsedSeconds());
+    warm_seconds = std::min(warm_seconds, bench::TimeSeconds([&] {
+      for (const prov::Valuation& base : bases) {
+        snapshot->AssignBatch(scenarios, base, options).ValueOrDie();
+      }
+    }));
 
     snapshot->ClearPlanCache();
-    timer.Reset();
-    core::GridAssignReport timed =
-        snapshot->AssignGrid(scenarios, bases, options).ValueOrDie();
-    grid_seconds = std::min(grid_seconds, timer.ElapsedSeconds());
+    core::GridAssignReport timed;
+    grid_seconds = std::min(grid_seconds, bench::TimeSeconds([&] {
+      timed = snapshot->AssignGrid(scenarios, bases, options).ValueOrDie();
+    }));
     if (timed.plan_cache_hit) {
       std::fprintf(stderr, "grid unexpectedly hit a cleared plan cache\n");
       return 1;
     }
   }
 
-  const double grid_vs_naive =
-      grid_seconds > 0.0 ? naive_seconds / grid_seconds : HUGE_VAL;
-  const double grid_vs_warm =
-      grid_seconds > 0.0 ? warm_seconds / grid_seconds : HUGE_VAL;
+  const double grid_vs_naive = bench::Ratio(naive_seconds, grid_seconds);
+  const double grid_vs_warm = bench::Ratio(warm_seconds, grid_seconds);
   const double cells = static_cast<double>(grid.cells());
 
   std::printf("\n%-32s %12s %16s\n", "mode", "total (ms)", "per (s,b) pair");
@@ -270,5 +267,9 @@ int main() {
   json.Add("identical", max_diff == 0.0);
   json.WriteFile("BENCH_a10.json");
 
-  return max_diff == 0.0 && grid_vs_naive >= 3.0 ? 0 : 1;
+  bench::GateSet gates;
+  gates.Require("identical", max_diff == 0.0);
+  gates.Require("grid_vs_naive>=3x", grid_vs_naive >= 3.0);
+  gates.Print();
+  return gates.ExitCode();
 }

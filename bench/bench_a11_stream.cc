@@ -181,8 +181,6 @@ int main() {
   // comparison below can demand bitwise equality.
   options.batch.split_min_terms = std::size_t{1} << 30;
 
-  util::Timer timer;
-
   // (1) Exhaustive kAll stream: the throughput/memory baseline. The
   // consumer captures the first `prefix` rows for the bit-identity check.
   const std::size_t hwm_before_stream = PeakRssBytes();
@@ -198,10 +196,10 @@ int main() {
     }
     return true;
   };
-  timer.Reset();
-  core::SweepSummary all =
-      snapshot->AssignStream(*source, options, capture).ValueOrDie();
-  const double all_seconds = timer.ElapsedSeconds();
+  core::SweepSummary all;
+  const double all_seconds = bench::TimeSeconds([&] {
+    all = snapshot->AssignStream(*source, options, capture).ValueOrDie();
+  });
   const std::size_t hwm_after_stream = PeakRssBytes();
   std::printf("\nkAll stream: %.2fs (%.2fus/scenario), engine=%s lanes=%zu "
               "threads=%zu chunks=%llu\n",
@@ -216,12 +214,12 @@ int main() {
   selective.query.cutoff =
       all.metric_min + 0.95 * (all.metric_max - all.metric_min);
   selective.query.max_entries = 64;
-  timer.Reset();
-  core::SweepSummary threshold =
-      snapshot->AssignStream(*source, selective).ValueOrDie();
-  const double threshold_seconds = timer.ElapsedSeconds();
+  core::SweepSummary threshold;
+  const double threshold_seconds = bench::TimeSeconds([&] {
+    threshold = snapshot->AssignStream(*source, selective).ValueOrDie();
+  });
   const double threshold_speedup =
-      threshold_seconds > 0.0 ? all_seconds / threshold_seconds : HUGE_VAL;
+      bench::Ratio(all_seconds, threshold_seconds);
   std::printf("threshold:   %.2fs (%.2fx vs kAll) matched=%llu "
               "rows computed=%llu skipped=%llu\n",
               threshold_seconds, threshold_speedup,
@@ -233,10 +231,10 @@ int main() {
   core::StreamOptions best = options;
   best.query.kind = core::StreamQuery::Kind::kTopK;
   best.query.k = topk;
-  timer.Reset();
-  core::SweepSummary top =
-      snapshot->AssignStream(*source, best).ValueOrDie();
-  const double topk_seconds = timer.ElapsedSeconds();
+  core::SweepSummary top;
+  const double topk_seconds = bench::TimeSeconds([&] {
+    top = snapshot->AssignStream(*source, best).ValueOrDie();
+  });
   const double topk_skip_fraction =
       static_cast<double>(top.full_rows_skipped) /
       static_cast<double>(total);
@@ -291,13 +289,16 @@ int main() {
               static_cast<double>(mat_delta) / (1 << 20), materialized_size,
               gate_memory ? "" : " [delta too small to gate]");
 
-  const bool gate_threshold = threshold_speedup >= 2.0;
-  const bool gate_topk = topk_skip_fraction > 0.5;
-  std::printf("\ngates: identical=%s threshold>=2x=%s topk-skip>50%%=%s "
-              "memory-flat=%s\n",
-              bits_identical ? "PASS" : "FAIL",
-              gate_threshold ? "PASS" : "FAIL",
-              gate_topk ? "PASS" : "FAIL", memory_flat ? "PASS" : "FAIL");
+  bench::GateSet gates;
+  gates.Require("identical", bits_identical);
+  gates.Require("threshold_speedup>=2x", threshold_speedup >= 2.0);
+  gates.Require("topk_skip>50%", topk_skip_fraction > 0.5);
+  if (gate_memory) {
+    gates.Require("memory_flat", memory_flat);
+  } else {
+    gates.Skip("memory_flat", "materialize delta under 16 MiB");
+  }
+  gates.Print();
 
   bench::JsonObject json;
   json.Add("bench", std::string("a11_stream"));
@@ -329,6 +330,5 @@ int main() {
   json.Add("identical", bits_identical);
   json.WriteFile("BENCH_a11.json");
 
-  return bits_identical && gate_threshold && gate_topk && memory_flat ? 0
-                                                                      : 1;
+  return gates.ExitCode();
 }

@@ -116,17 +116,17 @@ int main() {
 
   // (a) Sequential: one Assign() per scenario, defaults restored between
   // scenarios so each one is independent (the semantics AssignBatch gives).
-  util::Timer timer;
   std::vector<core::ResultDelta> sequential;
   sequential.reserve(num_scenarios);
-  for (const core::Scenario& scenario : scenarios.scenarios()) {
-    session.ResetMetaValues().CheckOK();
-    for (const core::Scenario::Delta& delta : scenario.deltas) {
-      session.SetMetaValue(delta.var, delta.value).CheckOK();
+  const double sequential_seconds = bench::TimeSeconds([&] {
+    for (const core::Scenario& scenario : scenarios.scenarios()) {
+      session.ResetMetaValues().CheckOK();
+      for (const core::Scenario::Delta& delta : scenario.deltas) {
+        session.SetMetaValue(delta.var, delta.value).CheckOK();
+      }
+      sequential.push_back(session.Assign(1).ValueOrDie().delta);
     }
-    sequential.push_back(session.Assign(1).ValueOrDie().delta);
-  }
-  const double sequential_seconds = timer.ElapsedSeconds();
+  });
   session.ResetMetaValues().CheckOK();
 
   core::BatchOptions options;
@@ -139,33 +139,33 @@ int main() {
   // with (c) is the honest measure of batching proper (per-call overhead,
   // shared valuation prep, one sweep instead of N), with the timing-harness
   // cost of (a) out of the picture.
-  timer.Reset();
   std::vector<core::ResultDelta> one_at_a_time;
   one_at_a_time.reserve(num_scenarios);
-  for (const core::Scenario& scenario : scenarios.scenarios()) {
-    core::ScenarioSet single;
-    single.Add(scenario);
-    one_at_a_time.push_back(session.AssignBatch(single, options)
-                                .ValueOrDie()
-                                .reports[0]
-                                .delta);
-  }
-  const double single_seconds = timer.ElapsedSeconds();
+  const double single_seconds = bench::TimeSeconds([&] {
+    for (const core::Scenario& scenario : scenarios.scenarios()) {
+      core::ScenarioSet single;
+      single.Add(scenario);
+      one_at_a_time.push_back(session.AssignBatch(single, options)
+                                  .ValueOrDie()
+                                  .reports[0]
+                                  .delta);
+    }
+  });
 
   // (c) Batched: one sweep with the default scenario-blocked kernel.
-  timer.Reset();
-  core::BatchAssignReport batch =
-      session.AssignBatch(scenarios, options).ValueOrDie();
-  const double batch_seconds = timer.ElapsedSeconds();
+  core::BatchAssignReport batch;
+  const double batch_seconds = bench::TimeSeconds([&] {
+    batch = session.AssignBatch(scenarios, options).ValueOrDie();
+  });
 
   // (d) Batched with the scalar sparse-delta engine — isolates what the
   // blocked kernel buys over one-program-scan-per-scenario.
   core::BatchOptions sparse = options;
   sparse.sweep = core::BatchOptions::Sweep::kSparseDelta;
-  timer.Reset();
-  core::BatchAssignReport sparse_batch =
-      session.AssignBatch(scenarios, sparse).ValueOrDie();
-  const double sparse_seconds = timer.ElapsedSeconds();
+  core::BatchAssignReport sparse_batch;
+  const double sparse_seconds = bench::TimeSeconds([&] {
+    sparse_batch = session.AssignBatch(scenarios, sparse).ValueOrDie();
+  });
 
   // (e) Batched with the legacy dense-copy engine (one full-pool valuation
   // copied per scenario per side) — the A/B baseline for the sparse paths.
@@ -173,20 +173,17 @@ int main() {
   // high-cardinality bench (bench_a7_highcard) is where the copies dominate.
   core::BatchOptions dense = options;
   dense.sweep = core::BatchOptions::Sweep::kDenseCopy;
-  timer.Reset();
-  core::BatchAssignReport dense_batch =
-      session.AssignBatch(scenarios, dense).ValueOrDie();
-  const double dense_seconds = timer.ElapsedSeconds();
+  core::BatchAssignReport dense_batch;
+  const double dense_seconds = bench::TimeSeconds([&] {
+    dense_batch = session.AssignBatch(scenarios, dense).ValueOrDie();
+  });
 
   double max_diff = MaxResultDifference(sequential, batch);
   max_diff = std::max(max_diff, MaxResultDifference(one_at_a_time, batch));
   max_diff = std::max(max_diff, MaxResultDifference(sequential, sparse_batch));
   max_diff = std::max(max_diff, MaxResultDifference(sequential, dense_batch));
-  const double speedup = batch_seconds > 0.0
-                             ? sequential_seconds / batch_seconds
-                             : HUGE_VAL;
-  const double batching_speedup =
-      batch_seconds > 0.0 ? single_seconds / batch_seconds : HUGE_VAL;
+  const double speedup = bench::Ratio(sequential_seconds, batch_seconds);
+  const double batching_speedup = bench::Ratio(single_seconds, batch_seconds);
 
   std::printf("\n%-28s %12s %16s\n", "mode", "total (ms)", "per scenario");
   std::printf("%-28s %12.2f %14.2fms\n", "sequential Assign() x N",
@@ -204,10 +201,8 @@ int main() {
   std::printf("%-28s %12.2f %14.2fus\n", "AssignBatch(N) dense-copy",
               dense_seconds * 1e3,
               dense_seconds * 1e6 / static_cast<double>(num_scenarios));
-  const double sparse_vs_copy =
-      sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : HUGE_VAL;
-  const double blocked_vs_sparse =
-      batch_seconds > 0.0 ? sparse_seconds / batch_seconds : HUGE_VAL;
+  const double sparse_vs_copy = bench::Ratio(dense_seconds, sparse_seconds);
+  const double blocked_vs_sparse = bench::Ratio(sparse_seconds, batch_seconds);
   std::printf(
       "\nscenarios=%zu threads=%zu  speedup vs Assign()=%.1fx  "
       "vs one-at-a-time batches=%.1fx  sparse vs dense-copy=%.2fx  "
@@ -235,5 +230,9 @@ int main() {
   json.Add("identical", max_diff == 0.0);
   json.WriteFile("BENCH_a6.json");
 
-  return max_diff == 0.0 && speedup >= 5.0 ? 0 : 1;
+  bench::GateSet gates;
+  gates.Require("identical", max_diff == 0.0);
+  gates.Require("speedup_vs_sequential>=5x", speedup >= 5.0);
+  gates.Print();
+  return gates.ExitCode();
 }

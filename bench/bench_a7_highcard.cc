@@ -27,7 +27,7 @@
 //        COBRA_A7_THREADS (0 = hardware), COBRA_A7_BUCKET (128 orders per
 //        tree bucket), COBRA_A7_BOUND_PCT (60), COBRA_A7_CHECK (16
 //        scenarios cross-checked against sequential Assign()),
-//        COBRA_A7_LANES (8, blocked-kernel lane count: 4 or 8),
+//        COBRA_A7_LANES (8, blocked-kernel lane count: 4, 8 or 16),
 //        COBRA_A7_MT_THREADS (hardware, floored at 2 — the extra blocked
 //        run exercising the multi-threaded tile pool).
 
@@ -156,18 +156,18 @@ int main() {
   // the per-scenario valuation materialization, which happens before its
   // sweep timer starts, and the blocked engine's includes its per-block
   // override-table construction.
-  util::Timer timer;
-  core::BatchAssignReport dense_batch =
-      snapshot->AssignBatch(scenarios, dense).ValueOrDie();
-  const double dense_seconds = timer.ElapsedSeconds();
-  timer.Reset();
-  core::BatchAssignReport sparse_batch =
-      snapshot->AssignBatch(scenarios, sparse).ValueOrDie();
-  const double sparse_seconds = timer.ElapsedSeconds();
-  timer.Reset();
-  core::BatchAssignReport blocked_batch =
-      snapshot->AssignBatch(scenarios, blocked).ValueOrDie();
-  const double blocked_seconds = timer.ElapsedSeconds();
+  core::BatchAssignReport dense_batch;
+  const double dense_seconds = bench::TimeSeconds([&] {
+    dense_batch = snapshot->AssignBatch(scenarios, dense).ValueOrDie();
+  });
+  core::BatchAssignReport sparse_batch;
+  const double sparse_seconds = bench::TimeSeconds([&] {
+    sparse_batch = snapshot->AssignBatch(scenarios, sparse).ValueOrDie();
+  });
+  core::BatchAssignReport blocked_batch;
+  const double blocked_seconds = bench::TimeSeconds([&] {
+    blocked_batch = snapshot->AssignBatch(scenarios, blocked).ValueOrDie();
+  });
 
   // Multi-threaded coverage: the same blocked sweep with threads > 1 drives
   // the work-stealing tile pool (a single-threaded run never spawns it) and
@@ -179,10 +179,10 @@ int main() {
                         std::thread::hardware_concurrency()));
   core::BatchOptions blocked_mt = blocked;
   blocked_mt.num_threads = mt_threads;
-  timer.Reset();
-  core::BatchAssignReport blocked_mt_batch =
-      snapshot->AssignBatch(scenarios, blocked_mt).ValueOrDie();
-  const double blocked_mt_seconds = timer.ElapsedSeconds();
+  core::BatchAssignReport blocked_mt_batch;
+  const double blocked_mt_seconds = bench::TimeSeconds([&] {
+    blocked_mt_batch = snapshot->AssignBatch(scenarios, blocked_mt).ValueOrDie();
+  });
 
   double max_diff = MaxBatchDifference(dense_batch, sparse_batch);
   max_diff = std::max(max_diff,
@@ -213,10 +213,9 @@ int main() {
   }
   session.ResetMetaValues().CheckOK();
 
-  const double sparse_vs_dense =
-      sparse_seconds > 0.0 ? dense_seconds / sparse_seconds : HUGE_VAL;
+  const double sparse_vs_dense = bench::Ratio(dense_seconds, sparse_seconds);
   const double blocked_vs_sparse =
-      blocked_seconds > 0.0 ? sparse_seconds / blocked_seconds : HUGE_VAL;
+      bench::Ratio(sparse_seconds, blocked_seconds);
   std::printf("\n%-28s %12s %16s\n", "mode", "total (ms)", "per scenario");
   std::printf("%-28s %12.2f %14.2fus\n", "dense-copy sweep",
               dense_seconds * 1e3,
@@ -236,9 +235,9 @@ int main() {
       "sparse=%.0f blocked=%.0f\n"
       "sparse vs copy=%.1fx  blocked vs sparse=%.1fx  max |diff|=%g\n",
       num_scenarios, blocked_batch.num_threads, lanes,
-      dense_seconds > 0.0 ? num_scenarios / dense_seconds : HUGE_VAL,
-      sparse_seconds > 0.0 ? num_scenarios / sparse_seconds : HUGE_VAL,
-      blocked_seconds > 0.0 ? num_scenarios / blocked_seconds : HUGE_VAL,
+      bench::Ratio(static_cast<double>(num_scenarios), dense_seconds),
+      bench::Ratio(static_cast<double>(num_scenarios), sparse_seconds),
+      bench::Ratio(static_cast<double>(num_scenarios), blocked_seconds),
       sparse_vs_dense, blocked_vs_sparse, max_diff);
   std::printf("result check: %s (sequential sample: %zu)\n",
               max_diff == 0.0 ? "IDENTICAL" : "MISMATCH", sample);
@@ -262,7 +261,10 @@ int main() {
   json.Add("identical", max_diff == 0.0);
   json.WriteFile("BENCH_a7.json");
 
-  return max_diff == 0.0 && sparse_vs_dense >= 2.0 && blocked_vs_sparse >= 2.0
-             ? 0
-             : 1;
+  bench::GateSet gates;
+  gates.Require("identical", max_diff == 0.0);
+  gates.Require("sparse_vs_dense>=2x", sparse_vs_dense >= 2.0);
+  gates.Require("blocked_vs_sparse>=2x", blocked_vs_sparse >= 2.0);
+  gates.Print();
+  return gates.ExitCode();
 }

@@ -207,9 +207,8 @@ int main() {
       session->Snapshot().ValueOrDie();
   core::ScenarioSet scenarios = MakeScenarios(*origin, num_scenarios);
 
-  util::Timer timer;
-  core::SaveSnapshot(*origin, path).CheckOK();
-  const double save_seconds = timer.ElapsedSeconds();
+  const double save_seconds = bench::TimeSeconds(
+      [&] { core::SaveSnapshot(*origin, path).CheckOK(); });
   const std::size_t snapshot_bytes = util::ReadFile(path).ValueOrDie().size();
 
   if (mode == "save") {
@@ -224,13 +223,11 @@ int main() {
 
   // Replica-side load, repeated: min over repetitions isolates the parse +
   // rebuild cost from filesystem-cache warmup noise.
-  double load_seconds = HUGE_VAL;
   std::shared_ptr<const core::CompiledSession> replica;
-  for (std::size_t r = 0; r < std::max<std::size_t>(1, load_reps); ++r) {
-    timer.Reset();
-    replica = core::LoadSnapshot(path).ValueOrDie();
-    load_seconds = std::min(load_seconds, timer.ElapsedSeconds());
-  }
+  const double load_seconds =
+      bench::BestOfSeconds(std::max<std::size_t>(1, load_reps), [&] {
+        replica = core::LoadSnapshot(path).ValueOrDie();
+      });
 
   // Bit-identity between origin and replica sessions (the CI save/load
   // steps additionally cover two separate processes), per sweep engine.
@@ -247,8 +244,7 @@ int main() {
         std::max(max_diff, MaxBatchDifference(origin_batch, replica_batch));
   }
 
-  const double speedup =
-      load_seconds > 0.0 ? compress_seconds / load_seconds : HUGE_VAL;
+  const double speedup = bench::Ratio(compress_seconds, load_seconds);
   std::printf("\n%-28s %12.2fms\n", "compress + snapshot (origin)",
               compress_seconds * 1e3);
   std::printf("%-28s %12.2fms  (%zu bytes)\n", "save snapshot",
@@ -276,5 +272,9 @@ int main() {
   json.Add("identical", max_diff == 0.0);
   json.WriteFile("BENCH_a8.json");
 
-  return max_diff == 0.0 && speedup >= 5.0 ? 0 : 1;
+  bench::GateSet gates;
+  gates.Require("identical", max_diff == 0.0);
+  gates.Require("load_vs_recompile>=5x", speedup >= 5.0);
+  gates.Print();
+  return gates.ExitCode();
 }

@@ -168,21 +168,20 @@ int main() {
   // Best-of-R cold (cache cleared before each call) vs warm (cached plan).
   double cold_seconds = HUGE_VAL;
   double warm_seconds = HUGE_VAL;
-  util::Timer timer;
   for (std::size_t r = 0; r < reps; ++r) {
     snapshot->ClearPlanCache();
-    timer.Reset();
-    core::BatchAssignReport cold =
-        snapshot->AssignBatch(scenarios, options).ValueOrDie();
-    cold_seconds = std::min(cold_seconds, timer.ElapsedSeconds());
+    core::BatchAssignReport cold;
+    cold_seconds = std::min(cold_seconds, bench::TimeSeconds([&] {
+      cold = snapshot->AssignBatch(scenarios, options).ValueOrDie();
+    }));
     if (cold.plan_cache_hit) {
       std::fprintf(stderr, "cold call unexpectedly hit the plan cache\n");
       return 1;
     }
-    timer.Reset();
-    core::BatchAssignReport warm =
-        snapshot->AssignBatch(scenarios, options).ValueOrDie();
-    warm_seconds = std::min(warm_seconds, timer.ElapsedSeconds());
+    core::BatchAssignReport warm;
+    warm_seconds = std::min(warm_seconds, bench::TimeSeconds([&] {
+      warm = snapshot->AssignBatch(scenarios, options).ValueOrDie();
+    }));
     if (!warm.plan_cache_hit) {
       std::fprintf(stderr, "warm call missed the plan cache\n");
       return 1;
@@ -201,18 +200,17 @@ int main() {
   core::BatchOptions options_mt = options;
   options_mt.num_threads = mt_threads;
   snapshot->AssignBatch(scenarios, options_mt).ValueOrDie();  // plan + warm
-  timer.Reset();
-  core::BatchAssignReport warm_mt =
-      snapshot->AssignBatch(scenarios, options_mt).ValueOrDie();
-  const double warm_mt_seconds = timer.ElapsedSeconds();
+  core::BatchAssignReport warm_mt;
+  const double warm_mt_seconds = bench::TimeSeconds([&] {
+    warm_mt = snapshot->AssignBatch(scenarios, options_mt).ValueOrDie();
+  });
   if (!warm_mt.plan_cache_hit) {
     std::fprintf(stderr, "multi-threaded warm call missed the plan cache\n");
     return 1;
   }
   max_diff = std::max(max_diff, MaxBatchDifference(auto_cold, warm_mt));
 
-  const double warm_speedup =
-      warm_seconds > 0.0 ? cold_seconds / warm_seconds : HUGE_VAL;
+  const double warm_speedup = bench::Ratio(cold_seconds, warm_seconds);
   const core::CompiledSession::PlanCacheStats stats =
       snapshot->plan_cache_stats();
 
@@ -257,5 +255,9 @@ int main() {
   json.Add("identical", max_diff == 0.0);
   json.WriteFile("BENCH_a9.json");
 
-  return max_diff == 0.0 && warm_speedup >= 1.5 ? 0 : 1;
+  bench::GateSet gates;
+  gates.Require("identical", max_diff == 0.0);
+  gates.Require("warm_vs_cold>=1.5x", warm_speedup >= 1.5);
+  gates.Print();
+  return gates.ExitCode();
 }

@@ -1,6 +1,7 @@
 #ifndef COBRA_BENCH_BENCH_UTIL_H_
 #define COBRA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -8,7 +9,69 @@
 #include <utility>
 #include <vector>
 
+#include "util/timer.h"
+
 namespace cobra::bench {
+
+/// Runs `fn` once and returns its wall-clock duration in seconds.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  util::Timer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+/// Runs `fn` `repeats` times and returns the best (minimum) duration —
+/// the standard noise-rejection loop for short, cache-warm measurements.
+template <typename Fn>
+double BestOfSeconds(std::size_t repeats, Fn&& fn) {
+  double best = HUGE_VAL;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    best = std::min(best, TimeSeconds(fn));
+  }
+  return best;
+}
+
+/// `numerator / denominator` with the shared bench convention for a
+/// degenerate denominator: HUGE_VAL (rendered as `null` by JsonObject), so
+/// a zero-duration baseline reads as "unmeasurably fast", never as a crash.
+inline double Ratio(double numerator, double denominator) {
+  return denominator > 0.0 ? numerator / denominator : HUGE_VAL;
+}
+
+/// Named pass/fail acceptance gates with the shared exit-code contract:
+/// every bench returns `gates.ExitCode()` — 0 iff every armed gate passed.
+/// Gates may also be skipped with a visible notice (e.g. the multi-core
+/// scaling gate on a 1-core CI box); a skipped gate never fails the run
+/// but always announces itself so CI logs show what was not proven.
+class GateSet {
+ public:
+  /// Records (and echoes) one gate. Returns `ok` so call sites can branch.
+  bool Require(const std::string& name, bool ok) {
+    lines_.push_back("gate " + name + ": " + (ok ? "PASS" : "FAIL"));
+    all_ok_ = all_ok_ && ok;
+    return ok;
+  }
+
+  /// Records a gate that cannot be armed in this environment.
+  void Skip(const std::string& name, const std::string& reason) {
+    lines_.push_back("gate " + name + ": SKIPPED (" + reason + ")");
+  }
+
+  /// Prints one line per gate in recording order.
+  void Print() const {
+    std::printf("\n");
+    for (const std::string& line : lines_) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+  int ExitCode() const { return all_ok_ ? 0 : 1; }
+
+ private:
+  std::vector<std::string> lines_;
+  bool all_ok_ = true;
+};
 
 /// Reads a positive integer knob from the environment (scaling overrides
 /// for the experiment binaries), falling back to `fallback`.

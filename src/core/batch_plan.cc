@@ -26,6 +26,28 @@ constexpr std::size_t kAutoMinBlockedWeight = 2048;
 /// factor before blocking pays.
 constexpr std::size_t kAutoOverrideWeightFactor = 32;
 
+/// Below this many scenarios the adaptive policy stays on the scalar sparse
+/// engine even for heavy programs. Fit from the accumulated bench record:
+/// BENCH_a6 measured blocked at 0.79x sparse with 64 scenarios while
+/// BENCH_a7 measured 3.5x at 1024 — the block-table builds and tile
+/// dispatch only amortize once a couple hundred scenarios share them, so
+/// the old crossover (blocked from 2 scenarios up) was wrong on both
+/// workloads.
+constexpr std::size_t kAutoMinBlockedScenarios = 128;
+
+/// From this many scenarios up the adaptive policy widens blocks to 16
+/// lanes: with hundreds of blocks the wider ragged tail is noise and the
+/// per-factor bookkeeping (row lookup, base load) is amortized over twice
+/// the scenarios per program scan.
+constexpr std::size_t kAutoWideLanesMinScenarios = 512;
+
+/// The adaptive layout policy's re-layout-amortization threshold, in units
+/// of program weight x scenario count (~sweep work). The SoA image build is
+/// one O(weight) pass, so it is amortized as soon as the sweep re-reads the
+/// program a handful of times; the threshold mainly keeps tiny batches from
+/// paying an allocation they cannot win back.
+constexpr std::size_t kAutoSoAMinWork = std::size_t{1} << 20;
+
 /// Builds the tile schedule for one program: whole-poly ranges sized by
 /// PartitionPolys, with the dominant-polynomial term-splitting fallback —
 /// exactly the tiling AssignBatch used to rebuild per call, now derived
@@ -91,12 +113,31 @@ util::Status ValidateSweepOptions(const BatchOptions& options) {
           static_cast<int>(options.sweep)));
   }
   if (options.sweep == BatchOptions::Sweep::kBlocked &&
-      options.block_lanes != 4 && options.block_lanes != 8) {
+      options.block_lanes != 4 && options.block_lanes != 8 &&
+      options.block_lanes != 16) {
     return util::Status::InvalidArgument(util::StrFormat(
-        "AssignBatch: invalid BatchOptions.block_lanes = %zu (accepted: 4 or "
-        "8; kAuto picks the lane count itself and the scalar engines ignore "
-        "the knob)",
+        "AssignBatch: invalid BatchOptions.block_lanes = %zu (accepted: 4, 8 "
+        "or 16; kAuto picks the lane count itself and the scalar engines "
+        "ignore the knob)",
         options.block_lanes));
+  }
+  switch (options.layout) {
+    case BatchOptions::Layout::kAuto:
+    case BatchOptions::Layout::kAoS:
+    case BatchOptions::Layout::kSoA:
+      break;
+    default:
+      return util::Status::InvalidArgument(util::StrFormat(
+          "AssignBatch: invalid BatchOptions.layout = %d (accepted: kAuto, "
+          "kAoS, kSoA)",
+          static_cast<int>(options.layout)));
+  }
+  if (options.prefetch_distance > 64) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "AssignBatch: invalid BatchOptions.prefetch_distance = %zu "
+        "(accepted: 0 to 64 cache lines ahead of the SoA kernels' "
+        "factor/coeff cursors; 0 disables prefetching)",
+        options.prefetch_distance));
   }
   return util::Status::OK();
 }
@@ -161,12 +202,30 @@ BaseFingerprint FingerprintBase(const prov::Valuation& base,
 EnginePick ChooseAutoEngine(std::size_t program_weight,
                             std::size_t num_scenarios,
                             std::size_t max_override_width) {
-  if (num_scenarios < 2 || program_weight < kAutoMinBlockedWeight ||
+  // Policy table (fit from BENCH_a6/a7; see the header comment):
+  //   n < 128, weight < 2048, or weight < 32 x override width -> sparse
+  //   128 <= n < 512 -> blocked, 8 lanes
+  //   n >= 512       -> blocked, 16 lanes
+  if (num_scenarios < kAutoMinBlockedScenarios ||
+      program_weight < kAutoMinBlockedWeight ||
       program_weight < kAutoOverrideWeightFactor * max_override_width) {
     return {BatchOptions::Sweep::kSparseDelta, 1};
   }
   return {BatchOptions::Sweep::kBlocked,
-          num_scenarios >= 8 ? std::size_t{8} : std::size_t{4}};
+          num_scenarios >= kAutoWideLanesMinScenarios ? std::size_t{16}
+                                                      : std::size_t{8}};
+}
+
+prov::EvalLayout ChooseAutoLayout(std::size_t program_weight,
+                                  std::size_t num_scenarios) {
+  // Guard the multiply; any plausible overflow is far past the threshold.
+  if (program_weight != 0 &&
+      num_scenarios > kAutoSoAMinWork / program_weight) {
+    return prov::EvalLayout::kSoA;
+  }
+  return program_weight * num_scenarios >= kAutoSoAMinWork
+             ? prov::EvalLayout::kSoA
+             : prov::EvalLayout::kAoS;
 }
 
 util::Result<std::shared_ptr<const PlanCore>> PlanCore::Create(
@@ -254,16 +313,15 @@ util::Result<std::shared_ptr<const PlanCore>> PlanCore::Create(
   // Resolve the engine. The kAuto policy reads only the program shapes, the
   // scenario count and the override width — never the thread count — so the
   // choice is deterministic for a given workload.
+  const std::size_t weight = sweep_full.NumTerms() +
+                             sweep_full.factors().size() +
+                             compressed.NumTerms() +
+                             compressed.factors().size();
   EnginePick pick;
   switch (options.sweep) {
-    case BatchOptions::Sweep::kAuto: {
-      const std::size_t weight = sweep_full.NumTerms() +
-                                 sweep_full.factors().size() +
-                                 compressed.NumTerms() +
-                                 compressed.factors().size();
+    case BatchOptions::Sweep::kAuto:
       pick = ChooseAutoEngine(weight, n, max_override_width);
       break;
-    }
     case BatchOptions::Sweep::kBlocked:
       pick = {BatchOptions::Sweep::kBlocked, options.block_lanes};
       break;
@@ -276,6 +334,34 @@ util::Result<std::shared_ptr<const PlanCore>> PlanCore::Create(
   }
   core->engine_ = pick.engine;
   core->lanes_ = pick.lanes;
+
+  // Resolve the layout — same plan-time determinism contract as the engine.
+  // Only the blocked kernel has SoA image paths: the scalar engines always
+  // execute AoS, so a scalar resolution silently pins kAoS (the knob is a
+  // performance hint and can never change results). The SoA images are
+  // built here, once, and cached on the core: grid overlays and plan-cache
+  // replays reuse them without re-laying anything out.
+  if (core->engine_ == BatchOptions::Sweep::kBlocked) {
+    switch (options.layout) {
+      case BatchOptions::Layout::kAuto:
+        core->layout_ = ChooseAutoLayout(weight, n);
+        break;
+      case BatchOptions::Layout::kAoS:
+        core->layout_ = prov::EvalLayout::kAoS;
+        break;
+      case BatchOptions::Layout::kSoA:
+        core->layout_ = prov::EvalLayout::kSoA;
+        break;
+    }
+  } else {
+    core->layout_ = prov::EvalLayout::kAoS;
+  }
+  if (core->layout_ == prov::EvalLayout::kSoA) {
+    core->full_image_ = std::make_shared<const prov::EvalImage>(
+        prov::EvalImage::Build(sweep_full));
+    core->compressed_image_ = std::make_shared<const prov::EvalImage>(
+        prov::EvalImage::Build(compressed));
+  }
 
   std::size_t threads = options.num_threads;
   if (threads == 0) {
@@ -330,6 +416,15 @@ util::Result<std::shared_ptr<const PlanCore>> PlanCore::Create(
   }
 
   return std::shared_ptr<const PlanCore>(std::move(core));
+}
+
+std::shared_ptr<const PlanCore> PlanCore::WithImages(
+    std::shared_ptr<const prov::EvalImage> full,
+    std::shared_ptr<const prov::EvalImage> compressed) const {
+  auto copy = std::shared_ptr<PlanCore>(new PlanCore(*this));
+  copy->full_image_ = std::move(full);
+  copy->compressed_image_ = std::move(compressed);
+  return copy;
 }
 
 std::shared_ptr<const PlanBaseOverlay> PlanCore::MakeOverlay(
@@ -420,6 +515,23 @@ util::Result<std::shared_ptr<const StreamPlan>> StreamPlan::Create(
   plan->lanes_ = pick.lanes;
   if (pick.engine == BatchOptions::Sweep::kBlocked) {
     plan->resolved_.block_lanes = pick.lanes;
+    // Pin the layout for the whole stream so chunk boundaries can never
+    // flip it: resolve kAuto here with the window standing in for the
+    // scenario count (each chunk is a batch of at most `window` scenarios).
+    if (plan->resolved_.layout == BatchOptions::Layout::kAuto) {
+      const prov::EvalProgram& sweep_full = session->sweep_full_program();
+      const prov::EvalProgram& compressed = session->compressed_program();
+      const std::size_t weight = sweep_full.NumTerms() +
+                                 sweep_full.factors().size() +
+                                 compressed.NumTerms() +
+                                 compressed.factors().size();
+      plan->resolved_.layout =
+          ChooseAutoLayout(weight, plan->window_) == prov::EvalLayout::kSoA
+              ? BatchOptions::Layout::kSoA
+              : BatchOptions::Layout::kAoS;
+    }
+  } else {
+    plan->resolved_.layout = BatchOptions::Layout::kAoS;
   }
   if (plan->resolved_.num_threads == 0) {
     plan->resolved_.num_threads =

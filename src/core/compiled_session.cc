@@ -336,7 +336,9 @@ std::size_t CompiledSession::PlanCacheKeyHash::operator()(
   std::uint64_t h = key.scenarios.lo;
   h = util::HashCombine(h, key.scenarios.hi);
   h = util::HashCombine(h, key.sweep);
+  h = util::HashCombine(h, key.layout);
   h = util::HashCombine(h, key.block_lanes);
+  h = util::HashCombine(h, key.prefetch_distance);
   h = util::HashCombine(h, key.num_threads);
   h = util::HashCombine(h, key.partition_min_terms);
   h = util::HashCombine(h, key.split_min_terms);
@@ -352,7 +354,9 @@ CompiledSession::PlanCacheKey CompiledSession::MakePlanCacheKey(
   PlanCacheKey key;
   key.scenarios = FingerprintScenarios(scenarios);
   key.sweep = static_cast<std::uint32_t>(options.sweep);
+  key.layout = static_cast<std::uint32_t>(options.layout);
   key.block_lanes = options.block_lanes;
+  key.prefetch_distance = options.prefetch_distance;
   key.num_threads = options.num_threads;
   key.partition_min_terms = options.partition_min_terms;
   key.split_min_terms = options.split_min_terms;
@@ -531,6 +535,7 @@ util::Result<BatchAssignReport> CompiledSession::Execute(
   batch.scenario_names = plan.scenario_names();
   batch.engine = plan.engine();
   batch.block_lanes = plan.lanes();
+  batch.layout = plan.layout();
 
   if (plan.engine() == BatchOptions::Sweep::kDenseCopy) {
     // Legacy engine: materialize one full-pool valuation per scenario per
@@ -591,11 +596,12 @@ util::Result<BatchAssignReport> CompiledSession::Execute(
 
     std::size_t used_threads = 1;
     auto sweep = [&](const prov::EvalProgram& program,
+                     const prov::EvalImage* image,
                      const ProgramSchedule& schedule,
                      std::vector<std::vector<double>>* out) {
       const std::size_t polys = program.NumPolys();
       std::vector<double> flat(n * polys, 0.0);
-      SweepPlanProgram(core, overlay, program, schedule, flat.data(),
+      SweepPlanProgram(core, overlay, program, image, schedule, flat.data(),
                        &used_threads);
       for (std::size_t i = 0; i < n; ++i) {
         (*out)[i].assign(flat.begin() + i * polys,
@@ -603,11 +609,12 @@ util::Result<BatchAssignReport> CompiledSession::Execute(
       }
     };
     util::Timer timer;
-    sweep(sweep_full, plan.full_schedule(), &full_values);
+    sweep(sweep_full, core.full_image().get(), plan.full_schedule(),
+          &full_values);
     batch.full_sweep_seconds = timer.ElapsedSeconds();
     timer.Reset();
-    sweep(compressed_program, plan.compressed_schedule(),
-          &compressed_values);
+    sweep(compressed_program, core.compressed_image().get(),
+          plan.compressed_schedule(), &compressed_values);
     batch.compressed_sweep_seconds = timer.ElapsedSeconds();
     batch.num_threads = used_threads;
   }
@@ -635,6 +642,7 @@ util::Result<BatchAssignReport> CompiledSession::Execute(
 void CompiledSession::SweepPlanProgram(const PlanCore& core,
                                        const PlanBaseOverlay& overlay,
                                        const prov::EvalProgram& program,
+                                       const prov::EvalImage* image,
                                        const ProgramSchedule& schedule,
                                        double* flat,
                                        std::size_t* used_threads,
@@ -651,6 +659,7 @@ void CompiledSession::SweepPlanProgram(const PlanCore& core,
   // adjacent rows of the scenario-major matrix with stride `polys`.
   const std::size_t n = core.num_scenarios();
   const std::size_t threads = core.num_threads();
+  const std::size_t prefetch_distance = core.options().prefetch_distance;
   const bool use_blocks = core.engine() == BatchOptions::Sweep::kBlocked;
   const std::size_t lanes = core.lanes();
   const std::size_t num_blocks = core.num_blocks();
@@ -681,14 +690,28 @@ void CompiledSession::SweepPlanProgram(const PlanCore& core,
     if (use_blocks) {
       const prov::BlockOverrides& table = block_tables[block];
       if (s < ranges.size()) {
-        program.EvalRangeBlocked(base, table, ranges[s].first,
-                                 ranges[s].second, flat + i0 * polys, polys);
+        if (image != nullptr) {
+          image->EvalRangeBlocked(base, table, ranges[s].first,
+                                  ranges[s].second, flat + i0 * polys, polys,
+                                  prefetch_distance);
+        } else {
+          program.EvalRangeBlocked(base, table, ranges[s].first,
+                                   ranges[s].second, flat + i0 * polys,
+                                   polys);
+        }
       } else {
         const std::size_t k = s - ranges.size();
-        program.EvalTermRangeBlocked(base, table, term_bounds[k],
-                                     term_bounds[k + 1],
-                                     partials.data() + i0 * term_slices + k,
-                                     term_slices);
+        if (image != nullptr) {
+          image->EvalTermRangeBlocked(base, table, term_bounds[k],
+                                      term_bounds[k + 1],
+                                      partials.data() + i0 * term_slices + k,
+                                      term_slices, prefetch_distance);
+        } else {
+          program.EvalTermRangeBlocked(base, table, term_bounds[k],
+                                       term_bounds[k + 1],
+                                       partials.data() + i0 * term_slices + k,
+                                       term_slices);
+        }
       }
     } else {
       const std::vector<prov::VarOverride>& ov = compiled[i0].overrides;
@@ -764,6 +787,7 @@ util::Result<GridAssignReport> CompiledSession::AssignGrid(
   grid.scenario_names = core->scenario_names();
   grid.engine = core->engine();
   grid.block_lanes = core->lanes();
+  grid.layout = core->layout();
 
   const std::size_t polys_full = artifacts_->sweep_full_program.NumPolys();
   const std::size_t polys_comp = artifacts_->compressed_program.NumPolys();
@@ -827,12 +851,13 @@ util::Result<GridAssignReport> CompiledSession::AssignGrid(
 
     util::Timer timer;
     SweepPlanProgram(*core, *overlay, artifacts_->sweep_full_program,
-                     core->full_schedule(),
+                     core->full_image().get(), core->full_schedule(),
                      grid.full_values.data() + b * n * polys_full,
                      &used_threads);
     grid.full_sweep_seconds += timer.ElapsedSeconds();
     timer.Reset();
     SweepPlanProgram(*core, *overlay, artifacts_->compressed_program,
+                     core->compressed_image().get(),
                      core->compressed_schedule(),
                      grid.compressed_values.data() + b * n * polys_comp,
                      &used_threads);
@@ -995,6 +1020,9 @@ util::Result<SweepSummary> CompiledSession::AssignStream(
   summary.source_fingerprint = plan.source_fingerprint();
   summary.engine = plan.engine();
   summary.block_lanes = plan.lanes();
+  summary.layout = plan.layout() == BatchOptions::Layout::kSoA
+                       ? prov::EvalLayout::kSoA
+                       : prov::EvalLayout::kAoS;
   summary.num_threads = plan.num_threads();
   summary.window = plan.window();
   summary.labels = artifacts_->labels;
@@ -1110,8 +1138,10 @@ util::Result<SweepSummary> CompiledSession::AssignStream(
     comp_flat.assign(count * polys_comp, 0.0);
     std::size_t used_threads = 1;
     timer.Reset();
-    SweepPlanProgram(core, *overlay, compressed, core.compressed_schedule(),
-                     comp_flat.data(), &used_threads);
+    SweepPlanProgram(core, *overlay, compressed,
+                     core.compressed_image().get(),
+                     core.compressed_schedule(), comp_flat.data(),
+                     &used_threads);
     summary.compressed_sweep_seconds += timer.ElapsedSeconds();
 
     // Fixed-order metric pass: aggregates and early-exit decisions walk
@@ -1176,8 +1206,9 @@ util::Result<SweepSummary> CompiledSession::AssignStream(
     full_flat.assign(count * polys_full, 0.0);
     timer.Reset();
     if (query.kind == StreamQuery::Kind::kAll) {
-      SweepPlanProgram(core, *overlay, sweep_full, core.full_schedule(),
-                       full_flat.data(), &used_threads);
+      SweepPlanProgram(core, *overlay, sweep_full, core.full_image().get(),
+                       core.full_schedule(), full_flat.data(),
+                       &used_threads);
       summary.full_rows_computed += count;
     } else {
       const std::size_t lanes = core.lanes();
@@ -1199,8 +1230,9 @@ util::Result<SweepSummary> CompiledSession::AssignStream(
       summary.full_rows_computed += rows_run;
       summary.full_rows_skipped += count - rows_run;
       if (any) {
-        SweepPlanProgram(core, *overlay, sweep_full, core.full_schedule(),
-                         full_flat.data(), &used_threads, mask.data());
+        SweepPlanProgram(core, *overlay, sweep_full, core.full_image().get(),
+                         core.full_schedule(), full_flat.data(),
+                         &used_threads, mask.data());
       }
       // Report rows the consumer may read: only surviving blocks' rows.
       for (std::size_t i = 0; i < count; ++i) {

@@ -519,4 +519,16 @@ const char* SweepName(BatchOptions::Sweep sweep) {
   return "?";
 }
 
+const char* LayoutName(BatchOptions::Layout layout) {
+  switch (layout) {
+    case BatchOptions::Layout::kAuto:
+      return "kAuto";
+    case BatchOptions::Layout::kAoS:
+      return "kAoS";
+    case BatchOptions::Layout::kSoA:
+      return "kSoA";
+  }
+  return "?";
+}
+
 }  // namespace cobra::core

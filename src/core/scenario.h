@@ -400,12 +400,42 @@ struct BatchOptions {
 
   Sweep sweep = Sweep::kAuto;
 
-  /// Scenario lanes per block for `Sweep::kBlocked`: 4 or 8 (the kernel's
-  /// compile-time lane widths). A trailing ragged block (num_scenarios %
-  /// block_lanes != 0) runs with its real lane count padded up to the
-  /// nearest width; padding lanes are discarded, so ragged tails are still
-  /// bit-identical.
+  /// Scenario lanes per block for `Sweep::kBlocked`: 4, 8 or 16 (the
+  /// kernel's compile-time lane widths). A trailing ragged block
+  /// (num_scenarios % block_lanes != 0) runs with its real lane count padded
+  /// up to the nearest width; padding lanes are discarded, so ragged tails
+  /// are still bit-identical. The 16-lane width is compiled portably
+  /// everywhere; it only vectorizes to AVX-512 when the library is built
+  /// with `COBRA_ENABLE_NATIVE_ARCH` on a machine that has it.
   std::size_t block_lanes = 8;
+
+  /// Memory layout the blocked kernel executes the compiled programs in.
+  enum class Layout {
+    /// Plan-time policy (default): the planner picks `kSoA` when program
+    /// weight × scenario count clears the re-layout-amortization threshold
+    /// (see `ChooseAutoLayout()` in core/batch_plan.h), `kAoS` otherwise.
+    /// Deterministic, and both layouts are bit-identical, so `kAuto` never
+    /// changes results.
+    kAuto,
+    /// The compile-time layout of `EvalProgram` itself — no image is built.
+    kAoS,
+    /// Force the cache-line-aligned `prov::EvalImage` re-layout (built once
+    /// per plan, cached on the `PlanCore`, reused by grid/stream replays).
+    kSoA,
+  };
+
+  /// Layout policy for `Sweep::kBlocked` (and the blocked resolution of
+  /// `Sweep::kAuto`). The scalar engines have no image kernels, so they
+  /// always execute `kAoS`; requesting `kSoA` with a scalar engine is
+  /// accepted and resolves to `kAoS` (the knob is a performance hint and
+  /// can never change results).
+  Layout layout = Layout::kAuto;
+
+  /// Software-prefetch distance for the SoA image kernels, in 64-byte cache
+  /// lines ahead of the factor/coeff stream cursors. 0 disables prefetching;
+  /// accepted range is 0 to 64. Ignored by the AoS and scalar paths. A pure
+  /// scheduling hint — never affects results.
+  std::size_t prefetch_distance = 8;
 
   /// Intra-program partitioning (blocked + sparse sweeps): when there are
   /// fewer scenario blocks than worker threads, each program is split into
@@ -447,6 +477,10 @@ struct BatchOptions {
 /// Human-readable engine name ("kAuto", "kBlocked", ...); "?" for values
 /// outside the enum.
 const char* SweepName(BatchOptions::Sweep sweep);
+
+/// Human-readable layout-policy name ("kAuto", "kAoS", "kSoA"); "?" for
+/// values outside the enum.
+const char* LayoutName(BatchOptions::Layout layout);
 
 }  // namespace cobra::core
 

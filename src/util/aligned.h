@@ -1,0 +1,68 @@
+#ifndef COBRA_UTIL_ALIGNED_H_
+#define COBRA_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace cobra::util {
+
+/// Cache-line size the execution-image arrays are aligned to. 64 bytes is
+/// the line size on every x86-64 and the vast majority of AArch64 parts;
+/// over-alignment on exotic targets is harmless.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal std::allocator replacement that hands out `Alignment`-aligned
+/// storage via the C++17 aligned operator new. Used for the plan-time SoA
+/// execution images so the blocked kernels stream factor/coeff arrays from
+/// cache-line boundaries (and so 16-lane stores never straddle a line).
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T),
+                "Alignment must be at least the natural alignment of T");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// Vector whose backing store starts on a cache-line boundary.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace cobra::util
+
+#endif  // COBRA_UTIL_ALIGNED_H_

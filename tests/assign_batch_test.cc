@@ -227,10 +227,10 @@ TEST_F(AssignBatchTest, RecompressionRefreshesCachedPrograms) {
   ExpectIdentical(sequential, tight);
 }
 
-// The blocked kernel only exists at the compile-time lane widths 4 and 8:
-// any other `block_lanes` (0 would divide by zero in the block count, 16
-// exceeds kMaxLanes) must be rejected up front with InvalidArgument, and
-// both accepted widths must keep producing sequential-identical results.
+// The blocked kernel only exists at the compile-time lane widths 4, 8 and
+// 16: any other `block_lanes` (0 would divide by zero in the block count,
+// 24 exceeds kMaxLanes) must be rejected up front with InvalidArgument, and
+// all accepted widths must keep producing sequential-identical results.
 TEST_F(AssignBatchTest, BlockLanesOutsideSupportedWidthsRejected) {
   Session session;
   Load(&session);
@@ -239,7 +239,8 @@ TEST_F(AssignBatchTest, BlockLanesOutsideSupportedWidthsRejected) {
   ScenarioSet scenarios = MakeScenarios(session, 5);
 
   for (std::size_t lanes : {std::size_t{0}, std::size_t{1}, std::size_t{3},
-                            std::size_t{5}, std::size_t{16}}) {
+                            std::size_t{5}, std::size_t{12},
+                            std::size_t{24}}) {
     BatchOptions options;
     options.sweep = BatchOptions::Sweep::kBlocked;
     options.block_lanes = lanes;
@@ -252,7 +253,8 @@ TEST_F(AssignBatchTest, BlockLanesOutsideSupportedWidthsRejected) {
   }
 
   std::vector<ResultDelta> sequential = SequentialDeltas(&session, scenarios);
-  for (std::size_t lanes : {std::size_t{4}, std::size_t{8}}) {
+  for (std::size_t lanes :
+       {std::size_t{4}, std::size_t{8}, std::size_t{16}}) {
     BatchOptions options;
     options.sweep = BatchOptions::Sweep::kBlocked;
     options.block_lanes = lanes;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -71,18 +72,45 @@ TEST(ChooseAutoEngineTest, TinyProgramsFallBackToSparse) {
   // A single scenario has nothing to block with.
   EXPECT_EQ(ChooseAutoEngine(1u << 20, 1, 2).engine,
             BatchOptions::Sweep::kSparseDelta);
+  // BENCH_a6 measured blocked at 0.79x sparse for 64 scenarios: the batch
+  // must be at least 128 scenarios deep before blocking pays for itself.
+  EXPECT_EQ(ChooseAutoEngine(1u << 20, 64, 2).engine,
+            BatchOptions::Sweep::kSparseDelta);
+  EXPECT_EQ(ChooseAutoEngine(1u << 20, 5, 2).engine,
+            BatchOptions::Sweep::kSparseDelta);
   // Wide override unions need a proportionally longer scan to amortize.
-  EXPECT_EQ(ChooseAutoEngine(4096, 64, 1000).engine,
+  EXPECT_EQ(ChooseAutoEngine(4096, 1024, 1000).engine,
             BatchOptions::Sweep::kSparseDelta);
 }
 
 TEST(ChooseAutoEngineTest, LargeProgramsBlockAndSizeLanesByScenarioCount) {
+  // Deep batches (>= 512 scenarios) take the 16-lane kernel; the 128..511
+  // band stays at 8 lanes. 4 lanes is only reachable via explicit
+  // block_lanes = 4 — kAuto never picks it (BENCH_a7: 8 lanes already won
+  // at 3.54x sparse for 1024 scenarios and 16 extends the same curve).
   EnginePick many = ChooseAutoEngine(1u << 20, 1024, 2);
   EXPECT_EQ(many.engine, BatchOptions::Sweep::kBlocked);
-  EXPECT_EQ(many.lanes, 8u);
-  EnginePick few = ChooseAutoEngine(1u << 20, 5, 2);
-  EXPECT_EQ(few.engine, BatchOptions::Sweep::kBlocked);
-  EXPECT_EQ(few.lanes, 4u);
+  EXPECT_EQ(many.lanes, 16u);
+  EnginePick mid = ChooseAutoEngine(1u << 20, 256, 2);
+  EXPECT_EQ(mid.engine, BatchOptions::Sweep::kBlocked);
+  EXPECT_EQ(mid.lanes, 8u);
+  EnginePick edge = ChooseAutoEngine(1u << 20, 128, 2);
+  EXPECT_EQ(edge.engine, BatchOptions::Sweep::kBlocked);
+  EXPECT_EQ(edge.lanes, 8u);
+}
+
+TEST(ChooseAutoLayoutTest, SoAWhenReLayoutAmortizes) {
+  // The SoA image is an O(program) copy at plan time; it is only worth
+  // building when weight x scenarios clears the amortization threshold.
+  EXPECT_EQ(ChooseAutoLayout(1u << 20, 1024), prov::EvalLayout::kSoA);
+  EXPECT_EQ(ChooseAutoLayout(1u << 10, 1u << 10), prov::EvalLayout::kSoA);
+  EXPECT_EQ(ChooseAutoLayout(1u << 10, (1u << 10) - 1),
+            prov::EvalLayout::kAoS);
+  EXPECT_EQ(ChooseAutoLayout(64, 128), prov::EvalLayout::kAoS);
+  EXPECT_EQ(ChooseAutoLayout(0, 1024), prov::EvalLayout::kAoS);
+  // The product must not overflow its way under the threshold.
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_EQ(ChooseAutoLayout(huge, huge), prov::EvalLayout::kSoA);
 }
 
 TEST(BatchPlanTest, AutoChoiceIsDeterministicAcrossThreadCounts) {
@@ -236,7 +264,7 @@ TEST(BatchPlanTest, InvalidOptionsNameTheFieldAndAcceptedValues) {
   EXPECT_EQ(r1.status().code(), util::StatusCode::kInvalidArgument);
   EXPECT_NE(r1.status().message().find("BatchOptions.block_lanes"),
             std::string::npos);
-  EXPECT_NE(r1.status().message().find("4 or 8"), std::string::npos);
+  EXPECT_NE(r1.status().message().find("4, 8 or 16"), std::string::npos);
 
   BatchOptions bad_sweep;
   bad_sweep.sweep = static_cast<BatchOptions::Sweep>(99);
@@ -260,9 +288,80 @@ TEST(BatchPlanTest, InvalidOptionsNameTheFieldAndAcceptedValues) {
         << SweepName(sweep);
   }
 
+  // The prefetch knob is a distance in cache lines, capped at 64.
+  BatchOptions bad_prefetch;
+  bad_prefetch.prefetch_distance = 65;
+  util::Result<BatchAssignReport> r3 =
+      snapshot->AssignBatch(scenarios, bad_prefetch);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r3.status().message().find("BatchOptions.prefetch_distance"),
+            std::string::npos);
+  EXPECT_NE(r3.status().message().find("0 to 64"), std::string::npos);
+
   // Validation happens at plan time: PlanBatch reports the same errors.
   EXPECT_FALSE(snapshot->PlanBatch(scenarios, bad_lanes).ok());
+  EXPECT_FALSE(snapshot->PlanBatch(scenarios, bad_prefetch).ok());
   EXPECT_FALSE(snapshot->PlanBatch(ScenarioSet(), BatchOptions()).ok());
+}
+
+// ------------------------------------------------------------------ layout
+
+TEST(BatchPlanTest, LayoutResolvesAndImagesFollowThePlan) {
+  Session session;
+  LoadPaperSession(&session);
+  auto snapshot = session.Snapshot().ValueOrDie();
+  ScenarioSet scenarios = MakeScenarios(*snapshot, 6);
+
+  // Explicit SoA on the blocked engine: both execution images exist and
+  // carry the SoA tag.
+  BatchOptions soa;
+  soa.sweep = BatchOptions::Sweep::kBlocked;
+  soa.layout = BatchOptions::Layout::kSoA;
+  auto soa_plan = snapshot->PlanBatch(scenarios, soa).ValueOrDie();
+  EXPECT_EQ(soa_plan->layout(), prov::EvalLayout::kSoA);
+  ASSERT_NE(soa_plan->core()->full_image(), nullptr);
+  ASSERT_NE(soa_plan->core()->compressed_image(), nullptr);
+  EXPECT_EQ(soa_plan->core()->full_image()->layout(), prov::EvalLayout::kSoA);
+  EXPECT_EQ(soa_plan->core()->compressed_image()->layout(),
+            prov::EvalLayout::kSoA);
+
+  // Explicit AoS on the blocked engine: no images are built.
+  BatchOptions aos;
+  aos.sweep = BatchOptions::Sweep::kBlocked;
+  aos.layout = BatchOptions::Layout::kAoS;
+  auto aos_plan = snapshot->PlanBatch(scenarios, aos).ValueOrDie();
+  EXPECT_EQ(aos_plan->layout(), prov::EvalLayout::kAoS);
+  EXPECT_EQ(aos_plan->core()->full_image(), nullptr);
+  EXPECT_EQ(aos_plan->core()->compressed_image(), nullptr);
+
+  // The scalar engines have no SoA kernels: an explicit kSoA resolves to
+  // AoS silently — the layout is a performance hint, never an error.
+  BatchOptions scalar;
+  scalar.sweep = BatchOptions::Sweep::kSparseDelta;
+  scalar.layout = BatchOptions::Layout::kSoA;
+  auto scalar_plan = snapshot->PlanBatch(scenarios, scalar).ValueOrDie();
+  EXPECT_EQ(scalar_plan->layout(), prov::EvalLayout::kAoS);
+  EXPECT_EQ(scalar_plan->core()->full_image(), nullptr);
+
+  // Layout is part of the plan-cache key: SoA and AoS plans of the same
+  // scenario set are distinct cache entries.
+  bool hit = true;
+  snapshot->PlanBatch(scenarios, soa, &hit).ValueOrDie();
+  EXPECT_TRUE(hit);
+  BatchOptions soa_far_prefetch = soa;
+  soa_far_prefetch.prefetch_distance = 16;
+  snapshot->PlanBatch(scenarios, soa_far_prefetch, &hit).ValueOrDie();
+  EXPECT_FALSE(hit);
+
+  // SoA execution is bit-identical to AoS execution of the same batch.
+  BatchAssignReport from_soa =
+      snapshot->AssignBatch(scenarios, soa).ValueOrDie();
+  BatchAssignReport from_aos =
+      snapshot->AssignBatch(scenarios, aos).ValueOrDie();
+  EXPECT_EQ(from_soa.layout, prov::EvalLayout::kSoA);
+  EXPECT_EQ(from_aos.layout, prov::EvalLayout::kAoS);
+  ExpectBatchBitIdentical(from_soa, from_aos);
 }
 
 TEST(BatchPlanTest, ExecuteRejectsAForeignPlan) {
